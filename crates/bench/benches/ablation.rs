@@ -1,0 +1,76 @@
+//! Ablations of DESIGN.md §5: single-pass vs fixed-point estimation, and
+//! arbitration-policy sensitivity of the simulated ground truth.
+//!
+//! Prints both ablation tables, then benchmarks the estimator's cost as a
+//! function of the pass count.
+
+use bench::bench_workload;
+use contention::{estimate_with, EstimatorOptions, Method};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::ablation::{arbitration_sensitivity, fixed_point_sweep};
+use mpsoc_sim::SimConfig;
+use platform::UseCase;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let spec = bench_workload();
+    let full = UseCase::full(spec.application_count());
+
+    // Artefact 1: fixed-point sweep.
+    let sweep = fixed_point_sweep(
+        &spec,
+        full,
+        Method::SECOND_ORDER,
+        5,
+        SimConfig::with_horizon(200_000),
+    )
+    .expect("sweep evaluates");
+    println!("\n===== Ablation: single-pass vs fixed-point (2nd order, full use-case) =====");
+    println!(
+        "{:<12} {:>22} {:>16}",
+        "iterations", "mean period (× iso)", "inaccuracy %"
+    );
+    println!("{}", "-".repeat(52));
+    for s in &sweep {
+        println!(
+            "{:<12} {:>22.3} {:>16.1}",
+            s.iterations, s.mean_normalized_period, s.inaccuracy_pct
+        );
+    }
+
+    // Artefact 2: arbitration sensitivity.
+    let sens = arbitration_sensitivity(&spec, full, SimConfig::with_horizon(200_000))
+        .expect("simulates");
+    println!("\n===== Ablation: arbitration policy sensitivity (simulated truth) =====");
+    println!(
+        "FCFS mean period {:.3}× iso | static-priority {:.3}× iso | per-app spread {:.1}%",
+        sens.fcfs_mean_normalized, sens.priority_mean_normalized, sens.policy_spread_pct
+    );
+
+    // Kernel: estimator cost vs pass count.
+    let mut group = c.benchmark_group("ablation/fixed_point_passes");
+    for passes in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(passes),
+            &passes,
+            |b, &passes| {
+                b.iter(|| {
+                    estimate_with(
+                        black_box(&spec),
+                        black_box(full),
+                        Method::SECOND_ORDER,
+                        &EstimatorOptions {
+                            iterations: passes,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("estimates")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation: run-time admission control (Section 4.2 + conclusions) — the
+//! O(n) incremental add/remove of the composability approach versus a full
+//! O(n²) re-estimation of the system, plus the cost of one complete
+//! admission decision (which includes period re-prediction for every
+//! resident).
+
+use bench::bench_workload;
+use contention::{estimate_with, AdmissionController, EstimatorOptions, Method};
+use criterion::{criterion_group, criterion_main, Criterion};
+use platform::{Application, NodeId, UseCase};
+use std::hint::black_box;
+
+fn bench_admission(c: &mut Criterion) {
+    let spec = bench_workload();
+
+    // Pre-admit nine of the ten applications.
+    let assignments: Vec<Vec<NodeId>> = spec
+        .iter()
+        .map(|(_, app)| (0..app.graph().actor_count()).map(NodeId).collect())
+        .collect();
+    let mut ctrl = AdmissionController::new();
+    let mut last_id = None;
+    for (i, (_, app)) in spec.iter().enumerate().take(9) {
+        let outcome = ctrl
+            .admit(
+                Application::new(app.name(), app.graph().clone()).expect("valid"),
+                &assignments[i],
+                None,
+            )
+            .expect("admits");
+        last_id = outcome.admitted_id();
+    }
+    let resident = last_id.expect("nine admitted");
+    let tenth = spec.iter().nth(9).expect("ten applications").1;
+
+    println!("\n===== Admission control (reproduced) =====");
+    println!(
+        "9 residents; admitting #10 incrementally vs re-estimating the whole system:"
+    );
+
+    let mut group = c.benchmark_group("admission");
+    group.bench_function("incremental_admit_remove", |b| {
+        b.iter(|| {
+            let outcome = ctrl
+                .admit(
+                    Application::new(tenth.name(), tenth.graph().clone()).expect("valid"),
+                    &assignments[9],
+                    None,
+                )
+                .expect("admits");
+            let id = outcome.admitted_id().expect("no requirements set");
+            ctrl.remove(id).expect("removes");
+        })
+    });
+    group.bench_function("full_reestimate_composability", |b| {
+        b.iter(|| {
+            estimate_with(
+                black_box(&spec),
+                UseCase::full(10),
+                Method::Composability,
+                &EstimatorOptions::default(),
+            )
+            .expect("estimates")
+        })
+    });
+    group.bench_function("predict_one_resident", |b| {
+        b.iter(|| ctrl.predicted_period(black_box(resident)).expect("resident"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

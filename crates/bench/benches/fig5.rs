@@ -1,0 +1,57 @@
+//! Figure 5 — normalized period of every application under maximum
+//! contention (all ten applications concurrent), per analysis technique and
+//! simulated.
+//!
+//! Prints the reproduced figure series, then benchmarks the two ways of
+//! obtaining the full-contention period: analytical estimation vs
+//! simulation.
+
+use bench::bench_workload;
+use contention::{estimate, Method};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::fig5::{figure5, figure5_methods};
+use experiments::report::render_fig5;
+use experiments::runner::EvalOptions;
+use mpsoc_sim::{simulate, SimConfig};
+use platform::UseCase;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let spec = bench_workload();
+
+    // Regenerate the artefact once at the paper's 500k-cycle horizon.
+    let rows = figure5(
+        &spec,
+        &EvalOptions {
+            methods: figure5_methods(),
+            sim: SimConfig::with_horizon(500_000),
+        },
+    )
+    .expect("figure 5 evaluates");
+    println!("\n===== Figure 5 (reproduced; periods normalized to isolation) =====");
+    println!("{}", render_fig5(&rows));
+
+    let full = UseCase::full(spec.application_count());
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(20);
+    group.bench_function("estimate_second_order", |b| {
+        b.iter(|| {
+            estimate(black_box(&spec), black_box(full), Method::SECOND_ORDER).expect("estimates")
+        })
+    });
+    group.bench_function("simulate_50k", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&spec),
+                black_box(full),
+                SimConfig::with_horizon(50_000),
+            )
+            .expect("simulates")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6 — period inaccuracy as a function of the number of concurrently
+//! executing applications (1–10), per method.
+//!
+//! Prints the reproduced series, then benchmarks how estimation cost scales
+//! with use-case cardinality (the paper's scalability argument).
+
+use bench::{bench_workload, full_evaluation};
+use contention::{estimate, Method};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::fig6::figure6;
+use experiments::report::render_fig6;
+use platform::UseCase;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let spec = bench_workload();
+
+    let eval = full_evaluation(&spec, Method::table1().to_vec(), 100_000);
+    println!("\n===== Figure 6 (reproduced; mean |period deviation| %) =====");
+    println!("{}", render_fig6(&figure6(&eval, spec.application_count())));
+
+    // Kernel: estimation cost vs number of concurrent applications.
+    let mut group = c.benchmark_group("fig6/estimate_vs_cardinality");
+    for k in [1usize, 2, 5, 10] {
+        let uc = UseCase::full(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &uc, |b, &uc| {
+            b.iter(|| {
+                estimate(black_box(&spec), black_box(uc), Method::SECOND_ORDER)
+                    .expect("estimates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: the complexity column of Table 1 — how each waiting-time
+//! computation scales with the number of actors on a node.
+//!
+//! The paper assigns O(n) to the worst case and composability, O(n²) to the
+//! second order and O(n⁴) to the fourth order. This bench measures the
+//! kernels over n = 2…256 co-mapped actors and prints the per-n timings so
+//! the growth rates are visible, then registers Criterion measurements.
+//!
+//! Also covers the incremental-add claim of Section 4.2: composing one more
+//! actor into a node is O(1) versus recomputing the full second-order sum.
+
+use bench::synthetic_loads;
+use contention::{composability_waiting_time, waiting_time, Composite, Order};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn print_growth_table() {
+    println!("\n===== Waiting-time kernel scaling (complexity column of Table 1) =====");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "n", "composability", "order-2", "order-4", "exact"
+    );
+    println!("{}", "-".repeat(68));
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let loads = synthetic_loads(n);
+        let reps = (4096 / n).max(1) as u32;
+        let time = |f: &dyn Fn() -> sdf::Rational| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                black_box(f());
+            }
+            start.elapsed().as_secs_f64() / reps as f64 * 1e6
+        };
+        let compos = time(&|| composability_waiting_time(&loads));
+        let second = time(&|| waiting_time(&loads, Order::SECOND));
+        let fourth = time(&|| waiting_time(&loads, Order::FOURTH));
+        // The full-order series holds elementary symmetric polynomials whose
+        // *values* grow like C(n, j) — the combinatorial blow-up the paper's
+        // truncations exist to avoid. Past n ≈ 128 they exceed any
+        // fixed-width arithmetic; the bench reports the truncated methods
+        // only, which is exactly the paper's scalability argument.
+        let exact = (n <= 128).then(|| time(&|| waiting_time(&loads, Order::Exact)));
+        match exact {
+            Some(e) => println!(
+                "{:<8} {:>12.2}µs {:>12.2}µs {:>12.2}µs {:>12.2}µs",
+                n, compos, second, fourth, e
+            ),
+            None => println!(
+                "{:<8} {:>12.2}µs {:>12.2}µs {:>12.2}µs {:>14}",
+                n, compos, second, fourth, "(overflows)"
+            ),
+        }
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    print_growth_table();
+
+    let mut group = c.benchmark_group("scaling/waiting_time");
+    for n in [8usize, 32, 128] {
+        let loads = synthetic_loads(n);
+        group.bench_with_input(
+            BenchmarkId::new("composability", n),
+            &loads,
+            |b, loads| b.iter(|| composability_waiting_time(black_box(loads))),
+        );
+        group.bench_with_input(BenchmarkId::new("order-2", n), &loads, |b, loads| {
+            b.iter(|| waiting_time(black_box(loads), Order::SECOND))
+        });
+        group.bench_with_input(BenchmarkId::new("order-4", n), &loads, |b, loads| {
+            b.iter(|| waiting_time(black_box(loads), Order::FOURTH))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &loads, |b, loads| {
+            b.iter(|| waiting_time(black_box(loads), Order::Exact))
+        });
+    }
+    group.finish();
+
+    // Incremental add (Section 4.2): one ⊗ against a full recompute.
+    let loads = synthetic_loads(64);
+    let folded = Composite::from_actors(loads.iter().copied());
+    let newcomer = Composite::from_actor(synthetic_loads(65)[64]);
+    let mut group = c.benchmark_group("scaling/incremental_add");
+    group.bench_function("compose_one_more_O1", |b| {
+        b.iter(|| black_box(folded).compose(black_box(newcomer)))
+    });
+    group.bench_function("recompute_second_order_On", |b| {
+        b.iter(|| waiting_time(black_box(&loads), Order::SECOND))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

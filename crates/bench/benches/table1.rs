@@ -1,0 +1,47 @@
+//! Table 1 — measured inaccuracy of every estimation method vs simulation,
+//! over all 1023 use-cases.
+//!
+//! Prints the reproduced table (the same rows the paper reports), then
+//! benchmarks the per-use-case cost of each estimation method.
+
+use bench::{bench_workload, full_evaluation};
+use contention::{estimate, Method};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::report::render_table1;
+use experiments::table1::table1;
+use platform::UseCase;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let spec = bench_workload();
+
+    // Regenerate the artefact once (100k-cycle horizon keeps the bench
+    // under a minute; the paper-scale 500k run lives in
+    // `examples/paper_figures.rs`).
+    let eval = full_evaluation(&spec, Method::table1().to_vec(), 100_000);
+    println!("\n===== Table 1 (reproduced, 1023 use-cases) =====");
+    println!("{}", render_table1(&table1(&eval)));
+
+    // Kernel: one estimation of the maximum-contention use-case per method.
+    let full = UseCase::full(spec.application_count());
+    let mut group = c.benchmark_group("table1/estimate_full_usecase");
+    for method in [
+        Method::WorstCaseRoundRobin,
+        Method::Composability,
+        Method::FOURTH_ORDER,
+        Method::SECOND_ORDER,
+        Method::Exact,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method),
+            &method,
+            |b, &method| {
+                b.iter(|| estimate(black_box(&spec), black_box(full), method).expect("estimates"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! The Section 5 timing comparison — "23 hours of simulation vs about 10
+//! minutes of analysis" on the authors' hardware; here, the wall-clock of
+//! the two pipelines on identical use-case sets.
+//!
+//! Prints the reproduced timing summary over all 1023 use-cases, then
+//! benchmarks one use-case of each pipeline so Criterion tracks the ratio.
+
+use bench::{bench_workload, full_evaluation};
+use contention::{estimate, Method};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::report::render_timing;
+use experiments::timing::TimingSummary;
+use mpsoc_sim::{simulate, SimConfig};
+use platform::UseCase;
+use std::hint::black_box;
+
+fn bench_timing(c: &mut Criterion) {
+    let spec = bench_workload();
+
+    let eval = full_evaluation(&spec, Method::table1().to_vec(), 500_000);
+    println!("\n===== Timing (reproduced; 1023 use-cases, 500k-cycle horizon) =====");
+    println!("{}", render_timing(&TimingSummary::from_evaluation(&eval)));
+
+    let full = UseCase::full(spec.application_count());
+    let mut group = c.benchmark_group("timing/one_usecase");
+    group.sample_size(10);
+    group.bench_function("simulation_500k", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&spec),
+                black_box(full),
+                SimConfig::with_horizon(500_000),
+            )
+            .expect("simulates")
+        })
+    });
+    group.bench_function("analysis_all_four_methods", |b| {
+        b.iter(|| {
+            for method in Method::table1() {
+                estimate(black_box(&spec), black_box(full), method).expect("estimates");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timing);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench in `benches/` regenerates one artefact of the paper
+//! (printing the same rows/series the paper reports) and then measures the
+//! computational kernel behind it with Criterion. See `DESIGN.md` §4 for the
+//! experiment index.
+
+use contention::{ActorLoad, Method};
+use experiments::runner::{evaluate, EvalOptions, Evaluation};
+use experiments::workload::{paper_workload, DEFAULT_SEED};
+use mpsoc_sim::SimConfig;
+use platform::{SystemSpec, UseCase};
+use sdf::Rational;
+
+/// The paper workload used by all benches (fixed seed → identical artefacts
+/// on every run).
+pub fn bench_workload() -> SystemSpec {
+    paper_workload(DEFAULT_SEED).expect("paper workload is valid")
+}
+
+/// Runs the full 1023-use-case evaluation once, at a configurable horizon.
+pub fn full_evaluation(spec: &SystemSpec, methods: Vec<Method>, horizon: u64) -> Evaluation {
+    let all = UseCase::all(spec.application_count());
+    evaluate(
+        spec,
+        &all,
+        &EvalOptions {
+            methods,
+            sim: SimConfig::with_horizon(horizon),
+        },
+    )
+    .expect("paper workload evaluates cleanly")
+}
+
+/// `n` synthetic co-mapped actor loads with mixed utilisations, for the
+/// waiting-time complexity benches.
+pub fn synthetic_loads(n: usize) -> Vec<ActorLoad> {
+    (0..n)
+        .map(|i| {
+            ActorLoad::new(
+                Rational::new(1 + (i as i128 % 3), 5 + (i as i128 % 7)),
+                Rational::integer(10 + (i as i128 * 13) % 90),
+            )
+            .expect("valid synthetic load")
+        })
+        .collect()
+}

@@ -1,0 +1,326 @@
+//! The composability algebra (Section 4.2): `⊕`, `⊗` and their inverses.
+//!
+//! Two actors `a`, `b` are merged into one pseudo-actor whose blocking
+//! probability and expected waiting follow Equations 6 and 7:
+//!
+//! ```text
+//! P_ab       = Pa ⊕ Pb = Pa + Pb − Pa·Pb
+//! µ_ab·P_ab  = µaPa ⊗ µbPb = µaPa(1 + Pb/2) + µbPb(1 + Pa/2)
+//! ```
+//!
+//! `⊕` is exactly associative; `⊗` is associative *to second order* (the
+//! deviation between the two association orders is a product of three
+//! probabilities — property-tested in this crate's test-suite). Folding all
+//! co-mapped actors into a single [`Composite`] costs `O(1)` per actor, and
+//! the inverse operators (Equations 8/9) remove an actor in `O(1)` — the key
+//! to the paper's run-time admission control ([`crate::admission`]): adding
+//! or removing an application updates the analysis incrementally in `O(n)`
+//! instead of recomputing `O(n²)` from scratch.
+//!
+//! # Examples
+//!
+//! ```
+//! use contention::{ActorLoad, Composite};
+//! use sdf::Rational;
+//!
+//! let a = ActorLoad::new(Rational::new(1, 3), Rational::integer(50))?;
+//! let b = ActorLoad::new(Rational::new(1, 3), Rational::integer(25))?;
+//!
+//! let ab = Composite::from_actor(a).compose(Composite::from_actor(b));
+//! // P_ab = 1/3 + 1/3 − 1/9 = 5/9
+//! assert_eq!(ab.probability(), Rational::new(5, 9));
+//! // Expected waiting an arriving actor suffers from {a, b}:
+//! let w = ab.expected_waiting();
+//! assert!(w > Rational::ZERO);
+//!
+//! // Remove b again: exact round-trip.
+//! let back = ab.decompose(Composite::from_actor(b))?;
+//! assert_eq!(back.probability(), a.probability());
+//! # Ok::<(), contention::ContentionError>(())
+//! ```
+
+use crate::load::ActorLoad;
+use crate::ContentionError;
+use sdf::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The composition of zero or more actor loads under `⊕`/`⊗`.
+///
+/// Stores the combined blocking probability `P` and the combined expected
+/// waiting `W = µ·P` (the paper keeps `µ·P` as one quantity — `⊗` operates
+/// on it directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Composite {
+    p: Rational,
+    w: Rational,
+}
+
+impl Composite {
+    /// The neutral element: an empty node (`P = 0`, `W = 0`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contention::Composite;
+    /// let id = Composite::identity();
+    /// assert!(id.probability().is_zero());
+    /// assert_eq!(id.compose(id), id);
+    /// ```
+    pub fn identity() -> Composite {
+        Composite {
+            p: Rational::ZERO,
+            w: Rational::ZERO,
+        }
+    }
+
+    /// Lifts a single actor load into the algebra.
+    pub fn from_actor(load: ActorLoad) -> Composite {
+        Composite {
+            p: load.probability(),
+            w: load.expected_waiting(),
+        }
+    }
+
+    /// Builds the composition of every load in an iterator (left fold).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contention::{ActorLoad, Composite};
+    /// use sdf::Rational;
+    /// let loads = vec![
+    ///     ActorLoad::new(Rational::new(1, 4), Rational::integer(8))?,
+    ///     ActorLoad::new(Rational::new(1, 2), Rational::integer(6))?,
+    /// ];
+    /// let c = Composite::from_actors(loads.iter().copied());
+    /// assert_eq!(c.probability(), Rational::new(5, 8));
+    /// # Ok::<(), contention::ContentionError>(())
+    /// ```
+    pub fn from_actors(loads: impl IntoIterator<Item = ActorLoad>) -> Composite {
+        loads
+            .into_iter()
+            .fold(Composite::identity(), |acc, l| {
+                acc.compose(Composite::from_actor(l))
+            })
+    }
+
+    /// Combined blocking probability `P`.
+    pub fn probability(&self) -> Rational {
+        self.p
+    }
+
+    /// Combined expected waiting `W = µ·P` — the waiting time an arriving
+    /// actor suffers from everything composed so far.
+    pub fn expected_waiting(&self) -> Rational {
+        self.w
+    }
+
+    /// Equations 6 and 7: `self ⊕/⊗ other`.
+    ///
+    /// Results are snapped to the [`crate::waiting::LATTICE`] lattice so
+    /// that arbitrarily long compose chains (an admission controller running
+    /// for months) never overflow; lattice-aligned inputs compose exactly.
+    #[must_use]
+    pub fn compose(self, other: Composite) -> Composite {
+        let half = Rational::new(1, 2);
+        let lattice = crate::waiting::LATTICE;
+        Composite {
+            p: (self.p + other.p - self.p * other.p).quantize(lattice),
+            w: (self.w * (Rational::ONE + half * other.p)
+                + other.w * (Rational::ONE + half * self.p))
+                .quantize(lattice),
+        }
+    }
+
+    /// Equations 8 and 9: removes `other` from the composition, recovering
+    /// `rest` such that `rest.compose(other) == self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContentionError::SaturatedInverse`] when
+    /// `other.probability() == 1` (the paper's side condition `P_b ≠ 1`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contention::{ActorLoad, Composite};
+    /// use sdf::Rational;
+    /// let a = Composite::from_actor(ActorLoad::new(Rational::new(1, 3), Rational::integer(9))?);
+    /// let b = Composite::from_actor(ActorLoad::new(Rational::new(1, 5), Rational::integer(4))?);
+    /// let ab = a.compose(b);
+    /// assert_eq!(ab.decompose(b)?, a);
+    /// assert_eq!(ab.decompose(a)?, b);
+    /// # Ok::<(), contention::ContentionError>(())
+    /// ```
+    pub fn decompose(self, other: Composite) -> Result<Composite, ContentionError> {
+        if other.p == Rational::ONE {
+            return Err(ContentionError::SaturatedInverse);
+        }
+        let half = Rational::new(1, 2);
+        let lattice = crate::waiting::LATTICE;
+        // Equation 8: P_rest = (P_all − P_b) / (1 − P_b).
+        let p_rest = ((self.p - other.p) / (Rational::ONE - other.p)).quantize(lattice);
+        // Equation 9: W_rest = (W_all − W_b(1 + P_rest/2)) / (1 + P_b/2).
+        let w_rest = ((self.w - other.w * (Rational::ONE + half * p_rest))
+            / (Rational::ONE + half * other.p))
+            .quantize(lattice);
+        Ok(Composite {
+            p: p_rest,
+            w: w_rest,
+        })
+    }
+
+    /// Whether the composition is the identity (empty node).
+    pub fn is_identity(&self) -> bool {
+        self.p.is_zero() && self.w.is_zero()
+    }
+}
+
+impl Default for Composite {
+    fn default() -> Self {
+        Composite::identity()
+    }
+}
+
+impl fmt::Display for Composite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P={}, W={}", self.p, self.w)
+    }
+}
+
+/// Waiting time via the composability approach: fold all other actors and
+/// read off the combined `µ·P`.
+///
+/// Functionally close to the second-order approximation (identical for up to
+/// two other actors, and within higher-order probability products beyond) —
+/// the paper's Figure 6 shows the two curves nearly coincide.
+///
+/// # Examples
+///
+/// ```
+/// use contention::{composability_waiting_time, second_order_waiting_time, ActorLoad};
+/// use sdf::Rational;
+/// let a = ActorLoad::new(Rational::new(1, 3), Rational::integer(50))?;
+/// let b = ActorLoad::new(Rational::new(1, 3), Rational::integer(25))?;
+/// assert_eq!(
+///     composability_waiting_time(&[a, b]),
+///     second_order_waiting_time(&[a, b]),
+/// );
+/// # Ok::<(), contention::ContentionError>(())
+/// ```
+pub fn composability_waiting_time(others: &[ActorLoad]) -> Rational {
+    Composite::from_actors(others.iter().copied()).expected_waiting()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(p: Rational, mu: Rational) -> ActorLoad {
+        ActorLoad::new(p, mu).unwrap()
+    }
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn identity_laws() {
+        let a = Composite::from_actor(load(r(1, 3), Rational::integer(50)));
+        let id = Composite::identity();
+        assert_eq!(a.compose(id), a);
+        assert_eq!(id.compose(a), a);
+        assert!(id.is_identity());
+        assert!(!a.is_identity());
+        assert_eq!(Composite::default(), id);
+    }
+
+    #[test]
+    fn commutativity() {
+        let a = Composite::from_actor(load(r(1, 3), Rational::integer(50)));
+        let b = Composite::from_actor(load(r(2, 5), Rational::integer(7)));
+        assert_eq!(a.compose(b), b.compose(a));
+    }
+
+    #[test]
+    fn probability_composition_exactly_associative() {
+        let a = Composite::from_actor(load(r(1, 3), Rational::integer(3)));
+        let b = Composite::from_actor(load(r(1, 4), Rational::integer(4)));
+        let c = Composite::from_actor(load(r(1, 5), Rational::integer(5)));
+        let left = a.compose(b).compose(c);
+        let right = a.compose(b.compose(c));
+        assert_eq!(left.probability(), right.probability());
+    }
+
+    #[test]
+    fn waiting_associative_only_to_second_order() {
+        // The ⊗ deviation between association orders is O(P³): non-zero in
+        // general, but small.
+        let a = Composite::from_actor(load(r(1, 3), Rational::integer(3)));
+        let b = Composite::from_actor(load(r(1, 4), Rational::integer(4)));
+        let c = Composite::from_actor(load(r(1, 5), Rational::integer(5)));
+        let left = a.compose(b).compose(c);
+        let right = a.compose(b.compose(c));
+        let dev = (left.expected_waiting() - right.expected_waiting()).abs();
+        assert!(dev.is_positive(), "⊗ is not exactly associative");
+        // Deviation bounded by a third-order product of the inputs.
+        assert!(dev < r(1, 10));
+    }
+
+    #[test]
+    fn decompose_round_trip() {
+        let a = Composite::from_actor(load(r(1, 3), Rational::integer(50)));
+        let b = Composite::from_actor(load(r(2, 7), Rational::integer(11)));
+        let ab = a.compose(b);
+        assert_eq!(ab.decompose(b).unwrap(), a);
+        assert_eq!(ab.decompose(a).unwrap(), b);
+    }
+
+    #[test]
+    fn decompose_identity_is_noop() {
+        let a = Composite::from_actor(load(r(1, 3), Rational::integer(50)));
+        assert_eq!(a.decompose(Composite::identity()).unwrap(), a);
+    }
+
+    #[test]
+    fn saturated_inverse_rejected() {
+        let sat = Composite::from_actor(load(Rational::ONE, Rational::integer(5)));
+        let a = Composite::from_actor(load(r(1, 2), Rational::integer(5)));
+        let all = a.compose(sat);
+        assert_eq!(
+            all.decompose(sat).unwrap_err(),
+            ContentionError::SaturatedInverse
+        );
+    }
+
+    #[test]
+    fn two_actor_matches_equation7() {
+        let a = load(r(1, 3), Rational::integer(50));
+        let b = load(r(1, 3), Rational::integer(25));
+        let c = Composite::from_actors([a, b]);
+        // Equation 7 expanded by hand:
+        let expect = Rational::integer(50) * r(1, 3) * (Rational::ONE + r(1, 6))
+            + Rational::integer(25) * r(1, 3) * (Rational::ONE + r(1, 6));
+        assert_eq!(c.expected_waiting(), expect);
+    }
+
+    #[test]
+    fn probability_never_exceeds_one() {
+        let mut c = Composite::identity();
+        for i in 1..20 {
+            c = c.compose(Composite::from_actor(load(
+                r(9, 10),
+                Rational::integer(i),
+            )));
+            assert!(c.probability() <= Rational::ONE);
+            assert!(!c.probability().is_negative());
+        }
+    }
+
+    #[test]
+    fn display() {
+        let c = Composite::from_actor(load(r(1, 2), Rational::integer(4)));
+        assert_eq!(c.to_string(), "P=1/2, W=2");
+    }
+}

@@ -1,0 +1,247 @@
+//! Mapping design-space exploration driven by the probabilistic estimator.
+//!
+//! The paper's pitch is that a ~millisecond estimate per use-case makes
+//! early design-space exploration tractable where per-candidate simulation
+//! is not. This module closes that loop: it scores candidate actor-to-node
+//! mappings with the estimator and provides a pressure-balancing heuristic
+//! built directly on the composability algebra — each node's accumulated
+//! load is a [`Composite`], and the greedy step picks the node whose
+//! composite blocking probability is lowest.
+//!
+//! # Examples
+//!
+//! ```
+//! use contention::dse::{balance_mapping, mapping_cost};
+//! use contention::Method;
+//! use platform::Application;
+//! use sdf::{generate_graph, GeneratorConfig};
+//!
+//! let apps: Vec<Application> = (0..3)
+//!     .map(|s| {
+//!         Application::new(
+//!             format!("app{s}"),
+//!             generate_graph(&GeneratorConfig::default(), s),
+//!         )
+//!         .expect("valid")
+//!     })
+//!     .collect();
+//!
+//! let balanced = balance_mapping(&apps, 10);
+//! let cost = mapping_cost(&apps, balanced, Method::SECOND_ORDER)?;
+//! assert!(cost >= 1.0); // contention can only slow applications down
+//! # Ok::<(), contention::ContentionError>(())
+//! ```
+
+use crate::compose::Composite;
+use crate::estimator::{estimate, Method, PROBABILITY_GRID};
+use crate::load::ActorLoad;
+use crate::ContentionError;
+use platform::{AppId, Application, Mapping, NodeId, SystemSpec, UseCase};
+
+/// Greedy pressure-balancing mapping: actors (all applications pooled,
+/// heaviest blocking probability first) are assigned one by one to the node
+/// whose current composite blocking probability is lowest.
+///
+/// This is longest-processing-time-first scheduling with the composability
+/// algebra as the load measure — an `O(actors · nodes)` heuristic entirely
+/// inside the paper's model.
+///
+/// # Panics
+///
+/// Panics if `node_count == 0`.
+///
+/// # Examples
+///
+/// See the [module documentation](self).
+pub fn balance_mapping(apps: &[Application], node_count: usize) -> Mapping {
+    assert!(node_count > 0, "need at least one node");
+
+    // Collect every actor with its blocking probability.
+    let mut actors: Vec<(AppId, sdf::ActorId, ActorLoad)> = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
+        let per = app.isolation_period();
+        for actor in app.graph().actor_ids() {
+            let load = ActorLoad::from_constant_time(
+                app.graph().execution_time(actor),
+                app.repetition_vector().get(actor),
+                per,
+            )
+            .expect("validated application has loads in range")
+            .quantized(PROBABILITY_GRID)
+            .expect("quantisation preserves the domain");
+            actors.push((AppId(i), actor, load));
+        }
+    }
+    // Heaviest first.
+    actors.sort_by_key(|a| std::cmp::Reverse(a.2.probability()));
+
+    let mut nodes = vec![Composite::identity(); node_count];
+    let mut mapping = Mapping::explicit();
+    for (app, actor, load) in actors {
+        let (best, _) = nodes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.probability())
+            .expect("node_count > 0");
+        nodes[best] = nodes[best].compose(Composite::from_actor(load));
+        mapping.assign(app, actor, NodeId(best));
+    }
+    mapping
+}
+
+/// Scores a mapping: the mean over all applications of
+/// `estimated period / isolation period` when *all* applications run
+/// concurrently (≥ 1; lower is better).
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn mapping_cost(
+    apps: &[Application],
+    mapping: Mapping,
+    method: Method,
+) -> Result<f64, ContentionError> {
+    let (_, cost) = evaluate_mapping(apps, mapping, method)?;
+    Ok(cost)
+}
+
+/// Builds the [`SystemSpec`] for a candidate mapping and scores it (see
+/// [`mapping_cost`]); returns both so callers can reuse the spec.
+///
+/// # Errors
+///
+/// Propagates spec-building and estimator failures.
+pub fn evaluate_mapping(
+    apps: &[Application],
+    mapping: Mapping,
+    method: Method,
+) -> Result<(SystemSpec, f64), ContentionError> {
+    let mut builder = SystemSpec::builder();
+    for app in apps {
+        builder = builder.application(app.clone());
+    }
+    let spec = builder
+        .mapping(mapping)
+        .build()
+        .map_err(ContentionError::Platform)?;
+    let est = estimate(&spec, UseCase::full(apps.len()), method)?;
+    let mut total = 0.0;
+    for (id, app) in spec.iter() {
+        total += (est.period(id) / app.isolation_period()).to_f64();
+    }
+    let cost = total / apps.len() as f64;
+    Ok((spec, cost))
+}
+
+/// Exhaustively permutes which node each *application's* actor chain starts
+/// on (rotation search over the by-index mapping) and returns the best
+/// rotation vector with its cost — a tiny but complete DSE useful for
+/// benchmarks and tests.
+///
+/// Complexity `O(node_count^apps)`; callers should keep `apps` small.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn best_rotation(
+    apps: &[Application],
+    node_count: usize,
+    method: Method,
+) -> Result<(Vec<usize>, f64), ContentionError> {
+    assert!(
+        apps.len() <= 6,
+        "rotation search is exponential; pool at most 6 applications"
+    );
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let total = node_count.pow(apps.len() as u32);
+    for code in 0..total {
+        let mut rotations = Vec::with_capacity(apps.len());
+        let mut c = code;
+        for _ in 0..apps.len() {
+            rotations.push(c % node_count);
+            c /= node_count;
+        }
+        let mut mapping = Mapping::explicit();
+        for (i, app) in apps.iter().enumerate() {
+            for actor in app.graph().actor_ids() {
+                mapping.assign(
+                    AppId(i),
+                    actor,
+                    NodeId((actor.index() + rotations[i]) % node_count),
+                );
+            }
+        }
+        let cost = mapping_cost(apps, mapping, method)?;
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            best = Some((rotations, cost));
+        }
+    }
+    Ok(best.expect("at least one rotation evaluated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf::{generate_graph, GeneratorConfig};
+
+    fn apps(n: usize) -> Vec<Application> {
+        (0..n)
+            .map(|s| {
+                Application::new(
+                    format!("app{s}"),
+                    generate_graph(&GeneratorConfig::default(), 900 + s as u64),
+                )
+                .expect("valid")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balanced_mapping_is_total_and_buildable() {
+        let apps = apps(3);
+        let mapping = balance_mapping(&apps, 10);
+        let (spec, cost) = evaluate_mapping(&apps, mapping, Method::SECOND_ORDER).unwrap();
+        assert_eq!(spec.application_count(), 3);
+        assert!(cost >= 1.0);
+    }
+
+    #[test]
+    fn balancing_beats_colocating_everything() {
+        // Stuffing every actor onto one node is the worst possible mapping;
+        // the balancer must do strictly better.
+        let apps = apps(3);
+        let mut all_on_one = Mapping::explicit();
+        for (i, app) in apps.iter().enumerate() {
+            for actor in app.graph().actor_ids() {
+                all_on_one.assign(AppId(i), actor, NodeId(0));
+            }
+        }
+        let bad = mapping_cost(&apps, all_on_one, Method::SECOND_ORDER).unwrap();
+        let balanced = balance_mapping(&apps, 10);
+        let good = mapping_cost(&apps, balanced, Method::SECOND_ORDER).unwrap();
+        assert!(good < bad, "balanced {good} vs colocated {bad}");
+    }
+
+    #[test]
+    fn rotation_search_finds_no_worse_than_identity() {
+        let apps = apps(2);
+        let identity_cost = {
+            let mut mapping = Mapping::explicit();
+            for (i, app) in apps.iter().enumerate() {
+                for actor in app.graph().actor_ids() {
+                    mapping.assign(AppId(i), actor, NodeId(actor.index() % 10));
+                }
+            }
+            mapping_cost(&apps, mapping, Method::SECOND_ORDER).unwrap()
+        };
+        let (rotations, best_cost) = best_rotation(&apps, 10, Method::SECOND_ORDER).unwrap();
+        assert_eq!(rotations.len(), 2);
+        assert!(best_cost <= identity_cost + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        balance_mapping(&apps(1), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-actor contention attributes: blocking probability and average
+//! blocking time (Definitions 4 and 5 of the paper).
+//!
+//! Every actor `a` of an application `A` contributes two numbers to the
+//! contention analysis of the node it is mapped on:
+//!
+//! * **Blocking probability** `P(a) = τ(a)·q(a) / Per(A)` — the probability
+//!   that `a` occupies the node at an arbitrary instant (it is active for
+//!   `τ(a)·q(a)` time units out of every period).
+//! * **Average blocking time** `µ(a)` — the expected time until the node is
+//!   released *given* it is found blocked by `a`. For a constant execution
+//!   time the remaining time is uniform over `(0, τ(a)]`, so `µ(a) = τ(a)/2`
+//!   (Equation 2).
+//!
+//! # Examples
+//!
+//! The paper's running example (`a0`: `τ = 100`, `q = 1`, `Per(A) = 300`):
+//!
+//! ```
+//! use contention::ActorLoad;
+//! use sdf::Rational;
+//!
+//! let a0 = ActorLoad::from_constant_time(
+//!     Rational::integer(100), 1, Rational::integer(300),
+//! )?;
+//! assert_eq!(a0.probability(), Rational::new(1, 3));
+//! assert_eq!(a0.blocking_time(), Rational::integer(50));
+//! // Expected waiting inflicted on an arriving actor: µ·P = 50/3 ≈ 17.
+//! assert_eq!(a0.expected_waiting(), Rational::new(50, 3));
+//! # Ok::<(), contention::ContentionError>(())
+//! ```
+
+use crate::ContentionError;
+use sdf::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Blocking attributes of one actor: probability `P` and conditional
+/// blocking time `µ`.
+///
+/// Invariant: `0 ≤ P ≤ 1` and `µ ≥ 0` (enforced by all constructors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActorLoad {
+    p: Rational,
+    mu: Rational,
+}
+
+impl ActorLoad {
+    /// Creates a load from raw probability and blocking time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContentionError::InvalidProbability`] unless `0 ≤ p ≤ 1`,
+    /// or [`ContentionError::NegativeBlockingTime`] if `mu < 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contention::ActorLoad;
+    /// use sdf::Rational;
+    /// let load = ActorLoad::new(Rational::new(1, 3), Rational::integer(50))?;
+    /// assert_eq!(load.probability(), Rational::new(1, 3));
+    /// # Ok::<(), contention::ContentionError>(())
+    /// ```
+    pub fn new(p: Rational, mu: Rational) -> Result<ActorLoad, ContentionError> {
+        if p.is_negative() || p > Rational::ONE {
+            return Err(ContentionError::InvalidProbability(p));
+        }
+        if mu.is_negative() {
+            return Err(ContentionError::NegativeBlockingTime(mu));
+        }
+        Ok(ActorLoad { p, mu })
+    }
+
+    /// Creates the load of an actor with constant execution time `tau`
+    /// firing `repetition` times per period `period` (Definitions 4/5):
+    /// `P = τ·q/Per`, `µ = τ/2`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ContentionError::NonPositivePeriod`] if `period ≤ 0`;
+    /// * [`ContentionError::InvalidProbability`] if the utilisation
+    ///   `τ·q/Per` exceeds 1 (the actor alone over-subscribes its node).
+    pub fn from_constant_time(
+        tau: Rational,
+        repetition: u64,
+        period: Rational,
+    ) -> Result<ActorLoad, ContentionError> {
+        if !period.is_positive() {
+            return Err(ContentionError::NonPositivePeriod(period));
+        }
+        let p = tau * Rational::integer(repetition as i128) / period;
+        ActorLoad::new(p, tau / Rational::integer(2))
+    }
+
+    /// Blocking probability `P(a)`.
+    pub fn probability(&self) -> Rational {
+        self.p
+    }
+
+    /// Average blocking time `µ(a)`.
+    pub fn blocking_time(&self) -> Rational {
+        self.mu
+    }
+
+    /// Expected waiting time this actor alone inflicts on an arriving
+    /// requester: `µ(a)·P(a)` (the quantity combined by all waiting-time
+    /// formulae).
+    pub fn expected_waiting(&self) -> Rational {
+        self.mu * self.p
+    }
+
+    /// Returns this load with probability and blocking time snapped to the
+    /// `1/grid` lattice (see [`crate::estimator::PROBABILITY_GRID`] for why
+    /// the estimator quantises).
+    ///
+    /// # Errors
+    ///
+    /// Re-validates the rounded values; rounding cannot push a probability
+    /// outside `[0, 1]` or a blocking time negative, so an error here
+    /// indicates a caller-supplied degenerate grid.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contention::ActorLoad;
+    /// use sdf::Rational;
+    /// let l = ActorLoad::new(Rational::new(1, 3), Rational::integer(50))?;
+    /// assert_eq!(l.quantized(2520)?, l); // thirds are on the grid
+    /// # Ok::<(), contention::ContentionError>(())
+    /// ```
+    pub fn quantized(&self, grid: i128) -> Result<ActorLoad, ContentionError> {
+        ActorLoad::new(self.p.quantize(grid), self.mu.quantize(grid))
+    }
+
+    /// Whether the actor never blocks (`P = 0`).
+    pub fn is_idle(&self) -> bool {
+        self.p.is_zero()
+    }
+
+    /// Whether the actor saturates its node (`P = 1`); the composability
+    /// inverse is undefined past such a load (Equation 8's side condition).
+    pub fn is_saturating(&self) -> bool {
+        self.p == Rational::ONE
+    }
+}
+
+impl fmt::Display for ActorLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P={}, µ={}", self.p, self.mu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_definitions() {
+        // a1: τ = 50, q = 2, Per = 300 → P = 1/3, µ = 25.
+        let a1 = ActorLoad::from_constant_time(
+            Rational::integer(50),
+            2,
+            Rational::integer(300),
+        )
+        .unwrap();
+        assert_eq!(a1.probability(), Rational::new(1, 3));
+        assert_eq!(a1.blocking_time(), Rational::integer(25));
+        assert_eq!(a1.expected_waiting(), Rational::new(25, 3));
+    }
+
+    #[test]
+    fn probability_bounds_enforced() {
+        assert!(matches!(
+            ActorLoad::new(Rational::new(3, 2), Rational::ONE),
+            Err(ContentionError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            ActorLoad::new(-Rational::ONE, Rational::ONE),
+            Err(ContentionError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            ActorLoad::new(Rational::new(1, 2), -Rational::ONE),
+            Err(ContentionError::NegativeBlockingTime(_))
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_actor_rejected() {
+        // τ·q = 400 > Per = 300.
+        let r = ActorLoad::from_constant_time(
+            Rational::integer(100),
+            4,
+            Rational::integer(300),
+        );
+        assert!(matches!(r, Err(ContentionError::InvalidProbability(_))));
+    }
+
+    #[test]
+    fn non_positive_period_rejected() {
+        let r = ActorLoad::from_constant_time(Rational::integer(10), 1, Rational::ZERO);
+        assert!(matches!(r, Err(ContentionError::NonPositivePeriod(_))));
+    }
+
+    #[test]
+    fn predicates() {
+        let idle = ActorLoad::new(Rational::ZERO, Rational::integer(5)).unwrap();
+        assert!(idle.is_idle());
+        assert!(!idle.is_saturating());
+        let sat = ActorLoad::new(Rational::ONE, Rational::integer(5)).unwrap();
+        assert!(sat.is_saturating());
+        assert_eq!(idle.expected_waiting(), Rational::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        let l = ActorLoad::new(Rational::new(1, 3), Rational::integer(50)).unwrap();
+        assert_eq!(l.to_string(), "P=1/3, µ=50");
+    }
+}

@@ -1,0 +1,261 @@
+//! Stochastic execution times — the extension the paper names in its
+//! conclusions: "the approach can be easily extended to varying execution
+//! times, for example, in data dependent executions where execution times
+//! are not fixed but follow a probabilistic distribution."
+//!
+//! For a random execution time `X`, renewal theory gives the blocking
+//! attributes observed by an actor arriving at a random instant:
+//!
+//! * blocking probability `P = E[X]·q / Per` (expected busy fraction), and
+//! * mean *residual* blocking time `µ = E[X²] / (2·E[X])` — the
+//!   inspection-paradox generalisation of the paper's `µ = τ/2` (which it
+//!   reduces to for a constant `X ≡ τ`, Equation 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use contention::{ActorLoad, ExecutionTime};
+//! use sdf::Rational;
+//!
+//! // A data-dependent actor: 60 time units in 3 of 4 firings, 140 in the rest.
+//! let x = ExecutionTime::discrete([
+//!     (Rational::integer(60), Rational::new(3, 4)),
+//!     (Rational::integer(140), Rational::new(1, 4)),
+//! ])?;
+//! assert_eq!(x.mean(), Rational::integer(80));
+//!
+//! let load = ActorLoad::from_distribution(&x, 1, Rational::integer(300))?;
+//! assert_eq!(load.probability(), Rational::new(80, 300));
+//! // µ = E[X²]/(2E[X]) = (0.75·3600 + 0.25·19600)/160 = 7600/160 = 47.5 > 40:
+//! // variability lengthens the observed residual (inspection paradox).
+//! assert_eq!(load.blocking_time(), Rational::new(95, 2));
+//! # Ok::<(), contention::ContentionError>(())
+//! ```
+
+use crate::load::ActorLoad;
+use crate::ContentionError;
+use sdf::Rational;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of actor execution times.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionTime {
+    /// The paper's base model: a constant time `τ`.
+    Constant(Rational),
+    /// Continuous uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive), must be positive.
+        lo: Rational,
+        /// Upper bound (inclusive), must be ≥ `lo`.
+        hi: Rational,
+    },
+    /// Finite discrete distribution of `(value, probability)` pairs.
+    Discrete(Vec<(Rational, Rational)>),
+}
+
+impl ExecutionTime {
+    /// Builds a constant distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`ContentionError::InvalidDistribution`] if `tau ≤ 0`.
+    pub fn constant(tau: Rational) -> Result<ExecutionTime, ContentionError> {
+        if !tau.is_positive() {
+            return Err(ContentionError::InvalidDistribution(
+                "constant execution time must be positive",
+            ));
+        }
+        Ok(ExecutionTime::Constant(tau))
+    }
+
+    /// Builds a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ContentionError::InvalidDistribution`] if `lo ≤ 0` or `hi < lo`.
+    pub fn uniform(lo: Rational, hi: Rational) -> Result<ExecutionTime, ContentionError> {
+        if !lo.is_positive() || hi < lo {
+            return Err(ContentionError::InvalidDistribution(
+                "uniform bounds must satisfy 0 < lo <= hi",
+            ));
+        }
+        Ok(ExecutionTime::Uniform { lo, hi })
+    }
+
+    /// Builds a discrete distribution; probabilities must be non-negative
+    /// and sum to 1, values must be positive.
+    ///
+    /// # Errors
+    ///
+    /// [`ContentionError::InvalidDistribution`] on any violation or an empty
+    /// support.
+    pub fn discrete(
+        entries: impl IntoIterator<Item = (Rational, Rational)>,
+    ) -> Result<ExecutionTime, ContentionError> {
+        let entries: Vec<_> = entries.into_iter().collect();
+        if entries.is_empty() {
+            return Err(ContentionError::InvalidDistribution(
+                "discrete distribution needs at least one outcome",
+            ));
+        }
+        let mut total = Rational::ZERO;
+        for (v, p) in &entries {
+            if !v.is_positive() {
+                return Err(ContentionError::InvalidDistribution(
+                    "execution times must be positive",
+                ));
+            }
+            if p.is_negative() {
+                return Err(ContentionError::InvalidDistribution(
+                    "probabilities must be non-negative",
+                ));
+            }
+            total += *p;
+        }
+        if total != Rational::ONE {
+            return Err(ContentionError::InvalidDistribution(
+                "probabilities must sum to one",
+            ));
+        }
+        Ok(ExecutionTime::Discrete(entries))
+    }
+
+    /// `E[X]`.
+    pub fn mean(&self) -> Rational {
+        match self {
+            ExecutionTime::Constant(t) => *t,
+            ExecutionTime::Uniform { lo, hi } => (*lo + *hi) / Rational::integer(2),
+            ExecutionTime::Discrete(entries) => {
+                entries.iter().map(|(v, p)| *v * *p).sum()
+            }
+        }
+    }
+
+    /// `E[X²]`.
+    pub fn second_moment(&self) -> Rational {
+        match self {
+            ExecutionTime::Constant(t) => *t * *t,
+            ExecutionTime::Uniform { lo, hi } => {
+                // ∫ x² / (hi-lo) dx over [lo,hi] = (lo² + lo·hi + hi²)/3
+                (*lo * *lo + *lo * *hi + *hi * *hi) / Rational::integer(3)
+            }
+            ExecutionTime::Discrete(entries) => {
+                entries.iter().map(|(v, p)| *v * *v * *p).sum()
+            }
+        }
+    }
+
+    /// Variance `E[X²] − E[X]²`.
+    pub fn variance(&self) -> Rational {
+        let m = self.mean();
+        self.second_moment() - m * m
+    }
+
+    /// Mean residual blocking time `E[X²] / (2·E[X])` — what an arriving
+    /// actor waits on average for an in-progress firing, length-biased by
+    /// the inspection paradox.
+    pub fn residual_blocking_time(&self) -> Rational {
+        self.second_moment() / (Rational::integer(2) * self.mean())
+    }
+}
+
+impl ActorLoad {
+    /// Load of an actor with stochastic execution time `dist`, firing
+    /// `repetition` times per period `period`: `P = E[X]·q/Per`,
+    /// `µ = E[X²]/(2E[X])`.
+    ///
+    /// # Errors
+    ///
+    /// Same domain errors as [`ActorLoad::from_constant_time`].
+    ///
+    /// # Examples
+    ///
+    /// See the [module documentation](self).
+    pub fn from_distribution(
+        dist: &ExecutionTime,
+        repetition: u64,
+        period: Rational,
+    ) -> Result<ActorLoad, ContentionError> {
+        if !period.is_positive() {
+            return Err(ContentionError::NonPositivePeriod(period));
+        }
+        let p = dist.mean() * Rational::integer(repetition as i128) / period;
+        ActorLoad::new(p, dist.residual_blocking_time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn constant_reduces_to_paper_model() {
+        let x = ExecutionTime::constant(Rational::integer(100)).unwrap();
+        assert_eq!(x.mean(), Rational::integer(100));
+        assert_eq!(x.residual_blocking_time(), Rational::integer(50)); // τ/2
+        assert_eq!(x.variance(), Rational::ZERO);
+        let load = ActorLoad::from_distribution(&x, 1, Rational::integer(300)).unwrap();
+        let paper =
+            ActorLoad::from_constant_time(Rational::integer(100), 1, Rational::integer(300))
+                .unwrap();
+        assert_eq!(load, paper);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let x = ExecutionTime::uniform(Rational::integer(10), Rational::integer(30)).unwrap();
+        assert_eq!(x.mean(), Rational::integer(20));
+        // E[X²] = (100 + 300 + 900)/3 = 1300/3; Var = 1300/3 − 400 = 100/3.
+        assert_eq!(x.second_moment(), r(1300, 3));
+        assert_eq!(x.variance(), r(100, 3));
+        // µ = (1300/3) / 40 = 65/6 > mean/2 = 10.
+        assert_eq!(x.residual_blocking_time(), r(65, 6));
+    }
+
+    #[test]
+    fn variability_raises_residual() {
+        // Same mean, increasing variance → increasing µ.
+        let constant = ExecutionTime::constant(Rational::integer(80)).unwrap();
+        let spread = ExecutionTime::discrete([
+            (Rational::integer(60), r(3, 4)),
+            (Rational::integer(140), r(1, 4)),
+        ])
+        .unwrap();
+        assert_eq!(constant.mean(), spread.mean());
+        assert!(spread.residual_blocking_time() > constant.residual_blocking_time());
+    }
+
+    #[test]
+    fn discrete_validation() {
+        assert!(ExecutionTime::discrete([]).is_err());
+        assert!(ExecutionTime::discrete([(Rational::integer(5), r(1, 2))]).is_err());
+        assert!(
+            ExecutionTime::discrete([(Rational::ZERO, Rational::ONE)]).is_err()
+        );
+        assert!(ExecutionTime::discrete([
+            (Rational::integer(5), r(3, 2)),
+            (Rational::integer(6), r(-1, 2)),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ExecutionTime::constant(Rational::ZERO).is_err());
+        assert!(
+            ExecutionTime::uniform(Rational::integer(5), Rational::integer(4)).is_err()
+        );
+        assert!(ExecutionTime::uniform(Rational::ZERO, Rational::ONE).is_err());
+    }
+
+    #[test]
+    fn degenerate_uniform_is_constant() {
+        let x = ExecutionTime::uniform(Rational::integer(7), Rational::integer(7)).unwrap();
+        assert_eq!(x.mean(), Rational::integer(7));
+        assert_eq!(x.residual_blocking_time(), r(7, 2));
+    }
+}

@@ -1,0 +1,217 @@
+//! Elementary symmetric polynomials over rationals.
+//!
+//! Equation 4 of the paper weighs the blocking probabilities of co-mapped
+//! actors through elementary symmetric polynomials
+//! `e_j(x₁,…,xₙ) = Σ_{i₁<…<i_j} x_{i₁}·…·x_{i_j}` (the paper cites
+//! Weisstein \[17\]). The paper reports the formula as `O(n·nⁿ)` because it
+//! expands the polynomials term by term; this module evaluates them with the
+//! standard Newton-style dynamic programme in `O(n·m)` for all degrees up to
+//! `m`, and with *deconvolution* to obtain the leave-one-out polynomials
+//! `e_j(x \ {x_i})` that Equation 4 needs — bringing the exact formula down
+//! to `O(n²)` in practice. A naive enumerator is retained for
+//! cross-validation in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use contention::symmetric::elementary_symmetric;
+//! use sdf::Rational;
+//!
+//! let xs = [Rational::integer(1), Rational::integer(2), Rational::integer(3)];
+//! let e = elementary_symmetric(&xs, 3);
+//! assert_eq!(e[0], Rational::integer(1));  // e₀ = 1
+//! assert_eq!(e[1], Rational::integer(6));  // 1+2+3
+//! assert_eq!(e[2], Rational::integer(11)); // 1·2+1·3+2·3
+//! assert_eq!(e[3], Rational::integer(6));  // 1·2·3
+//! ```
+
+use sdf::Rational;
+
+/// Evaluates `e_0 ..= e_min(max_degree, n)` of `values` by dynamic
+/// programming; entry `j` of the result is `e_j`.
+///
+/// `e_0 = 1` by convention; degrees above `values.len()` are zero and are
+/// not emitted.
+pub fn elementary_symmetric(values: &[Rational], max_degree: usize) -> Vec<Rational> {
+    let m = max_degree.min(values.len());
+    let mut e = vec![Rational::ZERO; m + 1];
+    e[0] = Rational::ONE;
+    for &x in values {
+        // In-place update from high degree to low: e_j += x · e_{j-1}.
+        for j in (1..=m).rev() {
+            let prev = e[j - 1];
+            e[j] += x * prev;
+        }
+    }
+    e
+}
+
+/// Like [`elementary_symmetric`], but every accumulated value is snapped to
+/// the `1/grid` lattice after each update.
+///
+/// Exact rational arithmetic cannot hold products of dozens of arbitrary
+/// probabilities in `i128`; quantising each DP cell bounds all denominators
+/// by `grid` while leaving inputs whose denominators divide `grid` exact.
+/// This is what [`crate::waiting_time`] uses internally (with
+/// [`crate::waiting::LATTICE`]).
+pub fn elementary_symmetric_quantized(
+    values: &[Rational],
+    max_degree: usize,
+    grid: i128,
+) -> Vec<Rational> {
+    let m = max_degree.min(values.len());
+    let mut e = vec![Rational::ZERO; m + 1];
+    e[0] = Rational::ONE;
+    for &x in values {
+        for j in (1..=m).rev() {
+            let prev = e[j - 1];
+            e[j] = (e[j] + x * prev).quantize(grid);
+        }
+    }
+    e
+}
+
+/// Given `e = elementary_symmetric(values, d)` over the *full* multiset,
+/// computes the leave-one-out polynomials `e_j(values \ {values[i]})` for
+/// `j = 0..=d-1` (degree `d-1` suffices for Equation 4, which sums over the
+/// other `n-1` actors).
+///
+/// Uses the deconvolution recurrence `ê_j = e_j − x_i · ê_{j-1}`.
+///
+/// # Examples
+///
+/// ```
+/// use contention::symmetric::{elementary_symmetric, leave_one_out};
+/// use sdf::Rational;
+///
+/// let xs = [Rational::integer(1), Rational::integer(2), Rational::integer(3)];
+/// let e = elementary_symmetric(&xs, 3);
+/// let without_2 = leave_one_out(&e, xs[1]);
+/// // e of {1, 3}: [1, 4, 3]
+/// assert_eq!(without_2, vec![
+///     Rational::integer(1),
+///     Rational::integer(4),
+///     Rational::integer(3),
+/// ]);
+/// ```
+pub fn leave_one_out(e: &[Rational], x: Rational) -> Vec<Rational> {
+    leave_one_out_impl(e, x, None)
+}
+
+/// [`leave_one_out`] with per-step lattice quantisation (companion of
+/// [`elementary_symmetric_quantized`]).
+pub fn leave_one_out_quantized(e: &[Rational], x: Rational, grid: i128) -> Vec<Rational> {
+    leave_one_out_impl(e, x, Some(grid))
+}
+
+fn leave_one_out_impl(e: &[Rational], x: Rational, grid: Option<i128>) -> Vec<Rational> {
+    if e.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(e.len() - 1);
+    let mut prev = Rational::ZERO;
+    for &ej in &e[..e.len() - 1] {
+        let mut without = ej - x * prev;
+        if let Some(g) = grid {
+            without = without.quantize(g);
+        }
+        out.push(without);
+        prev = without;
+    }
+    out
+}
+
+/// Naive `O(C(n, j))` enumeration of `e_j`; exponential, retained only to
+/// cross-check the DP in tests and to demonstrate the complexity the paper
+/// assigns to the un-optimised formula.
+pub fn elementary_symmetric_naive(values: &[Rational], degree: usize) -> Rational {
+    fn go(values: &[Rational], degree: usize, start: usize, acc: Rational) -> Rational {
+        if degree == 0 {
+            return acc;
+        }
+        let mut total = Rational::ZERO;
+        for i in start..values.len() {
+            total += go(values, degree - 1, i + 1, acc * values[i]);
+        }
+        total
+    }
+    if degree > values.len() {
+        return Rational::ZERO;
+    }
+    go(values, degree, 0, Rational::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn degree_zero_is_one() {
+        assert_eq!(elementary_symmetric(&[], 0), vec![Rational::ONE]);
+        assert_eq!(
+            elementary_symmetric(&[r(1, 2)], 0),
+            vec![Rational::ONE]
+        );
+    }
+
+    #[test]
+    fn matches_naive_on_fractions() {
+        let xs = [r(1, 3), r(1, 2), r(2, 5), r(3, 7), r(1, 11)];
+        let e = elementary_symmetric(&xs, xs.len());
+        for (j, &ej) in e.iter().enumerate() {
+            assert_eq!(ej, elementary_symmetric_naive(&xs, j), "degree {j}");
+        }
+    }
+
+    #[test]
+    fn truncated_degrees() {
+        let xs = [r(1, 2), r(1, 3), r(1, 5), r(1, 7)];
+        let e = elementary_symmetric(&xs, 2);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[2], elementary_symmetric_naive(&xs, 2));
+    }
+
+    #[test]
+    fn degree_above_n_is_zero() {
+        assert_eq!(elementary_symmetric_naive(&[r(1, 2)], 5), Rational::ZERO);
+    }
+
+    #[test]
+    fn leave_one_out_matches_direct() {
+        let xs = [r(1, 3), r(1, 2), r(2, 5), r(3, 7)];
+        let e = elementary_symmetric(&xs, xs.len());
+        for i in 0..xs.len() {
+            let rest: Vec<Rational> = xs
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != i)
+                .map(|(_, &x)| x)
+                .collect();
+            let direct = elementary_symmetric(&rest, rest.len());
+            assert_eq!(leave_one_out(&e, xs[i]), direct, "leaving out {i}");
+        }
+    }
+
+    #[test]
+    fn leave_one_out_duplicates() {
+        // Deconvolution must work when values repeat.
+        let xs = [r(1, 2), r(1, 2), r(1, 2)];
+        let e = elementary_symmetric(&xs, 3);
+        let rest = elementary_symmetric(&xs[..2], 2);
+        assert_eq!(leave_one_out(&e, r(1, 2)), rest);
+    }
+
+    #[test]
+    fn leave_one_out_empty() {
+        assert!(leave_one_out(&[], Rational::ONE).is_empty());
+        // e over one element, leave it out: e of {} truncated to degree -1
+        // yields just [1] sliced to len 0? Our convention: result has
+        // e.len()-1 entries.
+        let e = elementary_symmetric(&[r(1, 2)], 1);
+        assert_eq!(leave_one_out(&e, r(1, 2)), vec![Rational::ONE]);
+    }
+}

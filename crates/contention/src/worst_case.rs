@@ -1,0 +1,99 @@
+//! Worst-case response-time baselines the paper compares against.
+//!
+//! Two state-of-the-art (in 2007) conservative analyses:
+//!
+//! * **Non-preemptive round-robin / FCFS bound** (Hoes \[6\]): when an actor
+//!   arrives at a node, in the worst case every other co-mapped actor is
+//!   already queued ahead of it (and one may have just started), so it waits
+//!   the *full* execution time of each: `t_wait(a) = Σ_{b ≠ a} τ(b)`.
+//! * **Preemptive TDMA bound** (after Bekooij et al. \[3\]): with `k` actors
+//!   sharing a node under an equal-share TDMA wheel, an actor observes the
+//!   node at `1/k` of its speed, so its response time is `k·τ(a)` — i.e.
+//!   `t_wait(a) = (k − 1)·τ(a)`.
+//!
+//! Both bounds need only the execution times of co-mapped actors (the same
+//! limited information as the probabilistic model) but grow linearly with
+//! the number of co-mapped actors regardless of how often those actors
+//! actually fire — the lack of scalability the paper's Figure 6 exposes.
+//!
+//! # Examples
+//!
+//! ```
+//! use contention::worst_case::{round_robin_waiting_time, tdma_waiting_time};
+//! use sdf::Rational;
+//!
+//! let others = [Rational::integer(100), Rational::integer(50)];
+//! assert_eq!(round_robin_waiting_time(&others), Rational::integer(150));
+//! // TDMA: own τ = 40 sharing with 2 others → wait (3−1)·40 = 80.
+//! assert_eq!(tdma_waiting_time(Rational::integer(40), 2), Rational::integer(80));
+//! ```
+
+use sdf::Rational;
+
+/// Worst-case waiting time under non-preemptive round-robin/FCFS
+/// arbitration: the sum of the other actors' execution times.
+///
+/// # Examples
+///
+/// ```
+/// use contention::worst_case::round_robin_waiting_time;
+/// use sdf::Rational;
+/// assert_eq!(round_robin_waiting_time(&[]), Rational::ZERO);
+/// ```
+pub fn round_robin_waiting_time(other_execution_times: &[Rational]) -> Rational {
+    other_execution_times.iter().copied().sum()
+}
+
+/// Worst-case waiting time under an equal-share preemptive TDMA wheel with
+/// `other_count` co-mapped actors: `(k − 1)·τ` for `k = other_count + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use contention::worst_case::tdma_waiting_time;
+/// use sdf::Rational;
+/// // Alone on the node: no slow-down.
+/// assert_eq!(tdma_waiting_time(Rational::integer(9), 0), Rational::ZERO);
+/// ```
+pub fn tdma_waiting_time(own_execution_time: Rational, other_count: usize) -> Rational {
+    own_execution_time * Rational::integer(other_count as i128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_sums_others() {
+        let others = [
+            Rational::integer(10),
+            Rational::new(50, 3),
+            Rational::integer(7),
+        ];
+        assert_eq!(round_robin_waiting_time(&others), Rational::new(101, 3));
+    }
+
+    #[test]
+    fn tdma_scales_own_time() {
+        assert_eq!(
+            tdma_waiting_time(Rational::integer(25), 3),
+            Rational::integer(75)
+        );
+    }
+
+    #[test]
+    fn worst_case_dominates_probabilistic() {
+        // For any loads, the round-robin bound (full τ of everyone) exceeds
+        // the probabilistic expectation (µ·P ≤ τ/2 each).
+        use crate::load::ActorLoad;
+        use crate::waiting::{waiting_time, Order};
+        let taus = [Rational::integer(30), Rational::integer(40)];
+        let loads: Vec<ActorLoad> = taus
+            .iter()
+            .map(|&t| ActorLoad::from_constant_time(t, 1, Rational::integer(100)).unwrap())
+            .collect();
+        let prob = waiting_time(&loads, Order::Exact);
+        let wc = round_robin_waiting_time(&taus);
+        assert!(wc > prob);
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 6 — "Inaccuracy in application periods obtained through simulation
+//! and different analysis techniques", as a function of the number of
+//! concurrently executing applications.
+//!
+//! For every cardinality `k = 1..=n`, the mean absolute period deviation of
+//! each method over all use-cases with exactly `k` active applications.
+
+use crate::metrics::inaccuracy_at_cardinality;
+use crate::runner::Evaluation;
+use contention::Method;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One x-position of Figure 6: inaccuracy per method at `k` concurrent
+/// applications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Point {
+    /// Number of concurrently executing applications.
+    pub concurrent_apps: usize,
+    /// Mean absolute period inaccuracy (percent) per method display name.
+    pub inaccuracy: BTreeMap<String, f64>,
+}
+
+/// Builds the Figure 6 series from a finished [`Evaluation`] covering
+/// use-cases of cardinalities `1..=max_apps`.
+///
+/// Cardinalities with no evaluated use-case are skipped; methods with no
+/// data at some cardinality are omitted from that point.
+///
+/// # Examples
+///
+/// ```
+/// use experiments::{
+///     fig6::figure6,
+///     runner::{evaluate, EvalOptions},
+///     workload::paper_workload,
+/// };
+/// use contention::Method;
+/// use mpsoc_sim::SimConfig;
+/// use platform::{AppId, UseCase};
+///
+/// let spec = paper_workload(experiments::workload::DEFAULT_SEED)?;
+/// let cases = vec![
+///     UseCase::single(AppId(0)),
+///     UseCase::of(&[AppId(0), AppId(1)]),
+/// ];
+/// let mut opts = EvalOptions::default();
+/// opts.sim = SimConfig::with_horizon(20_000);
+/// let eval = evaluate(&spec, &cases, &opts)?;
+/// let points = figure6(&eval, 10);
+/// assert_eq!(points.len(), 2); // cardinalities 1 and 2 present
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn figure6(eval: &Evaluation, max_apps: usize) -> Vec<Fig6Point> {
+    let methods: Vec<Method> = [
+        Method::WorstCaseRoundRobin,
+        Method::WorstCaseTdma,
+        Method::Composability,
+        Method::FOURTH_ORDER,
+        Method::SECOND_ORDER,
+        Method::Exact,
+    ]
+    .into_iter()
+    .filter(|m| eval.methods.iter().any(|name| *name == m.to_string()))
+    .collect();
+
+    let mut points = Vec::new();
+    for k in 1..=max_apps {
+        let mut inaccuracy = BTreeMap::new();
+        for &method in &methods {
+            if let Some(v) = inaccuracy_at_cardinality(eval, method, k) {
+                inaccuracy.insert(method.to_string(), v);
+            }
+        }
+        if !inaccuracy.is_empty() {
+            points.push(Fig6Point {
+                concurrent_apps: k,
+                inaccuracy,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{evaluate, EvalOptions};
+    use crate::workload::{workload_with, DEFAULT_SEED};
+    use mpsoc_sim::SimConfig;
+    use platform::{AppId, UseCase};
+    use sdf::GeneratorConfig;
+
+    #[test]
+    fn single_app_inaccuracy_is_negligible() {
+        // Paper: "When there is only one application active in the system,
+        // the inaccuracy is zero for all the approaches, since there is no
+        // contention." (Ours is near-zero: the simulated average includes a
+        // short transient.)
+        let spec = workload_with(DEFAULT_SEED, 2, &GeneratorConfig::default()).unwrap();
+        let cases = vec![UseCase::single(AppId(0)), UseCase::single(AppId(1))];
+        let opts = EvalOptions {
+            methods: vec![Method::SECOND_ORDER, Method::WorstCaseRoundRobin],
+            sim: SimConfig::with_horizon(50_000),
+        };
+        let eval = evaluate(&spec, &cases, &opts).unwrap();
+        let points = figure6(&eval, 2);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].concurrent_apps, 1);
+        for (method, v) in &points[0].inaccuracy {
+            assert!(*v < 1.0, "{method}: {v}% at k=1");
+        }
+    }
+
+    #[test]
+    fn empty_cardinalities_skipped() {
+        let spec = workload_with(DEFAULT_SEED, 2, &GeneratorConfig::default()).unwrap();
+        let opts = EvalOptions {
+            methods: vec![Method::SECOND_ORDER],
+            sim: SimConfig::with_horizon(20_000),
+        };
+        let eval = evaluate(&spec, &[UseCase::full(2)], &opts).unwrap();
+        let points = figure6(&eval, 5);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].concurrent_apps, 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Inaccuracy metrics — "the mean absolute difference between the estimated
+//! and measured results, … averaged over all the use-cases" (Table 1).
+
+use crate::runner::{Evaluation, UseCaseEval};
+use contention::Method;
+
+/// Mean absolute percentage deviation of the estimated **period** from the
+/// simulated period, over every `(use-case, application)` pair in `cases`.
+///
+/// Returns `None` when no pair carries data for `method`.
+pub fn period_inaccuracy<'a>(
+    cases: impl IntoIterator<Item = &'a UseCaseEval>,
+    method: Method,
+) -> Option<f64> {
+    mean_abs_pct(cases, method, |sim| sim, |est| est)
+}
+
+/// Mean absolute percentage deviation of the estimated **throughput**
+/// (`1/period`) from the simulated throughput.
+pub fn throughput_inaccuracy<'a>(
+    cases: impl IntoIterator<Item = &'a UseCaseEval>,
+    method: Method,
+) -> Option<f64> {
+    mean_abs_pct(cases, method, |sim| 1.0 / sim, |est| 1.0 / est)
+}
+
+fn mean_abs_pct<'a>(
+    cases: impl IntoIterator<Item = &'a UseCaseEval>,
+    method: Method,
+    sim_map: impl Fn(f64) -> f64,
+    est_map: impl Fn(f64) -> f64,
+) -> Option<f64> {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for case in cases {
+        for (&app, stats) in &case.simulated {
+            let Some(est) = case.estimated_period(method, app) else {
+                continue;
+            };
+            let sim = sim_map(stats.average_period);
+            let est = est_map(est);
+            total += ((est - sim) / sim).abs() * 100.0;
+            count += 1;
+        }
+    }
+    (count > 0).then(|| total / count as f64)
+}
+
+/// Period inaccuracy over the whole evaluation (all use-cases) — the
+/// Table 1 "Period" column.
+pub fn overall_period_inaccuracy(eval: &Evaluation, method: Method) -> Option<f64> {
+    period_inaccuracy(&eval.cases, method)
+}
+
+/// Throughput inaccuracy over the whole evaluation — the Table 1
+/// "Throughput" column.
+pub fn overall_throughput_inaccuracy(eval: &Evaluation, method: Method) -> Option<f64> {
+    throughput_inaccuracy(&eval.cases, method)
+}
+
+/// Period inaccuracy restricted to use-cases of exactly `k` concurrent
+/// applications — one point of a Figure 6 series.
+pub fn inaccuracy_at_cardinality(eval: &Evaluation, method: Method, k: usize) -> Option<f64> {
+    period_inaccuracy(eval.cases_with_cardinality(k), method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SimStats;
+    use platform::{AppId, UseCase};
+    use std::collections::BTreeMap;
+
+    fn case(sim: f64, est: f64, method: Method, n_apps: usize) -> UseCaseEval {
+        let mut simulated = BTreeMap::new();
+        let mut per_app = BTreeMap::new();
+        for i in 0..n_apps {
+            simulated.insert(
+                AppId(i),
+                SimStats {
+                    average_period: sim,
+                    worst_period: sim * 2.0,
+                    iterations: 100,
+                },
+            );
+            per_app.insert(AppId(i), est);
+        }
+        let mut estimated = BTreeMap::new();
+        estimated.insert(method.to_string(), per_app);
+        UseCaseEval {
+            use_case: UseCase::full(n_apps),
+            simulated,
+            estimated,
+        }
+    }
+
+    #[test]
+    fn exact_match_is_zero() {
+        let c = case(100.0, 100.0, Method::SECOND_ORDER, 2);
+        assert_eq!(period_inaccuracy([&c], Method::SECOND_ORDER), Some(0.0));
+        assert_eq!(throughput_inaccuracy([&c], Method::SECOND_ORDER), Some(0.0));
+    }
+
+    #[test]
+    fn ten_percent_overestimate() {
+        let c = case(100.0, 110.0, Method::SECOND_ORDER, 3);
+        let p = period_inaccuracy([&c], Method::SECOND_ORDER).unwrap();
+        assert!((p - 10.0).abs() < 1e-9);
+        // Throughput deviation of a 10% period overestimate is |1/110-1/100|/(1/100) ≈ 9.09%.
+        let t = throughput_inaccuracy([&c], Method::SECOND_ORDER).unwrap();
+        assert!((t - (100.0_f64 / 110.0 - 1.0).abs() * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_method_is_none() {
+        let c = case(100.0, 110.0, Method::SECOND_ORDER, 1);
+        assert_eq!(period_inaccuracy([&c], Method::Exact), None);
+    }
+
+    #[test]
+    fn averages_over_cases() {
+        let a = case(100.0, 110.0, Method::SECOND_ORDER, 1); // 10 %
+        let b = case(100.0, 130.0, Method::SECOND_ORDER, 1); // 30 %
+        let p = period_inaccuracy([&a, &b], Method::SECOND_ORDER).unwrap();
+        assert!((p - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_and_over_estimates_both_count_positively() {
+        let a = case(100.0, 90.0, Method::SECOND_ORDER, 1); // −10 %
+        let b = case(100.0, 110.0, Method::SECOND_ORDER, 1); // +10 %
+        let p = period_inaccuracy([&a, &b], Method::SECOND_ORDER).unwrap();
+        assert!((p - 10.0).abs() < 1e-9, "mean |deviation|, not signed mean");
+    }
+}

@@ -1,0 +1,221 @@
+//! Evaluation runner: estimates and simulates sets of use-cases, collecting
+//! everything the table/figure modules need (including wall-clock
+//! accounting for the paper's timing comparison).
+
+use contention::{estimate, Estimate, Method};
+use mpsoc_sim::{simulate, SimConfig};
+use platform::{AppId, SystemSpec, UseCase};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Simulated statistics of one application in one use-case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Average steady-state period.
+    pub average_period: f64,
+    /// Worst observed inter-iteration gap.
+    pub worst_period: f64,
+    /// Completed iterations within the horizon.
+    pub iterations: u64,
+}
+
+/// Everything measured for one use-case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UseCaseEval {
+    /// The evaluated use-case.
+    pub use_case: UseCase,
+    /// Simulated statistics per active application.
+    pub simulated: BTreeMap<AppId, SimStats>,
+    /// Estimated period per method per active application.
+    pub estimated: BTreeMap<String, BTreeMap<AppId, f64>>,
+}
+
+impl UseCaseEval {
+    /// Estimated period of `app` under `method`, if recorded.
+    pub fn estimated_period(&self, method: Method, app: AppId) -> Option<f64> {
+        self.estimated.get(&method.to_string())?.get(&app).copied()
+    }
+}
+
+/// Aggregate outcome of an evaluation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Per-use-case data.
+    pub cases: Vec<UseCaseEval>,
+    /// Methods that were evaluated (display-name keys of
+    /// [`UseCaseEval::estimated`]).
+    pub methods: Vec<String>,
+    /// Total wall-clock spent in each estimation method.
+    pub analysis_time: BTreeMap<String, Duration>,
+    /// Total wall-clock spent simulating.
+    pub simulation_time: Duration,
+}
+
+impl Evaluation {
+    /// Number of evaluated use-cases.
+    pub fn case_count(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Use-cases of exactly `k` concurrent applications (the Figure 6
+    /// bucketing).
+    pub fn cases_with_cardinality(&self, k: usize) -> impl Iterator<Item = &UseCaseEval> {
+        self.cases.iter().filter(move |c| c.use_case.len() == k)
+    }
+}
+
+/// Options for [`evaluate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOptions {
+    /// The estimation methods to run.
+    pub methods: Vec<Method>,
+    /// Simulator configuration (horizon etc.).
+    pub sim: SimConfig,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            methods: Method::table1().to_vec(),
+            sim: SimConfig::with_horizon(50_000),
+        }
+    }
+}
+
+/// Runs every method and the simulator over `use_cases`.
+///
+/// # Errors
+///
+/// Propagates the first analysis or simulation failure as a boxed error
+/// (workloads from [`crate::workload`] cannot fail).
+///
+/// # Examples
+///
+/// ```
+/// use experiments::{runner::{evaluate, EvalOptions}, workload::paper_workload};
+/// use platform::UseCase;
+///
+/// let spec = paper_workload(experiments::workload::DEFAULT_SEED)?;
+/// let cases = vec![UseCase::full(2)]; // just {A, B} for the doctest
+/// let eval = evaluate(&spec, &cases, &EvalOptions::default())?;
+/// assert_eq!(eval.case_count(), 1);
+/// assert_eq!(eval.cases[0].simulated.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(
+    spec: &SystemSpec,
+    use_cases: &[UseCase],
+    options: &EvalOptions,
+) -> Result<Evaluation, Box<dyn std::error::Error>> {
+    let mut cases = Vec::with_capacity(use_cases.len());
+    let mut analysis_time: BTreeMap<String, Duration> = BTreeMap::new();
+    let mut simulation_time = Duration::ZERO;
+
+    for &uc in use_cases {
+        let mut estimated: BTreeMap<String, BTreeMap<AppId, f64>> = BTreeMap::new();
+        for &method in &options.methods {
+            let start = Instant::now();
+            let est: Estimate = estimate(spec, uc, method)?;
+            *analysis_time
+                .entry(method.to_string())
+                .or_insert(Duration::ZERO) += start.elapsed();
+            estimated.insert(
+                method.to_string(),
+                est.periods()
+                    .iter()
+                    .map(|(&a, p)| (a, p.to_f64()))
+                    .collect(),
+            );
+        }
+
+        let start = Instant::now();
+        let sim = simulate(spec, uc, options.sim)?;
+        simulation_time += start.elapsed();
+
+        let mut simulated = BTreeMap::new();
+        for m in sim.apps() {
+            let (Some(avg), Some(worst)) = (m.average_period(), m.worst_period()) else {
+                return Err(format!(
+                    "use-case {uc}: {} completed too few iterations within the horizon",
+                    m.app()
+                )
+                .into());
+            };
+            simulated.insert(
+                m.app(),
+                SimStats {
+                    average_period: avg,
+                    worst_period: worst as f64,
+                    iterations: m.iterations(),
+                },
+            );
+        }
+
+        cases.push(UseCaseEval {
+            use_case: uc,
+            simulated,
+            estimated,
+        });
+    }
+
+    Ok(Evaluation {
+        cases,
+        methods: options.methods.iter().map(|m| m.to_string()).collect(),
+        analysis_time,
+        simulation_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{paper_workload, DEFAULT_SEED};
+
+    #[test]
+    fn evaluate_small_set() {
+        let spec = paper_workload(DEFAULT_SEED).unwrap();
+        let cases = vec![
+            UseCase::single(AppId(0)),
+            UseCase::of(&[AppId(0), AppId(1)]),
+        ];
+        let opts = EvalOptions {
+            methods: vec![Method::SECOND_ORDER, Method::WorstCaseRoundRobin],
+            sim: SimConfig::with_horizon(30_000),
+        };
+        let eval = evaluate(&spec, &cases, &opts).unwrap();
+        assert_eq!(eval.case_count(), 2);
+        assert_eq!(eval.methods.len(), 2);
+        assert!(eval.analysis_time.len() == 2);
+        assert!(eval.simulation_time > Duration::ZERO);
+
+        // Single-app case: estimate equals isolation period; simulation
+        // matches it closely.
+        let single = &eval.cases[0];
+        let iso = spec.application(AppId(0)).isolation_period().to_f64();
+        let est = single
+            .estimated_period(Method::SECOND_ORDER, AppId(0))
+            .unwrap();
+        assert!((est - iso).abs() < 1e-9);
+        let sim = single.simulated[&AppId(0)].average_period;
+        assert!((sim - iso).abs() / iso < 0.05, "sim {sim} vs iso {iso}");
+    }
+
+    #[test]
+    fn cardinality_filter() {
+        let spec = paper_workload(DEFAULT_SEED).unwrap();
+        let cases = vec![
+            UseCase::single(AppId(0)),
+            UseCase::single(AppId(1)),
+            UseCase::of(&[AppId(0), AppId(1)]),
+        ];
+        let opts = EvalOptions {
+            methods: vec![Method::SECOND_ORDER],
+            sim: SimConfig::with_horizon(20_000),
+        };
+        let eval = evaluate(&spec, &cases, &opts).unwrap();
+        assert_eq!(eval.cases_with_cardinality(1).count(), 2);
+        assert_eq!(eval.cases_with_cardinality(2).count(), 1);
+        assert_eq!(eval.cases_with_cardinality(3).count(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Design sign-off: per-application guarantees across **all** use-cases.
+//!
+//! This is the artefact the paper's introduction motivates — "product
+//! divisions already report 60 % to 70 % of their effort being spent in
+//! verifying potential use-cases". With the analytical estimator, every one
+//! of the `2ⁿ − 1` use-cases gets a predicted period in milliseconds, and a
+//! designer reads off, per application: the worst predicted period over all
+//! use-cases it participates in, which use-case causes it, and which
+//! applications violate a throughput requirement in *some* use-case.
+//!
+//! # Examples
+//!
+//! ```
+//! use contention::Method;
+//! use experiments::signoff::sign_off;
+//! use experiments::workload::workload_with;
+//! use sdf::GeneratorConfig;
+//!
+//! let spec = workload_with(2007, 4, &GeneratorConfig::default())?;
+//! let report = sign_off(&spec, Method::Composability, None)?;
+//! assert_eq!(report.apps.len(), 4);
+//! // Every app's worst case is the full use-case or close to it.
+//! assert!(report.apps.iter().all(|a| a.worst_period >= a.isolation_period));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use contention::{estimate, Method};
+use platform::{AppId, SystemSpec, UseCase};
+use sdf::Rational;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Sign-off summary for one application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppSignOff {
+    /// The application.
+    pub app: AppId,
+    /// Display name.
+    pub name: String,
+    /// Period in isolation.
+    pub isolation_period: Rational,
+    /// Best (smallest) predicted period over all use-cases containing the
+    /// application — by monotonicity this is the singleton use-case.
+    pub best_period: Rational,
+    /// Worst (largest) predicted period over all use-cases containing the
+    /// application.
+    pub worst_period: Rational,
+    /// A use-case attaining [`AppSignOff::worst_period`].
+    pub worst_use_case: UseCase,
+    /// Use-cases (containing this application) whose predicted throughput
+    /// violates the requirement, if one was given.
+    pub violating_use_cases: Vec<UseCase>,
+}
+
+/// The full sign-off report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignOffReport {
+    /// Per-application summaries, in id order.
+    pub apps: Vec<AppSignOff>,
+    /// Number of use-cases analyzed (`2ⁿ − 1`).
+    pub use_cases_analyzed: usize,
+    /// The estimation method used.
+    pub method: String,
+}
+
+impl SignOffReport {
+    /// `true` iff no application violates its requirement in any use-case.
+    pub fn all_requirements_met(&self) -> bool {
+        self.apps.iter().all(|a| a.violating_use_cases.is_empty())
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Sign-off over {} use-cases ({}):",
+            self.use_cases_analyzed, self.method
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>12} {:>12} {:>14} {:>10}",
+            "app", "isolation", "best", "worst", "worst case", "violations"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(70));
+        for a in &self.apps {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10.1} {:>12.1} {:>12.1} {:>14} {:>10}",
+                a.name,
+                a.isolation_period.to_f64(),
+                a.best_period.to_f64(),
+                a.worst_period.to_f64(),
+                a.worst_use_case.to_string(),
+                a.violating_use_cases.len()
+            );
+        }
+        out
+    }
+}
+
+/// Analyzes every non-empty use-case of `spec` with `method` and aggregates
+/// per-application guarantees. `requirements` optionally maps applications
+/// to minimum throughputs to check in every use-case.
+///
+/// # Errors
+///
+/// Propagates the first estimator failure.
+///
+/// # Examples
+///
+/// See the [module documentation](self).
+pub fn sign_off(
+    spec: &SystemSpec,
+    method: Method,
+    requirements: Option<&BTreeMap<AppId, Rational>>,
+) -> Result<SignOffReport, Box<dyn std::error::Error>> {
+    let n = spec.application_count();
+    let mut per_app: BTreeMap<AppId, AppSignOff> = spec
+        .iter()
+        .map(|(id, app)| {
+            (
+                id,
+                AppSignOff {
+                    app: id,
+                    name: app.name().to_string(),
+                    isolation_period: app.isolation_period(),
+                    best_period: app.isolation_period(),
+                    worst_period: Rational::ZERO,
+                    worst_use_case: UseCase::single(id),
+                    violating_use_cases: Vec::new(),
+                },
+            )
+        })
+        .collect();
+
+    let mut analyzed = 0usize;
+    for uc in UseCase::iter_all(n) {
+        let est = estimate(spec, uc, method)?;
+        analyzed += 1;
+        for (&app, &period) in est.periods() {
+            let entry = per_app.get_mut(&app).expect("estimated app is in spec");
+            if period > entry.worst_period {
+                entry.worst_period = period;
+                entry.worst_use_case = uc;
+            }
+            entry.best_period = entry.best_period.min(period);
+            if let Some(req) = requirements.and_then(|r| r.get(&app)) {
+                if period.recip() < *req {
+                    entry.violating_use_cases.push(uc);
+                }
+            }
+        }
+    }
+
+    Ok(SignOffReport {
+        apps: per_app.into_values().collect(),
+        use_cases_analyzed: analyzed,
+        method: method.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{workload_with, DEFAULT_SEED};
+    use sdf::GeneratorConfig;
+
+    fn small_spec() -> SystemSpec {
+        workload_with(DEFAULT_SEED, 3, &GeneratorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn covers_all_use_cases() {
+        let spec = small_spec();
+        let report = sign_off(&spec, Method::Composability, None).unwrap();
+        assert_eq!(report.use_cases_analyzed, 7); // 2³ − 1
+        assert_eq!(report.apps.len(), 3);
+        assert!(report.all_requirements_met());
+    }
+
+    #[test]
+    fn best_is_isolation_and_worst_is_monotone() {
+        let spec = small_spec();
+        let report = sign_off(&spec, Method::SECOND_ORDER, None).unwrap();
+        for a in &report.apps {
+            assert_eq!(a.best_period, a.isolation_period, "{}", a.name);
+            assert!(a.worst_period >= a.isolation_period, "{}", a.name);
+            // Worst case includes every other application (maximum
+            // contention dominates under the single-pass model).
+            assert_eq!(a.worst_use_case.len(), 3, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn requirements_flag_violations() {
+        let spec = small_spec();
+        // Demand full isolation throughput from app 0: every multi-app
+        // use-case containing it violates.
+        let mut reqs = BTreeMap::new();
+        reqs.insert(AppId(0), spec.application(AppId(0)).isolation_throughput());
+        let report = sign_off(&spec, Method::Composability, Some(&reqs)).unwrap();
+        assert!(!report.all_requirements_met());
+        let a0 = &report.apps[0];
+        // App 0 participates in 4 use-cases; the 3 contended ones violate.
+        assert_eq!(a0.violating_use_cases.len(), 3);
+        assert!(report.apps[1].violating_use_cases.is_empty());
+    }
+
+    #[test]
+    fn render_contains_headline_fields() {
+        let spec = small_spec();
+        let report = sign_off(&spec, Method::Composability, None).unwrap();
+        let text = report.render();
+        assert!(text.contains("Sign-off over 7 use-cases"));
+        assert!(text.contains("App0") || text.contains("A"));
+        assert!(text.contains("worst"));
+    }
+}

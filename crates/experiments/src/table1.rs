@@ -1,0 +1,101 @@
+//! Table 1 — "Measured inaccuracy for throughput and period as compared
+//! with simulation results. The complexity of all the algorithms is also
+//! shown."
+
+use crate::metrics::{overall_period_inaccuracy, overall_throughput_inaccuracy};
+use crate::runner::Evaluation;
+use contention::Method;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The estimation method (paper row label).
+    pub method: String,
+    /// Mean absolute throughput inaccuracy in percent.
+    pub throughput_inaccuracy: f64,
+    /// Mean absolute period inaccuracy in percent.
+    pub period_inaccuracy: f64,
+    /// Asymptotic complexity as reported by the paper.
+    pub complexity: &'static str,
+}
+
+/// The paper's row label and complexity annotation for each method.
+pub fn method_label(method: Method) -> (&'static str, &'static str) {
+    match method {
+        Method::WorstCaseRoundRobin => ("Worst Case", "O(n)"),
+        Method::WorstCaseTdma => ("Worst Case (TDMA)", "O(n)"),
+        Method::Composability => ("Composability", "O(n)"),
+        Method::FOURTH_ORDER => ("Fourth Order", "O(n^4)"),
+        Method::SECOND_ORDER => ("Second Order", "O(n^2)"),
+        Method::Order(_) => ("m-th Order", "O(n^m)"),
+        Method::Exact => ("Exact (Eq. 4)", "O(n^2)*"),
+    }
+}
+
+/// Computes Table 1 from a finished [`Evaluation`]. Rows appear in the
+/// paper's order for the methods present in the evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use experiments::{
+///     runner::{evaluate, EvalOptions},
+///     table1::table1,
+///     workload::{paper_workload, DEFAULT_SEED},
+/// };
+/// use platform::UseCase;
+///
+/// let spec = paper_workload(DEFAULT_SEED)?;
+/// let eval = evaluate(&spec, &[UseCase::full(3)], &EvalOptions::default())?;
+/// let rows = table1(&eval);
+/// assert_eq!(rows.len(), 4);
+/// assert_eq!(rows[0].method, "Worst Case");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn table1(eval: &Evaluation) -> Vec<Table1Row> {
+    let order = [
+        Method::WorstCaseRoundRobin,
+        Method::WorstCaseTdma,
+        Method::Composability,
+        Method::FOURTH_ORDER,
+        Method::SECOND_ORDER,
+        Method::Exact,
+    ];
+    let mut rows = Vec::new();
+    for method in order {
+        if !eval.methods.iter().any(|m| *m == method.to_string()) {
+            continue;
+        }
+        let (label, complexity) = method_label(method);
+        let (Some(thr), Some(per)) = (
+            overall_throughput_inaccuracy(eval, method),
+            overall_period_inaccuracy(eval, method),
+        ) else {
+            continue;
+        };
+        rows.push(Table1Row {
+            method: label.to_string(),
+            throughput_inaccuracy: thr,
+            period_inaccuracy: per,
+            complexity,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(
+            method_label(Method::WorstCaseRoundRobin),
+            ("Worst Case", "O(n)")
+        );
+        assert_eq!(method_label(Method::Composability), ("Composability", "O(n)"));
+        assert_eq!(method_label(Method::FOURTH_ORDER), ("Fourth Order", "O(n^4)"));
+        assert_eq!(method_label(Method::SECOND_ORDER), ("Second Order", "O(n^2)"));
+    }
+}

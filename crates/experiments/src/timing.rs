@@ -1,0 +1,102 @@
+//! The timing comparison of Section 5: "The simulation of all possible
+//! use-cases … took a total of 23 hours …. In contrast, analysis for all
+//! four approaches was completed in only about 10 minutes."
+//!
+//! Absolute numbers are hardware-bound; the reproduced claim is the *orders
+//! of magnitude* between exhaustive simulation and the analytical estimates.
+
+use crate::runner::Evaluation;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Wall-clock summary of one evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingSummary {
+    /// Number of use-cases covered.
+    pub use_cases: usize,
+    /// Total simulation wall-clock.
+    pub simulation: Duration,
+    /// Total analysis wall-clock per method.
+    pub analysis: BTreeMap<String, Duration>,
+    /// Simulation time divided by analysis time, per method ("how many times
+    /// faster is the analysis").
+    pub speedup: BTreeMap<String, f64>,
+}
+
+impl TimingSummary {
+    /// Extracts the timing summary from a finished [`Evaluation`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use experiments::{
+    ///     runner::{evaluate, EvalOptions},
+    ///     timing::TimingSummary,
+    ///     workload::paper_workload,
+    /// };
+    /// use platform::UseCase;
+    ///
+    /// let spec = paper_workload(experiments::workload::DEFAULT_SEED)?;
+    /// let eval = evaluate(&spec, &[UseCase::full(2)], &EvalOptions::default())?;
+    /// let t = TimingSummary::from_evaluation(&eval);
+    /// assert_eq!(t.use_cases, 1);
+    /// assert!(t.simulation.as_nanos() > 0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_evaluation(eval: &Evaluation) -> TimingSummary {
+        let mut speedup = BTreeMap::new();
+        for (method, t) in &eval.analysis_time {
+            let ratio = if t.as_secs_f64() > 0.0 {
+                eval.simulation_time.as_secs_f64() / t.as_secs_f64()
+            } else {
+                f64::INFINITY
+            };
+            speedup.insert(method.clone(), ratio);
+        }
+        TimingSummary {
+            use_cases: eval.case_count(),
+            simulation: eval.simulation_time,
+            analysis: eval.analysis_time.clone(),
+            speedup,
+        }
+    }
+
+    /// Total analysis time summed over every method.
+    pub fn total_analysis(&self) -> Duration {
+        self.analysis.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{evaluate, EvalOptions};
+    use crate::workload::{workload_with, DEFAULT_SEED};
+    use contention::Method;
+    use mpsoc_sim::SimConfig;
+    use platform::UseCase;
+    use sdf::GeneratorConfig;
+
+    #[test]
+    fn analysis_beats_simulation() {
+        // The headline claim, on a miniature instance: with the paper-scale
+        // horizon the simulator does orders of magnitude more work than the
+        // estimator.
+        let spec = workload_with(DEFAULT_SEED, 3, &GeneratorConfig::default()).unwrap();
+        let opts = EvalOptions {
+            methods: vec![Method::Composability],
+            sim: SimConfig::with_horizon(500_000),
+        };
+        let eval = evaluate(&spec, &[UseCase::full(3)], &opts).unwrap();
+        let t = TimingSummary::from_evaluation(&eval);
+        let speedup = t.speedup[&Method::Composability.to_string()];
+        assert!(
+            speedup > 1.0,
+            "simulation ({:?}) should dominate analysis ({:?})",
+            t.simulation,
+            t.analysis
+        );
+        assert!(t.total_analysis() > Duration::ZERO);
+    }
+}

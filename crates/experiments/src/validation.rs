@@ -1,0 +1,239 @@
+//! Model validation beyond the paper's figures: predicted vs *observed*
+//! waiting times and node pressure.
+//!
+//! The paper validates its model end-to-end (estimated period vs simulated
+//! period). The instrumented simulator lets this reproduction also validate
+//! the model's *internals*:
+//!
+//! * per actor, the predicted waiting time `t_wait` (Equation 4/5) against
+//!   the mean request-to-grant delay measured in simulation;
+//! * per node, the utilisation implied by the blocking probabilities
+//!   (`Σ P(a)` over resident actors, an upper bound that ignores queueing
+//!   stretch) against the measured busy fraction.
+//!
+//! This is where the independence assumption ("arrival of actors on a node
+//! is independent … not always valid", Section 3.1) becomes visible and
+//! quantifiable.
+
+use contention::{estimate, Method};
+use mpsoc_sim::{simulate, SimConfig};
+use platform::{AppId, SystemSpec, UseCase};
+use sdf::ActorId;
+use serde::{Deserialize, Serialize};
+
+/// One actor's predicted-vs-observed waiting time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaitingTimeSample {
+    /// The application.
+    pub app: AppId,
+    /// The actor.
+    pub actor: ActorId,
+    /// Waiting time predicted by the estimator (last pass).
+    pub predicted: f64,
+    /// Mean request-to-grant delay observed in simulation.
+    pub observed: f64,
+}
+
+/// One node's predicted-vs-observed occupancy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Node index.
+    pub node: usize,
+    /// `Σ P(a)` over the actors resident on the node (isolation-period
+    /// probabilities — ≥ the achievable busy fraction once contention
+    /// stretches the periods).
+    pub predicted_pressure: f64,
+    /// Measured busy fraction.
+    pub observed_utilization: f64,
+}
+
+/// Result of one validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Validation {
+    /// Per-actor waiting-time comparison.
+    pub waiting: Vec<WaitingTimeSample>,
+    /// Per-node utilisation comparison.
+    pub utilization: Vec<UtilizationSample>,
+}
+
+impl Validation {
+    /// Mean absolute deviation of predicted from observed waiting times, in
+    /// time units (not percent — observed waits can be zero).
+    pub fn mean_absolute_waiting_error(&self) -> f64 {
+        if self.waiting.is_empty() {
+            return 0.0;
+        }
+        self.waiting
+            .iter()
+            .map(|s| (s.predicted - s.observed).abs())
+            .sum::<f64>()
+            / self.waiting.len() as f64
+    }
+
+    /// Pearson correlation between predicted and observed waiting times
+    /// (`None` if degenerate).
+    pub fn waiting_correlation(&self) -> Option<f64> {
+        let n = self.waiting.len();
+        if n < 2 {
+            return None;
+        }
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for s in &self.waiting {
+            sx += s.predicted;
+            sy += s.observed;
+        }
+        let (mx, my) = (sx / n as f64, sy / n as f64);
+        let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+        for s in &self.waiting {
+            cov += (s.predicted - mx) * (s.observed - my);
+            vx += (s.predicted - mx).powi(2);
+            vy += (s.observed - my).powi(2);
+        }
+        let denom = (vx * vy).sqrt();
+        (denom > 0.0).then(|| cov / denom)
+    }
+}
+
+/// Runs one use-case through the estimator (`method`) and the simulator and
+/// pairs up the internal quantities.
+///
+/// # Errors
+///
+/// Propagates estimator/simulator failures.
+///
+/// # Examples
+///
+/// ```
+/// use contention::Method;
+/// use experiments::validation::validate_internals;
+/// use experiments::workload::paper_workload;
+/// use mpsoc_sim::SimConfig;
+/// use platform::UseCase;
+///
+/// let spec = paper_workload(experiments::workload::DEFAULT_SEED)?;
+/// let v = validate_internals(
+///     &spec,
+///     UseCase::full(3),
+///     Method::SECOND_ORDER,
+///     SimConfig::with_horizon(30_000),
+/// )?;
+/// assert!(!v.waiting.is_empty());
+/// // Predictions and observations correlate strongly.
+/// assert!(v.waiting_correlation().unwrap_or(0.0) > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn validate_internals(
+    spec: &SystemSpec,
+    use_case: UseCase,
+    method: Method,
+    sim_config: SimConfig,
+) -> Result<Validation, Box<dyn std::error::Error>> {
+    let est = estimate(spec, use_case, method)?;
+    let sim = simulate(spec, use_case, sim_config)?;
+
+    let mut waiting = Vec::new();
+    for (&(app, actor), &predicted) in est.waiting_times() {
+        let Some(stats) = sim.actor_stats(app, actor) else {
+            continue;
+        };
+        let Some(observed) = stats.mean_wait() else {
+            continue;
+        };
+        waiting.push(WaitingTimeSample {
+            app,
+            actor,
+            predicted: predicted.to_f64(),
+            observed,
+        });
+    }
+
+    let mut utilization = Vec::new();
+    for (node_idx, stats) in sim.node_stats().iter().enumerate() {
+        let mut pressure = 0.0;
+        for (app, actor) in
+            spec.actors_on_node(platform::NodeId(node_idx), use_case)
+        {
+            let a = spec.application(app);
+            let tau = a.graph().execution_time(actor).to_f64();
+            let q = a.repetition_vector().get(actor) as f64;
+            pressure += tau * q / a.isolation_period().to_f64();
+        }
+        utilization.push(UtilizationSample {
+            node: node_idx,
+            predicted_pressure: pressure,
+            observed_utilization: stats.utilization(sim.end_time()),
+        });
+    }
+
+    Ok(Validation {
+        waiting,
+        utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{paper_workload, workload_with, DEFAULT_SEED};
+    use sdf::GeneratorConfig;
+
+    #[test]
+    fn waiting_predictions_track_observations() {
+        let spec = paper_workload(DEFAULT_SEED).unwrap();
+        let v = validate_internals(
+            &spec,
+            UseCase::full(4),
+            Method::Exact,
+            SimConfig::with_horizon(100_000),
+        )
+        .unwrap();
+        // 4 apps × 8-10 actors of samples.
+        assert!(v.waiting.len() >= 32);
+        let r = v.waiting_correlation().expect("non-degenerate");
+        assert!(r > 0.5, "waiting-time correlation too weak: {r}");
+    }
+
+    #[test]
+    fn single_app_predictions_are_exactly_zero() {
+        let spec = workload_with(DEFAULT_SEED, 1, &GeneratorConfig::default()).unwrap();
+        let v = validate_internals(
+            &spec,
+            UseCase::single(AppId(0)),
+            Method::SECOND_ORDER,
+            SimConfig::with_horizon(50_000),
+        )
+        .unwrap();
+        for s in &v.waiting {
+            assert_eq!(s.predicted, 0.0);
+            assert_eq!(s.observed, 0.0);
+        }
+        assert_eq!(v.mean_absolute_waiting_error(), 0.0);
+    }
+
+    #[test]
+    fn observed_utilization_below_predicted_pressure() {
+        // Queueing stretches periods, so the achieved busy fraction cannot
+        // exceed the isolation-period pressure by construction (pressure
+        // counts each actor at its *fastest* possible rate). Allow a small
+        // transient slack.
+        let spec = paper_workload(DEFAULT_SEED).unwrap();
+        let v = validate_internals(
+            &spec,
+            UseCase::full(10),
+            Method::SECOND_ORDER,
+            SimConfig::with_horizon(100_000),
+        )
+        .unwrap();
+        assert_eq!(v.utilization.len(), 10);
+        for u in &v.utilization {
+            assert!(
+                u.observed_utilization <= u.predicted_pressure + 0.05,
+                "node {}: observed {} vs pressure {}",
+                u.node,
+                u.observed_utilization,
+                u.predicted_pressure
+            );
+            assert!(u.observed_utilization > 0.0);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Simulation metrics: per-application iteration tracking and period
+//! statistics.
+
+use crate::config::SimConfig;
+use platform::{AppId, SystemSpec, UseCase};
+use sdf::ActorId;
+use serde::{Deserialize, Serialize};
+
+/// Per-application measurement state and derived statistics.
+///
+/// An application completes one *iteration* each time its reference actor
+/// (actor 0) completes `q(actor 0)` firings — the repetition-vector
+/// definition of an iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppMetrics {
+    app: AppId,
+    q_ref: u64,
+    ref_completions: u64,
+    total_firings: u64,
+    iteration_times: Vec<u64>,
+}
+
+impl AppMetrics {
+    pub(crate) fn new(app: AppId, q_ref: u64) -> AppMetrics {
+        AppMetrics {
+            app,
+            q_ref,
+            ref_completions: 0,
+            total_firings: 0,
+            iteration_times: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_completion(&mut self, actor: ActorId, time: u64) {
+        self.total_firings += 1;
+        if actor.index() == 0 {
+            self.ref_completions += 1;
+            if self.ref_completions.is_multiple_of(self.q_ref) {
+                self.iteration_times.push(time);
+            }
+        }
+    }
+
+    /// The application these metrics belong to.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// Number of completed iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iteration_times.len() as u64
+    }
+
+    /// Total firings of all actors.
+    pub fn total_firings(&self) -> u64 {
+        self.total_firings
+    }
+
+    /// Completion time of every iteration, ascending.
+    pub fn iteration_times(&self) -> &[u64] {
+        &self.iteration_times
+    }
+
+    /// Average period over the post-warm-up window (`None` when fewer than
+    /// two iterations survive the warm-up cut).
+    pub fn average_period_with_warmup(&self, warmup_fraction: f64) -> Option<f64> {
+        let n = self.iteration_times.len();
+        let skip = ((n as f64) * warmup_fraction).floor() as usize;
+        let window = &self.iteration_times[skip.min(n.saturating_sub(2))..];
+        if window.len() < 2 {
+            return None;
+        }
+        let span = (window[window.len() - 1] - window[0]) as f64;
+        Some(span / (window.len() - 1) as f64)
+    }
+
+    /// Average period with the default 25 % warm-up cut.
+    pub fn average_period(&self) -> Option<f64> {
+        self.average_period_with_warmup(0.25)
+    }
+
+    /// Worst (largest) gap between consecutive iteration completions — the
+    /// "Simulated Worst Case" series of the paper's Figure 5.
+    pub fn worst_period(&self) -> Option<u64> {
+        self.iteration_times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+    }
+
+    /// Best (smallest) inter-iteration gap.
+    pub fn best_period(&self) -> Option<u64> {
+        self.iteration_times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .min()
+    }
+
+    /// Throughput (iterations per time unit) over the measurement window.
+    pub fn average_throughput(&self) -> Option<f64> {
+        self.average_period().map(|p| 1.0 / p)
+    }
+}
+
+/// Observed queueing statistics of one actor: how often it requested its
+/// node and how long it actually waited — the empirical counterpart of the
+/// model's predicted `t_wait` (used by the validation experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ActorStats {
+    /// Number of node requests (= granted firings).
+    pub requests: u64,
+    /// Total time spent between request and grant.
+    pub total_wait: u64,
+}
+
+impl ActorStats {
+    /// Mean waiting time per request (`None` before the first request).
+    pub fn mean_wait(&self) -> Option<f64> {
+        (self.requests > 0).then(|| self.total_wait as f64 / self.requests as f64)
+    }
+}
+
+/// Observed occupancy of one processing node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct NodeStats {
+    /// Total time the node spent executing firings.
+    pub busy_time: u64,
+    /// Firings granted on this node.
+    pub grants: u64,
+}
+
+impl NodeStats {
+    /// Fraction of the run the node was busy — the empirical counterpart of
+    /// the combined blocking pressure the model derives from the `P(a)`.
+    pub fn utilization(&self, end_time: u64) -> f64 {
+        if end_time == 0 {
+            0.0
+        } else {
+            self.busy_time as f64 / end_time as f64
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    use_case: UseCase,
+    config: SimConfig,
+    end_time: u64,
+    events_processed: u64,
+    apps: Vec<AppMetrics>,
+    actor_stats: std::collections::BTreeMap<(AppId, sdf::ActorId), ActorStats>,
+    node_stats: Vec<NodeStats>,
+    trace: Option<Vec<crate::trace::TraceEvent>>,
+}
+
+impl SimResult {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        use_case: UseCase,
+        config: SimConfig,
+        end_time: u64,
+        events_processed: u64,
+        apps: Vec<AppMetrics>,
+        actor_stats: std::collections::BTreeMap<(AppId, sdf::ActorId), ActorStats>,
+        node_stats: Vec<NodeStats>,
+        trace: Option<Vec<crate::trace::TraceEvent>>,
+        _spec: &SystemSpec,
+    ) -> SimResult {
+        SimResult {
+            use_case,
+            config,
+            end_time,
+            events_processed,
+            apps,
+            actor_stats,
+            node_stats,
+            trace,
+        }
+    }
+
+    /// The recorded execution trace, if [`SimConfig::trace`] was enabled.
+    pub fn trace(&self) -> Option<&[crate::trace::TraceEvent]> {
+        self.trace.as_deref()
+    }
+
+    /// Observed queueing statistics of one actor.
+    pub fn actor_stats(&self, app: AppId, actor: sdf::ActorId) -> Option<ActorStats> {
+        self.actor_stats.get(&(app, actor)).copied()
+    }
+
+    /// All per-actor statistics.
+    pub fn all_actor_stats(
+        &self,
+    ) -> &std::collections::BTreeMap<(AppId, sdf::ActorId), ActorStats> {
+        &self.actor_stats
+    }
+
+    /// Observed occupancy per node (indexed by node id).
+    pub fn node_stats(&self) -> &[NodeStats] {
+        &self.node_stats
+    }
+
+    /// The simulated use-case.
+    pub fn use_case(&self) -> UseCase {
+        self.use_case
+    }
+
+    /// The configuration of the run.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Simulation end time (≤ horizon).
+    pub fn end_time(&self) -> u64 {
+        self.end_time
+    }
+
+    /// Number of firing-completion events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Metrics of one application, if it was active.
+    pub fn app(&self, app: AppId) -> Option<&AppMetrics> {
+        self.apps.iter().find(|m| m.app() == app)
+    }
+
+    /// Metrics of every active application.
+    pub fn apps(&self) -> &[AppMetrics] {
+        &self.apps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_with_times(times: &[u64]) -> AppMetrics {
+        let mut m = AppMetrics::new(AppId(0), 1);
+        for &t in times {
+            m.record_completion(ActorId(0), t);
+        }
+        m
+    }
+
+    #[test]
+    fn iteration_counting_respects_q() {
+        let mut m = AppMetrics::new(AppId(0), 2);
+        for t in [10, 20, 30, 40, 50] {
+            m.record_completion(ActorId(0), t);
+        }
+        // Every 2nd completion of actor 0 closes an iteration: at 20 and 40.
+        assert_eq!(m.iterations(), 2);
+        assert_eq!(m.iteration_times(), &[20, 40]);
+        assert_eq!(m.total_firings(), 5);
+    }
+
+    #[test]
+    fn non_reference_actors_do_not_close_iterations() {
+        let mut m = AppMetrics::new(AppId(0), 1);
+        m.record_completion(ActorId(1), 10);
+        m.record_completion(ActorId(2), 20);
+        assert_eq!(m.iterations(), 0);
+        assert_eq!(m.total_firings(), 2);
+    }
+
+    #[test]
+    fn average_period_steady_state() {
+        // Transient of 100 then steady 50: warm-up cut removes the spike.
+        let m = metrics_with_times(&[100, 150, 200, 250, 300, 350, 400, 450]);
+        assert_eq!(m.average_period(), Some(50.0));
+    }
+
+    #[test]
+    fn average_period_needs_two_points() {
+        assert_eq!(metrics_with_times(&[5]).average_period(), None);
+        assert_eq!(metrics_with_times(&[]).average_period(), None);
+        assert_eq!(metrics_with_times(&[5, 15]).average_period(), Some(10.0));
+    }
+
+    #[test]
+    fn worst_and_best_period() {
+        let m = metrics_with_times(&[0, 100, 130, 230]);
+        assert_eq!(m.worst_period(), Some(100));
+        assert_eq!(m.best_period(), Some(30));
+        assert_eq!(metrics_with_times(&[7]).worst_period(), None);
+    }
+
+    #[test]
+    fn throughput_is_reciprocal() {
+        let m = metrics_with_times(&[0, 50, 100, 150]);
+        let p = m.average_period().unwrap();
+        assert!((m.average_throughput().unwrap() - 1.0 / p).abs() < 1e-12);
+    }
+}

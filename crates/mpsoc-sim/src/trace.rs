@@ -1,0 +1,173 @@
+//! Execution tracing: a per-firing event log and a text Gantt renderer.
+//!
+//! Tracing is off by default (the paper-scale runs process millions of
+//! firings); enable it with [`crate::SimConfig::trace`] for debugging and
+//! for visualising how contention serialises co-mapped actors.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpsoc_sim::{simulate, SimConfig};
+//! use mpsoc_sim::trace::render_gantt;
+//! use platform::{Application, Mapping, SystemSpec, UseCase};
+//! use sdf::figure2_graphs;
+//!
+//! let (a, b) = figure2_graphs();
+//! let spec = SystemSpec::builder()
+//!     .application(Application::new("A", a)?)
+//!     .application(Application::new("B", b)?)
+//!     .mapping(Mapping::by_actor_index(3))
+//!     .build()?;
+//! let mut config = SimConfig::with_horizon(1_200);
+//! config.trace = true;
+//! let result = simulate(&spec, UseCase::full(2), config)?;
+//! let gantt = render_gantt(result.trace().unwrap(), 3, 60);
+//! assert!(gantt.contains("node#0"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use platform::{AppId, NodeId};
+use sdf::ActorId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write;
+
+/// What happened in one trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The actor requested its node (became enabled and queued).
+    Request,
+    /// The node granted the actor; the firing started (tokens consumed).
+    Start,
+    /// The firing completed (tokens produced, node released).
+    Complete,
+}
+
+/// One record of the execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: u64,
+    /// The node involved.
+    pub node: NodeId,
+    /// The application owning the actor.
+    pub app: AppId,
+    /// The actor.
+    pub actor: ActorId,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// Renders a text Gantt chart of the trace: one row per node, time bucketed
+/// into `width` columns over `[0, max time]`. Each busy bucket shows the
+/// application index occupying the node (`.` = idle, `*` = multiple
+/// applications within one bucket).
+///
+/// Returns an empty string for an empty trace.
+pub fn render_gantt(trace: &[TraceEvent], node_count: usize, width: usize) -> String {
+    let Some(end) = trace.iter().map(|e| e.time).max().filter(|&t| t > 0) else {
+        return String::new();
+    };
+    let width = width.max(1);
+
+    // Reconstruct busy intervals per node from Start/Complete pairs.
+    let mut rows = vec![vec![None::<usize>; width]; node_count];
+    let mut open: std::collections::HashMap<(usize, usize, usize), u64> =
+        std::collections::HashMap::new();
+    let mark = |node: usize, from: u64, to: u64, app: usize, rows: &mut Vec<Vec<Option<usize>>>| {
+        let lo = (from as u128 * width as u128 / end as u128) as usize;
+        let hi = ((to as u128 * width as u128).div_ceil(end as u128) as usize).min(width);
+        for cell in rows[node][lo..hi].iter_mut() {
+            *cell = match *cell {
+                None => Some(app),
+                Some(prev) if prev == app => Some(app),
+                Some(_) => Some(usize::MAX), // mixed bucket
+            };
+        }
+    };
+    for e in trace {
+        let key = (e.node.index(), e.app.index(), e.actor.index());
+        match e.kind {
+            TraceKind::Start => {
+                open.insert(key, e.time);
+            }
+            TraceKind::Complete => {
+                if let Some(from) = open.remove(&key) {
+                    if e.node.index() < node_count {
+                        mark(e.node.index(), from, e.time, e.app.index(), &mut rows);
+                    }
+                }
+            }
+            TraceKind::Request => {}
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(out, "{:<8}|", format!("node#{i}"));
+        for cell in row {
+            let ch = match cell {
+                None => '.',
+                Some(usize::MAX) => '*',
+                Some(app) => char::from_digit((*app % 36) as u32, 36).unwrap_or('?'),
+            };
+            out.push(ch);
+        }
+        out.push_str("|\n");
+    }
+    let _ = writeln!(out, "{:<8} 0{:>width$}", "time", end, width = width - 1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, node: usize, app: usize, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            time,
+            node: NodeId(node),
+            app: AppId(app),
+            actor: ActorId(0),
+            kind,
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert!(render_gantt(&[], 3, 40).is_empty());
+    }
+
+    #[test]
+    fn single_firing_fills_its_interval() {
+        let trace = vec![
+            ev(0, 0, 1, TraceKind::Start),
+            ev(50, 0, 1, TraceKind::Complete),
+            ev(50, 0, 0, TraceKind::Start),
+            ev(100, 0, 0, TraceKind::Complete),
+        ];
+        let g = render_gantt(&trace, 1, 10);
+        let row = g.lines().next().unwrap();
+        // First half app 1, second half app 0.
+        assert!(row.contains("11111"), "{g}");
+        assert!(row.contains("00000"), "{g}");
+    }
+
+    #[test]
+    fn idle_time_is_dots() {
+        let trace = vec![
+            ev(0, 0, 0, TraceKind::Start),
+            ev(10, 0, 0, TraceKind::Complete),
+            // node idle 10..100, bound the chart with a request event
+            ev(100, 0, 0, TraceKind::Request),
+        ];
+        let g = render_gantt(&trace, 1, 10);
+        assert!(g.lines().next().unwrap().contains("....."), "{g}");
+    }
+
+    #[test]
+    fn unmatched_start_ignored() {
+        let trace = vec![ev(0, 0, 0, TraceKind::Start), ev(5, 0, 0, TraceKind::Request)];
+        let g = render_gantt(&trace, 1, 5);
+        assert!(g.lines().next().unwrap().contains("....."), "{g}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Applications: named SDF graphs with pre-computed analysis metadata.
+
+use sdf::{analyze_period, repetition_vector, Rational, RepetitionVector, SdfError, SdfGraph};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an application within a [`crate::SystemSpec`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AppId(pub usize);
+
+impl AppId {
+    /// Dense index of this application.
+    pub const fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app#{}", self.0)
+    }
+}
+
+impl From<usize> for AppId {
+    fn from(i: usize) -> Self {
+        AppId(i)
+    }
+}
+
+/// An application: an SDF graph plus the analysis results every consumer
+/// needs (repetition vector and isolation period).
+///
+/// Constructing an `Application` validates the graph (consistent, strongly
+/// connected, live) and computes its period in isolation — `Per(A)` of the
+/// paper's Definition 3 — once, so downstream analyses never repeat the
+/// state-space exploration for the unloaded graph.
+///
+/// # Examples
+///
+/// ```
+/// use platform::Application;
+/// use sdf::{figure2_graphs, Rational};
+///
+/// let (graph_a, _) = figure2_graphs();
+/// let app = Application::new("A", graph_a)?;
+/// assert_eq!(app.isolation_period(), Rational::integer(300));
+/// assert_eq!(app.repetition_vector().as_slice(), &[1, 2, 1]);
+/// # Ok::<(), platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Application {
+    name: String,
+    graph: SdfGraph,
+    repetition: RepetitionVector,
+    isolation_period: Rational,
+}
+
+impl Application {
+    /// Wraps and validates `graph` under the given display name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SdfError`] (wrapped in
+    /// [`crate::PlatformError::Graph`]) if the graph is inconsistent, not
+    /// strongly connected, deadlocked, or its period analysis diverges.
+    pub fn new(
+        name: impl Into<String>,
+        graph: SdfGraph,
+    ) -> Result<Application, crate::PlatformError> {
+        let repetition = repetition_vector(&graph).map_err(crate::PlatformError::Graph)?;
+        let analysis = analyze_period(&graph).map_err(crate::PlatformError::Graph)?;
+        Ok(Application {
+            name: name.into(),
+            graph,
+            repetition,
+            isolation_period: analysis.period,
+        })
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying SDF graph.
+    pub fn graph(&self) -> &SdfGraph {
+        &self.graph
+    }
+
+    /// The repetition vector `q`.
+    pub fn repetition_vector(&self) -> &RepetitionVector {
+        &self.repetition
+    }
+
+    /// Period achieved when the application runs alone on the platform
+    /// (`Per(A)`, Definition 3).
+    pub fn isolation_period(&self) -> Rational {
+        self.isolation_period
+    }
+
+    /// Throughput in isolation (`1 / Per(A)`).
+    pub fn isolation_throughput(&self) -> Rational {
+        self.isolation_period.recip()
+    }
+
+    /// Re-analyzes the application with replaced execution times (the
+    /// estimator's response-time inflation step) and returns the resulting
+    /// period.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures as [`SdfError`].
+    pub fn period_with_times(&self, times: &[Rational]) -> Result<Rational, SdfError> {
+        sdf::period(&self.graph.with_execution_times(times))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf::figure2_graphs;
+
+    #[test]
+    fn validates_and_precomputes() {
+        let (a, _) = figure2_graphs();
+        let app = Application::new("A", a).unwrap();
+        assert_eq!(app.name(), "A");
+        assert_eq!(app.isolation_period(), Rational::integer(300));
+        assert_eq!(app.isolation_throughput(), Rational::new(1, 300));
+        assert_eq!(app.repetition_vector().total_firings(), 4);
+    }
+
+    #[test]
+    fn rejects_invalid_graph() {
+        let mut b = sdf::SdfGraphBuilder::new("dead");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 0).unwrap();
+        assert!(Application::new("dead", b.build().unwrap()).is_err());
+    }
+
+    #[test]
+    fn period_with_times() {
+        let (a, _) = figure2_graphs();
+        let app = Application::new("A", a).unwrap();
+        let p = app
+            .period_with_times(&[
+                Rational::integer(100) + Rational::new(25, 3),
+                Rational::integer(50) + Rational::new(50, 3),
+                Rational::integer(100) + Rational::new(50, 3),
+            ])
+            .unwrap();
+        assert_eq!(p, Rational::new(1075, 3));
+    }
+
+    #[test]
+    fn app_id_display() {
+        assert_eq!(AppId(4).to_string(), "app#4");
+        assert_eq!(AppId::from(2).index(), 2);
+    }
+}

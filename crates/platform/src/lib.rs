@@ -1,0 +1,43 @@
+//! # platform — multiprocessor platform and use-case model
+//!
+//! The paper's system model: a heterogeneous multiprocessor with
+//! *processing nodes*, a set of *applications* (SDF graphs), a *mapping*
+//! assigning every actor of every application to a node, and *use-cases* —
+//! "a possible set of concurrently running applications" (Section 1).
+//!
+//! This crate owns the vocabulary types shared by the analytical estimator
+//! (crate `contention`) and the discrete-event simulator (crate
+//! `mpsoc-sim`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use platform::{Application, Mapping, NodeId, SystemSpec, UseCase};
+//! use sdf::figure2_graphs;
+//!
+//! let (graph_a, graph_b) = figure2_graphs();
+//! // Map actor i of both applications onto node i (paper, Section 3.1).
+//! let spec = SystemSpec::builder()
+//!     .application(Application::new("A", graph_a)?)
+//!     .application(Application::new("B", graph_b)?)
+//!     .mapping(Mapping::by_actor_index(3))
+//!     .build()?;
+//!
+//! assert_eq!(spec.node_count(), 3);
+//! let all = UseCase::all(spec.application_count());
+//! assert_eq!(all.len(), 3); // {A}, {B}, {A,B}
+//! # Ok::<(), platform::PlatformError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod application;
+pub mod mapping;
+pub mod spec;
+pub mod usecase;
+
+pub use application::{AppId, Application};
+pub use mapping::{Mapping, NodeId};
+pub use spec::{PlatformError, SystemSpec, SystemSpecBuilder};
+pub use usecase::{UseCase, UseCaseIter};

@@ -1,0 +1,258 @@
+//! Use-cases: subsets of applications running concurrently.
+//!
+//! "A use-case is defined as a possible set of concurrently running
+//! applications" (paper, Section 1). With `n` applications there are
+//! `2ⁿ − 1` non-empty use-cases; the paper's evaluation enumerates all 1023
+//! of them for `n = 10`.
+
+use crate::application::AppId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-empty set of concurrently active applications, stored as a bitmask
+/// (so `n ≤ 64` applications — far beyond the paper's 20-application
+/// horizon).
+///
+/// # Examples
+///
+/// ```
+/// use platform::{AppId, UseCase};
+///
+/// let uc = UseCase::of(&[AppId(0), AppId(2)]);
+/// assert!(uc.contains(AppId(0)));
+/// assert!(!uc.contains(AppId(1)));
+/// assert_eq!(uc.len(), 2);
+/// assert_eq!(uc.app_ids().collect::<Vec<_>>(), vec![AppId(0), AppId(2)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UseCase {
+    mask: u64,
+}
+
+impl UseCase {
+    /// Builds a use-case from explicit application ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or any id is ≥ 64.
+    pub fn of(apps: &[AppId]) -> UseCase {
+        assert!(!apps.is_empty(), "a use-case must contain an application");
+        let mut mask = 0u64;
+        for a in apps {
+            assert!(a.index() < 64, "use-cases support at most 64 applications");
+            mask |= 1 << a.index();
+        }
+        UseCase { mask }
+    }
+
+    /// Builds a use-case from a raw bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask == 0`.
+    pub fn from_mask(mask: u64) -> UseCase {
+        assert!(mask != 0, "a use-case must contain an application");
+        UseCase { mask }
+    }
+
+    /// A single-application use-case.
+    pub fn single(app: AppId) -> UseCase {
+        UseCase::of(&[app])
+    }
+
+    /// The use-case containing applications `0..n` (maximum contention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64`.
+    pub fn full(n: usize) -> UseCase {
+        assert!((1..=64).contains(&n), "1..=64 applications supported");
+        UseCase {
+            mask: if n == 64 { u64::MAX } else { (1u64 << n) - 1 },
+        }
+    }
+
+    /// All `2ⁿ − 1` non-empty use-cases over `n` applications, in mask
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 20` (enumeration beyond 2²⁰ use-cases is
+    /// certainly a bug — the paper's point is that this set explodes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use platform::UseCase;
+    /// assert_eq!(UseCase::all(10).len(), 1023);
+    /// ```
+    pub fn all(n: usize) -> Vec<UseCase> {
+        assert!((1..=20).contains(&n), "refusing to enumerate > 2^20 use-cases");
+        (1..(1u64 << n)).map(|mask| UseCase { mask }).collect()
+    }
+
+    /// Iterator over all non-empty use-cases without materialising them.
+    pub fn iter_all(n: usize) -> UseCaseIter {
+        assert!((1..=63).contains(&n), "1..=63 applications supported");
+        UseCaseIter {
+            next: 1,
+            end: 1u64 << n,
+        }
+    }
+
+    /// Whether `app` participates in this use-case.
+    pub fn contains(&self, app: AppId) -> bool {
+        app.index() < 64 && (self.mask >> app.index()) & 1 == 1
+    }
+
+    /// Number of active applications.
+    pub fn len(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Always `false`: use-cases are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The raw bitmask.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Iterator over the active application ids, ascending.
+    pub fn app_ids(&self) -> impl Iterator<Item = AppId> + '_ {
+        (0..64).filter(|i| (self.mask >> i) & 1 == 1).map(AppId)
+    }
+
+    /// This use-case with `app` added.
+    #[must_use]
+    pub fn with(&self, app: AppId) -> UseCase {
+        assert!(app.index() < 64, "use-cases support at most 64 applications");
+        UseCase {
+            mask: self.mask | (1 << app.index()),
+        }
+    }
+
+    /// This use-case with `app` removed, or `None` if that would empty it.
+    #[must_use]
+    pub fn without(&self, app: AppId) -> Option<UseCase> {
+        let mask = self.mask & !(1 << app.index());
+        (mask != 0).then_some(UseCase { mask })
+    }
+}
+
+impl fmt::Display for UseCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.app_ids().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over all non-empty use-case masks; see [`UseCase::iter_all`].
+#[derive(Debug, Clone)]
+pub struct UseCaseIter {
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for UseCaseIter {
+    type Item = UseCase;
+
+    fn next(&mut self) -> Option<UseCase> {
+        if self.next >= self.end {
+            return None;
+        }
+        let uc = UseCase { mask: self.next };
+        self.next += 1;
+        Some(uc)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.end - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for UseCaseIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let uc = UseCase::of(&[AppId(1), AppId(3)]);
+        assert!(uc.contains(AppId(1)));
+        assert!(uc.contains(AppId(3)));
+        assert!(!uc.contains(AppId(0)));
+        assert_eq!(uc.len(), 2);
+        assert_eq!(uc.mask(), 0b1010);
+        assert!(!uc.is_empty());
+    }
+
+    #[test]
+    fn full_and_single() {
+        assert_eq!(UseCase::full(10).len(), 10);
+        assert_eq!(UseCase::single(AppId(7)).mask(), 1 << 7);
+        assert_eq!(UseCase::full(64).len(), 64);
+    }
+
+    #[test]
+    fn paper_enumeration_count() {
+        // "over a thousand use-cases (2^10)" — exactly 1023 non-empty ones.
+        assert_eq!(UseCase::all(10).len(), 1023);
+        assert_eq!(UseCase::iter_all(10).count(), 1023);
+    }
+
+    #[test]
+    fn iter_all_matches_all() {
+        let a = UseCase::all(5);
+        let b: Vec<_> = UseCase::iter_all(5).collect();
+        assert_eq!(a, b);
+        assert_eq!(UseCase::iter_all(5).len(), 31);
+    }
+
+    #[test]
+    fn with_and_without() {
+        let uc = UseCase::single(AppId(0));
+        let bigger = uc.with(AppId(4));
+        assert_eq!(bigger.len(), 2);
+        assert_eq!(bigger.without(AppId(4)), Some(uc));
+        assert_eq!(uc.without(AppId(0)), None);
+        assert_eq!(bigger.without(AppId(63)), Some(bigger));
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain")]
+    fn empty_rejected() {
+        UseCase::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^20")]
+    fn huge_enumeration_rejected() {
+        UseCase::all(21);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(UseCase::of(&[AppId(0), AppId(2)]).to_string(), "{0,2}");
+        assert_eq!(UseCase::single(AppId(9)).to_string(), "{9}");
+    }
+
+    #[test]
+    fn cardinality_buckets() {
+        // Used by the Figure 6 reproduction: use-cases grouped by |uc|.
+        let by_len = |k: usize| UseCase::all(10).iter().filter(|u| u.len() == k).count();
+        assert_eq!(by_len(1), 10);
+        assert_eq!(by_len(2), 45);
+        assert_eq!(by_len(10), 1);
+    }
+}

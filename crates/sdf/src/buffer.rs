@@ -1,0 +1,364 @@
+//! Buffer-requirement analysis.
+//!
+//! Under maximal-throughput self-timed scheduling, every channel needs
+//! enough buffer capacity for the largest token accumulation the execution
+//! ever produces. The state-space exploration already visits the transient
+//! and one full recurrent cycle, so the observed per-channel maxima *are*
+//! the required capacities (cf. Stuijk, Geilen, Basten — DAC 2006, the
+//! paper's reference \[16\] for "buffer requirements").
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf::{buffer_requirements, figure2_graphs};
+//!
+//! let (a, _) = figure2_graphs();
+//! let report = buffer_requirements(&a)?;
+//! assert_eq!(report.capacities().len(), a.channel_count());
+//! assert!(report.total_tokens() >= 1);
+//! # Ok::<(), sdf::SdfError>(())
+//! ```
+
+use crate::graph::{ChannelId, SdfError, SdfGraph};
+use crate::state_space::{analyze_period_with, AnalysisOptions};
+use serde::{Deserialize, Serialize};
+
+/// Per-channel buffer capacities for maximal-throughput self-timed
+/// execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferReport {
+    capacities: Vec<u64>,
+}
+
+impl BufferReport {
+    /// Required capacity (in tokens) per channel, indexed by channel id.
+    pub fn capacities(&self) -> &[u64] {
+        &self.capacities
+    }
+
+    /// Required capacity of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn capacity(&self, channel: ChannelId) -> u64 {
+        self.capacities[channel.index()]
+    }
+
+    /// Total token storage over all channels (a proxy for memory cost).
+    pub fn total_tokens(&self) -> u64 {
+        self.capacities.iter().sum()
+    }
+}
+
+/// Computes the per-channel buffer requirement of self-timed execution.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::analyze_period`] (inconsistent, not
+/// strongly connected, deadlocked, or budget exhausted).
+///
+/// # Examples
+///
+/// A fast producer throttled by a slow consumer accumulates exactly the
+/// cycle's token budget:
+///
+/// ```
+/// use sdf::{buffer_requirements, ChannelId, SdfGraphBuilder};
+///
+/// let mut b = SdfGraphBuilder::new("g");
+/// let fast = b.actor("fast", 1);
+/// let slow = b.actor("slow", 10);
+/// let fwd = b.channel(fast, slow, 1, 1, 0)?;
+/// b.channel(slow, fast, 1, 1, 3)?; // 3 credits
+/// let report = buffer_requirements(&b.build()?)?;
+/// // All 3 credits can pile up on the forward channel.
+/// assert_eq!(report.capacity(fwd), 3);
+/// # Ok::<(), sdf::SdfError>(())
+/// ```
+pub fn buffer_requirements(graph: &SdfGraph) -> Result<BufferReport, SdfError> {
+    buffer_requirements_with(graph, AnalysisOptions::default())
+}
+
+/// [`buffer_requirements`] with explicit exploration options.
+///
+/// # Errors
+///
+/// See [`buffer_requirements`].
+pub fn buffer_requirements_with(
+    graph: &SdfGraph,
+    options: AnalysisOptions,
+) -> Result<BufferReport, SdfError> {
+    let analysis = analyze_period_with(graph, options)?;
+    Ok(BufferReport {
+        capacities: analysis.max_channel_occupancy,
+    })
+}
+
+/// Builds the bounded-buffer model of `graph`: every channel `c` with
+/// capacity `capacities[c]` gains a reverse *space* channel carrying
+/// `capacity − initial_tokens` tokens (the classical modelling of
+/// back-pressure; cf. Stuijk et al. \[16\] and Wiggers et al. \[20\]).
+///
+/// Self-loops are left unbounded (they model auto-concurrency, not storage).
+///
+/// # Panics
+///
+/// Panics if `capacities.len() != graph.channel_count()` or any capacity is
+/// below its channel's initial tokens.
+///
+/// # Examples
+///
+/// ```
+/// use sdf::{bounded_buffer_model, figure2_graphs};
+/// let (a, _) = figure2_graphs();
+/// let caps: Vec<u64> = a.channels().map(|(_, c)| c.initial_tokens() + 2).collect();
+/// let bounded = bounded_buffer_model(&a, &caps);
+/// assert!(bounded.channel_count() > a.channel_count());
+/// ```
+pub fn bounded_buffer_model(graph: &SdfGraph, capacities: &[u64]) -> SdfGraph {
+    assert_eq!(
+        capacities.len(),
+        graph.channel_count(),
+        "one capacity per channel required"
+    );
+    let mut b = crate::graph::SdfGraphBuilder::new(format!("{}-bounded", graph.name()));
+    for (_, actor) in graph.actors() {
+        b.actor_rational(actor.name(), actor.execution_time());
+    }
+    for ((_, c), &cap) in graph.channels().zip(capacities) {
+        assert!(
+            cap >= c.initial_tokens(),
+            "capacity below initial tokens on a channel"
+        );
+        b.channel(c.src(), c.dst(), c.production(), c.consumption(), c.initial_tokens())
+            .expect("copied channel is valid");
+        if !c.is_self_loop() {
+            // Space tokens: consuming `production` space per source firing,
+            // releasing `consumption` space per destination firing.
+            b.channel(
+                c.dst(),
+                c.src(),
+                c.consumption(),
+                c.production(),
+                cap - c.initial_tokens(),
+            )
+            .expect("space channel is valid");
+        }
+    }
+    b.build().expect("bounded model of a valid graph is valid")
+}
+
+/// Minimises per-channel buffer capacities subject to a period constraint —
+/// the throughput/buffer trade-off of Stuijk et al. (DAC 2006), the paper's
+/// reference \[16\], solved with a greedy descent: starting from the
+/// self-timed maxima (known feasible), repeatedly shrink the channel whose
+/// reduction keeps the bounded-buffer period within `max_period`.
+///
+/// Returns the capacities and the achieved period.
+///
+/// # Errors
+///
+/// * [`SdfError::Deadlocked`] (etc.) if even the unconstrained self-timed
+///   execution fails to analyze;
+/// * [`SdfError::BudgetExhausted`] if a bounded model exceeds the step
+///   budget.
+///
+/// # Examples
+///
+/// ```
+/// use sdf::{figure2_graphs, minimize_buffers, period};
+///
+/// let (a, _) = figure2_graphs();
+/// let max_period = period(&a)?; // demand full throughput
+/// let (report, achieved) = minimize_buffers(&a, max_period)?;
+/// assert!(achieved <= max_period);
+/// # Ok::<(), sdf::SdfError>(())
+/// ```
+pub fn minimize_buffers(
+    graph: &SdfGraph,
+    max_period: crate::rational::Rational,
+) -> Result<(BufferReport, crate::rational::Rational), SdfError> {
+    let options = AnalysisOptions::default();
+    let start = buffer_requirements_with(graph, options)?;
+    let mut capacities = start.capacities;
+
+    let period_of = |caps: &[u64]| -> Result<crate::rational::Rational, SdfError> {
+        let bounded = bounded_buffer_model(graph, caps);
+        Ok(analyze_period_with(&bounded, options)?.period)
+    };
+
+    // Greedy descent: channels in arbitrary (id) order, shrink each as far
+    // as the constraint allows; repeat until no channel shrinks.
+    let floors: Vec<u64> = graph
+        .channels()
+        .map(|(_, c)| {
+            if c.is_self_loop() {
+                c.initial_tokens()
+            } else {
+                // A channel narrower than one production or consumption
+                // burst (or its initial tokens) deadlocks immediately.
+                c.production().max(c.consumption()).max(c.initial_tokens())
+            }
+        })
+        .collect();
+
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..capacities.len() {
+            while capacities[i] > floors[i] {
+                capacities[i] -= 1;
+                let ok = matches!(period_of(&capacities), Ok(p) if p <= max_period);
+                if ok {
+                    improved = true;
+                } else {
+                    capacities[i] += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    let achieved = period_of(&capacities)?;
+    Ok((BufferReport { capacities }, achieved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{figure2_graphs, SdfGraphBuilder};
+
+    #[test]
+    fn initial_tokens_are_a_lower_bound() {
+        let (a, _) = figure2_graphs();
+        let report = buffer_requirements(&a).unwrap();
+        for (cid, c) in a.channels() {
+            assert!(
+                report.capacity(cid) >= c.initial_tokens(),
+                "{cid}: capacity below initial tokens"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_cycle_capacity_one() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 3);
+        let y = b.actor("y", 7);
+        let fwd = b.channel(x, y, 1, 1, 0).unwrap();
+        let back = b.channel(y, x, 1, 1, 1).unwrap();
+        let report = buffer_requirements(&b.build().unwrap()).unwrap();
+        // One token circulates; each channel holds at most 1.
+        assert_eq!(report.capacity(fwd), 1);
+        assert_eq!(report.capacity(back), 1);
+        assert_eq!(report.total_tokens(), 2);
+    }
+
+    #[test]
+    fn credits_accumulate_on_forward_channel() {
+        let mut b = SdfGraphBuilder::new("g");
+        let fast = b.actor("fast", 1);
+        let slow = b.actor("slow", 10);
+        let fwd = b.channel(fast, slow, 1, 1, 0).unwrap();
+        b.channel(slow, fast, 1, 1, 5).unwrap();
+        let report = buffer_requirements(&b.build().unwrap()).unwrap();
+        assert_eq!(report.capacity(fwd), 5);
+    }
+
+    #[test]
+    fn multirate_burst() {
+        // x produces 4 per firing, y consumes 1 per firing but is slow:
+        // the burst of 4 must fit.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 9);
+        let fwd = b.channel(x, y, 4, 1, 0).unwrap();
+        b.channel(y, x, 1, 4, 4).unwrap();
+        b.self_loop(x, 1);
+        b.self_loop(y, 1);
+        let report = buffer_requirements(&b.build().unwrap()).unwrap();
+        assert!(report.capacity(fwd) >= 4);
+    }
+
+    #[test]
+    fn bounded_model_restores_unbounded_behaviour_at_max_occupancy() {
+        use crate::state_space::period;
+        let (a, _) = figure2_graphs();
+        let report = buffer_requirements(&a).unwrap();
+        let bounded = bounded_buffer_model(&a, report.capacities());
+        assert_eq!(period(&bounded).unwrap(), period(&a).unwrap());
+    }
+
+    #[test]
+    fn tight_buffers_slow_the_graph() {
+        use crate::state_space::period;
+        // Pipelined producer/consumer: 5 credits allow full speed; capacity
+        // 1 on the forward channel serialises.
+        let mut b = SdfGraphBuilder::new("g");
+        let fast = b.actor("fast", 2);
+        let slow = b.actor("slow", 10);
+        b.channel(fast, slow, 1, 1, 0).unwrap();
+        b.channel(slow, fast, 1, 1, 5).unwrap();
+        let g = b.build().unwrap();
+        let free = period(&g).unwrap();
+        let tight = bounded_buffer_model(&g, &[1, 5]);
+        let constrained = period(&tight).unwrap();
+        assert!(constrained >= free, "{constrained} vs {free}");
+    }
+
+    #[test]
+    fn minimize_buffers_meets_the_constraint() {
+        use crate::state_space::period;
+        let (a, _) = figure2_graphs();
+        let target = period(&a).unwrap();
+        let (report, achieved) = minimize_buffers(&a, target).unwrap();
+        assert!(achieved <= target);
+        // Minimised capacities never exceed the self-timed maxima.
+        let maxima = buffer_requirements(&a).unwrap();
+        for (cid, _) in a.channels() {
+            assert!(report.capacity(cid) <= maxima.capacity(cid));
+        }
+    }
+
+    #[test]
+    fn relaxed_constraint_buys_smaller_buffers() {
+        use crate::rational::Rational;
+        use crate::state_space::period;
+        // Pipelined two-actor graph: full throughput needs more storage
+        // than a 2x-relaxed period target.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 10);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 4).unwrap();
+        let g = b.build().unwrap();
+        let full = period(&g).unwrap();
+        let (tight_caps, _) = minimize_buffers(&g, full).unwrap();
+        let (loose_caps, achieved) =
+            minimize_buffers(&g, full * Rational::integer(2)).unwrap();
+        assert!(loose_caps.total_tokens() <= tight_caps.total_tokens());
+        assert!(achieved <= full * Rational::integer(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per channel")]
+    fn bounded_model_validates_lengths() {
+        let (a, _) = figure2_graphs();
+        bounded_buffer_model(&a, &[1]);
+    }
+
+    #[test]
+    fn generated_graphs_have_finite_buffers() {
+        use crate::generator::{generate_graph, GeneratorConfig};
+        for seed in 0..10 {
+            let g = generate_graph(&GeneratorConfig::default(), seed);
+            let report = buffer_requirements(&g).unwrap();
+            assert_eq!(report.capacities().len(), g.channel_count());
+            // Strongly connected graphs bound every channel.
+            for (cid, _) in g.channels() {
+                assert!(report.capacity(cid) < 10_000, "seed {seed} {cid}");
+            }
+        }
+    }
+}

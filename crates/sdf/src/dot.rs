@@ -1,0 +1,86 @@
+//! Graphviz DOT export for SDF graphs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf::{figure2_graphs, to_dot};
+//! let (a, _) = figure2_graphs();
+//! let dot = to_dot(&a);
+//! assert!(dot.starts_with("digraph"));
+//! assert!(dot.contains("a0"));
+//! ```
+
+use crate::graph::SdfGraph;
+use std::fmt::Write;
+
+/// Renders `graph` as a Graphviz `digraph`.
+///
+/// Actors become boxes labelled `name (τ)`, channels become arrows labelled
+/// `prod:cons` with the initial token count shown as `• n` when non-zero.
+/// Self-loops are included (they model auto-concurrency limits).
+pub fn to_dot(graph: &SdfGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(graph.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box];");
+    for (id, actor) in graph.actors() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{} ({})\"];",
+            id.index(),
+            escape(actor.name()),
+            actor.execution_time()
+        );
+    }
+    for (_, c) in graph.channels() {
+        let tokens = if c.initial_tokens() > 0 {
+            format!(" • {}", c.initial_tokens())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}:{}{}\"];",
+            c.src().index(),
+            c.dst().index(),
+            c.production(),
+            c.consumption(),
+            tokens
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure2_graphs;
+
+    #[test]
+    fn dot_structure() {
+        let (a, _) = figure2_graphs();
+        let dot = to_dot(&a);
+        assert!(dot.starts_with("digraph \"A\""));
+        assert!(dot.trim_end().ends_with('}'));
+        // 3 actors + 6 channels.
+        assert_eq!(dot.matches("->").count(), 6);
+        assert!(dot.contains("a1 (50)"));
+        assert!(dot.contains("• 1"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        use crate::graph::SdfGraphBuilder;
+        let mut b = SdfGraphBuilder::new("we\"ird");
+        let x = b.actor("x\"y", 1);
+        b.self_loop(x, 1);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("we\\\"ird"));
+        assert!(dot.contains("x\\\"y"));
+    }
+}

@@ -1,0 +1,263 @@
+//! SDF → HSDF (homogeneous SDF) expansion.
+//!
+//! Every consistent SDF graph can be unfolded into an equivalent
+//! *homogeneous* graph in which every rate is 1: actor `a` becomes `q(a)`
+//! vertices (one per firing in an iteration) and every token flow between
+//! firings becomes a dependency edge annotated with the number of iteration
+//! boundaries it crosses (its *delay*, in tokens). The construction follows
+//! Sriram & Bhattacharyya, *Embedded Multiprocessors* (2000), the reference
+//! the paper cites as \[14\].
+//!
+//! The expansion can be exponentially larger than the SDFG — exactly the
+//! scalability problem (Kumar et al. \[7\], Pino & Lee \[12\]) that motivates the
+//! paper's probabilistic alternative. It is retained here because the maximum
+//! cycle ratio of the expansion ([`crate::mcm`]) independently validates the
+//! state-space period analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf::{figure2_graphs, HsdfGraph};
+//!
+//! let (a, _) = figure2_graphs();
+//! let h = HsdfGraph::expand(&a)?;
+//! // q = [1, 2, 1] ⇒ 4 firing vertices.
+//! assert_eq!(h.node_count(), 4);
+//! # Ok::<(), sdf::SdfError>(())
+//! ```
+
+use crate::graph::{ActorId, SdfError, SdfGraph};
+use crate::rational::Rational;
+use crate::repetition::repetition_vector;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A vertex of the expansion: firing `firing` (0-based) of SDF actor
+/// `actor` within one graph iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Firing {
+    /// The SDF actor this firing belongs to.
+    pub actor: ActorId,
+    /// Zero-based firing index within an iteration (`0..q(actor)`).
+    pub firing: u64,
+}
+
+/// A dependency edge of the expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HsdfEdge {
+    /// Producing firing (node index into [`HsdfGraph::nodes`]).
+    pub src: usize,
+    /// Consuming firing (node index into [`HsdfGraph::nodes`]).
+    pub dst: usize,
+    /// Iteration distance: `dst`'s firing in iteration `k` depends on `src`'s
+    /// firing in iteration `k - delay`.
+    pub delay: u64,
+}
+
+/// The homogeneous expansion of an SDF graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HsdfGraph {
+    nodes: Vec<Firing>,
+    durations: Vec<Rational>,
+    edges: Vec<HsdfEdge>,
+}
+
+impl HsdfGraph {
+    /// Expands `graph` into its homogeneous equivalent.
+    ///
+    /// Parallel token flows between the same pair of firings are collapsed to
+    /// the single strongest constraint (minimum delay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::Inconsistent`] if `graph` has no repetition
+    /// vector.
+    pub fn expand(graph: &SdfGraph) -> Result<HsdfGraph, SdfError> {
+        let q = repetition_vector(graph)?;
+
+        // Dense node numbering: offset[a] + firing.
+        let mut offset = vec![0usize; graph.actor_count()];
+        let mut nodes = Vec::new();
+        let mut durations = Vec::new();
+        for a in graph.actor_ids() {
+            offset[a.0] = nodes.len();
+            for f in 0..q.get(a) {
+                nodes.push(Firing { actor: a, firing: f });
+                durations.push(graph.execution_time(a));
+            }
+        }
+
+        // (src_node, dst_node) -> min delay
+        let mut edge_map: HashMap<(usize, usize), u64> = HashMap::new();
+
+        for (_, c) in graph.channels() {
+            let qu = q.get(c.src()) as i128;
+            let qv = q.get(c.dst());
+            let p = c.production() as i128;
+            let cons = c.consumption() as i128;
+            let d = c.initial_tokens() as i128;
+
+            // Consumer firing j (1-based) of iteration 0 consumes token
+            // positions (j-1)·cons+1 ..= j·cons. Token position m was
+            // produced as the (m - d)-th token overall; non-positive values
+            // map to firings of earlier iterations.
+            for j in 1..=(qv as i128) {
+                for m in ((j - 1) * cons + 1)..=(j * cons) {
+                    let t = m - d; // global produced-token index
+                    let ig = div_ceil(t, p); // global producer firing (1-based, may be ≤ 0)
+                    let k = (ig - 1).div_euclid(qu); // iteration offset (≤ 0 for past)
+                    let i0 = ig - k * qu; // producer firing within its iteration, 1-based
+                    let delay = (-k).max(0) as u64;
+                    debug_assert!(k <= 0, "initial tokens only reference the past");
+                    let src = offset[c.src().0] + (i0 - 1) as usize;
+                    let dst = offset[c.dst().0] + (j - 1) as usize;
+                    edge_map
+                        .entry((src, dst))
+                        .and_modify(|cur| *cur = (*cur).min(delay))
+                        .or_insert(delay);
+                }
+            }
+        }
+
+        let mut edges: Vec<HsdfEdge> = edge_map
+            .into_iter()
+            .map(|((src, dst), delay)| HsdfEdge { src, dst, delay })
+            .collect();
+        edges.sort_by_key(|e| (e.src, e.dst));
+
+        Ok(HsdfGraph {
+            nodes,
+            durations,
+            edges,
+        })
+    }
+
+    /// Number of firing vertices (`Σ q(a)`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The firings, indexable by edge endpoints.
+    pub fn nodes(&self) -> &[Firing] {
+        &self.nodes
+    }
+
+    /// Execution duration of each firing vertex.
+    pub fn durations(&self) -> &[Rational] {
+        &self.durations
+    }
+
+    /// The dependency edges.
+    pub fn edges(&self) -> &[HsdfEdge] {
+        &self.edges
+    }
+
+    /// Total delay (token) count over all edges, an upper bound on any
+    /// cycle's token count (used to bound the MCR denominator).
+    pub fn total_delay(&self) -> u64 {
+        self.edges.iter().map(|e| e.delay).sum()
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i128::from(a.rem_euclid(b) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{figure2_graphs, SdfGraphBuilder};
+
+    #[test]
+    fn homogeneous_graph_unchanged_shape() {
+        // Already-homogeneous ring: expansion is isomorphic.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 3);
+        let y = b.actor("y", 7);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let h = HsdfGraph::expand(&b.build().unwrap()).unwrap();
+        assert_eq!(h.node_count(), 2);
+        assert_eq!(h.edge_count(), 2);
+        let delays: Vec<u64> = h.edges().iter().map(|e| e.delay).collect();
+        assert_eq!(delays.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn figure2_expansion() {
+        let (a, _) = figure2_graphs();
+        let h = HsdfGraph::expand(&a).unwrap();
+        assert_eq!(h.node_count(), 4); // q = [1,2,1]
+        assert!(h.total_delay() >= 1);
+        // Every node must have at least one incoming and outgoing edge
+        // (strongly connected source graph).
+        for n in 0..h.node_count() {
+            assert!(h.edges().iter().any(|e| e.src == n));
+            assert!(h.edges().iter().any(|e| e.dst == n));
+        }
+    }
+
+    #[test]
+    fn multirate_dependencies() {
+        // x -(2,1)-> y with q = [1,2]: firing y1 and y2 both depend on x1,
+        // delay 0.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 1, 0).unwrap();
+        b.channel(y, x, 1, 2, 2).unwrap();
+        let h = HsdfGraph::expand(&b.build().unwrap()).unwrap();
+        assert_eq!(h.node_count(), 3);
+        let zero_delay_from_x: Vec<_> = h
+            .edges()
+            .iter()
+            .filter(|e| e.src == 0 && e.delay == 0)
+            .collect();
+        assert_eq!(zero_delay_from_x.len(), 2);
+    }
+
+    #[test]
+    fn initial_tokens_become_delays() {
+        // Single actor with a 1-token self-loop: edge with delay 1 on itself.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 5);
+        b.self_loop(x, 1);
+        let h = HsdfGraph::expand(&b.build().unwrap()).unwrap();
+        assert_eq!(h.node_count(), 1);
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h.edges()[0].delay, 1);
+    }
+
+    #[test]
+    fn many_initial_tokens_cross_iterations() {
+        // Self-loop with 3 tokens on a q=1 actor: firing i depends on firing
+        // i-3, i.e. delay 3.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 5);
+        b.self_loop(x, 3);
+        let h = HsdfGraph::expand(&b.build().unwrap()).unwrap();
+        assert_eq!(h.edges()[0].delay, 3);
+    }
+
+    #[test]
+    fn duplicate_flows_keep_min_delay() {
+        // Channel (1,1) with 0 tokens and parallel channel with 5 tokens
+        // between same actors: the 0-delay constraint dominates pairwise.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(x, y, 1, 1, 5).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let h = HsdfGraph::expand(&b.build().unwrap()).unwrap();
+        let xy: Vec<_> = h.edges().iter().filter(|e| e.src == 0).collect();
+        assert_eq!(xy.len(), 1);
+        assert_eq!(xy[0].delay, 0);
+    }
+}

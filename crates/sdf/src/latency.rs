@@ -1,0 +1,202 @@
+//! Single-iteration latency analysis.
+//!
+//! The paper notes that SDFG analysis yields "throughput and other
+//! performance properties, e.g. latency, buffer requirements" (Section 1,
+//! citing \[16\] and \[20\]). This module computes the *single-iteration
+//! latency*: the makespan of exactly one graph iteration executed
+//! self-timed from the initial token distribution, with no pipelining into
+//! the next iteration. For a streaming application this is the
+//! input-to-output delay of one frame; the period ([`crate::analyze_period`])
+//! is the steady-state inter-frame distance (latency ≥ period in general).
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf::{figure2_graphs, iteration_latency, Rational};
+//!
+//! let (a, _) = figure2_graphs();
+//! // a0 (100) → a1 twice serialized (2·50) → a2 (100): critical path 300.
+//! assert_eq!(iteration_latency(&a)?, Rational::integer(300));
+//! # Ok::<(), sdf::SdfError>(())
+//! ```
+
+use crate::graph::{ActorId, SdfError, SdfGraph};
+use crate::rational::Rational;
+use crate::repetition::repetition_vector;
+
+/// Computes the makespan of one self-timed iteration (every actor `a`
+/// fires exactly `q(a)` times, firing as early as data allows).
+///
+/// # Errors
+///
+/// * [`SdfError::Inconsistent`] — no repetition vector exists;
+/// * [`SdfError::Deadlocked`] — the iteration cannot complete from the
+///   initial tokens.
+///
+/// # Examples
+///
+/// Latency can exceed the period when the graph pipelines:
+///
+/// ```
+/// use sdf::{iteration_latency, period, Rational, SdfGraphBuilder};
+///
+/// let mut b = SdfGraphBuilder::new("pipe");
+/// let x = b.actor("x", 4);
+/// let y = b.actor("y", 6);
+/// b.channel(x, y, 1, 1, 0)?;
+/// b.channel(y, x, 1, 1, 2)?; // two tokens: the cycle pipelines
+/// let g = b.build()?;
+/// assert_eq!(period(&g)?, Rational::integer(5));             // (4+6)/2 tokens
+/// assert_eq!(iteration_latency(&g)?, Rational::integer(10)); // 4 + 6
+/// # Ok::<(), sdf::SdfError>(())
+/// ```
+pub fn iteration_latency(graph: &SdfGraph) -> Result<Rational, SdfError> {
+    let q = repetition_vector(graph)?;
+
+    let mut tokens: Vec<u64> = graph
+        .channels()
+        .map(|(_, c)| c.initial_tokens())
+        .collect();
+    let mut remaining: Vec<u64> = q.as_slice().to_vec();
+    // Active firings as sorted (completion time, actor) pairs.
+    let mut active: Vec<(Rational, ActorId)> = Vec::new();
+    let mut now = Rational::ZERO;
+    let mut makespan = Rational::ZERO;
+
+    let enabled = |tokens: &[u64], remaining: &[u64], a: ActorId| -> bool {
+        remaining[a.index()] > 0
+            && graph
+                .incoming(a)
+                .iter()
+                .all(|&cid| tokens[cid.index()] >= graph.channel(cid).consumption())
+    };
+
+    loop {
+        // Start every enabled firing (consume at start).
+        let mut started = true;
+        while started {
+            started = false;
+            for a in graph.actor_ids() {
+                while enabled(&tokens, &remaining, a) {
+                    for &cid in graph.incoming(a) {
+                        tokens[cid.index()] -= graph.channel(cid).consumption();
+                    }
+                    remaining[a.index()] -= 1;
+                    let done = now + graph.execution_time(a);
+                    let pos = active.partition_point(|(t, _)| *t <= done);
+                    active.insert(pos, (done, a));
+                    started = true;
+                }
+            }
+        }
+
+        let Some(&(t_next, _)) = active.first() else {
+            // Nothing in flight: either the iteration is done or we deadlocked.
+            return if remaining.iter().all(|&r| r == 0) {
+                Ok(makespan)
+            } else {
+                Err(SdfError::Deadlocked)
+            };
+        };
+
+        // Complete all firings at t_next (produce at completion).
+        now = t_next;
+        makespan = makespan.max(now);
+        while let Some(&(t, a)) = active.first() {
+            if t != now {
+                break;
+            }
+            active.remove(0);
+            for &cid in graph.outgoing(a) {
+                tokens[cid.index()] += graph.channel(cid).production();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{figure2_graphs, SdfGraphBuilder};
+    use crate::state_space::period;
+
+    #[test]
+    fn figure2_latencies() {
+        let (a, b) = figure2_graphs();
+        assert_eq!(iteration_latency(&a).unwrap(), Rational::integer(300));
+        assert_eq!(iteration_latency(&b).unwrap(), Rational::integer(300));
+    }
+
+    #[test]
+    fn latency_at_least_period_serial() {
+        // Serial single-token cycle: latency == period.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 3);
+        let y = b.actor("y", 7);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(iteration_latency(&g).unwrap(), period(&g).unwrap());
+    }
+
+    #[test]
+    fn pipelined_latency_exceeds_period() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 4);
+        let y = b.actor("y", 6);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 3).unwrap();
+        let g = b.build().unwrap();
+        let lat = iteration_latency(&g).unwrap();
+        let per = period(&g).unwrap();
+        assert_eq!(lat, Rational::integer(10));
+        assert!(lat > per);
+    }
+
+    #[test]
+    fn parallel_branches_take_max() {
+        // src feeds two parallel branches joined at sink: latency is the
+        // longer branch.
+        let mut b = SdfGraphBuilder::new("g");
+        let src = b.actor("src", 2);
+        let fast = b.actor("fast", 3);
+        let slow = b.actor("slow", 11);
+        let sink = b.actor("sink", 1);
+        b.channel(src, fast, 1, 1, 0).unwrap();
+        b.channel(src, slow, 1, 1, 0).unwrap();
+        b.channel(fast, sink, 1, 1, 0).unwrap();
+        b.channel(slow, sink, 1, 1, 0).unwrap();
+        b.channel(sink, src, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(iteration_latency(&g).unwrap(), Rational::integer(14)); // 2+11+1
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 0).unwrap();
+        assert_eq!(
+            iteration_latency(&b.build().unwrap()).unwrap_err(),
+            SdfError::Deadlocked
+        );
+    }
+
+    #[test]
+    fn multirate_latency() {
+        // x fires twice (serialized by self-loop), then y: 2·5 + 9.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 5);
+        let y = b.actor("y", 9);
+        b.channel(x, y, 1, 2, 0).unwrap();
+        b.channel(y, x, 2, 1, 2).unwrap();
+        b.self_loop(x, 1);
+        b.self_loop(y, 1);
+        assert_eq!(
+            iteration_latency(&b.build().unwrap()).unwrap(),
+            Rational::integer(19)
+        );
+    }
+}

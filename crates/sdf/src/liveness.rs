@@ -1,0 +1,173 @@
+//! Deadlock-freedom (liveness) checking.
+//!
+//! A consistent SDF graph is *live* iff one complete iteration (every actor
+//! `a` firing `q(a)` times) can execute from the initial token distribution.
+//! Because completing an iteration restores the token distribution, one
+//! successful abstract iteration proves unbounded execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf::{figure2_graphs, is_live};
+//! let (a, _) = figure2_graphs();
+//! assert!(is_live(&a)?);
+//! # Ok::<(), sdf::SdfError>(())
+//! ```
+
+use crate::graph::{ActorId, SdfError, SdfGraph};
+use crate::repetition::repetition_vector;
+
+/// Checks whether the graph can complete one full iteration (and therefore
+/// execute forever).
+///
+/// Uses untimed data-driven abstract execution: repeatedly fire any actor
+/// that is enabled and still owes firings this iteration. The order of
+/// firings does not affect the outcome (SDF firings are persistent), so a
+/// single greedy pass is sufficient.
+///
+/// # Errors
+///
+/// Returns [`SdfError::Inconsistent`] if no repetition vector exists.
+///
+/// # Examples
+///
+/// ```
+/// use sdf::{is_live, SdfGraphBuilder};
+///
+/// // A two-actor cycle with no tokens deadlocks.
+/// let mut b = SdfGraphBuilder::new("g");
+/// let x = b.actor("x", 1);
+/// let y = b.actor("y", 1);
+/// b.channel(x, y, 1, 1, 0)?;
+/// b.channel(y, x, 1, 1, 0)?;
+/// assert!(!is_live(&b.build()?)?);
+/// # Ok::<(), sdf::SdfError>(())
+/// ```
+pub fn is_live(graph: &SdfGraph) -> Result<bool, SdfError> {
+    let q = repetition_vector(graph)?;
+    let mut tokens: Vec<u64> = graph
+        .channels()
+        .map(|(_, c)| c.initial_tokens())
+        .collect();
+    let mut remaining: Vec<u64> = q.as_slice().to_vec();
+
+    let enabled = |tokens: &[u64], a: ActorId| -> bool {
+        graph
+            .incoming(a)
+            .iter()
+            .all(|&cid| tokens[cid.index()] >= graph.channel(cid).consumption())
+    };
+
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for a in graph.actor_ids() {
+            while remaining[a.0] > 0 && enabled(&tokens, a) {
+                for &cid in graph.incoming(a) {
+                    tokens[cid.index()] -= graph.channel(cid).consumption();
+                }
+                for &cid in graph.outgoing(a) {
+                    tokens[cid.index()] += graph.channel(cid).production();
+                }
+                remaining[a.0] -= 1;
+                progress = true;
+            }
+        }
+    }
+    Ok(remaining.iter().all(|&r| r == 0))
+}
+
+/// Validates that a graph is consistent, strongly connected and live — the
+/// preconditions of the paper's analysis pipeline.
+///
+/// # Errors
+///
+/// Returns the first violated precondition as an [`SdfError`].
+///
+/// # Examples
+///
+/// ```
+/// use sdf::{figure2_graphs, validate_analyzable};
+/// let (a, _) = figure2_graphs();
+/// validate_analyzable(&a)?;
+/// # Ok::<(), sdf::SdfError>(())
+/// ```
+pub fn validate_analyzable(graph: &SdfGraph) -> Result<(), SdfError> {
+    repetition_vector(graph)?;
+    if !crate::topology::is_strongly_connected(graph) {
+        return Err(SdfError::NotStronglyConnected);
+    }
+    if !is_live(graph)? {
+        return Err(SdfError::Deadlocked);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{figure2_graphs, SdfGraphBuilder};
+
+    #[test]
+    fn figure2_live() {
+        let (a, b) = figure2_graphs();
+        assert!(is_live(&a).unwrap());
+        assert!(is_live(&b).unwrap());
+        validate_analyzable(&a).unwrap();
+    }
+
+    #[test]
+    fn tokenless_cycle_dead() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(!is_live(&g).unwrap());
+        assert_eq!(validate_analyzable(&g).unwrap_err(), SdfError::Deadlocked);
+    }
+
+    #[test]
+    fn insufficient_tokens_multirate() {
+        // y needs 3 tokens but the cycle only ever holds 2.
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 3, 3, 2).unwrap();
+        b.channel(y, x, 3, 3, 0).unwrap();
+        assert!(!is_live(&b.build().unwrap()).unwrap());
+    }
+
+    #[test]
+    fn sufficient_tokens_multirate() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 3, 3, 0).unwrap();
+        b.channel(y, x, 3, 3, 3).unwrap();
+        assert!(is_live(&b.build().unwrap()).unwrap());
+    }
+
+    #[test]
+    fn self_loop_without_token_dead() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        b.self_loop(x, 0);
+        assert!(!is_live(&b.build().unwrap()).unwrap());
+    }
+
+    #[test]
+    fn validate_rejects_non_strongly_connected() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.self_loop(x, 1);
+        b.self_loop(y, 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        assert_eq!(
+            validate_analyzable(&b.build().unwrap()).unwrap_err(),
+            SdfError::NotStronglyConnected
+        );
+    }
+}

@@ -1,0 +1,595 @@
+//! Exact rational arithmetic used throughout the analysis side of the
+//! library.
+//!
+//! Waiting times produced by the probabilistic contention model are ratios of
+//! integers (e.g. `50/3` time units in the paper's worked example). The
+//! self-timed state-space analysis of [`crate::state_space`] detects periodic
+//! behaviour through *exact* state equality, so times must not be subjected
+//! to floating-point rounding. [`Rational`] provides the minimal exact
+//! arithmetic the library needs, over `i128` with eager normalisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf::Rational;
+//!
+//! let third = Rational::new(1, 3);
+//! let half = Rational::new(1, 2);
+//! assert_eq!(third + half, Rational::new(5, 6));
+//! assert_eq!(Rational::new(100, 300), third);
+//! assert!(half > third);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number with an `i128` numerator and denominator.
+///
+/// Invariants maintained by every constructor and operator:
+/// * the denominator is strictly positive,
+/// * numerator and denominator are coprime,
+/// * zero is represented as `0/1`.
+///
+/// # Examples
+///
+/// ```
+/// use sdf::Rational;
+///
+/// let p = Rational::new(2, 6);
+/// assert_eq!(p.numer(), 1);
+/// assert_eq!(p.denom(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    numer: i128,
+    denom: i128,
+}
+
+/// Zero constant (`0/1`).
+pub const ZERO: Rational = Rational { numer: 0, denom: 1 };
+/// One constant (`1/1`).
+pub const ONE: Rational = Rational { numer: 1, denom: 1 };
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Zero (`0/1`).
+    pub const ZERO: Rational = ZERO;
+    /// One (`1/1`).
+    pub const ONE: Rational = ONE;
+
+    /// Creates a rational `numer/denom`, normalising sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdf::Rational;
+    /// assert_eq!(Rational::new(4, -8), Rational::new(-1, 2));
+    /// ```
+    pub fn new(numer: i128, denom: i128) -> Self {
+        assert!(denom != 0, "rational denominator must be non-zero");
+        let sign = if denom < 0 { -1 } else { 1 };
+        let g = gcd(numer, denom);
+        if g == 0 {
+            return ZERO;
+        }
+        Rational {
+            numer: sign * numer / g,
+            denom: sign * denom / g,
+        }
+    }
+
+    /// Creates an integral rational `n/1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdf::Rational;
+    /// assert_eq!(Rational::integer(5), Rational::new(5, 1));
+    /// ```
+    pub const fn integer(n: i128) -> Self {
+        Rational { numer: n, denom: 1 }
+    }
+
+    /// The normalised numerator.
+    pub const fn numer(&self) -> i128 {
+        self.numer
+    }
+
+    /// The normalised (strictly positive) denominator.
+    pub const fn denom(&self) -> i128 {
+        self.denom
+    }
+
+    /// Returns `true` iff the value is exactly zero.
+    pub const fn is_zero(&self) -> bool {
+        self.numer == 0
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub const fn is_integer(&self) -> bool {
+        self.denom == 1
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub const fn is_positive(&self) -> bool {
+        self.numer > 0
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub const fn is_negative(&self) -> bool {
+        self.numer < 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdf::Rational;
+    /// assert_eq!(Rational::new(2, 3).recip(), Rational::new(3, 2));
+    /// ```
+    pub fn recip(&self) -> Self {
+        assert!(self.numer != 0, "cannot invert zero");
+        Rational::new(self.denom, self.numer)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            numer: self.numer.abs(),
+            denom: self.denom,
+        }
+    }
+
+    /// Lossy conversion to `f64`, for reporting only.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdf::Rational;
+    /// assert!((Rational::new(1, 3).to_f64() - 0.333333).abs() < 1e-5);
+    /// ```
+    pub fn to_f64(&self) -> f64 {
+        self.numer as f64 / self.denom as f64
+    }
+
+    /// Floor of the value as an integer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdf::Rational;
+    /// assert_eq!(Rational::new(7, 2).floor(), 3);
+    /// assert_eq!(Rational::new(-7, 2).floor(), -4);
+    /// ```
+    pub fn floor(&self) -> i128 {
+        self.numer.div_euclid(self.denom)
+    }
+
+    /// Ceiling of the value as an integer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdf::Rational;
+    /// assert_eq!(Rational::new(7, 2).ceil(), 4);
+    /// assert_eq!(Rational::new(-7, 2).ceil(), -3);
+    /// ```
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// Smaller of two rationals.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two rationals.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Checked addition, `None` on `i128` overflow.
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        let n = self
+            .numer
+            .checked_mul(rhs.denom)?
+            .checked_add(rhs.numer.checked_mul(self.denom)?)?;
+        let d = self.denom.checked_mul(rhs.denom)?;
+        Some(Rational::new(n, d))
+    }
+
+    /// Checked multiplication, `None` on `i128` overflow.
+    pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+        // Cross-reduce first to keep the intermediate products small.
+        let g1 = gcd(self.numer, rhs.denom).max(1);
+        let g2 = gcd(rhs.numer, self.denom).max(1);
+        let n = (self.numer / g1).checked_mul(rhs.numer / g2)?;
+        let d = (self.denom / g2).checked_mul(rhs.denom / g1)?;
+        Some(Rational::new(n, d))
+    }
+
+    /// Rounds to the nearest multiple of `1/grid` (ties toward `+∞`).
+    ///
+    /// Values already on the grid — any value whose denominator divides
+    /// `grid` — are returned unchanged, so quantisation is exact for "nice"
+    /// rationals. Analyses use this to bound denominator growth where exact
+    /// arithmetic would overflow `i128` (see the `contention` crate's
+    /// estimator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid <= 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdf::Rational;
+    /// // 1/3 is on the 2520 grid: unchanged.
+    /// assert_eq!(Rational::new(1, 3).quantize(2520), Rational::new(1, 3));
+    /// // 1/7919 (prime) is snapped to the nearest 1/2520 step.
+    /// let q = Rational::new(1, 7919).quantize(2520);
+    /// assert_eq!(q.denom() % 1, 0);
+    /// assert!((q - Rational::new(1, 7919)).abs() <= Rational::new(1, 2 * 2520));
+    /// ```
+    pub fn quantize(&self, grid: i128) -> Rational {
+        assert!(grid > 0, "quantisation grid must be positive");
+        if grid % self.denom == 0 {
+            return *self;
+        }
+        // Exact integer path: ⌊(2·n·g + d) / (2·d)⌋ / g (round half up).
+        if let Some(scaled) = self
+            .numer
+            .checked_mul(grid)
+            .and_then(|x| x.checked_mul(2))
+            .and_then(|x| x.checked_add(self.denom))
+        {
+            if let Some(two_d) = self.denom.checked_mul(2) {
+                return Rational::new(scaled.div_euclid(two_d), grid);
+            }
+        }
+        // Overflow-safe path for huge numerators/denominators: split off the
+        // integer part and round the fractional part via f64. The fraction
+        // is in [0, 1), so the f64 error (≤ 2⁻⁵² relative) is far below half
+        // a grid step for any practical grid.
+        let whole = self.numer.div_euclid(self.denom);
+        let rem = self.numer.rem_euclid(self.denom);
+        let frac = ((rem as f64) / (self.denom as f64) * (grid as f64)).round() as i128;
+        Rational::new(whole * grid + frac, grid)
+    }
+
+    /// Raises the value to a non-negative integer power.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdf::Rational;
+    /// assert_eq!(Rational::new(1, 2).pow(3), Rational::new(1, 8));
+    /// assert_eq!(Rational::new(5, 7).pow(0), Rational::ONE);
+    /// ```
+    pub fn pow(&self, exp: u32) -> Self {
+        let mut acc = ONE;
+        for _ in 0..exp {
+            acc *= *self;
+        }
+        acc
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        ZERO
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denom == 1 {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::integer(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::integer(n as i128)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(n: u64) -> Self {
+        Rational::integer(n as i128)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(n: u32) -> Self {
+        Rational::integer(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::integer(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Self) -> Self {
+        // lcm-based addition keeps intermediates as small as possible.
+        let g = gcd(self.denom, rhs.denom);
+        let n = self.numer * (rhs.denom / g) + rhs.numer * (self.denom / g);
+        let d = (self.denom / g) * rhs.denom;
+        Rational::new(n, d)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Self) -> Self {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Self) -> Self {
+        self.checked_mul(rhs)
+            .expect("rational multiplication overflowed i128")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Self) -> Self {
+        assert!(!rhs.is_zero(), "division of rational by zero");
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Self {
+        Rational {
+            numer: -self.numer,
+            denom: self.denom,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Fast path: cross-multiplication (denominators are positive).
+        if let (Some(l), Some(r)) = (
+            self.numer.checked_mul(other.denom),
+            other.numer.checked_mul(self.denom),
+        ) {
+            return l.cmp(&r);
+        }
+        // Overflow-proof exact path: continued-fraction comparison.
+        cmp_fraction(self.numer, self.denom, other.numer, other.denom)
+    }
+}
+
+/// Compares `a/b` with `c/d` (b, d > 0) without overflowing, by comparing
+/// Euclidean quotients and recursing on the remainders.
+fn cmp_fraction(a: i128, b: i128, c: i128, d: i128) -> Ordering {
+    debug_assert!(b > 0 && d > 0);
+    let (qa, ra) = (a.div_euclid(b), a.rem_euclid(b));
+    let (qc, rc) = (c.div_euclid(d), c.rem_euclid(d));
+    match qa.cmp(&qc) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    match (ra == 0, rc == 0) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        // a/b vs c/d with equal integer parts: compare remainders
+        // ra/b vs rc/d ⇔ d/rc vs b/ra (reversed).
+        (false, false) => cmp_fraction(d, rc, b, ra),
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Self {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 7), ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let x = Rational::new(3, 7);
+        assert_eq!(x + ZERO, x);
+        assert_eq!(x * ONE, x);
+        assert_eq!(x - x, ZERO);
+        assert_eq!(x / x, ONE);
+        assert_eq!(-(-x), x);
+    }
+
+    #[test]
+    fn paper_waiting_time_example() {
+        // µ(a0)·P(a0) = 50 · 1/3 = 50/3 ≈ 17 from the paper's Section 3.
+        let mu = Rational::integer(50);
+        let p = Rational::new(1, 3);
+        let w = mu * p;
+        assert_eq!(w, Rational::new(50, 3));
+        assert_eq!(w.floor(), 16);
+        assert_eq!(w.ceil(), 17);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
+        assert_eq!(
+            Rational::new(2, 6).cmp(&Rational::new(1, 3)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(10, 2).to_string(), "5");
+        assert_eq!(Rational::new(50, 3).to_string(), "50/3");
+        assert_eq!(Rational::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::integer(4).floor(), 4);
+        assert_eq!(Rational::integer(4).ceil(), 4);
+        assert_eq!(Rational::new(9, 4).floor(), 2);
+        assert_eq!(Rational::new(9, 4).ceil(), 3);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rational = (1..=3).map(|n| Rational::new(1, n)).sum();
+        assert_eq!(total, Rational::new(11, 6));
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        let huge = Rational::integer(i128::MAX / 2);
+        assert!(huge.checked_mul(huge).is_none());
+        assert!(huge.checked_add(huge).is_some());
+        assert!(Rational::integer(i128::MAX)
+            .checked_add(Rational::integer(i128::MAX))
+            .is_none());
+    }
+
+    #[test]
+    fn quantize_exact_values_unchanged() {
+        for r in [
+            Rational::new(1, 3),
+            Rational::new(50, 3),
+            Rational::new(-7, 8),
+            Rational::integer(42),
+            ZERO,
+        ] {
+            assert_eq!(r.quantize(2520), r, "{r}");
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_to_grid() {
+        // 1/3 on a grid of 2: 0.333 → 1/2 (round half up of 0.666 is 1).
+        assert_eq!(Rational::new(1, 3).quantize(2), Rational::new(1, 2));
+        assert_eq!(Rational::new(1, 5).quantize(2), ZERO); // 0.4 → 0
+        assert_eq!(Rational::new(3, 10).quantize(5), Rational::new(2, 5)); // 0.3·5 = 1.5 ties up → 2/5
+        // Verify the tie rule explicitly: 1.5 rounds up.
+        assert_eq!(Rational::new(3, 2).quantize(1), Rational::integer(2));
+        assert_eq!(Rational::new(-3, 2).quantize(1), Rational::integer(-1));
+        // Error is at most half a grid step.
+        let x = Rational::new(355, 113);
+        let q = x.quantize(1000);
+        assert!((q - x).abs() <= Rational::new(1, 2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be positive")]
+    fn quantize_zero_grid_panics() {
+        let _ = ONE.quantize(0);
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(Rational::new(2, 3).pow(2), Rational::new(4, 9));
+        assert_eq!(Rational::new(-1, 2).pow(3), Rational::new(-1, 8));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,246 @@
+//! Structural analyses on the actor/channel topology: strongly connected
+//! components (Tarjan), reachability and connectivity predicates.
+//!
+//! The paper's evaluation uses *strongly connected* SDFGs ("every actor in
+//! the graph can be reached from every actor"); the generator and several
+//! analyses rely on the predicates here.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf::{figure2_graphs, is_strongly_connected, strongly_connected_components};
+//!
+//! let (a, _) = figure2_graphs();
+//! assert!(is_strongly_connected(&a));
+//! assert_eq!(strongly_connected_components(&a).len(), 1);
+//! ```
+
+use crate::graph::{ActorId, SdfGraph};
+
+/// Computes the strongly connected components of the graph with Tarjan's
+/// algorithm (iterative, so deep graphs cannot overflow the stack).
+///
+/// Components are returned in reverse topological order (Tarjan's natural
+/// output order); each component lists its member actors.
+///
+/// # Examples
+///
+/// ```
+/// use sdf::{strongly_connected_components, SdfGraphBuilder};
+///
+/// let mut b = SdfGraphBuilder::new("g");
+/// let x = b.actor("x", 1);
+/// let y = b.actor("y", 1);
+/// b.channel(x, y, 1, 1, 0)?; // x -> y only: two SCCs
+/// let g = b.build()?;
+/// assert_eq!(strongly_connected_components(&g).len(), 2);
+/// # Ok::<(), sdf::SdfError>(())
+/// ```
+pub fn strongly_connected_components(graph: &SdfGraph) -> Vec<Vec<ActorId>> {
+    let n = graph.actor_count();
+    const UNVISITED: usize = usize::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<ActorId>> = Vec::new();
+
+    // Explicit DFS state machine: (vertex, next-edge-offset).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut edge)) = call_stack.last_mut() {
+            let out = graph.outgoing(ActorId(v));
+            if *edge < out.len() {
+                let cid = out[*edge];
+                *edge += 1;
+                let w = graph.channel(cid).dst().0;
+                if w == v {
+                    continue; // self-loop: no effect on SCCs
+                }
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC stack cannot underflow");
+                        on_stack[w] = false;
+                        component.push(ActorId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Returns `true` iff every actor can reach every other actor.
+///
+/// Single-actor graphs are strongly connected by convention.
+///
+/// # Examples
+///
+/// ```
+/// use sdf::{figure2_graphs, is_strongly_connected};
+/// let (a, _) = figure2_graphs();
+/// assert!(is_strongly_connected(&a));
+/// ```
+pub fn is_strongly_connected(graph: &SdfGraph) -> bool {
+    strongly_connected_components(graph).len() == 1
+}
+
+/// Set of actors reachable from `start` (including `start` itself).
+///
+/// # Examples
+///
+/// ```
+/// use sdf::{reachable_from, ActorId, SdfGraphBuilder};
+///
+/// let mut b = SdfGraphBuilder::new("g");
+/// let x = b.actor("x", 1);
+/// let y = b.actor("y", 1);
+/// let z = b.actor("z", 1);
+/// b.channel(x, y, 1, 1, 0)?;
+/// let g = b.build()?;
+/// let r = reachable_from(&g, x);
+/// assert!(r.contains(&y) && !r.contains(&z));
+/// # Ok::<(), sdf::SdfError>(())
+/// ```
+pub fn reachable_from(graph: &SdfGraph, start: ActorId) -> Vec<ActorId> {
+    let n = graph.actor_count();
+    let mut seen = vec![false; n];
+    let mut stack = vec![start.0];
+    seen[start.0] = true;
+    while let Some(v) = stack.pop() {
+        for &cid in graph.outgoing(ActorId(v)) {
+            let w = graph.channel(cid).dst().0;
+            if !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    (0..n).filter(|&i| seen[i]).map(ActorId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraphBuilder;
+
+    fn chain(n: usize) -> SdfGraph {
+        let mut b = SdfGraphBuilder::new("chain");
+        let ids: Vec<_> = (0..n).map(|i| b.actor(format!("a{i}"), 1)).collect();
+        for w in ids.windows(2) {
+            b.channel(w[0], w[1], 1, 1, 0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn ring(n: usize) -> SdfGraph {
+        let mut b = SdfGraphBuilder::new("ring");
+        let ids: Vec<_> = (0..n).map(|i| b.actor(format!("a{i}"), 1)).collect();
+        for i in 0..n {
+            b.channel(ids[i], ids[(i + 1) % n], 1, 1, u64::from(i == n - 1))
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_has_n_sccs() {
+        let g = chain(5);
+        assert_eq!(strongly_connected_components(&g).len(), 5);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn ring_is_one_scc() {
+        let g = ring(6);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 6);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn single_actor_strongly_connected() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        b.self_loop(x, 1);
+        assert!(is_strongly_connected(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn two_rings_bridged_one_way() {
+        // ring(3) -> ring(3): two SCCs of size 3.
+        let mut b = SdfGraphBuilder::new("g");
+        let ids: Vec<_> = (0..6).map(|i| b.actor(format!("a{i}"), 1)).collect();
+        for i in 0..3 {
+            b.channel(ids[i], ids[(i + 1) % 3], 1, 1, 0).unwrap();
+            b.channel(ids[3 + i], ids[3 + (i + 1) % 3], 1, 1, 0).unwrap();
+        }
+        b.channel(ids[0], ids[3], 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn reachability_on_chain() {
+        let g = chain(4);
+        assert_eq!(reachable_from(&g, ActorId(0)).len(), 4);
+        assert_eq!(reachable_from(&g, ActorId(2)).len(), 2);
+        assert_eq!(reachable_from(&g, ActorId(3)), vec![ActorId(3)]);
+    }
+
+    #[test]
+    fn self_loops_ignored_for_scc() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.self_loop(x, 1);
+        b.self_loop(y, 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(strongly_connected_components(&g).len(), 2);
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // 50_000-node chain would overflow a recursive Tarjan.
+        let g = chain(50_000);
+        assert_eq!(strongly_connected_components(&g).len(), 50_000);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation: accuracy and cost of the m-th order approximation (Equation 5)
+//! as the order m grows — the design trade-off behind the paper's choice to
+//! evaluate the second and fourth orders.
+//!
+//! Two views:
+//! 1. a single node with n synthetic actors: waiting time per order vs the
+//!    exact Equation 4 value;
+//! 2. the full ten-application workload: period inaccuracy vs simulation per
+//!    order.
+//!
+//! Run with: `cargo run --release --example order_sweep`
+
+use contention::{estimate, waiting_time, ActorLoad, Method, Order};
+use experiments::workload::{paper_workload, DEFAULT_SEED};
+use mpsoc_sim::{simulate, SimConfig};
+use platform::UseCase;
+use sdf::Rational;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- View 1: convergence on one node -------------------------------
+    // Nine co-mapped actors (the paper's 10-app workload puts up to nine
+    // "others" on a node) with mixed utilisations.
+    let loads: Vec<ActorLoad> = (0..9)
+        .map(|i| {
+            ActorLoad::new(
+                Rational::new(1 + i % 3, 5 + i),
+                Rational::integer(20 + 7 * i),
+            )
+            .expect("valid load")
+        })
+        .collect();
+    let exact = waiting_time(&loads, Order::Exact);
+    println!("Nine co-mapped actors; exact waiting time = {:.4}\n", exact.to_f64());
+    println!("{:<8} {:>12} {:>12}", "order", "waiting", "error vs exact");
+    println!("{}", "-".repeat(34));
+    for m in 1..=9 {
+        let w = waiting_time(&loads, Order::Truncated(m));
+        let err = (w - exact).to_f64();
+        println!("{:<8} {:>12.4} {:>+12.4}", m, w.to_f64(), err);
+    }
+
+    // --- View 2: end-to-end inaccuracy on the paper workload -----------
+    let spec = paper_workload(DEFAULT_SEED)?;
+    let full = UseCase::full(spec.application_count());
+    let sim = simulate(&spec, full, SimConfig::with_horizon(200_000))?;
+
+    println!("\nFull 10-application use-case, estimate vs simulation:");
+    println!(
+        "{:<10} {:>16} {:>14}",
+        "method", "mean |dev| %", "analysis time"
+    );
+    println!("{}", "-".repeat(42));
+    let mut methods: Vec<Method> = (1..=6).map(Method::Order).collect();
+    methods.push(Method::Exact);
+    methods.push(Method::Composability);
+    for method in methods {
+        let start = Instant::now();
+        let est = estimate(&spec, full, method)?;
+        let elapsed = start.elapsed();
+        let mut total = 0.0;
+        let mut count = 0;
+        for m in sim.apps() {
+            let s = m.average_period().expect("iterations");
+            let e = est.period(m.app()).to_f64();
+            total += ((e - s) / s).abs() * 100.0;
+            count += 1;
+        }
+        println!(
+            "{:<10} {:>15.2}% {:>14.2?}",
+            method.to_string(),
+            total / count as f64,
+            elapsed
+        );
+    }
+    println!(
+        "\nEven orders over-estimate and odd orders under-estimate the exact\n\
+         formula (alternating series); past order ~4 the change is negligible,\n\
+         matching the paper's choice of the second/fourth orders."
+    );
+    Ok(())
+}

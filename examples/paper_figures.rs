@@ -1,0 +1,78 @@
+//! Full reproduction of the paper's evaluation (Section 5): Figure 5,
+//! Table 1, Figure 6 and the timing comparison, over all 1023 use-cases of
+//! the ten-application workload at the paper's 500 000-cycle horizon.
+//!
+//! Prints every artefact and writes CSV series to `results/`.
+//!
+//! Run with: `cargo run --release --example paper_figures`
+//! (use `-- --quick` for a 50 000-cycle horizon)
+
+use contention::Method;
+use experiments::{
+    fig5::{figure5_from_eval, figure5_methods},
+    fig6::figure6,
+    report::{
+        fig5_csv, fig6_csv, render_fig5, render_fig6, render_table1, render_timing, table1_csv,
+    },
+    runner::{evaluate, EvalOptions},
+    table1::table1,
+    timing::TimingSummary,
+    workload::{paper_workload, DEFAULT_SEED},
+};
+use mpsoc_sim::SimConfig;
+use platform::UseCase;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let horizon = if quick { 50_000 } else { 500_000 };
+
+    let spec = paper_workload(DEFAULT_SEED)?;
+    println!(
+        "Workload: {} applications on {} nodes (seed {DEFAULT_SEED}), horizon {horizon}",
+        spec.application_count(),
+        spec.node_count()
+    );
+
+    // The paper's four methods plus the exact formula for reference.
+    let mut methods = Method::table1().to_vec();
+    methods.extend(
+        figure5_methods()
+            .into_iter()
+            .filter(|m| !Method::table1().contains(m)),
+    );
+
+    let all = UseCase::all(spec.application_count());
+    println!("Evaluating {} use-cases …", all.len());
+    let eval = evaluate(
+        &spec,
+        &all,
+        &EvalOptions {
+            methods,
+            sim: SimConfig::with_horizon(horizon),
+        },
+    )?;
+
+    println!("\n===== Table 1: measured inaccuracy vs simulation =====");
+    let rows = table1(&eval);
+    println!("{}", render_table1(&rows));
+
+    println!("===== Figure 5: normalized period, all 10 applications concurrent =====");
+    let fig5 = figure5_from_eval(&spec, &eval).expect("full use-case evaluated");
+    println!("{}", render_fig5(&fig5));
+
+    println!("===== Figure 6: period inaccuracy vs number of concurrent applications =====");
+    let fig6 = figure6(&eval, spec.application_count());
+    println!("{}", render_fig6(&fig6));
+
+    println!("===== Timing (paper: 23 h simulation vs ~10 min analysis) =====");
+    let timing = TimingSummary::from_evaluation(&eval);
+    println!("{}", render_timing(&timing));
+
+    fs::create_dir_all("results")?;
+    fs::write("results/table1.csv", table1_csv(&rows))?;
+    fs::write("results/fig5.csv", fig5_csv(&fig5))?;
+    fs::write("results/fig6.csv", fig6_csv(&fig6))?;
+    println!("CSV series written to results/{{table1,fig5,fig6}}.csv");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! The independence caveat, made visible.
+//!
+//! Section 3.1 of the paper: "we have assumed that arrival of actors on a
+//! node is independent. In practice, this assumption is not always valid.
+//! Resource contention will inevitably make the independent actors dependent
+//! on each other."
+//!
+//! This example shows the extreme case. A blocker actor (`P = 1/2`,
+//! `µ = 50`) shares a node with a tiny victim actor; the independent-arrival
+//! model predicts the victim waits `µ·P = 25` time units on average. In the
+//! *deterministic* coupled system, however, the victim phase-locks just
+//! behind the blocker and waits essentially nothing — and the lock is an
+//! attractor that survives execution-time jitter up to ~±30 % before the
+//! prediction progressively re-emerges.
+//!
+//! Run with: `cargo run --release --example phase_lock`
+
+use contention::{waiting_time, ActorLoad, ExecutionTime, Order};
+use mpsoc_sim::{simulate, JitterConfig, SimConfig};
+use platform::{AppId, Application, Mapping, SystemSpec, UseCase};
+use sdf::{ActorId, Rational, SdfGraphBuilder};
+
+fn two_actor_app(name: &str, t0: u64, t1: u64) -> Application {
+    let mut b = SdfGraphBuilder::new(name);
+    let x = b.actor("x", t0);
+    let y = b.actor("y", t1);
+    b.channel(x, y, 1, 1, 0).expect("valid");
+    b.channel(y, x, 1, 1, 1).expect("valid");
+    Application::new(name, b.build().expect("valid")).expect("valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SystemSpec::builder()
+        .application(two_actor_app("blocker", 100, 100)) // period 200, P = 1/2
+        .application(two_actor_app("victim", 2, 188)) // period 190
+        .mapping(Mapping::by_actor_index(2))
+        .build()?;
+
+    // Model predictions for the victim's waiting time on node 0.
+    let constant = ActorLoad::from_constant_time(
+        Rational::integer(100),
+        1,
+        Rational::integer(200),
+    )?;
+    let predicted_constant = waiting_time(&[constant], Order::Exact).to_f64();
+
+    println!("Independent-arrival prediction (constant τ): µ·P = {predicted_constant:.1}\n");
+    println!("{:>7} {:>14} {:>22}", "jitter", "observed wait", "stochastic prediction");
+    println!("{}", "-".repeat(46));
+
+    for spread in [0u32, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let mut cfg = SimConfig::with_horizon(2_000_000);
+        if spread > 0 {
+            cfg.jitter = Some(JitterConfig {
+                spread_percent: spread,
+                seed: 42,
+            });
+        }
+        let result = simulate(&spec, UseCase::full(2), cfg)?;
+        let observed = result
+            .actor_stats(AppId(1), ActorId(0))
+            .expect("victim active")
+            .mean_wait()
+            .expect("victim fired");
+
+        // Stochastic model with the same uniform spread.
+        let s = spread as i128;
+        let predicted = if spread == 0 {
+            predicted_constant
+        } else {
+            let dist = ExecutionTime::uniform(
+                Rational::integer(100 - s),
+                Rational::integer(100 + s),
+            )
+            .or_else(|_| {
+                ExecutionTime::uniform(Rational::integer(1), Rational::integer(100 + s))
+            })?;
+            let load = ActorLoad::from_distribution(&dist, 1, Rational::integer(200))?;
+            waiting_time(&[load], Order::Exact).to_f64()
+        };
+        println!("{:>6}% {:>14.3} {:>22.1}", spread, observed, predicted);
+    }
+
+    println!(
+        "\nAt 0-30% jitter the victim re-synchronises every cycle (wait ≈ 0):\n\
+         resource contention has made the 'independent' actors dependent —\n\
+         the caveat the paper states in Section 3.1. Larger jitter breaks the\n\
+         lock and the probabilistic prediction becomes the right order of\n\
+         magnitude again. Across many random applications these dependences\n\
+         average out, which is why the paper's (and this reproduction's)\n\
+         aggregate inaccuracy stays near 10%."
+    );
+    Ok(())
+}

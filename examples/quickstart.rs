@@ -1,0 +1,91 @@
+//! Quickstart: the paper's worked example (Figures 2 and 3, Section 3).
+//!
+//! Two three-actor applications `A` and `B` share three processors; actor
+//! `i` of each application runs on processor `i`. We reproduce the paper's
+//! numbers end to end — blocking probabilities, waiting times, estimated
+//! periods — and then check the estimate against the discrete-event
+//! simulator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use contention::{estimate, Method};
+use mpsoc_sim::{simulate, SimConfig};
+use platform::{AppId, Application, Mapping, SystemSpec, UseCase};
+use sdf::figure2_graphs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The SDFGs of the paper's Figure 2: τ(A) = [100, 50, 100] with
+    // q = [1, 2, 1]; τ(B) = [50, 100, 100] with q = [2, 1, 1].
+    let (graph_a, graph_b) = figure2_graphs();
+    let spec = SystemSpec::builder()
+        .application(Application::new("A", graph_a)?)
+        .application(Application::new("B", graph_b)?)
+        .mapping(Mapping::by_actor_index(3))
+        .build()?;
+
+    println!("== Applications in isolation ==");
+    for (_, app) in spec.iter() {
+        println!(
+            "  {}: period {} (throughput {})",
+            app.name(),
+            app.isolation_period(),
+            app.isolation_throughput()
+        );
+    }
+
+    // Estimate the contended period with every method.
+    let use_case = UseCase::full(2);
+    println!("\n== Estimated period when A and B run concurrently ==");
+    for method in [
+        Method::Exact,
+        Method::SECOND_ORDER,
+        Method::FOURTH_ORDER,
+        Method::Composability,
+        Method::WorstCaseRoundRobin,
+        Method::WorstCaseTdma,
+    ] {
+        let est = estimate(&spec, use_case, method)?;
+        println!(
+            "  {:<16} Per(A) = {} ≈ {:.1}, Per(B) = {} ≈ {:.1}",
+            method.to_string(),
+            est.period(AppId(0)),
+            est.period(AppId(0)).to_f64(),
+            est.period(AppId(1)),
+            est.period(AppId(1)).to_f64(),
+        );
+    }
+
+    // The per-actor waiting times of Section 3.1.
+    let est = estimate(&spec, use_case, Method::Exact)?;
+    println!("\n== Waiting times (paper: a = [25/3, 50/3, 50/3], b = [50/3, 25/3, 50/3]) ==");
+    for (app_id, app) in spec.iter() {
+        for actor in app.graph().actor_ids() {
+            let w = est.waiting_time(app_id, actor).expect("actor analyzed");
+            println!(
+                "  twait({}{}) = {} ≈ {:.1}",
+                app.name().to_lowercase(),
+                actor.index(),
+                w,
+                w.to_f64()
+            );
+        }
+    }
+
+    // Ground truth: simulate the same use-case.
+    let sim = simulate(&spec, use_case, SimConfig::with_horizon(100_000))?;
+    println!("\n== Simulated (non-preemptive FCFS, horizon 100k) ==");
+    for m in sim.apps() {
+        println!(
+            "  {}: average period {:.1}, worst {}, {} iterations",
+            spec.application(m.app()).name(),
+            m.average_period().expect("enough iterations"),
+            m.worst_period().expect("enough iterations"),
+            m.iterations()
+        );
+    }
+    println!(
+        "\nThe paper notes the probabilistic estimate (~359) lands between the\n\
+         simulated periods of the two possible cyclic alignments (300 and 400)."
+    );
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! A multi-featured media device — the scenario the paper's title and
+//! introduction motivate.
+//!
+//! A set-top box runs up to four features concurrently on four processing
+//! nodes (RISC, DSP, VLIW, DMA): an H.263-style video decoder, an MP3-style
+//! audio decoder, a JPEG photo viewer and the UI renderer. Each feature is a
+//! hand-modelled SDF graph; features share nodes, so enabling one feature
+//! degrades the others. The example estimates every feature combination
+//! analytically (second order) and checks the interesting ones against
+//! simulation — exactly the design-time question ("which use-cases still
+//! meet their frame rates?") the paper's technique answers without
+//! simulating all 2ⁿ combinations.
+//!
+//! Run with: `cargo run --release --example set_top_box`
+
+use contention::{estimate, Method};
+use mpsoc_sim::{simulate, SimConfig};
+use platform::{AppId, Application, Mapping, NodeId, SystemSpec, UseCase};
+use sdf::{ActorId, SdfGraph, SdfGraphBuilder};
+
+/// H.263-style video decoder: vld → idct → mc → display with a feedback for
+/// the reference frame. Times in µs-scale cycles; target ≈ one frame per
+/// 1200 time units in isolation.
+fn video_decoder() -> Result<SdfGraph, sdf::SdfError> {
+    let mut b = SdfGraphBuilder::new("video");
+    let vld = b.actor("vld", 300);
+    let idct = b.actor("idct", 400);
+    let mc = b.actor("mc", 350);
+    let disp = b.actor("display", 150);
+    b.channel(vld, idct, 1, 1, 0)?;
+    b.channel(idct, mc, 1, 1, 0)?;
+    b.channel(mc, disp, 1, 1, 0)?;
+    b.channel(disp, vld, 1, 1, 1)?; // frame-buffer feedback
+    b.channel(mc, vld, 1, 1, 1)?; // reference frame dependency
+    for a in [vld, idct, mc, disp] {
+        b.self_loop(a, 1);
+    }
+    b.build()
+}
+
+/// MP3-style audio decoder: huffman → subband synthesis (fires twice per
+/// granule) → pcm output.
+fn audio_decoder() -> Result<SdfGraph, sdf::SdfError> {
+    let mut b = SdfGraphBuilder::new("audio");
+    let huff = b.actor("huffman", 120);
+    let synth = b.actor("synthesis", 180);
+    let pcm = b.actor("pcm", 60);
+    b.channel(huff, synth, 2, 1, 0)?;
+    b.channel(synth, pcm, 1, 2, 0)?;
+    b.channel(pcm, huff, 1, 1, 1)?;
+    for a in [huff, synth, pcm] {
+        b.self_loop(a, 1);
+    }
+    b.build()
+}
+
+/// JPEG photo viewer: parse → dequant/idct → scale.
+fn photo_viewer() -> Result<SdfGraph, sdf::SdfError> {
+    let mut b = SdfGraphBuilder::new("photo");
+    let parse = b.actor("parse", 200);
+    let idct = b.actor("jpeg-idct", 500);
+    let scale = b.actor("scale", 250);
+    b.channel(parse, idct, 1, 1, 0)?;
+    b.channel(idct, scale, 1, 1, 0)?;
+    b.channel(scale, parse, 1, 1, 1)?;
+    for a in [parse, idct, scale] {
+        b.self_loop(a, 1);
+    }
+    b.build()
+}
+
+/// UI renderer: events → layout → blit.
+fn ui_renderer() -> Result<SdfGraph, sdf::SdfError> {
+    let mut b = SdfGraphBuilder::new("ui");
+    let events = b.actor("events", 80);
+    let layout = b.actor("layout", 220);
+    let blit = b.actor("blit", 120);
+    b.channel(events, layout, 1, 1, 0)?;
+    b.channel(layout, blit, 1, 1, 0)?;
+    b.channel(blit, events, 1, 1, 1)?;
+    for a in [events, layout, blit] {
+        b.self_loop(a, 1);
+    }
+    b.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four nodes: RISC(0), DSP(1), VLIW(2), DMA(3). Heterogeneous explicit
+    // mapping: compute-heavy actors share the DSP and VLIW — the contention
+    // hot-spots.
+    let mut mapping = Mapping::explicit();
+    let assignments: [(usize, &[usize]); 4] = [
+        (0, &[0, 2, 1, 3]), // video: vld→RISC, idct→VLIW, mc→DSP, display→DMA
+        (1, &[0, 1, 3]),    // audio: huffman→RISC, synthesis→DSP, pcm→DMA
+        (2, &[0, 2, 3]),    // photo: parse→RISC, idct→VLIW, scale→DMA
+        (3, &[0, 2, 3]),    // ui: events→RISC, layout→VLIW, blit→DMA
+    ];
+    for (app, nodes) in assignments {
+        for (actor, &node) in nodes.iter().enumerate() {
+            mapping.assign(AppId(app), ActorId(actor), NodeId(node));
+        }
+    }
+
+    let spec = SystemSpec::builder()
+        .application(Application::new("video", video_decoder()?)?)
+        .application(Application::new("audio", audio_decoder()?)?)
+        .application(Application::new("photo", photo_viewer()?)?)
+        .application(Application::new("ui", ui_renderer()?)?)
+        .mapping(mapping)
+        .build()?;
+
+    println!("Feature set: video, audio, photo, ui on 4 nodes (RISC/DSP/VLIW/DMA)\n");
+    println!("Isolation periods:");
+    for (_, app) in spec.iter() {
+        println!("  {:<6} {}", app.name(), app.isolation_period());
+    }
+
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "use-case", "video", "audio", "photo", "ui"
+    );
+    println!("{}", "-".repeat(66));
+
+    // All 15 feature combinations, estimated analytically.
+    for uc in UseCase::all(4) {
+        let est = estimate(&spec, uc, Method::SECOND_ORDER)?;
+        let name: Vec<&str> = uc
+            .app_ids()
+            .map(|a| spec.application(a).name())
+            .collect();
+        let mut cells = Vec::new();
+        for id in [0, 1, 2, 3].map(AppId) {
+            if uc.contains(id) {
+                cells.push(format!("{:>10.0}", est.period(id).to_f64()));
+            } else {
+                cells.push(format!("{:>10}", "-"));
+            }
+        }
+        println!("{:<22} {}", name.join("+"), cells.join(" "));
+    }
+
+    // Cross-check the maximum-contention use-case against simulation.
+    let full = UseCase::full(4);
+    let est = estimate(&spec, full, Method::SECOND_ORDER)?;
+    let sim = simulate(&spec, full, SimConfig::with_horizon(500_000))?;
+    println!("\nAll features on — estimate vs simulation:");
+    for (id, app) in spec.iter() {
+        let e = est.period(id).to_f64();
+        let s = sim.app(id).expect("active").average_period().expect("iterations");
+        println!(
+            "  {:<6} estimated {:>7.0}  simulated {:>7.1}  deviation {:>5.1}%",
+            app.name(),
+            e,
+            s,
+            (e - s).abs() / s * 100.0
+        );
+    }
+    Ok(())
+}

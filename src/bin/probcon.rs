@@ -1,0 +1,331 @@
+//! `probcon` — command-line front-end for the library.
+//!
+//! ```text
+//! probcon generate --seed 7 [--actors N] [--out graph.json] [--dot graph.dot]
+//! probcon analyze  <graph.json>
+//! probcon estimate --seed 2007 --apps 10 --use-case 1023 [--method order-2]
+//! probcon simulate --seed 2007 --apps 10 --use-case 1023 [--horizon 500000]
+//! probcon paper    [--quick]
+//! ```
+
+use contention::{estimate, Method};
+use experiments::{
+    report::{render_fig5, render_fig6, render_table1, render_timing},
+    runner::{evaluate, EvalOptions},
+    workload::workload_with,
+};
+use mpsoc_sim::{simulate, SimConfig};
+use platform::UseCase;
+use sdf::{
+    analyze_period, buffer_requirements, generate_graph, iteration_latency,
+    repetition_vector, to_dot, GeneratorConfig, SdfGraph,
+};
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+probcon — probabilistic resource-contention performance estimation (DAC 2007 reproduction)
+
+USAGE:
+  probcon generate --seed <u64> [--actors <n>] [--out <file.json>] [--dot <file.dot>]
+      Generate a random consistent, strongly connected, live SDF graph.
+
+  probcon analyze <graph.json>
+      Repetition vector, period, throughput, latency and buffer needs of a graph.
+
+  probcon estimate --seed <u64> --apps <n> --use-case <mask> [--method <m>]
+      Estimate per-application periods under contention for one use-case of a
+      seeded random workload. Methods: exact, order-2, order-4, composability,
+      worst-case-rr, worst-case-tdma.
+
+  probcon simulate --seed <u64> --apps <n> --use-case <mask> [--horizon <cycles>]
+      Simulate the same use-case (ground truth).
+
+  probcon signoff --seed <u64> --apps <n> [--method <m>]
+      Per-application worst/best predicted period over ALL 2^n - 1 use-cases.
+
+  probcon paper [--quick]
+      Regenerate Table 1, Figure 5, Figure 6 and the timing comparison.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `args` into positional arguments and `--key value` options.
+fn parse(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                options.insert(key, args[i + 1].as_str());
+                i += 2;
+            } else {
+                options.insert(key, "true");
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    (positional, options)
+}
+
+fn opt_u64(options: &HashMap<&str, &str>, key: &str) -> Result<Option<u64>, String> {
+    options
+        .get(key)
+        .map(|v| v.parse::<u64>().map_err(|_| format!("--{key}: expected a number, got '{v}'")))
+        .transpose()
+}
+
+fn require_u64(options: &HashMap<&str, &str>, key: &str) -> Result<u64, String> {
+    opt_u64(options, key)?.ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn parse_method(s: &str) -> Result<Method, String> {
+    Ok(match s {
+        "exact" => Method::Exact,
+        "order-2" => Method::SECOND_ORDER,
+        "order-4" => Method::FOURTH_ORDER,
+        "composability" => Method::Composability,
+        "worst-case-rr" => Method::WorstCaseRoundRobin,
+        "worst-case-tdma" => Method::WorstCaseTdma,
+        other => {
+            if let Some(m) = other.strip_prefix("order-") {
+                Method::Order(m.parse().map_err(|_| format!("bad order '{other}'"))?)
+            } else {
+                return Err(format!("unknown method '{other}'"));
+            }
+        }
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (positional, options) = parse(args);
+    let Some(&command) = positional.first() else {
+        return Err("no command given".into());
+    };
+
+    match command {
+        "generate" => cmd_generate(&options),
+        "analyze" => cmd_analyze(positional.get(1).copied(), &options),
+        "estimate" => cmd_estimate(&options),
+        "simulate" => cmd_simulate(&options),
+        "signoff" => cmd_signoff(&options),
+        "paper" => cmd_paper(&options),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn cmd_generate(options: &HashMap<&str, &str>) -> Result<(), String> {
+    let seed = require_u64(options, "seed")?;
+    let config = match opt_u64(options, "actors")? {
+        Some(n) => GeneratorConfig::with_actors(n as usize),
+        None => GeneratorConfig::default(),
+    };
+    let graph = generate_graph(&config, seed);
+    println!(
+        "generated '{}': {} actors, {} channels",
+        graph.name(),
+        graph.actor_count(),
+        graph.channel_count()
+    );
+    if let Some(path) = options.get("out") {
+        let json = serde_json::to_string_pretty(&graph)
+            .map_err(|e| format!("serialize: {e}"))?;
+        fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = options.get("dot") {
+        fs::write(path, to_dot(&graph)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(path: Option<&str>, _options: &HashMap<&str, &str>) -> Result<(), String> {
+    let path = path.ok_or("analyze needs a graph file")?;
+    let json = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let graph: SdfGraph =
+        serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+
+    let q = repetition_vector(&graph).map_err(|e| e.to_string())?;
+    let analysis = analyze_period(&graph).map_err(|e| e.to_string())?;
+    let latency = iteration_latency(&graph).map_err(|e| e.to_string())?;
+    let buffers = buffer_requirements(&graph).map_err(|e| e.to_string())?;
+
+    println!("graph '{}'", graph.name());
+    println!("  actors            : {}", graph.actor_count());
+    println!("  channels          : {}", graph.channel_count());
+    println!("  repetition vector : {q}");
+    println!(
+        "  period            : {} (≈ {:.3})",
+        analysis.period,
+        analysis.period.to_f64()
+    );
+    println!(
+        "  throughput        : {} (≈ {:.6})",
+        analysis.throughput(),
+        analysis.throughput().to_f64()
+    );
+    println!(
+        "  iteration latency : {} (≈ {:.3})",
+        latency,
+        latency.to_f64()
+    );
+    println!("  buffer tokens     : {} total", buffers.total_tokens());
+    for (cid, c) in graph.channels() {
+        println!(
+            "    {} {} -> {} : capacity {}",
+            cid,
+            graph.actor(c.src()).name(),
+            graph.actor(c.dst()).name(),
+            buffers.capacity(cid)
+        );
+    }
+    Ok(())
+}
+
+fn workload_from(options: &HashMap<&str, &str>) -> Result<platform::SystemSpec, String> {
+    let seed = require_u64(options, "seed")?;
+    let apps = require_u64(options, "apps")? as usize;
+    if apps == 0 || apps > 20 {
+        return Err("--apps must be in 1..=20".into());
+    }
+    workload_with(seed, apps, &GeneratorConfig::default()).map_err(|e| e.to_string())
+}
+
+fn use_case_from(options: &HashMap<&str, &str>, apps: usize) -> Result<UseCase, String> {
+    let mask = require_u64(options, "use-case")?;
+    if mask == 0 {
+        return Err("--use-case mask must be non-zero".into());
+    }
+    if mask >= (1u64 << apps) {
+        return Err(format!("--use-case mask {mask} exceeds 2^{apps} - 1"));
+    }
+    Ok(UseCase::from_mask(mask))
+}
+
+fn cmd_estimate(options: &HashMap<&str, &str>) -> Result<(), String> {
+    let spec = workload_from(options)?;
+    let uc = use_case_from(options, spec.application_count())?;
+    let method = parse_method(options.get("method").copied().unwrap_or("order-2"))?;
+
+    let start = std::time::Instant::now();
+    let est = estimate(&spec, uc, method).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+
+    println!("use-case {uc}, method {method} ({elapsed:?}):");
+    for (&app, period) in est.periods() {
+        let iso = spec.application(app).isolation_period();
+        println!(
+            "  {:<6} period {:>10.1} ({:.2}x isolation {:.1})",
+            spec.application(app).name(),
+            period.to_f64(),
+            (period.to_f64() / iso.to_f64()),
+            iso.to_f64()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(options: &HashMap<&str, &str>) -> Result<(), String> {
+    let spec = workload_from(options)?;
+    let uc = use_case_from(options, spec.application_count())?;
+    let horizon = opt_u64(options, "horizon")?.unwrap_or(500_000);
+
+    let start = std::time::Instant::now();
+    let result =
+        simulate(&spec, uc, SimConfig::with_horizon(horizon)).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+
+    println!(
+        "use-case {uc}, horizon {horizon} ({} events, {elapsed:?}):",
+        result.events_processed()
+    );
+    for m in result.apps() {
+        let name = spec.application(m.app()).name();
+        match (m.average_period(), m.worst_period()) {
+            (Some(avg), Some(worst)) => println!(
+                "  {:<6} period {:>10.1} (worst {:>8}) over {} iterations",
+                name,
+                avg,
+                worst,
+                m.iterations()
+            ),
+            _ => println!("  {name:<6} completed too few iterations"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_signoff(options: &HashMap<&str, &str>) -> Result<(), String> {
+    let spec = workload_from(options)?;
+    let method = parse_method(options.get("method").copied().unwrap_or("composability"))?;
+    let start = std::time::Instant::now();
+    let report = experiments::signoff::sign_off(&spec, method, None)
+        .map_err(|e| e.to_string())?;
+    println!("{}", report.render());
+    println!("({:?} total)", start.elapsed());
+    Ok(())
+}
+
+fn cmd_paper(options: &HashMap<&str, &str>) -> Result<(), String> {
+    let horizon = if options.contains_key("quick") {
+        50_000
+    } else {
+        500_000
+    };
+    let spec = workload_with(
+        experiments::workload::DEFAULT_SEED,
+        experiments::workload::PAPER_APP_COUNT,
+        &GeneratorConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let all = UseCase::all(spec.application_count());
+    let mut methods = Method::table1().to_vec();
+    methods.push(Method::Exact);
+    let eval = evaluate(
+        &spec,
+        &all,
+        &EvalOptions {
+            methods,
+            sim: SimConfig::with_horizon(horizon),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("===== Table 1 =====");
+    println!("{}", render_table1(&experiments::table1::table1(&eval)));
+    println!("===== Figure 5 =====");
+    if let Some(rows) = experiments::fig5::figure5_from_eval(&spec, &eval) {
+        println!("{}", render_fig5(&rows));
+    }
+    println!("===== Figure 6 =====");
+    println!(
+        "{}",
+        render_fig6(&experiments::fig6::figure6(&eval, spec.application_count()))
+    );
+    println!("===== Timing =====");
+    println!(
+        "{}",
+        render_timing(&experiments::timing::TimingSummary::from_evaluation(&eval))
+    );
+    Ok(())
+}

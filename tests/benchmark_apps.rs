@@ -1,0 +1,122 @@
+//! The classic media benchmarks (`sdf::benchmarks`) run through the whole
+//! pipeline: mapping onto a shared platform, analytical estimation,
+//! simulation, admission control.
+
+use contention::{estimate, Method};
+use mpsoc_sim::{simulate, SimConfig};
+use platform::{AppId, Application, Mapping, SystemSpec, UseCase};
+use sdf::benchmarks;
+
+/// cd2dat + mp3 + modem on a five-node platform (by actor index).
+fn media_spec() -> SystemSpec {
+    SystemSpec::builder()
+        .application(Application::new("cd2dat", benchmarks::cd2dat()).expect("valid"))
+        .application(Application::new("mp3", benchmarks::mp3_decoder()).expect("valid"))
+        .application(Application::new("modem", benchmarks::modem()).expect("valid"))
+        .mapping(Mapping::by_actor_index(5))
+        .build()
+        .expect("valid spec")
+}
+
+#[test]
+fn benchmarks_estimate_and_simulate_consistently() {
+    let spec = media_spec();
+    let uc = UseCase::full(3);
+    let est = estimate(&spec, uc, Method::SECOND_ORDER).expect("estimates");
+    let sim = simulate(&spec, uc, SimConfig::with_horizon(2_000_000)).expect("simulates");
+
+    for (id, app) in spec.iter() {
+        let iso = app.isolation_period().to_f64();
+        let e = est.period(id).to_f64();
+        let s = sim
+            .app(id)
+            .expect("active")
+            .average_period()
+            .expect("iterations");
+        // Estimates and simulation both at or above isolation…
+        assert!(e >= iso * 0.999, "{}: estimate below isolation", app.name());
+        assert!(s >= iso * 0.999, "{}: simulated below isolation", app.name());
+        // …and within an order of magnitude of each other. These classic
+        // graphs are the model's adversarial regime: cd2dat's bottleneck
+        // actor saturates its node (P = 1), where per-firing waiting-time
+        // inflation compounds across its 160 firings per iteration and the
+        // estimate overshoots ~3x — far outside the paper's random-workload
+        // setting but a useful documented stress bound.
+        let ratio = e / s;
+        assert!(
+            (0.2..=5.0).contains(&ratio),
+            "{}: estimate {e} vs simulated {s}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn worst_case_dominates_for_benchmarks() {
+    let spec = media_spec();
+    let uc = UseCase::full(3);
+    let prob = estimate(&spec, uc, Method::Exact).expect("estimates");
+    let wc = estimate(&spec, uc, Method::WorstCaseRoundRobin).expect("estimates");
+    for (id, _) in spec.iter() {
+        assert!(wc.period(id) >= prob.period(id));
+    }
+}
+
+#[test]
+fn h263_runs_the_pipeline_alone() {
+    // The H.263 decoder has q entries of 594 — a state-space and simulator
+    // stress test.
+    let spec = SystemSpec::builder()
+        .application(Application::new("h263", benchmarks::h263_decoder()).expect("valid"))
+        .mapping(Mapping::by_actor_index(4))
+        .build()
+        .expect("valid spec");
+    let iso = spec.application(AppId(0)).isolation_period().to_f64();
+    let sim = simulate(
+        &spec,
+        UseCase::single(AppId(0)),
+        SimConfig::with_horizon(20_000_000),
+    )
+    .expect("simulates");
+    let measured = sim
+        .app(AppId(0))
+        .unwrap()
+        .average_period()
+        .expect("iterations");
+    assert!(
+        (measured - iso).abs() / iso < 0.01,
+        "simulated {measured} vs analytical {iso}"
+    );
+}
+
+#[test]
+fn admission_of_benchmarks_with_throughput_contracts() {
+    use contention::{AdmissionController, AdmissionOutcome};
+    use platform::NodeId;
+    use sdf::Rational;
+
+    let mut ctrl = AdmissionController::new();
+    let apps = [
+        Application::new("cd2dat", benchmarks::cd2dat()).expect("valid"),
+        Application::new("mp3", benchmarks::mp3_decoder()).expect("valid"),
+        Application::new("modem", benchmarks::modem()).expect("valid"),
+    ];
+    let mut admitted = 0;
+    for app in apps {
+        let nodes: Vec<NodeId> = (0..app.graph().actor_count()).map(NodeId).collect();
+        // Demand 70% of isolation throughput.
+        let required = app.isolation_period().recip() * Rational::new(7, 10);
+        let outcome = ctrl.admit(app, &nodes, Some(required)).expect("no hard error");
+        if matches!(outcome, AdmissionOutcome::Admitted { .. }) {
+            admitted += 1;
+        }
+    }
+    // At least the first application always fits; the controller never
+    // over-admits past a violated contract.
+    assert!(admitted >= 1);
+    assert_eq!(ctrl.resident_count(), admitted);
+    for id in ctrl.resident_ids().collect::<Vec<_>>() {
+        let p = ctrl.predicted_period(id).expect("resident");
+        assert!(p.is_positive());
+    }
+}

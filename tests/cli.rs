@@ -1,0 +1,100 @@
+//! Integration tests of the `probcon` command-line binary.
+
+use std::process::Command;
+
+fn probcon(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_probcon"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = probcon(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("estimate"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = probcon(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn generate_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join("probcon-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let json = dir.join("g.json");
+    let dot = dir.join("g.dot");
+
+    let out = probcon(&[
+        "generate",
+        "--seed",
+        "7",
+        "--out",
+        json.to_str().expect("utf8 path"),
+        "--dot",
+        dot.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    assert!(json.exists() && dot.exists());
+    assert!(std::fs::read_to_string(&dot)
+        .expect("dot written")
+        .starts_with("digraph"));
+
+    let out = probcon(&["analyze", json.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("repetition vector"));
+    assert!(stdout.contains("period"));
+    assert!(stdout.contains("buffer tokens"));
+}
+
+#[test]
+fn estimate_and_simulate_agree_roughly() {
+    let est = probcon(&[
+        "estimate", "--seed", "2007", "--apps", "2", "--use-case", "3",
+    ]);
+    assert!(est.status.success(), "{:?}", est);
+    let sim = probcon(&[
+        "simulate", "--seed", "2007", "--apps", "2", "--use-case", "3", "--horizon", "50000",
+    ]);
+    assert!(sim.status.success(), "{:?}", sim);
+    let est_out = String::from_utf8_lossy(&est.stdout);
+    let sim_out = String::from_utf8_lossy(&sim.stdout);
+    assert!(est_out.contains("use-case {0,1}"));
+    assert!(sim_out.contains("iterations"));
+}
+
+#[test]
+fn estimate_validates_inputs() {
+    for bad in [
+        vec!["estimate", "--seed", "1", "--apps", "0", "--use-case", "1"],
+        vec!["estimate", "--seed", "1", "--apps", "2", "--use-case", "0"],
+        vec!["estimate", "--seed", "1", "--apps", "2", "--use-case", "9"],
+        vec!["estimate", "--seed", "x", "--apps", "2", "--use-case", "1"],
+        vec![
+            "estimate", "--seed", "1", "--apps", "2", "--use-case", "1", "--method", "bogus",
+        ],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
+}
+
+#[test]
+fn analyze_rejects_garbage_file() {
+    let dir = std::env::temp_dir().join("probcon-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "not json").expect("written");
+    let out = probcon(&["analyze", bad.to_str().expect("utf8 path")]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,143 @@
+//! End-to-end reproduction of the paper's worked example (Sections 3–3.1):
+//! Figure 2's graphs, the blocking probabilities, waiting times, the Figure
+//! 3 response times, and the estimated period of "359" (exactly 1075/3).
+
+use contention::{estimate, ActorLoad, Method};
+use mpsoc_sim::{simulate, SimConfig};
+use platform::{AppId, Application, Mapping, SystemSpec, UseCase};
+use sdf::{figure2_graphs, ActorId, Rational};
+
+fn figure2_spec() -> SystemSpec {
+    let (a, b) = figure2_graphs();
+    SystemSpec::builder()
+        .application(Application::new("A", a).expect("valid graph A"))
+        .application(Application::new("B", b).expect("valid graph B"))
+        .mapping(Mapping::by_actor_index(3))
+        .build()
+        .expect("valid spec")
+}
+
+#[test]
+fn definitions_1_to_3() {
+    let spec = figure2_spec();
+    let a = spec.application(AppId(0));
+    let b = spec.application(AppId(1));
+    // Definition 1: τ(a0) = 100.
+    assert_eq!(
+        a.graph().execution_time(ActorId(0)),
+        Rational::integer(100)
+    );
+    // Definition 2: q[a0 a1 a2] = [1 2 1], q[b0 b1 b2] = [2 1 1].
+    assert_eq!(a.repetition_vector().as_slice(), &[1, 2, 1]);
+    assert_eq!(b.repetition_vector().as_slice(), &[2, 1, 1]);
+    // Definition 3: Per(A) = Per(B) = 300.
+    assert_eq!(a.isolation_period(), Rational::integer(300));
+    assert_eq!(b.isolation_period(), Rational::integer(300));
+}
+
+#[test]
+fn definitions_4_and_5() {
+    // P(ai) = P(bi) = 1/3 for all i; µ = [50 25 50] and [25 50 50].
+    let per = Rational::integer(300);
+    let cases = [
+        (100, 1, 50),
+        (50, 2, 25),
+        (100, 1, 50), // a0 a1 a2
+        (50, 2, 25),
+        (100, 1, 50),
+        (100, 1, 50), // b0 b1 b2
+    ];
+    for (tau, q, mu) in cases {
+        let load =
+            ActorLoad::from_constant_time(Rational::integer(tau), q, per).expect("valid");
+        assert_eq!(load.probability(), Rational::new(1, 3));
+        assert_eq!(load.blocking_time(), Rational::integer(mu));
+    }
+}
+
+#[test]
+fn section31_full_pipeline() {
+    let spec = figure2_spec();
+    let est = estimate(&spec, UseCase::full(2), Method::Exact).expect("estimates");
+
+    // twait[a] = [25/3, 50/3, 50/3]; twait[b] = [50/3, 25/3, 50/3].
+    let w = |app: usize, actor: usize| {
+        est.waiting_time(AppId(app), ActorId(actor))
+            .expect("actor analyzed")
+    };
+    assert_eq!(w(0, 0), Rational::new(25, 3));
+    assert_eq!(w(0, 1), Rational::new(50, 3));
+    assert_eq!(w(0, 2), Rational::new(50, 3));
+    assert_eq!(w(1, 0), Rational::new(50, 3));
+    assert_eq!(w(1, 1), Rational::new(25, 3));
+    assert_eq!(w(1, 2), Rational::new(50, 3));
+
+    // "The new period of SDFG A and B is computed as 359 time units for
+    // both" — exactly 1075/3 = 358.33…, which rounds to 359.
+    assert_eq!(est.period(AppId(0)), Rational::new(1075, 3));
+    assert_eq!(est.period(AppId(1)), Rational::new(1075, 3));
+    assert_eq!(est.period(AppId(0)).to_f64().round(), 358.0); // 358.33 rounds to 358; the paper rounds up
+}
+
+#[test]
+fn simulated_alignments_bracket_the_estimate() {
+    // The paper: "the period that these application graphs would achieve in
+    // practice is only 300 time units. However … if the cyclic dependency of
+    // SDFG B was changed to clockwise … the new period as measured through
+    // simulation is 400 time units. The probabilistic estimate … is roughly
+    // equal to the mean of period obtained in either of the cases."
+    let spec = figure2_spec();
+    let sim = simulate(&spec, UseCase::full(2), SimConfig::with_horizon(100_000))
+        .expect("simulates");
+    let p_a = sim.app(AppId(0)).unwrap().average_period().unwrap();
+    assert!((p_a - 300.0).abs() < 1.0, "counter-aligned phase: {p_a}");
+
+    // Build B with the reversed cycle (b0 → b2 → b1 → b0).
+    let mut builder = sdf::SdfGraphBuilder::new("B-rev");
+    let b0 = builder.actor("b0", 50);
+    let b1 = builder.actor("b1", 100);
+    let b2 = builder.actor("b2", 100);
+    // q stays [2, 1, 1]: b0 -(1,2)-> b2 -(1,1)-> b1 -(2,1)-> b0.
+    builder.channel(b0, b2, 1, 2, 0).unwrap();
+    builder.channel(b2, b1, 1, 1, 0).unwrap();
+    builder.channel(b1, b0, 2, 1, 2).unwrap();
+    for x in [b0, b1, b2] {
+        builder.self_loop(x, 1);
+    }
+    let b_rev = builder.build().unwrap();
+    let (a, _) = figure2_graphs();
+    let spec_rev = SystemSpec::builder()
+        .application(Application::new("A", a).unwrap())
+        .application(Application::new("B", b_rev).unwrap())
+        .mapping(Mapping::by_actor_index(3))
+        .build()
+        .unwrap();
+    let sim_rev = simulate(&spec_rev, UseCase::full(2), SimConfig::with_horizon(100_000))
+        .expect("simulates");
+    let p_rev = sim_rev.app(AppId(0)).unwrap().average_period().unwrap();
+    assert!(
+        p_rev > 300.0 + 1.0,
+        "reversed alignment must be slower: {p_rev}"
+    );
+
+    // The probabilistic estimate lies between the two alignments.
+    let est = estimate(&spec, UseCase::full(2), Method::Exact).unwrap();
+    let e = est.period(AppId(0)).to_f64();
+    assert!(p_a < e && e < p_rev + 50.0, "{p_a} < {e} <~ {p_rev}");
+}
+
+#[test]
+fn all_probabilistic_methods_coincide_on_two_apps() {
+    // One other actor per node ⇒ no higher-order terms ⇒ exact, both
+    // truncations and the composability fold are identical.
+    let spec = figure2_spec();
+    let reference = estimate(&spec, UseCase::full(2), Method::Exact).unwrap();
+    for method in [
+        Method::SECOND_ORDER,
+        Method::FOURTH_ORDER,
+        Method::Composability,
+    ] {
+        let est = estimate(&spec, UseCase::full(2), method).unwrap();
+        assert_eq!(est.periods(), reference.periods(), "{method}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the core algebra and data structures.
+
+use contention::symmetric::{elementary_symmetric, elementary_symmetric_naive, leave_one_out};
+use contention::{waiting_time, ActorLoad, Composite, Order};
+use proptest::prelude::*;
+use sdf::Rational;
+
+/// Strategy: a rational in [0, 1] with a lattice-friendly denominator (the
+/// algebra quantises to multiples of 2520⁻³, so test inputs stay exact).
+fn prob() -> impl Strategy<Value = Rational> {
+    (0i128..=2520).prop_map(|n| Rational::new(n, 2520))
+}
+
+/// Strategy: a small non-negative blocking time on the half-integer grid.
+fn blocking_time() -> impl Strategy<Value = Rational> {
+    (0i128..=400).prop_map(|n| Rational::new(n, 2))
+}
+
+fn load() -> impl Strategy<Value = ActorLoad> {
+    (prob(), blocking_time()).prop_map(|(p, mu)| ActorLoad::new(p, mu).expect("valid"))
+}
+
+proptest! {
+    #[test]
+    fn rational_field_laws(a in -2000i128..2000, b in 1i128..300, c in -2000i128..2000, d in 1i128..300) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!(x + Rational::ZERO, x);
+        prop_assert_eq!(x * Rational::ONE, x);
+        prop_assert_eq!((x + y) - y, x);
+        if !y.is_zero() {
+            prop_assert_eq!((x / y) * y, x);
+        }
+    }
+
+    #[test]
+    fn rational_ordering_total(a in -500i128..500, b in 1i128..100, c in -500i128..500, d in 1i128..100) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        // Exactly one of <, ==, > holds, and it matches f64 up to exactness.
+        let by_cmp = x.cmp(&y);
+        let diff = x - y;
+        prop_assert_eq!(diff.is_positive(), by_cmp == std::cmp::Ordering::Greater);
+        prop_assert_eq!(diff.is_zero(), by_cmp == std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn quantize_error_bounded(a in -100_000i128..100_000, b in 1i128..100_000, grid in 1i128..100_000) {
+        let x = Rational::new(a, b);
+        let q = x.quantize(grid);
+        // Error at most half a grid step, and exact multiples unchanged.
+        prop_assert!((q - x).abs() <= Rational::new(1, 2 * grid));
+        prop_assert_eq!(q.quantize(grid), q);
+    }
+
+    #[test]
+    fn symmetric_dp_matches_naive(values in prop::collection::vec(prob(), 0..7)) {
+        let e = elementary_symmetric(&values, values.len());
+        for (j, &ej) in e.iter().enumerate() {
+            prop_assert_eq!(ej, elementary_symmetric_naive(&values, j), "degree {}", j);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_consistent(values in prop::collection::vec(prob(), 1..7), idx in 0usize..6) {
+        let idx = idx % values.len();
+        let e = elementary_symmetric(&values, values.len());
+        let rest: Vec<Rational> = values
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != idx)
+            .map(|(_, &v)| v)
+            .collect();
+        let expected = elementary_symmetric(&rest, rest.len());
+        prop_assert_eq!(leave_one_out(&e, values[idx]), expected);
+    }
+
+    #[test]
+    fn compose_probability_stays_in_unit_interval(loads in prop::collection::vec(load(), 0..12)) {
+        let c = Composite::from_actors(loads);
+        prop_assert!(!c.probability().is_negative());
+        prop_assert!(c.probability() <= Rational::ONE);
+        prop_assert!(!c.expected_waiting().is_negative());
+    }
+
+    #[test]
+    fn compose_is_commutative(a in load(), b in load()) {
+        let ca = Composite::from_actor(a);
+        let cb = Composite::from_actor(b);
+        prop_assert_eq!(ca.compose(cb), cb.compose(ca));
+    }
+
+    #[test]
+    fn probability_composition_associative(a in load(), b in load(), c in load()) {
+        // ⊕ is exactly associative (Section 4.2) — quantisation preserves
+        // this for lattice-aligned inputs.
+        let (ca, cb, cc) = (
+            Composite::from_actor(a),
+            Composite::from_actor(b),
+            Composite::from_actor(c),
+        );
+        let left = ca.compose(cb).compose(cc).probability();
+        let right = ca.compose(cb.compose(cc)).probability();
+        // Lattice rounding of intermediate w does not touch p; p itself is
+        // re-quantised identically on both sides, so demand near-equality
+        // within one lattice step.
+        let lattice = Rational::new(1, contention::waiting::LATTICE);
+        prop_assert!((left - right).abs() <= lattice, "{} vs {}", left, right);
+    }
+
+    #[test]
+    fn waiting_associativity_deviation_is_third_order(a in load(), b in load(), c in load()) {
+        // ⊗ is associative to second order: the deviation between the two
+        // association orders is bounded by a third-order product of the
+        // probabilities (paper, Section 4.2).
+        let (ca, cb, cc) = (
+            Composite::from_actor(a),
+            Composite::from_actor(b),
+            Composite::from_actor(c),
+        );
+        let left = ca.compose(cb).compose(cc).expected_waiting();
+        let right = ca.compose(cb.compose(cc)).expected_waiting();
+        let mu_max = a.blocking_time().max(b.blocking_time()).max(c.blocking_time());
+        let bound = mu_max * (a.probability() * b.probability() * c.probability()
+            + a.probability() * b.probability()
+            + b.probability() * c.probability()
+            + a.probability() * c.probability())
+            + Rational::new(1, 1_000_000); // lattice slack
+        prop_assert!(
+            (left - right).abs() <= bound,
+            "deviation {} exceeds third-order bound {}",
+            (left - right).abs(),
+            bound
+        );
+    }
+
+    #[test]
+    fn decompose_inverts_compose(rest in prop::collection::vec(load(), 0..6), b in load()) {
+        prop_assume!(!b.is_saturating());
+        let base = Composite::from_actors(rest);
+        let with_b = base.compose(Composite::from_actor(b));
+        let recovered = with_b.decompose(Composite::from_actor(b)).expect("P(b) != 1");
+        // Round-trip exact up to accumulated lattice rounding (≤ 1e-6,
+        // roughly one lattice step per compose plus inverse amplification).
+        let tol = Rational::new(1, 1_000_000);
+        prop_assert!((recovered.probability() - base.probability()).abs() <= tol);
+        prop_assert!((recovered.expected_waiting() - base.expected_waiting()).abs() <= tol);
+    }
+
+    #[test]
+    fn waiting_time_nonnegative_and_monotone_in_load(others in prop::collection::vec(load(), 0..8), extra in load()) {
+        for order in [Order::Exact, Order::SECOND, Order::FOURTH] {
+            let w = waiting_time(&others, order);
+            prop_assert!(!w.is_negative(), "{:?}", order);
+        }
+        // Adding one more contender can only increase second-order waiting.
+        let w_before = waiting_time(&others, Order::SECOND);
+        let mut more = others.clone();
+        more.push(extra);
+        let w_after = waiting_time(&more, Order::SECOND);
+        prop_assert!(w_after >= w_before);
+    }
+
+    #[test]
+    fn truncation_order_n_equals_exact(loads in prop::collection::vec(load(), 1..7)) {
+        let exact = waiting_time(&loads, Order::Exact);
+        let full_trunc = waiting_time(&loads, Order::Truncated(loads.len() as u32));
+        prop_assert_eq!(exact, full_trunc);
+    }
+
+    #[test]
+    fn second_order_at_least_exact_under_light_load(loads in prop::collection::vec(
+        (1i128..=630, 0i128..=400).prop_map(|(n, t)| ActorLoad::new(
+            Rational::new(n, 2520), Rational::new(t, 2)).expect("valid")), 2..8)) {
+        // For probabilities ≤ 1/4 the alternating inner series has strictly
+        // decreasing terms, so the j=1 truncation upper-bounds the series.
+        let second = waiting_time(&loads, Order::SECOND);
+        let exact = waiting_time(&loads, Order::Exact);
+        prop_assert!(
+            second >= exact,
+            "second {} < exact {}",
+            second,
+            exact
+        );
+    }
+}
+
+#[test]
+fn use_case_roundtrip_mask() {
+    use platform::{AppId, UseCase};
+    for mask in 1u64..512 {
+        let uc = UseCase::from_mask(mask);
+        let rebuilt = UseCase::of(&uc.app_ids().collect::<Vec<AppId>>());
+        assert_eq!(uc, rebuilt);
+        assert_eq!(uc.len(), mask.count_ones() as usize);
+    }
+}
