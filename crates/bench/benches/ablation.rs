@@ -39,8 +39,8 @@ fn bench_ablation(c: &mut Criterion) {
     }
 
     // Artefact 2: arbitration sensitivity.
-    let sens = arbitration_sensitivity(&spec, full, SimConfig::with_horizon(200_000))
-        .expect("simulates");
+    let sens =
+        arbitration_sensitivity(&spec, full, SimConfig::with_horizon(200_000)).expect("simulates");
     println!("\n===== Ablation: arbitration policy sensitivity (simulated truth) =====");
     println!(
         "FCFS mean period {:.3}× iso | static-priority {:.3}× iso | per-app spread {:.1}%",

@@ -34,9 +34,7 @@ fn bench_admission(c: &mut Criterion) {
     let tenth = spec.iter().nth(9).expect("ten applications").1;
 
     println!("\n===== Admission control (reproduced) =====");
-    println!(
-        "9 residents; admitting #10 incrementally vs re-estimating the whole system:"
-    );
+    println!("9 residents; admitting #10 incrementally vs re-estimating the whole system:");
 
     let mut group = c.benchmark_group("admission");
     group.bench_function("incremental_admit_remove", |b| {
@@ -64,7 +62,10 @@ fn bench_admission(c: &mut Criterion) {
         })
     });
     group.bench_function("predict_one_resident", |b| {
-        b.iter(|| ctrl.predicted_period(black_box(resident)).expect("resident"))
+        b.iter(|| {
+            ctrl.predicted_period(black_box(resident))
+                .expect("resident")
+        })
     });
     group.finish();
 }

@@ -25,8 +25,7 @@ fn bench_fig6(c: &mut Criterion) {
         let uc = UseCase::full(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &uc, |b, &uc| {
             b.iter(|| {
-                estimate(black_box(&spec), black_box(uc), Method::SECOND_ORDER)
-                    .expect("estimates")
+                estimate(black_box(&spec), black_box(uc), Method::SECOND_ORDER).expect("estimates")
             })
         });
     }

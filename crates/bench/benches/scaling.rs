@@ -60,11 +60,9 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/waiting_time");
     for n in [8usize, 32, 128] {
         let loads = synthetic_loads(n);
-        group.bench_with_input(
-            BenchmarkId::new("composability", n),
-            &loads,
-            |b, loads| b.iter(|| composability_waiting_time(black_box(loads))),
-        );
+        group.bench_with_input(BenchmarkId::new("composability", n), &loads, |b, loads| {
+            b.iter(|| composability_waiting_time(black_box(loads)))
+        });
         group.bench_with_input(BenchmarkId::new("order-2", n), &loads, |b, loads| {
             b.iter(|| waiting_time(black_box(loads), Order::SECOND))
         });

@@ -41,6 +41,27 @@
 //! assert_eq!(ctrl.resident_count(), 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Rejections versus errors
+//!
+//! [`AdmissionController::admit`] draws a hard line between the two:
+//! *admission decisions* — including a candidate that violates **its own**
+//! requirement, or one whose requirement exceeds even its isolation
+//! throughput — come back as `Ok(AdmissionOutcome::Rejected { .. })` with
+//! the violated contracts listed; `Err(ContentionError)` is reserved for
+//! *analysis failures* (malformed loads, saturated inverses, period
+//! divergence) where no admission decision could be computed at all.
+//!
+//! # Concurrency
+//!
+//! The controller itself is single-threaded state (`&mut self` on
+//! [`admit`](AdmissionController::admit) /
+//! [`remove`](AdmissionController::remove)); it is `Send + Sync` and
+//! `Clone`, so concurrent front-ends wrap it in their own locking and take
+//! cheap snapshots for read-only analysis. The `runtime` crate's
+//! `ResourceManager` does exactly that: sharded controllers behind mutexes
+//! with ticket-based admit/release, bounded waiting and an estimate cache —
+//! the "run-time manager" deployment the paper's conclusions sketch.
 
 use crate::compose::Composite;
 use crate::load::ActorLoad;
@@ -98,6 +119,33 @@ pub enum AdmissionOutcome {
     },
 }
 
+impl fmt::Display for AdmissionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionOutcome::Admitted {
+                id,
+                predicted_periods,
+            } => {
+                write!(f, "admitted as {id}")?;
+                if let Some(period) = predicted_periods.get(id) {
+                    write!(f, " (predicted period {period})")?;
+                }
+                Ok(())
+            }
+            AdmissionOutcome::Rejected { violations } => {
+                write!(f, "rejected: ")?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 impl AdmissionOutcome {
     /// `true` iff the application was admitted.
     pub fn is_admitted(&self) -> bool {
@@ -113,6 +161,7 @@ impl AdmissionOutcome {
     }
 }
 
+#[derive(Clone)]
 struct Resident {
     app: Application,
     assignment: Vec<NodeId>,
@@ -137,8 +186,12 @@ impl fmt::Debug for Resident {
 /// case) the controller falls back to re-folding the node's member list
 /// without the actor (`O(n)`), exactly like the estimator does.
 ///
-/// See the [module documentation](self) for an end-to-end example.
-#[derive(Debug, Default)]
+/// The controller is `Clone`: a clone is an independent snapshot of the
+/// whole resident mix (cheap — composites are `Copy`, member lists are
+/// small), which concurrent front-ends use for lock-free read-only
+/// analysis. See the [module documentation](self) for an end-to-end
+/// example and the rejection-versus-error contract.
+#[derive(Debug, Default, Clone)]
 pub struct AdmissionController {
     nodes: BTreeMap<NodeId, Composite>,
     /// Per-node member loads, for the saturated-inverse fallback.
@@ -182,6 +235,12 @@ impl AdmissionController {
     /// requirement — and of the candidate itself — stays at or above its
     /// requirement. On rejection the controller is left untouched.
     ///
+    /// A candidate that cannot satisfy its own requirement — even one whose
+    /// requirement exceeds its *isolation* throughput, which no admission
+    /// decision could ever meet — is **rejected** (`Ok(Rejected)` with the
+    /// candidate violation, `app: None`), never an error: an unsatisfiable
+    /// contract is an admission decision, not an analysis failure.
+    ///
     /// # Errors
     ///
     /// * panics are never used for admission decisions; hard failures
@@ -202,6 +261,22 @@ impl AdmissionController {
             app.graph().actor_count(),
             "one node per actor required"
         );
+
+        // Fast reject: a requirement above the candidate's isolation
+        // throughput is unsatisfiable under any mix — report the decision
+        // without composing anything.
+        if let Some(required) = required_throughput {
+            let isolation = app.isolation_period().recip();
+            if isolation < required {
+                return Ok(AdmissionOutcome::Rejected {
+                    violations: vec![Violation {
+                        app: None,
+                        required,
+                        predicted: isolation,
+                    }],
+                });
+            }
+        }
 
         // Candidate loads at its isolation period (the paper's single-pass
         // probabilities).
@@ -237,13 +312,13 @@ impl AdmissionController {
         let mut violations = Vec::new();
 
         let mut check = |owner: AppId,
-                          id: Option<AppId>,
-                          app: &Application,
-                          assignment: &[NodeId],
-                          loads: &[ActorLoad],
-                          required: Option<Rational>,
-                          new_nodes: &BTreeMap<NodeId, Composite>,
-                          new_members: &BTreeMap<NodeId, Vec<(AppId, ActorLoad)>>|
+                         id: Option<AppId>,
+                         app: &Application,
+                         assignment: &[NodeId],
+                         loads: &[ActorLoad],
+                         required: Option<Rational>,
+                         new_nodes: &BTreeMap<NodeId, Composite>,
+                         new_members: &BTreeMap<NodeId, Vec<(AppId, ActorLoad)>>|
          -> Result<Rational, ContentionError> {
             let period = predict_period(
                 app,
@@ -388,11 +463,7 @@ fn predict_period(
     analysis: sdf::AnalysisOptions,
 ) -> Result<Rational, ContentionError> {
     let mut times = Vec::with_capacity(assignment.len());
-    for (actor, (node, load)) in app
-        .graph()
-        .actor_ids()
-        .zip(assignment.iter().zip(loads))
-    {
+    for (actor, (node, load)) in app.graph().actor_ids().zip(assignment.iter().zip(loads)) {
         let all = nodes.get(node).copied().unwrap_or_default();
         let others = match all.decompose(Composite::from_actor(*load)) {
             Ok(rest) => rest,
@@ -400,9 +471,7 @@ fn predict_period(
                 // O(n) fallback: fold everything on the node except one
                 // occurrence of this very load.
                 let list = members.get(node).map(Vec::as_slice).unwrap_or(&[]);
-                let skip = list
-                    .iter()
-                    .position(|(a, l)| *a == owner && l == load);
+                let skip = list.iter().position(|(a, l)| *a == owner && l == load);
                 Composite::from_actors(
                     list.iter()
                         .enumerate()
@@ -480,9 +549,7 @@ mod tests {
         let (a, b) = apps();
         let mut ctrl = AdmissionController::new();
         ctrl.admit(a, &N3, None).unwrap();
-        let out = ctrl
-            .admit(b, &N3, Some(Rational::new(1, 300)))
-            .unwrap();
+        let out = ctrl.admit(b, &N3, Some(Rational::new(1, 300))).unwrap();
         let AdmissionOutcome::Rejected { violations } = out else {
             panic!("candidate must be rejected by its own requirement");
         };
@@ -496,10 +563,7 @@ mod tests {
         let mut ctrl = AdmissionController::new();
         let ida = ctrl.admit(a, &N3, None).unwrap().admitted_id().unwrap();
         let idb = ctrl.admit(b, &N3, None).unwrap().admitted_id().unwrap();
-        assert_eq!(
-            ctrl.predicted_period(ida).unwrap(),
-            Rational::new(1075, 3)
-        );
+        assert_eq!(ctrl.predicted_period(ida).unwrap(), Rational::new(1075, 3));
         ctrl.remove(idb).unwrap();
         // With B gone, A's predicted period returns to isolation exactly
         // (the inverse is an exact round-trip).
@@ -531,6 +595,55 @@ mod tests {
         ctrl.admit(b, &N3, None).unwrap();
         // P = 1/3 ⊕ 1/3 = 5/9.
         assert_eq!(ctrl.node_load(NodeId(0)).probability(), Rational::new(5, 9));
+    }
+
+    #[test]
+    fn unsatisfiable_requirement_rejected_not_error() {
+        let (a, _) = apps();
+        let iso = a.isolation_period(); // 300
+        let mut ctrl = AdmissionController::new();
+        // Demands more throughput than the candidate achieves in isolation:
+        // an admission decision (rejection), not an analysis error.
+        let impossible = iso.recip() * Rational::new(3, 2);
+        let out = ctrl.admit(a, &N3, Some(impossible)).unwrap();
+        let AdmissionOutcome::Rejected { violations } = out else {
+            panic!("unsatisfiable requirement must reject");
+        };
+        assert_eq!(violations[0].app, None);
+        assert_eq!(violations[0].predicted, iso.recip());
+        assert_eq!(ctrl.resident_count(), 0);
+    }
+
+    #[test]
+    fn outcome_display() {
+        let (a, b) = apps();
+        let mut ctrl = AdmissionController::new();
+        let o1 = ctrl.admit(a, &N3, Some(Rational::new(1, 300))).unwrap();
+        assert!(o1.to_string().starts_with("admitted as app#0"));
+        assert!(o1.to_string().contains("predicted period 300"));
+        let o2 = ctrl.admit(b, &N3, None).unwrap();
+        let text = o2.to_string();
+        assert!(text.starts_with("rejected: "), "{text}");
+        assert!(text.contains("app#0"), "{text}");
+    }
+
+    #[test]
+    fn controller_is_send_sync_and_clonable() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<AdmissionController>();
+
+        // A clone is an independent snapshot.
+        let (a, b) = apps();
+        let mut ctrl = AdmissionController::new();
+        ctrl.admit(a, &N3, None).unwrap();
+        let snapshot = ctrl.clone();
+        ctrl.admit(b, &N3, None).unwrap();
+        assert_eq!(snapshot.resident_count(), 1);
+        assert_eq!(ctrl.resident_count(), 2);
+        assert_eq!(
+            snapshot.predicted_period(AppId(0)).unwrap(),
+            Rational::integer(300)
+        );
     }
 
     #[test]

@@ -98,11 +98,9 @@ impl Composite {
     /// # Ok::<(), contention::ContentionError>(())
     /// ```
     pub fn from_actors(loads: impl IntoIterator<Item = ActorLoad>) -> Composite {
-        loads
-            .into_iter()
-            .fold(Composite::identity(), |acc, l| {
-                acc.compose(Composite::from_actor(l))
-            })
+        loads.into_iter().fold(Composite::identity(), |acc, l| {
+            acc.compose(Composite::from_actor(l))
+        })
     }
 
     /// Combined blocking probability `P`.
@@ -309,10 +307,7 @@ mod tests {
     fn probability_never_exceeds_one() {
         let mut c = Composite::identity();
         for i in 1..20 {
-            c = c.compose(Composite::from_actor(load(
-                r(9, 10),
-                Rational::integer(i),
-            )));
+            c = c.compose(Composite::from_actor(load(r(9, 10), Rational::integer(i))));
             assert!(c.probability() <= Rational::ONE);
             assert!(!c.probability().is_negative());
         }

@@ -249,8 +249,8 @@ pub fn estimate_with(
             for actor in app.graph().actor_ids() {
                 let tau = app.graph().execution_time(actor);
                 let q = app.repetition_vector().get(actor);
-                let load = ActorLoad::from_constant_time(tau, q, per)?
-                    .quantized(PROBABILITY_GRID)?;
+                let load =
+                    ActorLoad::from_constant_time(tau, q, per)?.quantized(PROBABILITY_GRID)?;
                 let node = spec.node_of(app_id, actor);
                 node_members
                     .entry(node)
@@ -286,16 +286,14 @@ pub fn estimate_with(
                             Ok(rest) => rest.expected_waiting(),
                             // P = 1 blocks the inverse; fall back to the
                             // direct O(n) fold over the others.
-                            Err(ContentionError::SaturatedInverse) => {
-                                Composite::from_actors(
-                                    members
-                                        .iter()
-                                        .enumerate()
-                                        .filter(|(k, _)| *k != i)
-                                        .map(|(_, m)| m.2),
-                                )
-                                .expected_waiting()
-                            }
+                            Err(ContentionError::SaturatedInverse) => Composite::from_actors(
+                                members
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(k, _)| *k != i)
+                                    .map(|(_, m)| m.2),
+                            )
+                            .expected_waiting(),
                             Err(e) => return Err(e),
                         }
                     }
@@ -488,10 +486,7 @@ mod tests {
         assert_eq!(est.use_case(), UseCase::full(2));
         assert_eq!(est.periods().len(), 2);
         assert_eq!(est.waiting_times().len(), 6);
-        assert_eq!(
-            est.throughput(AppId(0)),
-            est.period(AppId(0)).recip()
-        );
+        assert_eq!(est.throughput(AppId(0)), est.period(AppId(0)).recip());
         assert_eq!(est.waiting_time(AppId(0), ActorId(9)), None);
     }
 

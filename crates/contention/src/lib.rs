@@ -56,9 +56,7 @@ pub use compose::{composability_waiting_time, Composite};
 pub use estimator::{estimate, estimate_with, Estimate, EstimatorOptions, Method};
 pub use load::ActorLoad;
 pub use stochastic::ExecutionTime;
-pub use waiting::{
-    fourth_order_waiting_time, second_order_waiting_time, waiting_time, Order,
-};
+pub use waiting::{fourth_order_waiting_time, second_order_waiting_time, waiting_time, Order};
 
 use platform::{AppId, PlatformError};
 use sdf::{Rational, SdfError};
@@ -140,11 +138,9 @@ mod tests {
         assert!(ContentionError::SaturatedInverse
             .to_string()
             .contains("P = 1"));
-        assert!(
-            ContentionError::InvalidProbability(Rational::new(3, 2))
-                .to_string()
-                .contains("3/2")
-        );
+        assert!(ContentionError::InvalidProbability(Rational::new(3, 2))
+            .to_string()
+            .contains("3/2"));
     }
 
     #[test]

@@ -158,12 +158,8 @@ mod tests {
     #[test]
     fn paper_definitions() {
         // a1: τ = 50, q = 2, Per = 300 → P = 1/3, µ = 25.
-        let a1 = ActorLoad::from_constant_time(
-            Rational::integer(50),
-            2,
-            Rational::integer(300),
-        )
-        .unwrap();
+        let a1 = ActorLoad::from_constant_time(Rational::integer(50), 2, Rational::integer(300))
+            .unwrap();
         assert_eq!(a1.probability(), Rational::new(1, 3));
         assert_eq!(a1.blocking_time(), Rational::integer(25));
         assert_eq!(a1.expected_waiting(), Rational::new(25, 3));
@@ -188,11 +184,7 @@ mod tests {
     #[test]
     fn oversubscribed_actor_rejected() {
         // τ·q = 400 > Per = 300.
-        let r = ActorLoad::from_constant_time(
-            Rational::integer(100),
-            4,
-            Rational::integer(300),
-        );
+        let r = ActorLoad::from_constant_time(Rational::integer(100), 4, Rational::integer(300));
         assert!(matches!(r, Err(ContentionError::InvalidProbability(_))));
     }
 

@@ -125,9 +125,7 @@ impl ExecutionTime {
         match self {
             ExecutionTime::Constant(t) => *t,
             ExecutionTime::Uniform { lo, hi } => (*lo + *hi) / Rational::integer(2),
-            ExecutionTime::Discrete(entries) => {
-                entries.iter().map(|(v, p)| *v * *p).sum()
-            }
+            ExecutionTime::Discrete(entries) => entries.iter().map(|(v, p)| *v * *p).sum(),
         }
     }
 
@@ -139,9 +137,7 @@ impl ExecutionTime {
                 // ∫ x² / (hi-lo) dx over [lo,hi] = (lo² + lo·hi + hi²)/3
                 (*lo * *lo + *lo * *hi + *hi * *hi) / Rational::integer(3)
             }
-            ExecutionTime::Discrete(entries) => {
-                entries.iter().map(|(v, p)| *v * *v * *p).sum()
-            }
+            ExecutionTime::Discrete(entries) => entries.iter().map(|(v, p)| *v * *v * *p).sum(),
         }
     }
 
@@ -233,9 +229,7 @@ mod tests {
     fn discrete_validation() {
         assert!(ExecutionTime::discrete([]).is_err());
         assert!(ExecutionTime::discrete([(Rational::integer(5), r(1, 2))]).is_err());
-        assert!(
-            ExecutionTime::discrete([(Rational::ZERO, Rational::ONE)]).is_err()
-        );
+        assert!(ExecutionTime::discrete([(Rational::ZERO, Rational::ONE)]).is_err());
         assert!(ExecutionTime::discrete([
             (Rational::integer(5), r(3, 2)),
             (Rational::integer(6), r(-1, 2)),
@@ -246,9 +240,7 @@ mod tests {
     #[test]
     fn constructor_validation() {
         assert!(ExecutionTime::constant(Rational::ZERO).is_err());
-        assert!(
-            ExecutionTime::uniform(Rational::integer(5), Rational::integer(4)).is_err()
-        );
+        assert!(ExecutionTime::uniform(Rational::integer(5), Rational::integer(4)).is_err());
         assert!(ExecutionTime::uniform(Rational::ZERO, Rational::ONE).is_err());
     }
 

@@ -152,10 +152,7 @@ mod tests {
     #[test]
     fn degree_zero_is_one() {
         assert_eq!(elementary_symmetric(&[], 0), vec![Rational::ONE]);
-        assert_eq!(
-            elementary_symmetric(&[r(1, 2)], 0),
-            vec![Rational::ONE]
-        );
+        assert_eq!(elementary_symmetric(&[r(1, 2)], 0), vec![Rational::ONE]);
     }
 
     #[test]

@@ -159,8 +159,8 @@ pub fn waiting_time(others: &[ActorLoad], order: Order) -> Rational {
             let sign = if j % 2 == 1 { 1 } else { -1 };
             factor = (factor + Rational::new(sign, (j + 1) as i128) * ej).quantize(LATTICE);
         }
-        let waiting = (load.blocking_time().quantize(LATTICE) * probs[i] * factor)
-            .quantize(LATTICE);
+        let waiting =
+            (load.blocking_time().quantize(LATTICE) * probs[i] * factor).quantize(LATTICE);
         total += waiting;
     }
     total
@@ -209,7 +209,12 @@ mod tests {
     #[test]
     fn single_actor_all_orders_agree() {
         let a = load(r(1, 3), Rational::integer(50));
-        for order in [Order::Exact, Order::SECOND, Order::FOURTH, Order::Truncated(1)] {
+        for order in [
+            Order::Exact,
+            Order::SECOND,
+            Order::FOURTH,
+            Order::Truncated(1),
+        ] {
             assert_eq!(waiting_time(&[a], order), r(50, 3), "{order}");
         }
     }
@@ -231,12 +236,15 @@ mod tests {
         let pa = r(1, 3);
         let pb = r(1, 4);
         let pc = r(1, 5);
-        let (ma, mb, mc) = (Rational::integer(6), Rational::integer(8), Rational::integer(10));
+        let (ma, mb, mc) = (
+            Rational::integer(6),
+            Rational::integer(8),
+            Rational::integer(10),
+        );
         let term = |m: Rational, p: Rational, p1: Rational, p2: Rational| {
             m * p * (Rational::ONE + r(1, 2) * (p1 + p2) - r(1, 3) * p1 * p2)
         };
-        let expect =
-            term(ma, pa, pb, pc) + term(mb, pb, pa, pc) + term(mc, pc, pa, pb);
+        let expect = term(ma, pa, pb, pc) + term(mb, pb, pa, pc) + term(mc, pc, pa, pb);
         let loads = [load(pa, ma), load(pb, mb), load(pc, mc)];
         assert_eq!(waiting_time(&loads, Order::Exact), expect);
         // Third order retains exactly the j ≤ 2 terms, which for n = 3 is

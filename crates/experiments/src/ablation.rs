@@ -197,12 +197,8 @@ mod tests {
     #[test]
     fn arbitration_policies_are_close_but_not_identical() {
         let spec = paper_workload(DEFAULT_SEED).unwrap();
-        let s = arbitration_sensitivity(
-            &spec,
-            UseCase::full(6),
-            SimConfig::with_horizon(100_000),
-        )
-        .unwrap();
+        let s = arbitration_sensitivity(&spec, UseCase::full(6), SimConfig::with_horizon(100_000))
+            .unwrap();
         assert!(s.fcfs_mean_normalized >= 1.0);
         assert!(s.priority_mean_normalized >= 1.0);
         // The policies genuinely differ …

@@ -132,7 +132,12 @@ mod tests {
         assert_eq!(rows.len(), 3);
         for row in &rows {
             assert_eq!(row.original, 1.0);
-            assert!(row.simulated >= 1.0 - 1e-9, "{}: {}", row.name, row.simulated);
+            assert!(
+                row.simulated >= 1.0 - 1e-9,
+                "{}: {}",
+                row.name,
+                row.simulated
+            );
             assert!(row.simulated_worst >= row.simulated - 1e-9);
             assert_eq!(row.estimates.len(), 5);
             // Worst-case estimate dominates the probabilistic ones.
@@ -149,8 +154,7 @@ mod tests {
             methods: vec![Method::SECOND_ORDER],
             sim: SimConfig::with_horizon(20_000),
         };
-        let eval =
-            crate::runner::evaluate(&spec, &[UseCase::single(AppId(0))], &opts).unwrap();
+        let eval = crate::runner::evaluate(&spec, &[UseCase::single(AppId(0))], &opts).unwrap();
         assert!(figure5_from_eval(&spec, &eval).is_none());
     }
 }

@@ -25,7 +25,11 @@ use std::fmt::Write;
 /// ```
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<18} {:>12} {:>10} {:>10}", "Method", "Throughput %", "Period %", "Complexity");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>10} {:>10}",
+        "Method", "Throughput %", "Period %", "Complexity"
+    );
     let _ = writeln!(out, "{}", "-".repeat(54));
     for r in rows {
         let _ = writeln!(
@@ -39,7 +43,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 
 /// Renders Table 1 as CSV (`method,throughput_pct,period_pct,complexity`).
 pub fn table1_csv(rows: &[Table1Row]) -> String {
-    let mut out = String::from("method,throughput_inaccuracy_pct,period_inaccuracy_pct,complexity\n");
+    let mut out =
+        String::from("method,throughput_inaccuracy_pct,period_inaccuracy_pct,complexity\n");
     for r in rows {
         let _ = writeln!(
             out,
@@ -58,7 +63,11 @@ pub fn render_fig5(rows: &[Fig5Row]) -> String {
         return out;
     }
     let methods: Vec<&String> = rows[0].estimates.keys().collect();
-    let _ = write!(out, "{:<4} {:>9} {:>9} {:>9}", "App", "Original", "Simulated", "SimWorst");
+    let _ = write!(
+        out,
+        "{:<4} {:>9} {:>9} {:>9}",
+        "App", "Original", "Simulated", "SimWorst"
+    );
     for m in &methods {
         let _ = write!(out, " {:>15}", m);
     }

@@ -94,8 +94,17 @@ mod tests {
             method_label(Method::WorstCaseRoundRobin),
             ("Worst Case", "O(n)")
         );
-        assert_eq!(method_label(Method::Composability), ("Composability", "O(n)"));
-        assert_eq!(method_label(Method::FOURTH_ORDER), ("Fourth Order", "O(n^4)"));
-        assert_eq!(method_label(Method::SECOND_ORDER), ("Second Order", "O(n^2)"));
+        assert_eq!(
+            method_label(Method::Composability),
+            ("Composability", "O(n)")
+        );
+        assert_eq!(
+            method_label(Method::FOURTH_ORDER),
+            ("Fourth Order", "O(n^4)")
+        );
+        assert_eq!(
+            method_label(Method::SECOND_ORDER),
+            ("Second Order", "O(n^2)")
+        );
     }
 }

@@ -150,9 +150,7 @@ pub fn validate_internals(
     let mut utilization = Vec::new();
     for (node_idx, stats) in sim.node_stats().iter().enumerate() {
         let mut pressure = 0.0;
-        for (app, actor) in
-            spec.actors_on_node(platform::NodeId(node_idx), use_case)
-        {
+        for (app, actor) in spec.actors_on_node(platform::NodeId(node_idx), use_case) {
             let a = spec.application(app);
             let tau = a.graph().execution_time(actor).to_f64();
             let q = a.repetition_vector().get(actor) as f64;

@@ -157,10 +157,7 @@ impl<'a> Simulation<'a> {
             for actor in graph.actor_ids() {
                 let tau = graph.execution_time(actor);
                 if !tau.is_integer() || !tau.is_positive() || tau.numer() > u64::MAX as i128 {
-                    return Err(SimError::NonIntegerExecutionTime {
-                        app: app_id,
-                        actor,
-                    });
+                    return Err(SimError::NonIntegerExecutionTime { app: app_id, actor });
                 }
                 let inputs = graph
                     .incoming(actor)
@@ -183,10 +180,7 @@ impl<'a> Simulation<'a> {
                     outputs,
                 });
             }
-            let tokens = graph
-                .channels()
-                .map(|(_, c)| c.initial_tokens())
-                .collect();
+            let tokens = graph.channels().map(|(_, c)| c.initial_tokens()).collect();
             apps.push((app_id, AppState { tokens, slots }));
             metrics.push(AppMetrics::new(
                 app_id,
@@ -393,10 +387,7 @@ impl<'a> Simulation<'a> {
         if self.events.is_empty() && self.now < self.config.horizon {
             // Nothing in flight and nothing enabled: deadlock (all actors
             // idle and unable to fire).
-            let any_queued = self
-                .actors
-                .iter()
-                .any(|a| a.state != ActorState::Idle);
+            let any_queued = self.actors.iter().any(|a| a.state != ActorState::Idle);
             if !any_queued {
                 return Err(SimError::Deadlock { time: self.now });
             }
@@ -458,8 +449,8 @@ mod tests {
         // rotational alignment) — at most the serial bound 600, at least the
         // isolation 300.
         let spec = figure2_spec();
-        let sim = Simulation::new(&spec, UseCase::full(2), SimConfig::with_horizon(60_000))
-            .unwrap();
+        let sim =
+            Simulation::new(&spec, UseCase::full(2), SimConfig::with_horizon(60_000)).unwrap();
         let result = sim.run().unwrap();
         for id in [AppId(0), AppId(1)] {
             let p = result.app(id).unwrap().average_period().unwrap();
@@ -489,8 +480,7 @@ mod tests {
     fn unknown_app_rejected() {
         let spec = figure2_spec();
         let err =
-            Simulation::new(&spec, UseCase::single(AppId(7)), SimConfig::default())
-                .unwrap_err();
+            Simulation::new(&spec, UseCase::single(AppId(7)), SimConfig::default()).unwrap_err();
         assert_eq!(err, SimError::UnknownApplication(AppId(7)));
     }
 
@@ -507,8 +497,8 @@ mod tests {
             .mapping(Mapping::by_actor_index(3))
             .build()
             .unwrap();
-        let err = Simulation::new(&spec, UseCase::single(AppId(0)), SimConfig::default())
-            .unwrap_err();
+        let err =
+            Simulation::new(&spec, UseCase::single(AppId(0)), SimConfig::default()).unwrap_err();
         assert!(matches!(err, SimError::NonIntegerExecutionTime { .. }));
     }
 

@@ -35,9 +35,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
-pub mod trace;
 pub mod engine;
 pub mod metrics;
+pub mod trace;
 
 pub use config::{ArbitrationPolicy, JitterConfig, SimConfig};
 pub use engine::{SimError, Simulation};

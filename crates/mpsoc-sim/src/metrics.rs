@@ -82,18 +82,12 @@ impl AppMetrics {
     /// Worst (largest) gap between consecutive iteration completions — the
     /// "Simulated Worst Case" series of the paper's Figure 5.
     pub fn worst_period(&self) -> Option<u64> {
-        self.iteration_times
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .max()
+        self.iteration_times.windows(2).map(|w| w[1] - w[0]).max()
     }
 
     /// Best (smallest) inter-iteration gap.
     pub fn best_period(&self) -> Option<u64> {
-        self.iteration_times
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .min()
+        self.iteration_times.windows(2).map(|w| w[1] - w[0]).min()
     }
 
     /// Throughput (iterations per time unit) over the measurement window.

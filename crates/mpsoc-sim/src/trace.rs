@@ -166,7 +166,10 @@ mod tests {
 
     #[test]
     fn unmatched_start_ignored() {
-        let trace = vec![ev(0, 0, 0, TraceKind::Start), ev(5, 0, 0, TraceKind::Request)];
+        let trace = vec![
+            ev(0, 0, 0, TraceKind::Start),
+            ev(5, 0, 0, TraceKind::Request),
+        ];
         let g = render_gantt(&trace, 1, 5);
         assert!(g.lines().next().unwrap().contains("....."), "{g}");
     }

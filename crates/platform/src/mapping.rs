@@ -133,11 +133,7 @@ impl Mapping {
     pub fn node_count(&self) -> usize {
         match self {
             Mapping::ByActorIndex { node_count } => *node_count,
-            Mapping::Explicit { table } => table
-                .values()
-                .map(|n| n.index() + 1)
-                .max()
-                .unwrap_or(0),
+            Mapping::Explicit { table } => table.values().map(|n| n.index() + 1).max().unwrap_or(0),
         }
     }
 }

@@ -293,7 +293,8 @@ mod tests {
         let spec = figure2_spec();
         assert!(spec.validate_use_case(UseCase::full(2)).is_ok());
         assert_eq!(
-            spec.validate_use_case(UseCase::single(AppId(5))).unwrap_err(),
+            spec.validate_use_case(UseCase::single(AppId(5)))
+                .unwrap_err(),
             PlatformError::UnknownApplication(AppId(5))
         );
     }

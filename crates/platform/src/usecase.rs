@@ -87,7 +87,10 @@ impl UseCase {
     /// assert_eq!(UseCase::all(10).len(), 1023);
     /// ```
     pub fn all(n: usize) -> Vec<UseCase> {
-        assert!((1..=20).contains(&n), "refusing to enumerate > 2^20 use-cases");
+        assert!(
+            (1..=20).contains(&n),
+            "refusing to enumerate > 2^20 use-cases"
+        );
         (1..(1u64 << n)).map(|mask| UseCase { mask }).collect()
     }
 
@@ -128,7 +131,10 @@ impl UseCase {
     /// This use-case with `app` added.
     #[must_use]
     pub fn with(&self, app: AppId) -> UseCase {
-        assert!(app.index() < 64, "use-cases support at most 64 applications");
+        assert!(
+            app.index() < 64,
+            "use-cases support at most 64 applications"
+        );
         UseCase {
             mask: self.mask | (1 << app.index()),
         }

@@ -1,0 +1,352 @@
+//! Memoization of [`contention::estimate`] results.
+//!
+//! The paper's speed argument makes a single estimate cheap (milliseconds);
+//! an online manager serving *repeated* use-case queries should not pay
+//! even that. [`EstimateCache`] memoizes estimates keyed by
+//! (spec fingerprint, use-case mask, method) with LRU eviction and
+//! observable hit/miss counters.
+
+use contention::{ContentionError, Estimate, Method};
+use platform::{SystemSpec, UseCase};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: which estimate a request asks for.
+///
+/// The fingerprint is a structural hash of the [`SystemSpec`] (application
+/// names, execution times, channel rates, mapping), so distinct workloads
+/// get distinct keys up to 64-bit hash collisions — astronomically
+/// unlikely for the handful of specs a process serves, but not impossible;
+/// a colliding spec would silently share entries. Fingerprints are stable
+/// within a process — exactly the lifetime of the cache — but not across
+/// Rust versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Structural hash of the system specification.
+    pub fingerprint: u64,
+    /// Active-application bit mask of the use-case.
+    pub use_case_mask: u64,
+    /// Estimation method.
+    pub method: Method,
+}
+
+#[derive(Debug)]
+struct LruState {
+    entries: HashMap<CacheKey, (Arc<Estimate>, u64)>,
+    /// `stamp -> key`, oldest stamp first: the eviction order.
+    order: BTreeMap<u64, CacheKey>,
+    tick: u64,
+}
+
+/// Thread-safe LRU cache of estimation results.
+///
+/// Lookups and insertions take one short mutex; the estimate itself is
+/// computed *outside* the lock, so concurrent misses never serialize the
+/// analysis (two racing misses on the same key may both compute — the
+/// second insert wins, both callers get a correct result).
+#[derive(Debug)]
+pub struct EstimateCache {
+    capacity: usize,
+    state: Mutex<LruState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EstimateCache {
+    /// Cache retaining up to `capacity` estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> EstimateCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        EstimateCache {
+            capacity,
+            state: Mutex::new(LruState {
+                entries: HashMap::new(),
+                order: BTreeMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Structural fingerprint of a spec (see [`CacheKey::fingerprint`]).
+    pub fn fingerprint(spec: &SystemSpec) -> u64 {
+        let mut h = DefaultHasher::new();
+        spec.application_count().hash(&mut h);
+        for (id, app) in spec.iter() {
+            app.name().hash(&mut h);
+            for actor in app.graph().actor_ids() {
+                app.graph().execution_time(actor).hash(&mut h);
+                spec.node_of(id, actor).index().hash(&mut h);
+            }
+            for (_, c) in app.graph().channels() {
+                (c.src().0, c.dst().0).hash(&mut h);
+                (c.production(), c.consumption(), c.initial_tokens()).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// The memoized estimate for `(spec, use_case, method)`, computing and
+    /// inserting it on a miss.
+    ///
+    /// Hashes the whole spec on every call to build the key; callers on a
+    /// hot path should compute [`fingerprint`](Self::fingerprint) once per
+    /// spec and use [`get_or_estimate_with`](Self::get_or_estimate_with).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ContentionError`] from the underlying
+    /// [`contention::estimate`]; errors are not cached.
+    pub fn get_or_estimate(
+        &self,
+        spec: &SystemSpec,
+        use_case: UseCase,
+        method: Method,
+    ) -> Result<Arc<Estimate>, ContentionError> {
+        self.get_or_estimate_with(Self::fingerprint(spec), spec, use_case, method)
+    }
+
+    /// [`get_or_estimate`](Self::get_or_estimate) with a precomputed spec
+    /// fingerprint, skipping the per-call structural hash.
+    ///
+    /// # Errors
+    ///
+    /// See [`get_or_estimate`](Self::get_or_estimate).
+    pub fn get_or_estimate_with(
+        &self,
+        fingerprint: u64,
+        spec: &SystemSpec,
+        use_case: UseCase,
+        method: Method,
+    ) -> Result<Arc<Estimate>, ContentionError> {
+        let key = CacheKey {
+            fingerprint,
+            use_case_mask: use_case.mask(),
+            method,
+        };
+        if let Some(found) = self.lookup(&key) {
+            return Ok(found);
+        }
+        // Compute outside the lock.
+        let estimate = Arc::new(contention::estimate(spec, use_case, method)?);
+        self.insert(key, Arc::clone(&estimate));
+        Ok(estimate)
+    }
+
+    /// The cached estimate for `key`, bumping its recency. Counts a hit or
+    /// a miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<Estimate>> {
+        let mut state = lock(&self.state);
+        let state = &mut *state;
+        match state.entries.get_mut(key) {
+            Some((estimate, stamp)) => {
+                state.order.remove(stamp);
+                state.tick += 1;
+                *stamp = state.tick;
+                state.order.insert(state.tick, *key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(estimate))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// entry beyond capacity.
+    pub fn insert(&self, key: CacheKey, estimate: Arc<Estimate>) {
+        let mut state = lock(&self.state);
+        let state = &mut *state;
+        state.tick += 1;
+        let stamp = state.tick;
+        if let Some((_, old_stamp)) = state.entries.insert(key, (estimate, stamp)) {
+            state.order.remove(&old_stamp);
+        }
+        state.order.insert(stamp, key);
+        while state.entries.len() > self.capacity {
+            let (&oldest, &victim) = state.order.iter().next().expect("non-empty order");
+            state.order.remove(&oldest);
+            state.entries.remove(&victim);
+        }
+    }
+
+    /// Number of cached estimates.
+    pub fn len(&self) -> usize {
+        lock(&self.state).entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained estimates.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required (or will require) a fresh estimate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Drops every cached estimate (counters are kept).
+    pub fn clear(&self) {
+        let mut state = lock(&self.state);
+        state.entries.clear();
+        state.order.clear();
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock (a panicked
+/// worker must not wedge the whole service).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::{Application, Mapping};
+    use sdf::{figure2_graphs, Rational};
+
+    fn spec() -> SystemSpec {
+        let (a, b) = figure2_graphs();
+        SystemSpec::builder()
+            .application(Application::new("A", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = EstimateCache::new(8);
+        let spec = spec();
+        let uc = UseCase::full(2);
+        let first = cache
+            .get_or_estimate(&spec, uc, Method::SECOND_ORDER)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = cache
+            .get_or_estimate(&spec, uc, Method::SECOND_ORDER)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.period(platform::AppId(0)), Rational::new(1075, 3));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = EstimateCache::new(8);
+        let spec = spec();
+        let full = cache
+            .get_or_estimate(&spec, UseCase::full(2), Method::SECOND_ORDER)
+            .unwrap();
+        let single = cache
+            .get_or_estimate(&spec, UseCase::from_mask(1), Method::SECOND_ORDER)
+            .unwrap();
+        assert_ne!(
+            full.period(platform::AppId(0)),
+            single.period(platform::AppId(0))
+        );
+        let other_method = cache
+            .get_or_estimate(&spec, UseCase::full(2), Method::WorstCaseRoundRobin)
+            .unwrap();
+        assert!(other_method.period(platform::AppId(0)) >= full.period(platform::AppId(0)));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = EstimateCache::new(2);
+        let spec = spec();
+        let masks = [1u64, 2, 3];
+        for mask in masks {
+            cache
+                .get_or_estimate(&spec, UseCase::from_mask(mask), Method::Composability)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // mask 1 was evicted; 2 and 3 remain.
+        let fp = EstimateCache::fingerprint(&spec);
+        let key = |mask| CacheKey {
+            fingerprint: fp,
+            use_case_mask: mask,
+            method: Method::Composability,
+        };
+        assert!(cache.lookup(&key(1)).is_none());
+        assert!(cache.lookup(&key(2)).is_some());
+        assert!(cache.lookup(&key(3)).is_some());
+        // Touch 2, insert 1: 3 is now the eviction victim.
+        cache
+            .get_or_estimate(&spec, UseCase::from_mask(2), Method::Composability)
+            .unwrap();
+        cache
+            .get_or_estimate(&spec, UseCase::from_mask(1), Method::Composability)
+            .unwrap();
+        assert!(cache.lookup(&key(3)).is_none());
+        assert!(cache.lookup(&key(2)).is_some());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_specs() {
+        let base = spec();
+        let (a, b) = figure2_graphs();
+        let renamed = SystemSpec::builder()
+            .application(Application::new("A2", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap();
+        assert_eq!(
+            EstimateCache::fingerprint(&base),
+            EstimateCache::fingerprint(&spec())
+        );
+        assert_ne!(
+            EstimateCache::fingerprint(&base),
+            EstimateCache::fingerprint(&renamed)
+        );
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = EstimateCache::new(4);
+        let spec = spec();
+        cache
+            .get_or_estimate(&spec, UseCase::full(2), Method::Composability)
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+    }
+}

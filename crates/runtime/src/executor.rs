@@ -1,0 +1,543 @@
+//! Multi-threaded request batch executor with throughput/latency metrics.
+//!
+//! [`BatchExecutor`] drains a queue of admission/release/query/estimate
+//! requests across a pool of worker threads, driving a shared
+//! [`ResourceManager`] and [`EstimateCache`], and reports per-class latency
+//! order statistics plus outcome counts — the measurement harness behind
+//! `probcon serve-bench`.
+
+use crate::cache::{lock, EstimateCache};
+use crate::manager::{Admission, AdmitError, ResourceManager, Ticket};
+use crate::metrics::LatencySummary;
+use contention::Method;
+use platform::{AppId, NodeId, SystemSpec, UseCase};
+use sdf::Rational;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One unit of work for the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Admit an instance of the spec's application `app_index` (mapped per
+    /// the spec), optionally demanding a throughput floor.
+    Admit {
+        /// Index of the application in the spec.
+        app_index: usize,
+        /// Required minimum throughput, if any.
+        required_throughput: Option<Rational>,
+    },
+    /// Release the most recently admitted live ticket (no-op when none).
+    Release,
+    /// Re-predict the period of a live resident (falls back to a
+    /// resident-count probe when none).
+    Query,
+    /// Estimate all periods of a use-case through the cache.
+    Estimate {
+        /// Active-application mask.
+        use_case: UseCase,
+        /// Estimation method.
+        method: Method,
+    },
+}
+
+/// Request classes reported separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Admit,
+    Release,
+    Query,
+    Estimate,
+}
+
+const CLASSES: [Class; 4] = [Class::Admit, Class::Release, Class::Query, Class::Estimate];
+
+impl Class {
+    fn of(request: &Request) -> Class {
+        match request {
+            Request::Admit { .. } => Class::Admit,
+            Request::Release => Class::Release,
+            Request::Query => Class::Query,
+            Request::Estimate { .. } => Class::Estimate,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Class::Admit => "admit",
+            Class::Release => "release",
+            Class::Query => "query",
+            Class::Estimate => "estimate",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Outcome counts and latency statistics of one executed batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Requests executed.
+    pub requests: usize,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Admissions granted.
+    pub admitted: u64,
+    /// Admissions rejected by a contract.
+    pub rejected: u64,
+    /// Admissions that timed out waiting for capacity.
+    pub timeouts: u64,
+    /// Admissions refused because the manager stopped.
+    pub stopped: u64,
+    /// Hard analysis errors.
+    pub errors: u64,
+    /// Tickets released by `Release` requests (and the final drain).
+    pub released: u64,
+    /// Cache hits over the batch.
+    pub cache_hits: u64,
+    /// Cache misses over the batch.
+    pub cache_misses: u64,
+    /// Residents still live when the batch finished (before the drain).
+    pub residents_at_end: usize,
+    /// Per-class latency summaries, indexed like `CLASSES`.
+    latencies: [LatencySummary; 4],
+}
+
+impl BatchReport {
+    /// Requests per second over the wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.requests as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Latency summary for admissions.
+    pub fn admit_latency(&self) -> LatencySummary {
+        self.latencies[Class::Admit.index()]
+    }
+
+    /// Latency summary for estimate requests.
+    pub fn estimate_latency(&self) -> LatencySummary {
+        self.latencies[Class::Estimate.index()]
+    }
+
+    /// Renders the human-readable metrics table printed by
+    /// `probcon serve-bench`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} requests on {} threads in {:.3?}  ({:.1} req/s)",
+            self.requests,
+            self.threads,
+            self.wall,
+            self.throughput()
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "class", "count", "min", "mean", "p50", "p95", "max"
+        );
+        for class in CLASSES {
+            let s = self.latencies[class.index()];
+            if s.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                class.name(),
+                s.count,
+                format_duration(s.min),
+                format_duration(s.mean),
+                format_duration(s.p50),
+                format_duration(s.p95),
+                format_duration(s.max),
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "admissions: {} admitted, {} rejected, {} timed out, {} stopped, {} errors",
+            self.admitted, self.rejected, self.timeouts, self.stopped, self.errors
+        );
+        let total_lookups = self.cache_hits + self.cache_misses;
+        let rate = if total_lookups == 0 {
+            0.0
+        } else {
+            100.0 * self.cache_hits as f64 / total_lookups as f64
+        };
+        let _ = writeln!(
+            out,
+            "estimate cache: {} hits, {} misses ({rate:.1}% hit rate)",
+            self.cache_hits, self.cache_misses
+        );
+        let _ = writeln!(
+            out,
+            "tickets: {} released during the batch, {} resident at end",
+            self.released, self.residents_at_end
+        );
+        out
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let micros = d.as_micros();
+    if micros < 1_000 {
+        format!("{micros}µs")
+    } else if micros < 1_000_000 {
+        format!("{:.2}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    }
+}
+
+/// Drains request batches through a [`ResourceManager`] + [`EstimateCache`]
+/// on a worker-thread pool.
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    manager: ResourceManager,
+    cache: Arc<EstimateCache>,
+}
+
+struct WorkerStats {
+    /// `(class, micros)` latency samples.
+    samples: Vec<(Class, u64)>,
+    admitted: u64,
+    rejected: u64,
+    timeouts: u64,
+    stopped: u64,
+    errors: u64,
+    released: u64,
+}
+
+impl WorkerStats {
+    fn new() -> WorkerStats {
+        WorkerStats {
+            samples: Vec::new(),
+            admitted: 0,
+            rejected: 0,
+            timeouts: 0,
+            stopped: 0,
+            errors: 0,
+            released: 0,
+        }
+    }
+}
+
+impl BatchExecutor {
+    /// Executor over a shared manager and cache.
+    pub fn new(manager: ResourceManager, cache: Arc<EstimateCache>) -> BatchExecutor {
+        BatchExecutor { manager, cache }
+    }
+
+    /// The manager this executor drives.
+    pub fn manager(&self) -> &ResourceManager {
+        &self.manager
+    }
+
+    /// The estimate cache this executor consults.
+    pub fn cache(&self) -> &EstimateCache {
+        &self.cache
+    }
+
+    /// Executes `requests` against `spec` on `threads` workers and reports
+    /// the batch's metrics. Tickets admitted during the batch are held in a
+    /// shared pool (drained by `Release` requests) and all released when
+    /// the batch ends.
+    pub fn run(&self, spec: &SystemSpec, requests: Vec<Request>, threads: usize) -> BatchReport {
+        let threads = threads.max(1);
+        let total = requests.len();
+        let queue = Mutex::new(requests.into_iter().collect::<VecDeque<Request>>());
+        let tickets: Mutex<Vec<Ticket>> = Mutex::new(Vec::new());
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        // One structural hash for the whole batch, not one per request.
+        let fingerprint = EstimateCache::fingerprint(spec);
+
+        let start = Instant::now();
+        let worker_stats = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let queue = &queue;
+                    let tickets = &tickets;
+                    scope.spawn(move || self.worker_loop(worker, fingerprint, spec, queue, tickets))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker does not panic"))
+                .collect::<Vec<WorkerStats>>()
+        });
+        let wall = start.elapsed();
+
+        let residents_at_end = self.manager.resident_count();
+        // Drain: release every ticket still held by the batch.
+        tickets
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+
+        let mut merged = WorkerStats::new();
+        for stats in worker_stats {
+            merged.samples.extend(stats.samples);
+            merged.admitted += stats.admitted;
+            merged.rejected += stats.rejected;
+            merged.timeouts += stats.timeouts;
+            merged.stopped += stats.stopped;
+            merged.errors += stats.errors;
+            merged.released += stats.released;
+        }
+        let mut latencies = [LatencySummary::default(); 4];
+        for class in CLASSES {
+            let mut micros: Vec<u64> = merged
+                .samples
+                .iter()
+                .filter(|(c, _)| *c == class)
+                .map(|(_, us)| *us)
+                .collect();
+            latencies[class.index()] = LatencySummary::from_micros(&mut micros);
+        }
+
+        BatchReport {
+            threads,
+            requests: total,
+            wall,
+            admitted: merged.admitted,
+            rejected: merged.rejected,
+            timeouts: merged.timeouts,
+            stopped: merged.stopped,
+            errors: merged.errors,
+            released: merged.released,
+            cache_hits: self.cache.hits() - hits_before,
+            cache_misses: self.cache.misses() - misses_before,
+            residents_at_end,
+            latencies,
+        }
+    }
+
+    fn worker_loop(
+        &self,
+        worker: usize,
+        fingerprint: u64,
+        spec: &SystemSpec,
+        queue: &Mutex<VecDeque<Request>>,
+        tickets: &Mutex<Vec<Ticket>>,
+    ) -> WorkerStats {
+        let mut stats = WorkerStats::new();
+        loop {
+            let Some(request) = lock(queue).pop_front() else {
+                return stats;
+            };
+            let class = Class::of(&request);
+            let start = Instant::now();
+            self.execute(worker, fingerprint, spec, request, tickets, &mut stats);
+            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            stats.samples.push((class, micros));
+        }
+    }
+
+    fn execute(
+        &self,
+        worker: usize,
+        fingerprint: u64,
+        spec: &SystemSpec,
+        request: Request,
+        tickets: &Mutex<Vec<Ticket>>,
+        stats: &mut WorkerStats,
+    ) {
+        match request {
+            Request::Admit {
+                app_index,
+                required_throughput,
+            } => {
+                let app_index = app_index % spec.application_count();
+                let id = AppId(app_index);
+                let app = spec.application(id).clone();
+                let assignment: Vec<NodeId> = app
+                    .graph()
+                    .actor_ids()
+                    .map(|actor| spec.node_of(id, actor))
+                    .collect();
+                let shard = self.manager.shard_for((worker + app_index) as u64);
+                match self
+                    .manager
+                    .admit(shard, app, &assignment, required_throughput)
+                {
+                    Ok(Admission::Admitted(ticket)) => {
+                        stats.admitted += 1;
+                        lock(tickets).push(ticket);
+                    }
+                    Ok(Admission::Rejected { .. }) => stats.rejected += 1,
+                    Err(AdmitError::Timeout) => stats.timeouts += 1,
+                    Err(AdmitError::Stopped) => stats.stopped += 1,
+                    Err(_) => stats.errors += 1,
+                }
+            }
+            Request::Release => {
+                let ticket = lock(tickets).pop();
+                if let Some(ticket) = ticket {
+                    ticket.release();
+                    stats.released += 1;
+                }
+            }
+            Request::Query => {
+                // Snapshot one live ticket's identity, then query without
+                // holding the pool lock.
+                let target = {
+                    let pool = lock(tickets);
+                    pool.last().map(|t| (t.shard(), t.app_id()))
+                };
+                match target {
+                    Some((shard, app)) => {
+                        // The resident may have been released concurrently;
+                        // an unknown-application analysis error is fine.
+                        let _ = self.manager.predicted_period(shard, app);
+                    }
+                    None => {
+                        let _ = self.manager.resident_count();
+                    }
+                }
+            }
+            Request::Estimate { use_case, method } => {
+                if self
+                    .cache
+                    .get_or_estimate_with(fingerprint, spec, use_case, method)
+                    .is_err()
+                {
+                    stats.errors += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic seeded request stream with a serve-bench-shaped mix
+/// (≈40 % admit, 25 % release, 20 % query, 15 % estimate).
+pub fn seeded_requests(spec: &SystemSpec, count: usize, seed: u64) -> Vec<Request> {
+    use rand::{rngs::StdRng, RngCore, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = move || rng.next_u64();
+    let apps = spec.application_count();
+    let methods = [
+        Method::SECOND_ORDER,
+        Method::Composability,
+        Method::WorstCaseRoundRobin,
+    ];
+    (0..count)
+        .map(|_| {
+            let roll = next() % 100;
+            if roll < 40 {
+                let app_index = next() as usize % apps;
+                // Half the admissions carry a throughput contract at 60 %
+                // of isolation (tight enough to see real rejections).
+                let required_throughput = if next() % 2 == 0 {
+                    Some(
+                        spec.application(AppId(app_index)).isolation_throughput()
+                            * Rational::new(3, 5),
+                    )
+                } else {
+                    None
+                };
+                Request::Admit {
+                    app_index,
+                    required_throughput,
+                }
+            } else if roll < 65 {
+                Request::Release
+            } else if roll < 85 {
+                Request::Query
+            } else {
+                let mask = next() % ((1u64 << apps.min(20)) - 1) + 1;
+                Request::Estimate {
+                    use_case: UseCase::from_mask(mask),
+                    method: methods[next() as usize % methods.len()],
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{QueueMode, ResourceManagerConfig};
+    use platform::{Application, Mapping};
+    use sdf::figure2_graphs;
+
+    fn spec() -> SystemSpec {
+        let (a, b) = figure2_graphs();
+        SystemSpec::builder()
+            .application(Application::new("A", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap()
+    }
+
+    fn executor(capacity: usize) -> BatchExecutor {
+        let manager = ResourceManager::new(ResourceManagerConfig {
+            shards: 2,
+            capacity_per_shard: capacity,
+            queue_mode: QueueMode::Fifo,
+            admit_timeout: Some(Duration::from_millis(20)),
+        });
+        BatchExecutor::new(manager, Arc::new(EstimateCache::new(32)))
+    }
+
+    #[test]
+    fn batch_executes_all_requests() {
+        let exec = executor(8);
+        let spec = spec();
+        let requests = seeded_requests(&spec, 120, 42);
+        assert_eq!(requests.len(), 120);
+        let report = exec.run(&spec, requests, 4);
+        assert_eq!(report.requests, 120);
+        assert_eq!(report.threads, 4);
+        assert!(report.admitted > 0, "{report:?}");
+        assert!(report.cache_hits + report.cache_misses > 0, "{report:?}");
+        // Every ticket is drained after the batch.
+        assert_eq!(exec.manager().resident_count(), 0);
+        // The report renders the metrics table.
+        let table = report.render();
+        for needle in ["req/s", "admit", "admitted", "cache", "p95"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn seeded_requests_deterministic_and_mixed() {
+        let spec = spec();
+        let a = seeded_requests(&spec, 400, 7);
+        let b = seeded_requests(&spec, 400, 7);
+        assert_eq!(a, b);
+        let admits = a
+            .iter()
+            .filter(|r| matches!(r, Request::Admit { .. }))
+            .count();
+        let estimates = a
+            .iter()
+            .filter(|r| matches!(r, Request::Estimate { .. }))
+            .count();
+        assert!((100..=220).contains(&admits), "{admits}");
+        assert!((20..=120).contains(&estimates), "{estimates}");
+        assert_ne!(a, seeded_requests(&spec, 400, 8));
+    }
+
+    #[test]
+    fn single_thread_batch_is_equivalent() {
+        let exec = executor(4);
+        let spec = spec();
+        let report = exec.run(&spec, seeded_requests(&spec, 60, 3), 1);
+        assert_eq!(report.requests, 60);
+        assert_eq!(exec.manager().resident_count(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # runtime — concurrent online resource management
+//!
+//! The paper's closing argument is that millisecond-scale estimates make
+//! **run-time admission control** feasible. The `contention` crate
+//! implements that controller single-threaded; this crate turns it into an
+//! online service able to serve heavy concurrent traffic:
+//!
+//! * [`ResourceManager`] — sharded, thread-safe admission front-end with
+//!   ticket-based admit/release, FIFO/LIFO bounded waiting, timeouts and
+//!   graceful [`stop`](ResourceManager::stop);
+//! * [`EstimateCache`] — LRU memoization of [`contention::estimate`]
+//!   results keyed by (spec fingerprint, use-case mask, method), with
+//!   observable hit/miss counters;
+//! * [`BatchExecutor`] — a worker-thread-pool request drain reporting
+//!   throughput, per-class latency order statistics and rejection counts
+//!   (the engine behind `probcon serve-bench`).
+//!
+//! # Example
+//!
+//! ```
+//! use platform::{Application, NodeId};
+//! use runtime::{Admission, ResourceManager, ResourceManagerConfig};
+//! use sdf::{figure2_graphs, Rational};
+//!
+//! let manager = ResourceManager::new(ResourceManagerConfig {
+//!     shards: 1,
+//!     capacity_per_shard: 8,
+//!     ..ResourceManagerConfig::default()
+//! });
+//!
+//! let (a, b) = figure2_graphs();
+//! let nodes = [NodeId(0), NodeId(1), NodeId(2)];
+//!
+//! // Admit A; it insists on its full isolation throughput of 1/300.
+//! let ticket = manager
+//!     .admit(0, Application::new("A", a)?, &nodes, Some(Rational::new(1, 300)))?
+//!     .ticket()
+//!     .expect("first admission fits");
+//!
+//! // B would slow A below its contract: rejected, no capacity consumed.
+//! let outcome = manager.admit(0, Application::new("B", b)?, &nodes, None)?;
+//! assert!(!outcome.is_admitted());
+//! assert_eq!(manager.resident_count(), 1);
+//!
+//! ticket.release(); // frees the shard for the next request
+//! assert_eq!(manager.resident_count(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod manager;
+pub mod metrics;
+
+pub use cache::{CacheKey, EstimateCache};
+pub use executor::{seeded_requests, BatchExecutor, BatchReport, Request};
+pub use manager::{
+    Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
+};
+pub use metrics::{LatencySummary, RuntimeMetrics};

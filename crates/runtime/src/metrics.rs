@@ -1,0 +1,183 @@
+//! Shared counters and latency summaries for the online resource manager.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free outcome counters shared by every thread driving a
+/// [`ResourceManager`](crate::ResourceManager).
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    released: AtomicU64,
+    timeouts: AtomicU64,
+    stopped_rejections: AtomicU64,
+    analysis_errors: AtomicU64,
+    queue_wait_micros: AtomicU64,
+    queue_wait_samples: AtomicU64,
+    queue_wait_max_micros: AtomicU64,
+}
+
+impl RuntimeMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> RuntimeMetrics {
+        RuntimeMetrics::default()
+    }
+
+    pub(crate) fn record_admitted(&self, queue_wait: Duration) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        let micros = u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX);
+        self.queue_wait_micros.fetch_add(micros, Ordering::Relaxed);
+        self.queue_wait_samples.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_max_micros
+            .fetch_max(micros, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_released(&self) {
+        self.released.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stopped(&self) {
+        self.stopped_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_analysis_error(&self) {
+        self.analysis_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Applications admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Admissions rejected by a throughput contract.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Tickets released (admitted applications removed again).
+    pub fn released(&self) -> u64 {
+        self.released.load(Ordering::Relaxed)
+    }
+
+    /// Admissions abandoned because the capacity wait timed out.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Admissions refused because the manager was stopped.
+    pub fn stopped_rejections(&self) -> u64 {
+        self.stopped_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Admissions that failed with a hard analysis error.
+    pub fn analysis_errors(&self) -> u64 {
+        self.analysis_errors.load(Ordering::Relaxed)
+    }
+
+    /// Mean time an *admitted* request spent from call to decision
+    /// (queueing + analysis).
+    pub fn mean_queue_wait(&self) -> Duration {
+        let samples = self.queue_wait_samples.load(Ordering::Relaxed);
+        if samples == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.queue_wait_micros.load(Ordering::Relaxed) / samples)
+    }
+
+    /// Worst time an admitted request spent from call to decision.
+    pub fn max_queue_wait(&self) -> Duration {
+        Duration::from_micros(self.queue_wait_max_micros.load(Ordering::Relaxed))
+    }
+}
+
+/// Order statistics over a set of request latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Minimum latency.
+    pub min: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (50th percentile).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// Maximum latency.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes latencies given in microseconds. Returns the zero summary
+    /// for an empty slice.
+    pub fn from_micros(samples: &mut [u64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let total: u64 = samples.iter().sum();
+        let percentile = |p: usize| {
+            let rank = (samples.len() - 1) * p / 100;
+            Duration::from_micros(samples[rank])
+        };
+        LatencySummary {
+            count,
+            min: Duration::from_micros(samples[0]),
+            mean: Duration::from_micros(total / count),
+            p50: percentile(50),
+            p95: percentile(95),
+            max: Duration::from_micros(samples[samples.len() - 1]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_order_statistics() {
+        let mut micros: Vec<u64> = (1..=100).rev().collect();
+        let s = LatencySummary::from_micros(&mut micros);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, Duration::from_micros(1));
+        assert_eq!(s.max, Duration::from_micros(100));
+        assert_eq!(s.p50, Duration::from_micros(50));
+        assert_eq!(s.p95, Duration::from_micros(95));
+        assert_eq!(s.mean, Duration::from_micros(50));
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(
+            LatencySummary::from_micros(&mut []),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let m = RuntimeMetrics::new();
+        m.record_admitted(Duration::from_micros(10));
+        m.record_admitted(Duration::from_micros(30));
+        m.record_rejected();
+        m.record_released();
+        m.record_timeout();
+        assert_eq!(m.admitted(), 2);
+        assert_eq!(m.rejected(), 1);
+        assert_eq!(m.released(), 1);
+        assert_eq!(m.timeouts(), 1);
+        assert_eq!(m.mean_queue_wait(), Duration::from_micros(20));
+        assert_eq!(m.max_queue_wait(), Duration::from_micros(30));
+    }
+}

@@ -131,8 +131,14 @@ pub fn bounded_buffer_model(graph: &SdfGraph, capacities: &[u64]) -> SdfGraph {
             cap >= c.initial_tokens(),
             "capacity below initial tokens on a channel"
         );
-        b.channel(c.src(), c.dst(), c.production(), c.consumption(), c.initial_tokens())
-            .expect("copied channel is valid");
+        b.channel(
+            c.src(),
+            c.dst(),
+            c.production(),
+            c.consumption(),
+            c.initial_tokens(),
+        )
+        .expect("copied channel is valid");
         if !c.is_self_loop() {
             // Space tokens: consuming `production` space per source firing,
             // releasing `consumption` space per destination firing.
@@ -335,8 +341,7 @@ mod tests {
         let g = b.build().unwrap();
         let full = period(&g).unwrap();
         let (tight_caps, _) = minimize_buffers(&g, full).unwrap();
-        let (loose_caps, achieved) =
-            minimize_buffers(&g, full * Rational::integer(2)).unwrap();
+        let (loose_caps, achieved) = minimize_buffers(&g, full * Rational::integer(2)).unwrap();
         assert!(loose_caps.total_tokens() <= tight_caps.total_tokens());
         assert!(achieved <= full * Rational::integer(2));
     }

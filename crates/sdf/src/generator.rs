@@ -116,8 +116,7 @@ pub fn generate_graph(config: &GeneratorConfig, seed: u64) -> SdfGraph {
         "repetition range empty"
     );
     assert!(
-        config.min_execution_time >= 1
-            && config.min_execution_time <= config.max_execution_time,
+        config.min_execution_time >= 1 && config.min_execution_time <= config.max_execution_time,
         "execution-time range empty"
     );
 

@@ -315,10 +315,7 @@ impl SdfGraph {
     /// # Ok::<(), sdf::SdfError>(())
     /// ```
     pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
-        self.actors
-            .iter()
-            .position(|a| a.name == name)
-            .map(ActorId)
+        self.actors.iter().position(|a| a.name == name).map(ActorId)
     }
 
     /// Returns a copy of the graph with every actor's execution time replaced

@@ -82,7 +82,10 @@ impl HsdfGraph {
         for a in graph.actor_ids() {
             offset[a.0] = nodes.len();
             for f in 0..q.get(a) {
-                nodes.push(Firing { actor: a, firing: f });
+                nodes.push(Firing {
+                    actor: a,
+                    firing: f,
+                });
                 durations.push(graph.execution_time(a));
             }
         }

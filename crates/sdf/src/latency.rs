@@ -53,10 +53,7 @@ use crate::repetition::repetition_vector;
 pub fn iteration_latency(graph: &SdfGraph) -> Result<Rational, SdfError> {
     let q = repetition_vector(graph)?;
 
-    let mut tokens: Vec<u64> = graph
-        .channels()
-        .map(|(_, c)| c.initial_tokens())
-        .collect();
+    let mut tokens: Vec<u64> = graph.channels().map(|(_, c)| c.initial_tokens()).collect();
     let mut remaining: Vec<u64> = q.as_slice().to_vec();
     // Active firings as sorted (completion time, actor) pairs.
     let mut active: Vec<(Rational, ActorId)> = Vec::new();

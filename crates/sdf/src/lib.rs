@@ -52,15 +52,17 @@ pub use buffer::{
     BufferReport,
 };
 pub use dot::to_dot;
-pub use latency::iteration_latency;
 pub use generator::{generate_graph, generate_graphs, GeneratorConfig};
 pub use graph::{
     figure2_graphs, Actor, ActorId, Channel, ChannelId, SdfError, SdfGraph, SdfGraphBuilder,
 };
 pub use hsdf::{Firing, HsdfEdge, HsdfGraph};
+pub use latency::iteration_latency;
 pub use liveness::{is_live, validate_analyzable};
 pub use mcm::maximum_cycle_ratio;
 pub use rational::Rational;
 pub use repetition::{is_consistent, repetition_vector, RepetitionVector};
-pub use state_space::{analyze_period, analyze_period_with, period, AnalysisOptions, PeriodAnalysis};
+pub use state_space::{
+    analyze_period, analyze_period_with, period, AnalysisOptions, PeriodAnalysis,
+};
 pub use topology::{is_strongly_connected, reachable_from, strongly_connected_components};

@@ -45,10 +45,7 @@ use crate::repetition::repetition_vector;
 /// ```
 pub fn is_live(graph: &SdfGraph) -> Result<bool, SdfError> {
     let q = repetition_vector(graph)?;
-    let mut tokens: Vec<u64> = graph
-        .channels()
-        .map(|(_, c)| c.initial_tokens())
-        .collect();
+    let mut tokens: Vec<u64> = graph.channels().map(|(_, c)| c.initial_tokens()).collect();
     let mut remaining: Vec<u64> = q.as_slice().to_vec();
 
     let enabled = |tokens: &[u64], a: ActorId| -> bool {

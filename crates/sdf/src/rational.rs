@@ -564,7 +564,7 @@ mod tests {
         assert_eq!(Rational::new(1, 3).quantize(2), Rational::new(1, 2));
         assert_eq!(Rational::new(1, 5).quantize(2), ZERO); // 0.4 → 0
         assert_eq!(Rational::new(3, 10).quantize(5), Rational::new(2, 5)); // 0.3·5 = 1.5 ties up → 2/5
-        // Verify the tie rule explicitly: 1.5 rounds up.
+                                                                           // Verify the tie rule explicitly: 1.5 rounds up.
         assert_eq!(Rational::new(3, 2).quantize(1), Rational::integer(2));
         assert_eq!(Rational::new(-3, 2).quantize(1), Rational::integer(-1));
         // Error is at most half a grid step.

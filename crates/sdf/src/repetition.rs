@@ -148,25 +148,22 @@ pub fn repetition_vector(graph: &SdfGraph) -> Result<RepetitionVector, SdfError>
         while let Some(a) = stack.pop() {
             let ra = ratio[a.0].expect("visited actors have a ratio");
             // Outgoing: prod·r[a] = cons·r[dst] => r[dst] = r[a]·prod/cons
-            let mut visit = |other: ActorId,
-                             expected: Rational,
-                             chan: ChannelId|
-             -> Result<(), SdfError> {
-                match ratio[other.0] {
-                    None => {
-                        ratio[other.0] = Some(expected);
-                        stack.push(other);
-                        component.push(other);
-                        Ok(())
+            let mut visit =
+                |other: ActorId, expected: Rational, chan: ChannelId| -> Result<(), SdfError> {
+                    match ratio[other.0] {
+                        None => {
+                            ratio[other.0] = Some(expected);
+                            stack.push(other);
+                            component.push(other);
+                            Ok(())
+                        }
+                        Some(r) if r == expected => Ok(()),
+                        Some(_) => Err(SdfError::Inconsistent { channel: chan }),
                     }
-                    Some(r) if r == expected => Ok(()),
-                    Some(_) => Err(SdfError::Inconsistent { channel: chan }),
-                }
-            };
+                };
             for &cid in graph.outgoing(a) {
                 let c = graph.channel(cid);
-                let expected = ra
-                    * Rational::new(c.production() as i128, c.consumption() as i128);
+                let expected = ra * Rational::new(c.production() as i128, c.consumption() as i128);
                 if c.is_self_loop() {
                     if c.production() != c.consumption() {
                         return Err(SdfError::Inconsistent { channel: cid });
@@ -180,8 +177,7 @@ pub fn repetition_vector(graph: &SdfGraph) -> Result<RepetitionVector, SdfError>
                 if c.is_self_loop() {
                     continue;
                 }
-                let expected = ra
-                    * Rational::new(c.consumption() as i128, c.production() as i128);
+                let expected = ra * Rational::new(c.consumption() as i128, c.production() as i128);
                 visit(c.src(), expected, cid)?;
             }
         }

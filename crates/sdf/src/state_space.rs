@@ -98,18 +98,16 @@ struct ExecState {
 impl ExecState {
     fn initial(graph: &SdfGraph) -> Self {
         ExecState {
-            tokens: graph
-                .channels()
-                .map(|(_, c)| c.initial_tokens())
-                .collect(),
+            tokens: graph.channels().map(|(_, c)| c.initial_tokens()).collect(),
             active: vec![Vec::new(); graph.actor_count()],
         }
     }
 
     fn actor_enabled(&self, graph: &SdfGraph, a: ActorId) -> bool {
-        graph.incoming(a).iter().all(|&cid| {
-            self.tokens[cid.index()] >= graph.channel(cid).consumption()
-        })
+        graph
+            .incoming(a)
+            .iter()
+            .all(|&cid| self.tokens[cid.index()] >= graph.channel(cid).consumption())
     }
 
     /// Starts every enabled firing (repeatedly, until fixpoint).
@@ -136,10 +134,7 @@ impl ExecState {
 
     /// Smallest remaining time among active firings, if any.
     fn next_completion(&self) -> Option<Rational> {
-        self.active
-            .iter()
-            .filter_map(|l| l.first().copied())
-            .min()
+        self.active.iter().filter_map(|l| l.first().copied()).min()
     }
 
     /// Advances time by `dt`, completing firings that reach zero; returns
@@ -237,15 +232,13 @@ pub fn analyze_period_with(
                     return Err(SdfError::Deadlocked);
                 }
                 // dc completions of actor0 = dc / q_ref iterations.
-                let iterations =
-                    Rational::new(dc as i128, q_ref as i128);
+                let iterations = Rational::new(dc as i128, q_ref as i128);
                 let period = cycle_length / iterations;
                 return Ok(PeriodAnalysis {
                     period,
                     transient_end: t0,
                     cycle_length,
-                    iterations_per_cycle: (iterations.numer() / iterations.denom())
-                        .max(0) as u64,
+                    iterations_per_cycle: (iterations.numer() / iterations.denom()).max(0) as u64,
                     steps,
                     repetition_vector: q,
                     max_channel_occupancy: max_occupancy,
@@ -268,10 +261,7 @@ pub fn analyze_period_with(
 
         if state.is_idle() && state.next_completion().is_none() {
             // No active firing and nothing became enabled: deadlock.
-            if !graph
-                .actor_ids()
-                .any(|a| state.actor_enabled(graph, a))
-            {
+            if !graph.actor_ids().any(|a| state.actor_enabled(graph, a)) {
                 return Err(SdfError::Deadlocked);
             }
         }
@@ -405,10 +395,7 @@ mod tests {
         let y = b.actor_rational("y", Rational::new(50, 3));
         b.channel(x, y, 1, 1, 0).unwrap();
         b.channel(y, x, 1, 1, 1).unwrap();
-        assert_eq!(
-            period(&b.build().unwrap()).unwrap(),
-            Rational::new(59, 3)
-        );
+        assert_eq!(period(&b.build().unwrap()).unwrap(), Rational::new(59, 3));
     }
 
     #[test]

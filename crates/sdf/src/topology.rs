@@ -208,7 +208,8 @@ mod tests {
         let ids: Vec<_> = (0..6).map(|i| b.actor(format!("a{i}"), 1)).collect();
         for i in 0..3 {
             b.channel(ids[i], ids[(i + 1) % 3], 1, 1, 0).unwrap();
-            b.channel(ids[3 + i], ids[3 + (i + 1) % 3], 1, 1, 0).unwrap();
+            b.channel(ids[3 + i], ids[3 + (i + 1) % 3], 1, 1, 0)
+                .unwrap();
         }
         b.channel(ids[0], ids[3], 1, 1, 0).unwrap();
         let g = b.build().unwrap();

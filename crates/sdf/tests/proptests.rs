@@ -10,8 +10,8 @@ use sdf::{
 };
 
 fn small_config() -> impl Strategy<Value = GeneratorConfig> {
-    (2usize..=6, 1u64..=3, 1u64..=40, 0.0f64..1.0).prop_map(
-        |(actors, max_rep, max_tau, extra)| GeneratorConfig {
+    (2usize..=6, 1u64..=3, 1u64..=40, 0.0f64..1.0).prop_map(|(actors, max_rep, max_tau, extra)| {
+        GeneratorConfig {
             min_actors: actors,
             max_actors: actors,
             min_repetition: 1,
@@ -19,8 +19,8 @@ fn small_config() -> impl Strategy<Value = GeneratorConfig> {
             min_execution_time: 1,
             max_execution_time: max_tau,
             extra_channel_fraction: extra,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

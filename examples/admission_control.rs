@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ten candidate applications stream in; each demands at least 60 % of
     // its isolation throughput once admitted.
     let mut admitted = Vec::new();
-    println!("{:<8} {:>12} {:>14} {:>10}", "app", "iso period", "min thr (1/t)", "decision");
+    println!(
+        "{:<8} {:>12} {:>14} {:>10}",
+        "app", "iso period", "min thr (1/t)", "decision"
+    );
     println!("{}", "-".repeat(48));
 
     for seed in 0..10u64 {
@@ -34,28 +37,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let name = app.name().to_string();
         let outcome = ctrl.admit(app, &nodes, Some(required))?;
         match outcome {
-            AdmissionOutcome::Admitted { id, ref predicted_periods } => {
+            AdmissionOutcome::Admitted {
+                id,
+                ref predicted_periods,
+            } => {
                 admitted.push((id, name.clone()));
                 println!(
                     "{:<8} {:>12} {:>14} {:>10}",
                     name,
                     iso.to_string(),
-                    required.to_f64().to_string().chars().take(9).collect::<String>(),
+                    required
+                        .to_f64()
+                        .to_string()
+                        .chars()
+                        .take(9)
+                        .collect::<String>(),
                     "ADMIT"
                 );
                 let worst = predicted_periods
                     .values()
                     .map(|p| p.to_f64())
                     .fold(0.0f64, f64::max);
-                println!("         -> {} resident, worst predicted period {:.0}",
-                    predicted_periods.len(), worst);
+                println!(
+                    "         -> {} resident, worst predicted period {:.0}",
+                    predicted_periods.len(),
+                    worst
+                );
             }
             AdmissionOutcome::Rejected { ref violations } => {
                 println!(
                     "{:<8} {:>12} {:>14} {:>10}",
                     name,
                     iso.to_string(),
-                    required.to_f64().to_string().chars().take(9).collect::<String>(),
+                    required
+                        .to_f64()
+                        .to_string()
+                        .chars()
+                        .take(9)
+                        .collect::<String>(),
                     "REJECT"
                 );
                 for v in violations {

@@ -26,12 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..GeneratorConfig::default()
     };
     let apps: Vec<Application> = (0..4)
-        .map(|s| {
-            Application::new(
-                format!("app{s}"),
-                generate_graph(&config, 7100 + s as u64),
-            )
-        })
+        .map(|s| Application::new(format!("app{s}"), generate_graph(&config, 7100 + s as u64)))
         .collect::<Result<_, _>>()?;
     let nodes = 6;
 
@@ -55,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Strategy 2: composability pressure balancer.
     let t = Instant::now();
     let balanced = balance_mapping(&apps, nodes);
-    let (balanced_spec, cost_balanced) =
-        evaluate_mapping(&apps, balanced, Method::SECOND_ORDER)?;
+    let (balanced_spec, cost_balanced) = evaluate_mapping(&apps, balanced, Method::SECOND_ORDER)?;
     println!(
         "pressure balancer   cost {:.3}  ({:?})",
         cost_balanced,

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("Per-actor waiting times (all 10 applications concurrent):\n");
-    println!("{:<10} {:>12} {:>12} {:>10}", "actor", "predicted", "observed", "Δ");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "actor", "predicted", "observed", "Δ"
+    );
     println!("{}", "-".repeat(48));
     // Show the ten largest predictions; the CSV-minded can iterate all.
     let mut sorted = v.waiting.clone();
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nPer-node pressure vs observed utilisation:\n");
-    println!("{:<8} {:>18} {:>12}", "node", "Σ P(a) (pressure)", "observed");
+    println!(
+        "{:<8} {:>18} {:>12}",
+        "node", "Σ P(a) (pressure)", "observed"
+    );
     println!("{}", "-".repeat(40));
     for u in &v.utilization {
         println!(

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let exact = waiting_time(&loads, Order::Exact);
-    println!("Nine co-mapped actors; exact waiting time = {:.4}\n", exact.to_f64());
+    println!(
+        "Nine co-mapped actors; exact waiting time = {:.4}\n",
+        exact.to_f64()
+    );
     println!("{:<8} {:>12} {:>12}", "order", "waiting", "error vs exact");
     println!("{}", "-".repeat(34));
     for m in 1..=9 {

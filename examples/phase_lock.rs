@@ -37,15 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // Model predictions for the victim's waiting time on node 0.
-    let constant = ActorLoad::from_constant_time(
-        Rational::integer(100),
-        1,
-        Rational::integer(200),
-    )?;
+    let constant =
+        ActorLoad::from_constant_time(Rational::integer(100), 1, Rational::integer(200))?;
     let predicted_constant = waiting_time(&[constant], Order::Exact).to_f64();
 
     println!("Independent-arrival prediction (constant τ): µ·P = {predicted_constant:.1}\n");
-    println!("{:>7} {:>14} {:>22}", "jitter", "observed wait", "stochastic prediction");
+    println!(
+        "{:>7} {:>14} {:>22}",
+        "jitter", "observed wait", "stochastic prediction"
+    );
     println!("{}", "-".repeat(46));
 
     for spread in [0u32, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
@@ -68,13 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let predicted = if spread == 0 {
             predicted_constant
         } else {
-            let dist = ExecutionTime::uniform(
-                Rational::integer(100 - s),
-                Rational::integer(100 + s),
-            )
-            .or_else(|_| {
-                ExecutionTime::uniform(Rational::integer(1), Rational::integer(100 + s))
-            })?;
+            let dist =
+                ExecutionTime::uniform(Rational::integer(100 - s), Rational::integer(100 + s))
+                    .or_else(|_| {
+                        ExecutionTime::uniform(Rational::integer(1), Rational::integer(100 + s))
+                    })?;
             let load = ActorLoad::from_distribution(&dist, 1, Rational::integer(200))?;
             waiting_time(&[load], Order::Exact).to_f64()
         };

@@ -124,10 +124,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // All 15 feature combinations, estimated analytically.
     for uc in UseCase::all(4) {
         let est = estimate(&spec, uc, Method::SECOND_ORDER)?;
-        let name: Vec<&str> = uc
-            .app_ids()
-            .map(|a| spec.application(a).name())
-            .collect();
+        let name: Vec<&str> = uc.app_ids().map(|a| spec.application(a).name()).collect();
         let mut cells = Vec::new();
         for id in [0, 1, 2, 3].map(AppId) {
             if uc.contains(id) {
@@ -146,7 +143,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nAll features on — estimate vs simulation:");
     for (id, app) in spec.iter() {
         let e = est.period(id).to_f64();
-        let s = sim.app(id).expect("active").average_period().expect("iterations");
+        let s = sim
+            .app(id)
+            .expect("active")
+            .average_period()
+            .expect("iterations");
         println!(
             "  {:<6} estimated {:>7.0}  simulated {:>7.1}  deviation {:>5.1}%",
             app.name(),

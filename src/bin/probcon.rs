@@ -5,6 +5,7 @@
 //! probcon analyze  <graph.json>
 //! probcon estimate --seed 2007 --apps 10 --use-case 1023 [--method order-2]
 //! probcon simulate --seed 2007 --apps 10 --use-case 1023 [--horizon 500000]
+//! probcon serve-bench --threads 4 --requests 1000 [--apps N] [--shards S]
 //! probcon paper    [--quick]
 //! ```
 
@@ -17,8 +18,8 @@ use experiments::{
 use mpsoc_sim::{simulate, SimConfig};
 use platform::UseCase;
 use sdf::{
-    analyze_period, buffer_requirements, generate_graph, iteration_latency,
-    repetition_vector, to_dot, GeneratorConfig, SdfGraph,
+    analyze_period, buffer_requirements, generate_graph, iteration_latency, repetition_vector,
+    to_dot, GeneratorConfig, SdfGraph,
 };
 use std::collections::HashMap;
 use std::fs;
@@ -44,6 +45,13 @@ USAGE:
 
   probcon signoff --seed <u64> --apps <n> [--method <m>]
       Per-application worst/best predicted period over ALL 2^n - 1 use-cases.
+
+  probcon serve-bench --threads <n> --requests <m> [--seed <u64>] [--apps <n>]
+                      [--actors <n>] [--shards <n>] [--capacity <n>]
+                      [--timeout-ms <n>] [--lifo]
+      Hammer the concurrent online resource manager with a seeded stream of
+      admit/release/query/estimate requests and print a throughput/latency/
+      rejection metrics table.
 
   probcon paper [--quick]
       Regenerate Table 1, Figure 5, Figure 6 and the timing comparison.
@@ -86,7 +94,10 @@ fn parse(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
 fn opt_u64(options: &HashMap<&str, &str>, key: &str) -> Result<Option<u64>, String> {
     options
         .get(key)
-        .map(|v| v.parse::<u64>().map_err(|_| format!("--{key}: expected a number, got '{v}'")))
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--{key}: expected a number, got '{v}'"))
+        })
         .transpose()
 }
 
@@ -124,6 +135,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "estimate" => cmd_estimate(&options),
         "simulate" => cmd_simulate(&options),
         "signoff" => cmd_signoff(&options),
+        "serve-bench" => cmd_serve_bench(&options),
         "paper" => cmd_paper(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -147,8 +159,7 @@ fn cmd_generate(options: &HashMap<&str, &str>) -> Result<(), String> {
         graph.channel_count()
     );
     if let Some(path) = options.get("out") {
-        let json = serde_json::to_string_pretty(&graph)
-            .map_err(|e| format!("serialize: {e}"))?;
+        let json = serde_json::to_string_pretty(&graph).map_err(|e| format!("serialize: {e}"))?;
         fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
     }
@@ -162,8 +173,7 @@ fn cmd_generate(options: &HashMap<&str, &str>) -> Result<(), String> {
 fn cmd_analyze(path: Option<&str>, _options: &HashMap<&str, &str>) -> Result<(), String> {
     let path = path.ok_or("analyze needs a graph file")?;
     let json = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let graph: SdfGraph =
-        serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+    let graph: SdfGraph = serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
 
     let q = repetition_vector(&graph).map_err(|e| e.to_string())?;
     let analysis = analyze_period(&graph).map_err(|e| e.to_string())?;
@@ -279,10 +289,59 @@ fn cmd_signoff(options: &HashMap<&str, &str>) -> Result<(), String> {
     let spec = workload_from(options)?;
     let method = parse_method(options.get("method").copied().unwrap_or("composability"))?;
     let start = std::time::Instant::now();
-    let report = experiments::signoff::sign_off(&spec, method, None)
-        .map_err(|e| e.to_string())?;
+    let report = experiments::signoff::sign_off(&spec, method, None).map_err(|e| e.to_string())?;
     println!("{}", report.render());
     println!("({:?} total)", start.elapsed());
+    Ok(())
+}
+
+fn cmd_serve_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
+    use runtime::{
+        seeded_requests, BatchExecutor, EstimateCache, QueueMode, ResourceManager,
+        ResourceManagerConfig,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let threads = require_u64(options, "threads")? as usize;
+    let requests = require_u64(options, "requests")? as usize;
+    if threads == 0 || requests == 0 {
+        return Err("--threads and --requests must be positive".into());
+    }
+    let seed = opt_u64(options, "seed")?.unwrap_or(experiments::workload::DEFAULT_SEED);
+    let apps = opt_u64(options, "apps")?.unwrap_or(6) as usize;
+    if apps == 0 || apps > 20 {
+        return Err("--apps must be in 1..=20".into());
+    }
+    let actors = opt_u64(options, "actors")?.unwrap_or(5) as usize;
+    let shards = opt_u64(options, "shards")?.unwrap_or(4) as usize;
+    let capacity = opt_u64(options, "capacity")?.unwrap_or(8) as usize;
+    let timeout_ms = opt_u64(options, "timeout-ms")?.unwrap_or(100);
+    let queue_mode = if options.contains_key("lifo") {
+        QueueMode::Lifo
+    } else {
+        QueueMode::Fifo
+    };
+
+    let spec = workload_with(seed, apps, &GeneratorConfig::with_actors(actors))
+        .map_err(|e| e.to_string())?;
+    let manager = ResourceManager::new(ResourceManagerConfig {
+        shards,
+        capacity_per_shard: capacity,
+        queue_mode,
+        admit_timeout: Some(Duration::from_millis(timeout_ms)),
+    });
+    let cache = Arc::new(EstimateCache::new(256));
+    let executor = BatchExecutor::new(manager, cache);
+    let stream = seeded_requests(&spec, requests, seed);
+
+    println!(
+        "serve-bench: {apps} applications × {actors} actors, {shards} shards × \
+         capacity {capacity}, {queue_mode:?} queue, {timeout_ms} ms admit timeout"
+    );
+    let report = executor.run(&spec, stream, threads);
+    print!("{}", report.render());
+    executor.manager().stop();
     Ok(())
 }
 

@@ -18,6 +18,9 @@
 //!   ground truth (the reproduction's POOSL substitute).
 //! * [`experiments`] — runners regenerating Figure 5, Table 1, Figure 6 and
 //!   the timing comparison.
+//! * [`runtime`] — the concurrent online resource manager: sharded
+//!   ticket-based admission, estimate caching, batch execution with
+//!   throughput/latency metrics (`probcon serve-bench`).
 //!
 //! # Example
 //!
@@ -45,4 +48,5 @@ pub use contention;
 pub use experiments;
 pub use mpsoc_sim;
 pub use platform;
+pub use runtime;
 pub use sdf;

@@ -35,7 +35,11 @@ fn benchmarks_estimate_and_simulate_consistently() {
             .expect("iterations");
         // Estimates and simulation both at or above isolation…
         assert!(e >= iso * 0.999, "{}: estimate below isolation", app.name());
-        assert!(s >= iso * 0.999, "{}: simulated below isolation", app.name());
+        assert!(
+            s >= iso * 0.999,
+            "{}: simulated below isolation",
+            app.name()
+        );
         // …and within an order of magnitude of each other. These classic
         // graphs are the model's adversarial regime: cd2dat's bottleneck
         // actor saturates its node (P = 1), where per-firing waiting-time
@@ -106,7 +110,9 @@ fn admission_of_benchmarks_with_throughput_contracts() {
         let nodes: Vec<NodeId> = (0..app.graph().actor_count()).map(NodeId).collect();
         // Demand 70% of isolation throughput.
         let required = app.isolation_period().recip() * Rational::new(7, 10);
-        let outcome = ctrl.admit(app, &nodes, Some(required)).expect("no hard error");
+        let outcome = ctrl
+            .admit(app, &nodes, Some(required))
+            .expect("no hard error");
         if matches!(outcome, AdmissionOutcome::Admitted { .. }) {
             admitted += 1;
         }

@@ -60,11 +60,25 @@ fn generate_analyze_roundtrip() {
 #[test]
 fn estimate_and_simulate_agree_roughly() {
     let est = probcon(&[
-        "estimate", "--seed", "2007", "--apps", "2", "--use-case", "3",
+        "estimate",
+        "--seed",
+        "2007",
+        "--apps",
+        "2",
+        "--use-case",
+        "3",
     ]);
     assert!(est.status.success(), "{:?}", est);
     let sim = probcon(&[
-        "simulate", "--seed", "2007", "--apps", "2", "--use-case", "3", "--horizon", "50000",
+        "simulate",
+        "--seed",
+        "2007",
+        "--apps",
+        "2",
+        "--use-case",
+        "3",
+        "--horizon",
+        "50000",
     ]);
     assert!(sim.status.success(), "{:?}", sim);
     let est_out = String::from_utf8_lossy(&est.stdout);
@@ -81,7 +95,66 @@ fn estimate_validates_inputs() {
         vec!["estimate", "--seed", "1", "--apps", "2", "--use-case", "9"],
         vec!["estimate", "--seed", "x", "--apps", "2", "--use-case", "1"],
         vec![
-            "estimate", "--seed", "1", "--apps", "2", "--use-case", "1", "--method", "bogus",
+            "estimate",
+            "--seed",
+            "1",
+            "--apps",
+            "2",
+            "--use-case",
+            "1",
+            "--method",
+            "bogus",
+        ],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
+}
+
+#[test]
+fn serve_bench_prints_metrics_table() {
+    let out = probcon(&[
+        "serve-bench",
+        "--threads",
+        "2",
+        "--requests",
+        "150",
+        "--apps",
+        "3",
+        "--actors",
+        "4",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "serve-bench",
+        "req/s",
+        "admit",
+        "p95",
+        "admitted",
+        "rejected",
+        "estimate cache",
+        "hit rate",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+}
+
+#[test]
+fn serve_bench_validates_inputs() {
+    for bad in [
+        vec!["serve-bench", "--threads", "0", "--requests", "10"],
+        vec!["serve-bench", "--threads", "2", "--requests", "0"],
+        vec!["serve-bench", "--threads", "2"],
+        vec!["serve-bench", "--requests", "10"],
+        vec![
+            "serve-bench",
+            "--threads",
+            "2",
+            "--requests",
+            "10",
+            "--apps",
+            "0",
         ],
     ] {
         let out = probcon(&bad);

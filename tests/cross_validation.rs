@@ -7,9 +7,7 @@
 use contention::{estimate, Method};
 use mpsoc_sim::{simulate, SimConfig};
 use platform::{AppId, Application, Mapping, SystemSpec, UseCase};
-use sdf::{
-    analyze_period, generate_graph, maximum_cycle_ratio, GeneratorConfig, HsdfGraph,
-};
+use sdf::{analyze_period, generate_graph, maximum_cycle_ratio, GeneratorConfig, HsdfGraph};
 
 #[test]
 fn state_space_agrees_with_mcr_on_random_graphs() {
@@ -98,8 +96,8 @@ fn contended_simulation_never_beats_isolation() {
         .mapping(Mapping::by_actor_index(10))
         .build()
         .expect("valid spec");
-    let sim = simulate(&spec, UseCase::full(2), SimConfig::with_horizon(100_000))
-        .expect("simulates");
+    let sim =
+        simulate(&spec, UseCase::full(2), SimConfig::with_horizon(100_000)).expect("simulates");
     for m in sim.apps() {
         let iso = spec.application(m.app()).isolation_period().to_f64();
         let measured = m.average_period().expect("iterations");

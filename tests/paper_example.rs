@@ -23,10 +23,7 @@ fn definitions_1_to_3() {
     let a = spec.application(AppId(0));
     let b = spec.application(AppId(1));
     // Definition 1: τ(a0) = 100.
-    assert_eq!(
-        a.graph().execution_time(ActorId(0)),
-        Rational::integer(100)
-    );
+    assert_eq!(a.graph().execution_time(ActorId(0)), Rational::integer(100));
     // Definition 2: q[a0 a1 a2] = [1 2 1], q[b0 b1 b2] = [2 1 1].
     assert_eq!(a.repetition_vector().as_slice(), &[1, 2, 1]);
     assert_eq!(b.repetition_vector().as_slice(), &[2, 1, 1]);
@@ -48,8 +45,7 @@ fn definitions_4_and_5() {
         (100, 1, 50), // b0 b1 b2
     ];
     for (tau, q, mu) in cases {
-        let load =
-            ActorLoad::from_constant_time(Rational::integer(tau), q, per).expect("valid");
+        let load = ActorLoad::from_constant_time(Rational::integer(tau), q, per).expect("valid");
         assert_eq!(load.probability(), Rational::new(1, 3));
         assert_eq!(load.blocking_time(), Rational::integer(mu));
     }
@@ -87,8 +83,8 @@ fn simulated_alignments_bracket_the_estimate() {
     // simulation is 400 time units. The probabilistic estimate … is roughly
     // equal to the mean of period obtained in either of the cases."
     let spec = figure2_spec();
-    let sim = simulate(&spec, UseCase::full(2), SimConfig::with_horizon(100_000))
-        .expect("simulates");
+    let sim =
+        simulate(&spec, UseCase::full(2), SimConfig::with_horizon(100_000)).expect("simulates");
     let p_a = sim.app(AppId(0)).unwrap().average_period().unwrap();
     assert!((p_a - 300.0).abs() < 1.0, "counter-aligned phase: {p_a}");
 
@@ -112,8 +108,12 @@ fn simulated_alignments_bracket_the_estimate() {
         .mapping(Mapping::by_actor_index(3))
         .build()
         .unwrap();
-    let sim_rev = simulate(&spec_rev, UseCase::full(2), SimConfig::with_horizon(100_000))
-        .expect("simulates");
+    let sim_rev = simulate(
+        &spec_rev,
+        UseCase::full(2),
+        SimConfig::with_horizon(100_000),
+    )
+    .expect("simulates");
     let p_rev = sim_rev.app(AppId(0)).unwrap().average_period().unwrap();
     assert!(
         p_rev > 300.0 + 1.0,

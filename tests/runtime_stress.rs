@@ -1,0 +1,271 @@
+//! Multi-threaded stress tests of the `runtime` subsystem: N client
+//! threads × M mixed operations against a shared `ResourceManager` and
+//! `EstimateCache`, with invariants checked throughout and a watchdog
+//! asserting the whole run completes (no deadlock).
+
+use contention::Method;
+use platform::{Application, NodeId, SystemSpec, UseCase};
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+use runtime::{
+    seeded_requests, Admission, AdmitError, BatchExecutor, EstimateCache, QueueMode,
+    ResourceManager, ResourceManagerConfig,
+};
+use sdf::figure2_graphs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 150;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// Runs `f` on a fresh thread and fails the test if it does not finish
+/// within [`WATCHDOG`] — a deadlocked manager hangs forever otherwise.
+fn with_watchdog<F: FnOnce() + Send + 'static>(f: F) {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        tx.send(()).expect("watchdog receiver lives");
+    });
+    rx.recv_timeout(WATCHDOG)
+        .expect("stress run deadlocked: watchdog expired");
+    worker.join().expect("stress thread panicked");
+}
+
+fn two_app_spec() -> SystemSpec {
+    let (a, b) = figure2_graphs();
+    SystemSpec::builder()
+        .application(Application::new("A", a).expect("valid"))
+        .application(Application::new("B", b).expect("valid"))
+        .mapping(platform::Mapping::by_actor_index(3))
+        .build()
+        .expect("valid spec")
+}
+
+/// Per-thread deterministic operation stream.
+fn next(rng: &mut StdRng) -> u64 {
+    rng.next_u64()
+}
+
+#[test]
+fn manager_survives_concurrent_admit_release_query() {
+    with_watchdog(|| {
+        let manager = ResourceManager::new(ResourceManagerConfig {
+            shards: 2,
+            capacity_per_shard: 4,
+            queue_mode: QueueMode::Fifo,
+            admit_timeout: Some(Duration::from_millis(200)),
+        });
+        let capacity_total = 2 * 4;
+        let (graph_a, graph_b) = figure2_graphs();
+        let nodes = [NodeId(0), NodeId(1), NodeId(2)];
+        let decisions = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let manager = manager.clone();
+                let graph = if t % 2 == 0 {
+                    graph_a.clone()
+                } else {
+                    graph_b.clone()
+                };
+                let decisions = &decisions;
+                scope.spawn(move || {
+                    let app = Application::new(format!("stress-{t}"), graph).expect("valid graph");
+                    let mut rng = StdRng::seed_from_u64(0x5EED_0000 + t as u64);
+                    let mut tickets = Vec::new();
+                    for _ in 0..OPS_PER_THREAD {
+                        match next(&mut rng) % 100 {
+                            // Admit, sometimes with a contract tight enough
+                            // to be rejected under load.
+                            0..=49 => {
+                                let required = if next(&mut rng).is_multiple_of(3) {
+                                    Some(app.isolation_throughput() * sdf::Rational::new(4, 5))
+                                } else {
+                                    None
+                                };
+                                let shard =
+                                    manager.shard_for(next(&mut rng)) % manager.shard_count();
+                                match manager.admit(shard, app.clone(), &nodes, required) {
+                                    Ok(Admission::Admitted(ticket)) => {
+                                        decisions.fetch_add(1, Ordering::Relaxed);
+                                        tickets.push(ticket);
+                                    }
+                                    Ok(Admission::Rejected { violations }) => {
+                                        decisions.fetch_add(1, Ordering::Relaxed);
+                                        assert!(!violations.is_empty());
+                                    }
+                                    Err(AdmitError::Timeout) => {}
+                                    Err(e) => panic!("unexpected admit error: {e}"),
+                                }
+                            }
+                            // Release the oldest held ticket.
+                            50..=74 => {
+                                if !tickets.is_empty() {
+                                    tickets.remove(0).release();
+                                }
+                            }
+                            // Query a held ticket under the live mix.
+                            75..=89 => {
+                                if let Some(ticket) = tickets.last() {
+                                    let period = ticket
+                                        .predicted_period_now()
+                                        .expect("resident while ticket held");
+                                    assert!(period.is_positive());
+                                }
+                            }
+                            // Global invariant probe.
+                            _ => {
+                                assert!(manager.resident_count() <= capacity_total);
+                            }
+                        }
+                    }
+                    // Tickets drop here, releasing their capacity.
+                });
+            }
+        });
+
+        assert!(decisions.load(Ordering::Relaxed) > 0, "no decisions made");
+        // Every ticket was dropped: the manager must be fully drained and
+        // the books must balance.
+        assert_eq!(manager.resident_count(), 0);
+        let m = manager.metrics();
+        assert_eq!(m.admitted(), m.released(), "ticket leak");
+        for shard in 0..manager.shard_count() {
+            assert_eq!(
+                manager
+                    .snapshot(shard)
+                    .expect("valid shard")
+                    .resident_count(),
+                0
+            );
+        }
+    });
+}
+
+#[test]
+fn estimate_cache_is_consistent_under_concurrency() {
+    with_watchdog(|| {
+        let spec = Arc::new(two_app_spec());
+        let cache = Arc::new(EstimateCache::new(2));
+        let lookups = THREADS * 60;
+
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let spec = Arc::clone(&spec);
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xCAC4E + t as u64);
+                    for _ in 0..60 {
+                        let mask = next(&mut rng) % 3 + 1;
+                        let est = cache
+                            .get_or_estimate(&spec, UseCase::from_mask(mask), Method::SECOND_ORDER)
+                            .expect("estimates");
+                        // Cache consistency: every result for a key equals
+                        // a fresh uncached estimate.
+                        let fresh = contention::estimate(
+                            &spec,
+                            UseCase::from_mask(mask),
+                            Method::SECOND_ORDER,
+                        )
+                        .expect("estimates");
+                        assert_eq!(est.periods(), fresh.periods(), "mask {mask}");
+                    }
+                });
+            }
+        });
+
+        // Counter consistency: every lookup is classified exactly once.
+        assert_eq!(cache.hits() + cache.misses(), lookups as u64);
+        assert!(cache.hits() > 0, "no hits under repeated keys");
+        // 3 distinct keys never fit the capacity-2 cache: evictions forced
+        // misses beyond the 3 cold ones.
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.misses() > 3, "evictions must produce re-misses");
+    });
+}
+
+#[test]
+fn batch_executor_stress_preserves_invariants() {
+    with_watchdog(|| {
+        let spec = two_app_spec();
+        let manager = ResourceManager::new(ResourceManagerConfig {
+            shards: 2,
+            capacity_per_shard: 3,
+            queue_mode: QueueMode::Lifo,
+            admit_timeout: Some(Duration::from_millis(50)),
+        });
+        let cache = Arc::new(EstimateCache::new(16));
+        let executor = BatchExecutor::new(manager, Arc::clone(&cache));
+
+        let report = executor.run(&spec, seeded_requests(&spec, 600, 2026), THREADS);
+        assert_eq!(report.requests, 600);
+        assert!(report.admitted > 0);
+        assert_eq!(
+            report.cache_hits + report.cache_misses,
+            cache.hits() + cache.misses()
+        );
+        // All tickets drained after the batch.
+        assert_eq!(executor.manager().resident_count(), 0);
+        let m = executor.manager().metrics();
+        assert_eq!(m.admitted(), m.released());
+        // Throughput/latency stats are populated.
+        assert!(report.throughput() > 0.0);
+        assert!(report.admit_latency().count >= report.admitted);
+    });
+}
+
+#[test]
+fn stop_under_load_drains_cleanly() {
+    with_watchdog(|| {
+        let manager = ResourceManager::new(ResourceManagerConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+            queue_mode: QueueMode::Fifo,
+            admit_timeout: Some(Duration::from_secs(30)),
+        });
+        let (graph_a, _) = figure2_graphs();
+        let nodes = [NodeId(0), NodeId(1), NodeId(2)];
+
+        std::thread::scope(|scope| {
+            // Saturate capacity, then pile waiters behind it.
+            let a = manager
+                .admit(
+                    0,
+                    Application::new("a", graph_a.clone()).unwrap(),
+                    &nodes,
+                    None,
+                )
+                .unwrap()
+                .ticket()
+                .unwrap();
+            let b = manager
+                .admit(
+                    0,
+                    Application::new("b", graph_a.clone()).unwrap(),
+                    &nodes,
+                    None,
+                )
+                .unwrap()
+                .ticket()
+                .unwrap();
+            for t in 0..4 {
+                let manager = manager.clone();
+                let graph = graph_a.clone();
+                scope.spawn(move || {
+                    let app = Application::new(format!("w{t}"), graph).unwrap();
+                    // Waiters must resolve to Stopped, never hang.
+                    let result = manager.admit(0, app, &nodes, None);
+                    assert!(matches!(result, Err(AdmitError::Stopped)));
+                });
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            manager.stop();
+            // Residents drain gracefully after stop.
+            a.release();
+            b.release();
+        });
+        assert_eq!(manager.resident_count(), 0);
+        assert_eq!(manager.metrics().stopped_rejections(), 4);
+    });
+}

@@ -66,8 +66,8 @@ fn observed_victim_wait(jitter: Option<JitterConfig>) -> f64 {
 #[test]
 fn deterministic_system_phase_locks_below_the_prediction() {
     // The model (independent arrivals): wait = µ(x)·P(x) = 50 · 1/2 = 25.
-    let x = ActorLoad::from_constant_time(Rational::integer(100), 1, Rational::integer(200))
-        .unwrap();
+    let x =
+        ActorLoad::from_constant_time(Rational::integer(100), 1, Rational::integer(200)).unwrap();
     let predicted = waiting_time(&[x], Order::Exact).to_f64();
     assert_eq!(predicted, 25.0);
 

@@ -1,0 +1,423 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the two traits the workspace derives — [`Serialize`] and
+//! [`Deserialize`] — over an owned JSON-like [`Value`] model, plus the
+//! derive macros (re-exported from the companion `serde_derive` crate).
+//! `serde_json` (also vendored) renders/parses `Value` as JSON text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An owned JSON-like value: the serialization currency of this stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (wide enough for `i128`/`u64` fields).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Inserts a key into an object value (no-op on other variants).
+    pub fn insert(&mut self, key: &str, value: Value) {
+        if let Value::Object(entries) = self {
+            entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Looks up a field of an object value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if `self` is not an object or the field is missing.
+    pub fn get_field(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{key}`"))),
+            other => Err(Error(format!(
+                "expected object with field `{key}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Element of an array value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if `self` is not an array or the index is out of range.
+    pub fn get_index(&self, index: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(index)
+                .ok_or_else(|| Error(format!("missing array element {index}"))),
+            other => Err(Error(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// (De)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes a value of this type.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] on shape or type mismatches.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error(format!("integer {i} out of range"))),
+                    other => Err(Error(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Value {
+        Value::Int(i128::try_from(*self).expect("u128 value fits i128"))
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Int(i) => {
+                u128::try_from(*i).map_err(|_| Error(format!("integer {i} out of range")))
+            }
+            other => Err(Error(format!("expected integer, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// `&'static str` fields (complexity annotations in experiment artefacts)
+// deserialize by leaking the parsed string. A few bytes per parse of an
+// artefact file — acceptable for a stand-in; upstream serde rejects this
+// shape outright.
+impl Deserialize for &'static str {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        String::deserialize(value).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize(&self) -> Value {
+        let mut m = Value::object();
+        m.insert("secs", Value::Int(i128::from(self.as_secs())));
+        m.insert("nanos", Value::Int(i128::from(self.subsec_nanos())));
+        m
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let secs = u64::deserialize(value.get_field("secs")?)?;
+        let nanos = u32::deserialize(value.get_field("nanos")?)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(Error(format!(
+                "expected single-char string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok((
+            A::deserialize(value.get_index(0)?)?,
+            B::deserialize(value.get_index(1)?)?,
+        ))
+    }
+}
+
+// Maps serialize as arrays of [key, value] pairs so non-string keys
+// round-trip losslessly through the vendored serde_json.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(|pair| pair.serialize()).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .map(<(K, V)>::deserialize)
+                .collect::<Result<BTreeMap<K, V>, Error>>(),
+            other => Err(Error(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(|pair| pair.serialize()).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .map(<(K, V)>::deserialize)
+                .collect::<Result<HashMap<K, V, S>, Error>>(),
+            other => Err(Error(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i128::deserialize(&42i128.serialize()).unwrap(), 42);
+        assert_eq!(u64::deserialize(&7u64.serialize()).unwrap(), 7);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_as_pair_array() {
+        let mut m = BTreeMap::new();
+        m.insert(1u32, "one".to_string());
+        let v = m.serialize();
+        assert!(matches!(&v, Value::Array(items) if items.len() == 1));
+        let back: BTreeMap<u32, String> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn field_errors_are_descriptive() {
+        let v = Value::object();
+        let err = v.get_field("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,375 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! A hand-rolled token parser (no `syn`/`quote`): supports non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple and struct
+//! variants), which covers every derive in this workspace. Attributes —
+//! including doc comments and `#[default]` — are skipped.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the deriving type.
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility until `struct` / `enum`.
+    let mut is_enum = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types ({name})");
+    }
+
+    if is_enum {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body, found {other}"),
+        };
+        Input::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            _ => Input::UnitStruct { name },
+        }
+    }
+}
+
+/// Splits a field/variant list on commas outside `<...>` nesting (parens,
+/// brackets and braces arrive as opaque groups, so only angle-bracket depth
+/// needs manual tracking).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Strips leading `#[...]` attributes from a token chunk.
+fn strip_attributes(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut start = 0;
+    while start + 1 < chunk.len() {
+        match (&chunk[start], &chunk[start + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(_)) if p.as_char() == '#' => start += 2,
+            _ => break,
+        }
+    }
+    &chunk[start..]
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attributes(chunk);
+            // Field name: the last ident before the first top-level ':'
+            // (skips `pub` and `pub(...)` visibility).
+            let mut name = None;
+            for tt in chunk {
+                match tt {
+                    TokenTree::Ident(id) => name = Some(id.to_string()),
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    _ => {}
+                }
+            }
+            name.expect("field name")
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attributes(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let kind = match chunk.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                // `Variant` or `Variant = discr` (discriminant ignored).
+                _ => VariantKind::Unit,
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut __m = ::serde::Value::object();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "__m.insert(\"{f}\", ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            body.push_str("__m");
+            impl_serialize(name, &body)
+        }
+        Input::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::serialize(&self.0)")
+        }
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Array(vec![{}])", items.join(", ")),
+            )
+        }
+        Input::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __m = ::serde::Value::object();\n\
+                             __m.insert(\"{vn}\", {payload});\n\
+                             __m\n}}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut payload = String::from("let mut __p = ::serde::Value::object();\n");
+                        for f in fields {
+                            payload.push_str(&format!(
+                                "__p.insert(\"{f}\", ::serde::Serialize::serialize({f}));\n"
+                            ));
+                        }
+                        payload.push_str("__p");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __m = ::serde::Value::object();\n\
+                             __m.insert(\"{vn}\", {{ {payload} }});\n\
+                             __m\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut body = format!("::core::result::Result::Ok({name} {{\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(__v.get_field(\"{f}\")?)?,\n"
+                ));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Input::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!("::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"),
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(__v.get_index({i})?)?"))
+                .collect();
+            impl_deserialize(
+                name,
+                &format!("::core::result::Result::Ok({name}({}))", items.join(", ")),
+            )
+        }
+        Input::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::core::result::Result::Ok({name})"))
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let ctor = if *arity == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::deserialize(__p)?)")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(__p.get_index({i})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!("{name}::{vn}({})", items.join(", "))
+                        };
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({ctor}),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                "{f}: ::serde::Deserialize::deserialize(__p.get_field(\"{f}\")?)?"
+                            )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error(format!(\
+                 \"unknown {name} variant {{__other}}\"))),\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __p) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error(format!(\
+                 \"unknown {name} variant {{__other}}\"))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::Error(\
+                 \"expected {name} variant\".to_string())),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
