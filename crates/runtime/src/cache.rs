@@ -339,6 +339,72 @@ mod tests {
     }
 
     #[test]
+    fn direct_insert_lookup_eviction_order_and_counter_monotonicity() {
+        // Exercise the LRU mechanics and hit/miss counters through the raw
+        // insert/lookup API — no estimator in the loop, so the eviction
+        // order and every counter transition are pinned exactly.
+        let cache = EstimateCache::new(3);
+        let estimate = {
+            let warm = EstimateCache::new(1);
+            warm.get_or_estimate(&spec(), UseCase::full(2), Method::SECOND_ORDER)
+                .unwrap()
+        };
+        let key = |mask| CacheKey {
+            fingerprint: 0xF00D,
+            use_case_mask: mask,
+            method: Method::Composability,
+        };
+
+        // Counters must increase by exactly one classification per lookup,
+        // and never decrease.
+        let mut last = (cache.hits(), cache.misses());
+        let mut observe = |cache: &EstimateCache, expect_hit: bool| {
+            let now = (cache.hits(), cache.misses());
+            assert!(now.0 >= last.0 && now.1 >= last.1, "counters regressed");
+            let expected = if expect_hit {
+                (last.0 + 1, last.1)
+            } else {
+                (last.0, last.1 + 1)
+            };
+            assert_eq!(now, expected, "one lookup classifies exactly once");
+            last = now;
+        };
+
+        assert!(cache.lookup(&key(1)).is_none());
+        observe(&cache, false);
+        for mask in [1, 2, 3] {
+            cache.insert(key(mask), Arc::clone(&estimate));
+        }
+        assert_eq!(cache.len(), 3);
+
+        // Touch 1: the eviction victim becomes 2 (oldest untouched).
+        assert!(cache.lookup(&key(1)).is_some());
+        observe(&cache, true);
+        cache.insert(key(4), Arc::clone(&estimate));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.lookup(&key(2)).is_none());
+        observe(&cache, false);
+        assert!(cache.lookup(&key(1)).is_some());
+        observe(&cache, true);
+
+        // Re-inserting a resident key refreshes recency without growing:
+        // 3 (now oldest) is evicted next, not the re-inserted 4.
+        cache.insert(key(4), Arc::clone(&estimate));
+        assert_eq!(cache.len(), 3);
+        cache.insert(key(5), Arc::clone(&estimate));
+        assert!(cache.lookup(&key(3)).is_none());
+        observe(&cache, false);
+        assert!(cache.lookup(&key(4)).is_some());
+        observe(&cache, true);
+        assert!(cache.lookup(&key(5)).is_some());
+        observe(&cache, true);
+
+        // hit_rate is consistent with the final counters: 4 hits, 3 misses.
+        assert_eq!((cache.hits(), cache.misses()), (4, 3));
+        assert!((cache.hit_rate() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn clear_keeps_counters() {
         let cache = EstimateCache::new(4);
         let spec = spec();

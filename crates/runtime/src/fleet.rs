@@ -1,0 +1,1318 @@
+//! Multi-platform fleet management: routing, rebalancing, journaling.
+//!
+//! A [`FleetManager`] serves admissions for **one workload spec across many
+//! named platform groups** — heterogeneous node groups, each a sharded
+//! [`ResourceManager`] with its own capacity. Requests are routed by a
+//! pluggable [`RoutingPolicy`] (least-utilised, round-robin,
+//! affinity-by-use-case), residents can be [moved](FleetManager::move_resident)
+//! between groups by a [`rebalance`](FleetManager::rebalance) pass, and
+//! every admit/reject/release/rebalance decision is appended to the fleet's
+//! [`Journal`] with its predicted period — the audit trail that
+//! [`JournalReplayer`](crate::JournalReplayer) re-executes to verify
+//! outcome-for-outcome equivalence.
+//!
+//! Fleet admissions are **non-blocking**: a full group answers
+//! [`FleetAdmission::Saturated`] immediately instead of queueing, which
+//! keeps every decision a pure function of the group's resident mix at its
+//! journal position — the property deterministic replay rests on. Callers
+//! wanting bounded waiting use a [`ResourceManager`] directly.
+//!
+//! # Example
+//!
+//! ```
+//! use platform::{Application, Mapping, SystemSpec};
+//! use runtime::{FleetConfig, FleetManager, RoutingPolicy};
+//! use sdf::figure2_graphs;
+//!
+//! let (a, b) = figure2_graphs();
+//! let spec = SystemSpec::builder()
+//!     .application(Application::new("A", a)?)
+//!     .application(Application::new("B", b)?)
+//!     .mapping(Mapping::by_actor_index(3))
+//!     .build()?;
+//!
+//! let fleet = FleetManager::new(
+//!     spec,
+//!     FleetConfig::uniform(2, 1, 4, RoutingPolicy::LeastUtilised),
+//! )?;
+//!
+//! // Admissions spread across the emptier group; every decision lands in
+//! // the journal.
+//! let t0 = fleet.admit(0, None, None)?.ticket().expect("fits");
+//! let t1 = fleet.admit(1, None, None)?.ticket().expect("fits");
+//! assert_ne!(t0.group(), t1.group());
+//! assert_eq!(fleet.resident_count(), 2);
+//! assert_eq!(fleet.journal().len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cache::lock;
+use crate::journal::{DecisionEvent, Journal, JournalHeader, JournalOutcome};
+use crate::manager::{
+    Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
+};
+use contention::Violation;
+use platform::{AppId, Application, NodeId, SystemSpec};
+use sdf::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the fleet picks a group for an incoming admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Route to the group with the lowest resident/capacity ratio
+    /// (deterministic: ties break toward the lowest group index; default).
+    #[default]
+    LeastUtilised,
+    /// Rotate through groups in index order.
+    RoundRobin,
+    /// Route to the least-utilised group advertising the request's affinity
+    /// tag (a use-case class); requests without a tag — or tags no group
+    /// advertises — fall back to least-utilised over all groups.
+    Affinity,
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingPolicy::LeastUtilised => write!(f, "least-utilised"),
+            RoutingPolicy::RoundRobin => write!(f, "round-robin"),
+            RoutingPolicy::Affinity => write!(f, "affinity"),
+        }
+    }
+}
+
+impl FromStr for RoutingPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RoutingPolicy, String> {
+        match s {
+            "least-utilised" | "least-utilized" => Ok(RoutingPolicy::LeastUtilised),
+            "round-robin" => Ok(RoutingPolicy::RoundRobin),
+            "affinity" => Ok(RoutingPolicy::Affinity),
+            other => Err(format!("unknown routing policy '{other}'")),
+        }
+    }
+}
+
+/// One named platform group: an independent sharded admission domain.
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// Group name (for metrics and rendering).
+    pub name: String,
+    /// Admission shards inside the group.
+    pub shards: usize,
+    /// Resident capacity per shard.
+    pub capacity_per_shard: usize,
+    /// Affinity tags this group advertises (use-case classes it prefers to
+    /// host); consulted by [`RoutingPolicy::Affinity`].
+    pub tags: Vec<String>,
+}
+
+impl GroupConfig {
+    /// Group with the given shape and no affinity tags.
+    pub fn new(name: impl Into<String>, shards: usize, capacity_per_shard: usize) -> GroupConfig {
+        GroupConfig {
+            name: name.into(),
+            shards: shards.max(1),
+            capacity_per_shard: capacity_per_shard.max(1),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Adds affinity tags.
+    #[must_use]
+    pub fn with_tags(mut self, tags: impl IntoIterator<Item = impl Into<String>>) -> GroupConfig {
+        self.tags.extend(tags.into_iter().map(Into::into));
+        self
+    }
+
+    /// Total resident capacity of the group.
+    pub fn capacity(&self) -> usize {
+        self.shards * self.capacity_per_shard
+    }
+}
+
+/// Configuration of a [`FleetManager`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The platform groups (≥ 1).
+    pub groups: Vec<GroupConfig>,
+    /// Routing policy for [`FleetManager::admit`].
+    pub policy: RoutingPolicy,
+}
+
+impl FleetConfig {
+    /// Homogeneous fleet: `groups` identical groups named `group0..` with
+    /// one affinity tag `uc{i}` each — the shape `probcon fleet-bench`
+    /// records into journal headers and `probcon replay` rebuilds.
+    pub fn uniform(
+        groups: usize,
+        shards: usize,
+        capacity_per_shard: usize,
+        policy: RoutingPolicy,
+    ) -> FleetConfig {
+        FleetConfig {
+            groups: (0..groups.max(1))
+                .map(|i| {
+                    GroupConfig::new(format!("group{i}"), shards, capacity_per_shard)
+                        .with_tags([format!("uc{i}")])
+                })
+                .collect(),
+            policy,
+        }
+    }
+
+    /// Rebuilds the fleet shape recorded in a journal header: the exact
+    /// per-group [`GroupShape`](crate::journal::GroupShape)s when present
+    /// (every [`FleetManager`] stamps them, heterogeneous fleets included),
+    /// falling back to the uniform summary fields otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the header's policy string is unknown.
+    pub fn from_header(header: &JournalHeader) -> Result<FleetConfig, FleetError> {
+        let policy = header
+            .policy
+            .parse::<RoutingPolicy>()
+            .map_err(FleetError::Config)?;
+        if header.group_shapes.is_empty() {
+            return Ok(FleetConfig::uniform(
+                header.groups as usize,
+                header.shards_per_group as usize,
+                header.capacity_per_shard as usize,
+                policy,
+            ));
+        }
+        Ok(FleetConfig {
+            groups: header
+                .group_shapes
+                .iter()
+                .map(|shape| {
+                    GroupConfig::new(
+                        shape.name.clone(),
+                        shape.shards as usize,
+                        shape.capacity_per_shard as usize,
+                    )
+                    .with_tags(shape.tags.iter().cloned())
+                })
+                .collect(),
+            policy,
+        })
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::uniform(2, 2, 8, RoutingPolicy::LeastUtilised)
+    }
+}
+
+/// Why a fleet operation failed outright (as opposed to deciding a
+/// rejection — see [`FleetAdmission`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The configuration is unusable (no groups, unknown policy name, …).
+    Config(String),
+    /// A group index was out of range.
+    UnknownGroup(usize),
+    /// A resident id is not (or no longer) live.
+    UnknownResident(u64),
+    /// A move targeted the group the resident already lives on.
+    SameGroup {
+        /// The resident's current (and requested) group.
+        group: usize,
+    },
+    /// A move failed because the target group was full.
+    MoveSaturated {
+        /// The full target group.
+        to: usize,
+    },
+    /// A move failed because throughput contracts on the target group would
+    /// be violated.
+    MoveRejected {
+        /// The rejecting target group.
+        to: usize,
+        /// Number of violated requirements.
+        violations: usize,
+    },
+    /// The underlying admission machinery failed.
+    Admit(AdmitError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(e) => write!(f, "invalid fleet configuration: {e}"),
+            FleetError::UnknownGroup(g) => write!(f, "group {g} out of range"),
+            FleetError::UnknownResident(r) => write!(f, "resident #{r} is not live"),
+            FleetError::SameGroup { group } => {
+                write!(f, "resident already lives on group {group}")
+            }
+            FleetError::MoveSaturated { to } => write!(f, "target group {to} is full"),
+            FleetError::MoveRejected { to, violations } => {
+                write!(
+                    f,
+                    "target group {to} rejected the move ({violations} violations)"
+                )
+            }
+            FleetError::Admit(e) => write!(f, "admission failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Admit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AdmitError> for FleetError {
+    fn from(e: AdmitError) -> Self {
+        FleetError::Admit(e)
+    }
+}
+
+/// Decision of a fleet admission attempt. Unlike
+/// [`Admission`](crate::Admission), saturation (no free capacity on the
+/// routed group) is a decision here, not a timeout: fleet admissions never
+/// wait.
+#[derive(Debug)]
+pub enum FleetAdmission {
+    /// Admitted: the ticket owns the reserved capacity.
+    Admitted(FleetTicket),
+    /// Rejected by throughput contracts on the routed group.
+    Rejected {
+        /// The rejecting group.
+        group: usize,
+        /// Every violated requirement.
+        violations: Vec<Violation>,
+    },
+    /// The routed group had no free capacity.
+    Saturated {
+        /// The full group.
+        group: usize,
+    },
+}
+
+impl FleetAdmission {
+    /// `true` iff admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, FleetAdmission::Admitted(_))
+    }
+
+    /// The ticket, if admitted.
+    pub fn ticket(self) -> Option<FleetTicket> {
+        match self {
+            FleetAdmission::Admitted(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The group that decided (routed group for all three outcomes).
+    pub fn group(&self) -> usize {
+        match self {
+            FleetAdmission::Admitted(t) => t.group(),
+            FleetAdmission::Rejected { group, .. } | FleetAdmission::Saturated { group } => *group,
+        }
+    }
+}
+
+/// A live resident held by the fleet.
+struct ResidentEntry {
+    group: usize,
+    ticket: Ticket,
+    app_index: usize,
+    required_throughput: Option<Rational>,
+}
+
+/// Per-group lock-free outcome counters.
+#[derive(Debug, Default)]
+struct GroupCounters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    saturated: AtomicU64,
+}
+
+struct GroupRuntime {
+    config: GroupConfig,
+    manager: ResourceManager,
+    /// Serializes decision + journal append, so the journal order is a
+    /// valid serialization of this group's decision order.
+    order: Mutex<()>,
+    counters: GroupCounters,
+}
+
+struct FleetInner {
+    spec: SystemSpec,
+    groups: Vec<GroupRuntime>,
+    policy: RoutingPolicy,
+    round_robin: AtomicUsize,
+    next_resident: AtomicU64,
+    residents: Mutex<BTreeMap<u64, ResidentEntry>>,
+    journal: Journal,
+    released: AtomicU64,
+    rebalances: AtomicU64,
+}
+
+/// Thread-safe multi-platform fleet manager (see the [module docs](self)).
+#[derive(Clone)]
+pub struct FleetManager {
+    inner: Arc<FleetInner>,
+}
+
+impl fmt::Debug for FleetManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetManager")
+            .field("groups", &self.group_count())
+            .field("policy", &self.inner.policy)
+            .field("residents", &self.resident_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetManager {
+    /// Fleet over `spec` with the given group layout, journaling into a
+    /// header derived from the configuration (workload fields zeroed; use
+    /// [`with_header`](Self::with_header) to stamp them).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] when `config.groups` is empty.
+    pub fn new(spec: SystemSpec, config: FleetConfig) -> Result<FleetManager, FleetError> {
+        let first = config
+            .groups
+            .first()
+            .ok_or_else(|| FleetError::Config("fleet needs at least one group".into()))?;
+        let header = JournalHeader {
+            groups: config.groups.len() as u64,
+            shards_per_group: first.shards as u64,
+            capacity_per_shard: first.capacity_per_shard as u64,
+            policy: config.policy.to_string(),
+            ..JournalHeader::default()
+        };
+        FleetManager::with_header(spec, config, header)
+    }
+
+    /// [`new`](Self::new) with an explicit journal header, consumed by
+    /// `probcon replay`. The fleet stamps its actual per-group shapes into
+    /// the header (overwriting whatever the caller left there), so the
+    /// recorded journal always replays against the true fleet layout —
+    /// heterogeneous groups included.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] when `config.groups` is empty.
+    pub fn with_header(
+        spec: SystemSpec,
+        config: FleetConfig,
+        mut header: JournalHeader,
+    ) -> Result<FleetManager, FleetError> {
+        if config.groups.is_empty() {
+            return Err(FleetError::Config("fleet needs at least one group".into()));
+        }
+        header.group_shapes = config
+            .groups
+            .iter()
+            .map(|g| crate::journal::GroupShape {
+                name: g.name.clone(),
+                shards: g.shards as u64,
+                capacity_per_shard: g.capacity_per_shard as u64,
+                tags: g.tags.clone(),
+            })
+            .collect();
+        let groups = config
+            .groups
+            .into_iter()
+            .map(|group| GroupRuntime {
+                manager: ResourceManager::new(ResourceManagerConfig {
+                    shards: group.shards,
+                    capacity_per_shard: group.capacity_per_shard,
+                    queue_mode: QueueMode::Fifo,
+                    admit_timeout: Some(Duration::ZERO),
+                }),
+                config: group,
+                order: Mutex::new(()),
+                counters: GroupCounters::default(),
+            })
+            .collect();
+        Ok(FleetManager {
+            inner: Arc::new(FleetInner {
+                spec,
+                groups,
+                policy: config.policy,
+                round_robin: AtomicUsize::new(0),
+                next_resident: AtomicU64::new(0),
+                residents: Mutex::new(BTreeMap::new()),
+                journal: Journal::new(header),
+                released: AtomicU64::new(0),
+                rebalances: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The workload spec admissions draw applications from.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.inner.spec
+    }
+
+    /// Number of platform groups.
+    pub fn group_count(&self) -> usize {
+        self.inner.groups.len()
+    }
+
+    /// Name of a group.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownGroup`] if out of range.
+    pub fn group_name(&self, group: usize) -> Result<&str, FleetError> {
+        Ok(&self.group(group)?.config.name)
+    }
+
+    /// The routing policy in effect.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.inner.policy
+    }
+
+    /// The fleet's decision journal.
+    pub fn journal(&self) -> &Journal {
+        &self.inner.journal
+    }
+
+    /// Live residents across the whole fleet.
+    pub fn resident_count(&self) -> usize {
+        lock(&self.inner.residents).len()
+    }
+
+    /// Live residents on one group (via its manager, so the number also
+    /// counts admissions made around the fleet, e.g. mid-move duplicates).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownGroup`] if out of range.
+    pub fn resident_count_of(&self, group: usize) -> Result<usize, FleetError> {
+        Ok(self.group(group)?.manager.resident_count())
+    }
+
+    /// Group a live resident currently lives on (rebalancing moves it).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownResident`] if not (or no longer) live.
+    pub fn group_of(&self, resident: u64) -> Result<usize, FleetError> {
+        lock(&self.inner.residents)
+            .get(&resident)
+            .map(|entry| entry.group)
+            .ok_or(FleetError::UnknownResident(resident))
+    }
+
+    /// Total resident capacity of the fleet.
+    pub fn capacity(&self) -> usize {
+        self.inner.groups.iter().map(|g| g.config.capacity()).sum()
+    }
+
+    /// Resident capacity of one group.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownGroup`] if out of range.
+    pub fn capacity_of(&self, group: usize) -> Result<usize, FleetError> {
+        Ok(self.group(group)?.config.capacity())
+    }
+
+    /// The group the routing policy would pick for `affinity` right now.
+    pub fn route(&self, affinity: Option<&str>) -> usize {
+        match self.inner.policy {
+            RoutingPolicy::RoundRobin => {
+                self.inner.round_robin.fetch_add(1, Ordering::Relaxed) % self.group_count()
+            }
+            RoutingPolicy::LeastUtilised => self.least_utilised(|_| true),
+            RoutingPolicy::Affinity => match affinity {
+                Some(tag)
+                    if self
+                        .inner
+                        .groups
+                        .iter()
+                        .any(|g| g.config.tags.iter().any(|t| t == tag)) =>
+                {
+                    self.least_utilised(|g| g.config.tags.iter().any(|t| t == tag))
+                }
+                _ => self.least_utilised(|_| true),
+            },
+        }
+    }
+
+    /// Least-utilised group among those passing `eligible`, comparing
+    /// resident/capacity ratios exactly (cross-multiplied, no floats), ties
+    /// toward the lowest index.
+    fn least_utilised(&self, eligible: impl Fn(&GroupRuntime) -> bool) -> usize {
+        let mut best = 0usize;
+        let mut best_key: Option<(usize, usize)> = None; // (residents, capacity)
+        for (i, g) in self.inner.groups.iter().enumerate() {
+            if !eligible(g) {
+                continue;
+            }
+            let key = (g.manager.resident_count(), g.config.capacity());
+            let better = match best_key {
+                None => true,
+                // r_i / c_i < r_best / c_best  ⇔  r_i · c_best < r_best · c_i
+                Some((rb, cb)) => key.0 * cb < rb * key.1,
+            };
+            if better {
+                best = i;
+                best_key = Some(key);
+            }
+        }
+        best
+    }
+
+    /// Routes and attempts to admit an instance of the spec's application
+    /// `app_index` (mapped per the spec), optionally demanding a throughput
+    /// floor; `affinity` steers [`RoutingPolicy::Affinity`]. Never blocks:
+    /// a full group answers [`FleetAdmission::Saturated`]. The decision —
+    /// whatever it is — is appended to the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Admit`] on analysis failures (no decision was made,
+    /// nothing is journaled).
+    pub fn admit(
+        &self,
+        app_index: usize,
+        required_throughput: Option<Rational>,
+        affinity: Option<&str>,
+    ) -> Result<FleetAdmission, FleetError> {
+        let group = self.route(affinity);
+        self.admit_to(group, app_index, required_throughput)
+    }
+
+    /// [`admit`](Self::admit) with an explicit target group, bypassing the
+    /// routing policy — the entry point deterministic replay uses (the
+    /// journal records the routed group).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownGroup`] / [`FleetError::Admit`].
+    pub fn admit_to(
+        &self,
+        group: usize,
+        app_index: usize,
+        required_throughput: Option<Rational>,
+    ) -> Result<FleetAdmission, FleetError> {
+        let g = self.group(group)?;
+        let app_index = app_index % self.inner.spec.application_count();
+        let (app, assignment) = self.instantiate(app_index);
+        // Shard choice must be a pure function of journal-visible data so
+        // replay reproduces the same per-shard mixes.
+        let shard = g.manager.shard_for(app_index as u64);
+
+        let _order = lock(&g.order);
+        match g.manager.admit_within(
+            shard,
+            app,
+            &assignment,
+            required_throughput,
+            Some(Duration::ZERO),
+        ) {
+            Ok(Admission::Admitted(ticket)) => {
+                let resident = self.inner.next_resident.fetch_add(1, Ordering::Relaxed);
+                let predicted_period = ticket.predicted_period().unwrap_or(Rational::ZERO);
+                lock(&self.inner.residents).insert(
+                    resident,
+                    ResidentEntry {
+                        group,
+                        ticket,
+                        app_index,
+                        required_throughput,
+                    },
+                );
+                g.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                self.inner.journal.append(DecisionEvent::Admit {
+                    group: group as u64,
+                    app_index: app_index as u64,
+                    required_throughput,
+                    outcome: JournalOutcome::Admitted {
+                        resident,
+                        predicted_period,
+                    },
+                });
+                Ok(FleetAdmission::Admitted(FleetTicket {
+                    inner: Arc::clone(&self.inner),
+                    resident: Some(resident),
+                    group,
+                    predicted_period,
+                }))
+            }
+            Ok(Admission::Rejected { violations }) => {
+                g.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.inner.journal.append(DecisionEvent::Admit {
+                    group: group as u64,
+                    app_index: app_index as u64,
+                    required_throughput,
+                    outcome: JournalOutcome::Rejected {
+                        violations: violations.len() as u64,
+                    },
+                });
+                Ok(FleetAdmission::Rejected { group, violations })
+            }
+            Err(AdmitError::Timeout) => {
+                g.counters.saturated.fetch_add(1, Ordering::Relaxed);
+                self.inner.journal.append(DecisionEvent::Admit {
+                    group: group as u64,
+                    app_index: app_index as u64,
+                    required_throughput,
+                    outcome: JournalOutcome::Saturated,
+                });
+                Ok(FleetAdmission::Saturated { group })
+            }
+            Err(e) => Err(FleetError::Admit(e)),
+        }
+    }
+
+    /// Moves a live resident to another group: admit on the target (same
+    /// application instance, same contract), then release on the source.
+    /// The move is atomic with respect to the journal — one
+    /// [`DecisionEvent::Rebalance`] entry ordered against both groups'
+    /// decisions — and the resident id survives the move.
+    ///
+    /// Returns the period predicted on the target group.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownResident`] / [`FleetError::UnknownGroup`] /
+    /// [`FleetError::SameGroup`] / [`FleetError::MoveSaturated`] /
+    /// [`FleetError::MoveRejected`] / [`FleetError::Admit`]. Failed moves
+    /// change nothing and journal nothing.
+    pub fn move_resident(&self, resident: u64, to: usize) -> Result<Rational, FleetError> {
+        if to >= self.group_count() {
+            return Err(FleetError::UnknownGroup(to));
+        }
+        loop {
+            // Snapshot the resident's current group, then take both group
+            // locks in index order and re-verify (the resident may move or
+            // release concurrently between snapshot and lock).
+            let (from, app_index, required) = {
+                let residents = lock(&self.inner.residents);
+                let entry = residents
+                    .get(&resident)
+                    .ok_or(FleetError::UnknownResident(resident))?;
+                (entry.group, entry.app_index, entry.required_throughput)
+            };
+            if from == to {
+                return Err(FleetError::SameGroup { group: from });
+            }
+            let (lo, hi) = (from.min(to), from.max(to));
+            let g_lo = self.group(lo)?;
+            let g_hi = self.group(hi)?;
+            let _order_lo = lock(&g_lo.order);
+            let _order_hi = lock(&g_hi.order);
+            {
+                let residents = lock(&self.inner.residents);
+                match residents.get(&resident) {
+                    Some(entry) if entry.group == from => {}
+                    Some(_) => continue, // moved meanwhile; retry with fresh group
+                    None => return Err(FleetError::UnknownResident(resident)),
+                }
+            }
+
+            let target = self.group(to)?;
+            let (app, assignment) = self.instantiate(app_index);
+            let shard = target.manager.shard_for(app_index as u64);
+            return match target.manager.admit_within(
+                shard,
+                app,
+                &assignment,
+                required,
+                Some(Duration::ZERO),
+            ) {
+                Ok(Admission::Admitted(new_ticket)) => {
+                    let predicted_period = new_ticket.predicted_period().unwrap_or(Rational::ZERO);
+                    let old_ticket = {
+                        let mut residents = lock(&self.inner.residents);
+                        let entry = residents
+                            .get_mut(&resident)
+                            .expect("verified live under group locks");
+                        entry.group = to;
+                        std::mem::replace(&mut entry.ticket, new_ticket)
+                    };
+                    old_ticket.release();
+                    self.inner.rebalances.fetch_add(1, Ordering::Relaxed);
+                    self.inner.journal.append(DecisionEvent::Rebalance {
+                        resident,
+                        from_group: from as u64,
+                        to_group: to as u64,
+                        predicted_period,
+                    });
+                    Ok(predicted_period)
+                }
+                Ok(Admission::Rejected { violations }) => Err(FleetError::MoveRejected {
+                    to,
+                    violations: violations.len(),
+                }),
+                Err(AdmitError::Timeout) => Err(FleetError::MoveSaturated { to }),
+                Err(e) => Err(FleetError::Admit(e)),
+            };
+        }
+    }
+
+    /// One rebalancing pass: if moving a resident from the most-utilised
+    /// group to the least-utilised one would strictly improve balance (the
+    /// target stays below the source's pre-move utilisation), move the
+    /// oldest such resident and return the move. Returns `None` when the
+    /// fleet is balanced or the move failed (full/contract-bound target).
+    pub fn rebalance(&self) -> Option<RebalanceMove> {
+        let loads: Vec<(usize, usize)> = self
+            .inner
+            .groups
+            .iter()
+            .map(|g| (g.manager.resident_count(), g.config.capacity()))
+            .collect();
+        let from = max_utilised(&loads)?;
+        let to = min_utilised(&loads)?;
+        let ((r_f, c_f), (r_t, c_t)) = (loads[from], loads[to]);
+        // Move only when the target's post-move ratio stays strictly below
+        // the source's pre-move ratio — prevents ping-pong.
+        if from == to || r_f == 0 || (r_t + 1) * c_f >= r_f * c_t {
+            return None;
+        }
+        let resident = {
+            let residents = lock(&self.inner.residents);
+            residents
+                .iter()
+                .find(|(_, e)| e.group == from)
+                .map(|(&id, _)| id)?
+        };
+        match self.move_resident(resident, to) {
+            Ok(predicted_period) => Some(RebalanceMove {
+                resident,
+                from,
+                to,
+                predicted_period,
+            }),
+            Err(_) => None,
+        }
+    }
+
+    /// Point-in-time utilisation/outcome summary of the whole fleet.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let groups: Vec<GroupSnapshot> = self
+            .inner
+            .groups
+            .iter()
+            .map(|g| {
+                let residents = g.manager.resident_count();
+                let capacity = g.config.capacity();
+                GroupSnapshot {
+                    name: g.config.name.clone(),
+                    residents,
+                    capacity,
+                    admitted: g.counters.admitted.load(Ordering::Relaxed),
+                    rejected: g.counters.rejected.load(Ordering::Relaxed),
+                    saturated: g.counters.saturated.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        FleetSnapshot {
+            residents: self.resident_count(),
+            capacity: self.capacity(),
+            admitted: groups.iter().map(|g| g.admitted).sum(),
+            rejected: groups.iter().map(|g| g.rejected).sum(),
+            saturated: groups.iter().map(|g| g.saturated).sum(),
+            released: self.inner.released.load(Ordering::Relaxed),
+            rebalances: self.inner.rebalances.load(Ordering::Relaxed),
+            groups,
+        }
+    }
+
+    /// Stops every group's manager (new admissions fail, residents drain).
+    pub fn stop(&self) {
+        for g in &self.inner.groups {
+            g.manager.stop();
+        }
+    }
+
+    fn group(&self, index: usize) -> Result<&GroupRuntime, FleetError> {
+        self.inner
+            .groups
+            .get(index)
+            .ok_or(FleetError::UnknownGroup(index))
+    }
+
+    /// Fresh instance + node assignment of the spec's application
+    /// `app_index` (callers reduce the index modulo the app count).
+    fn instantiate(&self, app_index: usize) -> (Application, Vec<NodeId>) {
+        let id = AppId(app_index);
+        let app = self.inner.spec.application(id).clone();
+        let assignment = app
+            .graph()
+            .actor_ids()
+            .map(|actor| self.inner.spec.node_of(id, actor))
+            .collect();
+        (app, assignment)
+    }
+}
+
+impl FleetInner {
+    /// Releases a live resident, journaling the release. Safe against
+    /// concurrent moves: retries until the group snapshot is stable under
+    /// the group lock.
+    fn release_resident(&self, resident: u64) {
+        loop {
+            let group = {
+                let residents = lock(&self.residents);
+                match residents.get(&resident) {
+                    Some(entry) => entry.group,
+                    None => return, // already released
+                }
+            };
+            let g = &self.groups[group];
+            let _order = lock(&g.order);
+            let entry = {
+                let mut residents = lock(&self.residents);
+                match residents.get(&resident) {
+                    Some(entry) if entry.group == group => residents.remove(&resident),
+                    Some(_) => continue, // moved meanwhile; retry
+                    None => return,
+                }
+            };
+            if let Some(entry) = entry {
+                entry.ticket.release();
+                self.released.fetch_add(1, Ordering::Relaxed);
+                self.journal.append(DecisionEvent::Release { resident });
+            }
+            return;
+        }
+    }
+}
+
+/// Helpers picking extreme-utilisation groups by exact ratio comparison.
+fn max_utilised(loads: &[(usize, usize)]) -> Option<usize> {
+    loads
+        .iter()
+        .enumerate()
+        .max_by(|(_, (ra, ca)), (_, (rb, cb))| (ra * cb).cmp(&(rb * ca)))
+        .map(|(i, _)| i)
+}
+
+fn min_utilised(loads: &[(usize, usize)]) -> Option<usize> {
+    loads
+        .iter()
+        .enumerate()
+        .min_by(|(_, (ra, ca)), (_, (rb, cb))| (ra * cb).cmp(&(rb * ca)))
+        .map(|(i, _)| i)
+}
+
+/// A completed rebalancing move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceMove {
+    /// The moved resident.
+    pub resident: u64,
+    /// Source group.
+    pub from: usize,
+    /// Target group.
+    pub to: usize,
+    /// Period predicted on the target group.
+    pub predicted_period: Rational,
+}
+
+/// Owned fleet admission. Dropping the ticket releases the resident (and
+/// journals the release); the resident may have been rebalanced to a
+/// different group than it was admitted on.
+pub struct FleetTicket {
+    inner: Arc<FleetInner>,
+    resident: Option<u64>,
+    group: usize,
+    predicted_period: Rational,
+}
+
+impl fmt::Debug for FleetTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetTicket")
+            .field("resident", &self.resident)
+            .field("admitted_on_group", &self.group)
+            .field("predicted_period", &self.predicted_period)
+            .finish()
+    }
+}
+
+impl FleetTicket {
+    /// Fleet-wide id of the resident.
+    ///
+    /// # Panics
+    ///
+    /// Never panics while the ticket is live (the id is only taken on
+    /// release).
+    pub fn resident_id(&self) -> u64 {
+        self.resident.expect("live ticket has a resident id")
+    }
+
+    /// Group the resident was **admitted** on (rebalancing may have moved
+    /// it since; see [`FleetManager::move_resident`]).
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Period predicted at admission time.
+    pub fn predicted_period(&self) -> Rational {
+        self.predicted_period
+    }
+
+    /// Releases the resident now (equivalent to dropping the ticket).
+    pub fn release(mut self) {
+        self.release_inner();
+    }
+
+    /// Disowns the ticket **without** releasing the resident: the capacity
+    /// stays held by the fleet. Used by the replayer to leave a replayed
+    /// fleet in the recording's final state.
+    pub fn forget(mut self) {
+        self.resident = None;
+    }
+
+    fn release_inner(&mut self) {
+        if let Some(resident) = self.resident.take() {
+            self.inner.release_resident(resident);
+        }
+    }
+}
+
+impl Drop for FleetTicket {
+    fn drop(&mut self) {
+        self.release_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::{Application, Mapping};
+    use sdf::figure2_graphs;
+
+    fn spec() -> SystemSpec {
+        let (a, b) = figure2_graphs();
+        SystemSpec::builder()
+            .application(Application::new("A", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap()
+    }
+
+    fn fleet(groups: usize, capacity: usize, policy: RoutingPolicy) -> FleetManager {
+        FleetManager::new(spec(), FleetConfig::uniform(groups, 1, capacity, policy)).unwrap()
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        let err = FleetManager::new(
+            spec(),
+            FleetConfig {
+                groups: Vec::new(),
+                policy: RoutingPolicy::LeastUtilised,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FleetError::Config(_)));
+    }
+
+    #[test]
+    fn least_utilised_spreads_admissions() {
+        let f = fleet(3, 4, RoutingPolicy::LeastUtilised);
+        let t0 = f.admit(0, None, None).unwrap().ticket().unwrap();
+        let t1 = f.admit(1, None, None).unwrap().ticket().unwrap();
+        let t2 = f.admit(0, None, None).unwrap().ticket().unwrap();
+        let mut groups = [t0.group(), t1.group(), t2.group()];
+        groups.sort_unstable();
+        assert_eq!(groups, [0, 1, 2]);
+        assert_eq!(f.resident_count(), 3);
+        for g in 0..3 {
+            assert_eq!(f.resident_count_of(g).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let f = fleet(2, 8, RoutingPolicy::RoundRobin);
+        assert_eq!(f.route(None), 0);
+        assert_eq!(f.route(None), 1);
+        assert_eq!(f.route(None), 0);
+    }
+
+    #[test]
+    fn affinity_prefers_tagged_group_and_falls_back() {
+        let config = FleetConfig {
+            groups: vec![
+                GroupConfig::new("video", 1, 4).with_tags(["video"]),
+                GroupConfig::new("audio", 1, 4).with_tags(["audio"]),
+            ],
+            policy: RoutingPolicy::Affinity,
+        };
+        let f = FleetManager::new(spec(), config).unwrap();
+        assert_eq!(f.route(Some("audio")), 1);
+        assert_eq!(f.route(Some("video")), 0);
+        // Unknown tags and missing tags fall back to least-utilised.
+        let _t = f.admit_to(0, 0, None).unwrap().ticket().unwrap();
+        assert_eq!(f.route(Some("haptics")), 1);
+        assert_eq!(f.route(None), 1);
+    }
+
+    #[test]
+    fn saturation_is_a_decision_not_an_error() {
+        let f = fleet(1, 1, RoutingPolicy::LeastUtilised);
+        let _t = f.admit(0, None, None).unwrap().ticket().unwrap();
+        let outcome = f.admit(1, None, None).unwrap();
+        assert!(matches!(outcome, FleetAdmission::Saturated { group: 0 }));
+        assert_eq!(f.snapshot().saturated, 1);
+        // Both decisions journaled.
+        assert_eq!(f.journal().len(), 2);
+    }
+
+    #[test]
+    fn contract_rejection_journaled() {
+        let f = fleet(1, 4, RoutingPolicy::LeastUtilised);
+        let iso = spec().application(AppId(0)).isolation_throughput();
+        let _t = f.admit(0, Some(iso), None).unwrap().ticket().unwrap();
+        let outcome = f.admit(1, None, None).unwrap();
+        let FleetAdmission::Rejected { group, violations } = outcome else {
+            panic!("tight contract must reject the second admission");
+        };
+        assert_eq!(group, 0);
+        assert!(!violations.is_empty());
+        let events = f.journal().events();
+        assert!(matches!(
+            &events[1],
+            DecisionEvent::Admit {
+                outcome: JournalOutcome::Rejected { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ticket_drop_releases_and_journals() {
+        let f = fleet(2, 4, RoutingPolicy::LeastUtilised);
+        {
+            let _t = f.admit(0, None, None).unwrap().ticket().unwrap();
+            assert_eq!(f.resident_count(), 1);
+        }
+        assert_eq!(f.resident_count(), 0);
+        let events = f.journal().events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[1], DecisionEvent::Release { resident: 0 }));
+        assert_eq!(f.snapshot().released, 1);
+    }
+
+    #[test]
+    fn move_resident_crosses_groups_and_survives() {
+        let f = fleet(2, 4, RoutingPolicy::LeastUtilised);
+        let t = f.admit_to(0, 0, None).unwrap().ticket().unwrap();
+        let id = t.resident_id();
+        let period = f.move_resident(id, 1).unwrap();
+        assert_eq!(period, Rational::integer(300)); // alone on the target
+        assert_eq!(f.resident_count_of(0).unwrap(), 0);
+        assert_eq!(f.resident_count_of(1).unwrap(), 1);
+        // The ticket still releases the moved resident.
+        t.release();
+        assert_eq!(f.resident_count(), 0);
+        assert!(matches!(
+            f.journal().events().as_slice(),
+            [
+                DecisionEvent::Admit { .. },
+                DecisionEvent::Rebalance {
+                    from_group: 0,
+                    to_group: 1,
+                    ..
+                },
+                DecisionEvent::Release { .. },
+            ]
+        ));
+    }
+
+    #[test]
+    fn move_errors() {
+        let f = fleet(2, 1, RoutingPolicy::LeastUtilised);
+        let t0 = f.admit_to(0, 0, None).unwrap().ticket().unwrap();
+        let _t1 = f.admit_to(1, 1, None).unwrap().ticket().unwrap();
+        let id = t0.resident_id();
+        assert_eq!(
+            f.move_resident(id, 0).unwrap_err(),
+            FleetError::SameGroup { group: 0 }
+        );
+        assert_eq!(
+            f.move_resident(id, 1).unwrap_err(),
+            FleetError::MoveSaturated { to: 1 }
+        );
+        assert_eq!(
+            f.move_resident(id, 9).unwrap_err(),
+            FleetError::UnknownGroup(9)
+        );
+        assert_eq!(
+            f.move_resident(99, 1).unwrap_err(),
+            FleetError::UnknownResident(99)
+        );
+        // Failed moves journal nothing beyond the two admissions.
+        assert_eq!(f.journal().len(), 2);
+    }
+
+    #[test]
+    fn rebalance_moves_toward_balance_and_converges() {
+        let f = fleet(2, 4, RoutingPolicy::LeastUtilised);
+        let _tickets: Vec<FleetTicket> = (0..3)
+            .map(|i| f.admit_to(0, i, None).unwrap().ticket().unwrap())
+            .collect();
+        assert_eq!(f.resident_count_of(0).unwrap(), 3);
+        let mv = f.rebalance().expect("imbalanced fleet must move");
+        assert_eq!((mv.from, mv.to), (0, 1));
+        assert_eq!(f.resident_count_of(0).unwrap(), 2);
+        assert_eq!(f.resident_count_of(1).unwrap(), 1);
+        // 2 vs 1 on equal capacities: moving again would just ping-pong.
+        assert!(f.rebalance().is_none());
+        assert_eq!(f.snapshot().rebalances, 1);
+    }
+
+    #[test]
+    fn snapshot_totals_match_groups() {
+        let f = fleet(2, 2, RoutingPolicy::RoundRobin);
+        let _a = f.admit(0, None, None).unwrap().ticket().unwrap();
+        let _b = f.admit(1, None, None).unwrap().ticket().unwrap();
+        let snap = f.snapshot();
+        assert_eq!(snap.residents, 2);
+        assert_eq!(snap.capacity, 4);
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(
+            snap.groups.iter().map(|g| g.residents).sum::<usize>(),
+            snap.residents
+        );
+        let text = snap.render();
+        for needle in ["group0", "group1", "residents", "admitted", "util"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn policy_parse_display_roundtrip() {
+        for policy in [
+            RoutingPolicy::LeastUtilised,
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::Affinity,
+        ] {
+            assert_eq!(policy.to_string().parse::<RoutingPolicy>(), Ok(policy));
+        }
+        assert!("bogus".parse::<RoutingPolicy>().is_err());
+    }
+
+    #[test]
+    fn fleet_is_send_sync() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<FleetManager>();
+        fn check_ticket<T: Send>() {}
+        check_ticket::<FleetTicket>();
+    }
+}
+
+/// Point-in-time state of one group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSnapshot {
+    /// Group name.
+    pub name: String,
+    /// Live residents.
+    pub residents: usize,
+    /// Resident capacity.
+    pub capacity: usize,
+    /// Admissions granted on this group.
+    pub admitted: u64,
+    /// Admissions rejected by contracts on this group.
+    pub rejected: u64,
+    /// Admissions bounced for lack of capacity on this group.
+    pub saturated: u64,
+}
+
+impl GroupSnapshot {
+    /// Resident/capacity ratio.
+    pub fn utilisation(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.residents as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Point-in-time state of the whole fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Per-group state.
+    pub groups: Vec<GroupSnapshot>,
+    /// Live residents fleet-wide.
+    pub residents: usize,
+    /// Total capacity fleet-wide.
+    pub capacity: usize,
+    /// Total admissions granted.
+    pub admitted: u64,
+    /// Total contract rejections.
+    pub rejected: u64,
+    /// Total capacity bounces.
+    pub saturated: u64,
+    /// Total releases.
+    pub released: u64,
+    /// Total completed rebalance moves.
+    pub rebalances: u64,
+}
+
+impl FleetSnapshot {
+    /// Fleet-wide resident/capacity ratio.
+    pub fn utilisation(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.residents as f64 / self.capacity as f64
+        }
+    }
+
+    /// Renders the per-group utilisation table printed by
+    /// `probcon fleet-bench`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>9} {:>7} {:>9} {:>9} {:>10}",
+            "group", "residents", "capacity", "util", "admitted", "rejected", "saturated"
+        );
+        for g in &self.groups {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>9} {:>9} {:>6.0}% {:>9} {:>9} {:>10}",
+                g.name,
+                g.residents,
+                g.capacity,
+                100.0 * g.utilisation(),
+                g.admitted,
+                g.rejected,
+                g.saturated,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "fleet: {}/{} residents ({:.0}% util), {} admitted, {} rejected, \
+             {} saturated, {} released, {} rebalances",
+            self.residents,
+            self.capacity,
+            100.0 * self.utilisation(),
+            self.admitted,
+            self.rejected,
+            self.saturated,
+            self.released,
+            self.rebalances,
+        );
+        out
+    }
+}

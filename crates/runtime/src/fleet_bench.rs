@@ -1,0 +1,275 @@
+//! Seeded fleet workload driver — the engine behind `probcon fleet-bench`
+//! and the deterministic-replay integration tests.
+//!
+//! [`seeded_fleet_requests`] produces a deterministic admit/release/
+//! rebalance stream for a workload spec; [`run_fleet_requests`] drains it
+//! through a [`FleetManager`] on a worker pool (single-threaded runs are
+//! fully deterministic, which is what the replay tests record). Every
+//! decision the run makes lands in the fleet's journal, including the final
+//! drain of still-held tickets, so a recorded journal always ends on an
+//! empty fleet.
+
+use crate::cache::lock;
+use crate::fleet::{FleetAdmission, FleetManager, FleetSnapshot, FleetTicket};
+use platform::{AppId, SystemSpec};
+use sdf::Rational;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One unit of fleet work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetRequest {
+    /// Admit an instance of the spec's application `app_index`.
+    Admit {
+        /// Index of the application in the workload spec.
+        app_index: usize,
+        /// Required minimum throughput, if any.
+        required_throughput: Option<Rational>,
+        /// Affinity tag steering [`RoutingPolicy::Affinity`](crate::RoutingPolicy::Affinity).
+        affinity: Option<String>,
+    },
+    /// Release the oldest still-held ticket (no-op when none).
+    Release,
+    /// Run one fleet rebalancing pass.
+    Rebalance,
+}
+
+/// Deterministic seeded request stream with a fleet-bench-shaped mix
+/// (≈50 % admit, 35 % release, 15 % rebalance). Half the admissions carry
+/// a throughput contract at 60 % of isolation; half carry an affinity tag
+/// `uc{app_index % groups}` matching [`FleetConfig::uniform`](crate::FleetConfig::uniform).
+pub fn seeded_fleet_requests(
+    spec: &SystemSpec,
+    groups: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<FleetRequest> {
+    use rand::{rngs::StdRng, RngCore, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = move || rng.next_u64();
+    let apps = spec.application_count();
+    let groups = groups.max(1);
+    (0..count)
+        .map(|_| {
+            let roll = next() % 100;
+            if roll < 50 {
+                let app_index = next() as usize % apps;
+                let required_throughput = if next() % 2 == 0 {
+                    Some(
+                        spec.application(AppId(app_index)).isolation_throughput()
+                            * Rational::new(3, 5),
+                    )
+                } else {
+                    None
+                };
+                let affinity = if next() % 2 == 0 {
+                    Some(format!("uc{}", app_index % groups))
+                } else {
+                    None
+                };
+                FleetRequest::Admit {
+                    app_index,
+                    required_throughput,
+                    affinity,
+                }
+            } else if roll < 85 {
+                FleetRequest::Release
+            } else {
+                FleetRequest::Rebalance
+            }
+        })
+        .collect()
+}
+
+/// Outcome counts and fleet state of one executed request stream.
+#[derive(Debug, Clone)]
+pub struct FleetBenchReport {
+    /// Requests executed.
+    pub requests: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time for the whole stream.
+    pub wall: Duration,
+    /// Residents still held when the stream ended (before the drain).
+    pub residents_at_end: usize,
+    /// Fleet state after the final drain (journal totals include the drain
+    /// releases).
+    pub snapshot: FleetSnapshot,
+    /// Journal entries recorded by the run.
+    pub journal_len: usize,
+}
+
+impl FleetBenchReport {
+    /// Requests per second over the wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.requests as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Renders the metrics block printed by `probcon fleet-bench`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} requests on {} threads in {:.3?}  ({:.1} req/s), \
+             {} residents at end, {} journal entries",
+            self.requests,
+            self.threads,
+            self.wall,
+            self.throughput(),
+            self.residents_at_end,
+            self.journal_len,
+        );
+        out.push_str(&self.snapshot.render());
+        out
+    }
+}
+
+/// Executes `requests` against `fleet` on `threads` workers and reports the
+/// run's metrics. Tickets admitted during the run are held in a shared pool
+/// (drained oldest-first by `Release` requests) and all released when the
+/// run ends, so the journal closes on an empty fleet. With `threads == 1`
+/// the run — and therefore the journal — is fully deterministic.
+pub fn run_fleet_requests(
+    fleet: &FleetManager,
+    requests: Vec<FleetRequest>,
+    threads: usize,
+) -> FleetBenchReport {
+    let threads = threads.max(1);
+    let total = requests.len();
+    let queue = Mutex::new(requests.into_iter().collect::<VecDeque<FleetRequest>>());
+    let pool: Mutex<Vec<FleetTicket>> = Mutex::new(Vec::new());
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = &queue;
+            let pool = &pool;
+            scope.spawn(move || loop {
+                let Some(request) = lock(queue).pop_front() else {
+                    return;
+                };
+                match request {
+                    FleetRequest::Admit {
+                        app_index,
+                        required_throughput,
+                        affinity,
+                    } => {
+                        // Analysis errors cannot occur for generator-valid
+                        // specs; a saturated or rejected decision is already
+                        // journaled and counted by the fleet.
+                        if let Ok(FleetAdmission::Admitted(ticket)) =
+                            fleet.admit(app_index, required_throughput, affinity.as_deref())
+                        {
+                            lock(pool).push(ticket);
+                        }
+                    }
+                    FleetRequest::Release => {
+                        let ticket = {
+                            let mut pool = lock(pool);
+                            if pool.is_empty() {
+                                None
+                            } else {
+                                Some(pool.remove(0))
+                            }
+                        };
+                        if let Some(ticket) = ticket {
+                            ticket.release();
+                        }
+                    }
+                    FleetRequest::Rebalance => {
+                        fleet.rebalance();
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let residents_at_end = fleet.resident_count();
+    // Drain: journal a release for every still-held ticket.
+    lock(&pool).clear();
+
+    FleetBenchReport {
+        requests: total,
+        threads,
+        wall,
+        residents_at_end,
+        snapshot: fleet.snapshot(),
+        journal_len: fleet.journal().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, RoutingPolicy};
+    use platform::{Application, Mapping};
+    use sdf::figure2_graphs;
+
+    fn spec() -> SystemSpec {
+        let (a, b) = figure2_graphs();
+        SystemSpec::builder()
+            .application(Application::new("A", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn seeded_stream_deterministic_and_mixed() {
+        let spec = spec();
+        let a = seeded_fleet_requests(&spec, 4, 300, 11);
+        let b = seeded_fleet_requests(&spec, 4, 300, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, seeded_fleet_requests(&spec, 4, 300, 12));
+        let admits = a
+            .iter()
+            .filter(|r| matches!(r, FleetRequest::Admit { .. }))
+            .count();
+        let rebalances = a
+            .iter()
+            .filter(|r| matches!(r, FleetRequest::Rebalance))
+            .count();
+        assert!((90..=210).contains(&admits), "{admits}");
+        assert!((15..=90).contains(&rebalances), "{rebalances}");
+        // Affinity tags stay within the group universe.
+        for r in &a {
+            if let FleetRequest::Admit {
+                affinity: Some(tag),
+                ..
+            } = r
+            {
+                assert!(tag.starts_with("uc"), "{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_drains_and_balances_books() {
+        let spec = spec();
+        let fleet = FleetManager::new(
+            spec.clone(),
+            FleetConfig::uniform(2, 1, 3, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap();
+        let report = run_fleet_requests(&fleet, seeded_fleet_requests(&spec, 2, 120, 5), 1);
+        assert_eq!(report.requests, 120);
+        assert!(report.snapshot.admitted > 0, "{report:?}");
+        // Fully drained after the run; admits and releases balance.
+        assert_eq!(fleet.resident_count(), 0);
+        let snap = fleet.snapshot();
+        assert_eq!(snap.admitted, snap.released);
+        assert_eq!(report.journal_len, fleet.journal().len());
+        let text = report.render();
+        for needle in ["req/s", "journal entries", "fleet:", "admitted"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -13,7 +13,16 @@
 //!   observable hit/miss counters;
 //! * [`BatchExecutor`] — a worker-thread-pool request drain reporting
 //!   throughput, per-class latency order statistics and rejection counts
-//!   (the engine behind `probcon serve-bench`).
+//!   (the engine behind `probcon serve-bench`);
+//! * [`FleetManager`] — admissions routed across many named platform
+//!   groups ([`RoutingPolicy`]: least-utilised, round-robin,
+//!   affinity-by-use-case) with cross-group rebalancing and fleet-wide
+//!   metrics;
+//! * [`Journal`] — an append-only, checksummed log of every
+//!   admit/reject/release/rebalance decision, with [`JournalReplayer`]
+//!   verifying that re-executing a journal against a fresh fleet
+//!   reproduces every outcome (the engine behind `probcon fleet-bench` /
+//!   `probcon replay`).
 //!
 //! # Example
 //!
@@ -51,11 +60,23 @@
 
 pub mod cache;
 pub mod executor;
+pub mod fleet;
+pub mod fleet_bench;
+pub mod journal;
 pub mod manager;
 pub mod metrics;
 
 pub use cache::{CacheKey, EstimateCache};
 pub use executor::{seeded_requests, BatchExecutor, BatchReport, Request};
+pub use fleet::{
+    FleetAdmission, FleetConfig, FleetError, FleetManager, FleetSnapshot, FleetTicket, GroupConfig,
+    GroupSnapshot, RebalanceMove, RoutingPolicy,
+};
+pub use fleet_bench::{run_fleet_requests, seeded_fleet_requests, FleetBenchReport, FleetRequest};
+pub use journal::{
+    DecisionEvent, Divergence, GroupShape, Journal, JournalEntry, JournalError, JournalHeader,
+    JournalOutcome, JournalReplayer, ReplayReport, JOURNAL_VERSION,
+};
 pub use manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
 };

@@ -6,6 +6,8 @@
 //! probcon estimate --seed 2007 --apps 10 --use-case 1023 [--method order-2]
 //! probcon simulate --seed 2007 --apps 10 --use-case 1023 [--horizon 500000]
 //! probcon serve-bench --threads 4 --requests 1000 [--apps N] [--shards S]
+//! probcon fleet-bench --requests 1000 [--groups 4] [--journal fleet.jsonl]
+//! probcon replay   <journal.jsonl>
 //! probcon paper    [--quick]
 //! ```
 
@@ -52,6 +54,19 @@ USAGE:
       Hammer the concurrent online resource manager with a seeded stream of
       admit/release/query/estimate requests and print a throughput/latency/
       rejection metrics table.
+
+  probcon fleet-bench --requests <m> [--threads <n>] [--seed <u64>] [--apps <n>]
+                      [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
+                      [--policy least-utilised|round-robin|affinity]
+                      [--journal <file.jsonl>]
+      Drive a multi-group fleet manager with a seeded admit/release/rebalance
+      stream, print per-group utilisation and outcome metrics, and optionally
+      record every decision to an append-only checksummed journal.
+
+  probcon replay <journal.jsonl>
+      Rebuild the workload and fleet named in a journal's header, re-execute
+      every recorded decision against a fresh fleet and verify
+      outcome-for-outcome equivalence (exit code 1 on divergence).
 
   probcon paper [--quick]
       Regenerate Table 1, Figure 5, Figure 6 and the timing comparison.
@@ -136,6 +151,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => cmd_simulate(&options),
         "signoff" => cmd_signoff(&options),
         "serve-bench" => cmd_serve_bench(&options),
+        "fleet-bench" => cmd_fleet_bench(&options),
+        "replay" => cmd_replay(positional.get(1).copied(), &options),
         "paper" => cmd_paper(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -343,6 +360,126 @@ fn cmd_serve_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
     print!("{}", report.render());
     executor.manager().stop();
     Ok(())
+}
+
+fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
+    use runtime::{
+        run_fleet_requests, seeded_fleet_requests, FleetConfig, FleetManager, JournalHeader,
+        RoutingPolicy, JOURNAL_VERSION,
+    };
+
+    let requests = require_u64(options, "requests")? as usize;
+    if requests == 0 {
+        return Err("--requests must be positive".into());
+    }
+    let threads = opt_u64(options, "threads")?.unwrap_or(1) as usize;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let seed = opt_u64(options, "seed")?.unwrap_or(experiments::workload::DEFAULT_SEED);
+    let apps = opt_u64(options, "apps")?.unwrap_or(6) as usize;
+    if apps == 0 || apps > 20 {
+        return Err("--apps must be in 1..=20".into());
+    }
+    let actors = opt_u64(options, "actors")?.unwrap_or(5) as usize;
+    let groups = opt_u64(options, "groups")?.unwrap_or(4) as usize;
+    if groups == 0 {
+        return Err("--groups must be positive".into());
+    }
+    let shards = opt_u64(options, "shards")?.unwrap_or(1) as usize;
+    let capacity = opt_u64(options, "capacity")?.unwrap_or(4) as usize;
+    let policy = options
+        .get("policy")
+        .copied()
+        .unwrap_or("least-utilised")
+        .parse::<RoutingPolicy>()?;
+
+    let spec = workload_with(seed, apps, &GeneratorConfig::with_actors(actors))
+        .map_err(|e| e.to_string())?;
+    let header = JournalHeader {
+        version: JOURNAL_VERSION,
+        seed,
+        apps: apps as u64,
+        actors: actors as u64,
+        groups: groups as u64,
+        shards_per_group: shards as u64,
+        capacity_per_shard: capacity as u64,
+        policy: policy.to_string(),
+        // The fleet stamps its actual per-group shapes on construction.
+        group_shapes: Vec::new(),
+    };
+    let fleet = FleetManager::with_header(
+        spec.clone(),
+        FleetConfig::uniform(groups, shards, capacity, policy),
+        header,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "fleet-bench: {apps} applications × {actors} actors, {groups} groups × \
+         {shards} shards × capacity {capacity}, {policy} routing"
+    );
+    let stream = seeded_fleet_requests(&spec, groups, requests, seed);
+    let report = run_fleet_requests(&fleet, stream, threads);
+    print!("{}", report.render());
+
+    if let Some(path) = options.get("journal") {
+        fleet.journal().write_to(path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} decisions to {path} (replay with: probcon replay {path})",
+            fleet.journal().len()
+        );
+    }
+    fleet.stop();
+    Ok(())
+}
+
+fn cmd_replay(path: Option<&str>, _options: &HashMap<&str, &str>) -> Result<(), String> {
+    use runtime::{FleetConfig, Journal, JournalReplayer};
+
+    let path = path.ok_or("replay needs a journal file")?;
+    let journal = Journal::read_from(path).map_err(|e| e.to_string())?;
+    let header = journal.header().clone();
+    if header.apps == 0 {
+        return Err(format!(
+            "journal {path} records no workload parameters in its header \
+             (recorded outside `probcon fleet-bench`?); replay it with \
+             runtime::JournalReplayer against the original spec instead"
+        ));
+    }
+    println!(
+        "replaying {}: {} decisions ({} applications × {} actors, {} groups, {} routing)",
+        path,
+        journal.len(),
+        header.apps,
+        header.actors,
+        header.groups,
+        header.policy,
+    );
+
+    let spec = workload_with(
+        header.seed,
+        header.apps as usize,
+        &GeneratorConfig::with_actors(header.actors as usize),
+    )
+    .map_err(|e| e.to_string())?;
+    let config = FleetConfig::from_header(&header).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let (report, fleet) = JournalReplayer::new(&spec)
+        .replay(&journal, config)
+        .map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    print!("{}", fleet.snapshot().render());
+    println!("({:?} total)", start.elapsed());
+    if report.is_equivalent() {
+        Ok(())
+    } else {
+        Err(format!(
+            "replay diverged from the recording in {} of {} decisions",
+            report.divergences.len(),
+            report.events
+        ))
+    }
 }
 
 fn cmd_paper(options: &HashMap<&str, &str>) -> Result<(), String> {

@@ -20,7 +20,10 @@
 //!   the timing comparison.
 //! * [`runtime`] — the concurrent online resource manager: sharded
 //!   ticket-based admission, estimate caching, batch execution with
-//!   throughput/latency metrics (`probcon serve-bench`).
+//!   throughput/latency metrics (`probcon serve-bench`), multi-platform
+//!   fleet management with pluggable routing and rebalancing, and an
+//!   append-only admission journal with deterministic replay
+//!   (`probcon fleet-bench` / `probcon replay`).
 //!
 //! # Example
 //!

@@ -163,6 +163,79 @@ fn serve_bench_validates_inputs() {
 }
 
 #[test]
+fn fleet_bench_records_journal_and_replay_verifies_it() {
+    let dir = std::env::temp_dir().join("probcon-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let journal = dir.join("fleet.jsonl");
+
+    let out = probcon(&[
+        "fleet-bench",
+        "--requests",
+        "150",
+        "--apps",
+        "3",
+        "--actors",
+        "4",
+        "--groups",
+        "3",
+        "--capacity",
+        "2",
+        "--policy",
+        "affinity",
+        "--journal",
+        journal.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "fleet-bench",
+        "affinity routing",
+        "req/s",
+        "journal entries",
+        "group0",
+        "admitted",
+        "rebalances",
+        "wrote",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+    assert!(journal.exists());
+
+    // The recorded journal must replay outcome-for-outcome equivalent.
+    let out = probcon(&["replay", journal.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("EQUIVALENT"), "{stdout}");
+    assert!(stdout.contains("0 diverged"), "{stdout}");
+
+    // A tampered journal must fail the checksum and exit non-zero.
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    let corrupted = dir.join("fleet-corrupt.jsonl");
+    std::fs::write(&corrupted, text.replace("Admitted", "admitteD")).expect("written");
+    let out = probcon(&["replay", corrupted.to_str().expect("utf8 path")]);
+    assert!(!out.status.success(), "tampered journal must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checksum"), "{stderr}");
+}
+
+#[test]
+fn fleet_bench_and_replay_validate_inputs() {
+    for bad in [
+        vec!["fleet-bench"],
+        vec!["fleet-bench", "--requests", "0"],
+        vec!["fleet-bench", "--requests", "10", "--threads", "0"],
+        vec!["fleet-bench", "--requests", "10", "--apps", "0"],
+        vec!["fleet-bench", "--requests", "10", "--groups", "0"],
+        vec!["fleet-bench", "--requests", "10", "--policy", "bogus"],
+        vec!["replay"],
+        vec!["replay", "/nonexistent/journal.jsonl"],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
+}
+
+#[test]
 fn analyze_rejects_garbage_file() {
     let dir = std::env::temp_dir().join("probcon-cli-test");
     std::fs::create_dir_all(&dir).expect("tmp dir");

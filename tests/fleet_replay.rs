@@ -1,0 +1,206 @@
+//! Deterministic-replay integration tests: a seeded multi-group workload
+//! recorded to an append-only journal must replay — twice — with
+//! byte-identical admit/reject outcome sequences and final fleet metrics.
+//! This is the strongest end-to-end regression oracle for the admission
+//! path: any behavioural drift in routing, admission analysis, rebalancing
+//! or journaling shows up as a replay divergence.
+
+use experiments::workload::workload_with;
+use runtime::{
+    run_fleet_requests, seeded_fleet_requests, DecisionEvent, FleetConfig, FleetManager, Journal,
+    JournalHeader, JournalOutcome, JournalReplayer, ReplayReport, RoutingPolicy, JOURNAL_VERSION,
+};
+use sdf::GeneratorConfig;
+
+const SEED: u64 = 2007;
+const APPS: usize = 5;
+const ACTORS: usize = 4;
+const GROUPS: usize = 4;
+const SHARDS: usize = 1;
+const CAPACITY: usize = 3;
+const REQUESTS: usize = 250;
+
+fn header() -> JournalHeader {
+    JournalHeader {
+        version: JOURNAL_VERSION,
+        seed: SEED,
+        apps: APPS as u64,
+        actors: ACTORS as u64,
+        groups: GROUPS as u64,
+        shards_per_group: SHARDS as u64,
+        capacity_per_shard: CAPACITY as u64,
+        policy: RoutingPolicy::LeastUtilised.to_string(),
+        // Stamped with the real shapes by FleetManager::with_header.
+        group_shapes: Vec::new(),
+    }
+}
+
+fn config() -> FleetConfig {
+    FleetConfig::uniform(GROUPS, SHARDS, CAPACITY, RoutingPolicy::LeastUtilised)
+}
+
+/// Records the seeded 4-group mixed workload and returns its journal
+/// (rendered + reparsed, so the persistence path is part of the oracle).
+fn record() -> Journal {
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+    let fleet = FleetManager::with_header(spec.clone(), config(), header()).expect("fleet");
+    let stream = seeded_fleet_requests(&spec, GROUPS, REQUESTS, SEED);
+    let report = run_fleet_requests(&fleet, stream, 1);
+    assert!(report.snapshot.admitted > 0, "workload admits: {report:?}");
+    assert!(
+        report.snapshot.rejected + report.snapshot.saturated > 0,
+        "workload must exercise rejections or saturation: {report:?}"
+    );
+    assert!(
+        fleet
+            .journal()
+            .events()
+            .iter()
+            .any(|e| matches!(e, DecisionEvent::Rebalance { .. })),
+        "workload must exercise rebalancing"
+    );
+    Journal::parse(&fleet.journal().render()).expect("journal round-trips")
+}
+
+/// The admit/reject outcome sequence of a journal, decision by decision.
+fn outcome_sequence(journal: &Journal) -> Vec<String> {
+    journal.events().iter().map(|e| e.to_string()).collect()
+}
+
+#[test]
+fn recorded_journal_replays_equivalently_twice() {
+    let journal = record();
+    journal.verify().expect("checksums hold");
+
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+    let replayer = JournalReplayer::new(&spec);
+    let (first, first_fleet) = replayer.replay(&journal, config()).expect("first replay");
+    let (second, second_fleet) = replayer.replay(&journal, config()).expect("second replay");
+
+    for (label, report) in [("first", &first), ("second", &second)] {
+        assert!(
+            report.is_equivalent(),
+            "{label} replay diverged:\n{}",
+            report.render()
+        );
+        assert_eq!(report.events, journal.len());
+        assert_eq!(report.matches, journal.len());
+    }
+
+    // Identical admit/reject sequences across both replays, step for step.
+    assert_eq!(first.outcome_log, second.outcome_log);
+    // ... and identical final fleet metrics.
+    assert_eq!(first_fleet.snapshot(), second_fleet.snapshot());
+    assert_eq!(first.residents_at_end, second.residents_at_end);
+}
+
+#[test]
+fn replayed_fleet_rerecords_the_same_decision_stream() {
+    let journal = record();
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+    let (report, replayed_fleet) = JournalReplayer::new(&spec)
+        .replay(&journal, config())
+        .expect("replay");
+    assert!(report.is_equivalent(), "{}", report.render());
+
+    // The replayed fleet journaled its own decisions; a single-threaded
+    // recording re-records *exactly* the same events (ids included).
+    assert_eq!(replayed_fleet.journal().events(), journal.events());
+    // The re-recorded journal is itself replayable: the oracle is a fixed
+    // point, not a one-shot.
+    let rerecorded = Journal::parse(&replayed_fleet.journal().render()).expect("parses");
+    let (again, _) = JournalReplayer::new(&spec)
+        .replay(&rerecorded, config())
+        .expect("replay of the re-recording");
+    assert!(again.is_equivalent(), "{}", again.render());
+}
+
+#[test]
+fn replay_through_journal_file_roundtrip() {
+    let journal = record();
+    let dir = std::env::temp_dir().join("probcon-fleet-replay-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("recorded.jsonl");
+    journal.write_to(&path).expect("writes");
+
+    let loaded = Journal::read_from(&path).expect("reads and verifies");
+    assert_eq!(loaded.header(), journal.header());
+    assert_eq!(outcome_sequence(&loaded), outcome_sequence(&journal));
+
+    // The header alone suffices to rebuild workload and fleet — exactly
+    // what `probcon replay <file>` does.
+    let spec = workload_with(
+        loaded.header().seed,
+        loaded.header().apps as usize,
+        &GeneratorConfig::with_actors(loaded.header().actors as usize),
+    )
+    .expect("workload from header");
+    let config = FleetConfig::from_header(loaded.header()).expect("config from header");
+    let (report, _) = JournalReplayer::new(&spec)
+        .replay(&loaded, config)
+        .expect("replay");
+    assert!(report.is_equivalent(), "{}", report.render());
+}
+
+#[test]
+fn concurrent_recording_still_replays_equivalently() {
+    // Journal order serializes each group's decisions even when the
+    // recording itself raced across 8 worker threads, so sequential replay
+    // must still reproduce every outcome.
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+    let fleet = FleetManager::with_header(spec.clone(), config(), header()).expect("fleet");
+    let stream = seeded_fleet_requests(&spec, GROUPS, REQUESTS, SEED + 1);
+    run_fleet_requests(&fleet, stream, 8);
+    let journal = Journal::parse(&fleet.journal().render()).expect("round-trips");
+
+    let (report, _) = JournalReplayer::new(&spec)
+        .replay(&journal, config())
+        .expect("replay");
+    assert!(report.is_equivalent(), "{}", report.render());
+    assert_eq!(report.events, journal.len());
+}
+
+#[test]
+fn corrupted_recording_is_rejected_and_divergence_is_reported() {
+    let journal = record();
+
+    // Corrupt one byte of the persisted form: loading must fail checksum.
+    let text = journal.render();
+    let admitted_pos = text.find("Admitted").expect("an admission was recorded");
+    let mut tampered = text.clone();
+    tampered.replace_range(admitted_pos..admitted_pos + 8, "admitteD");
+    assert!(
+        Journal::parse(&tampered).is_err(),
+        "tampering must not load"
+    );
+
+    // A journal recorded against a *different* fleet shape replays with
+    // divergences, and the report says so.
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+    let smaller = FleetConfig::uniform(GROUPS, SHARDS, 1, RoutingPolicy::LeastUtilised);
+    let (report, _): (ReplayReport, FleetManager) = JournalReplayer::new(&spec)
+        .replay(&journal, smaller)
+        .expect("replay runs");
+    assert!(
+        !report.is_equivalent(),
+        "capacity-1 groups cannot reproduce a capacity-3 recording"
+    );
+    assert!(report.render().contains("NOT equivalent"));
+    // Divergences carry the recorded expectation and what happened instead.
+    let d = &report.divergences[0];
+    assert!(journal.len() as u64 > d.seq);
+    assert_ne!(d.expected, d.got);
+    // Saturated outcomes appear where the recording admitted.
+    assert!(
+        journal.events().iter().enumerate().any(|(i, e)| {
+            matches!(
+                e,
+                DecisionEvent::Admit {
+                    outcome: JournalOutcome::Admitted { .. },
+                    ..
+                }
+            ) && report.outcome_log[i].contains("saturated")
+        }),
+        "shrunk capacity must saturate recorded admissions"
+    );
+}

@@ -187,6 +187,161 @@ proptest! {
     }
 }
 
+/// Strategy: one arbitrary journal decision event (all variants, all
+/// outcome kinds, exact rational periods).
+fn journal_event() -> impl Strategy<Value = runtime::DecisionEvent> {
+    use runtime::{DecisionEvent, JournalOutcome};
+    (
+        0u64..5,
+        0u64..8,
+        0u64..64,
+        0u64..8,
+        (1i128..5000, 1i128..500),
+    )
+        .prop_map(|(kind, group, resident, other, (num, den))| {
+            let period = Rational::new(num, den);
+            match kind {
+                0 => DecisionEvent::Admit {
+                    group,
+                    app_index: resident % 6,
+                    required_throughput: Some(period.recip()),
+                    outcome: JournalOutcome::Admitted {
+                        resident,
+                        predicted_period: period,
+                    },
+                },
+                1 => DecisionEvent::Admit {
+                    group,
+                    app_index: resident % 6,
+                    required_throughput: None,
+                    outcome: JournalOutcome::Rejected { violations: other },
+                },
+                2 => DecisionEvent::Admit {
+                    group,
+                    app_index: resident % 6,
+                    required_throughput: None,
+                    outcome: JournalOutcome::Saturated,
+                },
+                3 => DecisionEvent::Release { resident },
+                _ => DecisionEvent::Rebalance {
+                    resident,
+                    from_group: group,
+                    to_group: other,
+                    predicted_period: period,
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn journal_roundtrips_serde_for_arbitrary_decisions(
+        events in prop::collection::vec(journal_event(), 0..40)
+    ) {
+        use runtime::{Journal, JournalHeader};
+        // Individual events round-trip through the serde value model.
+        for event in &events {
+            let json = serde_json::to_string(event)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let back: runtime::DecisionEvent = serde_json::from_str(&json)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&back, event);
+        }
+        // Whole journals round-trip through render/parse with checksums
+        // and sequence numbers intact.
+        let journal = Journal::new(JournalHeader::default());
+        for event in &events {
+            journal.append(event.clone());
+        }
+        let parsed = Journal::parse(&journal.render())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(parsed.events(), events);
+        prop_assert_eq!(parsed.entries(), journal.entries());
+    }
+}
+
+proptest! {
+    // Each case drives real admissions (milliseconds apiece), so keep the
+    // case count small; the op streams still cover admit/release/rebalance
+    // interleavings across varying fleet shapes.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fleet_invariants_hold_under_arbitrary_op_streams(
+        groups in 2usize..5,
+        capacity in 1usize..4,
+        ops in prop::collection::vec((0u64..100, 0usize..6), 1..25)
+    ) {
+        use platform::Application;
+        use runtime::{FleetConfig, FleetManager, RoutingPolicy};
+        use sdf::figure2_graphs;
+
+        let (a, b) = figure2_graphs();
+        let spec = platform::SystemSpec::builder()
+            .application(Application::new("A", a).expect("valid"))
+            .application(Application::new("B", b).expect("valid"))
+            .mapping(platform::Mapping::by_actor_index(3))
+            .build()
+            .expect("valid spec");
+        let fleet = FleetManager::new(
+            spec,
+            FleetConfig::uniform(groups, 1, capacity, RoutingPolicy::LeastUtilised),
+        )
+        .expect("valid fleet");
+
+        let mut tickets = Vec::new();
+        for &(roll, pick) in &ops {
+            if roll < 50 {
+                let contract = if roll % 2 == 0 {
+                    Some(Rational::new(1, 500))
+                } else {
+                    None
+                };
+                if let Ok(admission) = fleet.admit(pick % 2, contract, None) {
+                    if let Some(ticket) = admission.ticket() {
+                        tickets.push(ticket);
+                    }
+                }
+            } else if roll < 80 {
+                if !tickets.is_empty() {
+                    tickets.remove(pick % tickets.len()).release();
+                }
+            } else {
+                fleet.rebalance();
+            }
+
+            // Invariant: the sum of per-group residents equals the fleet's
+            // resident count...
+            let per_group: usize = (0..groups)
+                .map(|g| fleet.resident_count_of(g).expect("valid group"))
+                .sum();
+            prop_assert_eq!(per_group, fleet.resident_count());
+            // ... and no group — rebalancing included — ever exceeds its
+            // capacity.
+            for g in 0..groups {
+                prop_assert!(
+                    fleet.resident_count_of(g).expect("valid group")
+                        <= fleet.capacity_of(g).expect("valid group"),
+                    "group {} over capacity", g
+                );
+            }
+        }
+
+        // Dropping every ticket drains the fleet and balances the books.
+        drop(tickets);
+        prop_assert_eq!(fleet.resident_count(), 0);
+        let snapshot = fleet.snapshot();
+        prop_assert_eq!(snapshot.admitted, snapshot.released);
+        // Journal length equals total decisions made.
+        let decisions = snapshot.admitted + snapshot.rejected + snapshot.saturated
+            + snapshot.released + snapshot.rebalances;
+        prop_assert_eq!(fleet.journal().len() as u64, decisions);
+        fleet.journal().verify().map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+}
+
 #[test]
 fn use_case_roundtrip_mask() {
     use platform::{AppId, UseCase};
