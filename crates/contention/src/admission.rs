@@ -35,7 +35,7 @@
 //!     &[NodeId(0), NodeId(1), NodeId(2)],
 //!     Some(Rational::new(1, 400)),
 //! )?;
-//! assert!(outcome.is_admitted()); // predicted period ≈ 358.3 < 400
+//! assert!(outcome.admitted_id().is_some()); // predicted period ≈ 358.3 < 400
 //!
 //! ctrl.remove(id_a)?;
 //! assert_eq!(ctrl.resident_count(), 1);
@@ -148,6 +148,11 @@ impl fmt::Display for AdmissionOutcome {
 
 impl AdmissionOutcome {
     /// `true` iff the application was admitted.
+    #[deprecated(
+        since = "0.1.0",
+        note = "divergent per-type helper; convert to the shared \
+                `runtime::AdmissionDecision` (or match the variant directly)"
+    )]
     pub fn is_admitted(&self) -> bool {
         matches!(self, AdmissionOutcome::Admitted { .. })
     }
@@ -512,7 +517,7 @@ mod tests {
         let (a, b) = apps();
         let mut ctrl = AdmissionController::new();
         let o1 = ctrl.admit(a, &N3, None).unwrap();
-        assert!(o1.is_admitted());
+        assert!(o1.admitted_id().is_some());
         let o2 = ctrl.admit(b, &N3, None).unwrap();
         let AdmissionOutcome::Admitted {
             predicted_periods, ..

@@ -118,6 +118,30 @@ impl fmt::Display for Method {
     }
 }
 
+impl std::str::FromStr for Method {
+    type Err = String;
+
+    /// Parses the [`Display`](fmt::Display) names (`exact`, `order-N`,
+    /// `composability`, `worst-case-rr`, `worst-case-tdma`) — the round-trip
+    /// the `probcon` CLI and serialized artefacts (e.g. sign-off reports)
+    /// rely on.
+    fn from_str(s: &str) -> Result<Method, String> {
+        Ok(match s {
+            "exact" => Method::Exact,
+            "composability" => Method::Composability,
+            "worst-case-rr" => Method::WorstCaseRoundRobin,
+            "worst-case-tdma" => Method::WorstCaseTdma,
+            other => {
+                if let Some(m) = other.strip_prefix("order-") {
+                    Method::Order(m.parse().map_err(|_| format!("bad order '{other}'"))?)
+                } else {
+                    return Err(format!("unknown method '{other}'"));
+                }
+            }
+        })
+    }
+}
+
 /// Options for [`estimate_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EstimatorOptions {
@@ -497,5 +521,22 @@ mod tests {
         assert_eq!(Method::Composability.to_string(), "composability");
         assert_eq!(Method::WorstCaseRoundRobin.to_string(), "worst-case-rr");
         assert_eq!(Method::table1().len(), 4);
+    }
+
+    #[test]
+    fn method_parse_roundtrips_display() {
+        for method in [
+            Method::Exact,
+            Method::SECOND_ORDER,
+            Method::FOURTH_ORDER,
+            Method::Order(7),
+            Method::Composability,
+            Method::WorstCaseRoundRobin,
+            Method::WorstCaseTdma,
+        ] {
+            assert_eq!(method.to_string().parse::<Method>(), Ok(method));
+        }
+        assert!("bogus".parse::<Method>().is_err());
+        assert!("order-x".parse::<Method>().is_err());
     }
 }

@@ -1,16 +1,23 @@
-//! Multi-threaded request batch executor with throughput/latency metrics.
+//! Multi-threaded request batch executor over the unified service stack.
 //!
 //! [`BatchExecutor`] drains a queue of admission/release/query/estimate
-//! requests across a pool of worker threads, driving a shared
-//! [`ResourceManager`] and [`EstimateCache`], and reports per-class latency
-//! order statistics plus outcome counts — the measurement harness behind
-//! `probcon serve-bench`.
+//! requests across a pool of worker threads, driving **any**
+//! [`AdmissionService`] stack (a bare [`ResourceManager`](crate::ResourceManager),
+//! a [`Cached`](crate::Cached) stack, a whole
+//! [`FrontEnd`](crate::FrontEnd), …) and reports per-class latency order
+//! statistics plus outcome counts — the measurement harness behind
+//! `probcon serve-bench`. Latencies come from a [`Metered`] layer the
+//! executor wraps around the stack for the duration of the batch, so the
+//! numbers are the same ones any other driver of the stack would see.
 
-use crate::cache::{lock, EstimateCache};
-use crate::manager::{Admission, AdmitError, ResourceManager, Ticket};
+use crate::cache::lock;
 use crate::metrics::LatencySummary;
+use crate::service::{
+    AdmissionDecision, AdmissionRequest, AdmissionService, Metered, ServiceError, ServiceOp,
+    ServiceSnapshot,
+};
 use contention::Method;
-use platform::{AppId, NodeId, SystemSpec, UseCase};
+use platform::{AppId, SystemSpec, UseCase};
 use sdf::Rational;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -20,61 +27,26 @@ use std::time::{Duration, Instant};
 /// One unit of work for the executor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Admit an instance of the spec's application `app_index` (mapped per
-    /// the spec), optionally demanding a throughput floor.
+    /// Admit an instance of the service's application `app_index` (mapped
+    /// per the workload spec), optionally demanding a throughput floor.
     Admit {
         /// Index of the application in the spec.
         app_index: usize,
         /// Required minimum throughput, if any.
         required_throughput: Option<Rational>,
     },
-    /// Release the most recently admitted live ticket (no-op when none).
+    /// Release the most recently admitted live resident (no-op when none).
     Release,
-    /// Re-predict the period of a live resident (falls back to a
-    /// resident-count probe when none).
+    /// Probe the service snapshot (the cheap read path).
     Query,
-    /// Estimate all periods of a use-case through the cache.
+    /// Estimate all periods of a use-case through the stack (served by a
+    /// [`Cached`](crate::Cached) layer when one is present).
     Estimate {
         /// Active-application mask.
         use_case: UseCase,
         /// Estimation method.
         method: Method,
     },
-}
-
-/// Request classes reported separately.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Class {
-    Admit,
-    Release,
-    Query,
-    Estimate,
-}
-
-const CLASSES: [Class; 4] = [Class::Admit, Class::Release, Class::Query, Class::Estimate];
-
-impl Class {
-    fn of(request: &Request) -> Class {
-        match request {
-            Request::Admit { .. } => Class::Admit,
-            Request::Release => Class::Release,
-            Request::Query => Class::Query,
-            Request::Estimate { .. } => Class::Estimate,
-        }
-    }
-
-    fn name(self) -> &'static str {
-        match self {
-            Class::Admit => "admit",
-            Class::Release => "release",
-            Class::Query => "query",
-            Class::Estimate => "estimate",
-        }
-    }
-
-    fn index(self) -> usize {
-        self as usize
-    }
 }
 
 /// Outcome counts and latency statistics of one executed batch.
@@ -90,21 +62,24 @@ pub struct BatchReport {
     pub admitted: u64,
     /// Admissions rejected by a contract.
     pub rejected: u64,
-    /// Admissions that timed out waiting for capacity.
-    pub timeouts: u64,
-    /// Admissions refused because the manager stopped.
+    /// Admissions bounced for lack of capacity.
+    pub saturated: u64,
+    /// Admissions refused because the service stopped.
     pub stopped: u64,
-    /// Hard analysis errors.
+    /// Hard analysis/service errors.
     pub errors: u64,
-    /// Tickets released by `Release` requests (and the final drain).
+    /// Residents released by `Release` requests (and the final drain).
     pub released: u64,
-    /// Cache hits over the batch.
+    /// Cache hits over the batch (0 without a [`Cached`](crate::Cached)
+    /// layer).
     pub cache_hits: u64,
     /// Cache misses over the batch.
     pub cache_misses: u64,
     /// Residents still live when the batch finished (before the drain).
     pub residents_at_end: usize,
-    /// Per-class latency summaries, indexed like `CLASSES`.
+    /// Final stack snapshot (after the drain), with per-layer metrics.
+    pub stack: ServiceSnapshot,
+    /// Per-class latency summaries: admit, release, query, estimate.
     latencies: [LatencySummary; 4],
 }
 
@@ -120,12 +95,12 @@ impl BatchReport {
 
     /// Latency summary for admissions.
     pub fn admit_latency(&self) -> LatencySummary {
-        self.latencies[Class::Admit.index()]
+        self.latencies[0]
     }
 
     /// Latency summary for estimate requests.
     pub fn estimate_latency(&self) -> LatencySummary {
-        self.latencies[Class::Estimate.index()]
+        self.latencies[3]
     }
 
     /// Renders the human-readable metrics table printed by
@@ -146,28 +121,30 @@ impl BatchReport {
             "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
             "class", "count", "min", "mean", "p50", "p95", "max"
         );
-        for class in CLASSES {
-            let s = self.latencies[class.index()];
-            if s.count == 0 {
+        for (name, summary) in ["admit", "release", "query", "estimate"]
+            .iter()
+            .zip(self.latencies.iter())
+        {
+            if summary.count == 0 {
                 continue;
             }
             let _ = writeln!(
                 out,
                 "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
-                class.name(),
-                s.count,
-                format_duration(s.min),
-                format_duration(s.mean),
-                format_duration(s.p50),
-                format_duration(s.p95),
-                format_duration(s.max),
+                name,
+                summary.count,
+                format_duration(summary.min),
+                format_duration(summary.mean),
+                format_duration(summary.p50),
+                format_duration(summary.p95),
+                format_duration(summary.max),
             );
         }
         let _ = writeln!(out);
         let _ = writeln!(
             out,
-            "admissions: {} admitted, {} rejected, {} timed out, {} stopped, {} errors",
-            self.admitted, self.rejected, self.timeouts, self.stopped, self.errors
+            "admissions: {} admitted, {} rejected, {} saturated, {} stopped, {} errors",
+            self.admitted, self.rejected, self.saturated, self.stopped, self.errors
         );
         let total_lookups = self.cache_hits + self.cache_misses;
         let rate = if total_lookups == 0 {
@@ -182,9 +159,10 @@ impl BatchReport {
         );
         let _ = writeln!(
             out,
-            "tickets: {} released during the batch, {} resident at end",
+            "residents: {} released during the batch, {} resident at end",
             self.released, self.residents_at_end
         );
+        out.push_str(&self.stack.render());
         out
     }
 }
@@ -200,76 +178,60 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
-/// Drains request batches through a [`ResourceManager`] + [`EstimateCache`]
-/// on a worker-thread pool.
-#[derive(Debug, Clone)]
+/// Drains request batches through any [`AdmissionService`] stack on a
+/// worker-thread pool.
+#[derive(Clone)]
 pub struct BatchExecutor {
-    manager: ResourceManager,
-    cache: Arc<EstimateCache>,
+    service: Arc<dyn AdmissionService>,
 }
 
+impl std::fmt::Debug for BatchExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchExecutor").finish_non_exhaustive()
+    }
+}
+
+#[derive(Default)]
 struct WorkerStats {
-    /// `(class, micros)` latency samples.
-    samples: Vec<(Class, u64)>,
     admitted: u64,
     rejected: u64,
-    timeouts: u64,
+    saturated: u64,
     stopped: u64,
     errors: u64,
     released: u64,
 }
 
-impl WorkerStats {
-    fn new() -> WorkerStats {
-        WorkerStats {
-            samples: Vec::new(),
-            admitted: 0,
-            rejected: 0,
-            timeouts: 0,
-            stopped: 0,
-            errors: 0,
-            released: 0,
-        }
-    }
-}
-
 impl BatchExecutor {
-    /// Executor over a shared manager and cache.
-    pub fn new(manager: ResourceManager, cache: Arc<EstimateCache>) -> BatchExecutor {
-        BatchExecutor { manager, cache }
+    /// Executor over a service stack.
+    pub fn new(service: Arc<dyn AdmissionService>) -> BatchExecutor {
+        BatchExecutor { service }
     }
 
-    /// The manager this executor drives.
-    pub fn manager(&self) -> &ResourceManager {
-        &self.manager
+    /// The stack this executor drives.
+    pub fn service(&self) -> &Arc<dyn AdmissionService> {
+        &self.service
     }
 
-    /// The estimate cache this executor consults.
-    pub fn cache(&self) -> &EstimateCache {
-        &self.cache
-    }
-
-    /// Executes `requests` against `spec` on `threads` workers and reports
-    /// the batch's metrics. Tickets admitted during the batch are held in a
-    /// shared pool (drained by `Release` requests) and all released when
-    /// the batch ends.
-    pub fn run(&self, spec: &SystemSpec, requests: Vec<Request>, threads: usize) -> BatchReport {
+    /// Executes `requests` on `threads` workers and reports the batch's
+    /// metrics. Residents admitted during the batch are held in a shared
+    /// pool (drained newest-first by `Release` requests) and all released
+    /// when the batch ends.
+    pub fn run(&self, requests: Vec<Request>, threads: usize) -> BatchReport {
         let threads = threads.max(1);
         let total = requests.len();
         let queue = Mutex::new(requests.into_iter().collect::<VecDeque<Request>>());
-        let tickets: Mutex<Vec<Ticket>> = Mutex::new(Vec::new());
-        let hits_before = self.cache.hits();
-        let misses_before = self.cache.misses();
-        // One structural hash for the whole batch, not one per request.
-        let fingerprint = EstimateCache::fingerprint(spec);
+        let pool: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let before = self.service.snapshot();
+        let metered = Metered::new(Arc::clone(&self.service));
 
         let start = Instant::now();
         let worker_stats = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|worker| {
+                .map(|_| {
                     let queue = &queue;
-                    let tickets = &tickets;
-                    scope.spawn(move || self.worker_loop(worker, fingerprint, spec, queue, tickets))
+                    let pool = &pool;
+                    let metered = &metered;
+                    scope.spawn(move || worker_loop(metered, queue, pool))
                 })
                 .collect();
             handles
@@ -279,33 +241,37 @@ impl BatchExecutor {
         });
         let wall = start.elapsed();
 
-        let residents_at_end = self.manager.resident_count();
-        // Drain: release every ticket still held by the batch.
-        tickets
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .clear();
+        let residents_at_end = self.service.snapshot().residents;
+        // Drain: release every resident still held by the batch.
+        let mut drained = 0u64;
+        for resident in lock(&pool).drain(..) {
+            if self.service.release(resident).is_ok() {
+                drained += 1;
+            }
+        }
 
-        let mut merged = WorkerStats::new();
+        let mut merged = WorkerStats::default();
         for stats in worker_stats {
-            merged.samples.extend(stats.samples);
             merged.admitted += stats.admitted;
             merged.rejected += stats.rejected;
-            merged.timeouts += stats.timeouts;
+            merged.saturated += stats.saturated;
             merged.stopped += stats.stopped;
             merged.errors += stats.errors;
             merged.released += stats.released;
         }
-        let mut latencies = [LatencySummary::default(); 4];
-        for class in CLASSES {
-            let mut micros: Vec<u64> = merged
-                .samples
-                .iter()
-                .filter(|(c, _)| *c == class)
-                .map(|(_, us)| *us)
-                .collect();
-            latencies[class.index()] = LatencySummary::from_micros(&mut micros);
-        }
+        let latencies = [
+            metered.latency(ServiceOp::Admit),
+            metered.latency(ServiceOp::Release),
+            metered.latency(ServiceOp::Snapshot),
+            metered.latency(ServiceOp::Estimate),
+        ];
+        let stack = self.service.snapshot();
+        let counter_delta = |layer: &str, name: &str| {
+            stack
+                .counter(layer, name)
+                .unwrap_or(0)
+                .saturating_sub(before.counter(layer, name).unwrap_or(0))
+        };
 
         BatchReport {
             threads,
@@ -313,106 +279,60 @@ impl BatchExecutor {
             wall,
             admitted: merged.admitted,
             rejected: merged.rejected,
-            timeouts: merged.timeouts,
+            saturated: merged.saturated,
             stopped: merged.stopped,
             errors: merged.errors,
-            released: merged.released,
-            cache_hits: self.cache.hits() - hits_before,
-            cache_misses: self.cache.misses() - misses_before,
+            released: merged.released + drained,
+            cache_hits: counter_delta("cached", "hits"),
+            cache_misses: counter_delta("cached", "misses"),
             residents_at_end,
+            stack,
             latencies,
         }
     }
+}
 
-    fn worker_loop(
-        &self,
-        worker: usize,
-        fingerprint: u64,
-        spec: &SystemSpec,
-        queue: &Mutex<VecDeque<Request>>,
-        tickets: &Mutex<Vec<Ticket>>,
-    ) -> WorkerStats {
-        let mut stats = WorkerStats::new();
-        loop {
-            let Some(request) = lock(queue).pop_front() else {
-                return stats;
-            };
-            let class = Class::of(&request);
-            let start = Instant::now();
-            self.execute(worker, fingerprint, spec, request, tickets, &mut stats);
-            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-            stats.samples.push((class, micros));
-        }
-    }
-
-    fn execute(
-        &self,
-        worker: usize,
-        fingerprint: u64,
-        spec: &SystemSpec,
-        request: Request,
-        tickets: &Mutex<Vec<Ticket>>,
-        stats: &mut WorkerStats,
-    ) {
+fn worker_loop(
+    service: &Metered<Arc<dyn AdmissionService>>,
+    queue: &Mutex<VecDeque<Request>>,
+    pool: &Mutex<Vec<u64>>,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    loop {
+        let Some(request) = lock(queue).pop_front() else {
+            return stats;
+        };
         match request {
             Request::Admit {
                 app_index,
                 required_throughput,
             } => {
-                let app_index = app_index % spec.application_count();
-                let id = AppId(app_index);
-                let app = spec.application(id).clone();
-                let assignment: Vec<NodeId> = app
-                    .graph()
-                    .actor_ids()
-                    .map(|actor| spec.node_of(id, actor))
-                    .collect();
-                let shard = self.manager.shard_for((worker + app_index) as u64);
-                match self
-                    .manager
-                    .admit(shard, app, &assignment, required_throughput)
-                {
-                    Ok(Admission::Admitted(ticket)) => {
+                let mut request = AdmissionRequest::new(app_index);
+                request.required_throughput = required_throughput;
+                match service.admit(&request) {
+                    Ok(AdmissionDecision::Admitted { resident, .. }) => {
                         stats.admitted += 1;
-                        lock(tickets).push(ticket);
+                        lock(pool).push(resident);
                     }
-                    Ok(Admission::Rejected { .. }) => stats.rejected += 1,
-                    Err(AdmitError::Timeout) => stats.timeouts += 1,
-                    Err(AdmitError::Stopped) => stats.stopped += 1,
+                    Ok(AdmissionDecision::Rejected { .. }) => stats.rejected += 1,
+                    Ok(AdmissionDecision::Saturated { .. }) => stats.saturated += 1,
+                    Err(ServiceError::Stopped) => stats.stopped += 1,
                     Err(_) => stats.errors += 1,
                 }
             }
             Request::Release => {
-                let ticket = lock(tickets).pop();
-                if let Some(ticket) = ticket {
-                    ticket.release();
-                    stats.released += 1;
+                let resident = lock(pool).pop();
+                if let Some(resident) = resident {
+                    if service.release(resident).is_ok() {
+                        stats.released += 1;
+                    }
                 }
             }
             Request::Query => {
-                // Snapshot one live ticket's identity, then query without
-                // holding the pool lock.
-                let target = {
-                    let pool = lock(tickets);
-                    pool.last().map(|t| (t.shard(), t.app_id()))
-                };
-                match target {
-                    Some((shard, app)) => {
-                        // The resident may have been released concurrently;
-                        // an unknown-application analysis error is fine.
-                        let _ = self.manager.predicted_period(shard, app);
-                    }
-                    None => {
-                        let _ = self.manager.resident_count();
-                    }
-                }
+                let _ = service.snapshot();
             }
             Request::Estimate { use_case, method } => {
-                if self
-                    .cache
-                    .get_or_estimate_with(fingerprint, spec, use_case, method)
-                    .is_err()
-                {
+                if service.estimate(use_case, method).is_err() {
                     stats.errors += 1;
                 }
             }
@@ -469,7 +389,8 @@ pub fn seeded_requests(spec: &SystemSpec, count: usize, seed: u64) -> Vec<Reques
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manager::{QueueMode, ResourceManagerConfig};
+    use crate::manager::{QueueMode, ResourceManager, ResourceManagerConfig};
+    use crate::service::Cached;
     use platform::{Application, Mapping};
     use sdf::figure2_graphs;
 
@@ -490,27 +411,45 @@ mod tests {
             queue_mode: QueueMode::Fifo,
             admit_timeout: Some(Duration::from_millis(20)),
         });
-        BatchExecutor::new(manager, Arc::new(EstimateCache::new(32)))
+        manager.bind_workload(spec());
+        BatchExecutor::new(Arc::new(Cached::new(manager, 32)))
     }
 
     #[test]
     fn batch_executes_all_requests() {
         let exec = executor(8);
-        let spec = spec();
-        let requests = seeded_requests(&spec, 120, 42);
+        let requests = seeded_requests(&spec(), 120, 42);
         assert_eq!(requests.len(), 120);
-        let report = exec.run(&spec, requests, 4);
+        let report = exec.run(requests, 4);
         assert_eq!(report.requests, 120);
         assert_eq!(report.threads, 4);
         assert!(report.admitted > 0, "{report:?}");
         assert!(report.cache_hits + report.cache_misses > 0, "{report:?}");
-        // Every ticket is drained after the batch.
-        assert_eq!(exec.manager().resident_count(), 0);
-        // The report renders the metrics table.
+        // Every resident is drained after the batch.
+        assert_eq!(exec.service().snapshot().residents, 0);
+        // The report renders the metrics table, stack layers included.
         let table = report.render();
-        for needle in ["req/s", "admit", "admitted", "cache", "p95"] {
+        for needle in ["req/s", "admit", "admitted", "cache", "p95", "cached"] {
             assert!(table.contains(needle), "missing {needle} in:\n{table}");
         }
+    }
+
+    #[test]
+    fn cache_counters_are_deltas_across_batches() {
+        let exec = executor(8);
+        let uc = UseCase::full(2);
+        let estimates = vec![
+            Request::Estimate {
+                use_case: uc,
+                method: Method::SECOND_ORDER,
+            };
+            4
+        ];
+        let first = exec.run(estimates.clone(), 1);
+        assert_eq!((first.cache_hits, first.cache_misses), (3, 1));
+        // The second batch hits the already-warm entry: all hits, no misses.
+        let second = exec.run(estimates, 1);
+        assert_eq!((second.cache_hits, second.cache_misses), (4, 0));
     }
 
     #[test]
@@ -535,9 +474,19 @@ mod tests {
     #[test]
     fn single_thread_batch_is_equivalent() {
         let exec = executor(4);
-        let spec = spec();
-        let report = exec.run(&spec, seeded_requests(&spec, 60, 3), 1);
+        let report = exec.run(seeded_requests(&spec(), 60, 3), 1);
         assert_eq!(report.requests, 60);
-        assert_eq!(exec.manager().resident_count(), 0);
+        assert_eq!(exec.service().snapshot().residents, 0);
+    }
+
+    #[test]
+    fn executor_drives_a_bare_manager_without_cache_layer() {
+        let manager = ResourceManager::new(ResourceManagerConfig::default());
+        manager.bind_workload(spec());
+        let exec = BatchExecutor::new(Arc::new(manager));
+        let report = exec.run(seeded_requests(&spec(), 40, 9), 2);
+        assert_eq!(report.requests, 40);
+        // No Cached layer: estimates still serve, the counters read zero.
+        assert_eq!((report.cache_hits, report.cache_misses), (0, 0));
     }
 }

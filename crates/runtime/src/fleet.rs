@@ -52,7 +52,7 @@ use crate::manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
 };
 use contention::Violation;
-use platform::{AppId, Application, NodeId, SystemSpec};
+use platform::{Application, NodeId, SystemSpec};
 use sdf::Rational;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -281,7 +281,7 @@ impl From<AdmitError> for FleetError {
 }
 
 /// Decision of a fleet admission attempt. Unlike
-/// [`Admission`](crate::Admission), saturation (no free capacity on the
+/// [`Admission`], saturation (no free capacity on the
 /// routed group) is a decision here, not a timeout: fleet admissions never
 /// wait.
 #[derive(Debug)]
@@ -304,6 +304,11 @@ pub enum FleetAdmission {
 
 impl FleetAdmission {
     /// `true` iff admitted.
+    #[deprecated(
+        since = "0.1.0",
+        note = "divergent per-type helper; use `ticket()`, match the variant, \
+                or convert to the shared `AdmissionDecision` via `From`"
+    )]
     pub fn is_admitted(&self) -> bool {
         matches!(self, FleetAdmission::Admitted(_))
     }
@@ -832,6 +837,15 @@ impl FleetManager {
         }
     }
 
+    /// Releases a live resident **by id**, journaling the release and
+    /// returning whether it was live — the
+    /// [`AdmissionService`](crate::AdmissionService) release path.
+    /// [`FleetTicket`]s remain the RAII path; a ticket whose resident was
+    /// already released this way becomes a no-op on drop.
+    pub fn release_resident(&self, resident: u64) -> bool {
+        self.inner.release_resident(resident)
+    }
+
     /// Stops every group's manager (new admissions fail, residents drain).
     pub fn stop(&self) {
         for g in &self.inner.groups {
@@ -849,28 +863,21 @@ impl FleetManager {
     /// Fresh instance + node assignment of the spec's application
     /// `app_index` (callers reduce the index modulo the app count).
     fn instantiate(&self, app_index: usize) -> (Application, Vec<NodeId>) {
-        let id = AppId(app_index);
-        let app = self.inner.spec.application(id).clone();
-        let assignment = app
-            .graph()
-            .actor_ids()
-            .map(|actor| self.inner.spec.node_of(id, actor))
-            .collect();
-        (app, assignment)
+        crate::service::instantiate(&self.inner.spec, app_index)
     }
 }
 
 impl FleetInner {
-    /// Releases a live resident, journaling the release. Safe against
-    /// concurrent moves: retries until the group snapshot is stable under
-    /// the group lock.
-    fn release_resident(&self, resident: u64) {
+    /// Releases a live resident, journaling the release and returning
+    /// whether it was live. Safe against concurrent moves: retries until
+    /// the group snapshot is stable under the group lock.
+    fn release_resident(&self, resident: u64) -> bool {
         loop {
             let group = {
                 let residents = lock(&self.residents);
                 match residents.get(&resident) {
                     Some(entry) => entry.group,
-                    None => return, // already released
+                    None => return false, // already released
                 }
             };
             let g = &self.groups[group];
@@ -880,15 +887,16 @@ impl FleetInner {
                 match residents.get(&resident) {
                     Some(entry) if entry.group == group => residents.remove(&resident),
                     Some(_) => continue, // moved meanwhile; retry
-                    None => return,
+                    None => return false,
                 }
             };
             if let Some(entry) = entry {
                 entry.ticket.release();
                 self.released.fetch_add(1, Ordering::Relaxed);
                 self.journal.append(DecisionEvent::Release { resident });
+                return true;
             }
-            return;
+            return false;
         }
     }
 }
@@ -993,7 +1001,7 @@ impl Drop for FleetTicket {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use platform::{Application, Mapping};
+    use platform::{AppId, Application, Mapping};
     use sdf::figure2_graphs;
 
     fn spec() -> SystemSpec {

@@ -1,17 +1,21 @@
 //! Seeded fleet workload driver — the engine behind `probcon fleet-bench`
 //! and the deterministic-replay integration tests.
 //!
-//! [`seeded_fleet_requests`] produces a deterministic admit/release/
-//! rebalance stream for a workload spec; [`run_fleet_requests`] drains it
-//! through a [`FleetManager`] on a worker pool (single-threaded runs are
-//! fully deterministic, which is what the replay tests record). Every
-//! decision the run makes lands in the fleet's journal, including the final
-//! drain of still-held tickets, so a recorded journal always ends on an
-//! empty fleet.
+//! [`seeded_fleet_requests`] produces a deterministic
+//! admit/release/rebalance/estimate stream for a workload spec;
+//! [`run_fleet_stack`] drains it through **any**
+//! [`AdmissionService`] stack layered over a [`FleetManager`] on a worker
+//! pool (single-threaded runs are fully deterministic, which is what the
+//! replay tests record), and [`run_fleet_requests`] is the bare-fleet
+//! convenience. Every decision the run makes lands in the fleet's journal,
+//! including the final drain of still-held residents, so a recorded
+//! journal always ends on an empty fleet.
 
 use crate::cache::lock;
-use crate::fleet::{FleetAdmission, FleetManager, FleetSnapshot, FleetTicket};
-use platform::{AppId, SystemSpec};
+use crate::fleet::{FleetManager, FleetSnapshot};
+use crate::service::{AdmissionDecision, AdmissionRequest, AdmissionService, ServiceSnapshot};
+use contention::Method;
+use platform::{AppId, SystemSpec, UseCase};
 use sdf::Rational;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -29,16 +33,28 @@ pub enum FleetRequest {
         /// Affinity tag steering [`RoutingPolicy::Affinity`](crate::RoutingPolicy::Affinity).
         affinity: Option<String>,
     },
-    /// Release the oldest still-held ticket (no-op when none).
+    /// Release the oldest still-held resident (no-op when none).
     Release,
     /// Run one fleet rebalancing pass.
     Rebalance,
+    /// Estimate all periods of a use-case through the stack (served by a
+    /// [`Cached`](crate::Cached) layer when one is present).
+    Estimate {
+        /// Active-application mask.
+        use_case: UseCase,
+        /// Estimation method.
+        method: Method,
+    },
 }
 
 /// Deterministic seeded request stream with a fleet-bench-shaped mix
-/// (≈50 % admit, 35 % release, 15 % rebalance). Half the admissions carry
-/// a throughput contract at 60 % of isolation; half carry an affinity tag
-/// `uc{app_index % groups}` matching [`FleetConfig::uniform`](crate::FleetConfig::uniform).
+/// (≈45 % admit, 30 % release, 10 % rebalance, 15 % estimate). Half the
+/// admissions carry a throughput contract at 60 % of isolation; half carry
+/// an affinity tag `uc{app_index % groups}` matching
+/// [`FleetConfig::uniform`](crate::FleetConfig::uniform). Estimates use
+/// [`Method::Composability`] — the sign-off default, so
+/// [`Cached::warm_from_signoff`](crate::Cached::warm_from_signoff) covers
+/// them.
 pub fn seeded_fleet_requests(
     spec: &SystemSpec,
     groups: usize,
@@ -53,7 +69,7 @@ pub fn seeded_fleet_requests(
     (0..count)
         .map(|_| {
             let roll = next() % 100;
-            if roll < 50 {
+            if roll < 45 {
                 let app_index = next() as usize % apps;
                 let required_throughput = if next() % 2 == 0 {
                     Some(
@@ -73,10 +89,16 @@ pub fn seeded_fleet_requests(
                     required_throughput,
                     affinity,
                 }
-            } else if roll < 85 {
+            } else if roll < 75 {
                 FleetRequest::Release
-            } else {
+            } else if roll < 85 {
                 FleetRequest::Rebalance
+            } else {
+                let mask = next() % ((1u64 << apps.min(20)) - 1) + 1;
+                FleetRequest::Estimate {
+                    use_case: UseCase::from_mask(mask),
+                    method: Method::Composability,
+                }
             }
         })
         .collect()
@@ -96,6 +118,10 @@ pub struct FleetBenchReport {
     /// Fleet state after the final drain (journal totals include the drain
     /// releases).
     pub snapshot: FleetSnapshot,
+    /// Final service-stack snapshot with per-layer metrics (cache hits,
+    /// journal appends, latency counters, queue depth — whatever the
+    /// layers in the driven stack surface).
+    pub stack: ServiceSnapshot,
     /// Journal entries recorded by the run.
     pub journal_len: usize,
 }
@@ -110,7 +136,8 @@ impl FleetBenchReport {
         }
     }
 
-    /// Renders the metrics block printed by `probcon fleet-bench`.
+    /// Renders the metrics block printed by `probcon fleet-bench`: the
+    /// per-group fleet table followed by the per-layer service table.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -126,16 +153,32 @@ impl FleetBenchReport {
             self.journal_len,
         );
         out.push_str(&self.snapshot.render());
+        out.push_str(&self.stack.render());
         out
     }
 }
 
-/// Executes `requests` against `fleet` on `threads` workers and reports the
-/// run's metrics. Tickets admitted during the run are held in a shared pool
-/// (drained oldest-first by `Release` requests) and all released when the
-/// run ends, so the journal closes on an empty fleet. With `threads == 1`
-/// the run — and therefore the journal — is fully deterministic.
+/// [`run_fleet_stack`] over the bare fleet (no middleware): admissions are
+/// dispatched through the fleet's own [`AdmissionService`] implementation.
 pub fn run_fleet_requests(
+    fleet: &FleetManager,
+    requests: Vec<FleetRequest>,
+    threads: usize,
+) -> FleetBenchReport {
+    run_fleet_stack(fleet, fleet, requests, threads)
+}
+
+/// Executes `requests` against `service` — any [`AdmissionService`] stack
+/// layered over `fleet` — on `threads` workers and reports the run's
+/// metrics. Admissions, releases and estimates go through the stack;
+/// rebalance passes go to the fleet directly (rebalancing is a fleet
+/// operation, not a service one). Residents admitted during the run are
+/// held in a shared pool (drained oldest-first by `Release` requests) and
+/// all released when the run ends, so the journal closes on an empty
+/// fleet. With `threads == 1` the run — and therefore the journal — is
+/// fully deterministic.
+pub fn run_fleet_stack(
+    service: &dyn AdmissionService,
     fleet: &FleetManager,
     requests: Vec<FleetRequest>,
     threads: usize,
@@ -143,7 +186,7 @@ pub fn run_fleet_requests(
     let threads = threads.max(1);
     let total = requests.len();
     let queue = Mutex::new(requests.into_iter().collect::<VecDeque<FleetRequest>>());
-    let pool: Mutex<Vec<FleetTicket>> = Mutex::new(Vec::new());
+    let pool: Mutex<Vec<u64>> = Mutex::new(Vec::new());
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -163,14 +206,20 @@ pub fn run_fleet_requests(
                         // Analysis errors cannot occur for generator-valid
                         // specs; a saturated or rejected decision is already
                         // journaled and counted by the fleet.
-                        if let Ok(FleetAdmission::Admitted(ticket)) =
-                            fleet.admit(app_index, required_throughput, affinity.as_deref())
+                        let request = AdmissionRequest {
+                            app_index,
+                            required_throughput,
+                            affinity,
+                            target: None,
+                        };
+                        if let Ok(AdmissionDecision::Admitted { resident, .. }) =
+                            service.admit(&request)
                         {
-                            lock(pool).push(ticket);
+                            lock(pool).push(resident);
                         }
                     }
                     FleetRequest::Release => {
-                        let ticket = {
+                        let resident = {
                             let mut pool = lock(pool);
                             if pool.is_empty() {
                                 None
@@ -178,12 +227,15 @@ pub fn run_fleet_requests(
                                 Some(pool.remove(0))
                             }
                         };
-                        if let Some(ticket) = ticket {
-                            ticket.release();
+                        if let Some(resident) = resident {
+                            let _ = service.release(resident);
                         }
                     }
                     FleetRequest::Rebalance => {
                         fleet.rebalance();
+                    }
+                    FleetRequest::Estimate { use_case, method } => {
+                        let _ = service.estimate(use_case, method);
                     }
                 }
             });
@@ -192,8 +244,10 @@ pub fn run_fleet_requests(
     let wall = start.elapsed();
 
     let residents_at_end = fleet.resident_count();
-    // Drain: journal a release for every still-held ticket.
-    lock(&pool).clear();
+    // Drain: journal a release for every still-held resident.
+    for resident in lock(&pool).drain(..) {
+        let _ = service.release(resident);
+    }
 
     FleetBenchReport {
         requests: total,
@@ -201,6 +255,7 @@ pub fn run_fleet_requests(
         wall,
         residents_at_end,
         snapshot: fleet.snapshot(),
+        stack: service.snapshot(),
         journal_len: fleet.journal().len(),
     }
 }
@@ -209,6 +264,7 @@ pub fn run_fleet_requests(
 mod tests {
     use super::*;
     use crate::fleet::{FleetConfig, RoutingPolicy};
+    use crate::service::{Cached, Metered};
     use platform::{Application, Mapping};
     use sdf::figure2_graphs;
 
@@ -237,8 +293,13 @@ mod tests {
             .iter()
             .filter(|r| matches!(r, FleetRequest::Rebalance))
             .count();
+        let estimates = a
+            .iter()
+            .filter(|r| matches!(r, FleetRequest::Estimate { .. }))
+            .count();
         assert!((90..=210).contains(&admits), "{admits}");
-        assert!((15..=90).contains(&rebalances), "{rebalances}");
+        assert!((10..=70).contains(&rebalances), "{rebalances}");
+        assert!((15..=90).contains(&estimates), "{estimates}");
         // Affinity tags stay within the group universe.
         for r in &a {
             if let FleetRequest::Admit {
@@ -268,7 +329,39 @@ mod tests {
         assert_eq!(snap.admitted, snap.released);
         assert_eq!(report.journal_len, fleet.journal().len());
         let text = report.render();
-        for needle in ["req/s", "journal entries", "fleet:", "admitted"] {
+        for needle in ["req/s", "journal entries", "fleet:", "admitted", "service:"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn stack_run_surfaces_layer_metrics_and_matches_bare_decisions() {
+        let spec = spec();
+        let requests = seeded_fleet_requests(&spec, 2, 120, 5);
+
+        let bare = FleetManager::new(
+            spec.clone(),
+            FleetConfig::uniform(2, 1, 3, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap();
+        let _ = run_fleet_requests(&bare, requests.clone(), 1);
+
+        let fleet = FleetManager::new(
+            spec.clone(),
+            FleetConfig::uniform(2, 1, 3, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap();
+        let stack = Metered::new(Cached::new(fleet.clone(), 32));
+        let report = run_fleet_stack(&stack, &fleet, requests, 1);
+
+        // Middleware is decision-transparent: the journals agree event for
+        // event with the bare run.
+        assert_eq!(fleet.journal().events(), bare.journal().events());
+        // ... and the stack surfaced cache + latency metrics.
+        assert!(report.stack.counter("cached", "misses").unwrap_or(0) > 0);
+        assert!(report.stack.counter("metered", "operations").unwrap_or(0) > 0);
+        let text = report.render();
+        for needle in ["cached", "metered", "hits"] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -1,0 +1,481 @@
+//! The async admission front-end: one event loop, thousands of in-flight
+//! admissions, no thread per waiter.
+//!
+//! [`FrontEnd`] is the ROADMAP's "async front-end": a hand-rolled event
+//! loop that accepts admissions over a bounded MPSC submission queue,
+//! drives any `Box<dyn AdmissionService>` stack with a small worker pool,
+//! and delivers decisions through [`Completion`] tickets. Thousands of
+//! submissions can be queued concurrently while only `workers` OS threads
+//! exist — callers poll or wait on their completions instead of parking a
+//! thread each.
+//!
+//! The front-end is itself an [`AdmissionService`]: its
+//! [`submit`](AdmissionService::submit) is genuinely non-blocking (the
+//! default trait implementation decides synchronously), its
+//! [`admit`](AdmissionService::admit) submits and waits, and its
+//! [`snapshot`](AdmissionService::snapshot) appends a `"front-end"` layer
+//! with queue depth/latency metrics. Stacks therefore nest:
+//! `FrontEnd` over `Metered<Cached<FleetManager>>` is just another service.
+//!
+//! # Example
+//!
+//! ```
+//! use platform::{Application, Mapping, SystemSpec};
+//! use runtime::{
+//!     AdmissionRequest, AdmissionService, FleetConfig, FleetManager, FrontEnd, FrontEndConfig,
+//! };
+//! use sdf::figure2_graphs;
+//!
+//! let (a, b) = figure2_graphs();
+//! let spec = SystemSpec::builder()
+//!     .application(Application::new("A", a)?)
+//!     .application(Application::new("B", b)?)
+//!     .mapping(Mapping::by_actor_index(3))
+//!     .build()?;
+//! let fleet = FleetManager::new(spec, FleetConfig::default())?;
+//!
+//! let front = FrontEnd::new(Box::new(fleet), FrontEndConfig::default());
+//! // Queue many admissions without blocking, then reap the completions.
+//! let completions: Vec<_> = (0..8)
+//!     .map(|i| front.submit(AdmissionRequest::new(i)))
+//!     .collect();
+//! for completion in completions {
+//!     let decision = completion.wait()?;
+//!     if let Some(resident) = decision.resident() {
+//!         front.release(resident)?;
+//!     }
+//! }
+//! front.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cache::lock;
+use crate::service::{
+    AdmissionDecision, AdmissionRequest, AdmissionService, Completer, Completion, LayerMetrics,
+    ServiceError, ServiceSnapshot,
+};
+use contention::{Estimate, Method};
+use platform::{SystemSpec, UseCase};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a [`FrontEnd`].
+#[derive(Debug, Clone)]
+pub struct FrontEndConfig {
+    /// Worker threads draining the submission queue (≥ 1). Keep this far
+    /// smaller than the queue: the whole point is multiplexing thousands of
+    /// queued admissions over a handful of threads.
+    pub workers: usize,
+    /// Maximum queued submissions; further submissions complete immediately
+    /// with [`ServiceError::QueueFull`] (≥ 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        FrontEndConfig {
+            workers: 4,
+            queue_capacity: 4096,
+        }
+    }
+}
+
+enum Op {
+    Admit(AdmissionRequest, Completer<AdmissionDecision>),
+    Release(u64, Completer<()>),
+}
+
+struct Job {
+    op: Op,
+    enqueued: Instant,
+}
+
+struct FrontEndInner {
+    service: Box<dyn AdmissionService>,
+    queue: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+    stopped: AtomicBool,
+    capacity: usize,
+    workers: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    queue_full: AtomicU64,
+    peak_depth: AtomicU64,
+    queue_wait_micros: AtomicU64,
+    queue_wait_max_micros: AtomicU64,
+}
+
+impl FrontEndInner {
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = lock(&self.queue);
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if self.stopped.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = self
+                        .cond
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let wait = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.queue_wait_micros.fetch_add(wait, Ordering::Relaxed);
+            self.queue_wait_max_micros
+                .fetch_max(wait, Ordering::Relaxed);
+            // Count the completion before delivering it: a waiter woken by
+            // the completion must already observe it in the counters.
+            match job.op {
+                Op::Admit(request, completer) => {
+                    let result = self.service.admit(&request);
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    completer.complete(result);
+                }
+                Op::Release(resident, completer) => {
+                    let result = self.service.release(resident);
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    completer.complete(result);
+                }
+            }
+        }
+    }
+}
+
+/// The async event-loop front-end (see the [module docs](self)).
+pub struct FrontEnd {
+    inner: Arc<FrontEndInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for FrontEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrontEnd")
+            .field("workers", &self.inner.workers)
+            .field("queue_capacity", &self.inner.capacity)
+            .field("queue_depth", &self.queue_depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FrontEnd {
+    /// Front-end over any service stack, spawning the worker pool
+    /// immediately (`workers`/`queue_capacity` are clamped to ≥ 1).
+    pub fn new(service: Box<dyn AdmissionService>, config: FrontEndConfig) -> FrontEnd {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(FrontEndInner {
+            service,
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            stopped: AtomicBool::new(false),
+            capacity: config.queue_capacity.max(1),
+            workers,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
+            peak_depth: AtomicU64::new(0),
+            queue_wait_micros: AtomicU64::new(0),
+            queue_wait_max_micros: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        FrontEnd {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The wrapped service stack.
+    pub fn service(&self) -> &dyn AdmissionService {
+        &*self.inner.service
+    }
+
+    /// Submissions currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.inner.queue).len()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.inner.peak_depth.load(Ordering::Relaxed) as usize
+    }
+
+    /// Total accepted submissions (admissions and releases).
+    pub fn submitted(&self) -> u64 {
+        self.inner.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Total completed submissions.
+    pub fn completed(&self) -> u64 {
+        self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// `true` once [`shutdown`](Self::shutdown) has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.stopped.load(Ordering::Acquire)
+    }
+
+    /// Enqueues `job`, re-checking the stopped flag **under the queue
+    /// lock**: [`shutdown`](Self::shutdown) sets the flag under the same
+    /// lock, so a job can never slip into the queue after the workers have
+    /// been told to drain and exit (its completion would hang).
+    fn enqueue(&self, job: Job) -> Result<(), ServiceError> {
+        let mut queue = lock(&self.inner.queue);
+        if self.inner.stopped.load(Ordering::Acquire) {
+            return Err(ServiceError::Stopped);
+        }
+        if queue.len() >= self.inner.capacity {
+            self.inner.queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::QueueFull);
+        }
+        queue.push_back(job);
+        let depth = queue.len() as u64;
+        self.inner.peak_depth.fetch_max(depth, Ordering::Relaxed);
+        drop(queue);
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.cond.notify_one();
+        Ok(())
+    }
+
+    /// Queues one admission without blocking; the decision arrives through
+    /// the completion. A full queue or stopped front-end completes
+    /// immediately with [`ServiceError::QueueFull`] /
+    /// [`ServiceError::Stopped`].
+    pub fn submit(&self, request: AdmissionRequest) -> Completion {
+        let (completer, completion) = Completion::pending();
+        if let Err(e) = self.enqueue(Job {
+            op: Op::Admit(request, completer),
+            enqueued: Instant::now(),
+        }) {
+            return Completion::ready(Err(e));
+        }
+        completion
+    }
+
+    /// Queues one release without blocking; the completion resolves to `()`
+    /// once the wrapped service released the resident.
+    pub fn submit_release(&self, resident: u64) -> Completion<()> {
+        let (completer, completion) = Completion::pending();
+        if let Err(e) = self.enqueue(Job {
+            op: Op::Release(resident, completer),
+            enqueued: Instant::now(),
+        }) {
+            return Completion::ready(Err(e));
+        }
+        completion
+    }
+
+    /// Stops the front-end: new submissions are refused, queued work is
+    /// drained by the workers, and the pool is joined. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            // Under the queue lock, ordered against every enqueue: jobs
+            // enqueued before this point are drained by the workers; later
+            // submissions observe the flag and are refused.
+            let _queue = lock(&self.inner.queue);
+            self.inner.stopped.store(true, Ordering::Release);
+        }
+        self.inner.cond.notify_all();
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.handles));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FrontEnd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl AdmissionService for FrontEnd {
+    /// Submits and waits — the synchronous convenience over the queue.
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        self.submit(request.clone()).wait()
+    }
+
+    /// Releases synchronously through the queue, preserving submission
+    /// order with queued admissions.
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        self.submit_release(resident).wait()
+    }
+
+    fn snapshot(&self) -> ServiceSnapshot {
+        let mut snapshot = self.inner.service.snapshot();
+        let completed = self.completed();
+        let mean_wait = self
+            .inner
+            .queue_wait_micros
+            .load(Ordering::Relaxed)
+            .checked_div(completed)
+            .unwrap_or(0);
+        snapshot.layers.push(
+            LayerMetrics::new("front-end")
+                .counter("workers", self.inner.workers as u64)
+                .counter("queue_depth", self.queue_depth() as u64)
+                .counter("peak_queue_depth", self.peak_queue_depth() as u64)
+                .counter("submitted", self.submitted())
+                .counter("completed", completed)
+                .counter("queue_full", self.inner.queue_full.load(Ordering::Relaxed))
+                .counter("mean_queue_wait_us", mean_wait)
+                .counter(
+                    "max_queue_wait_us",
+                    self.inner.queue_wait_max_micros.load(Ordering::Relaxed),
+                ),
+        );
+        snapshot
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        self.inner.service.workload()
+    }
+
+    /// Estimates bypass the queue: they change no admission state, so
+    /// serving them inline keeps the queue for decisions.
+    fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        self.inner.service.estimate(use_case, method)
+    }
+
+    /// The genuinely non-blocking submission path.
+    fn submit(&self, request: AdmissionRequest) -> Completion {
+        FrontEnd::submit(self, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, FleetManager, RoutingPolicy};
+    use platform::{Application, Mapping};
+    use sdf::figure2_graphs;
+
+    fn fleet(groups: usize, capacity: usize) -> FleetManager {
+        let (a, b) = figure2_graphs();
+        let spec = SystemSpec::builder()
+            .application(Application::new("A", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap();
+        FleetManager::new(
+            spec,
+            FleetConfig::uniform(groups, 1, capacity, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap()
+    }
+
+    fn front(groups: usize, capacity: usize, config: FrontEndConfig) -> FrontEnd {
+        FrontEnd::new(Box::new(fleet(groups, capacity)), config)
+    }
+
+    #[test]
+    fn submissions_complete_and_release_through_queue() {
+        let front = front(2, 4, FrontEndConfig::default());
+        let completions: Vec<Completion> = (0..4)
+            .map(|i| front.submit(AdmissionRequest::new(i)))
+            .collect();
+        let mut residents = Vec::new();
+        for completion in completions {
+            let decision = completion.wait().unwrap();
+            residents.extend(decision.resident());
+        }
+        assert_eq!(residents.len(), 4);
+        for resident in residents {
+            front.submit_release(resident).wait().unwrap();
+        }
+        assert_eq!(front.submitted(), 8);
+        assert_eq!(front.completed(), 8);
+        let snapshot = AdmissionService::snapshot(&front);
+        assert_eq!(snapshot.residents, 0);
+        assert_eq!(snapshot.admitted, 4);
+        assert_eq!(snapshot.released, 4);
+        assert_eq!(snapshot.counter("front-end", "submitted"), Some(8));
+        front.shutdown();
+    }
+
+    #[test]
+    fn single_worker_preserves_submission_order() {
+        // One worker drains the MPSC queue in order: with capacity 1, the
+        // first admission admits and the next two saturate deterministically.
+        let front = front(
+            1,
+            1,
+            FrontEndConfig {
+                workers: 1,
+                queue_capacity: 64,
+            },
+        );
+        let completions: Vec<Completion> = (0..3)
+            .map(|i| front.submit(AdmissionRequest::new(i)))
+            .collect();
+        let decisions: Vec<AdmissionDecision> =
+            completions.iter().map(|c| c.wait().unwrap()).collect();
+        assert!(decisions[0].is_admitted());
+        assert_eq!(decisions[1], AdmissionDecision::Saturated { domain: 0 });
+        assert_eq!(decisions[2], AdmissionDecision::Saturated { domain: 0 });
+    }
+
+    #[test]
+    fn full_queue_rejects_submission() {
+        let front = front(
+            1,
+            1,
+            FrontEndConfig {
+                workers: 1,
+                queue_capacity: 1,
+            },
+        );
+        // Stall the single worker behind a burst bigger than the queue.
+        let burst: Vec<Completion> = (0..50)
+            .map(|i| front.submit(AdmissionRequest::new(i)))
+            .collect();
+        let outcomes: Vec<Result<AdmissionDecision, ServiceError>> =
+            burst.iter().map(|c| c.wait()).collect();
+        assert!(
+            outcomes.iter().any(|o| o == &Err(ServiceError::QueueFull)),
+            "a 50-deep burst into a 1-slot queue must overflow"
+        );
+        assert!(outcomes.iter().any(Result::is_ok), "some submissions land");
+    }
+
+    #[test]
+    fn shutdown_refuses_new_submissions_and_joins() {
+        let front = front(2, 4, FrontEndConfig::default());
+        let decision = front.submit(AdmissionRequest::new(0)).wait().unwrap();
+        assert!(decision.is_admitted());
+        front.shutdown();
+        assert!(front.is_stopped());
+        assert_eq!(
+            front.submit(AdmissionRequest::new(1)).wait().unwrap_err(),
+            ServiceError::Stopped
+        );
+        // Idempotent.
+        front.shutdown();
+    }
+
+    #[test]
+    fn front_end_is_an_admission_service() {
+        let front = front(2, 4, FrontEndConfig::default());
+        let decision = AdmissionService::admit(&front, &AdmissionRequest::new(0)).unwrap();
+        assert!(decision.is_admitted());
+        AdmissionService::release(&front, decision.resident().unwrap()).unwrap();
+        assert!(front.workload().is_some());
+        front
+            .estimate(UseCase::full(2), Method::SECOND_ORDER)
+            .unwrap();
+        fn is_send_sync<T: Send + Sync>() {}
+        is_send_sync::<FrontEnd>();
+    }
+}

@@ -11,7 +11,7 @@
 //! and fleet.
 //!
 //! [`JournalReplayer`] re-executes a journal **sequentially** against a
-//! fresh [`FleetManager`](crate::FleetManager) and verifies
+//! fresh [`FleetManager`] and verifies
 //! outcome-for-outcome equivalence: every recorded admit must admit again
 //! with the *same exact predicted period* (the analysis is deterministic
 //! rational arithmetic), every recorded rejection must reject with the same
@@ -22,8 +22,8 @@
 //! order reproduces every outcome, even for journals recorded under
 //! concurrency.
 
-use crate::fleet::{FleetAdmission, FleetConfig, FleetError, FleetManager, FleetTicket};
-use crate::manager::AdmitError;
+use crate::fleet::{FleetConfig, FleetError, FleetManager};
+use crate::service::{AdmissionDecision, AdmissionRequest, AdmissionService, ServiceError};
 use sdf::Rational;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -36,7 +36,7 @@ pub const JOURNAL_VERSION: u64 = 1;
 
 /// The exact shape of one platform group, as recorded in a journal header.
 ///
-/// [`FleetManager`](crate::FleetManager) stamps one of these per group into
+/// [`FleetManager`] stamps one of these per group into
 /// its header, so heterogeneous fleets (different capacities, names, tags
 /// per group) replay against their true shape via
 /// [`FleetConfig::from_header`](crate::FleetConfig::from_header).
@@ -58,7 +58,7 @@ pub struct GroupShape {
 /// The workload fields (`seed`, `apps`, `actors`) parameterize
 /// `experiments::workload::workload_with` — they are stamped by `probcon
 /// fleet-bench` and zero for journals recorded by hand-built fleets. The
-/// fleet shape is always self-contained: [`FleetManager`](crate::FleetManager)
+/// fleet shape is always self-contained: [`FleetManager`]
 /// records every group's exact [`GroupShape`] (the scalar
 /// `groups`/`shards_per_group`/`capacity_per_shard` fields summarize the
 /// first group for display). `probcon replay` consumes exactly these.
@@ -514,13 +514,18 @@ impl<'a> JournalReplayer<'a> {
     }
 
     /// Replays `journal` against a fresh fleet built from `config`,
-    /// verifying outcome-for-outcome equivalence.
+    /// verifying outcome-for-outcome equivalence. Admissions and releases
+    /// are re-executed through the fleet's
+    /// [`AdmissionService`] implementation — the same unified path every
+    /// front-end drives — while rebalances go through the fleet's concrete
+    /// [`move_resident`](FleetManager::move_resident) (rebalancing is a
+    /// fleet operation, not a service one).
     ///
     /// Returns the verification report and the replayed fleet (whose own
     /// journal now holds the re-recorded decision stream, and whose metrics
-    /// describe the replayed run). Any ticket still live at journal end is
-    /// leaked into the returned fleet as a resident, matching the
-    /// recording's final state.
+    /// describe the replayed run). Any resident still live at journal end
+    /// stays resident in the returned fleet, matching the recording's final
+    /// state.
     ///
     /// # Errors
     ///
@@ -531,10 +536,11 @@ impl<'a> JournalReplayer<'a> {
         config: FleetConfig,
     ) -> Result<(ReplayReport, FleetManager), FleetError> {
         let fleet = FleetManager::with_header(self.spec.clone(), config, journal.header().clone())?;
-        // Recorded resident id -> live replay ticket. Replay ids are
+        let service: &dyn AdmissionService = &fleet;
+        // Recorded resident id -> live replay resident id. Replay ids are
         // assigned sequentially and may differ from a concurrent
         // recording's ids, so all bookkeeping goes through this map.
-        let mut live: HashMap<u64, FleetTicket> = HashMap::new();
+        let mut live: HashMap<u64, u64> = HashMap::new();
         let mut report = ReplayReport {
             events: 0,
             matches: 0,
@@ -551,8 +557,8 @@ impl<'a> JournalReplayer<'a> {
                     app_index,
                     required_throughput,
                     outcome,
-                } => self.replay_admit(
-                    &fleet,
+                } => replay_admit(
+                    service,
                     &mut live,
                     *group,
                     *app_index,
@@ -562,10 +568,10 @@ impl<'a> JournalReplayer<'a> {
                 DecisionEvent::Release { resident } => {
                     let expected = format!("release #{resident}");
                     match live.remove(resident) {
-                        Some(ticket) => {
-                            ticket.release();
-                            (expected.clone(), expected, true)
-                        }
+                        Some(id) => match service.release(id) {
+                            Ok(()) => (expected.clone(), expected, true),
+                            Err(e) => (expected, format!("release failed: {e}"), false),
+                        },
                         None => (expected, format!("resident #{resident} unknown"), false),
                     }
                 }
@@ -579,14 +585,14 @@ impl<'a> JournalReplayer<'a> {
                         "rebalance #{resident} {from_group}->{to_group} period {predicted_period}"
                     );
                     match live.get(resident) {
-                        Some(ticket) => {
+                        Some(&id) => {
                             // Verify the move's *observed* source group too:
                             // drifted replay state may host the resident
                             // somewhere other than the recording did, and an
                             // equal period from the wrong group is still a
                             // divergence.
-                            let actual_from = fleet.group_of(ticket.resident_id()).ok();
-                            match fleet.move_resident(ticket.resident_id(), *to_group as usize) {
+                            let actual_from = fleet.group_of(id).ok();
+                            match fleet.move_resident(id, *to_group as usize) {
                                 Ok(period) => {
                                     let from = actual_from
                                         .map_or_else(|| "?".to_string(), |g| g.to_string());
@@ -616,72 +622,71 @@ impl<'a> JournalReplayer<'a> {
             report.outcome_log.push(got);
         }
 
-        report.residents_at_end = live.len();
         // Residents still live at journal end stay resident in the
         // returned fleet (their capacity was never released in the
-        // recording either). Forget the tickets so dropping them does not
-        // append spurious releases.
-        for (_, ticket) in live.drain() {
-            ticket.forget();
-        }
+        // recording either) — service residents are held by id, so there
+        // is nothing to forget.
+        report.residents_at_end = live.len();
         Ok((report, fleet))
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn replay_admit(
-        &self,
-        fleet: &FleetManager,
-        live: &mut HashMap<u64, FleetTicket>,
-        group: u64,
-        app_index: u64,
-        required_throughput: Option<Rational>,
-        outcome: &JournalOutcome,
-    ) -> (String, String, bool) {
-        let expected = match outcome {
-            JournalOutcome::Admitted {
-                predicted_period, ..
-            } => format!("admitted period {predicted_period}"),
-            JournalOutcome::Rejected { violations } => {
-                format!("rejected ({violations} violations)")
-            }
-            JournalOutcome::Saturated => "saturated".to_string(),
-        };
-        let result = fleet.admit_to(group as usize, app_index as usize, required_throughput);
-        match result {
-            Ok(FleetAdmission::Admitted(ticket)) => {
-                let period = ticket.predicted_period();
-                let got = format!("admitted period {period}");
-                let matched = matches!(
-                    outcome,
-                    JournalOutcome::Admitted { predicted_period, .. } if *predicted_period == period
-                );
-                if let JournalOutcome::Admitted { resident, .. } = outcome {
-                    live.insert(*resident, ticket);
-                } else {
-                    // The recording never released this admission; keep the
-                    // capacity held (state already diverged regardless).
-                    ticket.forget();
-                }
-                (expected, got, matched)
-            }
-            Ok(FleetAdmission::Rejected { violations, .. }) => {
-                let got = format!("rejected ({} violations)", violations.len());
-                let matched = matches!(
-                    outcome,
-                    JournalOutcome::Rejected { violations: v } if *v == violations.len() as u64
-                );
-                (expected, got, matched)
-            }
-            Ok(FleetAdmission::Saturated { .. }) => {
-                let got = "saturated".to_string();
-                let matched = matches!(outcome, JournalOutcome::Saturated);
-                (expected, got, matched)
-            }
-            Err(FleetError::Admit(AdmitError::Analysis(e))) => {
-                (expected, format!("analysis error: {e}"), false)
-            }
-            Err(e) => (expected, format!("fleet error: {e}"), false),
+fn replay_admit(
+    service: &dyn AdmissionService,
+    live: &mut HashMap<u64, u64>,
+    group: u64,
+    app_index: u64,
+    required_throughput: Option<Rational>,
+    outcome: &JournalOutcome,
+) -> (String, String, bool) {
+    let expected = match outcome {
+        JournalOutcome::Admitted {
+            predicted_period, ..
+        } => format!("admitted period {predicted_period}"),
+        JournalOutcome::Rejected { violations } => {
+            format!("rejected ({violations} violations)")
         }
+        JournalOutcome::Saturated => "saturated".to_string(),
+    };
+    let request = AdmissionRequest {
+        app_index: app_index as usize,
+        required_throughput,
+        affinity: None,
+        target: Some(group as usize),
+    };
+    match service.admit(&request) {
+        Ok(AdmissionDecision::Admitted {
+            resident: id,
+            predicted_period: period,
+            ..
+        }) => {
+            let got = format!("admitted period {period}");
+            let matched = matches!(
+                outcome,
+                JournalOutcome::Admitted { predicted_period, .. } if *predicted_period == period
+            );
+            if let JournalOutcome::Admitted { resident, .. } = outcome {
+                live.insert(*resident, id);
+            }
+            // Otherwise the recording never released this admission; the
+            // capacity stays held (state already diverged regardless).
+            (expected, got, matched)
+        }
+        Ok(AdmissionDecision::Rejected { violations, .. }) => {
+            let got = format!("rejected ({} violations)", violations.len());
+            let matched = matches!(
+                outcome,
+                JournalOutcome::Rejected { violations: v } if *v == violations.len() as u64
+            );
+            (expected, got, matched)
+        }
+        Ok(AdmissionDecision::Saturated { .. }) => {
+            let got = "saturated".to_string();
+            let matched = matches!(outcome, JournalOutcome::Saturated);
+            (expected, got, matched)
+        }
+        Err(ServiceError::Analysis(e)) => (expected, format!("analysis error: {e}"), false),
+        Err(e) => (expected, format!("service error: {e}"), false),
     }
 }
 

@@ -22,7 +22,13 @@
 //!   admit/reject/release/rebalance decision, with [`JournalReplayer`]
 //!   verifying that re-executing a journal against a fresh fleet
 //!   reproduces every outcome (the engine behind `probcon fleet-bench` /
-//!   `probcon replay`).
+//!   `probcon replay`);
+//! * [`AdmissionService`] — the unified service trait both managers
+//!   implement, with composable middleware layers [`Cached`],
+//!   [`Journaled`] and [`Metered`] (see [`service`]);
+//! * [`FrontEnd`] — the async event-loop front-end multiplexing thousands
+//!   of queued admissions over a small worker pool, delivering decisions
+//!   through [`Completion`] tickets (see [`frontend`]).
 //!
 //! # Example
 //!
@@ -48,7 +54,7 @@
 //!
 //! // B would slow A below its contract: rejected, no capacity consumed.
 //! let outcome = manager.admit(0, Application::new("B", b)?, &nodes, None)?;
-//! assert!(!outcome.is_admitted());
+//! assert!(outcome.ticket().is_none());
 //! assert_eq!(manager.resident_count(), 1);
 //!
 //! ticket.release(); // frees the shard for the next request
@@ -62,9 +68,11 @@ pub mod cache;
 pub mod executor;
 pub mod fleet;
 pub mod fleet_bench;
+pub mod frontend;
 pub mod journal;
 pub mod manager;
 pub mod metrics;
+pub mod service;
 
 pub use cache::{CacheKey, EstimateCache};
 pub use executor::{seeded_requests, BatchExecutor, BatchReport, Request};
@@ -72,7 +80,10 @@ pub use fleet::{
     FleetAdmission, FleetConfig, FleetError, FleetManager, FleetSnapshot, FleetTicket, GroupConfig,
     GroupSnapshot, RebalanceMove, RoutingPolicy,
 };
-pub use fleet_bench::{run_fleet_requests, seeded_fleet_requests, FleetBenchReport, FleetRequest};
+pub use fleet_bench::{
+    run_fleet_requests, run_fleet_stack, seeded_fleet_requests, FleetBenchReport, FleetRequest,
+};
+pub use frontend::{FrontEnd, FrontEndConfig};
 pub use journal::{
     DecisionEvent, Divergence, GroupShape, Journal, JournalEntry, JournalError, JournalHeader,
     JournalOutcome, JournalReplayer, ReplayReport, JOURNAL_VERSION,
@@ -81,3 +92,7 @@ pub use manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
 };
 pub use metrics::{LatencySummary, RuntimeMetrics};
+pub use service::{
+    AdmissionDecision, AdmissionRequest, AdmissionService, Cached, Completer, Completion,
+    Journaled, LayerMetrics, Metered, ServiceError, ServiceOp, ServiceSnapshot,
+};

@@ -117,6 +117,11 @@ pub enum Admission {
 
 impl Admission {
     /// `true` iff admitted.
+    #[deprecated(
+        since = "0.1.0",
+        note = "divergent per-type helper; use `ticket()`, match the variant, \
+                or go through the shared `AdmissionDecision`"
+    )]
     pub fn is_admitted(&self) -> bool {
         matches!(self, Admission::Admitted(_))
     }
@@ -146,6 +151,9 @@ struct Inner {
     shards: Vec<Shard>,
     config: ResourceManagerConfig,
     metrics: RuntimeMetrics,
+    /// Bound workload spec + resident registry for the
+    /// [`AdmissionService`](crate::AdmissionService) path.
+    service: crate::service::ServiceState,
 }
 
 /// Thread-safe, sharded online resource manager (see the
@@ -192,8 +200,27 @@ impl ResourceManager {
                 shards,
                 config,
                 metrics: RuntimeMetrics::new(),
+                service: crate::service::ServiceState::default(),
             }),
         }
+    }
+
+    /// Binds the workload spec that
+    /// [`AdmissionService`](crate::AdmissionService) requests index into.
+    /// Returns `false` (leaving the original spec bound) if a spec was
+    /// already bound — the binding is write-once because cached fingerprints
+    /// and resident instantiations depend on it.
+    pub fn bind_workload(&self, spec: platform::SystemSpec) -> bool {
+        self.inner.service.spec.set(spec).is_ok()
+    }
+
+    /// Total resident capacity (`shards × capacity_per_shard`).
+    pub fn capacity(&self) -> usize {
+        self.inner.config.shards * self.inner.config.capacity_per_shard
+    }
+
+    pub(crate) fn service_state(&self) -> &crate::service::ServiceState {
+        &self.inner.service
     }
 
     /// Number of shards.
@@ -206,6 +233,21 @@ impl ResourceManager {
         // One RNG step avalanches sequential keys across shards.
         use rand::{rngs::StdRng, RngCore, SeedableRng};
         StdRng::seed_from_u64(key).next_u64() as usize % self.inner.shards.len()
+    }
+
+    /// Shard with the fewest residents (ties toward the lowest index) — a
+    /// deterministic function of the resident mix, used by the
+    /// [`AdmissionService`](crate::AdmissionService) path to fill all
+    /// shards evenly.
+    pub fn least_loaded_shard(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| lock(&s.state).ctrl.resident_count())
+            .enumerate()
+            .min_by_key(|&(_, residents)| residents)
+            .map(|(shard, _)| shard)
+            .unwrap_or(0)
     }
 
     /// Shared outcome counters.
@@ -633,7 +675,7 @@ mod tests {
         thread::sleep(Duration::from_millis(30));
         ticket.release();
         let admission = waiter.join().unwrap().unwrap();
-        assert!(admission.is_admitted());
+        assert!(matches!(admission, Admission::Admitted(_)));
         assert_eq!(mgr.resident_count(), 1);
     }
 
@@ -668,7 +710,7 @@ mod tests {
         let _a = mgr.admit(0, app("A"), &N3, None).unwrap().ticket().unwrap();
         // Shard 0 is full, shard 1 is not.
         let b = mgr.admit(1, app("B"), &N3, None).unwrap();
-        assert!(b.is_admitted());
+        assert!(matches!(b, Admission::Admitted(_)));
         assert_eq!(mgr.resident_count_of(0).unwrap(), 1);
         assert_eq!(mgr.resident_count_of(1).unwrap(), 1);
         // Snapshots are per shard.

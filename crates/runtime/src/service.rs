@@ -1,0 +1,1527 @@
+//! The unified, layered admission-service API.
+//!
+//! Every online surface of this crate used to expose its own
+//! request/response shape: [`ResourceManager`] returned tickets, the
+//! [`FleetManager`] its own admission enum, caching and journaling were
+//! bolted on *beside* the managers. This module turns them into **one
+//! protocol with many channels**: a typed [`AdmissionRequest`] /
+//! [`AdmissionDecision`] vocabulary and an [`AdmissionService`] trait that
+//! both managers implement, plus tower-style middleware that composes via
+//! generics:
+//!
+//! * [`Cached<S>`] — serves [`estimate`](AdmissionService::estimate)
+//!   requests from an LRU [`EstimateCache`], with per-layer hit/miss
+//!   metrics and [sign-off warming](Cached::warm_from_signoff);
+//! * [`Journaled<S>`] — records every decision of *any* service into an
+//!   append-only [`Journal`] replayable by
+//!   [`JournalReplayer`](crate::JournalReplayer);
+//! * [`Metered<S>`] — per-operation latency/throughput counters that used
+//!   to be re-implemented by every driver.
+//!
+//! Layers compose in any order with equivalent decisions (`Cached` and
+//! `Metered` are decision-transparent; `Journaled` only observes), so a
+//! stack like `Metered<Cached<Journaled<FleetManager>>>` is built from
+//! plain constructors and driven through `Box<dyn AdmissionService>` — the
+//! [`FrontEnd`](crate::FrontEnd) event loop multiplexes thousands of
+//! queued admissions over exactly this object.
+//!
+//! # Example
+//!
+//! ```
+//! use platform::{Application, Mapping, SystemSpec};
+//! use runtime::{
+//!     AdmissionRequest, AdmissionService, Cached, FleetConfig, FleetManager, Journaled,
+//!     RoutingPolicy,
+//! };
+//! use sdf::figure2_graphs;
+//!
+//! let (a, b) = figure2_graphs();
+//! let spec = SystemSpec::builder()
+//!     .application(Application::new("A", a)?)
+//!     .application(Application::new("B", b)?)
+//!     .mapping(Mapping::by_actor_index(3))
+//!     .build()?;
+//! let fleet = FleetManager::new(spec, FleetConfig::default())?;
+//!
+//! // Layer journal recording and estimate caching over the fleet; the
+//! // stack is still one AdmissionService.
+//! let stack = Cached::new(Journaled::new(fleet), 64);
+//! let decision = stack.admit(&AdmissionRequest::new(0))?;
+//! assert!(decision.is_admitted());
+//! stack.release(decision.resident().expect("admitted"))?;
+//!
+//! let snapshot = stack.snapshot();
+//! assert_eq!(snapshot.admitted, 1);
+//! assert_eq!(snapshot.released, 1);
+//! assert_eq!(snapshot.counter("journaled", "entries"), Some(2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cache::{lock, CacheKey, EstimateCache};
+use crate::fleet::{FleetAdmission, FleetError, FleetManager};
+use crate::journal::{DecisionEvent, Journal, JournalHeader, JournalOutcome};
+use crate::manager::{Admission, AdmitError, ResourceManager, Ticket};
+use crate::metrics::LatencySummary;
+use contention::{AdmissionOutcome, ContentionError, Estimate, Method, Violation};
+use experiments::signoff::SignOffReport;
+use platform::{AppId, Application, NodeId, SystemSpec, UseCase};
+use sdf::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One admission request, phrased against the service's workload spec.
+///
+/// Requests are *spec-relative*: they name the application by index, so the
+/// same request stream can drive any [`AdmissionService`] — a single
+/// manager, a fleet, or a middleware stack — without knowing how the
+/// service instantiates and maps the application.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AdmissionRequest {
+    /// Index of the application in the service's workload spec (reduced
+    /// modulo the application count).
+    pub app_index: usize,
+    /// Required minimum throughput, if the request carries a contract.
+    pub required_throughput: Option<Rational>,
+    /// Affinity tag steering tag-aware routing (ignored by services without
+    /// affinity routing).
+    pub affinity: Option<String>,
+    /// Explicit admission domain (fleet group / manager shard) bypassing
+    /// the service's routing; `None` lets the service route.
+    pub target: Option<usize>,
+}
+
+impl AdmissionRequest {
+    /// Request for an instance of application `app_index`, routed by the
+    /// service, with no contract.
+    pub fn new(app_index: usize) -> AdmissionRequest {
+        AdmissionRequest {
+            app_index,
+            ..AdmissionRequest::default()
+        }
+    }
+
+    /// Demands a minimum throughput.
+    #[must_use]
+    pub fn with_contract(mut self, required_throughput: Rational) -> AdmissionRequest {
+        self.required_throughput = Some(required_throughput);
+        self
+    }
+
+    /// Steers affinity-aware routing.
+    #[must_use]
+    pub fn with_affinity(mut self, tag: impl Into<String>) -> AdmissionRequest {
+        self.affinity = Some(tag.into());
+        self
+    }
+
+    /// Targets an explicit admission domain, bypassing routing.
+    #[must_use]
+    pub fn on(mut self, domain: usize) -> AdmissionRequest {
+        self.target = Some(domain);
+        self
+    }
+}
+
+/// The shared decision vocabulary: what any [`AdmissionService`] answers.
+///
+/// This is the one decision enum the crate's previously divergent shapes
+/// (`contention::AdmissionOutcome`, `runtime::Admission`,
+/// `runtime::FleetAdmission`) convert into — see the `From` conversions —
+/// and the only shape middleware layers and the
+/// [`FrontEnd`](crate::FrontEnd) ever see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Admitted: the service holds the capacity under `resident` until
+    /// [`release`](AdmissionService::release)d.
+    Admitted {
+        /// Service-scoped resident id keying the later release.
+        resident: u64,
+        /// Admission domain (fleet group / manager shard) that decided.
+        domain: usize,
+        /// Period predicted for the new resident at admission time.
+        predicted_period: Rational,
+    },
+    /// Rejected by throughput contracts; no capacity was consumed.
+    Rejected {
+        /// Admission domain that decided.
+        domain: usize,
+        /// Every violated requirement.
+        violations: Vec<Violation>,
+    },
+    /// The routed domain had no free capacity; no capacity was consumed.
+    Saturated {
+        /// Admission domain that decided.
+        domain: usize,
+    },
+}
+
+impl AdmissionDecision {
+    /// `true` iff admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionDecision::Admitted { .. })
+    }
+
+    /// The resident id, if admitted.
+    pub fn resident(&self) -> Option<u64> {
+        match self {
+            AdmissionDecision::Admitted { resident, .. } => Some(*resident),
+            _ => None,
+        }
+    }
+
+    /// The admission domain that decided.
+    pub fn domain(&self) -> usize {
+        match self {
+            AdmissionDecision::Admitted { domain, .. }
+            | AdmissionDecision::Rejected { domain, .. }
+            | AdmissionDecision::Saturated { domain } => *domain,
+        }
+    }
+}
+
+impl fmt::Display for AdmissionDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionDecision::Admitted {
+                resident,
+                domain,
+                predicted_period,
+            } => write!(
+                f,
+                "admitted #{resident} on domain {domain} (predicted period {predicted_period})"
+            ),
+            AdmissionDecision::Rejected { domain, violations } => {
+                write!(
+                    f,
+                    "rejected on domain {domain} ({} violations)",
+                    violations.len()
+                )
+            }
+            AdmissionDecision::Saturated { domain } => write!(f, "saturated on domain {domain}"),
+        }
+    }
+}
+
+/// Conversion from the admission controller's outcome, given the domain
+/// that ran the analysis.
+impl From<(usize, &AdmissionOutcome)> for AdmissionDecision {
+    fn from((domain, outcome): (usize, &AdmissionOutcome)) -> AdmissionDecision {
+        match outcome {
+            AdmissionOutcome::Admitted {
+                id,
+                predicted_periods,
+            } => AdmissionDecision::Admitted {
+                resident: id.0 as u64,
+                domain,
+                predicted_period: predicted_periods.get(id).copied().unwrap_or(Rational::ZERO),
+            },
+            AdmissionOutcome::Rejected { violations } => AdmissionDecision::Rejected {
+                domain,
+                violations: violations.clone(),
+            },
+        }
+    }
+}
+
+/// Conversion from the fleet's admission shape (non-owning: the ticket
+/// keeps the capacity).
+impl From<&FleetAdmission> for AdmissionDecision {
+    fn from(admission: &FleetAdmission) -> AdmissionDecision {
+        match admission {
+            FleetAdmission::Admitted(ticket) => AdmissionDecision::Admitted {
+                resident: ticket.resident_id(),
+                domain: ticket.group(),
+                predicted_period: ticket.predicted_period(),
+            },
+            FleetAdmission::Rejected { group, violations } => AdmissionDecision::Rejected {
+                domain: *group,
+                violations: violations.clone(),
+            },
+            FleetAdmission::Saturated { group } => AdmissionDecision::Saturated { domain: *group },
+        }
+    }
+}
+
+/// Why a service operation failed outright (as opposed to deciding a
+/// rejection or saturation — those are [`AdmissionDecision`]s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service has no workload spec bound
+    /// (see [`ResourceManager::bind_workload`]).
+    NoWorkload,
+    /// The resident id is not (or no longer) live on this service.
+    UnknownResident(u64),
+    /// The requested admission domain is out of range.
+    UnknownDomain(usize),
+    /// The service (or its front-end) was stopped before deciding.
+    Stopped,
+    /// A front-end submission queue was full.
+    QueueFull,
+    /// The configuration or an artefact was unusable (parse failures, …).
+    Config(String),
+    /// The underlying analysis failed; no decision was computed.
+    Analysis(ContentionError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::NoWorkload => write!(f, "service has no workload spec bound"),
+            ServiceError::UnknownResident(r) => write!(f, "resident #{r} is not live"),
+            ServiceError::UnknownDomain(d) => write!(f, "admission domain {d} out of range"),
+            ServiceError::Stopped => write!(f, "service is stopped"),
+            ServiceError::QueueFull => write!(f, "submission queue is full"),
+            ServiceError::Config(e) => write!(f, "service configuration error: {e}"),
+            ServiceError::Analysis(e) => write!(f, "analysis failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ContentionError> for ServiceError {
+    fn from(e: ContentionError) -> Self {
+        ServiceError::Analysis(e)
+    }
+}
+
+/// One middleware layer's own counters, surfaced through
+/// [`AdmissionService::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerMetrics {
+    /// Layer name (`"manager"`, `"fleet"`, `"cached"`, `"journaled"`,
+    /// `"metered"`, `"front-end"`).
+    pub layer: String,
+    /// Ordered `(metric, value)` counters.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl LayerMetrics {
+    /// Empty metrics for a named layer.
+    pub fn new(layer: impl Into<String>) -> LayerMetrics {
+        LayerMetrics {
+            layer: layer.into(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Appends one counter.
+    #[must_use]
+    pub fn counter(mut self, name: impl Into<String>, value: u64) -> LayerMetrics {
+        self.counters.push((name.into(), value));
+        self
+    }
+}
+
+/// Point-in-time state of a whole service stack: the base service's
+/// utilisation/outcome totals plus one [`LayerMetrics`] entry per layer,
+/// innermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Live residents.
+    pub residents: usize,
+    /// Total resident capacity.
+    pub capacity: usize,
+    /// Admissions granted.
+    pub admitted: u64,
+    /// Admissions rejected by throughput contracts.
+    pub rejected: u64,
+    /// Admissions bounced for lack of capacity.
+    pub saturated: u64,
+    /// Residents released.
+    pub released: u64,
+    /// Per-layer metrics, innermost layer first.
+    pub layers: Vec<LayerMetrics>,
+}
+
+impl ServiceSnapshot {
+    /// Resident/capacity ratio.
+    pub fn utilisation(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.residents as f64 / self.capacity as f64
+        }
+    }
+
+    /// Looks up one layer counter by layer and metric name.
+    pub fn counter(&self, layer: &str, name: &str) -> Option<u64> {
+        self.layers
+            .iter()
+            .filter(|l| l.layer == layer)
+            .flat_map(|l| l.counters.iter())
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the consistent per-layer metrics table shared by
+    /// `probcon serve-bench` and `probcon fleet-bench`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "service: {}/{} residents ({:.0}% util), {} admitted, {} rejected, \
+             {} saturated, {} released",
+            self.residents,
+            self.capacity,
+            100.0 * self.utilisation(),
+            self.admitted,
+            self.rejected,
+            self.saturated,
+            self.released,
+        );
+        if self.layers.is_empty() {
+            return out;
+        }
+        let _ = writeln!(out, "{:<12} {:<26} {:>14}", "layer", "metric", "value");
+        for layer in &self.layers {
+            for (name, value) in &layer.counters {
+                let _ = writeln!(out, "{:<12} {:<26} {:>14}", layer.layer, name, value);
+            }
+        }
+        out
+    }
+}
+
+/// The unified admission-service abstraction (see the [module docs](self)).
+///
+/// Implementations decide **without blocking for capacity**: a full domain
+/// answers [`AdmissionDecision::Saturated`] immediately (callers wanting
+/// bounded waiting queue *submissions*, not decisions — that is the
+/// [`FrontEnd`](crate::FrontEnd)'s job). Every method takes `&self`; all
+/// implementations in this crate are thread-safe.
+pub trait AdmissionService: Send + Sync {
+    /// Decides one admission request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when no decision could be computed; rejection and
+    /// saturation are decisions, not errors.
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError>;
+
+    /// Releases a resident admitted through this service.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownResident`] when not (or no longer) live.
+    fn release(&self, resident: u64) -> Result<(), ServiceError>;
+
+    /// Point-in-time utilisation/outcome summary of the whole stack, with
+    /// per-layer metrics appended by every middleware layer.
+    fn snapshot(&self) -> ServiceSnapshot;
+
+    /// The workload spec requests index into (`None` when unbound).
+    fn workload(&self) -> Option<&SystemSpec>;
+
+    /// Estimates all per-application periods of `use_case` under `method`.
+    ///
+    /// The default implementation computes a fresh estimate from the
+    /// workload spec; a [`Cached`] layer serves repeats from its LRU.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoWorkload`] / [`ServiceError::Analysis`].
+    fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        let spec = self.workload().ok_or(ServiceError::NoWorkload)?;
+        Ok(Arc::new(contention::estimate(spec, use_case, method)?))
+    }
+
+    /// Begins an admission without blocking the caller: the decision is
+    /// delivered through the returned [`Completion`], which can be polled
+    /// or waited on.
+    ///
+    /// The default implementation decides synchronously and returns an
+    /// already-completed completion; the [`FrontEnd`](crate::FrontEnd)
+    /// overrides this with a genuinely queued submission.
+    fn submit(&self, request: AdmissionRequest) -> Completion {
+        Completion::ready(self.admit(&request))
+    }
+}
+
+impl<S: AdmissionService + ?Sized> AdmissionService for Arc<S> {
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        (**self).admit(request)
+    }
+
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        (**self).release(resident)
+    }
+
+    fn snapshot(&self) -> ServiceSnapshot {
+        (**self).snapshot()
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        (**self).workload()
+    }
+
+    fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        (**self).estimate(use_case, method)
+    }
+
+    fn submit(&self, request: AdmissionRequest) -> Completion {
+        (**self).submit(request)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completions: the poll/wait handle for non-blocking submissions.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CompletionState<T> {
+    slot: Mutex<Option<Result<T, ServiceError>>>,
+    cond: Condvar,
+}
+
+/// A one-shot completion: the receiving half of
+/// [`AdmissionService::submit`] (and of queued releases, which complete
+/// with `()`).
+///
+/// Poll it ([`poll`](Completion::poll) / [`is_ready`](Completion::is_ready))
+/// from an event loop, or block on [`wait`](Completion::wait). The result
+/// can be read any number of times.
+#[derive(Debug)]
+pub struct Completion<T = AdmissionDecision> {
+    state: Arc<CompletionState<T>>,
+}
+
+impl<T> Clone for Completion<T> {
+    fn clone(&self) -> Self {
+        Completion {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// The fulfilling half of a pending [`Completion`]. Dropping a completer
+/// without completing delivers [`ServiceError::Stopped`] — a submission can
+/// never be silently lost.
+#[derive(Debug)]
+pub struct Completer<T = AdmissionDecision> {
+    state: Arc<CompletionState<T>>,
+    done: bool,
+}
+
+impl<T: Clone> Completion<T> {
+    /// An already-decided completion.
+    pub fn ready(result: Result<T, ServiceError>) -> Completion<T> {
+        Completion {
+            state: Arc::new(CompletionState {
+                slot: Mutex::new(Some(result)),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A pending completion and its fulfilling half.
+    pub fn pending() -> (Completer<T>, Completion<T>) {
+        let state = Arc::new(CompletionState {
+            slot: Mutex::new(None),
+            cond: Condvar::new(),
+        });
+        (
+            Completer {
+                state: Arc::clone(&state),
+                done: false,
+            },
+            Completion { state },
+        )
+    }
+
+    /// `true` once the result arrived.
+    pub fn is_ready(&self) -> bool {
+        lock(&self.state.slot).is_some()
+    }
+
+    /// The result, if it arrived (non-blocking).
+    pub fn poll(&self) -> Option<Result<T, ServiceError>> {
+        lock(&self.state.slot).clone()
+    }
+
+    /// Blocks until the result arrives.
+    pub fn wait(&self) -> Result<T, ServiceError> {
+        let mut slot = lock(&self.state.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self
+                .state
+                .cond
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until the result arrives or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, ServiceError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock(&self.state.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .cond
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = guard;
+        }
+    }
+}
+
+impl<T> Completer<T> {
+    /// Delivers the result, waking every waiter.
+    pub fn complete(mut self, result: Result<T, ServiceError>) {
+        self.fill(result);
+    }
+
+    fn fill(&mut self, result: Result<T, ServiceError>) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let mut slot = lock(&self.state.slot);
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.state.cond.notify_all();
+    }
+}
+
+impl<T> Drop for Completer<T> {
+    fn drop(&mut self) {
+        self.fill(Err(ServiceError::Stopped));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base implementations: ResourceManager, FleetManager.
+// ---------------------------------------------------------------------------
+
+/// Per-manager service bookkeeping: the bound workload spec and the
+/// resident registry keying service releases.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceState {
+    pub(crate) spec: OnceLock<SystemSpec>,
+    pub(crate) residents: Mutex<BTreeMap<u64, Ticket>>,
+    pub(crate) next_resident: AtomicU64,
+}
+
+/// Fresh instance + node assignment of the spec's application `app_index`
+/// (reduced modulo the application count).
+pub(crate) fn instantiate(spec: &SystemSpec, app_index: usize) -> (Application, Vec<NodeId>) {
+    let id = AppId(app_index % spec.application_count());
+    let app = spec.application(id).clone();
+    let assignment = app
+        .graph()
+        .actor_ids()
+        .map(|actor| spec.node_of(id, actor))
+        .collect();
+    (app, assignment)
+}
+
+impl AdmissionService for ResourceManager {
+    /// Admissions are routed to `request.target` (a shard index) or the
+    /// least-loaded shard (a deterministic function of the resident mix, so
+    /// all shards fill evenly and journaled decisions stay replayable), and
+    /// never wait: a full shard answers [`AdmissionDecision::Saturated`].
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        let state = self.service_state();
+        let spec = state.spec.get().ok_or(ServiceError::NoWorkload)?;
+        let app_index = request.app_index % spec.application_count();
+        let (app, assignment) = instantiate(spec, app_index);
+        let shard = match request.target {
+            Some(shard) if shard >= self.shard_count() => {
+                return Err(ServiceError::UnknownDomain(shard))
+            }
+            Some(shard) => shard,
+            None => self.least_loaded_shard(),
+        };
+        match self.admit_within(
+            shard,
+            app,
+            &assignment,
+            request.required_throughput,
+            Some(Duration::ZERO),
+        ) {
+            Ok(Admission::Admitted(ticket)) => {
+                let resident = state.next_resident.fetch_add(1, Ordering::Relaxed);
+                let predicted_period = ticket.predicted_period().unwrap_or(Rational::ZERO);
+                lock(&state.residents).insert(resident, ticket);
+                Ok(AdmissionDecision::Admitted {
+                    resident,
+                    domain: shard,
+                    predicted_period,
+                })
+            }
+            Ok(Admission::Rejected { violations }) => Ok(AdmissionDecision::Rejected {
+                domain: shard,
+                violations,
+            }),
+            Err(AdmitError::Timeout) => Ok(AdmissionDecision::Saturated { domain: shard }),
+            Err(AdmitError::Stopped) => Err(ServiceError::Stopped),
+            Err(AdmitError::InvalidShard(s)) => Err(ServiceError::UnknownDomain(s)),
+            Err(AdmitError::Analysis(e)) => Err(ServiceError::Analysis(e)),
+        }
+    }
+
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        let ticket = lock(&self.service_state().residents).remove(&resident);
+        match ticket {
+            Some(ticket) => {
+                ticket.release();
+                Ok(())
+            }
+            None => Err(ServiceError::UnknownResident(resident)),
+        }
+    }
+
+    fn snapshot(&self) -> ServiceSnapshot {
+        let metrics = self.metrics();
+        ServiceSnapshot {
+            residents: self.resident_count(),
+            capacity: self.capacity(),
+            admitted: metrics.admitted(),
+            rejected: metrics.rejected(),
+            saturated: metrics.timeouts(),
+            released: metrics.released(),
+            layers: vec![LayerMetrics::new("manager")
+                .counter("shards", self.shard_count() as u64)
+                .counter("stopped_rejections", metrics.stopped_rejections())
+                .counter("analysis_errors", metrics.analysis_errors())
+                .counter(
+                    "mean_queue_wait_us",
+                    metrics.mean_queue_wait().as_micros() as u64,
+                )],
+        }
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        self.service_state().spec.get()
+    }
+}
+
+impl AdmissionService for FleetManager {
+    /// Admissions go through the fleet's routing policy (or
+    /// `request.target` as an explicit group) and are journaled by the
+    /// fleet exactly like ticket-based admissions.
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        let result = match request.target {
+            Some(group) => self.admit_to(group, request.app_index, request.required_throughput),
+            None => FleetManager::admit(
+                self,
+                request.app_index,
+                request.required_throughput,
+                request.affinity.as_deref(),
+            ),
+        };
+        match result {
+            Ok(admission) => {
+                let decision = AdmissionDecision::from(&admission);
+                if let FleetAdmission::Admitted(ticket) = admission {
+                    // The fleet's resident registry keeps the capacity; the
+                    // service path releases by id, not by RAII ticket.
+                    ticket.forget();
+                }
+                Ok(decision)
+            }
+            Err(FleetError::UnknownGroup(g)) => Err(ServiceError::UnknownDomain(g)),
+            Err(FleetError::Admit(AdmitError::Stopped)) => Err(ServiceError::Stopped),
+            Err(FleetError::Admit(AdmitError::Analysis(e))) => Err(ServiceError::Analysis(e)),
+            Err(e) => Err(ServiceError::Config(e.to_string())),
+        }
+    }
+
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        if self.release_resident(resident) {
+            Ok(())
+        } else {
+            Err(ServiceError::UnknownResident(resident))
+        }
+    }
+
+    fn snapshot(&self) -> ServiceSnapshot {
+        let snapshot = FleetManager::snapshot(self);
+        ServiceSnapshot {
+            residents: snapshot.residents,
+            capacity: snapshot.capacity,
+            admitted: snapshot.admitted,
+            rejected: snapshot.rejected,
+            saturated: snapshot.saturated,
+            released: snapshot.released,
+            layers: vec![LayerMetrics::new("fleet")
+                .counter("groups", self.group_count() as u64)
+                .counter("rebalances", snapshot.rebalances)
+                .counter("journal_entries", self.journal().len() as u64)],
+        }
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        Some(self.spec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Middleware: Cached, Journaled, Metered.
+// ---------------------------------------------------------------------------
+
+/// Estimate-caching middleware: serves
+/// [`estimate`](AdmissionService::estimate) requests from an LRU
+/// [`EstimateCache`] keyed by (spec fingerprint, use-case mask, method),
+/// passing admissions straight through — decisions are untouched in any
+/// layer order.
+///
+/// The layer surfaces its own hit/miss/entry counters through
+/// [`snapshot`](AdmissionService::snapshot) under the `"cached"` layer, and
+/// can be pre-populated from a sign-off artefact with
+/// [`warm_from_signoff`](Cached::warm_from_signoff).
+#[derive(Debug)]
+pub struct Cached<S> {
+    inner: S,
+    cache: EstimateCache,
+    fingerprint: OnceLock<u64>,
+    warmed: AtomicU64,
+}
+
+impl<S: AdmissionService> Cached<S> {
+    /// Caching layer retaining up to `capacity` estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(inner: S, capacity: usize) -> Cached<S> {
+        Cached {
+            inner,
+            cache: EstimateCache::new(capacity),
+            fingerprint: OnceLock::new(),
+            warmed: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The layer's estimate cache (for direct inspection).
+    pub fn cache(&self) -> &EstimateCache {
+        &self.cache
+    }
+
+    /// Estimates warmed in via [`warm_from_signoff`](Self::warm_from_signoff).
+    pub fn warmed(&self) -> u64 {
+        self.warmed.load(Ordering::Relaxed)
+    }
+
+    fn spec_fingerprint(&self) -> Option<u64> {
+        if let Some(f) = self.fingerprint.get() {
+            return Some(*f);
+        }
+        let spec = self.inner.workload()?;
+        let f = EstimateCache::fingerprint(spec);
+        Some(*self.fingerprint.get_or_init(|| f))
+    }
+
+    /// Pre-populates the cache from a sign-off artefact: every one of the
+    /// `2ⁿ − 1` use-cases the report enumerated is estimated (with the
+    /// report's method) and inserted **before traffic arrives**, so online
+    /// estimate requests hit a warm cache. Warming bypasses the hit/miss
+    /// counters — the reported hit rate describes traffic only.
+    ///
+    /// Returns the number of warmed entries.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] when the report's method does not parse,
+    /// [`ServiceError::NoWorkload`] when the service has no spec, and any
+    /// estimation failure. The report must describe the service's workload.
+    pub fn warm_from_signoff(&self, report: &SignOffReport) -> Result<usize, ServiceError> {
+        let method: Method = report.method.parse().map_err(ServiceError::Config)?;
+        let fingerprint = self.spec_fingerprint().ok_or(ServiceError::NoWorkload)?;
+        let mut warmed = 0usize;
+        for use_case in UseCase::iter_all(report.apps.len()) {
+            let estimate = self.inner.estimate(use_case, method)?;
+            self.cache.insert(
+                CacheKey {
+                    fingerprint,
+                    use_case_mask: use_case.mask(),
+                    method,
+                },
+                estimate,
+            );
+            warmed += 1;
+        }
+        self.warmed.fetch_add(warmed as u64, Ordering::Relaxed);
+        Ok(warmed)
+    }
+}
+
+impl<S: AdmissionService> AdmissionService for Cached<S> {
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        self.inner.admit(request)
+    }
+
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        self.inner.release(resident)
+    }
+
+    fn snapshot(&self) -> ServiceSnapshot {
+        let mut snapshot = self.inner.snapshot();
+        snapshot.layers.push(
+            LayerMetrics::new("cached")
+                .counter("hits", self.cache.hits())
+                .counter("misses", self.cache.misses())
+                .counter("entries", self.cache.len() as u64)
+                .counter("capacity", self.cache.capacity() as u64)
+                .counter("warmed", self.warmed()),
+        );
+        snapshot
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        self.inner.workload()
+    }
+
+    fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        let Some(fingerprint) = self.spec_fingerprint() else {
+            return self.inner.estimate(use_case, method); // surfaces NoWorkload
+        };
+        let key = CacheKey {
+            fingerprint,
+            use_case_mask: use_case.mask(),
+            method,
+        };
+        if let Some(hit) = self.cache.lookup(&key) {
+            return Ok(hit);
+        }
+        let estimate = self.inner.estimate(use_case, method)?;
+        self.cache.insert(key, Arc::clone(&estimate));
+        Ok(estimate)
+    }
+}
+
+/// Journal-recording middleware: appends every decision of *any* wrapped
+/// service — not just fleets — to an append-only, checksummed
+/// [`Journal`].
+///
+/// Decision and append happen under one internal lock, so the journal
+/// order is a valid serialization of the decision order even under
+/// concurrent submission — the property
+/// [`JournalReplayer`](crate::JournalReplayer) rests on. (The lock
+/// serializes decisions across domains; services needing per-domain
+/// parallelism at scale keep their own internal journals, like the
+/// [`FleetManager`] does.)
+#[derive(Debug)]
+pub struct Journaled<S> {
+    inner: S,
+    journal: Journal,
+    order: Mutex<()>,
+}
+
+impl<S: AdmissionService> Journaled<S> {
+    /// Journaling layer with a default header.
+    pub fn new(inner: S) -> Journaled<S> {
+        Journaled::with_header(inner, JournalHeader::default())
+    }
+
+    /// Journaling layer with an explicit header (stamp the workload and
+    /// shape fields so the journal file is self-contained for replay).
+    pub fn with_header(inner: S, header: JournalHeader) -> Journaled<S> {
+        Journaled {
+            inner,
+            journal: Journal::new(header),
+            order: Mutex::new(()),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The layer's decision journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+}
+
+impl<S: AdmissionService> AdmissionService for Journaled<S> {
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        let _order = lock(&self.order);
+        let decision = self.inner.admit(request)?;
+        let outcome = match &decision {
+            AdmissionDecision::Admitted {
+                resident,
+                predicted_period,
+                ..
+            } => JournalOutcome::Admitted {
+                resident: *resident,
+                predicted_period: *predicted_period,
+            },
+            AdmissionDecision::Rejected { violations, .. } => JournalOutcome::Rejected {
+                violations: violations.len() as u64,
+            },
+            AdmissionDecision::Saturated { .. } => JournalOutcome::Saturated,
+        };
+        self.journal.append(DecisionEvent::Admit {
+            group: decision.domain() as u64,
+            app_index: request.app_index as u64,
+            required_throughput: request.required_throughput,
+            outcome,
+        });
+        Ok(decision)
+    }
+
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        let _order = lock(&self.order);
+        self.inner.release(resident)?;
+        self.journal.append(DecisionEvent::Release { resident });
+        Ok(())
+    }
+
+    fn snapshot(&self) -> ServiceSnapshot {
+        let mut snapshot = self.inner.snapshot();
+        snapshot
+            .layers
+            .push(LayerMetrics::new("journaled").counter("entries", self.journal.len() as u64));
+        snapshot
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        self.inner.workload()
+    }
+
+    fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        // Estimates change no state and are not journaled.
+        self.inner.estimate(use_case, method)
+    }
+}
+
+/// The operation classes a [`Metered`] layer samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceOp {
+    /// [`AdmissionService::admit`] calls.
+    Admit,
+    /// [`AdmissionService::release`] calls.
+    Release,
+    /// [`AdmissionService::estimate`] calls.
+    Estimate,
+    /// [`AdmissionService::snapshot`] calls (the cheap read probe).
+    Snapshot,
+}
+
+const SERVICE_OPS: [ServiceOp; 4] = [
+    ServiceOp::Admit,
+    ServiceOp::Release,
+    ServiceOp::Estimate,
+    ServiceOp::Snapshot,
+];
+
+impl ServiceOp {
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lower-case operation name used in layer metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceOp::Admit => "admit",
+            ServiceOp::Release => "release",
+            ServiceOp::Estimate => "estimate",
+            ServiceOp::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// Aggregates a [`Metered`] layer keeps per operation class, O(1) to read:
+/// the cheap counters `snapshot()` surfaces on every call. The raw sample
+/// vector backs the full order statistics of [`Metered::latency`], which
+/// sorts — call it at report time, not per probe.
+#[derive(Debug, Default)]
+struct OpStats {
+    samples: Mutex<Vec<u64>>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+/// Latency/throughput middleware: samples the wall-clock latency of every
+/// operation against the wrapped service and surfaces order statistics
+/// (count, mean, p50, p95, max) per class — the counters previously
+/// re-implemented by both `BatchExecutor` and the fleet bench driver.
+#[derive(Debug)]
+pub struct Metered<S> {
+    inner: S,
+    stats: [OpStats; 4],
+    started: Instant,
+}
+
+impl<S: AdmissionService> Metered<S> {
+    /// Metering layer over `inner`.
+    pub fn new(inner: S) -> Metered<S> {
+        Metered {
+            inner,
+            stats: Default::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Latency order statistics for one operation class. Clones and sorts
+    /// the class's samples — intended for report time, not hot paths (the
+    /// per-probe counters in `snapshot()` come from O(1) aggregates).
+    pub fn latency(&self, op: ServiceOp) -> LatencySummary {
+        let mut micros = lock(&self.stats[op.index()].samples).clone();
+        LatencySummary::from_micros(&mut micros)
+    }
+
+    /// Operations sampled across all classes.
+    pub fn operations(&self) -> u64 {
+        self.stats
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Operations per second since the layer was created.
+    pub fn throughput(&self) -> f64 {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed == 0.0 {
+            0.0
+        } else {
+            self.operations() as f64 / elapsed
+        }
+    }
+
+    fn record<T>(&self, op: ServiceOp, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let result = f();
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let stats = &self.stats[op.index()];
+        stats.count.fetch_add(1, Ordering::Relaxed);
+        stats.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        stats.max_micros.fetch_max(micros, Ordering::Relaxed);
+        lock(&stats.samples).push(micros);
+        result
+    }
+}
+
+impl<S: AdmissionService> AdmissionService for Metered<S> {
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        self.record(ServiceOp::Admit, || self.inner.admit(request))
+    }
+
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        self.record(ServiceOp::Release, || self.inner.release(resident))
+    }
+
+    fn snapshot(&self) -> ServiceSnapshot {
+        let mut snapshot = self.record(ServiceOp::Snapshot, || self.inner.snapshot());
+        // O(1) aggregates only: snapshot() is the cheap probe path and may
+        // be called per request — full order statistics (p50/p95) stay in
+        // `latency()` for report time.
+        let mut layer = LayerMetrics::new("metered")
+            .counter("operations", self.operations())
+            .counter("ops_per_sec", self.throughput() as u64);
+        for op in SERVICE_OPS {
+            let stats = &self.stats[op.index()];
+            let count = stats.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            layer = layer
+                .counter(format!("{}_count", op.name()), count)
+                .counter(
+                    format!("{}_mean_us", op.name()),
+                    stats.sum_micros.load(Ordering::Relaxed) / count,
+                )
+                .counter(
+                    format!("{}_max_us", op.name()),
+                    stats.max_micros.load(Ordering::Relaxed),
+                );
+        }
+        snapshot.layers.push(layer);
+        snapshot
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        self.inner.workload()
+    }
+
+    fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        self.record(ServiceOp::Estimate, || {
+            self.inner.estimate(use_case, method)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, RoutingPolicy};
+    use crate::manager::{QueueMode, ResourceManagerConfig};
+    use platform::{Application, Mapping};
+    use sdf::figure2_graphs;
+
+    fn spec() -> SystemSpec {
+        let (a, b) = figure2_graphs();
+        SystemSpec::builder()
+            .application(Application::new("A", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap()
+    }
+
+    fn bound_manager(shards: usize, capacity: usize) -> ResourceManager {
+        let manager = ResourceManager::new(ResourceManagerConfig {
+            shards,
+            capacity_per_shard: capacity,
+            queue_mode: QueueMode::Fifo,
+            admit_timeout: Some(Duration::from_millis(50)),
+        });
+        assert!(manager.bind_workload(spec()));
+        manager
+    }
+
+    fn fleet(groups: usize, capacity: usize) -> FleetManager {
+        FleetManager::new(
+            spec(),
+            FleetConfig::uniform(groups, 1, capacity, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn request_builder_composes() {
+        let request = AdmissionRequest::new(3)
+            .with_contract(Rational::new(1, 400))
+            .with_affinity("uc1")
+            .on(2);
+        assert_eq!(request.app_index, 3);
+        assert_eq!(request.required_throughput, Some(Rational::new(1, 400)));
+        assert_eq!(request.affinity.as_deref(), Some("uc1"));
+        assert_eq!(request.target, Some(2));
+    }
+
+    #[test]
+    fn manager_service_roundtrip() {
+        let manager = bound_manager(1, 2);
+        let decision = AdmissionService::admit(&manager, &AdmissionRequest::new(0)).unwrap();
+        let AdmissionDecision::Admitted {
+            resident,
+            domain,
+            predicted_period,
+        } = decision
+        else {
+            panic!("first admission fits");
+        };
+        assert_eq!(domain, 0);
+        assert!(predicted_period.is_positive());
+        assert_eq!(manager.resident_count(), 1);
+        manager.release(resident).unwrap();
+        assert_eq!(manager.resident_count(), 0);
+        assert_eq!(
+            manager.release(resident).unwrap_err(),
+            ServiceError::UnknownResident(resident)
+        );
+    }
+
+    #[test]
+    fn manager_service_saturates_and_validates_domain() {
+        let manager = bound_manager(1, 1);
+        let first = AdmissionService::admit(&manager, &AdmissionRequest::new(0).on(0)).unwrap();
+        assert!(first.is_admitted());
+        // Full shard: a service admission saturates instead of waiting.
+        let second = AdmissionService::admit(&manager, &AdmissionRequest::new(1).on(0)).unwrap();
+        assert_eq!(second, AdmissionDecision::Saturated { domain: 0 });
+        assert_eq!(
+            AdmissionService::admit(&manager, &AdmissionRequest::new(0).on(9)).unwrap_err(),
+            ServiceError::UnknownDomain(9)
+        );
+        let snapshot = AdmissionService::snapshot(&manager);
+        assert_eq!(snapshot.residents, 1);
+        assert_eq!(snapshot.capacity, 1);
+        assert_eq!(snapshot.admitted, 1);
+        assert_eq!(snapshot.saturated, 1);
+        assert_eq!(snapshot.counter("manager", "shards"), Some(1));
+    }
+
+    #[test]
+    fn unbound_manager_requires_workload() {
+        let manager = ResourceManager::new(ResourceManagerConfig::default());
+        assert_eq!(
+            AdmissionService::admit(&manager, &AdmissionRequest::new(0)).unwrap_err(),
+            ServiceError::NoWorkload
+        );
+        assert!(manager.workload().is_none());
+        assert!(manager
+            .estimate(UseCase::full(2), Method::SECOND_ORDER)
+            .is_err());
+        // The first bind wins; rebinding is refused.
+        assert!(manager.bind_workload(spec()));
+        assert!(!manager.bind_workload(spec()));
+        assert!(manager.workload().is_some());
+    }
+
+    #[test]
+    fn fleet_service_roundtrip_and_conversions() {
+        let f = FleetManager::new(
+            spec(),
+            FleetConfig::uniform(2, 1, 2, RoutingPolicy::Affinity),
+        )
+        .unwrap();
+        let decision =
+            AdmissionService::admit(&f, &AdmissionRequest::new(0).with_affinity("uc1")).unwrap();
+        assert!(decision.is_admitted());
+        assert_eq!(decision.domain(), 1); // affinity routes to the tagged group
+        let resident = decision.resident().unwrap();
+        assert_eq!(f.resident_count(), 1);
+
+        // Contract rejection converts with its violations.
+        let iso = spec().application(AppId(0)).isolation_throughput();
+        let rejected =
+            AdmissionService::admit(&f, &AdmissionRequest::new(0).on(1).with_contract(iso))
+                .unwrap();
+        assert!(matches!(
+            rejected,
+            AdmissionDecision::Rejected { domain: 1, .. }
+        ));
+
+        f.release(resident).unwrap();
+        assert_eq!(f.resident_count(), 0);
+        assert_eq!(
+            f.release(resident).unwrap_err(),
+            ServiceError::UnknownResident(resident)
+        );
+        // Admit + reject + release all landed in the fleet's own journal.
+        assert_eq!(f.journal().len(), 3);
+        assert_eq!(
+            AdmissionService::snapshot(&f).counter("fleet", "journal_entries"),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn decision_from_outcome_conversion() {
+        let (a, _) = figure2_graphs();
+        let mut ctrl = contention::AdmissionController::new();
+        let outcome = ctrl
+            .admit(
+                Application::new("A", a).unwrap(),
+                &[NodeId(0), NodeId(1), NodeId(2)],
+                None,
+            )
+            .unwrap();
+        let decision = AdmissionDecision::from((3usize, &outcome));
+        assert_eq!(
+            decision,
+            AdmissionDecision::Admitted {
+                resident: 0,
+                domain: 3,
+                predicted_period: Rational::integer(300),
+            }
+        );
+        assert!(decision.to_string().contains("domain 3"));
+    }
+
+    #[test]
+    fn cached_layer_is_decision_transparent_and_caches_estimates() {
+        let bare = fleet(2, 2);
+        let cached = Cached::new(fleet(2, 2), 16);
+
+        let request = AdmissionRequest::new(0);
+        assert_eq!(
+            AdmissionService::admit(&bare, &request).unwrap(),
+            cached.admit(&request).unwrap()
+        );
+
+        let uc = UseCase::full(2);
+        let first = cached.estimate(uc, Method::SECOND_ORDER).unwrap();
+        let second = cached.estimate(uc, Method::SECOND_ORDER).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!((cached.cache().hits(), cached.cache().misses()), (1, 1));
+        let snapshot = cached.snapshot();
+        assert_eq!(snapshot.counter("cached", "hits"), Some(1));
+        assert_eq!(snapshot.counter("cached", "misses"), Some(1));
+    }
+
+    #[test]
+    fn cached_warm_from_signoff_prepopulates_without_counting() {
+        let cached = Cached::new(fleet(2, 4), 16);
+        let report = experiments::signoff::sign_off(&spec(), Method::Composability, None).unwrap();
+        let warmed = cached.warm_from_signoff(&report).unwrap();
+        assert_eq!(warmed, 3); // 2² − 1 use-cases
+        assert_eq!(cached.warmed(), 3);
+        assert_eq!(cached.cache().len(), 3);
+        // Warming bypassed the counters; the first traffic lookup hits.
+        assert_eq!((cached.cache().hits(), cached.cache().misses()), (0, 0));
+        cached
+            .estimate(UseCase::full(2), Method::Composability)
+            .unwrap();
+        assert_eq!((cached.cache().hits(), cached.cache().misses()), (1, 0));
+        // A garbage method name is a configuration error.
+        let mut bad = report;
+        bad.method = "bogus".to_string();
+        assert!(matches!(
+            cached.warm_from_signoff(&bad).unwrap_err(),
+            ServiceError::Config(_)
+        ));
+    }
+
+    #[test]
+    fn journaled_layer_records_decisions_and_releases() {
+        let journaled = Journaled::new(fleet(1, 1));
+        let admitted = journaled.admit(&AdmissionRequest::new(0)).unwrap();
+        let saturated = journaled.admit(&AdmissionRequest::new(1)).unwrap();
+        assert!(matches!(saturated, AdmissionDecision::Saturated { .. }));
+        journaled.release(admitted.resident().unwrap()).unwrap();
+        let events = journaled.journal().events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            &events[0],
+            DecisionEvent::Admit {
+                outcome: JournalOutcome::Admitted { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &events[1],
+            DecisionEvent::Admit {
+                outcome: JournalOutcome::Saturated,
+                ..
+            }
+        ));
+        assert!(matches!(&events[2], DecisionEvent::Release { .. }));
+        journaled.journal().verify().unwrap();
+        // Failed releases journal nothing.
+        assert!(journaled.release(99).is_err());
+        assert_eq!(journaled.journal().len(), 3);
+    }
+
+    #[test]
+    fn metered_layer_samples_every_class() {
+        let metered = Metered::new(Cached::new(bound_manager(2, 4), 8));
+        let decision = metered.admit(&AdmissionRequest::new(0)).unwrap();
+        metered
+            .estimate(UseCase::full(2), Method::Composability)
+            .unwrap();
+        let _probe = metered.snapshot();
+        metered.release(decision.resident().unwrap()).unwrap();
+        assert_eq!(metered.latency(ServiceOp::Admit).count, 1);
+        assert_eq!(metered.latency(ServiceOp::Estimate).count, 1);
+        assert_eq!(metered.latency(ServiceOp::Release).count, 1);
+        assert!(metered.latency(ServiceOp::Snapshot).count >= 1);
+        assert!(metered.operations() >= 4);
+        let snapshot = metered.snapshot();
+        assert_eq!(snapshot.counter("metered", "admit_count"), Some(1));
+        // The stack renders the consistent per-layer table.
+        let table = snapshot.render();
+        for needle in [
+            "service:",
+            "layer",
+            "cached",
+            "metered",
+            "hits",
+            "admit_count",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn composition_order_is_equivalent() {
+        let a = Cached::new(Journaled::new(fleet(2, 2)), 8);
+        let b = Journaled::new(Cached::new(fleet(2, 2), 8));
+        let bare = fleet(2, 2);
+        let requests = [
+            AdmissionRequest::new(0),
+            AdmissionRequest::new(1).with_contract(Rational::new(1, 300)),
+            AdmissionRequest::new(0).on(0),
+            AdmissionRequest::new(1),
+        ];
+        for request in &requests {
+            let expected = AdmissionService::admit(&bare, request).unwrap();
+            assert_eq!(a.admit(request).unwrap(), expected);
+            assert_eq!(b.admit(request).unwrap(), expected);
+        }
+        assert_eq!(a.inner().journal().events(), b.journal().events());
+    }
+
+    #[test]
+    fn completion_poll_wait_and_drop_semantics() {
+        let ready = Completion::ready(Ok(AdmissionDecision::Saturated { domain: 0 }));
+        assert!(ready.is_ready());
+        assert_eq!(
+            ready.poll().unwrap().unwrap(),
+            AdmissionDecision::Saturated { domain: 0 }
+        );
+        // The decision can be read repeatedly.
+        assert_eq!(
+            ready.wait().unwrap(),
+            AdmissionDecision::Saturated { domain: 0 }
+        );
+
+        let (completer, completion) = Completion::pending();
+        assert!(!completion.is_ready());
+        assert!(completion.poll().is_none());
+        assert!(completion.wait_timeout(Duration::from_millis(5)).is_none());
+        let waiter = {
+            let completion = completion.clone();
+            std::thread::spawn(move || completion.wait())
+        };
+        completer.complete(Ok(AdmissionDecision::Saturated { domain: 7 }));
+        assert_eq!(
+            waiter.join().unwrap().unwrap(),
+            AdmissionDecision::Saturated { domain: 7 }
+        );
+
+        // Dropping a completer without completing delivers Stopped.
+        let (dropped, orphan) = Completion::<AdmissionDecision>::pending();
+        drop(dropped);
+        assert_eq!(orphan.wait().unwrap_err(), ServiceError::Stopped);
+    }
+
+    #[test]
+    fn default_submit_completes_synchronously() {
+        let manager = bound_manager(1, 2);
+        let completion = manager.submit(AdmissionRequest::new(0));
+        assert!(completion.is_ready());
+        assert!(completion.wait().unwrap().is_admitted());
+    }
+
+    #[test]
+    fn arc_dyn_stack_composes() {
+        let stack: Arc<dyn AdmissionService> = Arc::new(Cached::new(fleet(2, 2), 8));
+        let metered = Metered::new(Arc::clone(&stack));
+        let decision = metered.admit(&AdmissionRequest::new(0)).unwrap();
+        assert!(decision.is_admitted());
+        assert!(metered.workload().is_some());
+        metered.release(decision.resident().unwrap()).unwrap();
+        fn is_send_sync<T: Send + Sync>() {}
+        is_send_sync::<Arc<dyn AdmissionService>>();
+    }
+}

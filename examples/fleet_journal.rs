@@ -7,7 +7,8 @@
 
 use platform::{AppId, Application, Mapping, SystemSpec};
 use runtime::{
-    FleetAdmission, FleetConfig, FleetManager, GroupConfig, JournalReplayer, RoutingPolicy,
+    AdmissionDecision, AdmissionRequest, AdmissionService, FleetConfig, FleetManager, GroupConfig,
+    JournalReplayer, RoutingPolicy,
 };
 use sdf::{figure2_graphs, Rational};
 
@@ -33,28 +34,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("== affinity routing with throughput contracts ==");
+    // Admissions go through the unified AdmissionService vocabulary — the
+    // same requests could drive a single manager or a whole middleware
+    // stack unchanged.
     let contract = spec.application(AppId(0)).isolation_throughput() * Rational::new(3, 5);
-    let mut tickets = Vec::new();
+    let mut residents = Vec::new();
     for (app_index, affinity) in [(0, "video"), (1, "audio"), (0, "video"), (1, "audio")] {
-        match fleet.admit(app_index, Some(contract), Some(affinity))? {
-            FleetAdmission::Admitted(ticket) => {
+        let request = AdmissionRequest::new(app_index)
+            .with_contract(contract)
+            .with_affinity(affinity);
+        let decision = AdmissionService::admit(&fleet, &request)?;
+        let group = fleet.group_name(decision.domain())?;
+        match &decision {
+            AdmissionDecision::Admitted {
+                resident,
+                predicted_period,
+                ..
+            } => {
                 println!(
-                    "{affinity:<6} -> {} (resident #{}, predicted period {})",
-                    fleet.group_name(ticket.group())?,
-                    ticket.resident_id(),
-                    ticket.predicted_period(),
+                    "{affinity:<6} -> {group} (resident #{resident}, \
+                     predicted period {predicted_period})"
                 );
-                tickets.push(ticket);
+                residents.push(*resident);
             }
-            FleetAdmission::Rejected { group, violations } => {
+            AdmissionDecision::Rejected { violations, .. } => {
                 println!(
-                    "{affinity:<6} -> {}: rejected ({} violations)",
-                    fleet.group_name(group)?,
+                    "{affinity:<6} -> {group}: rejected ({} violations)",
                     violations.len()
                 );
             }
-            FleetAdmission::Saturated { group } => {
-                println!("{affinity:<6} -> {}: saturated", fleet.group_name(group)?);
+            AdmissionDecision::Saturated { .. } => {
+                println!("{affinity:<6} -> {group}: saturated");
             }
         }
     }
@@ -72,7 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", fleet.snapshot().render());
 
     println!("\n== journal persistence and deterministic replay ==");
-    tickets.drain(..).for_each(runtime::FleetTicket::release);
+    for resident in residents.drain(..) {
+        AdmissionService::release(&fleet, resident)?;
+    }
     let path = std::env::temp_dir().join("fleet_journal_example.jsonl");
     fleet.journal().write_to(&path)?;
     println!(

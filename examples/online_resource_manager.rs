@@ -4,14 +4,18 @@
 //! Three client threads race to admit applications with throughput
 //! contracts onto a capacity-bounded shard; a fourth client serves
 //! repeated use-case queries through the estimate cache. Demonstrates
-//! ticket-based admit/release, contract rejections, bounded waiting and
-//! graceful stop.
+//! ticket-based admit/release, contract rejections, bounded waiting,
+//! driving the same manager through the unified `AdmissionService` stack,
+//! and graceful stop.
 //!
 //! Run with: `cargo run --release --example online_resource_manager`
 
 use contention::Method;
 use platform::{Application, NodeId, SystemSpec, UseCase};
-use runtime::{Admission, EstimateCache, QueueMode, ResourceManager, ResourceManagerConfig};
+use runtime::{
+    Admission, AdmissionRequest, AdmissionService, Cached, EstimateCache, QueueMode,
+    ResourceManager, ResourceManagerConfig,
+};
 use sdf::{figure2_graphs, Rational};
 use std::sync::Arc;
 use std::time::Duration;
@@ -113,6 +117,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache.misses(),
         100.0 * cache.hit_rate(),
     );
+
+    println!("\n== the same manager as an AdmissionService stack ==");
+    // Bind the workload spec and the manager speaks the unified service
+    // vocabulary: spec-relative requests, shared decisions, estimate
+    // caching as middleware instead of a bolted-on cache.
+    manager.bind_workload(spec.clone());
+    let stack = Cached::new(manager.clone(), 16);
+    let decision = stack.admit(&AdmissionRequest::new(1).on(0))?;
+    println!("service admit: {decision}");
+    stack.estimate(UseCase::full(2), Method::SECOND_ORDER)?;
+    stack.estimate(UseCase::full(2), Method::SECOND_ORDER)?;
+    if let Some(resident) = decision.resident() {
+        stack.release(resident)?;
+    }
+    print!("{}", stack.snapshot().render());
 
     println!("\n== graceful stop ==");
     manager.stop();

@@ -50,18 +50,24 @@ USAGE:
 
   probcon serve-bench --threads <n> --requests <m> [--seed <u64>] [--apps <n>]
                       [--actors <n>] [--shards <n>] [--capacity <n>]
-                      [--timeout-ms <n>] [--lifo]
-      Hammer the concurrent online resource manager with a seeded stream of
-      admit/release/query/estimate requests and print a throughput/latency/
-      rejection metrics table.
+                      [--front-end <workers>]
+      Hammer the admission-service stack (estimate cache over the sharded
+      resource manager, optionally multiplexed through the async front-end)
+      with a seeded stream of admit/release/query/estimate requests and
+      print a throughput/latency/rejection metrics table with per-layer
+      service metrics. Service admissions never wait for capacity (a full
+      shard saturates); bounded FIFO/LIFO waiting is the ticket API's.
 
   probcon fleet-bench --requests <m> [--threads <n>] [--seed <u64>] [--apps <n>]
                       [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
                       [--policy least-utilised|round-robin|affinity]
-                      [--journal <file.jsonl>]
-      Drive a multi-group fleet manager with a seeded admit/release/rebalance
-      stream, print per-group utilisation and outcome metrics, and optionally
-      record every decision to an append-only checksummed journal.
+                      [--journal <file.jsonl>] [--warm-cache]
+      Drive a metered + cached service stack over a multi-group fleet manager
+      with a seeded admit/release/rebalance/estimate stream, print per-group
+      utilisation and per-layer service metrics, optionally pre-warm the
+      estimate cache from the sign-off artefact (reporting warm-vs-cold hit
+      rates), and optionally record every decision to an append-only
+      checksummed journal.
 
   probcon replay <journal.jsonl>
       Rebuild the workload and fleet named in a journal's header, re-execute
@@ -121,21 +127,7 @@ fn require_u64(options: &HashMap<&str, &str>, key: &str) -> Result<u64, String> 
 }
 
 fn parse_method(s: &str) -> Result<Method, String> {
-    Ok(match s {
-        "exact" => Method::Exact,
-        "order-2" => Method::SECOND_ORDER,
-        "order-4" => Method::FOURTH_ORDER,
-        "composability" => Method::Composability,
-        "worst-case-rr" => Method::WorstCaseRoundRobin,
-        "worst-case-tdma" => Method::WorstCaseTdma,
-        other => {
-            if let Some(m) = other.strip_prefix("order-") {
-                Method::Order(m.parse().map_err(|_| format!("bad order '{other}'"))?)
-            } else {
-                return Err(format!("unknown method '{other}'"));
-            }
-        }
-    })
+    s.parse()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -314,8 +306,8 @@ fn cmd_signoff(options: &HashMap<&str, &str>) -> Result<(), String> {
 
 fn cmd_serve_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
-        seeded_requests, BatchExecutor, EstimateCache, QueueMode, ResourceManager,
-        ResourceManagerConfig,
+        seeded_requests, AdmissionService, BatchExecutor, Cached, FrontEnd, FrontEndConfig,
+        QueueMode, ResourceManager, ResourceManagerConfig,
     };
     use std::sync::Arc;
     use std::time::Duration;
@@ -333,39 +325,57 @@ fn cmd_serve_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
     let actors = opt_u64(options, "actors")?.unwrap_or(5) as usize;
     let shards = opt_u64(options, "shards")?.unwrap_or(4) as usize;
     let capacity = opt_u64(options, "capacity")?.unwrap_or(8) as usize;
-    let timeout_ms = opt_u64(options, "timeout-ms")?.unwrap_or(100);
-    let queue_mode = if options.contains_key("lifo") {
-        QueueMode::Lifo
-    } else {
-        QueueMode::Fifo
-    };
+    let front_end_workers = opt_u64(options, "front-end")?.map(|w| w as usize);
+    if front_end_workers == Some(0) {
+        return Err("--front-end workers must be positive".into());
+    }
 
     let spec = workload_with(seed, apps, &GeneratorConfig::with_actors(actors))
         .map_err(|e| e.to_string())?;
+    // Queue mode / admit timeout only govern the direct ticket API's
+    // bounded waiting; the service path decides without waiting.
     let manager = ResourceManager::new(ResourceManagerConfig {
         shards,
         capacity_per_shard: capacity,
-        queue_mode,
-        admit_timeout: Some(Duration::from_millis(timeout_ms)),
+        queue_mode: QueueMode::Fifo,
+        admit_timeout: Some(Duration::from_millis(100)),
     });
-    let cache = Arc::new(EstimateCache::new(256));
-    let executor = BatchExecutor::new(manager, cache);
+    manager.bind_workload(spec.clone());
+
+    // The service stack: estimate caching over the sharded manager, with
+    // the async front-end multiplexing on top when requested.
+    let stack: Arc<dyn AdmissionService> = Arc::new(Cached::new(manager.clone(), 256));
+    let stack: Arc<dyn AdmissionService> = match front_end_workers {
+        Some(workers) => Arc::new(FrontEnd::new(
+            Box::new(stack),
+            FrontEndConfig {
+                workers,
+                queue_capacity: requests.max(1),
+            },
+        )),
+        None => stack,
+    };
+    let executor = BatchExecutor::new(stack);
     let stream = seeded_requests(&spec, requests, seed);
 
     println!(
         "serve-bench: {apps} applications × {actors} actors, {shards} shards × \
-         capacity {capacity}, {queue_mode:?} queue, {timeout_ms} ms admit timeout"
+         capacity {capacity}{}",
+        match front_end_workers {
+            Some(workers) => format!(", front-end with {workers} workers"),
+            None => String::new(),
+        }
     );
-    let report = executor.run(&spec, stream, threads);
+    let report = executor.run(stream, threads);
     print!("{}", report.render());
-    executor.manager().stop();
+    manager.stop();
     Ok(())
 }
 
 fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
-        run_fleet_requests, seeded_fleet_requests, FleetConfig, FleetManager, JournalHeader,
-        RoutingPolicy, JOURNAL_VERSION,
+        run_fleet_stack, seeded_fleet_requests, Cached, FleetConfig, FleetManager, FleetRequest,
+        JournalHeader, Metered, RoutingPolicy, JOURNAL_VERSION,
     };
 
     let requests = require_u64(options, "requests")? as usize;
@@ -420,8 +430,69 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
          {shards} shards × capacity {capacity}, {policy} routing"
     );
     let stream = seeded_fleet_requests(&spec, groups, requests, seed);
-    let report = run_fleet_requests(&fleet, stream, threads);
+
+    // The service stack: latency metering over estimate caching over the
+    // fleet; admissions/releases/estimates flow through it, rebalances go
+    // to the fleet directly.
+    let cached = Cached::new(fleet.clone(), 256);
+    let warm = options.contains_key("warm-cache");
+    if warm {
+        // 2^8 - 1 = 255 warmed entries fit the 256-slot LRU without
+        // eviction — beyond that, warming would evict itself and the cold
+        // baseline below would stop being exact.
+        if apps > 8 {
+            return Err("--warm-cache enumerates 2^apps - 1 use-cases; use --apps <= 8".into());
+        }
+        let report = experiments::signoff::sign_off(&spec, Method::Composability, None)
+            .map_err(|e| e.to_string())?;
+        let warmed = cached
+            .warm_from_signoff(&report)
+            .map_err(|e| e.to_string())?;
+        println!("warmed {warmed} estimates from the sign-off artefact");
+    }
+    // Cold baseline for the warm-vs-cold comparison: without warming, every
+    // first occurrence of an estimate key is a miss (the 256-entry cache
+    // never evicts for apps <= 8 masks x 1 method).
+    let estimate_lookups = stream
+        .iter()
+        .filter(|r| matches!(r, FleetRequest::Estimate { .. }))
+        .count() as u64;
+    let distinct_estimates = stream
+        .iter()
+        .filter_map(|r| match r {
+            FleetRequest::Estimate { use_case, method } => Some((use_case.mask(), *method)),
+            _ => None,
+        })
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u64;
+
+    let stack = Metered::new(cached);
+    let report = run_fleet_stack(&stack, &fleet, stream, threads);
     print!("{}", report.render());
+
+    if estimate_lookups > 0 {
+        let hits = report.stack.counter("cached", "hits").unwrap_or(0);
+        let cold_hits = estimate_lookups - distinct_estimates.min(estimate_lookups);
+        let rate = |h: u64| 100.0 * h as f64 / estimate_lookups as f64;
+        if warm {
+            println!(
+                "estimate cache: {:.1}% hit rate warm vs {:.1}% cold baseline \
+                 ({} lookups, {} distinct use-cases pre-warmed)",
+                rate(hits),
+                rate(cold_hits),
+                estimate_lookups,
+                distinct_estimates,
+            );
+        } else {
+            println!(
+                "estimate cache: {:.1}% hit rate cold ({} lookups, {} distinct use-cases; \
+                 re-run with --warm-cache to pre-populate from the sign-off artefact)",
+                rate(hits),
+                estimate_lookups,
+                distinct_estimates,
+            );
+        }
+    }
 
     if let Some(path) = options.get("journal") {
         fleet.journal().write_to(path).map_err(|e| e.to_string())?;

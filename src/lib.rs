@@ -18,12 +18,14 @@
 //!   ground truth (the reproduction's POOSL substitute).
 //! * [`experiments`] — runners regenerating Figure 5, Table 1, Figure 6 and
 //!   the timing comparison.
-//! * [`runtime`] — the concurrent online resource manager: sharded
-//!   ticket-based admission, estimate caching, batch execution with
-//!   throughput/latency metrics (`probcon serve-bench`), multi-platform
-//!   fleet management with pluggable routing and rebalancing, and an
-//!   append-only admission journal with deterministic replay
-//!   (`probcon fleet-bench` / `probcon replay`).
+//! * [`runtime`] — the concurrent online resource manager: one unified
+//!   `AdmissionService` trait implemented by the sharded ticket-based
+//!   `ResourceManager` and the multi-platform `FleetManager`, composable
+//!   middleware layers (`Cached` estimate memoization with sign-off
+//!   warming, `Journaled` decision recording with deterministic replay,
+//!   `Metered` latency/throughput counters), and the async `FrontEnd`
+//!   event loop multiplexing thousands of queued admissions over a small
+//!   worker pool (`probcon serve-bench` / `fleet-bench` / `replay`).
 //!
 //! # Example
 //!

@@ -141,6 +141,77 @@ fn serve_bench_prints_metrics_table() {
 }
 
 #[test]
+fn serve_bench_front_end_reports_queue_metrics() {
+    let out = probcon(&[
+        "serve-bench",
+        "--threads",
+        "4",
+        "--requests",
+        "120",
+        "--apps",
+        "3",
+        "--actors",
+        "4",
+        "--front-end",
+        "2",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "front-end with 2 workers",
+        "front-end",
+        "queue_depth",
+        "submitted",
+        "completed",
+        "cached",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+}
+
+#[test]
+fn fleet_bench_warm_cache_reports_warm_vs_cold_hit_rates() {
+    let out = probcon(&[
+        "fleet-bench",
+        "--requests",
+        "120",
+        "--apps",
+        "3",
+        "--actors",
+        "4",
+        "--groups",
+        "2",
+        "--warm-cache",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "warmed 7 estimates",
+        "hit rate warm",
+        "cold baseline",
+        "cached",
+        "metered",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+    // Warming covers every estimate in the stream: zero cache misses.
+    assert!(
+        stdout.contains("100.0% hit rate warm"),
+        "warmed run must serve all estimate traffic from the cache:\n{stdout}"
+    );
+    // Too many apps would enumerate 2^n - 1 use-cases; refused.
+    let out = probcon(&[
+        "fleet-bench",
+        "--requests",
+        "10",
+        "--apps",
+        "13",
+        "--warm-cache",
+    ]);
+    assert!(!out.status.success(), "{:?}", out);
+}
+
+#[test]
 fn serve_bench_validates_inputs() {
     for bad in [
         vec!["serve-bench", "--threads", "0", "--requests", "10"],

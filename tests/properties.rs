@@ -342,6 +342,115 @@ proptest! {
     }
 }
 
+/// Strategy: one spec-relative admission request (mixed contracts,
+/// affinities and explicit targets, like real front-end traffic).
+fn admission_request(groups: usize) -> impl Strategy<Value = runtime::AdmissionRequest> {
+    use runtime::AdmissionRequest;
+    (0usize..4, 0u64..4, 0usize..groups.max(1)).prop_map(move |(app_index, kind, target)| {
+        let request = AdmissionRequest::new(app_index);
+        match kind {
+            0 => request.with_contract(Rational::new(1, 500)),
+            1 => request.with_affinity(format!("uc{}", app_index % groups.max(1))),
+            2 => request.on(target),
+            _ => request,
+        }
+    })
+}
+
+proptest! {
+    // Each case drives real admissions; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The middleware-composition satellite: `Cached<Journaled<S>>` and
+    // `Journaled<Cached<S>>` produce identical decisions against the bare
+    // service, identical journals between each other, and the same holds
+    // when the stream is submitted concurrently (queued in bulk through a
+    // single-worker `FrontEnd`, which drains the MPSC queue in submission
+    // order — so the decision sequence stays comparable).
+    #[test]
+    fn middleware_composes_in_either_order_with_equivalent_decisions(
+        groups in 1usize..4,
+        capacity in 1usize..4,
+        requests in prop::collection::vec(admission_request(3), 1..20)
+    ) {
+        use platform::Application;
+        use runtime::{
+            AdmissionService, Cached, Completion, FleetConfig, FleetManager, FrontEnd,
+            FrontEndConfig, Journaled, RoutingPolicy,
+        };
+        use sdf::figure2_graphs;
+
+        let spec = || {
+            let (a, b) = figure2_graphs();
+            platform::SystemSpec::builder()
+                .application(Application::new("A", a).expect("valid"))
+                .application(Application::new("B", b).expect("valid"))
+                .mapping(platform::Mapping::by_actor_index(3))
+                .build()
+                .expect("valid spec")
+        };
+        let fleet = |spec| FleetManager::new(
+            spec,
+            FleetConfig::uniform(groups, 1, capacity, RoutingPolicy::Affinity),
+        ).expect("valid fleet");
+        // Targets beyond the group count are domain errors on every stack
+        // alike; keep the streams to valid domains so decisions compare.
+        let requests: Vec<runtime::AdmissionRequest> = requests
+            .into_iter()
+            .map(|mut r| {
+                r.target = r.target.map(|t| t % groups);
+                r
+            })
+            .collect();
+
+        let bare = fleet(spec());
+        let cached_outer = Cached::new(Journaled::new(fleet(spec())), 8);
+        let journaled_outer = Journaled::new(Cached::new(fleet(spec()), 8));
+
+        // Sequential application: identical decision for every request.
+        for request in &requests {
+            let expected = AdmissionService::admit(&bare, request).unwrap();
+            prop_assert_eq!(&cached_outer.admit(request).unwrap(), &expected);
+            prop_assert_eq!(&journaled_outer.admit(request).unwrap(), &expected);
+        }
+        // Both Journaled layers recorded the identical decision stream.
+        prop_assert_eq!(
+            cached_outer.inner().journal().events(),
+            journaled_outer.journal().events()
+        );
+        cached_outer.inner().journal().verify()
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        // Concurrent submission: queue the whole stream through a
+        // single-worker front-end per stack, then reap. Submission order ==
+        // processing order, so the decision sequences still match the bare
+        // sequential run exactly.
+        let bare2 = fleet(spec());
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|r| AdmissionService::admit(&bare2, r).unwrap())
+            .collect();
+        for stack in [
+            Box::new(Cached::new(Journaled::new(fleet(spec())), 8))
+                as Box<dyn AdmissionService>,
+            Box::new(Journaled::new(Cached::new(fleet(spec()), 8))),
+        ] {
+            let front = FrontEnd::new(stack, FrontEndConfig {
+                workers: 1,
+                queue_capacity: requests.len(),
+            });
+            let completions: Vec<Completion> = requests
+                .iter()
+                .map(|r| front.submit(r.clone()))
+                .collect();
+            for (completion, expected) in completions.iter().zip(&expected) {
+                prop_assert_eq!(&completion.wait().unwrap(), expected);
+            }
+            front.shutdown();
+        }
+    }
+}
+
 #[test]
 fn use_case_roundtrip_mask() {
     use platform::{AppId, UseCase};

@@ -187,6 +187,8 @@ fn estimate_cache_is_consistent_under_concurrency() {
 
 #[test]
 fn batch_executor_stress_preserves_invariants() {
+    use runtime::{AdmissionService, Cached};
+
     with_watchdog(|| {
         let spec = two_app_spec();
         let manager = ResourceManager::new(ResourceManagerConfig {
@@ -195,23 +197,122 @@ fn batch_executor_stress_preserves_invariants() {
             queue_mode: QueueMode::Lifo,
             admit_timeout: Some(Duration::from_millis(50)),
         });
-        let cache = Arc::new(EstimateCache::new(16));
-        let executor = BatchExecutor::new(manager, Arc::clone(&cache));
+        manager.bind_workload(spec.clone());
+        let stack = Arc::new(Cached::new(manager.clone(), 16));
+        let executor = BatchExecutor::new(stack.clone());
 
-        let report = executor.run(&spec, seeded_requests(&spec, 600, 2026), THREADS);
+        let report = executor.run(seeded_requests(&spec, 600, 2026), THREADS);
         assert_eq!(report.requests, 600);
         assert!(report.admitted > 0);
         assert_eq!(
             report.cache_hits + report.cache_misses,
-            cache.hits() + cache.misses()
+            stack.cache().hits() + stack.cache().misses()
         );
-        // All tickets drained after the batch.
-        assert_eq!(executor.manager().resident_count(), 0);
-        let m = executor.manager().metrics();
+        // All residents drained after the batch.
+        assert_eq!(manager.resident_count(), 0);
+        let m = manager.metrics();
         assert_eq!(m.admitted(), m.released());
-        // Throughput/latency stats are populated.
+        // Throughput/latency stats are populated (from the Metered layer).
         assert!(report.throughput() > 0.0);
         assert!(report.admit_latency().count >= report.admitted);
+        // The per-layer table surfaced the cache counters.
+        assert_eq!(
+            AdmissionService::snapshot(&*stack).counter("cached", "hits"),
+            Some(stack.cache().hits())
+        );
+    });
+}
+
+#[test]
+fn front_end_multiplexes_a_thousand_queued_admissions() {
+    use runtime::{
+        AdmissionRequest, AdmissionService, Completion, FleetConfig, FleetManager, FrontEnd,
+        FrontEndConfig, Metered, RoutingPolicy, ServiceError,
+    };
+
+    const QUEUED: usize = 1200;
+    const WORKERS: usize = 4;
+
+    with_watchdog(|| {
+        // A worker pool far smaller than the queue drives a metered fleet
+        // stack; all submissions are queued before any completions are
+        // reaped, so QUEUED admissions are concurrently in flight without a
+        // thread per waiter.
+        // One shard per group: the 2-app spec only routes to the shards its
+        // two app indices hash to, so single-shard groups fill completely.
+        let fleet = FleetManager::new(
+            two_app_spec(),
+            FleetConfig::uniform(4, 1, 16, RoutingPolicy::LeastUtilised),
+        )
+        .expect("valid fleet");
+        let front = FrontEnd::new(
+            Box::new(Metered::new(fleet.clone())),
+            FrontEndConfig {
+                workers: WORKERS,
+                queue_capacity: QUEUED,
+            },
+        );
+
+        let completions: Vec<Completion> = (0..QUEUED)
+            .map(|i| front.submit(AdmissionRequest::new(i)))
+            .collect();
+        assert!(
+            front.peak_queue_depth() > WORKERS,
+            "the queue must outnumber the worker pool (peak {})",
+            front.peak_queue_depth()
+        );
+
+        // Every submission resolves: admitted until the fleet saturates,
+        // saturated afterwards — never an error, never a lost completion.
+        let mut admitted = Vec::new();
+        let mut saturated = 0usize;
+        for completion in completions {
+            match completion.wait() {
+                Ok(decision) => {
+                    if let Some(resident) = decision.resident() {
+                        admitted.push(resident);
+                    } else {
+                        saturated += 1;
+                    }
+                }
+                Err(e) => panic!("submission lost: {e}"),
+            }
+        }
+        assert_eq!(admitted.len(), fleet.capacity());
+        assert_eq!(admitted.len() + saturated, QUEUED);
+        assert_eq!(front.submitted(), QUEUED as u64);
+        assert_eq!(front.completed(), QUEUED as u64);
+
+        // Release through the queue, then verify the books balance.
+        let releases: Vec<Completion<()>> = admitted
+            .into_iter()
+            .map(|resident| front.submit_release(resident))
+            .collect();
+        for release in releases {
+            release.wait().expect("releases succeed");
+        }
+        assert_eq!(fleet.resident_count(), 0);
+        let snapshot = AdmissionService::snapshot(&front);
+        assert_eq!(snapshot.admitted, snapshot.released);
+        assert_eq!(
+            snapshot.counter("front-end", "queue_depth"),
+            Some(0),
+            "queue drained"
+        );
+        assert!(
+            snapshot
+                .counter("front-end", "peak_queue_depth")
+                .unwrap_or(0)
+                > WORKERS as u64
+        );
+        // Metered layer saw every queued operation.
+        assert!(snapshot.counter("metered", "operations").unwrap_or(0) >= QUEUED as u64);
+
+        front.shutdown();
+        assert_eq!(
+            front.submit(AdmissionRequest::new(0)).wait().unwrap_err(),
+            ServiceError::Stopped
+        );
     });
 }
 
