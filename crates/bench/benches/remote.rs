@@ -1,0 +1,130 @@
+//! Local vs UDS vs TCP admission throughput/latency.
+//!
+//! Measures what the wire costs: the same admit+release round-trip batch
+//! executed (a) against an in-process fleet service, (b) through a
+//! `RemoteClient` over a Unix domain socket and (c) over loopback TCP —
+//! synchronously (one request in flight, the latency view) and pipelined
+//! (the whole batch in flight on one connection, the throughput view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use platform::{Application, Mapping, SystemSpec};
+use runtime::{
+    AdmissionRequest, AdmissionService, Completion, FleetConfig, FleetManager, RemoteAddr,
+    RemoteClient, RemoteServer, RoutingPolicy,
+};
+use sdf::figure2_graphs;
+use std::sync::Arc;
+
+const OPS_PER_SAMPLE: usize = 32;
+
+fn spec() -> SystemSpec {
+    let (a, b) = figure2_graphs();
+    SystemSpec::builder()
+        .application(Application::new("A", a).expect("valid"))
+        .application(Application::new("B", b).expect("valid"))
+        .mapping(Mapping::by_actor_index(3))
+        .build()
+        .expect("valid spec")
+}
+
+fn fleet() -> FleetManager {
+    // Capacity covers a whole pipelined batch: every admission of a sample
+    // can be in flight before the first release.
+    FleetManager::new(
+        spec(),
+        FleetConfig::uniform(1, 1, OPS_PER_SAMPLE, RoutingPolicy::LeastUtilised),
+    )
+    .expect("valid fleet")
+}
+
+/// One synchronous admit+release round-trip batch against any service.
+fn round_trips(service: &dyn AdmissionService) {
+    for i in 0..OPS_PER_SAMPLE {
+        let decision = service
+            .admit(&AdmissionRequest::new(i))
+            .expect("decision arrives");
+        let resident = decision.resident().expect("capacity covers the batch");
+        service.release(resident).expect("release lands");
+    }
+}
+
+/// The whole batch pipelined: every admission in flight before the first
+/// completion is reaped, then all releases.
+fn pipelined(service: &dyn AdmissionService) {
+    let burst: Vec<Completion> = (0..OPS_PER_SAMPLE)
+        .map(|i| service.submit(AdmissionRequest::new(i)))
+        .collect();
+    let residents: Vec<u64> = burst
+        .iter()
+        .map(|c| {
+            c.wait()
+                .expect("decision arrives")
+                .resident()
+                .expect("capacity covers the batch")
+        })
+        .collect();
+    for resident in residents {
+        service.release(resident).expect("release lands");
+    }
+}
+
+fn uds_addr() -> RemoteAddr {
+    let dir = std::env::temp_dir().join("probcon-remote-bench");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    RemoteAddr::Unix(dir.join(format!("bench-{}.sock", std::process::id())))
+}
+
+fn bench_remote_transports(c: &mut Criterion) {
+    println!("\n===== Local vs UDS vs TCP admission transport =====");
+    println!("{OPS_PER_SAMPLE} admit+release round-trips per sample:");
+
+    let mut group = c.benchmark_group("remote");
+    group.sample_size(12);
+
+    // (a) In-process baseline: the fleet's own AdmissionService impl.
+    let local = fleet();
+    group.bench_function(BenchmarkId::new("sync", "local"), |b| {
+        b.iter(|| round_trips(&local));
+    });
+    group.bench_function(BenchmarkId::new("pipelined", "local"), |b| {
+        b.iter(|| pipelined(&local));
+    });
+
+    // (b) Unix domain socket.
+    #[cfg(unix)]
+    {
+        let server = RemoteServer::bind(&uds_addr(), Arc::new(fleet())).expect("uds server");
+        let client = RemoteClient::connect(server.local_addr()).expect("uds client");
+        group.bench_function(BenchmarkId::new("sync", "uds"), |b| {
+            b.iter(|| round_trips(&client));
+        });
+        group.bench_function(BenchmarkId::new("pipelined", "uds"), |b| {
+            b.iter(|| pipelined(&client));
+        });
+        client.close();
+        server.shutdown();
+    }
+
+    // (c) Loopback TCP.
+    {
+        let server = RemoteServer::bind(
+            &"tcp:127.0.0.1:0".parse().expect("tcp addr"),
+            Arc::new(fleet()),
+        )
+        .expect("tcp server");
+        let client = RemoteClient::connect(server.local_addr()).expect("tcp client");
+        group.bench_function(BenchmarkId::new("sync", "tcp"), |b| {
+            b.iter(|| round_trips(&client));
+        });
+        group.bench_function(BenchmarkId::new("pipelined", "tcp"), |b| {
+            b.iter(|| pipelined(&client));
+        });
+        client.close();
+        server.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote_transports);
+criterion_main!(benches);

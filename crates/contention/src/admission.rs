@@ -68,11 +68,16 @@ use crate::load::ActorLoad;
 use crate::ContentionError;
 use platform::{AppId, Application, NodeId};
 use sdf::Rational;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A throughput violation that caused a rejection.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable so rejections can cross process boundaries intact (the
+/// `runtime::remote` wire protocol ships the full violation list, not just
+/// a count).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Violation {
     /// The application whose requirement would be violated (`None`
     /// identifies the candidate application itself).
@@ -395,40 +400,35 @@ impl AdmissionController {
         })
     }
 
-    /// Removes a resident application, decomposing its actors from their
-    /// nodes with the inverse operators (`O(actors)`).
+    /// Removes a resident application, re-folding each touched node's
+    /// composite from its exact member list (`O(members per node)`).
+    ///
+    /// The paper's `O(1)` inverse operators (Equation 8) remain the *read*
+    /// path — see period prediction — but they are **not** used to mutate
+    /// controller state: [`Composite::compose`] snaps to a lattice, which
+    /// makes `decompose` an approximate inverse, and the per-cycle residue
+    /// used to accumulate monotonically across admit/release cycles until
+    /// blocking probabilities crossed 1 and period prediction failed on a
+    /// long-running controller (after a few hundred cycles). Re-folding
+    /// keeps the error of a node's composite bounded by one fold, however
+    /// long the controller runs; an emptied node is exactly empty.
     ///
     /// # Errors
     ///
-    /// * [`ContentionError::UnknownApplication`] if `id` is not resident;
-    /// * [`ContentionError::SaturatedInverse`] if a co-resident saturating
-    ///   load makes the inverse undefined (Equation 8's `P_b ≠ 1`).
+    /// * [`ContentionError::UnknownApplication`] if `id` is not resident.
     pub fn remove(&mut self, id: AppId) -> Result<(), ContentionError> {
         let resident = self
             .residents
             .get(&id)
             .ok_or(ContentionError::UnknownApplication(id))?;
-        // Decompose onto a scratch map first so failure leaves us
-        // unchanged. If a saturating load blocks the inverse, re-fold the
-        // node from its member list instead (O(n) fallback).
-        let mut new_nodes = self.nodes.clone();
-        let mut new_members = self.members.clone();
         for (node, load) in resident.assignment.iter().zip(&resident.loads) {
-            let list = new_members.entry(*node).or_default();
+            let list = self.members.entry(*node).or_default();
             if let Some(pos) = list.iter().position(|(a, l)| *a == id && l == load) {
                 list.remove(pos);
             }
-            let entry = new_nodes.entry(*node).or_default();
-            *entry = match entry.decompose(Composite::from_actor(*load)) {
-                Ok(rest) => rest,
-                Err(ContentionError::SaturatedInverse) => {
-                    Composite::from_actors(list.iter().map(|(_, l)| *l))
-                }
-                Err(e) => return Err(e),
-            };
+            let refolded = Composite::from_actors(list.iter().map(|(_, l)| *l));
+            self.nodes.insert(*node, refolded);
         }
-        self.nodes = new_nodes;
-        self.members = new_members;
         self.residents.remove(&id);
         Ok(())
     }
@@ -528,6 +528,47 @@ mod tests {
         // Composability == exact for one other actor per node: 1075/3.
         for p in predicted_periods.values() {
             assert_eq!(*p, Rational::new(1075, 3));
+        }
+    }
+
+    #[test]
+    fn admit_release_cycles_do_not_drift() {
+        // Regression: remove() used to mutate node composites with the
+        // lattice-quantized decompose inverse, whose per-cycle residue
+        // accumulated until blocking probabilities crossed 1 and period
+        // prediction died after a few hundred admit/release cycles. A
+        // long-running controller must stay exact through arbitrarily many
+        // cycles: every emptied node returns to the identity, and the
+        // predicted periods never change.
+        let (a, b) = apps();
+        let mut ctrl = AdmissionController::new();
+        let mut reference_periods = None;
+        for cycle in 0..600 {
+            let ida = ctrl.admit(a.clone(), &N3, None).unwrap();
+            let out_b = ctrl.admit(b.clone(), &N3, None).unwrap();
+            let AdmissionOutcome::Admitted {
+                id: idb,
+                predicted_periods,
+            } = out_b
+            else {
+                panic!("cycle {cycle}: B must be admitted into an empty mix");
+            };
+            let periods: Vec<Rational> = predicted_periods.values().copied().collect();
+            match &reference_periods {
+                None => reference_periods = Some(periods),
+                Some(reference) => {
+                    assert_eq!(&periods, reference, "cycle {cycle}: predictions drifted");
+                }
+            }
+            ctrl.remove(ida.admitted_id().unwrap()).unwrap();
+            ctrl.remove(idb).unwrap();
+            for node in N3 {
+                assert!(
+                    ctrl.node_load(node).is_identity(),
+                    "cycle {cycle}: emptied node {node} kept residue {:?}",
+                    ctrl.node_load(node)
+                );
+            }
         }
     }
 

@@ -116,8 +116,10 @@ pub struct FleetBenchReport {
     /// Residents still held when the stream ended (before the drain).
     pub residents_at_end: usize,
     /// Fleet state after the final drain (journal totals include the drain
-    /// releases).
-    pub snapshot: FleetSnapshot,
+    /// releases). `None` when the run drove a service with no local fleet
+    /// — e.g. a [`RemoteClient`](crate::RemoteClient), whose fleet lives in
+    /// another process and shows up in [`stack`](Self::stack) instead.
+    pub snapshot: Option<FleetSnapshot>,
     /// Final service-stack snapshot with per-layer metrics (cache hits,
     /// journal appends, latency counters, queue depth — whatever the
     /// layers in the driven stack surface).
@@ -152,7 +154,9 @@ impl FleetBenchReport {
             self.residents_at_end,
             self.journal_len,
         );
-        out.push_str(&self.snapshot.render());
+        if let Some(snapshot) = &self.snapshot {
+            out.push_str(&snapshot.render());
+        }
         out.push_str(&self.stack.render());
         out
     }
@@ -168,6 +172,20 @@ pub fn run_fleet_requests(
     run_fleet_stack(fleet, fleet, requests, threads)
 }
 
+/// [`run_fleet_stack`] for a service with **no local fleet** — a
+/// [`RemoteClient`](crate::RemoteClient) or any other stack whose fleet
+/// lives elsewhere. [`FleetRequest::Rebalance`] passes become snapshot
+/// probes (rebalancing is a fleet operation the wire does not carry), and
+/// the report's [`snapshot`](FleetBenchReport::snapshot) is `None`; the
+/// fleet's own counters still arrive through the stack snapshot's layers.
+pub fn run_service_requests(
+    service: &dyn AdmissionService,
+    requests: Vec<FleetRequest>,
+    threads: usize,
+) -> FleetBenchReport {
+    run_stack_inner(service, None, requests, threads)
+}
+
 /// Executes `requests` against `service` — any [`AdmissionService`] stack
 /// layered over `fleet` — on `threads` workers and reports the run's
 /// metrics. Admissions, releases and estimates go through the stack;
@@ -180,6 +198,15 @@ pub fn run_fleet_requests(
 pub fn run_fleet_stack(
     service: &dyn AdmissionService,
     fleet: &FleetManager,
+    requests: Vec<FleetRequest>,
+    threads: usize,
+) -> FleetBenchReport {
+    run_stack_inner(service, Some(fleet), requests, threads)
+}
+
+fn run_stack_inner(
+    service: &dyn AdmissionService,
+    fleet: Option<&FleetManager>,
     requests: Vec<FleetRequest>,
     threads: usize,
 ) -> FleetBenchReport {
@@ -231,9 +258,17 @@ pub fn run_fleet_stack(
                             let _ = service.release(resident);
                         }
                     }
-                    FleetRequest::Rebalance => {
-                        fleet.rebalance();
-                    }
+                    FleetRequest::Rebalance => match fleet {
+                        Some(fleet) => {
+                            fleet.rebalance();
+                        }
+                        // No local fleet: keep the stream shape by probing
+                        // the stack instead (a cheap read, like rebalance
+                        // evaluation on an already-balanced fleet).
+                        None => {
+                            let _ = service.snapshot();
+                        }
+                    },
                     FleetRequest::Estimate { use_case, method } => {
                         let _ = service.estimate(use_case, method);
                     }
@@ -243,20 +278,30 @@ pub fn run_fleet_stack(
     });
     let wall = start.elapsed();
 
-    let residents_at_end = fleet.resident_count();
+    let residents_at_end = lock(&pool).len();
     // Drain: journal a release for every still-held resident.
     for resident in lock(&pool).drain(..) {
         let _ = service.release(resident);
     }
 
+    let stack = service.snapshot();
+    let journal_len = match fleet {
+        Some(fleet) => fleet.journal().len(),
+        // Remote/fleetless stacks surface their journal length (if any)
+        // through a layer counter instead.
+        None => stack
+            .counter("fleet", "journal_entries")
+            .or_else(|| stack.counter("journaled", "entries"))
+            .unwrap_or(0) as usize,
+    };
     FleetBenchReport {
         requests: total,
         threads,
         wall,
         residents_at_end,
-        snapshot: fleet.snapshot(),
-        stack: service.snapshot(),
-        journal_len: fleet.journal().len(),
+        snapshot: fleet.map(FleetManager::snapshot),
+        stack,
+        journal_len,
     }
 }
 
@@ -322,7 +367,10 @@ mod tests {
         .unwrap();
         let report = run_fleet_requests(&fleet, seeded_fleet_requests(&spec, 2, 120, 5), 1);
         assert_eq!(report.requests, 120);
-        assert!(report.snapshot.admitted > 0, "{report:?}");
+        assert!(
+            report.snapshot.as_ref().is_some_and(|s| s.admitted > 0),
+            "{report:?}"
+        );
         // Fully drained after the run; admits and releases balance.
         assert_eq!(fleet.resident_count(), 0);
         let snap = fleet.snapshot();

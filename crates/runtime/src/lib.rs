@@ -28,7 +28,12 @@
 //!   [`Journaled`] and [`Metered`] (see [`service`]);
 //! * [`FrontEnd`] — the async event-loop front-end multiplexing thousands
 //!   of queued admissions over a small worker pool, delivering decisions
-//!   through [`Completion`] tickets (see [`frontend`]).
+//!   through [`Completion`] tickets (see [`frontend`]);
+//! * [`RemoteServer`] / [`RemoteClient`] — the remote transport: a
+//!   length-prefixed JSON-lines protocol over TCP or Unix domain sockets
+//!   whose both ends are just [`AdmissionService`]s, so a fleet spans
+//!   processes and every existing driver works against it unchanged (see
+//!   [`remote`]).
 //!
 //! # Example
 //!
@@ -72,6 +77,7 @@ pub mod frontend;
 pub mod journal;
 pub mod manager;
 pub mod metrics;
+pub mod remote;
 pub mod service;
 
 pub use cache::{CacheKey, EstimateCache};
@@ -81,7 +87,8 @@ pub use fleet::{
     GroupSnapshot, RebalanceMove, RoutingPolicy,
 };
 pub use fleet_bench::{
-    run_fleet_requests, run_fleet_stack, seeded_fleet_requests, FleetBenchReport, FleetRequest,
+    run_fleet_requests, run_fleet_stack, run_service_requests, seeded_fleet_requests,
+    FleetBenchReport, FleetRequest,
 };
 pub use frontend::{FrontEnd, FrontEndConfig};
 pub use journal::{
@@ -92,6 +99,10 @@ pub use manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
 };
 pub use metrics::{LatencySummary, RuntimeMetrics};
+pub use remote::{
+    JournalSource, RemoteAddr, RemoteClient, RemoteServer, RemoteServerConfig, RemoteServerStats,
+    REMOTE_PROTOCOL_VERSION,
+};
 pub use service::{
     AdmissionDecision, AdmissionRequest, AdmissionService, Cached, Completer, Completion,
     Journaled, LayerMetrics, Metered, ServiceError, ServiceOp, ServiceSnapshot,

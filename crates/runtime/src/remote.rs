@@ -1,0 +1,1813 @@
+//! Remote admission transport: process-spanning fleets over the service
+//! trait.
+//!
+//! PR 3 gave every online surface one vocabulary ([`AdmissionRequest`] /
+//! [`AdmissionDecision`]) behind the object-safe [`AdmissionService`]
+//! trait. This module is the next natural `impl`: a **wire protocol whose
+//! client and server are both just `AdmissionService`**, so a fleet can
+//! span processes —
+//!
+//! * [`RemoteServer`] accepts connections over TCP or Unix domain sockets
+//!   and drives any `Arc<dyn AdmissionService>`, so a stack like
+//!   `Journaled<Cached<FleetManager>>` serves over the wire unchanged;
+//! * [`RemoteClient`] *implements* [`AdmissionService`], so the
+//!   [`FrontEnd`](crate::FrontEnd), [`BatchExecutor`](crate::BatchExecutor)
+//!   and every existing bench/driver work against a remote fleet with zero
+//!   changes.
+//!
+//! # Wire format
+//!
+//! Length-prefixed JSON lines: every frame is the ASCII decimal byte
+//! length of a single-line JSON document, one space, the document, one
+//! `\n` — e.g. `17 {"id":3,"op":...}\n`. The prefix makes truncation
+//! detectable (a frame shorter than its declared length is a transport
+//! error, never a hang) while the payload stays greppable JSON.
+//!
+//! A connection opens with a version handshake ([`ClientHello`] →
+//! [`ServerHello`]; the server hello carries the service's workload spec
+//! so drivers can phrase spec-relative requests without out-of-band
+//! configuration). After the handshake, requests carry a client-assigned
+//! correlation id and may be **pipelined**: many admissions can be in
+//! flight on one connection, and responses are matched back to their
+//! [`Completion`]s by id.
+//!
+//! Failures are typed, never panics: disconnects, malformed frames,
+//! version mismatches and mid-flight shutdowns all surface as
+//! [`ServiceError::Transport`] (every outstanding completion resolves).
+//!
+//! # Shutdown ordering
+//!
+//! [`RemoteServer::shutdown`] first stops accepting new connections, then
+//! lets every live connection drain: frames already in flight are decided
+//! and answered before the connection closes. Accepts always stop before
+//! the first connection is cut.
+//!
+//! # Example
+//!
+//! ```
+//! use platform::{Application, Mapping, SystemSpec};
+//! use runtime::{
+//!     AdmissionRequest, AdmissionService, FleetConfig, FleetManager, RemoteAddr, RemoteClient,
+//!     RemoteServer,
+//! };
+//! use sdf::figure2_graphs;
+//! use std::sync::Arc;
+//!
+//! let (a, b) = figure2_graphs();
+//! let spec = SystemSpec::builder()
+//!     .application(Application::new("A", a)?)
+//!     .application(Application::new("B", b)?)
+//!     .mapping(Mapping::by_actor_index(3))
+//!     .build()?;
+//! let fleet = FleetManager::new(spec, FleetConfig::default())?;
+//!
+//! // Serve the fleet over a loopback TCP socket (port 0 = ephemeral).
+//! let server = RemoteServer::bind(&"tcp:127.0.0.1:0".parse()?, Arc::new(fleet))?;
+//! let client = RemoteClient::connect(server.local_addr())?;
+//!
+//! // The client is just another AdmissionService.
+//! let decision = client.admit(&AdmissionRequest::new(0))?;
+//! client.release(decision.resident().expect("admitted"))?;
+//! client.close();
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cache::lock;
+use crate::journal::{Journal, JournalError};
+use crate::service::{
+    AdmissionDecision, AdmissionRequest, AdmissionService, Completer, Completion, LayerMetrics,
+    ServiceError, ServiceSnapshot,
+};
+use contention::{Estimate, Method};
+use platform::{SystemSpec, UseCase};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Current remote-protocol version; both ends must agree exactly.
+pub const REMOTE_PROTOCOL_VERSION: u64 = 1;
+
+/// Handshake magic identifying this protocol on the wire.
+const MAGIC: &str = "probcon-remote";
+
+/// Hard cap on a single frame's payload (a workload spec fits comfortably;
+/// anything bigger is a corrupt length prefix).
+const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Addresses and connections.
+// ---------------------------------------------------------------------------
+
+/// Address of a remote admission endpoint: `tcp:HOST:PORT` or `unix:PATH`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteAddr {
+    /// TCP endpoint, `HOST:PORT` (port 0 binds an ephemeral port).
+    Tcp(String),
+    /// Unix domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl fmt::Display for RemoteAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteAddr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+            #[cfg(unix)]
+            RemoteAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+impl std::str::FromStr for RemoteAddr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RemoteAddr, String> {
+        if let Some(hostport) = s.strip_prefix("tcp:") {
+            if hostport.rsplit_once(':').is_none() {
+                return Err(format!("tcp address '{hostport}' is not HOST:PORT"));
+            }
+            return Ok(RemoteAddr::Tcp(hostport.to_string()));
+        }
+        #[cfg(unix)]
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix address needs a socket path".to_string());
+            }
+            return Ok(RemoteAddr::Unix(PathBuf::from(path)));
+        }
+        Err(format!("address '{s}' must be tcp:HOST:PORT or unix:PATH"))
+    }
+}
+
+/// One accepted or dialed byte stream, TCP or UDS.
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn connect(addr: &RemoteAddr) -> std::io::Result<Conn> {
+        match addr {
+            RemoteAddr::Tcp(hostport) => {
+                let stream = TcpStream::connect(hostport.as_str())?;
+                // Frames are small and latency-bound; Nagle would batch
+                // pipelined requests behind delayed ACKs.
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            RemoteAddr::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+            #[cfg(unix)]
+            Conn::Unix(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Listening half, TCP or UDS, in non-blocking accept mode.
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn bind(addr: &RemoteAddr) -> std::io::Result<(Listener, RemoteAddr)> {
+        match addr {
+            RemoteAddr::Tcp(hostport) => {
+                let listener = TcpListener::bind(hostport.as_str())?;
+                listener.set_nonblocking(true)?;
+                let local = RemoteAddr::Tcp(listener.local_addr()?.to_string());
+                Ok((Listener::Tcp(listener), local))
+            }
+            #[cfg(unix)]
+            RemoteAddr::Unix(path) => {
+                // A stale socket file from a crashed server would make bind
+                // fail with AddrInUse even though nobody is listening.
+                if path.exists() && UnixStream::connect(path).is_err() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Ok((Listener::Unix(listener), RemoteAddr::Unix(path.clone())))
+            }
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                // Accepted streams may inherit the listener's non-blocking
+                // mode; handlers expect timeout-based blocking reads.
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Framing: length-prefixed JSON lines.
+// ---------------------------------------------------------------------------
+
+/// What one poll of the frame stream produced.
+#[derive(Debug)]
+enum FrameEvent {
+    /// A complete JSON payload.
+    Frame(String),
+    /// No bytes arrived within one read timeout, at a frame boundary.
+    Idle,
+    /// Clean EOF at a frame boundary.
+    Closed,
+}
+
+/// Incremental frame decoder over any byte stream. Partial frames survive
+/// read timeouts (the buffer keeps them), so a poll-style read loop never
+/// loses sync; only EOF or a prolonged stall *inside* a frame is a
+/// truncation error.
+struct FrameReader<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    start: usize,
+    /// Consecutive mid-frame read timeouts tolerated before the frame is
+    /// declared truncated.
+    max_stalls: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    fn new(src: R, max_stalls: usize) -> FrameReader<R> {
+        FrameReader {
+            src,
+            buf: Vec::new(),
+            start: 0,
+            max_stalls: max_stalls.max(1),
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Parses one complete frame out of the buffer, if present.
+    fn take_frame(&mut self) -> Result<Option<String>, String> {
+        let bytes = &self.buf[self.start..];
+        if bytes.is_empty() {
+            return Ok(None);
+        }
+        // Decimal length prefix terminated by one space.
+        let mut len = 0usize;
+        let mut i = 0usize;
+        loop {
+            let Some(&b) = bytes.get(i) else {
+                // Prefix still arriving; 9 digits already bound MAX_FRAME.
+                return if i <= 9 {
+                    Ok(None)
+                } else {
+                    Err("malformed frame: unterminated length prefix".to_string())
+                };
+            };
+            match b {
+                b'0'..=b'9' if i < 9 => {
+                    len = len * 10 + usize::from(b - b'0');
+                    i += 1;
+                }
+                b' ' if i > 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err("malformed frame: bad length prefix".to_string()),
+            }
+        }
+        if len > MAX_FRAME {
+            return Err(format!("malformed frame: {len} bytes exceeds maximum"));
+        }
+        let total = i + len + 1;
+        if bytes.len() < total {
+            return Ok(None);
+        }
+        if bytes[i + len] != b'\n' {
+            return Err("malformed frame: missing newline terminator".to_string());
+        }
+        let payload = std::str::from_utf8(&bytes[i..i + len])
+            .map_err(|_| "malformed frame: payload is not UTF-8".to_string())?
+            .to_string();
+        self.start += total;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// Reads until a complete frame, idle timeout (at a boundary), EOF, or
+    /// error. A peer that closes or stalls mid-frame is a truncation.
+    fn read_frame(&mut self) -> Result<FrameEvent, String> {
+        let mut stalls = 0usize;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(frame) = self.take_frame()? {
+                return Ok(FrameEvent::Frame(frame));
+            }
+            match self.src.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buffered() == 0 {
+                        Ok(FrameEvent::Closed)
+                    } else {
+                        Err("truncated frame: connection closed mid-frame".to_string())
+                    };
+                }
+                Ok(n) => {
+                    stalls = 0;
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if is_timeout(&e) => {
+                    if self.buffered() == 0 {
+                        return Ok(FrameEvent::Idle);
+                    }
+                    stalls += 1;
+                    if stalls >= self.max_stalls {
+                        return Err("truncated frame: peer stalled mid-frame".to_string());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("read failed: {e}")),
+            }
+        }
+    }
+}
+
+/// Serializes `msg` and writes one `LEN JSON\n` frame.
+fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), String> {
+    let json = serde_json::to_string(msg).map_err(|e| format!("serialize frame: {e}"))?;
+    let mut out = Vec::with_capacity(json.len() + 12);
+    out.extend_from_slice(json.len().to_string().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(json.as_bytes());
+    out.push(b'\n');
+    w.write_all(&out)
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("write failed: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages.
+// ---------------------------------------------------------------------------
+
+/// First frame on a connection, client → server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientHello {
+    /// Protocol magic (`"probcon-remote"`).
+    pub magic: String,
+    /// Client's [`REMOTE_PROTOCOL_VERSION`].
+    pub version: u64,
+}
+
+/// Handshake reply, server → client. On a version mismatch the server
+/// still answers (naming its own version, omitting the workload) and then
+/// closes, so the client can produce a precise typed error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerHello {
+    /// Protocol magic (`"probcon-remote"`).
+    pub magic: String,
+    /// Server's [`REMOTE_PROTOCOL_VERSION`].
+    pub version: u64,
+    /// The served stack's workload spec, so clients can phrase
+    /// spec-relative requests (and drivers can seed request streams)
+    /// without out-of-band configuration.
+    pub workload: Option<SystemSpec>,
+    /// Admission domains of the served stack (fleet groups / manager
+    /// shards), for drivers that spread requests across domains.
+    pub domains: u64,
+}
+
+/// One request frame: a client-assigned correlation id plus the operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Correlation id echoed by the matching [`WireResponse`].
+    pub id: u64,
+    /// The requested operation.
+    pub op: WireOp,
+}
+
+/// Operations a [`RemoteClient`] can request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireOp {
+    /// Decide one admission.
+    Admit(AdmissionRequest),
+    /// Release a resident by id.
+    Release(u64),
+    /// Snapshot the served stack (with per-layer metrics).
+    Snapshot,
+    /// Estimate all periods of the use-case with the given mask.
+    Estimate {
+        /// Active-application mask ([`UseCase::mask`]).
+        mask: u64,
+        /// Estimation method.
+        method: Method,
+    },
+    /// Fetch the server-side decision journal, rendered as JSON lines.
+    Journal,
+}
+
+/// One response frame, correlated to its request by `id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Correlation id of the answered [`WireRequest`] (0 for protocol-level
+    /// errors that could not be correlated, e.g. malformed frames).
+    pub id: u64,
+    /// The outcome.
+    pub body: WireBody,
+}
+
+/// Response payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireBody {
+    /// The admission was decided (admitted, rejected or saturated — all
+    /// three are decisions, not errors).
+    Decision(AdmissionDecision),
+    /// The release succeeded.
+    Released,
+    /// The served stack's snapshot.
+    Snapshot(ServiceSnapshot),
+    /// The computed estimate.
+    Estimate(Estimate),
+    /// The server-side journal, rendered as JSON lines
+    /// ([`Journal::render`]).
+    Journal(String),
+    /// The operation failed.
+    Error(WireFault),
+}
+
+/// A [`ServiceError`] flattened for the wire (the analysis error's
+/// structure does not cross; its rendering does).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireFault {
+    /// See [`ServiceError::NoWorkload`].
+    NoWorkload,
+    /// See [`ServiceError::UnknownResident`].
+    UnknownResident(u64),
+    /// See [`ServiceError::UnknownDomain`].
+    UnknownDomain(u64),
+    /// See [`ServiceError::Stopped`].
+    Stopped,
+    /// See [`ServiceError::QueueFull`].
+    QueueFull,
+    /// See [`ServiceError::Config`].
+    Config(String),
+    /// The far end's analysis failed; carries the rendered
+    /// [`ServiceError::Analysis`] message.
+    Analysis(String),
+    /// A transport-layer failure (malformed frame, unsupported request).
+    Transport(String),
+}
+
+impl From<&ServiceError> for WireFault {
+    fn from(e: &ServiceError) -> WireFault {
+        match e {
+            ServiceError::NoWorkload => WireFault::NoWorkload,
+            ServiceError::UnknownResident(r) => WireFault::UnknownResident(*r),
+            ServiceError::UnknownDomain(d) => WireFault::UnknownDomain(*d as u64),
+            ServiceError::Stopped => WireFault::Stopped,
+            ServiceError::QueueFull => WireFault::QueueFull,
+            ServiceError::Config(msg) => WireFault::Config(msg.clone()),
+            ServiceError::Analysis(e) => WireFault::Analysis(e.to_string()),
+            ServiceError::Transport(msg) => WireFault::Transport(msg.clone()),
+        }
+    }
+}
+
+impl WireFault {
+    fn into_service_error(self) -> ServiceError {
+        match self {
+            WireFault::NoWorkload => ServiceError::NoWorkload,
+            WireFault::UnknownResident(r) => ServiceError::UnknownResident(r),
+            WireFault::UnknownDomain(d) => ServiceError::UnknownDomain(d as usize),
+            WireFault::Stopped => ServiceError::Stopped,
+            WireFault::QueueFull => ServiceError::QueueFull,
+            WireFault::Config(msg) => ServiceError::Config(msg),
+            WireFault::Analysis(msg) => {
+                ServiceError::Config(format!("remote analysis failure: {msg}"))
+            }
+            WireFault::Transport(msg) => ServiceError::Transport(msg),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+/// Producer of the server-side journal text served to
+/// [`WireOp::Journal`] requests (`None` when the served stack records no
+/// journal). The closure bridges the gap between the type-erased
+/// `Arc<dyn AdmissionService>` and the concrete stack that owns the
+/// [`Journal`] — capture the stack and call
+/// `journal().render()`.
+pub type JournalSource = Box<dyn Fn() -> Option<String> + Send + Sync>;
+
+/// Tuning knobs of a [`RemoteServer`].
+#[derive(Debug, Clone)]
+pub struct RemoteServerConfig {
+    /// Maximum simultaneously served connections; further accepts are
+    /// closed immediately.
+    pub max_connections: usize,
+    /// Poll granularity of the accept loop and of idle connection reads —
+    /// the latency with which shutdown is observed.
+    pub poll_interval: Duration,
+    /// How long a peer may stall *inside* a frame before the connection is
+    /// declared truncated and cut.
+    pub stall_timeout: Duration,
+    /// How long a fresh connection may take to complete the handshake.
+    pub handshake_timeout: Duration,
+    /// Shut the server down after its first connection closes — one-shot
+    /// mode for scripted drivers (`probcon serve --once`) that should exit
+    /// when their client is done.
+    pub once: bool,
+}
+
+impl Default for RemoteServerConfig {
+    fn default() -> Self {
+        RemoteServerConfig {
+            max_connections: 64,
+            poll_interval: Duration::from_millis(20),
+            stall_timeout: Duration::from_secs(5),
+            handshake_timeout: Duration::from_secs(5),
+            once: false,
+        }
+    }
+}
+
+/// Point-in-time counters of a [`RemoteServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Connections currently being served.
+    pub active: u64,
+    /// Requests decided and answered.
+    pub requests: u64,
+    /// Connections cut for malformed/truncated frames.
+    pub protocol_errors: u64,
+    /// Handshakes refused (bad magic, version mismatch, timeout).
+    pub handshake_rejects: u64,
+}
+
+struct ServerShared {
+    service: Arc<dyn AdmissionService>,
+    journal_source: Option<JournalSource>,
+    config: RemoteServerConfig,
+    stopping: AtomicBool,
+    connections: AtomicU64,
+    /// Connections that completed the handshake — only these arm `once`
+    /// mode (liveness probes and the UDS stale-socket check connect and
+    /// drop without handshaking; they must not shut a one-shot server
+    /// down before its real client arrives).
+    handshaken: AtomicU64,
+    active: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    handshake_rejects: AtomicU64,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn handshake_domains(&self) -> u64 {
+        let snapshot = self.service.snapshot();
+        snapshot
+            .counter("fleet", "groups")
+            .or_else(|| snapshot.counter("manager", "shards"))
+            .unwrap_or(1)
+    }
+
+    /// Serves one connection: handshake, then a request/response loop that
+    /// drains in-flight frames on shutdown before closing.
+    fn handle(&self, conn: Conn) {
+        if let Err(refusal) = self.try_handle(conn) {
+            if refusal {
+                self.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `Err(true)` = handshake refusal, `Err(false)` = protocol error.
+    fn try_handle(&self, conn: Conn) -> Result<(), bool> {
+        let poll = self.config.poll_interval;
+        conn.set_read_timeout(Some(poll)).map_err(|_| false)?;
+        let mut writer = conn.try_clone().map_err(|_| false)?;
+        let stalls = stall_budget(self.config.stall_timeout, poll);
+        let mut reader = FrameReader::new(conn, stalls);
+
+        // Handshake, bounded by its own deadline.
+        let deadline = Instant::now() + self.config.handshake_timeout;
+        let hello: ClientHello = loop {
+            match reader.read_frame() {
+                Ok(FrameEvent::Frame(json)) => {
+                    break serde_json::from_str(&json).map_err(|_| true)?
+                }
+                Ok(FrameEvent::Idle) => {
+                    if Instant::now() >= deadline || self.stopping.load(Ordering::Acquire) {
+                        return Err(true);
+                    }
+                }
+                Ok(FrameEvent::Closed) | Err(_) => return Err(true),
+            }
+        };
+        let compatible = hello.magic == MAGIC && hello.version == REMOTE_PROTOCOL_VERSION;
+        let reply = ServerHello {
+            magic: MAGIC.to_string(),
+            version: REMOTE_PROTOCOL_VERSION,
+            workload: if compatible {
+                self.service.workload().cloned()
+            } else {
+                None
+            },
+            domains: self.handshake_domains(),
+        };
+        write_frame(&mut writer, &reply).map_err(|_| true)?;
+        if !compatible {
+            return Err(true);
+        }
+        self.handshaken.fetch_add(1, Ordering::Release);
+
+        // Request/response loop. When the server is stopping, frames
+        // already in flight keep being decided and answered; the
+        // connection closes at the first idle poll.
+        loop {
+            match reader.read_frame() {
+                Ok(FrameEvent::Frame(json)) => {
+                    let request: WireRequest = match serde_json::from_str(&json) {
+                        Ok(request) => request,
+                        Err(e) => {
+                            let _ = write_frame(
+                                &mut writer,
+                                &WireResponse {
+                                    id: 0,
+                                    body: WireBody::Error(WireFault::Transport(format!(
+                                        "malformed request: {e}"
+                                    ))),
+                                },
+                            );
+                            return Err(false);
+                        }
+                    };
+                    self.requests.fetch_add(1, Ordering::Relaxed);
+                    let body = self.dispatch(request.op);
+                    let response = WireResponse {
+                        id: request.id,
+                        body,
+                    };
+                    if write_frame(&mut writer, &response).is_err() {
+                        return Ok(()); // peer went away; nothing to report
+                    }
+                }
+                Ok(FrameEvent::Idle) => {
+                    if self.stopping.load(Ordering::Acquire) {
+                        return Ok(()); // drained: no in-flight frame remains
+                    }
+                }
+                Ok(FrameEvent::Closed) => return Ok(()),
+                Err(msg) => {
+                    let _ = write_frame(
+                        &mut writer,
+                        &WireResponse {
+                            id: 0,
+                            body: WireBody::Error(WireFault::Transport(msg)),
+                        },
+                    );
+                    return Err(false);
+                }
+            }
+        }
+    }
+
+    /// Decides one operation, converting a panicking service (an analysis
+    /// edge case, a poisoned layer) into a typed error instead of a dead
+    /// handler thread — remote clients always get an answer.
+    fn dispatch(&self, op: WireOp) -> WireBody {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch_inner(op)))
+            .unwrap_or_else(|panic| {
+                let reason = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                WireBody::Error(WireFault::Analysis(format!(
+                    "service panicked while deciding: {reason}"
+                )))
+            })
+    }
+
+    fn dispatch_inner(&self, op: WireOp) -> WireBody {
+        match op {
+            WireOp::Admit(request) => match self.service.admit(&request) {
+                Ok(decision) => WireBody::Decision(decision),
+                Err(e) => WireBody::Error(WireFault::from(&e)),
+            },
+            WireOp::Release(resident) => match self.service.release(resident) {
+                Ok(()) => WireBody::Released,
+                Err(e) => WireBody::Error(WireFault::from(&e)),
+            },
+            WireOp::Snapshot => WireBody::Snapshot(self.service.snapshot()),
+            WireOp::Estimate { mask, method } => {
+                match self.service.estimate(UseCase::from_mask(mask), method) {
+                    Ok(estimate) => WireBody::Estimate((*estimate).clone()),
+                    Err(e) => WireBody::Error(WireFault::from(&e)),
+                }
+            }
+            WireOp::Journal => match self.journal_source.as_ref().and_then(|source| source()) {
+                Some(text) => WireBody::Journal(text),
+                None => WireBody::Error(WireFault::Config("server records no journal".to_string())),
+            },
+        }
+    }
+}
+
+fn stall_budget(stall_timeout: Duration, poll: Duration) -> usize {
+    let poll = poll.max(Duration::from_millis(1));
+    ((stall_timeout.as_millis() / poll.as_millis()).max(1)) as usize
+}
+
+/// Serves any `Arc<dyn AdmissionService>` over TCP or UDS (see the
+/// [module docs](self)).
+pub struct RemoteServer {
+    shared: Arc<ServerShared>,
+    local_addr: RemoteAddr,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl fmt::Debug for RemoteServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteServer")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteServer {
+    /// Binds and starts serving `service` on `addr` with default tuning
+    /// and no journal source.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Transport`] when the address cannot be bound.
+    pub fn bind(
+        addr: &RemoteAddr,
+        service: Arc<dyn AdmissionService>,
+    ) -> Result<RemoteServer, ServiceError> {
+        RemoteServer::bind_with(addr, service, None, RemoteServerConfig::default())
+    }
+
+    /// Binds with an explicit [`JournalSource`] and [`RemoteServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Transport`] when the address cannot be bound.
+    pub fn bind_with(
+        addr: &RemoteAddr,
+        service: Arc<dyn AdmissionService>,
+        journal_source: Option<JournalSource>,
+        config: RemoteServerConfig,
+    ) -> Result<RemoteServer, ServiceError> {
+        let (listener, local_addr) = Listener::bind(addr)
+            .map_err(|e| ServiceError::Transport(format!("bind {addr}: {e}")))?;
+        #[cfg(unix)]
+        let unix_path = match &local_addr {
+            RemoteAddr::Unix(path) => Some(path.clone()),
+            RemoteAddr::Tcp(_) => None,
+        };
+        let shared = Arc::new(ServerShared {
+            service,
+            journal_source,
+            config,
+            stopping: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            handshaken: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            handshake_rejects: AtomicU64::new(0),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle =
+            std::thread::spawn(move || RemoteServer::accept_loop(&accept_shared, listener));
+        Ok(RemoteServer {
+            shared,
+            local_addr,
+            accept_handle: Mutex::new(Some(accept_handle)),
+            #[cfg(unix)]
+            unix_path,
+        })
+    }
+
+    /// The accept loop: polls for connections until the server stops (or,
+    /// in [`once`](RemoteServerConfig::once) mode, until the first served
+    /// connection has closed). Dropping the listener on exit stops accepts
+    /// *before* any live connection is drained.
+    fn accept_loop(shared: &Arc<ServerShared>, listener: Listener) {
+        loop {
+            if shared.stopping.load(Ordering::Acquire) {
+                return;
+            }
+            if shared.config.once
+                && shared.handshaken.load(Ordering::Acquire) > 0
+                && shared.active.load(Ordering::Acquire) == 0
+            {
+                shared.stopping.store(true, Ordering::Release);
+                return;
+            }
+            match listener.accept() {
+                Ok(conn) => {
+                    if shared.active.load(Ordering::Acquire) >= shared.config.max_connections as u64
+                    {
+                        conn.shutdown();
+                        continue;
+                    }
+                    shared.connections.fetch_add(1, Ordering::Release);
+                    shared.active.fetch_add(1, Ordering::Release);
+                    let handler_shared = Arc::clone(shared);
+                    let handle = std::thread::spawn(move || {
+                        // Decrement `active` even if the handler panics:
+                        // a leaked count would wedge `once` mode and eat
+                        // into `max_connections` forever.
+                        struct ActiveGuard(Arc<ServerShared>);
+                        impl Drop for ActiveGuard {
+                            fn drop(&mut self) {
+                                self.0.active.fetch_sub(1, Ordering::Release);
+                            }
+                        }
+                        let _guard = ActiveGuard(Arc::clone(&handler_shared));
+                        handler_shared.handle(conn);
+                    });
+                    let mut handlers = lock(&shared.handlers);
+                    // Reap finished handlers so long-lived servers don't
+                    // accumulate a handle per historical connection.
+                    handlers.retain(|h| !h.is_finished());
+                    handlers.push(handle);
+                }
+                Err(e) if is_timeout(&e) => {
+                    std::thread::sleep(shared.config.poll_interval);
+                }
+                Err(_) => {
+                    if shared.stopping.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(shared.config.poll_interval);
+                }
+            }
+        }
+    }
+
+    /// The actually bound address — for `tcp:HOST:0`, the ephemeral port
+    /// is resolved here.
+    pub fn local_addr(&self) -> &RemoteAddr {
+        &self.local_addr
+    }
+
+    /// The served stack.
+    pub fn service(&self) -> &dyn AdmissionService {
+        &*self.shared.service
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> RemoteServerStats {
+        RemoteServerStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            active: self.shared.active.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            handshake_rejects: self.shared.handshake_rejects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `true` once shutdown has begun (accepts stopped or stopping).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the server has fully stopped: the accept loop has
+    /// exited and every connection has drained. With
+    /// [`once`](RemoteServerConfig::once) set, that is right after the
+    /// first connection closes; otherwise it requires
+    /// [`shutdown`](Self::shutdown) from another thread.
+    pub fn wait(&self) {
+        if let Some(handle) = lock(&self.accept_handle).take() {
+            let _ = handle.join();
+        }
+        loop {
+            let handle = lock(&self.shared.handlers).pop();
+            match handle {
+                Some(handle) => drop(handle.join()),
+                None => break,
+            }
+        }
+    }
+
+    /// Graceful shutdown, ordered against accepts: stops accepting new
+    /// connections first, then drains every live connection (in-flight
+    /// frames are decided and answered) and joins all threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        self.wait();
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for RemoteServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+/// What a pending request will complete once its response (or a transport
+/// failure) arrives.
+enum PendingOp {
+    Admit(Completer<AdmissionDecision>),
+    Release(Completer<()>),
+    Snapshot(Completer<ServiceSnapshot>),
+    Estimate(Completer<Arc<Estimate>>),
+    Journal(Completer<String>),
+}
+
+impl PendingOp {
+    fn fail(self, error: ServiceError) {
+        match self {
+            PendingOp::Admit(c) => c.complete(Err(error)),
+            PendingOp::Release(c) => c.complete(Err(error)),
+            PendingOp::Snapshot(c) => c.complete(Err(error)),
+            PendingOp::Estimate(c) => c.complete(Err(error)),
+            PendingOp::Journal(c) => c.complete(Err(error)),
+        }
+    }
+
+    fn complete(self, body: WireBody) {
+        // An Error body fails any pending kind; otherwise body and kind
+        // must agree, or the far end answered with the wrong shape.
+        if let WireBody::Error(fault) = body {
+            return self.fail(fault.into_service_error());
+        }
+        let mismatch = ServiceError::Transport("response type mismatch".to_string());
+        match (self, body) {
+            (PendingOp::Admit(c), WireBody::Decision(decision)) => c.complete(Ok(decision)),
+            (PendingOp::Release(c), WireBody::Released) => c.complete(Ok(())),
+            (PendingOp::Snapshot(c), WireBody::Snapshot(snapshot)) => c.complete(Ok(snapshot)),
+            (PendingOp::Estimate(c), WireBody::Estimate(estimate)) => {
+                c.complete(Ok(Arc::new(estimate)));
+            }
+            (PendingOp::Journal(c), WireBody::Journal(text)) => c.complete(Ok(text)),
+            (pending, _) => pending.fail(mismatch),
+        }
+    }
+}
+
+struct ClientShared {
+    writer: Mutex<Conn>,
+    pending: Mutex<HashMap<u64, PendingOp>>,
+    next_id: AtomicU64,
+    /// First transport failure; set once, fails every later call fast.
+    broken: Mutex<Option<String>>,
+    /// `Some(t)`: fail everything if requests stay pending for `t` with no
+    /// response arriving — bounds a wedged-but-connected server. `None`
+    /// (the default) waits as long as the connection lives.
+    response_timeout: Option<Duration>,
+    /// Last time a response arrived (or a burst started against an empty
+    /// pending map) — the reference point for `response_timeout`.
+    last_progress: Mutex<Instant>,
+    workload: Option<SystemSpec>,
+    domains: u64,
+    peer: RemoteAddr,
+    requests_sent: AtomicU64,
+    responses: AtomicU64,
+    transport_errors: AtomicU64,
+}
+
+impl ClientShared {
+    /// Fails every pending completion and marks the connection broken —
+    /// a disconnected client resolves, never hangs.
+    fn fail_all(&self, reason: &str) {
+        {
+            let mut broken = lock(&self.broken);
+            if broken.is_none() {
+                *broken = Some(reason.to_string());
+            }
+        }
+        let drained: Vec<PendingOp> = {
+            let mut pending = lock(&self.pending);
+            pending.drain().map(|(_, op)| op).collect()
+        };
+        if !drained.is_empty() {
+            self.transport_errors
+                .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        }
+        for op in drained {
+            op.fail(ServiceError::Transport(reason.to_string()));
+        }
+    }
+
+    fn reader_loop(&self, mut reader: FrameReader<Conn>) {
+        loop {
+            match reader.read_frame() {
+                Ok(FrameEvent::Frame(json)) => match serde_json::from_str::<WireResponse>(&json) {
+                    Ok(response) => {
+                        self.responses.fetch_add(1, Ordering::Relaxed);
+                        *lock(&self.last_progress) = Instant::now();
+                        let pending = lock(&self.pending).remove(&response.id);
+                        match pending {
+                            Some(op) => op.complete(response.body),
+                            None => {
+                                // id 0 = uncorrelated server-side protocol
+                                // error: the connection state is unknown.
+                                if response.id == 0 {
+                                    let reason = match response.body {
+                                        WireBody::Error(fault) => {
+                                            fault.into_service_error().to_string()
+                                        }
+                                        _ => "uncorrelated server response".to_string(),
+                                    };
+                                    self.fail_all(&reason);
+                                    return;
+                                }
+                                self.transport_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        self.fail_all(&format!("malformed response: {e}"));
+                        return;
+                    }
+                },
+                // Idle polls only occur when a response deadline is set
+                // (reads are blocking otherwise): a server that stays
+                // connected but answers nothing for the whole deadline is
+                // failed typed instead of hanging its completions.
+                Ok(FrameEvent::Idle) => {
+                    if let Some(timeout) = self.response_timeout {
+                        let stalled = !lock(&self.pending).is_empty()
+                            && lock(&self.last_progress).elapsed() > timeout;
+                        if stalled {
+                            self.fail_all(&format!(
+                                "server stopped responding ({}ms response deadline exceeded)",
+                                timeout.as_millis()
+                            ));
+                            return;
+                        }
+                    }
+                }
+                Ok(FrameEvent::Closed) => {
+                    self.fail_all("server closed the connection");
+                    return;
+                }
+                Err(msg) => {
+                    self.fail_all(&msg);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Registers a pending op and writes its request frame; on write
+    /// failure the whole connection is failed (a broken pipe is terminal).
+    fn send(&self, op: WireOp, pending: PendingOp) {
+        if let Some(reason) = lock(&self.broken).clone() {
+            return pending.fail(ServiceError::Transport(reason));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut map = lock(&self.pending);
+            if map.is_empty() {
+                // Arm the response deadline from the front of a burst.
+                *lock(&self.last_progress) = Instant::now();
+            }
+            map.insert(id, pending);
+        }
+        let frame = WireRequest { id, op };
+        let result = {
+            let mut writer = lock(&self.writer);
+            write_frame(&mut *writer, &frame)
+        };
+        match result {
+            Ok(()) => {
+                self.requests_sent.fetch_add(1, Ordering::Relaxed);
+                // Close the race with a concurrent fail_all(): if the
+                // reader died between the broken check above and our
+                // insert, the drain may have missed this op — it would
+                // otherwise never resolve.
+                if let Some(reason) = lock(&self.broken).clone() {
+                    if let Some(op) = lock(&self.pending).remove(&id) {
+                        self.transport_errors.fetch_add(1, Ordering::Relaxed);
+                        op.fail(ServiceError::Transport(reason));
+                    }
+                }
+            }
+            Err(msg) => self.fail_all(&msg),
+        }
+    }
+}
+
+/// An [`AdmissionService`] whose decisions are made by a [`RemoteServer`]
+/// in another process (see the [module docs](self)).
+pub struct RemoteClient {
+    shared: Arc<ClientShared>,
+    reader_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for RemoteClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("peer", &self.shared.peer)
+            .field("pending", &lock(&self.shared.pending).len())
+            .field("broken", &*lock(&self.shared.broken))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteClient {
+    /// Connects and handshakes with the server at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Transport`] on connection failure, handshake
+    /// timeout, bad magic, or a protocol-version mismatch (the error names
+    /// both versions).
+    pub fn connect(addr: &RemoteAddr) -> Result<RemoteClient, ServiceError> {
+        RemoteClient::connect_with(addr, Duration::from_secs(5), None)
+    }
+
+    /// [`connect`](Self::connect) with an explicit handshake timeout and
+    /// an optional **response deadline**: with `Some(t)`, a server that
+    /// stays connected but answers nothing for `t` while requests are
+    /// pending fails every completion with a typed
+    /// [`ServiceError::Transport`] — bounding even a wedged or paused far
+    /// end. `None` (the [`connect`](Self::connect) default) waits as long
+    /// as the connection lives, which suits arbitrarily slow admissions;
+    /// callers can still bound individual waits with
+    /// [`Completion::wait_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// See [`connect`](Self::connect).
+    pub fn connect_with(
+        addr: &RemoteAddr,
+        handshake_timeout: Duration,
+        response_timeout: Option<Duration>,
+    ) -> Result<RemoteClient, ServiceError> {
+        let transport = |msg: String| ServiceError::Transport(msg);
+        let conn = Conn::connect(addr).map_err(|e| transport(format!("connect {addr}: {e}")))?;
+        conn.set_read_timeout(Some(handshake_timeout.max(Duration::from_millis(10))))
+            .map_err(|e| transport(format!("configure {addr}: {e}")))?;
+        let mut writer = conn
+            .try_clone()
+            .map_err(|e| transport(format!("clone {addr}: {e}")))?;
+        write_frame(
+            &mut writer,
+            &ClientHello {
+                magic: MAGIC.to_string(),
+                version: REMOTE_PROTOCOL_VERSION,
+            },
+        )
+        .map_err(transport)?;
+        let mut reader = FrameReader::new(conn, 1);
+        let hello: ServerHello = match reader.read_frame().map_err(transport)? {
+            FrameEvent::Frame(json) => serde_json::from_str(&json)
+                .map_err(|e| transport(format!("malformed server hello: {e}")))?,
+            FrameEvent::Idle => return Err(transport("handshake timed out".to_string())),
+            FrameEvent::Closed => {
+                return Err(transport(
+                    "server closed the connection during handshake".to_string(),
+                ))
+            }
+        };
+        if hello.magic != MAGIC {
+            return Err(transport(format!(
+                "peer is not a {MAGIC} server (magic '{}')",
+                hello.magic
+            )));
+        }
+        if hello.version != REMOTE_PROTOCOL_VERSION {
+            return Err(transport(format!(
+                "protocol version mismatch: client {REMOTE_PROTOCOL_VERSION}, server {}",
+                hello.version
+            )));
+        }
+        // Handshake done. Without a response deadline the reader blocks
+        // until the server answers; with one, it polls so the deadline can
+        // be enforced between frames.
+        // Poll at a quarter of the deadline (floored so a tiny deadline
+        // still yields a non-zero read timeout rather than panicking).
+        let poll = response_timeout.map(|t| (t / 4).max(Duration::from_millis(1)));
+        reader
+            .src
+            .set_read_timeout(poll)
+            .map_err(|e| transport(format!("configure {addr}: {e}")))?;
+        // Polling reads may time out mid-frame while the server is still
+        // writing; allow roughly two deadlines of stall before declaring
+        // the frame truncated (the handshake above used a single stall).
+        reader.max_stalls = if poll.is_some() { 8 } else { 1 };
+
+        let shared = Arc::new(ClientShared {
+            writer: Mutex::new(writer),
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            broken: Mutex::new(None),
+            response_timeout,
+            last_progress: Mutex::new(Instant::now()),
+            workload: hello.workload,
+            domains: hello.domains,
+            peer: addr.clone(),
+            requests_sent: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            transport_errors: AtomicU64::new(0),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader_handle = std::thread::spawn(move || reader_shared.reader_loop(reader));
+        Ok(RemoteClient {
+            shared,
+            reader_handle: Mutex::new(Some(reader_handle)),
+        })
+    }
+
+    /// The server's address.
+    pub fn peer(&self) -> &RemoteAddr {
+        &self.shared.peer
+    }
+
+    /// Admission domains (fleet groups / manager shards) the server
+    /// advertised at handshake.
+    pub fn domains(&self) -> usize {
+        self.shared.domains as usize
+    }
+
+    /// `Some(reason)` once the transport has failed; every subsequent call
+    /// fails fast with that reason.
+    pub fn broken(&self) -> Option<String> {
+        lock(&self.shared.broken).clone()
+    }
+
+    /// Queues one release without blocking; the completion resolves once
+    /// the far end released (or refused to release) the resident.
+    pub fn submit_release(&self, resident: u64) -> Completion<()> {
+        let (completer, completion) = Completion::pending();
+        self.shared
+            .send(WireOp::Release(resident), PendingOp::Release(completer));
+        completion
+    }
+
+    /// Fetches the served stack's snapshot as a `Result` (the trait's
+    /// [`snapshot`](AdmissionService::snapshot) swallows transport errors
+    /// into an empty snapshot, since it is infallible by signature).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Transport`] when the connection failed.
+    pub fn remote_snapshot(&self) -> Result<ServiceSnapshot, ServiceError> {
+        let (completer, completion) = Completion::pending();
+        self.shared
+            .send(WireOp::Snapshot, PendingOp::Snapshot(completer));
+        completion.wait()
+    }
+
+    /// Fetches and parses the server-side decision journal — the exact
+    /// checksummed record the far end kept, ready for
+    /// [`JournalReplayer`](crate::JournalReplayer) or `probcon replay`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Transport`] on connection failure,
+    /// [`ServiceError::Config`] when the server records no journal or the
+    /// fetched text fails checksum verification.
+    pub fn fetch_journal(&self) -> Result<Journal, ServiceError> {
+        let (completer, completion) = Completion::pending();
+        self.shared
+            .send(WireOp::Journal, PendingOp::Journal(completer));
+        let text = completion.wait()?;
+        Journal::parse(&text)
+            .map_err(|e: JournalError| ServiceError::Config(format!("fetched journal: {e}")))
+    }
+
+    /// Closes the connection: the write half is shut down, the reader
+    /// drains (failing any still-pending completions) and is joined.
+    /// Idempotent; called on drop.
+    pub fn close(&self) {
+        {
+            let writer = lock(&self.shared.writer);
+            writer.shutdown();
+        }
+        self.shared.fail_all("client closed the connection");
+        if let Some(handle) = lock(&self.reader_handle).take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn client_layer(&self) -> LayerMetrics {
+        LayerMetrics::new("remote")
+            .counter(
+                "requests_sent",
+                self.shared.requests_sent.load(Ordering::Relaxed),
+            )
+            .counter("responses", self.shared.responses.load(Ordering::Relaxed))
+            .counter(
+                "transport_errors",
+                self.shared.transport_errors.load(Ordering::Relaxed),
+            )
+            .counter("pending", lock(&self.shared.pending).len() as u64)
+            .counter("broken", u64::from(lock(&self.shared.broken).is_some()))
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl AdmissionService for RemoteClient {
+    /// Sends the admission over the wire and waits for the correlated
+    /// decision.
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        AdmissionService::submit(self, request.clone()).wait()
+    }
+
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        self.submit_release(resident).wait()
+    }
+
+    /// The far end's snapshot with this client's `"remote"` layer
+    /// appended; a failed transport yields an all-zero snapshot whose
+    /// `remote` layer records the failure (`broken` = 1).
+    fn snapshot(&self) -> ServiceSnapshot {
+        let mut snapshot = self.remote_snapshot().unwrap_or(ServiceSnapshot {
+            residents: 0,
+            capacity: 0,
+            admitted: 0,
+            rejected: 0,
+            saturated: 0,
+            released: 0,
+            layers: Vec::new(),
+        });
+        snapshot.layers.push(self.client_layer());
+        snapshot
+    }
+
+    /// The workload spec the server advertised at handshake.
+    fn workload(&self) -> Option<&SystemSpec> {
+        self.shared.workload.as_ref()
+    }
+
+    /// Estimates on the far end — a server-side
+    /// [`Cached`](crate::Cached) layer serves repeats fleet-wide, across
+    /// every connected client.
+    fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        let (completer, completion) = Completion::pending();
+        self.shared.send(
+            WireOp::Estimate {
+                mask: use_case.mask(),
+                method,
+            },
+            PendingOp::Estimate(completer),
+        );
+        completion.wait()
+    }
+
+    /// Genuinely pipelined submission: the request goes out immediately
+    /// and the completion resolves when the correlated response arrives,
+    /// so many admissions can be in flight on one connection.
+    fn submit(&self, request: AdmissionRequest) -> Completion {
+        let (completer, completion) = Completion::pending();
+        self.shared
+            .send(WireOp::Admit(request), PendingOp::Admit(completer));
+        completion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, FleetManager, RoutingPolicy};
+    use crate::service::{Cached, Journaled};
+    use platform::{Application, Mapping};
+    use sdf::figure2_graphs;
+    use std::sync::atomic::AtomicUsize;
+
+    fn spec() -> SystemSpec {
+        let (a, b) = figure2_graphs();
+        SystemSpec::builder()
+            .application(Application::new("A", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap()
+    }
+
+    fn fleet(groups: usize, capacity: usize) -> FleetManager {
+        FleetManager::new(
+            spec(),
+            FleetConfig::uniform(groups, 1, capacity, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap()
+    }
+
+    static NEXT_SOCKET: AtomicUsize = AtomicUsize::new(0);
+
+    fn uds_addr(tag: &str) -> RemoteAddr {
+        let dir = std::env::temp_dir().join("probcon-remote-unit");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let n = NEXT_SOCKET.fetch_add(1, Ordering::Relaxed);
+        RemoteAddr::Unix(dir.join(format!("{tag}-{}-{n}.sock", std::process::id())))
+    }
+
+    #[test]
+    fn addr_parses_and_displays() {
+        let tcp: RemoteAddr = "tcp:127.0.0.1:7007".parse().unwrap();
+        assert_eq!(tcp, RemoteAddr::Tcp("127.0.0.1:7007".to_string()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:7007");
+        let unix: RemoteAddr = "unix:/tmp/x.sock".parse().unwrap();
+        assert_eq!(unix.to_string(), "unix:/tmp/x.sock");
+        assert!("tcp:noport".parse::<RemoteAddr>().is_err());
+        assert!("unix:".parse::<RemoteAddr>().is_err());
+        assert!("127.0.0.1:7007".parse::<RemoteAddr>().is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_survive_chunked_reads() {
+        struct OneByte<R: Read>(R);
+        impl<R: Read> Read for OneByte<R> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let mut wire = Vec::new();
+        let hello = ClientHello {
+            magic: MAGIC.to_string(),
+            version: 3,
+        };
+        write_frame(&mut wire, &hello).unwrap();
+        write_frame(&mut wire, &hello).unwrap();
+        let mut reader = FrameReader::new(OneByte(&wire[..]), 4);
+        for _ in 0..2 {
+            let FrameEvent::Frame(json) = reader.read_frame().unwrap() else {
+                panic!("expected frame");
+            };
+            let back: ClientHello = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, hello);
+        }
+        assert!(matches!(reader.read_frame().unwrap(), FrameEvent::Closed));
+    }
+
+    #[test]
+    fn frame_reader_rejects_garbage_and_truncation() {
+        // Bad prefix.
+        let mut reader = FrameReader::new(&b"xx {}\n"[..], 4);
+        assert!(reader.read_frame().is_err());
+        // Length lies beyond the payload and the stream ends: truncated.
+        let mut reader = FrameReader::new(&b"10 {}\n"[..], 4);
+        assert!(reader.read_frame().unwrap_err().contains("truncated"));
+        // Missing newline terminator.
+        let mut reader = FrameReader::new(&b"2 {}x"[..], 4);
+        assert!(reader.read_frame().is_err());
+        // Oversized declared length.
+        let mut reader = FrameReader::new(&b"99999999 x"[..], 4);
+        assert!(reader.read_frame().is_err());
+    }
+
+    #[test]
+    fn wire_messages_roundtrip_through_json() {
+        let request = WireRequest {
+            id: 42,
+            op: WireOp::Admit(AdmissionRequest::new(1).with_affinity("uc0").on(2)),
+        };
+        let json = serde_json::to_string(&request).unwrap();
+        assert_eq!(serde_json::from_str::<WireRequest>(&json).unwrap(), request);
+
+        let response = WireResponse {
+            id: 42,
+            body: WireBody::Error(WireFault::UnknownResident(7)),
+        };
+        let json = serde_json::to_string(&response).unwrap();
+        let back: WireResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, response);
+        let WireBody::Error(fault) = back.body else {
+            panic!("error body");
+        };
+        assert_eq!(fault.into_service_error(), ServiceError::UnknownResident(7));
+    }
+
+    #[test]
+    fn tcp_roundtrip_admit_release_estimate_snapshot() {
+        let server = RemoteServer::bind(
+            &"tcp:127.0.0.1:0".parse().unwrap(),
+            Arc::new(Cached::new(fleet(2, 2), 16)),
+        )
+        .unwrap();
+        let client = RemoteClient::connect(server.local_addr()).unwrap();
+
+        // The handshake delivered the workload spec and domain count.
+        assert_eq!(client.workload().unwrap().application_count(), 2);
+        assert_eq!(client.domains(), 2);
+
+        let decision = client.admit(&AdmissionRequest::new(0)).unwrap();
+        assert!(decision.is_admitted());
+        let estimate = client
+            .estimate(UseCase::full(2), Method::SECOND_ORDER)
+            .unwrap();
+        assert!(!estimate.periods().is_empty());
+        let snapshot = AdmissionService::snapshot(&client);
+        assert_eq!(snapshot.admitted, 1);
+        assert_eq!(snapshot.counter("fleet", "groups"), Some(2));
+        assert_eq!(snapshot.counter("remote", "transport_errors"), Some(0));
+        client.release(decision.resident().unwrap()).unwrap();
+        assert_eq!(
+            client.release(decision.resident().unwrap()).unwrap_err(),
+            ServiceError::UnknownResident(decision.resident().unwrap())
+        );
+
+        client.close();
+        server.shutdown();
+        assert_eq!(server.stats().active, 0);
+        assert_eq!(server.stats().protocol_errors, 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_roundtrip_and_journal_fetch() {
+        let addr = uds_addr("roundtrip");
+        let stack = Arc::new(Journaled::new(Cached::new(fleet(1, 2), 8)));
+        let journal_stack = Arc::clone(&stack);
+        let server = RemoteServer::bind_with(
+            &addr,
+            stack,
+            Some(Box::new(move || Some(journal_stack.journal().render()))),
+            RemoteServerConfig::default(),
+        )
+        .unwrap();
+        let client = RemoteClient::connect(server.local_addr()).unwrap();
+        let decision = client.admit(&AdmissionRequest::new(0)).unwrap();
+        client.release(decision.resident().unwrap()).unwrap();
+
+        // The journal fetched over the wire verifies and matches.
+        let journal = client.fetch_journal().unwrap();
+        assert_eq!(journal.len(), 2);
+        journal.verify().unwrap();
+
+        client.close();
+        server.shutdown();
+        // The socket file is removed on shutdown.
+        let RemoteAddr::Unix(path) = &addr else {
+            panic!("uds addr");
+        };
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn pipelined_submissions_correlate_by_id() {
+        let server =
+            RemoteServer::bind(&"tcp:127.0.0.1:0".parse().unwrap(), Arc::new(fleet(2, 16)))
+                .unwrap();
+        let client = RemoteClient::connect(server.local_addr()).unwrap();
+
+        // Queue a burst without waiting: all in flight on one connection.
+        let completions: Vec<Completion> = (0..12)
+            .map(|i| AdmissionService::submit(&client, AdmissionRequest::new(i)))
+            .collect();
+        let mut residents = Vec::new();
+        for completion in &completions {
+            residents.extend(completion.wait().unwrap().resident());
+        }
+        assert_eq!(residents.len(), 12);
+        // Releases interleave with a snapshot request on the same pipe.
+        let releases: Vec<Completion<()>> = residents
+            .iter()
+            .map(|&r| client.submit_release(r))
+            .collect();
+        let snapshot = client.remote_snapshot().unwrap();
+        assert_eq!(snapshot.admitted, 12);
+        for release in releases {
+            release.wait().unwrap();
+        }
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_refuses_version_mismatch_with_its_own_version() {
+        let server =
+            RemoteServer::bind(&"tcp:127.0.0.1:0".parse().unwrap(), Arc::new(fleet(1, 1))).unwrap();
+        let RemoteAddr::Tcp(hostport) = server.local_addr().clone() else {
+            panic!("tcp addr");
+        };
+        // A raw client speaking a future protocol version.
+        let mut conn = TcpStream::connect(hostport.as_str()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(
+            &mut conn,
+            &ClientHello {
+                magic: MAGIC.to_string(),
+                version: REMOTE_PROTOCOL_VERSION + 1,
+            },
+        )
+        .unwrap();
+        let mut reader = FrameReader::new(conn.try_clone().unwrap(), 100);
+        let FrameEvent::Frame(json) = reader.read_frame().unwrap() else {
+            panic!("server answers the hello");
+        };
+        let hello: ServerHello = serde_json::from_str(&json).unwrap();
+        assert_eq!(hello.version, REMOTE_PROTOCOL_VERSION);
+        assert!(hello.workload.is_none(), "no spec for refused clients");
+        // ... and then closes the connection.
+        assert!(matches!(
+            reader.read_frame(),
+            Ok(FrameEvent::Closed) | Err(_)
+        ));
+        assert_eq!(server.stats().handshake_rejects, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_stops_accepts_then_drains_in_flight() {
+        let server =
+            RemoteServer::bind(&"tcp:127.0.0.1:0".parse().unwrap(), Arc::new(fleet(2, 8))).unwrap();
+        let client = RemoteClient::connect(server.local_addr()).unwrap();
+        let burst: Vec<Completion> = (0..8)
+            .map(|i| AdmissionService::submit(&client, AdmissionRequest::new(i)))
+            .collect();
+        let addr = server.local_addr().clone();
+        server.shutdown();
+        assert!(server.is_stopping());
+        // Accepts stopped: a fresh connect cannot handshake any more.
+        assert!(RemoteClient::connect_with(&addr, Duration::from_millis(300), None).is_err());
+        // ... but every in-flight submission resolved (decision or typed
+        // transport error — drain answers what it read before closing).
+        for completion in burst {
+            match completion.wait() {
+                Ok(decision) => assert!(decision.domain() < 2),
+                Err(ServiceError::Transport(_)) => {}
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        client.close();
+    }
+
+    #[test]
+    fn once_mode_ignores_probe_connections_without_handshake() {
+        let server = RemoteServer::bind_with(
+            &"tcp:127.0.0.1:0".parse().unwrap(),
+            Arc::new(fleet(1, 2)),
+            None,
+            RemoteServerConfig {
+                once: true,
+                handshake_timeout: Duration::from_millis(200),
+                ..RemoteServerConfig::default()
+            },
+        )
+        .unwrap();
+        let RemoteAddr::Tcp(hostport) = server.local_addr().clone() else {
+            panic!("tcp addr");
+        };
+        // A liveness probe: connect and drop without ever handshaking.
+        // It must not arm once-mode and shut the server down before the
+        // real client arrives.
+        drop(TcpStream::connect(hostport.as_str()).unwrap());
+        std::thread::sleep(Duration::from_millis(400)); // probe conn reaped
+        assert!(!server.is_stopping(), "probe must not stop a once server");
+
+        let client = RemoteClient::connect(server.local_addr()).unwrap();
+        assert!(client
+            .admit(&AdmissionRequest::new(0))
+            .unwrap()
+            .is_admitted());
+        client.close();
+        server.wait();
+        assert!(server.is_stopping());
+    }
+
+    #[test]
+    fn once_mode_stops_after_first_connection_closes() {
+        let server = RemoteServer::bind_with(
+            &"tcp:127.0.0.1:0".parse().unwrap(),
+            Arc::new(fleet(1, 2)),
+            None,
+            RemoteServerConfig {
+                once: true,
+                ..RemoteServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = RemoteClient::connect(server.local_addr()).unwrap();
+        let decision = client.admit(&AdmissionRequest::new(0)).unwrap();
+        assert!(decision.is_admitted());
+        client.close();
+        // The server notices the disconnect and stops by itself.
+        server.wait();
+        assert!(server.is_stopping());
+    }
+
+    #[test]
+    fn broken_client_fails_fast_with_typed_errors() {
+        let server =
+            RemoteServer::bind(&"tcp:127.0.0.1:0".parse().unwrap(), Arc::new(fleet(1, 2))).unwrap();
+        let client = RemoteClient::connect(server.local_addr()).unwrap();
+        client.close();
+        assert!(client.broken().is_some());
+        assert!(matches!(
+            client.admit(&AdmissionRequest::new(0)).unwrap_err(),
+            ServiceError::Transport(_)
+        ));
+        // The infallible snapshot degrades to the zeroed form, flagged.
+        let snapshot = AdmissionService::snapshot(&client);
+        assert_eq!(snapshot.capacity, 0);
+        assert_eq!(snapshot.counter("remote", "broken"), Some(1));
+        server.shutdown();
+    }
+}

@@ -66,6 +66,7 @@ use contention::{AdmissionOutcome, ContentionError, Estimate, Method, Violation}
 use experiments::signoff::SignOffReport;
 use platform::{AppId, Application, NodeId, SystemSpec, UseCase};
 use sdf::Rational;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,7 +79,10 @@ use std::time::{Duration, Instant};
 /// same request stream can drive any [`AdmissionService`] — a single
 /// manager, a fleet, or a middleware stack — without knowing how the
 /// service instantiates and maps the application.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Serializable: the [`remote`](crate::remote) transport ships requests
+/// between processes exactly as drivers phrase them.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct AdmissionRequest {
     /// Index of the application in the service's workload spec (reduced
     /// modulo the application count).
@@ -132,7 +136,10 @@ impl AdmissionRequest {
 /// `runtime::FleetAdmission`) convert into — see the `From` conversions —
 /// and the only shape middleware layers and the
 /// [`FrontEnd`](crate::FrontEnd) ever see.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable: decisions cross the [`remote`](crate::remote) wire with
+/// exact rational periods and full violation lists.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdmissionDecision {
     /// Admitted: the service holds the capacity under `resident` until
     /// [`release`](AdmissionService::release)d.
@@ -264,6 +271,10 @@ pub enum ServiceError {
     Config(String),
     /// The underlying analysis failed; no decision was computed.
     Analysis(ContentionError),
+    /// A remote transport failed before a decision arrived (disconnect,
+    /// malformed frame, handshake refusal) — see [`crate::remote`]. The
+    /// request may or may not have been decided by the far end.
+    Transport(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -276,6 +287,7 @@ impl fmt::Display for ServiceError {
             ServiceError::QueueFull => write!(f, "submission queue is full"),
             ServiceError::Config(e) => write!(f, "service configuration error: {e}"),
             ServiceError::Analysis(e) => write!(f, "analysis failure: {e}"),
+            ServiceError::Transport(e) => write!(f, "transport failure: {e}"),
         }
     }
 }
@@ -297,7 +309,7 @@ impl From<ContentionError> for ServiceError {
 
 /// One middleware layer's own counters, surfaced through
 /// [`AdmissionService::snapshot`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LayerMetrics {
     /// Layer name (`"manager"`, `"fleet"`, `"cached"`, `"journaled"`,
     /// `"metered"`, `"front-end"`).
@@ -325,8 +337,9 @@ impl LayerMetrics {
 
 /// Point-in-time state of a whole service stack: the base service's
 /// utilisation/outcome totals plus one [`LayerMetrics`] entry per layer,
-/// innermost first.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// innermost first. Serializable, so a [`RemoteClient`](crate::remote)
+/// surfaces the far end's layer table as its own inner layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceSnapshot {
     /// Live residents.
     pub residents: usize,

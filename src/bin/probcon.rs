@@ -7,6 +7,8 @@
 //! probcon simulate --seed 2007 --apps 10 --use-case 1023 [--horizon 500000]
 //! probcon serve-bench --threads 4 --requests 1000 [--apps N] [--shards S]
 //! probcon fleet-bench --requests 1000 [--groups 4] [--journal fleet.jsonl]
+//! probcon serve    --listen unix:/tmp/probcon.sock [--once] [--journal fleet.jsonl]
+//! probcon fleet-bench --connect unix:/tmp/probcon.sock --requests 1000
 //! probcon replay   <journal.jsonl>
 //! probcon paper    [--quick]
 //! ```
@@ -62,12 +64,26 @@ USAGE:
                       [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
                       [--policy least-utilised|round-robin|affinity]
                       [--journal <file.jsonl>] [--warm-cache]
+                      [--connect tcp:HOST:PORT|unix:PATH]
       Drive a metered + cached service stack over a multi-group fleet manager
       with a seeded admit/release/rebalance/estimate stream, print per-group
       utilisation and per-layer service metrics, optionally pre-warm the
       estimate cache from the sign-off artefact (reporting warm-vs-cold hit
       rates), and optionally record every decision to an append-only
-      checksummed journal.
+      checksummed journal. With --connect, drive a fleet served by `probcon
+      serve` in another process instead: the workload spec arrives in the
+      handshake, and --journal fetches the server-side decision journal for
+      local replay.
+
+  probcon serve --listen tcp:HOST:PORT|unix:PATH [--seed <u64>] [--apps <n>]
+                [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
+                [--policy least-utilised|round-robin|affinity] [--cache <n>]
+                [--once] [--journal <file.jsonl>]
+      Serve an estimate-cached multi-group fleet manager over the remote
+      admission protocol (TCP or Unix domain socket). Every decision lands in
+      the fleet's header-stamped journal, served to clients over the wire.
+      --once exits after the first client disconnects (for scripted drivers);
+      --journal also writes the journal to a file at shutdown.
 
   probcon replay <journal.jsonl>
       Rebuild the workload and fleet named in a journal's header, re-execute
@@ -144,6 +160,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "signoff" => cmd_signoff(&options),
         "serve-bench" => cmd_serve_bench(&options),
         "fleet-bench" => cmd_fleet_bench(&options),
+        "serve" => cmd_serve(&options),
         "replay" => cmd_replay(positional.get(1).copied(), &options),
         "paper" => cmd_paper(&options),
         "help" | "--help" | "-h" => {
@@ -378,6 +395,10 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
         JournalHeader, Metered, RoutingPolicy, JOURNAL_VERSION,
     };
 
+    if let Some(&addr) = options.get("connect") {
+        return cmd_fleet_bench_remote(addr, options);
+    }
+
     let requests = require_u64(options, "requests")? as usize;
     if requests == 0 {
         return Err("--requests must be positive".into());
@@ -494,6 +515,169 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
         }
     }
 
+    if let Some(path) = options.get("journal") {
+        fleet.journal().write_to(path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} decisions to {path} (replay with: probcon replay {path})",
+            fleet.journal().len()
+        );
+    }
+    fleet.stop();
+    Ok(())
+}
+
+/// `fleet-bench --connect`: the same seeded driver, but against a fleet
+/// served by `probcon serve` in another process. The workload spec and
+/// domain count arrive in the protocol handshake, so the only knobs left
+/// are the request stream's.
+fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(), String> {
+    use runtime::{
+        run_service_requests, seeded_fleet_requests, AdmissionService, Metered, RemoteAddr,
+        RemoteClient,
+    };
+
+    // Fleet shape and workload are the server's to decide.
+    for flag in [
+        "apps",
+        "actors",
+        "groups",
+        "shards",
+        "capacity",
+        "policy",
+        "warm-cache",
+    ] {
+        if options.contains_key(flag) {
+            return Err(format!(
+                "--{flag} configures a local fleet and is not valid with --connect \
+                 (the server decides it; pass it to `probcon serve` instead)"
+            ));
+        }
+    }
+    let requests = require_u64(options, "requests")? as usize;
+    if requests == 0 {
+        return Err("--requests must be positive".into());
+    }
+    let threads = opt_u64(options, "threads")?.unwrap_or(1) as usize;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let seed = opt_u64(options, "seed")?.unwrap_or(experiments::workload::DEFAULT_SEED);
+
+    let addr: RemoteAddr = addr.parse()?;
+    let client = RemoteClient::connect(&addr).map_err(|e| e.to_string())?;
+    let spec = client
+        .workload()
+        .ok_or("server advertised no workload spec")?
+        .clone();
+    let groups = client.domains();
+    println!(
+        "fleet-bench: {} applications across {groups} remote domains at {addr}",
+        spec.application_count()
+    );
+
+    let stream = seeded_fleet_requests(&spec, groups, requests, seed);
+    let stack = Metered::new(client);
+    let report = run_service_requests(&stack, stream, threads);
+    print!("{}", report.render());
+
+    if let Some(path) = options.get("journal") {
+        let journal = stack.inner().fetch_journal().map_err(|e| e.to_string())?;
+        journal.write_to(path).map_err(|e| e.to_string())?;
+        println!(
+            "fetched {} server-side decisions to {path} (replay with: probcon replay {path})",
+            journal.len()
+        );
+    }
+    stack.inner().close();
+    Ok(())
+}
+
+fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
+    use runtime::{
+        Cached, FleetConfig, FleetManager, JournalHeader, RemoteAddr, RemoteServer,
+        RemoteServerConfig, RoutingPolicy, JOURNAL_VERSION,
+    };
+    use std::sync::Arc;
+
+    let listen = options
+        .get("listen")
+        .ok_or("missing required option --listen")?;
+    let addr: RemoteAddr = listen.parse()?;
+    let seed = opt_u64(options, "seed")?.unwrap_or(experiments::workload::DEFAULT_SEED);
+    let apps = opt_u64(options, "apps")?.unwrap_or(6) as usize;
+    if apps == 0 || apps > 20 {
+        return Err("--apps must be in 1..=20".into());
+    }
+    let actors = opt_u64(options, "actors")?.unwrap_or(5) as usize;
+    let groups = opt_u64(options, "groups")?.unwrap_or(4) as usize;
+    if groups == 0 {
+        return Err("--groups must be positive".into());
+    }
+    let shards = opt_u64(options, "shards")?.unwrap_or(1) as usize;
+    let capacity = opt_u64(options, "capacity")?.unwrap_or(4) as usize;
+    let cache = opt_u64(options, "cache")?.unwrap_or(256) as usize;
+    if cache == 0 {
+        return Err("--cache must be positive".into());
+    }
+    let policy = options
+        .get("policy")
+        .copied()
+        .unwrap_or("least-utilised")
+        .parse::<RoutingPolicy>()?;
+
+    let spec = workload_with(seed, apps, &GeneratorConfig::with_actors(actors))
+        .map_err(|e| e.to_string())?;
+    // Stamp the workload parameters so the served journal is
+    // self-contained: any client can fetch it and `probcon replay` it.
+    let header = JournalHeader {
+        version: JOURNAL_VERSION,
+        seed,
+        apps: apps as u64,
+        actors: actors as u64,
+        groups: groups as u64,
+        shards_per_group: shards as u64,
+        capacity_per_shard: capacity as u64,
+        policy: policy.to_string(),
+        group_shapes: Vec::new(),
+    };
+    let fleet = FleetManager::with_header(
+        spec,
+        FleetConfig::uniform(groups, shards, capacity, policy),
+        header,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let journal_fleet = fleet.clone();
+    let server = RemoteServer::bind_with(
+        &addr,
+        Arc::new(Cached::new(fleet.clone(), cache)),
+        Some(Box::new(move || Some(journal_fleet.journal().render()))),
+        RemoteServerConfig {
+            once: options.contains_key("once"),
+            ..RemoteServerConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "serving {apps} applications × {actors} actors, {groups} groups × {shards} shards × \
+         capacity {capacity}, {policy} routing, {cache}-entry estimate cache"
+    );
+    println!("listening on {}", server.local_addr());
+    println!(
+        "connect with: probcon fleet-bench --connect {} --requests 1000",
+        server.local_addr()
+    );
+
+    // Blocks until shutdown: with --once, until the first client
+    // disconnects; otherwise until the process is killed.
+    server.wait();
+    let stats = server.stats();
+    println!(
+        "served {} requests over {} connections ({} protocol errors, {} handshake rejects)",
+        stats.requests, stats.connections, stats.protocol_errors, stats.handshake_rejects
+    );
+    print!("{}", fleet.snapshot().render());
     if let Some(path) = options.get("journal") {
         fleet.journal().write_to(path).map_err(|e| e.to_string())?;
         println!(

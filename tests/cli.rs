@@ -315,3 +315,111 @@ fn analyze_rejects_garbage_file() {
     let out = probcon(&["analyze", bad.to_str().expect("utf8 path")]);
     assert!(!out.status.success());
 }
+
+#[cfg(unix)]
+#[test]
+fn serve_connect_journal_replay_roundtrip_over_uds() {
+    // The full remote loop in one test: a `probcon serve --once` process
+    // on a Unix domain socket, a `fleet-bench --connect` run against it
+    // that fetches the server-side journal over the wire, and a
+    // `probcon replay` verifying the fetched journal outcome-for-outcome.
+    let dir = std::env::temp_dir().join("probcon-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let socket = dir.join(format!("serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let journal = dir.join(format!("remote-{}.jsonl", std::process::id()));
+    let listen = format!("unix:{}", socket.display());
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_probcon"))
+        .args([
+            "serve", "--listen", &listen, "--once", "--apps", "3", "--actors", "4", "--groups", "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    // Wait for the socket to appear (the server binds before accepting).
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(socket.exists(), "server never bound {}", socket.display());
+
+    let out = probcon(&[
+        "fleet-bench",
+        "--connect",
+        &listen,
+        "--requests",
+        "200",
+        "--journal",
+        journal.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "remote domains",
+        "req/s",
+        "remote",
+        "fleet",
+        "metered",
+        "fetched",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+
+    // --once: the server exits by itself after the client disconnects.
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exit: {status:?}");
+
+    // The journal recorded in the *server* process replays equivalently
+    // in this one.
+    let out = probcon(&["replay", journal.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("EQUIVALENT"), "{stdout}");
+    assert!(stdout.contains("0 diverged"), "{stdout}");
+}
+
+#[test]
+fn fleet_bench_connect_rejects_local_fleet_flags_and_dead_endpoints() {
+    for bad in [
+        vec![
+            "fleet-bench",
+            "--connect",
+            "unix:/tmp/x.sock",
+            "--requests",
+            "10",
+            "--groups",
+            "2",
+        ],
+        vec![
+            "fleet-bench",
+            "--connect",
+            "unix:/tmp/x.sock",
+            "--requests",
+            "10",
+            "--warm-cache",
+        ],
+        vec![
+            "fleet-bench",
+            "--connect",
+            "bogus-address",
+            "--requests",
+            "10",
+        ],
+        // Nothing listening: a typed connect error, not a hang.
+        vec![
+            "fleet-bench",
+            "--connect",
+            "tcp:127.0.0.1:1",
+            "--requests",
+            "10",
+        ],
+        vec!["serve"],
+        vec!["serve", "--listen", "bogus-address"],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
+}

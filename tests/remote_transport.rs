@@ -1,0 +1,442 @@
+//! Failure-mode tests of the `runtime::remote` transport: truncated
+//! frames, malformed JSON, protocol-version mismatches and mid-flight
+//! disconnects. The invariant under test throughout: **client completions
+//! resolve with typed errors, they never hang** — every scenario runs
+//! under the same watchdog the runtime stress tests use, so a wedged
+//! transport fails the suite instead of freezing it.
+
+use platform::{Application, Mapping, SystemSpec};
+use runtime::{
+    AdmissionRequest, AdmissionService, Completion, FleetConfig, FleetManager, RemoteAddr,
+    RemoteClient, RemoteServer, RemoteServerConfig, RoutingPolicy, ServiceError,
+    REMOTE_PROTOCOL_VERSION,
+};
+use sdf::figure2_graphs;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// Runs `f` on a fresh thread and fails the test if it does not finish
+/// within [`WATCHDOG`] — a hanging completion would block forever
+/// otherwise.
+fn with_watchdog<F: FnOnce() + Send + 'static>(f: F) {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        tx.send(()).expect("watchdog receiver lives");
+    });
+    rx.recv_timeout(WATCHDOG)
+        .expect("transport test hung: watchdog expired");
+    worker.join().expect("transport test panicked");
+}
+
+fn spec() -> SystemSpec {
+    let (a, b) = figure2_graphs();
+    SystemSpec::builder()
+        .application(Application::new("A", a).expect("valid"))
+        .application(Application::new("B", b).expect("valid"))
+        .mapping(Mapping::by_actor_index(3))
+        .build()
+        .expect("valid spec")
+}
+
+fn fleet(groups: usize, capacity: usize) -> FleetManager {
+    FleetManager::new(
+        spec(),
+        FleetConfig::uniform(groups, 1, capacity, RoutingPolicy::LeastUtilised),
+    )
+    .expect("valid fleet")
+}
+
+fn serve(groups: usize, capacity: usize) -> RemoteServer {
+    RemoteServer::bind_with(
+        &"tcp:127.0.0.1:0".parse().expect("addr"),
+        Arc::new(fleet(groups, capacity)),
+        None,
+        RemoteServerConfig {
+            // Tight stall budget so truncation tests conclude quickly.
+            stall_timeout: Duration::from_millis(300),
+            handshake_timeout: Duration::from_secs(2),
+            ..RemoteServerConfig::default()
+        },
+    )
+    .expect("server binds")
+}
+
+/// Raw TCP connection to a server, for speaking the protocol incorrectly
+/// on purpose. Performs a valid handshake first (the failure under test
+/// comes after it).
+fn raw_handshaken(server: &RemoteServer) -> TcpStream {
+    let RemoteAddr::Tcp(hostport) = server.local_addr().clone() else {
+        panic!("tcp server expected");
+    };
+    let mut conn = TcpStream::connect(hostport.as_str()).expect("connects");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout set");
+    let hello = format!("{{\"magic\":\"probcon-remote\",\"version\":{REMOTE_PROTOCOL_VERSION}}}");
+    writeln!(conn, "{} {hello}", hello.len()).expect("hello frame");
+    read_one_frame(&mut conn).expect("server hello arrives");
+    conn
+}
+
+/// Reads one `LEN JSON\n` frame, returning its payload (None on EOF).
+fn read_one_frame(conn: &mut TcpStream) -> Option<String> {
+    let mut prefix = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if conn.read(&mut byte).ok()? == 0 {
+            return None;
+        }
+        if byte[0] == b' ' {
+            break;
+        }
+        prefix.push(byte[0]);
+    }
+    let len: usize = String::from_utf8(prefix).ok()?.parse().ok()?;
+    let mut payload = vec![0u8; len + 1]; // + newline
+    conn.read_exact(&mut payload).ok()?;
+    payload.pop();
+    String::from_utf8(payload).ok()
+}
+
+/// A fake "server" accepting one connection and running `script` on it —
+/// for failure modes a real server never produces (bogus version, garbage
+/// responses, mid-flight death).
+fn fake_server<F>(script: F) -> RemoteAddr
+where
+    F: FnOnce(TcpStream) + Send + 'static,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fake server binds");
+    let addr = RemoteAddr::Tcp(listener.local_addr().expect("addr").to_string());
+    std::thread::spawn(move || {
+        if let Ok((conn, _)) = listener.accept() {
+            script(conn);
+        }
+    });
+    addr
+}
+
+/// Reads the client hello off a fake-server connection.
+fn consume_client_hello(conn: &mut TcpStream) {
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let _ = read_one_frame(conn).expect("client hello arrives");
+}
+
+// ---------------------------------------------------------------------------
+// Truncated frames.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn server_survives_truncated_frame_and_keeps_serving() {
+    with_watchdog(|| {
+        let server = serve(1, 2);
+
+        // A frame whose declared length exceeds what is ever sent, then
+        // silence: the server must cut the connection as truncated ...
+        let mut evil = raw_handshaken(&server);
+        evil.write_all(b"400 {\"id\":1,").expect("partial frame");
+        evil.flush().expect("flush");
+        let mut rest = Vec::new();
+        let _ = evil.read_to_end(&mut rest); // server answers an error frame and/or closes
+        drop(evil);
+
+        // ... and keep serving well-formed clients afterwards.
+        let client = RemoteClient::connect(server.local_addr()).expect("real client connects");
+        let decision = client
+            .admit(&AdmissionRequest::new(0))
+            .expect("healthy connection still decides");
+        assert!(decision.is_admitted());
+        client.close();
+        // Handlers are joined by shutdown; only then are stats reliable.
+        server.shutdown();
+        assert!(server.stats().protocol_errors >= 1, "{:?}", server.stats());
+    });
+}
+
+#[test]
+fn client_resolves_on_truncated_response() {
+    with_watchdog(|| {
+        let addr = fake_server(|mut conn| {
+            consume_client_hello(&mut conn);
+            let hello = format!(
+                "{{\"magic\":\"probcon-remote\",\"version\":{REMOTE_PROTOCOL_VERSION},\
+                 \"workload\":null,\"domains\":1}}"
+            );
+            writeln!(conn, "{} {hello}", hello.len()).expect("server hello");
+            // Read the admit request, answer with a truncated frame, die.
+            let _ = read_one_frame(&mut conn);
+            conn.write_all(b"999 {\"id\":1,\"body\"")
+                .expect("truncated");
+            conn.flush().expect("flush");
+            // Connection drops here.
+        });
+        let client = RemoteClient::connect(&addr).expect("handshake succeeds");
+        let completion = AdmissionService::submit(&client, AdmissionRequest::new(0));
+        // The completion resolves with a typed transport error — no hang.
+        match completion.wait() {
+            Err(ServiceError::Transport(msg)) => {
+                assert!(msg.contains("truncated"), "unexpected reason: {msg}");
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+        assert!(client.broken().is_some());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Malformed JSON.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn server_answers_malformed_json_with_typed_error() {
+    with_watchdog(|| {
+        let server = serve(1, 2);
+        let mut evil = raw_handshaken(&server);
+        // Correct framing (16 payload bytes declared and sent), garbage
+        // payload — this must reach the serde branch, not the framing one.
+        evil.write_all(b"16 this is not json\n").expect("bad frame");
+        evil.flush().expect("flush");
+        let reply = read_one_frame(&mut evil).expect("server answers before closing");
+        assert!(
+            reply.contains("Error") && reply.contains("\"id\":0"),
+            "expected an uncorrelated error frame, got: {reply}"
+        );
+        // Handlers are joined by shutdown; only then is the stat reliable.
+        server.shutdown();
+        assert_eq!(server.stats().protocol_errors, 1);
+    });
+}
+
+#[test]
+fn client_fails_pending_on_malformed_response() {
+    with_watchdog(|| {
+        let addr = fake_server(|mut conn| {
+            consume_client_hello(&mut conn);
+            let hello = format!(
+                "{{\"magic\":\"probcon-remote\",\"version\":{REMOTE_PROTOCOL_VERSION},\
+                 \"workload\":null,\"domains\":1}}"
+            );
+            writeln!(conn, "{} {hello}", hello.len()).expect("server hello");
+            let _ = read_one_frame(&mut conn);
+            conn.write_all(b"9 not-json!\n").expect("garbage");
+            conn.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let client = RemoteClient::connect(&addr).expect("handshake succeeds");
+        let completion = AdmissionService::submit(&client, AdmissionRequest::new(0));
+        match completion.wait() {
+            Err(ServiceError::Transport(msg)) => {
+                assert!(msg.contains("malformed"), "unexpected reason: {msg}");
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-version mismatch.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn client_rejects_future_server_version_naming_both() {
+    with_watchdog(|| {
+        let future = REMOTE_PROTOCOL_VERSION + 41;
+        let addr = fake_server(move |mut conn| {
+            consume_client_hello(&mut conn);
+            let hello = format!(
+                "{{\"magic\":\"probcon-remote\",\"version\":{future},\
+                 \"workload\":null,\"domains\":1}}"
+            );
+            writeln!(conn, "{} {hello}", hello.len()).expect("server hello");
+        });
+        match RemoteClient::connect(&addr) {
+            Err(ServiceError::Transport(msg)) => {
+                assert!(
+                    msg.contains("version mismatch")
+                        && msg.contains(&REMOTE_PROTOCOL_VERSION.to_string())
+                        && msg.contains(&future.to_string()),
+                    "mismatch error must name both versions: {msg}"
+                );
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn server_rejects_stale_client_version_but_keeps_serving() {
+    with_watchdog(|| {
+        let server = serve(1, 2);
+        let RemoteAddr::Tcp(hostport) = server.local_addr().clone() else {
+            panic!("tcp server expected");
+        };
+        let mut stale = TcpStream::connect(hostport.as_str()).expect("connects");
+        stale
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let hello = "{\"magic\":\"probcon-remote\",\"version\":99}";
+        writeln!(stale, "{} {hello}", hello.len()).expect("stale hello");
+        // The server answers naming its own version, then closes.
+        let reply = read_one_frame(&mut stale).expect("server answers");
+        assert!(
+            reply.contains(&format!("\"version\":{REMOTE_PROTOCOL_VERSION}")),
+            "reply must name the server version: {reply}"
+        );
+        let mut rest = Vec::new();
+        assert_eq!(stale.read_to_end(&mut rest).unwrap_or(0), 0, "then EOF");
+
+        // Compatible clients are unaffected.
+        let client = RemoteClient::connect(server.local_addr()).expect("connects");
+        assert!(client.admit(&AdmissionRequest::new(0)).is_ok());
+        client.close();
+        // Handlers are joined by shutdown; only then are stats reliable.
+        server.shutdown();
+        assert_eq!(server.stats().handshake_rejects, 1);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Server disconnect mid-flight.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mid_flight_disconnect_resolves_every_completion() {
+    with_watchdog(|| {
+        // A fake server that reads a few requests, answers none, and dies
+        // with admissions still in flight.
+        let addr = fake_server(|mut conn| {
+            consume_client_hello(&mut conn);
+            let hello = format!(
+                "{{\"magic\":\"probcon-remote\",\"version\":{REMOTE_PROTOCOL_VERSION},\
+                 \"workload\":null,\"domains\":2}}"
+            );
+            writeln!(conn, "{} {hello}", hello.len()).expect("server hello");
+            for _ in 0..3 {
+                let _ = read_one_frame(&mut conn);
+            }
+            // Dies without answering anything.
+        });
+        let client = RemoteClient::connect(&addr).expect("handshake succeeds");
+        let in_flight: Vec<Completion> = (0..8)
+            .map(|i| AdmissionService::submit(&client, AdmissionRequest::new(i)))
+            .collect();
+        for completion in in_flight {
+            match completion.wait() {
+                Err(ServiceError::Transport(_)) => {}
+                other => panic!("expected transport error, got {other:?}"),
+            }
+        }
+        // Later submissions fail fast instead of queueing into the void.
+        assert!(matches!(
+            client.admit(&AdmissionRequest::new(0)).unwrap_err(),
+            ServiceError::Transport(_)
+        ));
+    });
+}
+
+#[test]
+fn wedged_server_fails_completions_at_the_response_deadline() {
+    with_watchdog(|| {
+        // A server that handshakes, then stays connected but answers
+        // nothing — the worst case for a client without a deadline, since
+        // the connection never closes.
+        let addr = fake_server(|mut conn| {
+            consume_client_hello(&mut conn);
+            let hello = format!(
+                "{{\"magic\":\"probcon-remote\",\"version\":{REMOTE_PROTOCOL_VERSION},\
+                 \"workload\":null,\"domains\":1}}"
+            );
+            writeln!(conn, "{} {hello}", hello.len()).expect("server hello");
+            std::thread::sleep(Duration::from_secs(30)); // wedged
+        });
+        let client = RemoteClient::connect_with(
+            &addr,
+            Duration::from_secs(5),
+            Some(Duration::from_millis(300)),
+        )
+        .expect("handshake succeeds");
+        let completion = AdmissionService::submit(&client, AdmissionRequest::new(0));
+        match completion.wait() {
+            Err(ServiceError::Transport(msg)) => {
+                assert!(
+                    msg.contains("stopped responding"),
+                    "unexpected reason: {msg}"
+                );
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+        assert!(client.broken().is_some());
+    });
+}
+
+#[test]
+fn real_server_shutdown_mid_burst_resolves_every_completion() {
+    with_watchdog(|| {
+        let server = serve(4, 8);
+        let client = RemoteClient::connect(server.local_addr()).expect("connects");
+        let burst: Vec<Completion> = (0..64)
+            .map(|i| AdmissionService::submit(&client, AdmissionRequest::new(i)))
+            .collect();
+        // Shut down with the burst (partially) in flight: drained frames
+        // get decisions, the rest typed transport errors — all resolve.
+        server.shutdown();
+        let mut decided = 0usize;
+        let mut failed = 0usize;
+        for completion in burst {
+            match completion.wait() {
+                Ok(_) => decided += 1,
+                Err(ServiceError::Transport(_)) => failed += 1,
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert_eq!(decided + failed, 64);
+        client.close();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Drivers over the wire.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn front_end_multiplexes_over_a_remote_client_unchanged() {
+    // The point of "both ends are just AdmissionService": the async
+    // front-end event loop drives a remote fleet exactly like a local one.
+    with_watchdog(|| {
+        use runtime::{FrontEnd, FrontEndConfig};
+        let server = serve(2, 8);
+        let client = RemoteClient::connect(server.local_addr()).expect("connects");
+        let front = FrontEnd::new(
+            Box::new(client),
+            FrontEndConfig {
+                workers: 2,
+                queue_capacity: 64,
+            },
+        );
+        let completions: Vec<Completion> = (0..10)
+            .map(|i| front.submit(AdmissionRequest::new(i)))
+            .collect();
+        let mut residents = Vec::new();
+        for completion in completions {
+            residents.extend(completion.wait().expect("decision").resident());
+        }
+        assert_eq!(residents.len(), 10);
+        for resident in residents {
+            front.release(resident).expect("release lands");
+        }
+        let snapshot = front.snapshot();
+        assert_eq!(snapshot.admitted, 10);
+        assert_eq!(snapshot.released, 10);
+        // The stack renders remote and front-end layers side by side.
+        let table = snapshot.render();
+        for needle in ["fleet", "remote", "front-end"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+        front.shutdown();
+        server.shutdown();
+    });
+}
