@@ -135,6 +135,29 @@ impl GroupConfig {
     pub fn capacity(&self) -> usize {
         self.shards * self.capacity_per_shard
     }
+
+    /// The journal-header shape of this group — what
+    /// [`FleetManager::with_header`] stamps and the capacity planner's
+    /// [`FleetShape`](crate::FleetShape) mutates.
+    pub fn to_shape(&self) -> crate::journal::GroupShape {
+        crate::journal::GroupShape {
+            name: self.name.clone(),
+            shards: self.shards as u64,
+            capacity_per_shard: self.capacity_per_shard as u64,
+            tags: self.tags.clone(),
+        }
+    }
+
+    /// Rebuilds the group a recorded shape describes (the inverse of
+    /// [`to_shape`](Self::to_shape)).
+    pub fn from_shape(shape: &crate::journal::GroupShape) -> GroupConfig {
+        GroupConfig::new(
+            shape.name.clone(),
+            shape.shards as usize,
+            shape.capacity_per_shard as usize,
+        )
+        .with_tags(shape.tags.iter().cloned())
+    }
 }
 
 /// Configuration of a [`FleetManager`].
@@ -192,14 +215,7 @@ impl FleetConfig {
             groups: header
                 .group_shapes
                 .iter()
-                .map(|shape| {
-                    GroupConfig::new(
-                        shape.name.clone(),
-                        shape.shards as usize,
-                        shape.capacity_per_shard as usize,
-                    )
-                    .with_tags(shape.tags.iter().cloned())
-                })
+                .map(GroupConfig::from_shape)
                 .collect(),
             policy,
         })
@@ -423,16 +439,7 @@ impl FleetManager {
         if config.groups.is_empty() {
             return Err(FleetError::Config("fleet needs at least one group".into()));
         }
-        header.group_shapes = config
-            .groups
-            .iter()
-            .map(|g| crate::journal::GroupShape {
-                name: g.name.clone(),
-                shards: g.shards as u64,
-                capacity_per_shard: g.capacity_per_shard as u64,
-                tags: g.tags.clone(),
-            })
-            .collect();
+        header.group_shapes = config.groups.iter().map(GroupConfig::to_shape).collect();
         let groups = config
             .groups
             .into_iter()

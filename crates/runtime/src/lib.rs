@@ -33,7 +33,13 @@
 //!   length-prefixed JSON-lines protocol over TCP or Unix domain sockets
 //!   whose both ends are just [`AdmissionService`]s, so a fleet spans
 //!   processes and every existing driver works against it unchanged (see
-//!   [`remote`]).
+//!   [`remote`]);
+//! * [`PlanRun`] / [`PlanSweep`] — the offline capacity planner: replay
+//!   any recorded journal against hypothetical [`FleetShape`]s (scaled
+//!   capacities, added groups, swapped policies) and report which
+//!   decisions would have flipped, with a parallel sweep finding the
+//!   smallest shape that serves everything the recording served (see
+//!   [`planner`], the engine behind `probcon plan`).
 //!
 //! # Example
 //!
@@ -77,6 +83,7 @@ pub mod frontend;
 pub mod journal;
 pub mod manager;
 pub mod metrics;
+pub mod planner;
 pub mod remote;
 pub mod service;
 
@@ -92,13 +99,17 @@ pub use fleet_bench::{
 };
 pub use frontend::{FrontEnd, FrontEndConfig};
 pub use journal::{
-    DecisionEvent, Divergence, GroupShape, Journal, JournalEntry, JournalError, JournalHeader,
-    JournalOutcome, JournalReplayer, ReplayReport, JOURNAL_VERSION,
+    ClientScope, DecisionEvent, Divergence, GroupShape, Journal, JournalEntry, JournalError,
+    JournalHeader, JournalOutcome, JournalReplayer, ReplayReport, JOURNAL_VERSION,
 };
 pub use manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
 };
 pub use metrics::{LatencySummary, RuntimeMetrics};
+pub use planner::{
+    FleetShape, Flip, FlipKind, GroupUsage, OutcomeTotals, PlanError, PlanReport, PlanRun,
+    PlanSweep, RouteMode, SaturationWindow, SweepReport,
+};
 pub use remote::{
     JournalSource, RemoteAddr, RemoteClient, RemoteServer, RemoteServerConfig, RemoteServerStats,
     REMOTE_PROTOCOL_VERSION,

@@ -1,0 +1,1649 @@
+//! Offline capacity planning: what-if journal replay over hypothetical
+//! fleet shapes.
+//!
+//! The paper's argument is *conservative admission at design time*:
+//! predicting whether a use-case fits a platform before committing silicon
+//! or capacity. The [`Journal`] gives us the raw material — every real
+//! admit/reject/saturate/release/rebalance decision a fleet ever made —
+//! and this module closes the loop by re-executing a recorded decision
+//! stream against a **hypothetical** fleet instead of the recorded one:
+//!
+//! * [`FleetShape`] — a serde-able description of a candidate fleet
+//!   (per-group shapes + routing policy), derivable from any
+//!   [`JournalHeader`] and mutated through builder ops like
+//!   [`scale_capacity`](FleetShape::scale_capacity),
+//!   [`add_group`](FleetShape::add_group) and
+//!   [`swap_policy`](FleetShape::swap_policy);
+//! * [`PlanRun`] — one counterfactual replay: the journal's admission
+//!   stream is re-decided through the fleet's [`AdmissionService`] path
+//!   against the hypothetical shape, producing a [`PlanReport`] with
+//!   per-event [`Flip`] records ([`RejectedNowAdmitted`],
+//!   [`AdmittedNowRejected`], [`Rerouted`]), per-group peak/mean
+//!   utilisation and saturation windows;
+//! * [`PlanSweep`] — a grid of shapes executed in parallel on a worker
+//!   pool, summarized by a frontier: the smallest shape with zero
+//!   regressions and the cheapest shape within an acceptable flip budget.
+//!
+//! Unlike [`JournalReplayer`](crate::JournalReplayer), a plan run **never
+//! verifies outcomes** — on a different shape the outcomes are *supposed*
+//! to differ, so divergence is recorded as data (flips), not failure. For
+//! the *identical* shape a plan run reproduces the recording decision for
+//! decision and reports zero flips (property-tested), which is the
+//! planner ≡ replayer anchor every what-if answer hangs off.
+//!
+//! [`RejectedNowAdmitted`]: FlipKind::RejectedNowAdmitted
+//! [`AdmittedNowRejected`]: FlipKind::AdmittedNowRejected
+//! [`Rerouted`]: FlipKind::Rerouted
+//!
+//! # Example
+//!
+//! ```
+//! use platform::{Application, Mapping, SystemSpec};
+//! use runtime::{FleetConfig, FleetManager, FleetShape, PlanRun, RoutingPolicy};
+//! use sdf::figure2_graphs;
+//!
+//! let (a, b) = figure2_graphs();
+//! let spec = SystemSpec::builder()
+//!     .application(Application::new("A", a)?)
+//!     .application(Application::new("B", b)?)
+//!     .mapping(Mapping::by_actor_index(3))
+//!     .build()?;
+//!
+//! // Record a little history on a 1-group fleet of capacity 2.
+//! let fleet = FleetManager::new(
+//!     spec.clone(),
+//!     FleetConfig::uniform(1, 1, 2, RoutingPolicy::LeastUtilised),
+//! )?;
+//! let _t0 = fleet.admit(0, None, None)?.ticket().expect("fits");
+//! let _t1 = fleet.admit(1, None, None)?.ticket().expect("fits");
+//!
+//! // What if the same traffic had hit a fleet with HALF the capacity?
+//! let recorded = FleetShape::from_header(fleet.journal().header());
+//! let halved = recorded.clone().scale_capacity(0.5);
+//! let report = PlanRun::new(&spec, fleet.journal(), &halved).execute()?;
+//! assert_eq!(report.regressions(), 1); // one admission no longer fits
+//!
+//! // ... and against the recorded shape, nothing flips.
+//! let identity = PlanRun::new(&spec, fleet.journal(), &recorded).execute()?;
+//! assert!(identity.flips.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::fleet::{FleetConfig, FleetError, FleetManager, GroupConfig, RoutingPolicy};
+use crate::journal::{DecisionEvent, GroupShape, Journal, JournalHeader, JournalOutcome};
+use crate::service::{AdmissionDecision, AdmissionRequest, AdmissionService, ServiceError};
+use platform::SystemSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// FleetShape: the hypothetical fleet description.
+// ---------------------------------------------------------------------------
+
+/// A candidate fleet: per-group shapes plus a routing policy name.
+///
+/// Shapes are plain serde-able data (they reuse the journal header's
+/// [`GroupShape`] vocabulary), so sweep grids can be built, stored and
+/// compared without touching a live fleet. Derive one from a recorded
+/// journal with [`from_header`](Self::from_header), then mutate it through
+/// the builder ops; [`to_config`](Self::to_config) turns it back into a
+/// buildable [`FleetConfig`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetShape {
+    /// The platform groups (≥ 1 for a buildable shape).
+    pub groups: Vec<GroupShape>,
+    /// Routing policy name (`Display`/`FromStr` of [`RoutingPolicy`]).
+    pub policy: String,
+}
+
+impl FleetShape {
+    /// The exact shape a journal header records: the per-group
+    /// [`GroupShape`]s when stamped (every [`FleetManager`] stamps them),
+    /// synthesized from the uniform summary fields otherwise.
+    pub fn from_header(header: &JournalHeader) -> FleetShape {
+        let groups = if header.group_shapes.is_empty() {
+            (0..header.groups.max(1))
+                .map(|i| GroupShape {
+                    name: format!("group{i}"),
+                    shards: header.shards_per_group.max(1),
+                    capacity_per_shard: header.capacity_per_shard.max(1),
+                    tags: vec![format!("uc{i}")],
+                })
+                .collect()
+        } else {
+            header.group_shapes.clone()
+        };
+        FleetShape {
+            groups,
+            policy: header.policy.clone(),
+        }
+    }
+
+    /// The shape of an existing [`FleetConfig`].
+    pub fn from_config(config: &FleetConfig) -> FleetShape {
+        FleetShape {
+            groups: config.groups.iter().map(GroupConfig::to_shape).collect(),
+            policy: config.policy.to_string(),
+        }
+    }
+
+    /// Builds the [`FleetConfig`] this shape describes.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] when the shape has no groups or its policy
+    /// name does not parse.
+    pub fn to_config(&self) -> Result<FleetConfig, FleetError> {
+        if self.groups.is_empty() {
+            return Err(FleetError::Config("shape has no groups".into()));
+        }
+        let policy = self
+            .policy
+            .parse::<RoutingPolicy>()
+            .map_err(FleetError::Config)?;
+        Ok(FleetConfig {
+            groups: self.groups.iter().map(GroupConfig::from_shape).collect(),
+            policy,
+        })
+    }
+
+    /// Stamps this shape over `base`, producing a header that `probcon
+    /// replay`-style consumers rebuild exactly this fleet from (workload
+    /// fields are kept from `base`).
+    pub fn to_header(&self, base: &JournalHeader) -> JournalHeader {
+        let first = self.groups.first();
+        JournalHeader {
+            groups: self.groups.len() as u64,
+            shards_per_group: first.map_or(1, |g| g.shards),
+            capacity_per_shard: first.map_or(1, |g| g.capacity_per_shard),
+            policy: self.policy.clone(),
+            group_shapes: self.groups.clone(),
+            ..base.clone()
+        }
+    }
+
+    /// Scales every group's per-shard capacity by `factor` (rounded to the
+    /// nearest integer, floored at 1 — a group never vanishes by scaling).
+    #[must_use]
+    pub fn scale_capacity(mut self, factor: f64) -> FleetShape {
+        for group in &mut self.groups {
+            let scaled = (group.capacity_per_shard as f64 * factor).round();
+            group.capacity_per_shard = if scaled < 1.0 { 1 } else { scaled as u64 };
+        }
+        self
+    }
+
+    /// Appends one more group.
+    #[must_use]
+    pub fn add_group(mut self, group: GroupShape) -> FleetShape {
+        self.groups.push(group);
+        self
+    }
+
+    /// Grows or shrinks to exactly `count` groups: extra groups are
+    /// truncated from the end; missing ones clone the last group's shards
+    /// and capacity under fresh `group{i}` / `uc{i}` names (matching
+    /// [`FleetConfig::uniform`]'s naming).
+    #[must_use]
+    pub fn with_group_count(mut self, count: usize) -> FleetShape {
+        let count = count.max(1);
+        self.groups.truncate(count);
+        while self.groups.len() < count {
+            let template = self.groups.last().cloned().unwrap_or(GroupShape {
+                name: String::new(),
+                shards: 1,
+                capacity_per_shard: 1,
+                tags: Vec::new(),
+            });
+            let i = self.groups.len();
+            self.groups.push(GroupShape {
+                name: format!("group{i}"),
+                shards: template.shards,
+                capacity_per_shard: template.capacity_per_shard,
+                tags: vec![format!("uc{i}")],
+            });
+        }
+        self
+    }
+
+    /// Replaces the routing policy.
+    #[must_use]
+    pub fn swap_policy(mut self, policy: RoutingPolicy) -> FleetShape {
+        self.policy = policy.to_string();
+        self
+    }
+
+    /// Total resident capacity across all groups — the "cost" axis the
+    /// sweep frontier minimizes.
+    pub fn total_capacity(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.shards * g.capacity_per_shard)
+            .sum()
+    }
+
+    /// `true` when this shape routes like the recorded one (same group
+    /// count and policy), which lets a plan run reuse the recorded routing
+    /// instead of re-deciding it — see [`RouteMode::Auto`].
+    pub fn routes_like(&self, header: &JournalHeader) -> bool {
+        let recorded = FleetShape::from_header(header);
+        self.groups.len() == recorded.groups.len() && self.policy == recorded.policy
+    }
+
+    /// Compact display label, e.g. `3g×1s×4c least-utilised` for uniform
+    /// shapes or `3g/14c affinity` for heterogeneous ones.
+    pub fn label(&self) -> String {
+        let uniform = self.groups.windows(2).all(|w| {
+            w[0].shards == w[1].shards && w[0].capacity_per_shard == w[1].capacity_per_shard
+        });
+        match (uniform, self.groups.first()) {
+            (true, Some(first)) => format!(
+                "{}g×{}s×{}c {}",
+                self.groups.len(),
+                first.shards,
+                first.capacity_per_shard,
+                self.policy
+            ),
+            _ => format!(
+                "{}g/{}c {}",
+                self.groups.len(),
+                self.total_capacity(),
+                self.policy
+            ),
+        }
+    }
+}
+
+impl fmt::Display for FleetShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flips: divergence as data.
+// ---------------------------------------------------------------------------
+
+/// How a counterfactual decision differed from the recorded one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlipKind {
+    /// The recording denied this admission (rejected or saturated); the
+    /// hypothetical fleet admits it — spare headroom recovered.
+    RejectedNowAdmitted,
+    /// The recording admitted this request; the hypothetical fleet denies
+    /// it (contract rejection or saturation) — a **regression**: real
+    /// served traffic this shape would have turned away.
+    AdmittedNowRejected,
+    /// Same outcome class, different group: the hypothetical routing sent
+    /// the request elsewhere.
+    Rerouted,
+}
+
+impl fmt::Display for FlipKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlipKind::RejectedNowAdmitted => write!(f, "rejected-now-admitted"),
+            FlipKind::AdmittedNowRejected => write!(f, "admitted-now-rejected"),
+            FlipKind::Rerouted => write!(f, "rerouted"),
+        }
+    }
+}
+
+/// One journal event whose counterfactual outcome differed from the
+/// recording.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flip {
+    /// Sequence number of the event in the source journal.
+    pub seq: u64,
+    /// What kind of difference.
+    pub kind: FlipKind,
+    /// The recorded outcome, rendered.
+    pub recorded: String,
+    /// The hypothetical outcome, rendered.
+    pub hypothetical: String,
+}
+
+impl fmt::Display for Flip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seq {}: {} (recorded `{}`, hypothetical `{}`)",
+            self.seq, self.kind, self.recorded, self.hypothetical
+        )
+    }
+}
+
+/// Admission outcome counts of one side of a plan run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeTotals {
+    /// Admissions granted.
+    pub admitted: u64,
+    /// Admissions rejected by throughput contracts.
+    pub rejected: u64,
+    /// Admissions bounced for lack of capacity.
+    pub saturated: u64,
+}
+
+impl fmt::Display for OutcomeTotals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} admitted / {} rejected / {} saturated",
+            self.admitted, self.rejected, self.saturated
+        )
+    }
+}
+
+/// A maximal stretch of journal positions during which a group sat at full
+/// capacity in the counterfactual run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaturationWindow {
+    /// First sequence number at which the group was full.
+    pub from_seq: u64,
+    /// Last sequence number at which the group was still full (inclusive).
+    pub until_seq: u64,
+}
+
+impl fmt::Display for SaturationWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.from_seq, self.until_seq)
+    }
+}
+
+/// Per-group load profile of a counterfactual run, sampled after every
+/// journal event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupUsage {
+    /// Group name (from the hypothetical shape).
+    pub name: String,
+    /// Resident capacity of the group under the hypothetical shape.
+    pub capacity: u64,
+    /// Highest resident count observed.
+    pub peak_residents: u64,
+    /// Mean resident/capacity ratio over all events.
+    pub mean_utilisation: f64,
+    /// Events after which the group sat at full capacity.
+    pub saturated_events: u64,
+    /// Maximal full-capacity stretches, in journal order.
+    pub saturation_windows: Vec<SaturationWindow>,
+}
+
+// ---------------------------------------------------------------------------
+// PlanRun: one counterfactual replay.
+// ---------------------------------------------------------------------------
+
+/// How a plan run picks the group each recorded admission is tried on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMode {
+    /// Reuse the recorded routing when the shape still
+    /// [routes like](FleetShape::routes_like) the recording (same group
+    /// count and policy) — isolating pure capacity effects and keeping
+    /// even concurrency-recorded journals flip-free on the identity shape
+    /// — and re-route by policy otherwise (the recorded groups may not
+    /// even exist). The default.
+    #[default]
+    Auto,
+    /// Always prefer the recorded group (falling back to policy routing
+    /// for events whose recorded group is out of range).
+    Recorded,
+    /// Always re-route through the hypothetical fleet's policy, as if the
+    /// traffic arrived fresh. Journals do not record affinity tags, so
+    /// affinity policies fall back to least-utilised here.
+    Replan,
+}
+
+impl RouteMode {
+    /// Rendered name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteMode::Auto => "auto",
+            RouteMode::Recorded => "recorded",
+            RouteMode::Replan => "replanned",
+        }
+    }
+}
+
+/// Why a plan run (or sweep) failed outright — as opposed to *flipping*,
+/// which is the result, not a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The hypothetical fleet could not be built.
+    Fleet(FleetError),
+    /// Re-deciding an admission failed (analysis error, stopped service).
+    Service(ServiceError),
+    /// The sweep was misconfigured (empty grid, …).
+    Config(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Fleet(e) => write!(f, "cannot build hypothetical fleet: {e}"),
+            PlanError::Service(e) => write!(f, "counterfactual decision failed: {e}"),
+            PlanError::Config(e) => write!(f, "invalid plan configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Fleet(e) => Some(e),
+            PlanError::Service(e) => Some(e),
+            PlanError::Config(_) => None,
+        }
+    }
+}
+
+impl From<FleetError> for PlanError {
+    fn from(e: FleetError) -> Self {
+        PlanError::Fleet(e)
+    }
+}
+
+impl From<ServiceError> for PlanError {
+    fn from(e: ServiceError) -> Self {
+        PlanError::Service(e)
+    }
+}
+
+/// One counterfactual replay of a journal against a hypothetical
+/// [`FleetShape`] (see the [module docs](self)).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRun<'a> {
+    spec: &'a SystemSpec,
+    journal: &'a Journal,
+    shape: &'a FleetShape,
+    routing: RouteMode,
+}
+
+impl<'a> PlanRun<'a> {
+    /// A run re-deciding `journal`'s stream — phrased against `spec`, the
+    /// workload the journal was recorded for — on a fleet shaped like
+    /// `shape`.
+    pub fn new(spec: &'a SystemSpec, journal: &'a Journal, shape: &'a FleetShape) -> PlanRun<'a> {
+        PlanRun {
+            spec,
+            journal,
+            shape,
+            routing: RouteMode::Auto,
+        }
+    }
+
+    /// Overrides the [`RouteMode`].
+    #[must_use]
+    pub fn with_routing(mut self, routing: RouteMode) -> PlanRun<'a> {
+        self.routing = routing;
+        self
+    }
+
+    /// Executes the counterfactual replay.
+    ///
+    /// Every recorded admission is re-decided through the hypothetical
+    /// fleet's [`AdmissionService`] path; releases apply to the residents
+    /// the counterfactual actually admitted (releases of flipped-away
+    /// admissions are skipped and counted); recorded rebalances are
+    /// re-attempted when both the resident and the target group still
+    /// exist. Outcomes are **never verified** — differences land in the
+    /// report as [`Flip`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] when the fleet cannot be built or an admission cannot
+    /// be *decided* (rejections and saturations are decisions, not
+    /// errors).
+    pub fn execute(&self) -> Result<PlanReport, PlanError> {
+        self.journal
+            .with_entries(|entries| self.execute_over(entries))
+    }
+
+    /// [`execute`](Self::execute) over an already-snapshotted entry slice.
+    /// [`PlanSweep`] snapshots once and shares the slice across its
+    /// workers — `execute` would hold the journal's entry lock for the
+    /// whole replay, serializing concurrent runs over the same journal.
+    fn execute_over(
+        &self,
+        entries: &[crate::journal::JournalEntry],
+    ) -> Result<PlanReport, PlanError> {
+        let config = self.shape.to_config()?;
+        let fleet = FleetManager::new(self.spec.clone(), config)?;
+        let service: &dyn AdmissionService = &fleet;
+        let groups = fleet.group_count();
+        let reuse_recorded = match self.routing {
+            RouteMode::Replan => false,
+            RouteMode::Recorded => true,
+            RouteMode::Auto => self.shape.routes_like(self.journal.header()),
+        };
+
+        // Recorded resident id -> counterfactual resident id.
+        let mut live: HashMap<u64, u64> = HashMap::new();
+        let mut report = PlanReport {
+            shape: self.shape.clone(),
+            routing: if reuse_recorded {
+                RouteMode::Recorded.name().to_string()
+            } else {
+                RouteMode::Replan.name().to_string()
+            },
+            events: 0,
+            flips: Vec::new(),
+            recorded: OutcomeTotals::default(),
+            hypothetical: OutcomeTotals::default(),
+            releases_applied: 0,
+            releases_skipped: 0,
+            untracked_admissions: 0,
+            rebalances_applied: 0,
+            rebalances_failed: 0,
+            rebalances_skipped: 0,
+            groups: Vec::new(),
+            residents_at_end: 0,
+        };
+        let mut usage = UsageTracker::new(&fleet);
+
+        {
+            for entry in entries {
+                report.events += 1;
+                match &entry.event {
+                    DecisionEvent::Admit {
+                        group,
+                        app_index,
+                        required_throughput,
+                        outcome,
+                    } => {
+                        self.replay_admit(
+                            service,
+                            &mut live,
+                            &mut report,
+                            reuse_recorded,
+                            groups,
+                            entry.seq,
+                            *group,
+                            *app_index,
+                            *required_throughput,
+                            outcome,
+                        )?;
+                    }
+                    DecisionEvent::Release { resident } => match live.remove(resident) {
+                        Some(id) => {
+                            service.release(id)?;
+                            report.releases_applied += 1;
+                        }
+                        // The counterfactual never admitted this resident
+                        // (its admission flipped away): nothing to free.
+                        None => report.releases_skipped += 1,
+                    },
+                    DecisionEvent::Rebalance {
+                        resident, to_group, ..
+                    } => match live.get(resident) {
+                        Some(&id) if (*to_group as usize) < groups => {
+                            match fleet.move_resident(id, *to_group as usize) {
+                                Ok(_) => report.rebalances_applied += 1,
+                                // Already there in the counterfactual (its
+                                // admission routed differently).
+                                Err(FleetError::SameGroup { .. }) => report.rebalances_skipped += 1,
+                                Err(
+                                    FleetError::MoveSaturated { .. }
+                                    | FleetError::MoveRejected { .. },
+                                ) => report.rebalances_failed += 1,
+                                Err(e) => return Err(PlanError::Fleet(e)),
+                            }
+                        }
+                        // Target group absent from the shape, or the
+                        // resident was never admitted here.
+                        Some(_) | None => report.rebalances_skipped += 1,
+                    },
+                }
+                usage.observe(entry.seq, &fleet);
+            }
+        }
+
+        report.groups = usage.finish();
+        report.residents_at_end = fleet.resident_count();
+        fleet.stop();
+        Ok(report)
+    }
+
+    /// Re-decides one recorded admission and classifies the difference.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_admit(
+        &self,
+        service: &dyn AdmissionService,
+        live: &mut HashMap<u64, u64>,
+        report: &mut PlanReport,
+        reuse_recorded: bool,
+        groups: usize,
+        seq: u64,
+        recorded_group: u64,
+        app_index: u64,
+        required_throughput: Option<sdf::Rational>,
+        outcome: &JournalOutcome,
+    ) -> Result<(), PlanError> {
+        let recorded_admitted = match outcome {
+            JournalOutcome::Admitted { .. } => {
+                report.recorded.admitted += 1;
+                true
+            }
+            JournalOutcome::Rejected { .. } => {
+                report.recorded.rejected += 1;
+                false
+            }
+            JournalOutcome::Saturated => {
+                report.recorded.saturated += 1;
+                false
+            }
+        };
+        let recorded_text = match outcome {
+            JournalOutcome::Admitted { .. } => format!("admitted on group {recorded_group}"),
+            JournalOutcome::Rejected { violations } => {
+                format!("rejected on group {recorded_group} ({violations} violations)")
+            }
+            JournalOutcome::Saturated => format!("saturated on group {recorded_group}"),
+        };
+
+        let target = if reuse_recorded && (recorded_group as usize) < groups {
+            Some(recorded_group as usize)
+        } else {
+            None
+        };
+        let request = AdmissionRequest {
+            app_index: app_index as usize,
+            required_throughput,
+            affinity: None,
+            target,
+        };
+        let decision = service.admit(&request)?;
+
+        let (now_admitted, domain, hypothetical_text) = match &decision {
+            AdmissionDecision::Admitted {
+                resident, domain, ..
+            } => {
+                report.hypothetical.admitted += 1;
+                if let JournalOutcome::Admitted {
+                    resident: recorded, ..
+                } = outcome
+                {
+                    live.insert(*recorded, *resident);
+                } else {
+                    // The recording never released this admission (it never
+                    // happened there); its capacity stays held to the end —
+                    // the conservative reading of recovered headroom.
+                    report.untracked_admissions += 1;
+                }
+                (true, *domain, format!("admitted on group {domain}"))
+            }
+            AdmissionDecision::Rejected { domain, violations } => {
+                report.hypothetical.rejected += 1;
+                (
+                    false,
+                    *domain,
+                    format!(
+                        "rejected on group {domain} ({} violations)",
+                        violations.len()
+                    ),
+                )
+            }
+            AdmissionDecision::Saturated { domain } => {
+                report.hypothetical.saturated += 1;
+                (false, *domain, format!("saturated on group {domain}"))
+            }
+        };
+
+        let kind = if recorded_admitted && !now_admitted {
+            Some(FlipKind::AdmittedNowRejected)
+        } else if !recorded_admitted && now_admitted {
+            Some(FlipKind::RejectedNowAdmitted)
+        } else if domain != recorded_group as usize {
+            Some(FlipKind::Rerouted)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            report.flips.push(Flip {
+                seq,
+                kind,
+                recorded: recorded_text,
+                hypothetical: hypothetical_text,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-group utilisation accumulator sampled after every journal event.
+struct UsageTracker {
+    names: Vec<String>,
+    capacities: Vec<u64>,
+    peaks: Vec<u64>,
+    resident_sums: Vec<u64>,
+    saturated_events: Vec<u64>,
+    open_window: Vec<Option<u64>>,
+    windows: Vec<Vec<SaturationWindow>>,
+    events: u64,
+    last_seq: u64,
+}
+
+impl UsageTracker {
+    fn new(fleet: &FleetManager) -> UsageTracker {
+        let groups = fleet.group_count();
+        UsageTracker {
+            names: (0..groups)
+                .map(|g| fleet.group_name(g).unwrap_or("?").to_string())
+                .collect(),
+            capacities: (0..groups)
+                .map(|g| fleet.capacity_of(g).unwrap_or(0) as u64)
+                .collect(),
+            peaks: vec![0; groups],
+            resident_sums: vec![0; groups],
+            saturated_events: vec![0; groups],
+            open_window: vec![None; groups],
+            windows: vec![Vec::new(); groups],
+            events: 0,
+            last_seq: 0,
+        }
+    }
+
+    fn observe(&mut self, seq: u64, fleet: &FleetManager) {
+        self.events += 1;
+        self.last_seq = seq;
+        for g in 0..self.capacities.len() {
+            let residents = fleet.resident_count_of(g).unwrap_or(0) as u64;
+            self.peaks[g] = self.peaks[g].max(residents);
+            self.resident_sums[g] += residents;
+            let full = self.capacities[g] > 0 && residents >= self.capacities[g];
+            if full {
+                self.saturated_events[g] += 1;
+                if self.open_window[g].is_none() {
+                    self.open_window[g] = Some(seq);
+                }
+            } else if let Some(from_seq) = self.open_window[g].take() {
+                self.windows[g].push(SaturationWindow {
+                    from_seq,
+                    // The previous event was the last full one; `seq` is
+                    // the first event after which the group had headroom
+                    // again. Clamp for the degenerate single-event case.
+                    until_seq: seq.saturating_sub(1).max(from_seq),
+                });
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<GroupUsage> {
+        (0..self.capacities.len())
+            .map(|g| {
+                if let Some(from_seq) = self.open_window[g].take() {
+                    self.windows[g].push(SaturationWindow {
+                        from_seq,
+                        until_seq: self.last_seq,
+                    });
+                }
+                GroupUsage {
+                    name: std::mem::take(&mut self.names[g]),
+                    capacity: self.capacities[g],
+                    peak_residents: self.peaks[g],
+                    mean_utilisation: if self.events == 0 || self.capacities[g] == 0 {
+                        0.0
+                    } else {
+                        self.resident_sums[g] as f64
+                            / (self.events as f64 * self.capacities[g] as f64)
+                    },
+                    saturated_events: self.saturated_events[g],
+                    saturation_windows: std::mem::take(&mut self.windows[g]),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Result of one counterfactual replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanReport {
+    /// The hypothetical shape the journal was replayed against.
+    pub shape: FleetShape,
+    /// Effective routing (`"recorded"` or `"replanned"`, after
+    /// [`RouteMode::Auto`] resolution).
+    pub routing: String,
+    /// Journal events replayed.
+    pub events: usize,
+    /// Every outcome difference, in sequence order.
+    pub flips: Vec<Flip>,
+    /// Outcome counts of the recording.
+    pub recorded: OutcomeTotals,
+    /// Outcome counts of the counterfactual.
+    pub hypothetical: OutcomeTotals,
+    /// Recorded releases applied to a counterfactually live resident.
+    pub releases_applied: u64,
+    /// Recorded releases skipped because the counterfactual never admitted
+    /// the resident.
+    pub releases_skipped: u64,
+    /// Counterfactual admissions the recording denied — they hold capacity
+    /// to the end because the recording has no release for them.
+    pub untracked_admissions: u64,
+    /// Recorded rebalances that applied cleanly.
+    pub rebalances_applied: u64,
+    /// Recorded rebalances refused by the hypothetical target group (full
+    /// or contract-bound).
+    pub rebalances_failed: u64,
+    /// Recorded rebalances skipped (resident flipped away, target group
+    /// absent, or resident already on the target).
+    pub rebalances_skipped: u64,
+    /// Per-group load profile of the counterfactual run.
+    pub groups: Vec<GroupUsage>,
+    /// Residents still live when the journal ended.
+    pub residents_at_end: usize,
+}
+
+impl PlanReport {
+    /// Total flips.
+    pub fn flip_count(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Flips of one kind.
+    pub fn count(&self, kind: FlipKind) -> usize {
+        self.flips.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Flips that deny traffic the recording served
+    /// ([`FlipKind::AdmittedNowRejected`]) — the frontier's "no worse than
+    /// reality" criterion.
+    pub fn regressions(&self) -> usize {
+        self.count(FlipKind::AdmittedNowRejected)
+    }
+
+    /// `true` when the shape serves everything the recording served (it
+    /// may still reroute or recover denied admissions).
+    pub fn is_clean(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Highest per-group peak utilisation, in `[0, 1]`.
+    pub fn peak_utilisation(&self) -> f64 {
+        self.groups
+            .iter()
+            .filter(|g| g.capacity > 0)
+            .map(|g| g.peak_residents as f64 / g.capacity as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the table printed by `probcon plan`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan: shape {} (capacity {}), {} routing",
+            self.shape.label(),
+            self.shape.total_capacity(),
+            self.routing,
+        );
+        let _ = writeln!(
+            out,
+            "replayed {} events: {} flips ({} admitted-now-rejected, \
+             {} rejected-now-admitted, {} rerouted)",
+            self.events,
+            self.flip_count(),
+            self.count(FlipKind::AdmittedNowRejected),
+            self.count(FlipKind::RejectedNowAdmitted),
+            self.count(FlipKind::Rerouted),
+        );
+        let _ = writeln!(
+            out,
+            "outcomes: recorded {} -> hypothetical {}",
+            self.recorded, self.hypothetical
+        );
+        let _ = writeln!(
+            out,
+            "releases: {} applied, {} skipped; rebalances: {} applied, {} failed, \
+             {} skipped; {} untracked admissions, {} residents at end",
+            self.releases_applied,
+            self.releases_skipped,
+            self.rebalances_applied,
+            self.rebalances_failed,
+            self.rebalances_skipped,
+            self.untracked_admissions,
+            self.residents_at_end,
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} {:>9} {:>10} {:>10}  saturation windows",
+            "group", "capacity", "peak", "mean-util", "sat-events"
+        );
+        for g in &self.groups {
+            let windows: Vec<String> = g
+                .saturation_windows
+                .iter()
+                .take(4)
+                .map(SaturationWindow::to_string)
+                .collect();
+            let suffix = if g.saturation_windows.len() > 4 {
+                format!(" (+{} more)", g.saturation_windows.len() - 4)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:>9} {:>9} {:>9.0}% {:>10}  {}{}",
+                g.name,
+                g.capacity,
+                g.peak_residents,
+                100.0 * g.mean_utilisation,
+                g.saturated_events,
+                if windows.is_empty() {
+                    "-".to_string()
+                } else {
+                    windows.join(", ")
+                },
+                suffix,
+            );
+        }
+        let shown = self.flips.len().min(8);
+        for flip in &self.flips[..shown] {
+            let _ = writeln!(out, "  FLIP {flip}");
+        }
+        if self.flips.len() > shown {
+            let _ = writeln!(out, "  ... {} more flips", self.flips.len() - shown);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PlanSweep: many shapes on a worker pool, with a frontier summary.
+// ---------------------------------------------------------------------------
+
+/// A grid of hypothetical shapes replayed in parallel (see the
+/// [module docs](self)).
+pub struct PlanSweep<'a> {
+    spec: &'a SystemSpec,
+    journal: &'a Journal,
+    shapes: Vec<FleetShape>,
+    routing: RouteMode,
+    workers: usize,
+    flip_budget: u64,
+}
+
+impl<'a> PlanSweep<'a> {
+    /// An empty sweep over `journal` (recorded for `spec`); add shapes
+    /// with [`shape`](Self::shape) / [`shapes`](Self::shapes) or build a
+    /// grid with [`grid`](Self::grid).
+    pub fn new(spec: &'a SystemSpec, journal: &'a Journal) -> PlanSweep<'a> {
+        PlanSweep {
+            spec,
+            journal,
+            shapes: Vec::new(),
+            routing: RouteMode::Auto,
+            workers: 1,
+            flip_budget: 0,
+        }
+    }
+
+    /// Adds one candidate shape.
+    #[must_use]
+    pub fn shape(mut self, shape: FleetShape) -> PlanSweep<'a> {
+        self.shapes.push(shape);
+        self
+    }
+
+    /// Adds many candidate shapes.
+    #[must_use]
+    pub fn shapes(mut self, shapes: impl IntoIterator<Item = FleetShape>) -> PlanSweep<'a> {
+        self.shapes.extend(shapes);
+        self
+    }
+
+    /// Worker threads replaying shapes concurrently (each shape runs on
+    /// one worker; results are deterministic regardless of worker count).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> PlanSweep<'a> {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Regressions ([`FlipKind::AdmittedNowRejected`] flips) a shape may
+    /// show and still qualify for the
+    /// [`cheapest_within_budget`](SweepReport::cheapest_within_budget)
+    /// frontier pick.
+    #[must_use]
+    pub fn flip_budget(mut self, budget: u64) -> PlanSweep<'a> {
+        self.flip_budget = budget;
+        self
+    }
+
+    /// Overrides the [`RouteMode`] for every run.
+    #[must_use]
+    pub fn routing(mut self, routing: RouteMode) -> PlanSweep<'a> {
+        self.routing = routing;
+        self
+    }
+
+    /// Cross product of group counts × capacity scales × policies applied
+    /// to `base` — the grid `probcon plan --sweep` builds. Empty axes keep
+    /// the base value. Duplicate shapes (e.g. from a scale of 1.0 and a
+    /// group count equal to the base) are emitted once.
+    pub fn grid(
+        base: &FleetShape,
+        group_counts: &[usize],
+        capacity_scales: &[f64],
+        policies: &[RoutingPolicy],
+    ) -> Vec<FleetShape> {
+        let counts: Vec<usize> = if group_counts.is_empty() {
+            vec![base.groups.len()]
+        } else {
+            group_counts.to_vec()
+        };
+        let scales: Vec<f64> = if capacity_scales.is_empty() {
+            vec![1.0]
+        } else {
+            capacity_scales.to_vec()
+        };
+        let policy_names: Vec<String> = if policies.is_empty() {
+            vec![base.policy.clone()]
+        } else {
+            policies.iter().map(RoutingPolicy::to_string).collect()
+        };
+        let mut shapes: Vec<FleetShape> = Vec::new();
+        for &count in &counts {
+            for &scale in &scales {
+                for policy in &policy_names {
+                    let mut shape = base.clone().with_group_count(count).scale_capacity(scale);
+                    shape.policy = policy.clone();
+                    if !shapes.contains(&shape) {
+                        shapes.push(shape);
+                    }
+                }
+            }
+        }
+        shapes
+    }
+
+    /// Replays every shape (in parallel on the worker pool) and summarizes
+    /// the frontier. Report order always matches shape insertion order, so
+    /// the same grid yields the same report regardless of worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Config`] for an empty sweep; the first per-shape
+    /// [`PlanError`] otherwise.
+    pub fn execute(&self) -> Result<SweepReport, PlanError> {
+        if self.shapes.is_empty() {
+            return Err(PlanError::Config("sweep has no shapes".into()));
+        }
+        let started = Instant::now();
+        // One shared snapshot for the whole sweep: replaying through
+        // `PlanRun::execute` would hold the journal's entry lock per run
+        // and serialize the workers against each other.
+        let entries = self.journal.entries();
+        let next = Mutex::new(0usize);
+        let results: Mutex<Vec<Option<Result<PlanReport, PlanError>>>> =
+            Mutex::new(vec![None; self.shapes.len()]);
+        let workers = self.workers.min(self.shapes.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = {
+                        let mut next = crate::cache::lock(&next);
+                        let index = *next;
+                        if index >= self.shapes.len() {
+                            return;
+                        }
+                        *next += 1;
+                        index
+                    };
+                    let result = PlanRun::new(self.spec, self.journal, &self.shapes[index])
+                        .with_routing(self.routing)
+                        .execute_over(&entries);
+                    crate::cache::lock(&results)[index] = Some(result);
+                });
+            }
+        });
+
+        let mut reports = Vec::with_capacity(self.shapes.len());
+        for slot in crate::cache::lock(&results).drain(..) {
+            reports.push(slot.expect("every sweep slot is filled")?);
+        }
+        let smallest_clean = frontier_pick(&reports, 0);
+        let cheapest_within_budget = frontier_pick(&reports, self.flip_budget);
+        Ok(SweepReport {
+            reports,
+            smallest_clean,
+            cheapest_within_budget,
+            flip_budget: self.flip_budget,
+            workers,
+            wall: started.elapsed(),
+        })
+    }
+}
+
+/// Index of the cheapest shape whose regressions fit `budget`: minimal
+/// total capacity, then fewest groups, then insertion order — a
+/// deterministic pick for a deterministic grid.
+fn frontier_pick(reports: &[PlanReport], budget: u64) -> Option<usize> {
+    reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.regressions() as u64 <= budget)
+        .min_by_key(|(i, r)| (r.shape.total_capacity(), r.shape.groups.len(), *i))
+        .map(|(i, _)| i)
+}
+
+/// Result of a [`PlanSweep`]: one report per shape plus the frontier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// One report per candidate shape, in insertion order.
+    pub reports: Vec<PlanReport>,
+    /// Index (into [`reports`](Self::reports)) of the smallest shape with
+    /// zero regressions, if any.
+    pub smallest_clean: Option<usize>,
+    /// Index of the cheapest shape within the regression budget, if any.
+    pub cheapest_within_budget: Option<usize>,
+    /// The regression budget the sweep was asked to respect.
+    pub flip_budget: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// The smallest clean shape's report, if any shape qualified.
+    pub fn smallest_clean_report(&self) -> Option<&PlanReport> {
+        self.smallest_clean.map(|i| &self.reports[i])
+    }
+
+    /// Renders the frontier table printed by `probcon plan --sweep`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep: {} shapes on {} workers in {:.3?} (regression budget {})",
+            self.reports.len(),
+            self.workers,
+            self.wall,
+            self.flip_budget,
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>6} {:>6} {:>6} {:>9} {:>9}  verdict",
+            "shape", "capacity", "a->r", "r->a", "rerte", "peak-util", "residents"
+        );
+        for (i, report) in self.reports.iter().enumerate() {
+            let verdict = match (
+                Some(i) == self.smallest_clean,
+                Some(i) == self.cheapest_within_budget,
+                report.is_clean(),
+            ) {
+                (true, true, _) => "<= frontier (smallest clean, cheapest in budget)",
+                (true, false, _) => "<= smallest clean",
+                (false, true, _) => "<= cheapest in budget",
+                (false, false, true) => "clean",
+                (false, false, false) => "regresses",
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>6} {:>6} {:>6} {:>8.0}% {:>9}  {}",
+                report.shape.label(),
+                report.shape.total_capacity(),
+                report.count(FlipKind::AdmittedNowRejected),
+                report.count(FlipKind::RejectedNowAdmitted),
+                report.count(FlipKind::Rerouted),
+                100.0 * report.peak_utilisation(),
+                report.residents_at_end,
+                verdict,
+            );
+        }
+        match self.smallest_clean_report() {
+            Some(report) => {
+                let _ = writeln!(
+                    out,
+                    "frontier: smallest clean shape is {} (capacity {}), serving every \
+                     recorded admission",
+                    report.shape.label(),
+                    report.shape.total_capacity(),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "frontier: no candidate shape serves every recorded admission"
+                );
+            }
+        }
+        if self.cheapest_within_budget != self.smallest_clean {
+            if let Some(report) = self.cheapest_within_budget.map(|i| &self.reports[i]) {
+                let _ = writeln!(
+                    out,
+                    "frontier: cheapest within budget is {} (capacity {}, {} regressions)",
+                    report.shape.label(),
+                    report.shape.total_capacity(),
+                    report.regressions(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::DecisionEvent;
+    use platform::{Application, Mapping};
+    use sdf::{figure2_graphs, Rational};
+
+    fn spec() -> SystemSpec {
+        let (a, b) = figure2_graphs();
+        SystemSpec::builder()
+            .application(Application::new("A", a).unwrap())
+            .application(Application::new("B", b).unwrap())
+            .mapping(Mapping::by_actor_index(3))
+            .build()
+            .unwrap()
+    }
+
+    fn uniform_shape(groups: usize, capacity: u64, policy: &str) -> FleetShape {
+        FleetShape {
+            groups: (0..groups)
+                .map(|i| GroupShape {
+                    name: format!("group{i}"),
+                    shards: 1,
+                    capacity_per_shard: capacity,
+                    tags: vec![format!("uc{i}")],
+                })
+                .collect(),
+            policy: policy.to_string(),
+        }
+    }
+
+    /// Hand-built journal whose header matches `shape`.
+    fn journal_for(shape: &FleetShape, events: Vec<DecisionEvent>) -> Journal {
+        let journal = Journal::new(shape.to_header(&JournalHeader::default()));
+        for event in events {
+            journal.append(event);
+        }
+        journal
+    }
+
+    fn admit_event(group: u64, app_index: u64, outcome: JournalOutcome) -> DecisionEvent {
+        DecisionEvent::Admit {
+            group,
+            app_index,
+            required_throughput: None,
+            outcome,
+        }
+    }
+
+    fn admitted(resident: u64) -> JournalOutcome {
+        JournalOutcome::Admitted {
+            resident,
+            // Periods are never verified by the planner; any value works.
+            predicted_period: Rational::integer(300),
+        }
+    }
+
+    #[test]
+    fn shape_builder_ops_compose() {
+        let base = uniform_shape(2, 4, "least-utilised");
+        assert_eq!(base.total_capacity(), 8);
+        assert_eq!(base.label(), "2g×1s×4c least-utilised");
+
+        let scaled = base.clone().scale_capacity(0.5);
+        assert_eq!(scaled.total_capacity(), 4);
+        // Scaling never erases a group: capacity floors at 1.
+        let floored = base.clone().scale_capacity(0.01);
+        assert!(floored.groups.iter().all(|g| g.capacity_per_shard == 1));
+
+        let grown = base.clone().with_group_count(4);
+        assert_eq!(grown.groups.len(), 4);
+        assert_eq!(grown.groups[3].name, "group3");
+        assert_eq!(grown.groups[3].capacity_per_shard, 4);
+        assert_eq!(base.clone().with_group_count(1).groups.len(), 1);
+
+        let swapped = base.clone().swap_policy(RoutingPolicy::RoundRobin);
+        assert_eq!(swapped.policy, "round-robin");
+        let added = base.clone().add_group(GroupShape {
+            name: "extra".into(),
+            shards: 2,
+            capacity_per_shard: 3,
+            tags: vec![],
+        });
+        assert_eq!(added.total_capacity(), 14);
+        assert!(added.label().contains("3g/14c"));
+
+        // Header round trip preserves the shape exactly.
+        let header = added.to_header(&JournalHeader::default());
+        assert_eq!(FleetShape::from_header(&header), added);
+        // Config round trip too.
+        let config = added.to_config().unwrap();
+        assert_eq!(FleetShape::from_config(&config), added);
+        // Bad policies and empty shapes refuse to build.
+        let mut bad = base.clone();
+        bad.policy = "bogus".into();
+        assert!(bad.to_config().is_err());
+        let empty = FleetShape {
+            groups: vec![],
+            policy: "least-utilised".into(),
+        };
+        assert!(empty.to_config().is_err());
+    }
+
+    #[test]
+    fn identity_shape_reports_zero_flips_on_real_journal() {
+        let spec = spec();
+        let fleet = FleetManager::new(
+            spec.clone(),
+            FleetConfig::uniform(2, 1, 2, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap();
+        // Real traffic: admits (some denied), releases, a rebalance.
+        let t0 = fleet.admit(0, None, None).unwrap().ticket().unwrap();
+        let _t1 = fleet.admit(1, None, None).unwrap().ticket().unwrap();
+        let _t2 = fleet.admit(0, None, None).unwrap().ticket().unwrap();
+        let _t3 = fleet.admit(1, None, None).unwrap().ticket().unwrap();
+        let _denied = fleet.admit(0, None, None).unwrap(); // saturated
+        t0.release();
+        let _t4 = fleet.admit(1, None, None).unwrap().ticket().unwrap();
+
+        let shape = FleetShape::from_header(fleet.journal().header());
+        let report = PlanRun::new(&spec, fleet.journal(), &shape)
+            .execute()
+            .expect("plans");
+        assert_eq!(report.flips, vec![], "identity must not flip");
+        assert_eq!(report.routing, "recorded");
+        assert_eq!(report.events, fleet.journal().len());
+        assert_eq!(report.recorded, report.hypothetical);
+        assert_eq!(report.releases_skipped, 0);
+        assert_eq!(report.untracked_admissions, 0);
+        assert_eq!(report.residents_at_end, fleet.resident_count());
+    }
+
+    #[test]
+    fn halved_capacity_flips_admissions_to_denied() {
+        let shape = uniform_shape(1, 2, "least-utilised");
+        let journal = journal_for(
+            &shape,
+            vec![
+                admit_event(0, 0, admitted(0)),
+                admit_event(0, 1, admitted(1)),
+                DecisionEvent::Release { resident: 1 },
+            ],
+        );
+        let halved = shape.clone().scale_capacity(0.5);
+        let report = PlanRun::new(&spec(), &journal, &halved)
+            .execute()
+            .expect("plans");
+        assert_eq!(report.count(FlipKind::AdmittedNowRejected), 1);
+        assert_eq!(report.regressions(), 1);
+        assert!(!report.is_clean());
+        // The flipped-away resident's release is skipped, not an error.
+        assert_eq!(report.releases_skipped, 1);
+        assert_eq!(report.releases_applied, 0);
+        assert_eq!(report.hypothetical.saturated, 1);
+        let rendered = report.render();
+        for needle in ["admitted-now-rejected", "FLIP", "group0", "saturation"] {
+            assert!(
+                rendered.contains(needle),
+                "missing {needle} in:\n{rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn doubled_capacity_flips_saturation_to_admitted() {
+        let shape = uniform_shape(1, 1, "least-utilised");
+        let journal = journal_for(
+            &shape,
+            vec![
+                admit_event(0, 0, admitted(0)),
+                admit_event(0, 1, JournalOutcome::Saturated),
+            ],
+        );
+        let doubled = shape.clone().scale_capacity(2.0);
+        let report = PlanRun::new(&spec(), &journal, &doubled)
+            .execute()
+            .expect("plans");
+        assert_eq!(report.count(FlipKind::RejectedNowAdmitted), 1);
+        assert!(report.is_clean(), "recovered headroom is not a regression");
+        // The recovered admission has no recorded release: it stays live.
+        assert_eq!(report.untracked_admissions, 1);
+        assert_eq!(report.residents_at_end, 2);
+    }
+
+    #[test]
+    fn contract_rejection_recovers_on_added_group() {
+        let spec = spec();
+        // Record reality: on one group of capacity 4, the second admission
+        // rejects because the first insists on its isolation throughput.
+        let fleet = FleetManager::new(
+            spec.clone(),
+            FleetConfig::uniform(1, 1, 4, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap();
+        let iso = spec.application(platform::AppId(0)).isolation_throughput();
+        let _t0 = fleet.admit(0, Some(iso), None).unwrap().ticket().unwrap();
+        let denied = fleet.admit(1, None, None).unwrap();
+        assert!(denied.ticket().is_none(), "second admission must reject");
+
+        // What if a second group had existed? Group counts differ, so Auto
+        // re-routes: the rejected admission lands alone on the new group.
+        let shape = FleetShape::from_header(fleet.journal().header()).with_group_count(2);
+        let report = PlanRun::new(&spec, fleet.journal(), &shape)
+            .execute()
+            .expect("plans");
+        assert_eq!(report.routing, "replanned");
+        assert_eq!(report.count(FlipKind::RejectedNowAdmitted), 1);
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn reroute_detected_when_group_count_changes() {
+        let shape = uniform_shape(2, 2, "least-utilised");
+        // Recorded on group 1; a 3-group hypothetical re-routes by
+        // least-utilised, which picks group 0 first.
+        let journal = journal_for(&shape, vec![admit_event(1, 0, admitted(0))]);
+        let grown = shape.clone().with_group_count(3);
+        let report = PlanRun::new(&spec(), &journal, &grown)
+            .execute()
+            .expect("plans");
+        assert_eq!(report.count(FlipKind::Rerouted), 1);
+        assert_eq!(report.flips[0].kind, FlipKind::Rerouted);
+        assert!(report.flips[0].recorded.contains("group 1"));
+        assert!(report.flips[0].hypothetical.contains("group 0"));
+        assert!(report.is_clean(), "a reroute serves the traffic elsewhere");
+    }
+
+    #[test]
+    fn route_mode_overrides_auto() {
+        let shape = uniform_shape(2, 2, "round-robin");
+        // Two admissions recorded round-robin on groups 0 and 1.
+        let journal = journal_for(
+            &shape,
+            vec![
+                admit_event(0, 0, admitted(0)),
+                admit_event(1, 1, admitted(1)),
+            ],
+        );
+        // Replan on the identical shape: round-robin re-routes 0, 1 — the
+        // same groups — so even forced replanning stays flip-free here.
+        let replanned = PlanRun::new(&spec(), &journal, &shape)
+            .with_routing(RouteMode::Replan)
+            .execute()
+            .expect("plans");
+        assert_eq!(replanned.routing, "replanned");
+        assert_eq!(replanned.flips, vec![]);
+        // Recorded mode on a shrunken shape: group 1 is gone, so its
+        // admission falls back to policy routing.
+        let shrunk = shape.clone().with_group_count(1);
+        let recorded = PlanRun::new(&spec(), &journal, &shrunk)
+            .with_routing(RouteMode::Recorded)
+            .execute()
+            .expect("plans");
+        assert_eq!(recorded.count(FlipKind::Rerouted), 1);
+    }
+
+    #[test]
+    fn rebalance_counterfactuals_apply_skip_and_fail() {
+        let shape = uniform_shape(2, 2, "least-utilised");
+        let journal = journal_for(
+            &shape,
+            vec![
+                admit_event(0, 0, admitted(0)),
+                DecisionEvent::Rebalance {
+                    resident: 0,
+                    from_group: 0,
+                    to_group: 1,
+                    predicted_period: Rational::integer(300),
+                },
+                // Rebalance of a resident the counterfactual may not have.
+                DecisionEvent::Rebalance {
+                    resident: 99,
+                    from_group: 0,
+                    to_group: 1,
+                    predicted_period: Rational::integer(300),
+                },
+            ],
+        );
+        // Identity: the real move applies; the bogus resident is skipped.
+        let identity = PlanRun::new(&spec(), &journal, &shape)
+            .execute()
+            .expect("plans");
+        assert_eq!(identity.rebalances_applied, 1);
+        assert_eq!(identity.rebalances_skipped, 1);
+        // One group: the move's target does not exist — skipped as data.
+        let single = shape.clone().with_group_count(1);
+        let report = PlanRun::new(&spec(), &journal, &single)
+            .execute()
+            .expect("plans");
+        assert_eq!(report.rebalances_applied, 0);
+        assert_eq!(report.rebalances_skipped, 2);
+    }
+
+    #[test]
+    fn usage_tracks_peaks_means_and_saturation_windows() {
+        let shape = uniform_shape(1, 1, "least-utilised");
+        let journal = journal_for(
+            &shape,
+            vec![
+                admit_event(0, 0, admitted(0)),               // seq 0: full
+                admit_event(0, 1, JournalOutcome::Saturated), // seq 1: full
+                DecisionEvent::Release { resident: 0 },       // seq 2: empty
+                admit_event(0, 0, admitted(1)),               // seq 3: full to end
+            ],
+        );
+        let report = PlanRun::new(&spec(), &journal, &shape)
+            .execute()
+            .expect("plans");
+        let usage = &report.groups[0];
+        assert_eq!(usage.capacity, 1);
+        assert_eq!(usage.peak_residents, 1);
+        assert_eq!(usage.saturated_events, 3);
+        assert!((usage.mean_utilisation - 0.75).abs() < 1e-9);
+        assert_eq!(
+            usage.saturation_windows,
+            vec![
+                SaturationWindow {
+                    from_seq: 0,
+                    until_seq: 1
+                },
+                SaturationWindow {
+                    from_seq: 3,
+                    until_seq: 3
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn sweep_grid_crosses_axes_and_dedupes() {
+        let base = uniform_shape(2, 4, "least-utilised");
+        let shapes = PlanSweep::grid(&base, &[1, 2], &[0.5, 1.0], &[]);
+        assert_eq!(shapes.len(), 4);
+        assert!(shapes.contains(&base));
+        // Empty axes keep the base.
+        assert_eq!(PlanSweep::grid(&base, &[], &[], &[]), vec![base.clone()]);
+        // Duplicates collapse: scaling by 1.0 twice is one shape.
+        assert_eq!(PlanSweep::grid(&base, &[2, 2], &[1.0, 1.0], &[]).len(), 1);
+    }
+
+    #[test]
+    fn sweep_finds_frontier_and_is_deterministic_under_workers() {
+        let spec = spec();
+        let shape = uniform_shape(1, 3, "least-utilised");
+        // Three residents at peak: capacity 3 is the smallest clean shape.
+        let journal = journal_for(
+            &shape,
+            vec![
+                admit_event(0, 0, admitted(0)),
+                admit_event(0, 1, admitted(1)),
+                admit_event(0, 0, admitted(2)),
+                DecisionEvent::Release { resident: 0 },
+                DecisionEvent::Release { resident: 1 },
+                DecisionEvent::Release { resident: 2 },
+            ],
+        );
+        let grid = PlanSweep::grid(&shape, &[1], &[1.0 / 3.0, 2.0 / 3.0, 1.0, 4.0 / 3.0], &[]);
+        assert_eq!(grid.len(), 4);
+        let sweep = |workers: usize| {
+            PlanSweep::new(&spec, &journal)
+                .shapes(grid.clone())
+                .workers(workers)
+                .flip_budget(1)
+                .execute()
+                .expect("sweeps")
+        };
+        let report = sweep(8);
+        let clean = report.smallest_clean_report().expect("one shape is clean");
+        assert_eq!(clean.shape.total_capacity(), 3);
+        // Budget 1 admits the capacity-2 shape (exactly one regression).
+        let cheap = &report.reports[report.cheapest_within_budget.unwrap()];
+        assert_eq!(cheap.shape.total_capacity(), 2);
+        assert_eq!(cheap.regressions(), 1);
+        // Same grid, different worker counts: identical reports + frontier.
+        for workers in [1, 3, 8] {
+            let again = sweep(workers);
+            assert_eq!(again.reports, report.reports);
+            assert_eq!(again.smallest_clean, report.smallest_clean);
+            assert_eq!(again.cheapest_within_budget, report.cheapest_within_budget);
+        }
+        let rendered = report.render();
+        for needle in ["frontier", "smallest clean", "cheapest", "verdict", "a->r"] {
+            assert!(
+                rendered.contains(needle),
+                "missing {needle} in:\n{rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sweep_and_bad_shape_are_config_errors() {
+        let spec = spec();
+        let journal = Journal::new(JournalHeader::default());
+        assert!(matches!(
+            PlanSweep::new(&spec, &journal).execute(),
+            Err(PlanError::Config(_))
+        ));
+        let mut bad = uniform_shape(1, 1, "least-utilised");
+        bad.policy = "bogus".into();
+        assert!(matches!(
+            PlanRun::new(&spec, &journal, &bad).execute(),
+            Err(PlanError::Fleet(FleetError::Config(_)))
+        ));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let shape = uniform_shape(1, 2, "least-utilised");
+        let journal = journal_for(&shape, vec![admit_event(0, 0, admitted(0))]);
+        let report = PlanRun::new(&spec(), &journal, &shape)
+            .execute()
+            .expect("plans");
+        let json = serde_json::to_string(&report).expect("serializes");
+        for needle in ["\"shape\"", "\"flips\"", "\"mean_utilisation\"", "group0"] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        let back: PlanReport = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, report);
+    }
+}

@@ -440,6 +440,14 @@ pub struct ClientHello {
     pub magic: String,
     /// Client's [`REMOTE_PROTOCOL_VERSION`].
     pub version: u64,
+    /// Optional client identity
+    /// ([`RemoteClient::connect_as`] / `fleet-bench --client`): the server
+    /// enters a [`ClientScope`](crate::ClientScope) for the connection, so
+    /// every journaled decision this connection drives carries the id —
+    /// the provenance `probcon journal split` separates recordings by.
+    /// Absent from hellos sent by older builds, which still parse
+    /// (optional fields deserialize as `None` when missing).
+    pub client: Option<String>,
 }
 
 /// Handshake reply, server → client. On a version mismatch the server
@@ -710,6 +718,17 @@ impl ServerShared {
             return Err(true);
         }
         self.handshaken.fetch_add(1, Ordering::Release);
+        // Attribute every decision this connection drives to the client id
+        // it announced: decisions are made synchronously on this handler
+        // thread, so a thread-local scope reaches any journal the dispatch
+        // touches on this thread (a `Journaled` layer or a fleet's internal
+        // journal alike). A stack that defers decisions to its own worker
+        // threads (a FrontEnd) journals them unattributed — see the
+        // `ClientScope` docs.
+        let _client_scope = hello
+            .client
+            .as_ref()
+            .map(|client| crate::journal::ClientScope::enter(client.clone()));
 
         // Request/response loop. When the server is stopping, frames
         // already in flight keep being decided and answered; the
@@ -1222,7 +1241,22 @@ impl RemoteClient {
     /// timeout, bad magic, or a protocol-version mismatch (the error names
     /// both versions).
     pub fn connect(addr: &RemoteAddr) -> Result<RemoteClient, ServiceError> {
-        RemoteClient::connect_with(addr, Duration::from_secs(5), None)
+        RemoteClient::connect_inner(addr, Duration::from_secs(5), None, None)
+    }
+
+    /// [`connect`](Self::connect), announcing a client identity in the
+    /// [`ClientHello`]: the server stamps every journaled decision this
+    /// connection drives with `client`, so multi-client recordings can be
+    /// split and audited per client (`probcon journal split`).
+    ///
+    /// # Errors
+    ///
+    /// See [`connect`](Self::connect).
+    pub fn connect_as(
+        addr: &RemoteAddr,
+        client: impl Into<String>,
+    ) -> Result<RemoteClient, ServiceError> {
+        RemoteClient::connect_inner(addr, Duration::from_secs(5), None, Some(client.into()))
     }
 
     /// [`connect`](Self::connect) with an explicit handshake timeout and
@@ -1243,6 +1277,15 @@ impl RemoteClient {
         handshake_timeout: Duration,
         response_timeout: Option<Duration>,
     ) -> Result<RemoteClient, ServiceError> {
+        RemoteClient::connect_inner(addr, handshake_timeout, response_timeout, None)
+    }
+
+    fn connect_inner(
+        addr: &RemoteAddr,
+        handshake_timeout: Duration,
+        response_timeout: Option<Duration>,
+        client: Option<String>,
+    ) -> Result<RemoteClient, ServiceError> {
         let transport = |msg: String| ServiceError::Transport(msg);
         let conn = Conn::connect(addr).map_err(|e| transport(format!("connect {addr}: {e}")))?;
         conn.set_read_timeout(Some(handshake_timeout.max(Duration::from_millis(10))))
@@ -1255,6 +1298,7 @@ impl RemoteClient {
             &ClientHello {
                 magic: MAGIC.to_string(),
                 version: REMOTE_PROTOCOL_VERSION,
+                client,
             },
         )
         .map_err(transport)?;
@@ -1532,6 +1576,7 @@ mod tests {
         let hello = ClientHello {
             magic: MAGIC.to_string(),
             version: 3,
+            client: Some("alpha".to_string()),
         };
         write_frame(&mut wire, &hello).unwrap();
         write_frame(&mut wire, &hello).unwrap();
@@ -1681,6 +1726,51 @@ mod tests {
     }
 
     #[test]
+    fn connect_as_stamps_client_provenance_into_served_journal() {
+        let fleet = fleet(1, 4);
+        let server = RemoteServer::bind(
+            &"tcp:127.0.0.1:0".parse().unwrap(),
+            Arc::new(fleet.clone()) as Arc<dyn AdmissionService>,
+        )
+        .unwrap();
+
+        // Two identified clients and one anonymous one, sequentially.
+        for (client, app) in [(Some("alpha"), 0usize), (Some("beta"), 1), (None, 0)] {
+            let remote = match client {
+                Some(name) => RemoteClient::connect_as(server.local_addr(), name).unwrap(),
+                None => RemoteClient::connect(server.local_addr()).unwrap(),
+            };
+            let decision = remote.admit(&AdmissionRequest::new(app)).unwrap();
+            remote.release(decision.resident().expect("fits")).unwrap();
+            remote.close();
+        }
+        server.shutdown();
+
+        // Every decision a connection drove carries its hello's client id
+        // — including the releases — and anonymous traffic stays None.
+        let clients: Vec<Option<String>> = fleet
+            .journal()
+            .entries()
+            .iter()
+            .map(|e| e.client.clone())
+            .collect();
+        assert_eq!(
+            clients,
+            [
+                Some("alpha".to_string()),
+                Some("alpha".to_string()),
+                Some("beta".to_string()),
+                Some("beta".to_string()),
+                None,
+                None
+            ]
+        );
+        fleet.journal().verify().expect("stamped journal verifies");
+        // The journal splits into one valid journal per client.
+        assert_eq!(fleet.journal().split_by_client().len(), 3);
+    }
+
+    #[test]
     fn server_refuses_version_mismatch_with_its_own_version() {
         let server =
             RemoteServer::bind(&"tcp:127.0.0.1:0".parse().unwrap(), Arc::new(fleet(1, 1))).unwrap();
@@ -1695,6 +1785,7 @@ mod tests {
             &ClientHello {
                 magic: MAGIC.to_string(),
                 version: REMOTE_PROTOCOL_VERSION + 1,
+                client: None,
             },
         )
         .unwrap();

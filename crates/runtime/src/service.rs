@@ -943,6 +943,15 @@ impl<S: AdmissionService> AdmissionService for Cached<S> {
 /// serializes decisions across domains; services needing per-domain
 /// parallelism at scale keep their own internal journals, like the
 /// [`FleetManager`] does.)
+///
+/// The recorded journal feeds more than verification: entries are stamped
+/// with the appending thread's [`ClientScope`](crate::ClientScope) (how a
+/// [`RemoteServer`](crate::RemoteServer) attributes decisions per
+/// connection), and the capacity planner's [`PlanRun`](crate::PlanRun)
+/// replays any recorded journal against hypothetical
+/// [`FleetShape`](crate::FleetShape)s — stamp the shape fields with
+/// [`with_header`](Self::with_header) so those consumers can rebuild the
+/// recorded fleet.
 #[derive(Debug)]
 pub struct Journaled<S> {
     inner: S,

@@ -8,8 +8,10 @@
 //! probcon serve-bench --threads 4 --requests 1000 [--apps N] [--shards S]
 //! probcon fleet-bench --requests 1000 [--groups 4] [--journal fleet.jsonl]
 //! probcon serve    --listen unix:/tmp/probcon.sock [--once] [--journal fleet.jsonl]
-//! probcon fleet-bench --connect unix:/tmp/probcon.sock --requests 1000
+//! probcon fleet-bench --connect unix:/tmp/probcon.sock --requests 1000 [--client NAME]
 //! probcon replay   <journal.jsonl>
+//! probcon plan     <journal.jsonl> [--capacity-scale 0.5] [--groups 2..6] [--sweep]
+//! probcon journal  split <journal.jsonl> | merge <a.jsonl> <b.jsonl> --out <file>
 //! probcon paper    [--quick]
 //! ```
 
@@ -64,7 +66,7 @@ USAGE:
                       [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
                       [--policy least-utilised|round-robin|affinity]
                       [--journal <file.jsonl>] [--warm-cache]
-                      [--connect tcp:HOST:PORT|unix:PATH]
+                      [--connect tcp:HOST:PORT|unix:PATH] [--client NAME]
       Drive a metered + cached service stack over a multi-group fleet manager
       with a seeded admit/release/rebalance/estimate stream, print per-group
       utilisation and per-layer service metrics, optionally pre-warm the
@@ -73,7 +75,9 @@ USAGE:
       checksummed journal. With --connect, drive a fleet served by `probcon
       serve` in another process instead: the workload spec arrives in the
       handshake, and --journal fetches the server-side decision journal for
-      local replay.
+      local replay. --client NAME announces an identity in the handshake:
+      the server stamps it into every journaled decision this run drives,
+      so multi-client recordings split per client (`probcon journal split`).
 
   probcon serve --listen tcp:HOST:PORT|unix:PATH [--seed <u64>] [--apps <n>]
                 [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
@@ -88,7 +92,33 @@ USAGE:
   probcon replay <journal.jsonl>
       Rebuild the workload and fleet named in a journal's header, re-execute
       every recorded decision against a fresh fleet and verify
-      outcome-for-outcome equivalence (exit code 1 on divergence).
+      outcome-for-outcome equivalence (exit code 1 on divergence, with every
+      divergence detailed on stderr).
+
+  probcon plan <journal.jsonl> [--groups <n|lo..hi>] [--capacity-scale <x|lo..hi>]
+               [--scale-steps <k>] [--policy <p>] [--routing auto|recorded|replanned]
+               [--sweep] [--workers <n>] [--flip-budget <n>]
+               [--fail-on-flips] [--json]
+      Offline capacity planning: re-decide a recorded journal's admission
+      stream against a HYPOTHETICAL fleet shape and report which decisions
+      would have flipped (admitted-now-rejected regressions,
+      rejected-now-admitted recoveries, reroutes), plus per-group peak/mean
+      utilisation and saturation windows. Without options the recorded
+      shape is replayed (zero flips by construction). With --sweep, ranges
+      build a shape grid executed in parallel (--workers) and summarized by
+      a frontier: the smallest shape with zero regressions and the cheapest
+      within --flip-budget regressions. --fail-on-flips exits 1 when any
+      flip is reported (CI identity check); --json emits the full report.
+
+  probcon journal split <journal.jsonl> [--out-dir <dir>]
+      Split a multi-client recording into one valid header-stamped journal
+      per client id (see fleet-bench --client), preserving original
+      positions for lossless re-merging.
+
+  probcon journal merge <a.jsonl> <b.jsonl> --out <file.jsonl>
+      Interleave two compatible journals (same workload, shape and policy)
+      by original sequence/timestamp into one replayable log; merging the
+      files produced by `journal split` reconstructs the original exactly.
 
   probcon paper [--quick]
       Regenerate Table 1, Figure 5, Figure 6 and the timing comparison.
@@ -97,7 +127,7 @@ USAGE:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("\n{USAGE}");
@@ -146,26 +176,32 @@ fn parse_method(s: &str) -> Result<Method, String> {
     s.parse()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Dispatches one command. `Ok(code)` is a decided outcome (e.g. `replay`
+/// reporting divergence exits 1 *without* re-printing the usage text);
+/// `Err` is a usage/configuration error that does print it.
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let (positional, options) = parse(args);
     let Some(&command) = positional.first() else {
         return Err("no command given".into());
     };
 
+    let done = |result: Result<(), String>| result.map(|()| ExitCode::SUCCESS);
     match command {
-        "generate" => cmd_generate(&options),
-        "analyze" => cmd_analyze(positional.get(1).copied(), &options),
-        "estimate" => cmd_estimate(&options),
-        "simulate" => cmd_simulate(&options),
-        "signoff" => cmd_signoff(&options),
-        "serve-bench" => cmd_serve_bench(&options),
-        "fleet-bench" => cmd_fleet_bench(&options),
-        "serve" => cmd_serve(&options),
+        "generate" => done(cmd_generate(&options)),
+        "analyze" => done(cmd_analyze(positional.get(1).copied(), &options)),
+        "estimate" => done(cmd_estimate(&options)),
+        "simulate" => done(cmd_simulate(&options)),
+        "signoff" => done(cmd_signoff(&options)),
+        "serve-bench" => done(cmd_serve_bench(&options)),
+        "fleet-bench" => done(cmd_fleet_bench(&options)),
+        "serve" => done(cmd_serve(&options)),
         "replay" => cmd_replay(positional.get(1).copied(), &options),
-        "paper" => cmd_paper(&options),
+        "plan" => cmd_plan(positional.get(1).copied(), &options),
+        "journal" => done(cmd_journal(&positional[1..], &options)),
+        "paper" => done(cmd_paper(&options)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command '{other}'")),
     }
@@ -398,6 +434,13 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
     if let Some(&addr) = options.get("connect") {
         return cmd_fleet_bench_remote(addr, options);
     }
+    if options.contains_key("client") {
+        return Err(
+            "--client announces an identity to a remote server and needs --connect \
+             (local runs journal without provenance)"
+                .into(),
+        );
+    }
 
     let requests = require_u64(options, "requests")? as usize;
     if requests == 0 {
@@ -564,7 +607,10 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
     let seed = opt_u64(options, "seed")?.unwrap_or(experiments::workload::DEFAULT_SEED);
 
     let addr: RemoteAddr = addr.parse()?;
-    let client = RemoteClient::connect(&addr).map_err(|e| e.to_string())?;
+    let client = match options.get("client") {
+        Some(&name) => RemoteClient::connect_as(&addr, name).map_err(|e| e.to_string())?,
+        None => RemoteClient::connect(&addr).map_err(|e| e.to_string())?,
+    };
     let spec = client
         .workload()
         .ok_or("server advertised no workload spec")?
@@ -689,19 +735,32 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_replay(path: Option<&str>, _options: &HashMap<&str, &str>) -> Result<(), String> {
-    use runtime::{FleetConfig, Journal, JournalReplayer};
-
-    let path = path.ok_or("replay needs a journal file")?;
-    let journal = Journal::read_from(path).map_err(|e| e.to_string())?;
-    let header = journal.header().clone();
+/// Loads a journal file and rebuilds the workload spec its header names.
+fn journal_with_spec(path: &str) -> Result<(runtime::Journal, platform::SystemSpec), String> {
+    let journal = runtime::Journal::read_from(path).map_err(|e| e.to_string())?;
+    let header = journal.header();
     if header.apps == 0 {
         return Err(format!(
             "journal {path} records no workload parameters in its header \
-             (recorded outside `probcon fleet-bench`?); replay it with \
-             runtime::JournalReplayer against the original spec instead"
+             (recorded outside `probcon fleet-bench`?); drive it through the \
+             runtime API against the original spec instead"
         ));
     }
+    let spec = workload_with(
+        header.seed,
+        header.apps as usize,
+        &GeneratorConfig::with_actors(header.actors as usize),
+    )
+    .map_err(|e| e.to_string())?;
+    Ok((journal, spec))
+}
+
+fn cmd_replay(path: Option<&str>, _options: &HashMap<&str, &str>) -> Result<ExitCode, String> {
+    use runtime::{FleetConfig, JournalReplayer};
+
+    let path = path.ok_or("replay needs a journal file")?;
+    let (journal, spec) = journal_with_spec(path)?;
+    let header = journal.header().clone();
     println!(
         "replaying {}: {} decisions ({} applications × {} actors, {} groups, {} routing)",
         path,
@@ -712,12 +771,6 @@ fn cmd_replay(path: Option<&str>, _options: &HashMap<&str, &str>) -> Result<(), 
         header.policy,
     );
 
-    let spec = workload_with(
-        header.seed,
-        header.apps as usize,
-        &GeneratorConfig::with_actors(header.actors as usize),
-    )
-    .map_err(|e| e.to_string())?;
     let config = FleetConfig::from_header(&header).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
     let (report, fleet) = JournalReplayer::new(&spec)
@@ -727,13 +780,283 @@ fn cmd_replay(path: Option<&str>, _options: &HashMap<&str, &str>) -> Result<(), 
     print!("{}", fleet.snapshot().render());
     println!("({:?} total)", start.elapsed());
     if report.is_equivalent() {
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     } else {
-        Err(format!(
+        // Divergence details go to stderr — in full, before the exit — so
+        // scripted replays (CI) capture exactly which decisions flipped
+        // even when stdout is discarded.
+        for d in &report.divergences {
+            eprintln!(
+                "replay divergence at seq {}: expected `{}`, got `{}`",
+                d.seq, d.expected, d.got
+            );
+        }
+        eprintln!(
             "replay diverged from the recording in {} of {} decisions",
             report.divergences.len(),
             report.events
-        ))
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Parses `lo..hi` (inclusive) or a single value into a range pair.
+fn parse_range<T: std::str::FromStr + Copy>(value: &str, flag: &str) -> Result<(T, T), String> {
+    let parse_one =
+        |s: &str| -> Result<T, String> { s.parse().map_err(|_| format!("--{flag}: bad '{s}'")) };
+    match value.split_once("..") {
+        Some((lo, hi)) => Ok((parse_one(lo)?, parse_one(hi)?)),
+        None => {
+            let v = parse_one(value)?;
+            Ok((v, v))
+        }
+    }
+}
+
+fn cmd_plan(path: Option<&str>, options: &HashMap<&str, &str>) -> Result<ExitCode, String> {
+    use runtime::{FleetShape, PlanRun, PlanSweep, RouteMode, RoutingPolicy};
+
+    let path = path.ok_or("plan needs a journal file")?;
+    let (journal, spec) = journal_with_spec(path)?;
+    let base = FleetShape::from_header(journal.header());
+
+    let routing = match options.get("routing").copied() {
+        None | Some("auto") => RouteMode::Auto,
+        Some("recorded") => RouteMode::Recorded,
+        Some("replanned") | Some("replan") => RouteMode::Replan,
+        Some(other) => return Err(format!("--routing: unknown mode '{other}'")),
+    };
+    let policy = options
+        .get("policy")
+        .map(|p| p.parse::<RoutingPolicy>())
+        .transpose()?;
+    let json = options.contains_key("json");
+    let fail_on_flips = options.contains_key("fail-on-flips");
+
+    let (groups_lo, groups_hi) = match options.get("groups") {
+        Some(value) => parse_range::<usize>(value, "groups")?,
+        None => (base.groups.len(), base.groups.len()),
+    };
+    if groups_lo == 0 || groups_lo > groups_hi {
+        return Err("--groups: range must be 1-based and ordered".into());
+    }
+    let (scale_lo, scale_hi) = match options.get("capacity-scale") {
+        Some(value) => parse_range::<f64>(value, "capacity-scale")?,
+        None => (1.0, 1.0),
+    };
+    if !(scale_lo > 0.0 && scale_hi >= scale_lo) {
+        return Err("--capacity-scale: range must be positive and ordered".into());
+    }
+
+    if !options.contains_key("sweep") {
+        for flag in ["workers", "flip-budget", "scale-steps"] {
+            if options.contains_key(flag) {
+                return Err(format!("--{flag} only applies with --sweep"));
+            }
+        }
+        if groups_lo != groups_hi || (scale_lo - scale_hi).abs() > f64::EPSILON {
+            return Err(
+                "ranges need --sweep; pass single --groups / --capacity-scale values \
+                 for a one-shot plan"
+                    .into(),
+            );
+        }
+        let mut shape = base
+            .clone()
+            .with_group_count(groups_lo)
+            .scale_capacity(scale_lo);
+        if let Some(policy) = policy {
+            shape = shape.swap_policy(policy);
+        }
+        println!(
+            "planning {path}: {} events against shape {} (recorded {})",
+            journal.len(),
+            shape.label(),
+            base.label(),
+        );
+        let report = PlanRun::new(&spec, &journal, &shape)
+            .with_routing(routing)
+            .execute()
+            .map_err(|e| e.to_string())?;
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            );
+        } else {
+            print!("{}", report.render());
+        }
+        return Ok(exit_for_flips(fail_on_flips, report.flip_count()));
+    }
+
+    // Sweep: cross the requested axes into a shape grid.
+    let workers = opt_u64(options, "workers")?.unwrap_or(8) as usize;
+    if workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    let scale_steps = opt_u64(options, "scale-steps")?.unwrap_or(4) as usize;
+    if scale_steps == 0 {
+        return Err("--scale-steps must be positive".into());
+    }
+    let group_counts: Vec<usize> = (groups_lo..=groups_hi).collect();
+    let scales: Vec<f64> = if (scale_hi - scale_lo).abs() < f64::EPSILON {
+        vec![scale_lo]
+    } else {
+        (0..scale_steps)
+            .map(|i| scale_lo + (scale_hi - scale_lo) * i as f64 / (scale_steps - 1).max(1) as f64)
+            .collect()
+    };
+    let policies: Vec<RoutingPolicy> = policy.into_iter().collect();
+    let shapes = PlanSweep::grid(&base, &group_counts, &scales, &policies);
+    // Default regression budget: 5% of the recorded admissions — "almost
+    // everything still served" — unless the caller picks a number.
+    let recorded_admissions = journal.with_entries(|entries| {
+        entries
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    runtime::DecisionEvent::Admit {
+                        outcome: runtime::JournalOutcome::Admitted { .. },
+                        ..
+                    }
+                )
+            })
+            .count() as u64
+    });
+    let flip_budget = opt_u64(options, "flip-budget")?.unwrap_or(recorded_admissions / 20);
+
+    println!(
+        "sweeping {path}: {} events × {} shapes on {} workers (recorded {}, budget {})",
+        journal.len(),
+        shapes.len(),
+        workers,
+        base.label(),
+        flip_budget,
+    );
+    let report = PlanSweep::new(&spec, &journal)
+        .shapes(shapes)
+        .routing(routing)
+        .workers(workers)
+        .flip_budget(flip_budget)
+        .execute()
+        .map_err(|e| e.to_string())?;
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    let flips: usize = report.reports.iter().map(|r| r.flip_count()).sum();
+    Ok(exit_for_flips(fail_on_flips, flips))
+}
+
+fn exit_for_flips(fail_on_flips: bool, flips: usize) -> ExitCode {
+    if fail_on_flips && flips > 0 {
+        eprintln!("plan reported {flips} flips and --fail-on-flips is set");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_journal(positional: &[&str], options: &HashMap<&str, &str>) -> Result<(), String> {
+    use runtime::Journal;
+
+    match positional.first().copied() {
+        Some("split") => {
+            let path = positional
+                .get(1)
+                .copied()
+                .ok_or("journal split needs a journal file")?;
+            let journal = Journal::read_from(path).map_err(|e| e.to_string())?;
+            let source = std::path::Path::new(path);
+            let out_dir = options
+                .get("out-dir")
+                .map(std::path::PathBuf::from)
+                .or_else(|| source.parent().map(std::path::Path::to_path_buf))
+                .unwrap_or_else(|| std::path::PathBuf::from("."));
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+            let stem = source
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("journal");
+            let parts = journal.split_by_client();
+            println!(
+                "splitting {path}: {} decisions across {} client(s)",
+                journal.len(),
+                parts.len()
+            );
+            let mut used_names: Vec<String> = Vec::new();
+            for (client, part) in &parts {
+                // Client ids arrive over the wire and are untrusted: keep
+                // only filename-safe characters so a hostile id (path
+                // separators, `..`) cannot steer the write outside
+                // --out-dir, and suffix sanitized collisions so no part
+                // silently overwrites another.
+                let base = match client {
+                    Some(client) => {
+                        let safe: String = client
+                            .chars()
+                            .map(|c| {
+                                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                                    c
+                                } else {
+                                    '_'
+                                }
+                            })
+                            .collect();
+                        let safe = safe.trim_matches('.');
+                        if safe.is_empty() {
+                            format!("{stem}.client-anon")
+                        } else {
+                            format!("{stem}.client-{safe}")
+                        }
+                    }
+                    None => format!("{stem}.unattributed"),
+                };
+                let mut name = format!("{base}.jsonl");
+                let mut suffix = 2;
+                while used_names.contains(&name) {
+                    name = format!("{base}-{suffix}.jsonl");
+                    suffix += 1;
+                }
+                used_names.push(name.clone());
+                let out = out_dir.join(name);
+                part.write_to(&out).map_err(|e| e.to_string())?;
+                println!(
+                    "  {:<24} {} decisions -> {}",
+                    client.as_deref().unwrap_or("(unattributed)"),
+                    part.len(),
+                    out.display()
+                );
+            }
+            Ok(())
+        }
+        Some("merge") => {
+            let (Some(a), Some(b)) = (positional.get(1).copied(), positional.get(2).copied())
+            else {
+                return Err("journal merge needs two journal files".into());
+            };
+            let out = options.get("out").ok_or("journal merge needs --out")?;
+            let left = Journal::read_from(a).map_err(|e| e.to_string())?;
+            let right = Journal::read_from(b).map_err(|e| e.to_string())?;
+            let merged = Journal::merge(&left, &right).map_err(|e| e.to_string())?;
+            merged.write_to(out).map_err(|e| e.to_string())?;
+            println!(
+                "merged {} + {} decisions -> {} ({} total; replay with: probcon replay {out})",
+                left.len(),
+                right.len(),
+                out,
+                merged.len()
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown journal subcommand '{other}'")),
+        None => Err("journal needs a subcommand: split | merge".into()),
     }
 }
 

@@ -298,12 +298,353 @@ fn fleet_bench_and_replay_validate_inputs() {
         vec!["fleet-bench", "--requests", "10", "--apps", "0"],
         vec!["fleet-bench", "--requests", "10", "--groups", "0"],
         vec!["fleet-bench", "--requests", "10", "--policy", "bogus"],
+        // --client announces an identity to a remote server; local runs
+        // have no handshake to carry it.
+        vec!["fleet-bench", "--requests", "10", "--client", "alpha"],
         vec!["replay"],
         vec!["replay", "/nonexistent/journal.jsonl"],
     ] {
         let out = probcon(&bad);
         assert!(!out.status.success(), "should reject: {bad:?}");
     }
+}
+
+/// Records the seeded fleet-bench journal the plan tests replay.
+fn record_plan_journal(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("probcon-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let journal = dir.join(name);
+    let out = probcon(&[
+        "fleet-bench",
+        "--requests",
+        "150",
+        "--apps",
+        "3",
+        "--actors",
+        "4",
+        "--groups",
+        "2",
+        "--capacity",
+        "3",
+        "--journal",
+        journal.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    journal
+}
+
+#[test]
+fn plan_identity_reports_zero_flips_and_halved_capacity_regresses() {
+    let journal = record_plan_journal("plan.jsonl");
+    let journal = journal.to_str().expect("utf8 path");
+
+    // The recorded shape replays flip-free — and --fail-on-flips agrees.
+    let out = probcon(&["plan", journal, "--fail-on-flips"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "0 flips",
+        "recorded routing",
+        "mean-util",
+        "saturation windows",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+
+    // Halving capacity turns served admissions away: at least one
+    // admitted-now-rejected flip, reported per event.
+    let out = probcon(&["plan", journal, "--capacity-scale", "0.5"]);
+    assert!(out.status.success(), "flips are data, not failure: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("admitted-now-rejected") && !stdout.contains("(0 admitted-now-rejected"),
+        "halved capacity must regress at least one admission:\n{stdout}"
+    );
+    assert!(stdout.contains("FLIP seq"), "{stdout}");
+
+    // ... and --fail-on-flips makes that an exit-1 for CI gates.
+    let out = probcon(&[
+        "plan",
+        journal,
+        "--capacity-scale",
+        "0.5",
+        "--fail-on-flips",
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--fail-on-flips"), "{stderr}");
+
+    // --json emits the machine-readable report.
+    let out = probcon(&["plan", journal, "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["\"flips\"", "\"shape\"", "\"mean_utilisation\""] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+}
+
+#[test]
+fn plan_sweep_runs_grid_in_parallel_and_prints_frontier() {
+    let journal = record_plan_journal("plan-sweep.jsonl");
+    let out = probcon(&[
+        "plan",
+        journal.to_str().expect("utf8 path"),
+        "--sweep",
+        "--groups",
+        "1..3",
+        "--capacity-scale",
+        "0.5..1.5",
+        "--scale-steps",
+        "3",
+        "--workers",
+        "8",
+        "--flip-budget",
+        "2",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "on 8 workers",
+        "frontier",
+        "smallest clean",
+        "verdict",
+        "a->r",
+        "regression budget 2",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+    // The identity shape sits in the grid, so a clean shape always exists.
+    assert!(!stdout.contains("no candidate shape"), "{stdout}");
+}
+
+#[test]
+fn plan_validates_inputs() {
+    let journal = record_plan_journal("plan-validate.jsonl");
+    let journal = journal.to_str().expect("utf8 path");
+    for bad in [
+        vec!["plan"],
+        vec!["plan", "/nonexistent/journal.jsonl"],
+        vec!["plan", journal, "--groups", "0"],
+        vec!["plan", journal, "--capacity-scale", "-1"],
+        vec!["plan", journal, "--routing", "bogus"],
+        vec!["plan", journal, "--policy", "bogus"],
+        // Ranges and sweep-only flags need --sweep.
+        vec!["plan", journal, "--groups", "1..3"],
+        vec!["plan", journal, "--workers", "4"],
+        vec!["plan", journal, "--sweep", "--workers", "0"],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
+}
+
+#[test]
+fn replay_divergence_details_land_on_stderr_before_exit() {
+    use probcon::runtime::{DecisionEvent, Journal, JournalHeader, JournalOutcome};
+    use probcon::sdf::Rational;
+
+    let dir = std::env::temp_dir().join("probcon-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("divergent.jsonl");
+
+    // A journal claiming app 0 was admitted with a period of 1 — no real
+    // replay can reproduce that, so seq 0 must diverge.
+    let journal = Journal::new(JournalHeader {
+        seed: 1,
+        apps: 2,
+        actors: 4,
+        groups: 1,
+        shards_per_group: 1,
+        capacity_per_shard: 2,
+        ..JournalHeader::default()
+    });
+    journal.append(DecisionEvent::Admit {
+        group: 0,
+        app_index: 0,
+        required_throughput: None,
+        outcome: JournalOutcome::Admitted {
+            resident: 0,
+            predicted_period: Rational::integer(1),
+        },
+    });
+    journal.write_to(&path).expect("writes");
+
+    let out = probcon(&["replay", path.to_str().expect("utf8 path")]);
+    assert!(!out.status.success(), "divergence must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The details — sequence number, expected vs got — are on stderr, in
+    // full, before the exit; and a decided divergence is not a usage
+    // error, so the usage text stays off the output.
+    assert!(
+        stderr.contains("replay divergence at seq 0"),
+        "missing seq detail in stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("expected `admitted period 1`"),
+        "missing expected outcome in stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("got `admitted period"), "{stderr}");
+    assert!(
+        stderr.contains("diverged from the recording in 1 of 1 decisions"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn journal_split_and_merge_roundtrip_via_cli() {
+    use probcon::platform::SystemSpec;
+    use probcon::runtime::{ClientScope, FleetConfig, FleetManager, JournalHeader, RoutingPolicy};
+    use probcon::sdf::GeneratorConfig;
+
+    let dir = std::env::temp_dir().join("probcon-cli-test").join("split");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    // A replayable two-client recording: real fleet traffic, with each
+    // decision journaled under the thread's client scope — exactly what a
+    // RemoteServer does per connection.
+    let spec: SystemSpec =
+        probcon::experiments::workload::workload_with(1, 2, &GeneratorConfig::with_actors(4))
+            .expect("workload builds");
+    let header = JournalHeader {
+        seed: 1,
+        apps: 2,
+        actors: 4,
+        ..JournalHeader::default()
+    };
+    let fleet = FleetManager::with_header(
+        spec,
+        FleetConfig::uniform(1, 1, 4, RoutingPolicy::LeastUtilised),
+        header.clone(),
+    )
+    .expect("fleet builds");
+    let t0 = {
+        let _alpha = ClientScope::enter("alpha");
+        fleet.admit(0, None, None).unwrap().ticket().unwrap()
+    };
+    let t1 = {
+        let _beta = ClientScope::enter("beta");
+        fleet.admit(1, None, None).unwrap().ticket().unwrap()
+    };
+    {
+        let _alpha = ClientScope::enter("alpha");
+        t0.release();
+    }
+    {
+        let _beta = ClientScope::enter("beta");
+        t1.release();
+    }
+    let recording = dir.join("two-clients.jsonl");
+    fleet.journal().write_to(&recording).expect("writes");
+
+    // Split: one valid journal per client.
+    let out = probcon(&[
+        "journal",
+        "split",
+        recording.to_str().expect("utf8 path"),
+        "--out-dir",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 client(s)"), "{stdout}");
+    let alpha = dir.join("two-clients.client-alpha.jsonl");
+    let beta = dir.join("two-clients.client-beta.jsonl");
+    assert!(alpha.exists() && beta.exists(), "{stdout}");
+
+    // Merge reconstructs the original interleaving...
+    let merged = dir.join("merged.jsonl");
+    let out = probcon(&[
+        "journal",
+        "merge",
+        alpha.to_str().expect("utf8 path"),
+        beta.to_str().expect("utf8 path"),
+        "--out",
+        merged.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    // ... which replays outcome-for-outcome equivalent.
+    let out = probcon(&["replay", merged.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("EQUIVALENT"), "{stdout}");
+
+    // Incompatible headers refuse to merge, naming the difference.
+    let other = probcon::runtime::Journal::new(JournalHeader { seed: 99, ..header });
+    let other_path = dir.join("other-seed.jsonl");
+    other.write_to(&other_path).expect("writes");
+    let out = probcon(&[
+        "journal",
+        "merge",
+        alpha.to_str().expect("utf8 path"),
+        other_path.to_str().expect("utf8 path"),
+        "--out",
+        dir.join("nope.jsonl").to_str().expect("utf8 path"),
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("seed"), "{stderr}");
+
+    // Subcommand validation.
+    for bad in [
+        vec!["journal"],
+        vec!["journal", "frobnicate"],
+        vec!["journal", "split"],
+        vec!["journal", "merge", "a.jsonl"],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
+}
+
+#[test]
+fn journal_split_sanitizes_hostile_client_ids() {
+    use probcon::runtime::{ClientScope, DecisionEvent, Journal, JournalHeader};
+
+    let dir = std::env::temp_dir()
+        .join("probcon-cli-test")
+        .join("split-hostile");
+    let out_dir = dir.join("parts");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    // Client ids are wire-supplied and untrusted: a path-traversal id must
+    // not steer the split's write outside --out-dir, and two ids that
+    // sanitize identically must not overwrite each other.
+    let journal = Journal::new(JournalHeader::default());
+    for client in ["../../escape", ".._.._escape", "ok-name"] {
+        let _scope = ClientScope::enter(client);
+        journal.append(DecisionEvent::Release { resident: 0 });
+    }
+    let recording = dir.join("hostile.jsonl");
+    journal.write_to(&recording).expect("writes");
+
+    let out = probcon(&[
+        "journal",
+        "split",
+        recording.to_str().expect("utf8 path"),
+        "--out-dir",
+        out_dir.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    // Every split file landed inside --out-dir — nothing above it.
+    let written: Vec<String> = std::fs::read_dir(&out_dir)
+        .expect("out dir exists")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(written.len(), 3, "{written:?}");
+    assert!(
+        !dir.join("escape.jsonl").exists() && !dir.join("hostile.client-ok-name.jsonl").exists(),
+        "no file may escape the out dir"
+    );
+    assert!(written.iter().any(|n| n.contains("ok-name")), "{written:?}");
+    // The two hostile ids sanitize to the same stem; the collision gets a
+    // numeric suffix instead of overwriting.
+    assert!(
+        written.iter().any(|n| n.ends_with("-2.jsonl")),
+        "{written:?}"
+    );
 }
 
 #[test]

@@ -271,3 +271,72 @@ fn corrupted_recording_is_rejected_and_divergence_is_reported() {
         "shrunk capacity must saturate recorded admissions"
     );
 }
+
+#[test]
+fn planner_agrees_with_replayer_on_identity_and_reports_shrink_as_flips() {
+    use runtime::{FleetShape, FlipKind, PlanRun, PlanSweep};
+
+    let journal = record();
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+
+    // The replayer verifies the identity shape outcome-for-outcome...
+    let (replay, _) = JournalReplayer::new(&spec)
+        .replay(&journal, config())
+        .expect("replays");
+    assert!(replay.is_equivalent());
+
+    // ... and the planner agrees: zero flips, identical outcome totals,
+    // every recorded release/rebalance applied.
+    let shape = FleetShape::from_header(journal.header());
+    let identity = PlanRun::new(&spec, &journal, &shape)
+        .execute()
+        .expect("plans");
+    assert_eq!(identity.flips, vec![]);
+    assert_eq!(identity.recorded, identity.hypothetical);
+    assert_eq!(identity.releases_skipped, 0);
+    assert_eq!(
+        identity.recorded.admitted + identity.recorded.rejected + identity.recorded.saturated,
+        journal
+            .events()
+            .iter()
+            .filter(|e| matches!(e, DecisionEvent::Admit { .. }))
+            .count() as u64
+    );
+
+    // Where the replayer calls the same shrunken shape a DIVERGENCE
+    // (verification failed), the planner calls it DATA: each admission the
+    // smaller fleet turns away is an admitted-now-rejected flip.
+    let shrunk = shape.clone().scale_capacity(1.0 / CAPACITY as f64);
+    let report = PlanRun::new(&spec, &journal, &shrunk)
+        .execute()
+        .expect("plans");
+    assert!(report.count(FlipKind::AdmittedNowRejected) > 0);
+    assert!(!report.is_clean());
+    // Bookkeeping stays balanced: every recorded release either applied or
+    // was skipped because its admission flipped away.
+    assert_eq!(
+        report.releases_applied + report.releases_skipped,
+        journal
+            .events()
+            .iter()
+            .filter(|e| matches!(e, DecisionEvent::Release { .. }))
+            .count() as u64
+    );
+
+    // A sweep over capacity scales finds the recorded shape (or smaller)
+    // as its clean frontier, deterministically across worker counts.
+    let grid = PlanSweep::grid(&shape, &[], &[1.0 / 3.0, 2.0 / 3.0, 1.0], &[]);
+    let run = |workers: usize| {
+        PlanSweep::new(&spec, &journal)
+            .shapes(grid.clone())
+            .workers(workers)
+            .execute()
+            .expect("sweeps")
+    };
+    let eight = run(8);
+    let clean = eight.smallest_clean_report().expect("identity is clean");
+    assert!(clean.shape.total_capacity() <= shape.total_capacity());
+    let one = run(1);
+    assert_eq!(one.reports, eight.reports);
+    assert_eq!(one.smallest_clean, eight.smallest_clean);
+}

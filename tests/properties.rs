@@ -451,6 +451,104 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case records and then counterfactually replays real admissions;
+    // keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The planner ≡ replayer anchor: for the IDENTICAL shape, a plan run
+    // over any recorded journal reports zero flips — whatever the fleet
+    // shape, routing policy or request mix was. (The replayer additionally
+    // verifies exact periods; the planner's claim is outcome classes and
+    // routing, which is what flips measure.)
+    #[test]
+    fn planner_identity_shape_never_flips(
+        seed in 0u64..1_000,
+        groups in 1usize..4,
+        capacity in 1usize..4,
+        policy_pick in 0u8..3,
+        count in 20usize..70,
+    ) {
+        use platform::Application;
+        use runtime::{
+            run_fleet_requests, seeded_fleet_requests, FleetConfig, FleetManager, FleetShape,
+            PlanRun, RoutingPolicy,
+        };
+        use sdf::figure2_graphs;
+
+        let (a, b) = figure2_graphs();
+        let spec = platform::SystemSpec::builder()
+            .application(Application::new("A", a).expect("valid"))
+            .application(Application::new("B", b).expect("valid"))
+            .mapping(platform::Mapping::by_actor_index(3))
+            .build()
+            .expect("valid spec");
+        let policy = [
+            RoutingPolicy::LeastUtilised,
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::Affinity,
+        ][policy_pick as usize];
+        let fleet = FleetManager::new(
+            spec.clone(),
+            FleetConfig::uniform(groups, 1, capacity, policy),
+        )
+        .expect("valid fleet");
+        // Single-threaded seeded run: admits (with contracts/affinities),
+        // releases, rebalances — all journaled deterministically.
+        run_fleet_requests(&fleet, seeded_fleet_requests(&spec, groups, count, seed), 1);
+
+        let shape = FleetShape::from_header(fleet.journal().header());
+        let report = PlanRun::new(&spec, fleet.journal(), &shape)
+            .execute()
+            .expect("plans");
+        prop_assert_eq!(&report.flips, &vec![], "identity must not flip");
+        prop_assert_eq!(report.recorded, report.hypothetical);
+        prop_assert_eq!(report.events, fleet.journal().len());
+        prop_assert_eq!(report.releases_skipped, 0);
+        prop_assert_eq!(report.untracked_admissions, 0);
+        // The counterfactual fleet ends in the recording's final state.
+        prop_assert_eq!(report.residents_at_end, fleet.resident_count());
+    }
+
+    // Split/merge is lossless for any interleaving of client scopes: the
+    // merged journal reproduces the original event order and attribution.
+    #[test]
+    fn journal_split_merge_roundtrip(pattern in prop::collection::vec(0u8..4, 1..40)) {
+        use runtime::{ClientScope, DecisionEvent, Journal, JournalHeader};
+
+        let journal = Journal::new(JournalHeader::default());
+        for (i, &pick) in pattern.iter().enumerate() {
+            let _scope = match pick {
+                0 => Some(ClientScope::enter("alpha")),
+                1 => Some(ClientScope::enter("beta")),
+                2 => Some(ClientScope::enter("gamma")),
+                _ => None,
+            };
+            journal.append(DecisionEvent::Release { resident: i as u64 });
+        }
+        let parts = journal.split_by_client();
+        let mut sizes = 0usize;
+        for (_, part) in &parts {
+            part.verify().map_err(|e| TestCaseError::fail(e.to_string()))?;
+            sizes += part.len();
+        }
+        prop_assert_eq!(sizes, journal.len());
+        // Fold the parts back together pairwise.
+        let mut merged = Journal::parse(&parts[0].1.render())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for (_, part) in &parts[1..] {
+            merged = Journal::merge(&merged, part)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        merged.verify().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(merged.events(), journal.events());
+        let clients = |j: &Journal| -> Vec<Option<String>> {
+            j.entries().iter().map(|e| e.client.clone()).collect()
+        };
+        prop_assert_eq!(clients(&merged), clients(&journal));
+    }
+}
+
 #[test]
 fn use_case_roundtrip_mask() {
     use platform::{AppId, UseCase};

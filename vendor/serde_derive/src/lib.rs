@@ -4,6 +4,13 @@
 //! structs (named, tuple, unit) and enums (unit, tuple and struct
 //! variants), which covers every derive in this workspace. Attributes —
 //! including doc comments and `#[default]` — are skipped.
+//!
+//! Missing named fields deserialize from `Null` when the field type accepts
+//! it (so `Option<T>` fields default to `None`, matching upstream serde's
+//! ubiquitous `#[serde(default)]` on optional fields); types that reject
+//! `Null` keep the original "missing field" error. This is what lets newer
+//! journal/wire schemas add optional fields while still parsing artefacts
+//! recorded by older builds.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -282,9 +289,7 @@ fn gen_deserialize(input: &Input) -> String {
         Input::NamedStruct { name, fields } => {
             let mut body = format!("::core::result::Result::Ok({name} {{\n");
             for f in fields {
-                body.push_str(&format!(
-                    "{f}: ::serde::Deserialize::deserialize(__v.get_field(\"{f}\")?)?,\n"
-                ));
+                body.push_str(&format!("{f}: {},\n", field_expr("__v", f)));
             }
             body.push_str("})");
             impl_deserialize(name, &body)
@@ -334,11 +339,7 @@ fn gen_deserialize(input: &Input) -> String {
                     VariantKind::Struct(fields) => {
                         let items: Vec<String> = fields
                             .iter()
-                            .map(|f| {
-                                format!(
-                                "{f}: ::serde::Deserialize::deserialize(__p.get_field(\"{f}\")?)?"
-                            )
-                            })
+                            .map(|f| format!("{f}: {}", field_expr("__p", f)))
                             .collect();
                         data_arms.push_str(&format!(
                             "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{ {} }}),\n",
@@ -363,6 +364,22 @@ fn gen_deserialize(input: &Input) -> String {
             impl_deserialize(name, &body)
         }
     }
+}
+
+/// Expression deserializing named field `f` of object value `v`: a present
+/// field deserializes normally; a missing one falls back to deserializing
+/// `Null` (so nullable types default) and re-raises the original
+/// missing-field error when even `Null` is rejected.
+fn field_expr(v: &str, f: &str) -> String {
+    format!(
+        "match {v}.get_field(\"{f}\") {{\n\
+         ::core::result::Result::Ok(__f) => ::serde::Deserialize::deserialize(__f)?,\n\
+         ::core::result::Result::Err(__e) => \
+         match ::serde::Deserialize::deserialize(&::serde::Value::Null) {{\n\
+         ::core::result::Result::Ok(__d) => __d,\n\
+         ::core::result::Result::Err(_) => return ::core::result::Result::Err(__e),\n\
+         }},\n}}"
+    )
 }
 
 fn impl_deserialize(name: &str, body: &str) -> String {
