@@ -118,8 +118,8 @@ impl BatchReport {
         let _ = writeln!(out);
         let _ = writeln!(
             out,
-            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
-            "class", "count", "min", "mean", "p50", "p95", "max"
+            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "class", "count", "min", "mean", "p50", "p95", "p99", "p999", "max"
         );
         for (name, summary) in ["admit", "release", "query", "estimate"]
             .iter()
@@ -130,13 +130,15 @@ impl BatchReport {
             }
             let _ = writeln!(
                 out,
-                "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 name,
                 summary.count,
                 format_duration(summary.min),
                 format_duration(summary.mean),
                 format_duration(summary.p50),
                 format_duration(summary.p95),
+                format_duration(summary.p99),
+                format_duration(summary.p999),
                 format_duration(summary.max),
             );
         }
@@ -429,7 +431,9 @@ mod tests {
         assert_eq!(exec.service().snapshot().residents, 0);
         // The report renders the metrics table, stack layers included.
         let table = report.render();
-        for needle in ["req/s", "admit", "admitted", "cache", "p95", "cached"] {
+        for needle in [
+            "req/s", "admit", "admitted", "cache", "p95", "p999", "cached",
+        ] {
             assert!(table.contains(needle), "missing {needle} in:\n{table}");
         }
     }

@@ -1259,6 +1259,12 @@ impl GroupSnapshot {
             self.residents as f64 / self.capacity as f64
         }
     }
+
+    /// [`utilisation`](Self::utilisation) as a whole percentage — the
+    /// integer form telemetry counters and gauge expositions carry.
+    pub fn utilisation_percent(&self) -> u64 {
+        (100.0 * self.utilisation()).round() as u64
+    }
 }
 
 /// Point-in-time state of the whole fleet.

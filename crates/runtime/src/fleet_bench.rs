@@ -17,7 +17,9 @@ use crate::service::{AdmissionDecision, AdmissionRequest, AdmissionService, Serv
 use contention::Method;
 use platform::{AppId, SystemSpec, UseCase};
 use sdf::Rational;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -162,6 +164,50 @@ impl FleetBenchReport {
     }
 }
 
+/// One periodic sample of a running stream's live telemetry — the points
+/// of the trajectory `probcon fleet-bench --telemetry` writes out.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryPoint {
+    /// Milliseconds since the run started.
+    pub t_ms: u64,
+    /// Residents live at the sample.
+    pub residents: u64,
+    /// Admissions granted so far (cumulative).
+    pub admitted: u64,
+    /// Admissions rejected so far.
+    pub rejected: u64,
+    /// Admissions bounced for saturation so far.
+    pub saturated: u64,
+    /// Residents released so far.
+    pub released: u64,
+    /// Median admit latency (µs) over the whole run so far; 0 without a
+    /// [`Metered`](crate::Metered) layer in the driven stack.
+    pub admit_p50_us: u64,
+    /// 99th-percentile admit latency (µs) so far.
+    pub admit_p99_us: u64,
+    /// 99.9th-percentile admit latency (µs) so far.
+    pub admit_p999_us: u64,
+}
+
+impl TelemetryPoint {
+    fn sample(service: &dyn AdmissionService, start: Instant) -> TelemetryPoint {
+        let telemetry = service.telemetry();
+        let service = &telemetry.service;
+        let admit = telemetry.histogram("metered", "admit");
+        TelemetryPoint {
+            t_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+            residents: service.residents as u64,
+            admitted: service.admitted,
+            rejected: service.rejected,
+            saturated: service.saturated,
+            released: service.released,
+            admit_p50_us: admit.map_or(0, |h| h.p50()),
+            admit_p99_us: admit.map_or(0, |h| h.p99()),
+            admit_p999_us: admit.map_or(0, |h| h.p999()),
+        }
+    }
+}
+
 /// [`run_fleet_stack`] over the bare fleet (no middleware): admissions are
 /// dispatched through the fleet's own [`AdmissionService`] implementation.
 pub fn run_fleet_requests(
@@ -170,6 +216,34 @@ pub fn run_fleet_requests(
     threads: usize,
 ) -> FleetBenchReport {
     run_fleet_stack(fleet, fleet, requests, threads)
+}
+
+/// [`run_fleet_stack`] with a telemetry sampler: a side thread snapshots
+/// the stack's live telemetry every `sample_every` while the workers
+/// drain, closing the trajectory with one final post-drain point. The
+/// sampler reads the same [`telemetry`](AdmissionService::telemetry)
+/// surface `probcon top` polls, so the trajectory shows exactly what a
+/// live observer would have seen.
+pub fn run_fleet_stack_sampled(
+    service: &dyn AdmissionService,
+    fleet: &FleetManager,
+    requests: Vec<FleetRequest>,
+    threads: usize,
+    sample_every: Duration,
+) -> (FleetBenchReport, Vec<TelemetryPoint>) {
+    run_stack_inner(service, Some(fleet), requests, threads, Some(sample_every))
+}
+
+/// [`run_service_requests`] with a telemetry sampler — the fleetless
+/// (e.g. [`RemoteClient`](crate::RemoteClient)) counterpart of
+/// [`run_fleet_stack_sampled`].
+pub fn run_service_requests_sampled(
+    service: &dyn AdmissionService,
+    requests: Vec<FleetRequest>,
+    threads: usize,
+    sample_every: Duration,
+) -> (FleetBenchReport, Vec<TelemetryPoint>) {
+    run_stack_inner(service, None, requests, threads, Some(sample_every))
 }
 
 /// [`run_fleet_stack`] for a service with **no local fleet** — a
@@ -183,7 +257,7 @@ pub fn run_service_requests(
     requests: Vec<FleetRequest>,
     threads: usize,
 ) -> FleetBenchReport {
-    run_stack_inner(service, None, requests, threads)
+    run_stack_inner(service, None, requests, threads, None).0
 }
 
 /// Executes `requests` against `service` — any [`AdmissionService`] stack
@@ -201,7 +275,7 @@ pub fn run_fleet_stack(
     requests: Vec<FleetRequest>,
     threads: usize,
 ) -> FleetBenchReport {
-    run_stack_inner(service, Some(fleet), requests, threads)
+    run_stack_inner(service, Some(fleet), requests, threads, None).0
 }
 
 fn run_stack_inner(
@@ -209,74 +283,106 @@ fn run_stack_inner(
     fleet: Option<&FleetManager>,
     requests: Vec<FleetRequest>,
     threads: usize,
-) -> FleetBenchReport {
+    sample_every: Option<Duration>,
+) -> (FleetBenchReport, Vec<TelemetryPoint>) {
     let threads = threads.max(1);
     let total = requests.len();
     let queue = Mutex::new(requests.into_iter().collect::<VecDeque<FleetRequest>>());
     let pool: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let done = AtomicBool::new(false);
+    let points: Mutex<Vec<TelemetryPoint>> = Mutex::new(Vec::new());
 
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let queue = &queue;
-            let pool = &pool;
-            scope.spawn(move || loop {
-                let Some(request) = lock(queue).pop_front() else {
-                    return;
-                };
-                match request {
-                    FleetRequest::Admit {
-                        app_index,
-                        required_throughput,
-                        affinity,
-                    } => {
-                        // Analysis errors cannot occur for generator-valid
-                        // specs; a saturated or rejected decision is already
-                        // journaled and counted by the fleet.
-                        let request = AdmissionRequest {
+    let wall = std::thread::scope(|scope| {
+        if let Some(interval) = sample_every {
+            let interval = interval.max(Duration::from_millis(1));
+            // Poll the stop flag at a finer grain than the sample interval
+            // so a finished run is not held open for a whole period.
+            let tick = interval.min(Duration::from_millis(5));
+            let done = &done;
+            let points = &points;
+            scope.spawn(move || {
+                let mut next_at = start + interval;
+                while !done.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    if Instant::now() >= next_at {
+                        lock(points).push(TelemetryPoint::sample(service, start));
+                        next_at += interval;
+                    }
+                }
+                // Close the trajectory on the end state (pre-drain).
+                lock(points).push(TelemetryPoint::sample(service, start));
+            });
+        }
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = &queue;
+                let pool = &pool;
+                scope.spawn(move || loop {
+                    let Some(request) = lock(queue).pop_front() else {
+                        return;
+                    };
+                    match request {
+                        FleetRequest::Admit {
                             app_index,
                             required_throughput,
                             affinity,
-                            target: None,
-                        };
-                        if let Ok(AdmissionDecision::Admitted { resident, .. }) =
-                            service.admit(&request)
-                        {
-                            lock(pool).push(resident);
-                        }
-                    }
-                    FleetRequest::Release => {
-                        let resident = {
-                            let mut pool = lock(pool);
-                            if pool.is_empty() {
-                                None
-                            } else {
-                                Some(pool.remove(0))
+                        } => {
+                            // Analysis errors cannot occur for generator-valid
+                            // specs; a saturated or rejected decision is already
+                            // journaled and counted by the fleet.
+                            let request = AdmissionRequest {
+                                app_index,
+                                required_throughput,
+                                affinity,
+                                target: None,
+                            };
+                            if let Ok(AdmissionDecision::Admitted { resident, .. }) =
+                                service.admit(&request)
+                            {
+                                lock(pool).push(resident);
                             }
-                        };
-                        if let Some(resident) = resident {
-                            let _ = service.release(resident);
+                        }
+                        FleetRequest::Release => {
+                            let resident = {
+                                let mut pool = lock(pool);
+                                if pool.is_empty() {
+                                    None
+                                } else {
+                                    Some(pool.remove(0))
+                                }
+                            };
+                            if let Some(resident) = resident {
+                                let _ = service.release(resident);
+                            }
+                        }
+                        FleetRequest::Rebalance => match fleet {
+                            Some(fleet) => {
+                                fleet.rebalance();
+                            }
+                            // No local fleet: keep the stream shape by probing
+                            // the stack instead (a cheap read, like rebalance
+                            // evaluation on an already-balanced fleet).
+                            None => {
+                                let _ = service.snapshot();
+                            }
+                        },
+                        FleetRequest::Estimate { use_case, method } => {
+                            let _ = service.estimate(use_case, method);
                         }
                     }
-                    FleetRequest::Rebalance => match fleet {
-                        Some(fleet) => {
-                            fleet.rebalance();
-                        }
-                        // No local fleet: keep the stream shape by probing
-                        // the stack instead (a cheap read, like rebalance
-                        // evaluation on an already-balanced fleet).
-                        None => {
-                            let _ = service.snapshot();
-                        }
-                    },
-                    FleetRequest::Estimate { use_case, method } => {
-                        let _ = service.estimate(use_case, method);
-                    }
-                }
-            });
+                })
+            })
+            .collect();
+        for worker in workers {
+            let _ = worker.join();
         }
+        let wall = start.elapsed();
+        // Stop the sampler only after the workers are done so its final
+        // point reflects the fully-executed stream.
+        done.store(true, Ordering::Release);
+        wall
     });
-    let wall = start.elapsed();
 
     let residents_at_end = lock(&pool).len();
     // Drain: journal a release for every still-held resident.
@@ -294,7 +400,7 @@ fn run_stack_inner(
             .or_else(|| stack.counter("journaled", "entries"))
             .unwrap_or(0) as usize,
     };
-    FleetBenchReport {
+    let report = FleetBenchReport {
         requests: total,
         threads,
         wall,
@@ -302,7 +408,8 @@ fn run_stack_inner(
         snapshot: fleet.map(FleetManager::snapshot),
         stack,
         journal_len,
-    }
+    };
+    (report, points.into_inner().unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -380,6 +487,38 @@ mod tests {
         for needle in ["req/s", "journal entries", "fleet:", "admitted", "service:"] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn sampled_run_records_a_monotone_trajectory() {
+        let spec = spec();
+        let fleet = FleetManager::new(
+            spec.clone(),
+            FleetConfig::uniform(2, 1, 3, RoutingPolicy::LeastUtilised),
+        )
+        .unwrap();
+        let stack = Metered::new(Cached::new(fleet.clone(), 32));
+        let (report, points) = run_fleet_stack_sampled(
+            &stack,
+            &fleet,
+            seeded_fleet_requests(&spec, 2, 400, 5),
+            2,
+            Duration::from_millis(1),
+        );
+        assert_eq!(report.requests, 400);
+        // At least the closing point lands, and time never runs backwards.
+        assert!(!points.is_empty());
+        for pair in points.windows(2) {
+            assert!(pair[0].t_ms <= pair[1].t_ms, "{points:?}");
+            assert!(pair[0].admitted <= pair[1].admitted, "{points:?}");
+        }
+        let last = points.last().unwrap();
+        assert!(last.admitted > 0, "{last:?}");
+        assert!(last.admit_p999_us >= last.admit_p50_us, "{last:?}");
+        // The trajectory serializes as JSON for --telemetry output.
+        let json = serde_json::to_string(&points).unwrap();
+        let back: Vec<TelemetryPoint> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, points);
     }
 
     #[test]

@@ -54,6 +54,9 @@ use crate::service::{
     AdmissionDecision, AdmissionRequest, AdmissionService, Completer, Completion, LayerMetrics,
     ServiceError, ServiceSnapshot,
 };
+use crate::telemetry::{
+    op_rate, HistogramRecorder, TelemetrySnapshot, TraceEvent, TraceKind, TraceRecorder,
+};
 use contention::{Estimate, Method};
 use platform::{SystemSpec, UseCase};
 use std::collections::VecDeque;
@@ -101,12 +104,19 @@ struct FrontEndInner {
     stopped: AtomicBool,
     capacity: usize,
     workers: usize,
+    started: Instant,
     submitted: AtomicU64,
     completed: AtomicU64,
     queue_full: AtomicU64,
     peak_depth: AtomicU64,
-    queue_wait_micros: AtomicU64,
-    queue_wait_max_micros: AtomicU64,
+    /// Time jobs spent queued before a worker picked them up.
+    queue_wait: HistogramRecorder,
+    /// Time workers spent inside the wrapped service per job (dwell).
+    dwell: HistogramRecorder,
+    /// Queue depth sampled at every accepted submission.
+    depth: HistogramRecorder,
+    /// Optional flight recorder receiving queue-wait events.
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl FrontEndInner {
@@ -127,20 +137,24 @@ impl FrontEndInner {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
-            let wait = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
-            self.queue_wait_micros.fetch_add(wait, Ordering::Relaxed);
-            self.queue_wait_max_micros
-                .fetch_max(wait, Ordering::Relaxed);
+            let wait = job.enqueued.elapsed();
+            self.queue_wait.record_duration(wait);
+            if let Some(trace) = &self.trace {
+                trace.record(TraceEvent::new(TraceKind::QueueWait).duration(wait));
+            }
             // Count the completion before delivering it: a waiter woken by
             // the completion must already observe it in the counters.
+            let dwell = Instant::now();
             match job.op {
                 Op::Admit(request, completer) => {
                     let result = self.service.admit(&request);
+                    self.dwell.record_duration(dwell.elapsed());
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     completer.complete(result);
                 }
                 Op::Release(resident, completer) => {
                     let result = self.service.release(resident);
+                    self.dwell.record_duration(dwell.elapsed());
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     completer.complete(result);
                 }
@@ -169,6 +183,27 @@ impl FrontEnd {
     /// Front-end over any service stack, spawning the worker pool
     /// immediately (`workers`/`queue_capacity` are clamped to ≥ 1).
     pub fn new(service: Box<dyn AdmissionService>, config: FrontEndConfig) -> FrontEnd {
+        FrontEnd::with_trace(service, config, None)
+    }
+
+    /// Like [`new`](Self::new), but every queue wait is also recorded
+    /// into `trace` as a
+    /// [`TraceKind::QueueWait`](crate::TraceKind) event —
+    /// share the recorder of the stack's [`Traced`](crate::Traced) layer
+    /// to see queueing inline with decisions.
+    pub fn traced(
+        service: Box<dyn AdmissionService>,
+        config: FrontEndConfig,
+        trace: Arc<TraceRecorder>,
+    ) -> FrontEnd {
+        FrontEnd::with_trace(service, config, Some(trace))
+    }
+
+    fn with_trace(
+        service: Box<dyn AdmissionService>,
+        config: FrontEndConfig,
+        trace: Option<Arc<TraceRecorder>>,
+    ) -> FrontEnd {
         let workers = config.workers.max(1);
         let inner = Arc::new(FrontEndInner {
             service,
@@ -177,12 +212,15 @@ impl FrontEnd {
             stopped: AtomicBool::new(false),
             capacity: config.queue_capacity.max(1),
             workers,
+            started: Instant::now(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             queue_full: AtomicU64::new(0),
             peak_depth: AtomicU64::new(0),
-            queue_wait_micros: AtomicU64::new(0),
-            queue_wait_max_micros: AtomicU64::new(0),
+            queue_wait: HistogramRecorder::new(),
+            dwell: HistogramRecorder::new(),
+            depth: HistogramRecorder::new(),
+            trace,
         });
         let handles = (0..workers)
             .map(|_| {
@@ -242,6 +280,7 @@ impl FrontEnd {
         queue.push_back(job);
         let depth = queue.len() as u64;
         self.inner.peak_depth.fetch_max(depth, Ordering::Relaxed);
+        self.inner.depth.record(depth);
         drop(queue);
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         self.inner.cond.notify_one();
@@ -292,6 +331,30 @@ impl FrontEnd {
             let _ = handle.join();
         }
     }
+
+    /// The `"front-end"` layer row: queue/worker counters plus rate and
+    /// quantile rows for queue wait and worker dwell time.
+    fn layer(&self) -> LayerMetrics {
+        let elapsed = self.inner.started.elapsed();
+        let queue_wait = self.inner.queue_wait.snapshot();
+        let dwell = self.inner.dwell.snapshot();
+        let mut layer = LayerMetrics::new("front-end")
+            .counter("workers", self.inner.workers as u64)
+            .counter("queue_depth", self.queue_depth() as u64)
+            .counter("peak_queue_depth", self.peak_queue_depth() as u64)
+            .counter("submitted", self.submitted())
+            .counter("completed", self.completed())
+            .counter("queue_full", self.inner.queue_full.load(Ordering::Relaxed))
+            .counter("mean_queue_wait_us", queue_wait.mean_micros())
+            .counter("max_queue_wait_us", queue_wait.max_micros());
+        if !queue_wait.is_empty() {
+            layer = layer.op_rate(op_rate("queue_wait", &queue_wait, elapsed));
+        }
+        if !dwell.is_empty() {
+            layer = layer.op_rate(op_rate("dwell", &dwell, elapsed));
+        }
+        layer
+    }
 }
 
 impl Drop for FrontEnd {
@@ -314,27 +377,7 @@ impl AdmissionService for FrontEnd {
 
     fn snapshot(&self) -> ServiceSnapshot {
         let mut snapshot = self.inner.service.snapshot();
-        let completed = self.completed();
-        let mean_wait = self
-            .inner
-            .queue_wait_micros
-            .load(Ordering::Relaxed)
-            .checked_div(completed)
-            .unwrap_or(0);
-        snapshot.layers.push(
-            LayerMetrics::new("front-end")
-                .counter("workers", self.inner.workers as u64)
-                .counter("queue_depth", self.queue_depth() as u64)
-                .counter("peak_queue_depth", self.peak_queue_depth() as u64)
-                .counter("submitted", self.submitted())
-                .counter("completed", completed)
-                .counter("queue_full", self.inner.queue_full.load(Ordering::Relaxed))
-                .counter("mean_queue_wait_us", mean_wait)
-                .counter(
-                    "max_queue_wait_us",
-                    self.inner.queue_wait_max_micros.load(Ordering::Relaxed),
-                ),
-        );
+        snapshot.layers.push(self.layer());
         snapshot
     }
 
@@ -351,6 +394,32 @@ impl AdmissionService for FrontEnd {
     /// The genuinely non-blocking submission path.
     fn submit(&self, request: AdmissionRequest) -> Completion {
         FrontEnd::submit(self, request)
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let mut telemetry = self.inner.service.telemetry();
+        telemetry.service.layers.push(self.layer());
+        for (op, recorder) in [
+            ("queue_wait", &self.inner.queue_wait),
+            ("dwell", &self.inner.dwell),
+            ("queue_depth", &self.inner.depth),
+        ] {
+            let hist = recorder.snapshot();
+            if !hist.is_empty() {
+                telemetry.push_histogram("front-end", op, hist);
+            }
+        }
+        if let Some(trace) = &self.inner.trace {
+            telemetry.trace = trace.stats();
+        }
+        telemetry
+    }
+
+    fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
+        match &self.inner.trace {
+            Some(trace) => trace.tail(limit),
+            None => self.inner.service.trace_tail(limit),
+        }
     }
 }
 
@@ -462,6 +531,42 @@ mod tests {
             ServiceError::Stopped
         );
         // Idempotent.
+        front.shutdown();
+    }
+
+    #[test]
+    fn telemetry_surfaces_queue_and_dwell_distributions() {
+        let recorder = Arc::new(TraceRecorder::new(64));
+        let front = FrontEnd::traced(
+            Box::new(fleet(2, 4)),
+            FrontEndConfig::default(),
+            Arc::clone(&recorder),
+        );
+        let completions: Vec<Completion> = (0..4)
+            .map(|i| front.submit(AdmissionRequest::new(i)))
+            .collect();
+        for completion in completions {
+            completion.wait().unwrap();
+        }
+        let telemetry = AdmissionService::telemetry(&front);
+        for op in ["queue_wait", "dwell", "queue_depth"] {
+            let hist = telemetry.histogram("front-end", op).unwrap();
+            assert_eq!(hist.count(), 4, "{op} must sample every job");
+        }
+        assert_eq!(telemetry.trace.capacity, 64);
+        assert_eq!(telemetry.trace.recorded, 4);
+        let tail = AdmissionService::trace_tail(&front, 10);
+        assert_eq!(tail.len(), 4);
+        assert!(tail.iter().all(|e| e.kind == TraceKind::QueueWait));
+        // The snapshot layer carries the op-rate rows.
+        let snapshot = AdmissionService::snapshot(&front);
+        let layer = snapshot
+            .layers
+            .iter()
+            .find(|l| l.layer == "front-end")
+            .unwrap();
+        assert!(layer.ops.iter().any(|r| r.op == "queue_wait"));
+        assert!(layer.ops.iter().any(|r| r.op == "dwell"));
         front.shutdown();
     }
 

@@ -34,6 +34,12 @@
 //!   whose both ends are just [`AdmissionService`]s, so a fleet spans
 //!   processes and every existing driver works against it unchanged (see
 //!   [`remote`]);
+//! * [`Traced`] / [`TraceRecorder`] / [`TelemetrySnapshot`] — the
+//!   telemetry subsystem: a fixed-capacity flight recorder of structured
+//!   decision events, bounded HDR-style [`LatencyHistogram`]s replacing
+//!   unbounded sample vectors, and a wire-exposed live-metrics surface
+//!   with Prometheus-style rendering (see [`telemetry`], the engine
+//!   behind `probcon top` / `probcon trace`);
 //! * [`PlanRun`] / [`PlanSweep`] — the offline capacity planner: replay
 //!   any recorded journal against hypothetical [`FleetShape`]s (scaled
 //!   capacities, added groups, swapped policies) and report which
@@ -86,6 +92,7 @@ pub mod metrics;
 pub mod planner;
 pub mod remote;
 pub mod service;
+pub mod telemetry;
 
 pub use cache::{CacheKey, EstimateCache};
 pub use executor::{seeded_requests, BatchExecutor, BatchReport, Request};
@@ -94,8 +101,9 @@ pub use fleet::{
     GroupSnapshot, RebalanceMove, RoutingPolicy,
 };
 pub use fleet_bench::{
-    run_fleet_requests, run_fleet_stack, run_service_requests, seeded_fleet_requests,
-    FleetBenchReport, FleetRequest,
+    run_fleet_requests, run_fleet_stack, run_fleet_stack_sampled, run_service_requests,
+    run_service_requests_sampled, seeded_fleet_requests, FleetBenchReport, FleetRequest,
+    TelemetryPoint,
 };
 pub use frontend::{FrontEnd, FrontEndConfig};
 pub use journal::{
@@ -116,5 +124,9 @@ pub use remote::{
 };
 pub use service::{
     AdmissionDecision, AdmissionRequest, AdmissionService, Cached, Completer, Completion,
-    Journaled, LayerMetrics, Metered, ServiceError, ServiceOp, ServiceSnapshot,
+    Journaled, LayerMetrics, Metered, OpRate, ServiceError, ServiceOp, ServiceSnapshot,
+};
+pub use telemetry::{
+    HistogramRecorder, LatencyHistogram, OpHistogram, TelemetrySnapshot, TraceEvent, TraceKind,
+    TraceRecorder, TraceStats, Traced,
 };

@@ -110,8 +110,14 @@ pub struct LatencySummary {
     pub mean: Duration,
     /// Median (50th percentile).
     pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
     /// 95th percentile.
     pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
     /// Maximum latency.
     pub max: Duration,
 }
@@ -127,15 +133,18 @@ impl LatencySummary {
         let count = samples.len() as u64;
         let total: u64 = samples.iter().sum();
         let percentile = |p: usize| {
-            let rank = (samples.len() - 1) * p / 100;
+            let rank = (samples.len() - 1) * p / 1000;
             Duration::from_micros(samples[rank])
         };
         LatencySummary {
             count,
             min: Duration::from_micros(samples[0]),
             mean: Duration::from_micros(total / count),
-            p50: percentile(50),
-            p95: percentile(95),
+            p50: percentile(500),
+            p90: percentile(900),
+            p95: percentile(950),
+            p99: percentile(990),
+            p999: percentile(999),
             max: Duration::from_micros(samples[samples.len() - 1]),
         }
     }
@@ -153,7 +162,10 @@ mod tests {
         assert_eq!(s.min, Duration::from_micros(1));
         assert_eq!(s.max, Duration::from_micros(100));
         assert_eq!(s.p50, Duration::from_micros(50));
+        assert_eq!(s.p90, Duration::from_micros(90));
         assert_eq!(s.p95, Duration::from_micros(95));
+        assert_eq!(s.p99, Duration::from_micros(99));
+        assert_eq!(s.p999, Duration::from_micros(99));
         assert_eq!(s.mean, Duration::from_micros(50));
     }
 

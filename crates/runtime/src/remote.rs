@@ -79,6 +79,7 @@ use crate::service::{
     AdmissionDecision, AdmissionRequest, AdmissionService, Completer, Completion, LayerMetrics,
     ServiceError, ServiceSnapshot,
 };
+use crate::telemetry::{op_rate, HistogramRecorder, TelemetrySnapshot, TraceEvent};
 use contention::{Estimate, Method};
 use platform::{SystemSpec, UseCase};
 use serde::{Deserialize, Serialize};
@@ -95,7 +96,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Current remote-protocol version; both ends must agree exactly.
-pub const REMOTE_PROTOCOL_VERSION: u64 = 1;
+/// Version 2 added the `Telemetry` and `Trace` operations and per-layer
+/// operation-rate rows inside snapshots.
+pub const REMOTE_PROTOCOL_VERSION: u64 = 2;
 
 /// Handshake magic identifying this protocol on the wire.
 const MAGIC: &str = "probcon-remote";
@@ -495,6 +498,15 @@ pub enum WireOp {
     },
     /// Fetch the server-side decision journal, rendered as JSON lines.
     Journal,
+    /// Collect the served stack's live telemetry (per-layer histograms,
+    /// trace counters, server frame latency).
+    Telemetry,
+    /// Fetch the newest trace events from the served stack's flight
+    /// recorder, oldest first.
+    Trace {
+        /// Maximum number of events to return.
+        tail: u64,
+    },
 }
 
 /// One response frame, correlated to its request by `id`.
@@ -522,6 +534,10 @@ pub enum WireBody {
     /// The server-side journal, rendered as JSON lines
     /// ([`Journal::render`]).
     Journal(String),
+    /// The served stack's live telemetry.
+    Telemetry(TelemetrySnapshot),
+    /// Trace events from the served stack's flight recorder.
+    Trace(Vec<TraceEvent>),
     /// The operation failed.
     Error(WireFault),
 }
@@ -644,6 +660,10 @@ struct ServerShared {
     service: Arc<dyn AdmissionService>,
     journal_source: Option<JournalSource>,
     config: RemoteServerConfig,
+    started: Instant,
+    /// Latency of each request frame, timed around dispatch (decode and
+    /// write excluded) — the server-side contribution to remote latency.
+    frame_latency: HistogramRecorder,
     stopping: AtomicBool,
     connections: AtomicU64,
     /// Connections that completed the handshake — only these arm `once`
@@ -752,7 +772,9 @@ impl ServerShared {
                         }
                     };
                     self.requests.fetch_add(1, Ordering::Relaxed);
+                    let dispatched = Instant::now();
                     let body = self.dispatch(request.op);
+                    self.frame_latency.record_duration(dispatched.elapsed());
                     let response = WireResponse {
                         id: request.id,
                         body,
@@ -819,7 +841,38 @@ impl ServerShared {
                 Some(text) => WireBody::Journal(text),
                 None => WireBody::Error(WireFault::Config("server records no journal".to_string())),
             },
+            WireOp::Telemetry => {
+                let mut telemetry = self.service.telemetry();
+                telemetry.service.layers.push(self.server_layer());
+                telemetry.push_histogram("remote-server", "frame", self.frame_latency.snapshot());
+                WireBody::Telemetry(telemetry)
+            }
+            WireOp::Trace { tail } => {
+                WireBody::Trace(self.service.trace_tail(tail.min(1_000_000) as usize))
+            }
         }
+    }
+
+    /// This server's own telemetry layer: connection/request counters plus
+    /// the frame-latency distribution.
+    fn server_layer(&self) -> LayerMetrics {
+        let frame = self.frame_latency.snapshot();
+        let mut layer = LayerMetrics::new("remote-server")
+            .counter("connections", self.connections.load(Ordering::Relaxed))
+            .counter("active", self.active.load(Ordering::Relaxed))
+            .counter("requests", self.requests.load(Ordering::Relaxed))
+            .counter(
+                "protocol_errors",
+                self.protocol_errors.load(Ordering::Relaxed),
+            )
+            .counter(
+                "handshake_rejects",
+                self.handshake_rejects.load(Ordering::Relaxed),
+            );
+        if frame.count() > 0 {
+            layer = layer.op_rate(op_rate("frame", &frame, self.started.elapsed()));
+        }
+        layer
     }
 }
 
@@ -883,6 +936,8 @@ impl RemoteServer {
             service,
             journal_source,
             config,
+            started: Instant::now(),
+            frame_latency: HistogramRecorder::new(),
             stopping: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             handshaken: AtomicU64::new(0),
@@ -1038,6 +1093,8 @@ enum PendingOp {
     Snapshot(Completer<ServiceSnapshot>),
     Estimate(Completer<Arc<Estimate>>),
     Journal(Completer<String>),
+    Telemetry(Completer<TelemetrySnapshot>),
+    Trace(Completer<Vec<TraceEvent>>),
 }
 
 impl PendingOp {
@@ -1048,6 +1105,8 @@ impl PendingOp {
             PendingOp::Snapshot(c) => c.complete(Err(error)),
             PendingOp::Estimate(c) => c.complete(Err(error)),
             PendingOp::Journal(c) => c.complete(Err(error)),
+            PendingOp::Telemetry(c) => c.complete(Err(error)),
+            PendingOp::Trace(c) => c.complete(Err(error)),
         }
     }
 
@@ -1066,6 +1125,10 @@ impl PendingOp {
                 c.complete(Ok(Arc::new(estimate)));
             }
             (PendingOp::Journal(c), WireBody::Journal(text)) => c.complete(Ok(text)),
+            (PendingOp::Telemetry(c), WireBody::Telemetry(telemetry)) => {
+                c.complete(Ok(telemetry));
+            }
+            (PendingOp::Trace(c), WireBody::Trace(events)) => c.complete(Ok(events)),
             (pending, _) => pending.fail(mismatch),
         }
     }
@@ -1402,6 +1465,38 @@ impl RemoteClient {
         completion.wait()
     }
 
+    /// Fetches the served stack's live telemetry as a `Result` (the
+    /// trait's [`telemetry`](AdmissionService::telemetry) swallows
+    /// transport errors into a local degraded snapshot, since it is
+    /// infallible by signature). The returned snapshot carries every
+    /// server-side layer's histograms plus the server's own
+    /// `remote-server` frame-latency distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Transport`] when the connection failed.
+    pub fn remote_telemetry(&self) -> Result<TelemetrySnapshot, ServiceError> {
+        let (completer, completion) = Completion::pending();
+        self.shared
+            .send(WireOp::Telemetry, PendingOp::Telemetry(completer));
+        completion.wait()
+    }
+
+    /// Fetches the newest `tail` trace events from the server-side flight
+    /// recorder, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Transport`] when the connection failed.
+    pub fn remote_trace(&self, tail: usize) -> Result<Vec<TraceEvent>, ServiceError> {
+        let (completer, completion) = Completion::pending();
+        self.shared.send(
+            WireOp::Trace { tail: tail as u64 },
+            PendingOp::Trace(completer),
+        );
+        completion.wait()
+    }
+
     /// Fetches and parses the server-side decision journal — the exact
     /// checksummed record the far end kept, ready for
     /// [`JournalReplayer`](crate::JournalReplayer) or `probcon replay`.
@@ -1512,6 +1607,27 @@ impl AdmissionService for RemoteClient {
         self.shared
             .send(WireOp::Admit(request), PendingOp::Admit(completer));
         completion
+    }
+
+    /// The far end's full telemetry (per-layer histograms, trace counters,
+    /// server frame latency) with this client's `"remote"` layer appended;
+    /// a failed transport degrades to a telemetry view of the local
+    /// [`snapshot`](AdmissionService::snapshot) (whose `remote` layer
+    /// records the failure).
+    fn telemetry(&self) -> TelemetrySnapshot {
+        match self.remote_telemetry() {
+            Ok(mut telemetry) => {
+                telemetry.service.layers.push(self.client_layer());
+                telemetry
+            }
+            Err(_) => TelemetrySnapshot::from_service(self.snapshot()),
+        }
+    }
+
+    /// The server-side flight recorder's tail; empty when the transport
+    /// has failed.
+    fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
+        self.remote_trace(limit).unwrap_or_default()
     }
 }
 
@@ -1693,6 +1809,50 @@ mod tests {
             panic!("uds addr");
         };
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn telemetry_and_trace_roundtrip_over_tcp() {
+        use crate::service::Metered;
+        use crate::telemetry::{TraceKind, Traced};
+
+        let stack = Traced::new(Metered::new(Cached::new(fleet(2, 4), 16)), 256);
+        let server =
+            RemoteServer::bind(&"tcp:127.0.0.1:0".parse().unwrap(), Arc::new(stack)).unwrap();
+        let client = RemoteClient::connect(server.local_addr()).unwrap();
+
+        let decision = client.admit(&AdmissionRequest::new(0)).unwrap();
+        client.release(decision.resident().unwrap()).unwrap();
+
+        // Telemetry crosses the wire: per-layer histograms from the served
+        // stack, the server's own frame latency, and this client's layer.
+        let telemetry = client.remote_telemetry().unwrap();
+        let admit = telemetry.histogram("metered", "admit").unwrap();
+        assert_eq!(admit.count(), 1);
+        let frame = telemetry.histogram("remote-server", "frame").unwrap();
+        assert!(frame.count() >= 2, "admit + release frames timed");
+        assert!(telemetry.trace.recorded >= 2, "admit + release traced");
+        let trait_view = AdmissionService::telemetry(&client);
+        assert!(trait_view
+            .service
+            .layers
+            .iter()
+            .any(|layer| layer.layer == "remote"));
+        assert!(trait_view.histogram("remote-server", "frame").is_some());
+
+        // The flight recorder's tail crosses too, oldest first.
+        let events = client.remote_trace(16).unwrap();
+        assert!(events.len() >= 2);
+        assert_eq!(events[0].kind, TraceKind::Admit);
+        assert!(events.iter().any(|e| e.kind == TraceKind::Release));
+        assert_eq!(AdmissionService::trace_tail(&client, 1).len(), 1);
+
+        // The rendered exposition includes the remote layers.
+        let text = telemetry.render_prometheus();
+        assert!(text.contains("probcon_op_latency_microseconds"));
+
+        client.close();
+        server.shutdown();
     }
 
     #[test]

@@ -62,6 +62,9 @@ use crate::fleet::{FleetAdmission, FleetError, FleetManager};
 use crate::journal::{DecisionEvent, Journal, JournalHeader, JournalOutcome};
 use crate::manager::{Admission, AdmitError, ResourceManager, Ticket};
 use crate::metrics::LatencySummary;
+use crate::telemetry::{
+    HistogramRecorder, LatencyHistogram, TelemetrySnapshot, TraceEvent, TraceKind, TraceRecorder,
+};
 use contention::{AdmissionOutcome, ContentionError, Estimate, Method, Violation};
 use experiments::signoff::SignOffReport;
 use platform::{AppId, Application, NodeId, SystemSpec, UseCase};
@@ -307,15 +310,43 @@ impl From<ContentionError> for ServiceError {
     }
 }
 
+/// Rate and quantile summary of one operation class on one layer,
+/// surfaced in the [`ServiceSnapshot`] ops table. All fields are plain
+/// integers so snapshots stay `Eq` and wire-serializable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRate {
+    /// Operation class (`"admit"`, `"release"`, …).
+    pub op: String,
+    /// Operations recorded.
+    pub count: u64,
+    /// Operations per second over the layer's measurement window
+    /// (since the previous snapshot for [`Metered`], since start-up
+    /// otherwise), rounded.
+    pub ops_per_sec: u64,
+    /// Median latency in microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency in microseconds.
+    pub p999_us: u64,
+    /// Maximum latency in microseconds.
+    pub max_us: u64,
+}
+
 /// One middleware layer's own counters, surfaced through
 /// [`AdmissionService::snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LayerMetrics {
     /// Layer name (`"manager"`, `"fleet"`, `"cached"`, `"journaled"`,
-    /// `"metered"`, `"front-end"`).
+    /// `"metered"`, `"traced"`, `"front-end"`).
     pub layer: String,
     /// Ordered `(metric, value)` counters.
     pub counters: Vec<(String, u64)>,
+    /// Per-operation rate/quantile rows (empty on layers that do not
+    /// time operations).
+    pub ops: Vec<OpRate>,
 }
 
 impl LayerMetrics {
@@ -324,6 +355,7 @@ impl LayerMetrics {
         LayerMetrics {
             layer: layer.into(),
             counters: Vec::new(),
+            ops: Vec::new(),
         }
     }
 
@@ -333,13 +365,20 @@ impl LayerMetrics {
         self.counters.push((name.into(), value));
         self
     }
+
+    /// Appends one per-operation rate row.
+    #[must_use]
+    pub fn op_rate(mut self, rate: OpRate) -> LayerMetrics {
+        self.ops.push(rate);
+        self
+    }
 }
 
 /// Point-in-time state of a whole service stack: the base service's
 /// utilisation/outcome totals plus one [`LayerMetrics`] entry per layer,
 /// innermost first. Serializable, so a [`RemoteClient`](crate::remote)
 /// surfaces the far end's layer table as its own inner layers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceSnapshot {
     /// Live residents.
     pub residents: usize,
@@ -403,6 +442,30 @@ impl ServiceSnapshot {
                 let _ = writeln!(out, "{:<12} {:<26} {:>14}", layer.layer, name, value);
             }
         }
+        if self.layers.iter().any(|l| !l.ops.is_empty()) {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "layer", "op", "count", "ops/s", "p50_us", "p90_us", "p99_us", "p999_us", "max_us"
+            );
+            for layer in &self.layers {
+                for rate in &layer.ops {
+                    let _ = writeln!(
+                        out,
+                        "{:<12} {:<10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                        layer.layer,
+                        rate.op,
+                        rate.count,
+                        rate.ops_per_sec,
+                        rate.p50_us,
+                        rate.p90_us,
+                        rate.p99_us,
+                        rate.p999_us,
+                        rate.max_us
+                    );
+                }
+            }
+        }
         out
     }
 }
@@ -460,6 +523,28 @@ pub trait AdmissionService: Send + Sync {
     fn submit(&self, request: AdmissionRequest) -> Completion {
         Completion::ready(self.admit(&request))
     }
+
+    /// Live telemetry for the whole stack: the layered snapshot plus full
+    /// per-op latency distributions and flight-recorder stats.
+    ///
+    /// The default implementation wraps [`snapshot`](Self::snapshot) with
+    /// no distributions; instrumented layers ([`Metered`],
+    /// [`Traced`](crate::Traced), [`FrontEnd`](crate::FrontEnd)) append
+    /// their histograms, and a [`RemoteClient`](crate::RemoteClient)
+    /// forwards the request over the wire.
+    fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::from_service(self.snapshot())
+    }
+
+    /// Up to the last `limit` flight-recorder events, oldest first.
+    ///
+    /// Empty by default; a [`Traced`](crate::Traced) layer answers from
+    /// its ring buffer, middleware forwards inward, and a
+    /// [`RemoteClient`](crate::RemoteClient) fetches the far end's tail.
+    fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
+        let _ = limit;
+        Vec::new()
+    }
 }
 
 impl<S: AdmissionService + ?Sized> AdmissionService for Arc<S> {
@@ -485,6 +570,14 @@ impl<S: AdmissionService + ?Sized> AdmissionService for Arc<S> {
 
     fn submit(&self, request: AdmissionRequest) -> Completion {
         (**self).submit(request)
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        (**self).telemetry()
+    }
+
+    fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
+        (**self).trace_tail(limit)
     }
 }
 
@@ -791,6 +884,26 @@ impl AdmissionService for FleetManager {
     fn workload(&self) -> Option<&SystemSpec> {
         Some(self.spec())
     }
+
+    /// The base telemetry view plus a `"fleet-groups"` layer carrying each
+    /// group's residents, capacity and utilisation — the per-group detail
+    /// `probcon top` renders that the aggregate snapshot flattens away.
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let mut telemetry = TelemetrySnapshot::from_service(AdmissionService::snapshot(self));
+        let snapshot = FleetManager::snapshot(self);
+        let mut groups = LayerMetrics::new("fleet-groups");
+        for group in &snapshot.groups {
+            groups = groups
+                .counter(format!("{}_residents", group.name), group.residents as u64)
+                .counter(format!("{}_capacity", group.name), group.capacity as u64)
+                .counter(
+                    format!("{}_util_percent", group.name),
+                    group.utilisation_percent(),
+                );
+        }
+        telemetry.service.layers.push(groups);
+        telemetry
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -813,6 +926,7 @@ pub struct Cached<S> {
     cache: EstimateCache,
     fingerprint: OnceLock<u64>,
     warmed: AtomicU64,
+    trace: OnceLock<Arc<TraceRecorder>>,
 }
 
 impl<S: AdmissionService> Cached<S> {
@@ -827,7 +941,17 @@ impl<S: AdmissionService> Cached<S> {
             cache: EstimateCache::new(capacity),
             fingerprint: OnceLock::new(),
             warmed: AtomicU64::new(0),
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Attaches a flight recorder: every estimate served afterwards is
+    /// recorded as a [`TraceKind::Estimate`](crate::TraceKind)
+    /// event with its cache hit/miss attribution. Attach the recorder of
+    /// the stack's outer [`Traced`](crate::Traced) layer to see cache
+    /// behaviour inline with decisions. The first attachment wins.
+    pub fn attach_trace(&self, recorder: Arc<TraceRecorder>) {
+        let _ = self.trace.set(recorder);
     }
 
     /// The wrapped service.
@@ -886,6 +1010,25 @@ impl<S: AdmissionService> Cached<S> {
         self.warmed.fetch_add(warmed as u64, Ordering::Relaxed);
         Ok(warmed)
     }
+
+    fn layer(&self) -> LayerMetrics {
+        LayerMetrics::new("cached")
+            .counter("hits", self.cache.hits())
+            .counter("misses", self.cache.misses())
+            .counter("entries", self.cache.len() as u64)
+            .counter("capacity", self.cache.capacity() as u64)
+            .counter("warmed", self.warmed())
+    }
+
+    fn trace_estimate(&self, hit: bool, start: Instant) {
+        if let Some(recorder) = self.trace.get() {
+            recorder.record(
+                TraceEvent::new(TraceKind::Estimate)
+                    .cache(hit)
+                    .duration(start.elapsed()),
+            );
+        }
+    }
 }
 
 impl<S: AdmissionService> AdmissionService for Cached<S> {
@@ -899,14 +1042,7 @@ impl<S: AdmissionService> AdmissionService for Cached<S> {
 
     fn snapshot(&self) -> ServiceSnapshot {
         let mut snapshot = self.inner.snapshot();
-        snapshot.layers.push(
-            LayerMetrics::new("cached")
-                .counter("hits", self.cache.hits())
-                .counter("misses", self.cache.misses())
-                .counter("entries", self.cache.len() as u64)
-                .counter("capacity", self.cache.capacity() as u64)
-                .counter("warmed", self.warmed()),
-        );
+        snapshot.layers.push(self.layer());
         snapshot
     }
 
@@ -915,6 +1051,7 @@ impl<S: AdmissionService> AdmissionService for Cached<S> {
     }
 
     fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        let start = Instant::now();
         let Some(fingerprint) = self.spec_fingerprint() else {
             return self.inner.estimate(use_case, method); // surfaces NoWorkload
         };
@@ -924,11 +1061,23 @@ impl<S: AdmissionService> AdmissionService for Cached<S> {
             method,
         };
         if let Some(hit) = self.cache.lookup(&key) {
+            self.trace_estimate(true, start);
             return Ok(hit);
         }
         let estimate = self.inner.estimate(use_case, method)?;
         self.cache.insert(key, Arc::clone(&estimate));
+        self.trace_estimate(false, start);
         Ok(estimate)
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let mut telemetry = self.inner.telemetry();
+        telemetry.service.layers.push(self.layer());
+        telemetry
+    }
+
+    fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
+        self.inner.trace_tail(limit)
     }
 }
 
@@ -1036,6 +1185,19 @@ impl<S: AdmissionService> AdmissionService for Journaled<S> {
         // Estimates change no state and are not journaled.
         self.inner.estimate(use_case, method)
     }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let mut telemetry = self.inner.telemetry();
+        telemetry
+            .service
+            .layers
+            .push(LayerMetrics::new("journaled").counter("entries", self.journal.len() as u64));
+        telemetry
+    }
+
+    fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
+        self.inner.trace_tail(limit)
+    }
 }
 
 /// The operation classes a [`Metered`] layer samples.
@@ -1074,36 +1236,32 @@ impl ServiceOp {
     }
 }
 
-/// Aggregates a [`Metered`] layer keeps per operation class, O(1) to read:
-/// the cheap counters `snapshot()` surfaces on every call. The raw sample
-/// vector backs the full order statistics of [`Metered::latency`], which
-/// sorts — call it at report time, not per probe.
-#[derive(Debug, Default)]
-struct OpStats {
-    samples: Mutex<Vec<u64>>,
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-    max_micros: AtomicU64,
-}
-
 /// Latency/throughput middleware: samples the wall-clock latency of every
-/// operation against the wrapped service and surfaces order statistics
-/// (count, mean, p50, p95, max) per class — the counters previously
-/// re-implemented by both `BatchExecutor` and the fleet bench driver.
+/// operation against the wrapped service into bounded
+/// [`LatencyHistogram`]s and surfaces order
+/// statistics (count, mean, p50…p999, max) per class — the counters
+/// previously re-implemented by both `BatchExecutor` and the fleet bench
+/// driver. Memory stays flat no matter how many operations are recorded
+/// (the layer used to keep every raw sample forever).
 #[derive(Debug)]
 pub struct Metered<S> {
     inner: S,
-    stats: [OpStats; 4],
+    stats: [HistogramRecorder; 4],
     started: Instant,
+    /// Interval window backing the per-op `ops/s since last snapshot`
+    /// rates: instant and per-op counts at the previous `snapshot()`.
+    probe: Mutex<(Instant, [u64; 4])>,
 }
 
 impl<S: AdmissionService> Metered<S> {
     /// Metering layer over `inner`.
     pub fn new(inner: S) -> Metered<S> {
+        let started = Instant::now();
         Metered {
             inner,
             stats: Default::default(),
-            started: Instant::now(),
+            started,
+            probe: Mutex::new((started, [0; 4])),
         }
     }
 
@@ -1112,20 +1270,21 @@ impl<S: AdmissionService> Metered<S> {
         &self.inner
     }
 
-    /// Latency order statistics for one operation class. Clones and sorts
-    /// the class's samples — intended for report time, not hot paths (the
-    /// per-probe counters in `snapshot()` come from O(1) aggregates).
+    /// Latency order statistics for one operation class, derived from the
+    /// class's bounded histogram (quantiles carry ≤ 1/16 relative error;
+    /// count, mean and max are exact).
     pub fn latency(&self, op: ServiceOp) -> LatencySummary {
-        let mut micros = lock(&self.stats[op.index()].samples).clone();
-        LatencySummary::from_micros(&mut micros)
+        self.histogram(op).summary()
+    }
+
+    /// The full bounded latency distribution for one operation class.
+    pub fn histogram(&self, op: ServiceOp) -> LatencyHistogram {
+        self.stats[op.index()].snapshot()
     }
 
     /// Operations sampled across all classes.
     pub fn operations(&self) -> u64 {
-        self.stats
-            .iter()
-            .map(|s| s.count.load(Ordering::Relaxed))
-            .sum()
+        self.stats.iter().map(HistogramRecorder::count).sum()
     }
 
     /// Operations per second since the layer was created.
@@ -1141,13 +1300,56 @@ impl<S: AdmissionService> Metered<S> {
     fn record<T>(&self, op: ServiceOp, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let result = f();
-        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let stats = &self.stats[op.index()];
-        stats.count.fetch_add(1, Ordering::Relaxed);
-        stats.sum_micros.fetch_add(micros, Ordering::Relaxed);
-        stats.max_micros.fetch_max(micros, Ordering::Relaxed);
-        lock(&stats.samples).push(micros);
+        self.stats[op.index()].record_duration(start.elapsed());
         result
+    }
+
+    /// The `"metered"` layer row: O(1) aggregate counters plus one
+    /// [`OpRate`] per active class, whose `ops_per_sec` covers the window
+    /// since the previous snapshot (advancing the window).
+    fn layer(&self) -> LayerMetrics {
+        let now = Instant::now();
+        let counts: [u64; 4] = std::array::from_fn(|i| self.stats[i].count());
+        let (last_instant, last_counts) = {
+            let mut probe = lock(&self.probe);
+            std::mem::replace(&mut *probe, (now, counts))
+        };
+        let window = now.saturating_duration_since(last_instant).as_secs_f64();
+        let mut layer = LayerMetrics::new("metered")
+            .counter("operations", counts.iter().sum())
+            .counter("ops_per_sec", self.throughput() as u64);
+        for op in SERVICE_OPS {
+            let count = counts[op.index()];
+            if count == 0 {
+                continue;
+            }
+            let recorder = &self.stats[op.index()];
+            layer = layer
+                .counter(format!("{}_count", op.name()), count)
+                .counter(
+                    format!("{}_mean_us", op.name()),
+                    recorder.sum_micros() / count,
+                )
+                .counter(format!("{}_max_us", op.name()), recorder.max_micros());
+            let delta = count.saturating_sub(last_counts[op.index()]);
+            let rate = if window > 0.0 {
+                (delta as f64 / window).round() as u64
+            } else {
+                0
+            };
+            let hist = recorder.snapshot();
+            layer = layer.op_rate(OpRate {
+                op: op.name().to_string(),
+                count,
+                ops_per_sec: rate,
+                p50_us: hist.p50(),
+                p90_us: hist.p90(),
+                p99_us: hist.p99(),
+                p999_us: hist.p999(),
+                max_us: hist.max_micros(),
+            });
+        }
+        layer
     }
 }
 
@@ -1162,30 +1364,7 @@ impl<S: AdmissionService> AdmissionService for Metered<S> {
 
     fn snapshot(&self) -> ServiceSnapshot {
         let mut snapshot = self.record(ServiceOp::Snapshot, || self.inner.snapshot());
-        // O(1) aggregates only: snapshot() is the cheap probe path and may
-        // be called per request — full order statistics (p50/p95) stay in
-        // `latency()` for report time.
-        let mut layer = LayerMetrics::new("metered")
-            .counter("operations", self.operations())
-            .counter("ops_per_sec", self.throughput() as u64);
-        for op in SERVICE_OPS {
-            let stats = &self.stats[op.index()];
-            let count = stats.count.load(Ordering::Relaxed);
-            if count == 0 {
-                continue;
-            }
-            layer = layer
-                .counter(format!("{}_count", op.name()), count)
-                .counter(
-                    format!("{}_mean_us", op.name()),
-                    stats.sum_micros.load(Ordering::Relaxed) / count,
-                )
-                .counter(
-                    format!("{}_max_us", op.name()),
-                    stats.max_micros.load(Ordering::Relaxed),
-                );
-        }
-        snapshot.layers.push(layer);
+        snapshot.layers.push(self.layer());
         snapshot
     }
 
@@ -1197,6 +1376,22 @@ impl<S: AdmissionService> AdmissionService for Metered<S> {
         self.record(ServiceOp::Estimate, || {
             self.inner.estimate(use_case, method)
         })
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let mut telemetry = self.inner.telemetry();
+        telemetry.service.layers.push(self.layer());
+        for op in SERVICE_OPS {
+            let hist = self.histogram(op);
+            if !hist.is_empty() {
+                telemetry.push_histogram("metered", op.name(), hist);
+            }
+        }
+        telemetry
+    }
+
+    fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
+        self.inner.trace_tail(limit)
     }
 }
 
@@ -1458,8 +1653,16 @@ mod tests {
         assert_eq!(metered.latency(ServiceOp::Release).count, 1);
         assert!(metered.latency(ServiceOp::Snapshot).count >= 1);
         assert!(metered.operations() >= 4);
+        assert!(!metered.histogram(ServiceOp::Admit).is_empty());
         let snapshot = metered.snapshot();
         assert_eq!(snapshot.counter("metered", "admit_count"), Some(1));
+        // Every active class also surfaces an OpRate row.
+        let metered_layer = snapshot
+            .layers
+            .iter()
+            .find(|l| l.layer == "metered")
+            .unwrap();
+        assert!(metered_layer.ops.iter().any(|r| r.op == "admit"));
         // The stack renders the consistent per-layer table.
         let table = snapshot.render();
         for needle in [
@@ -1469,9 +1672,52 @@ mod tests {
             "metered",
             "hits",
             "admit_count",
+            "p999_us",
         ] {
             assert!(table.contains(needle), "missing {needle} in:\n{table}");
         }
+        // Telemetry carries the full distributions.
+        let telemetry = metered.telemetry();
+        assert!(telemetry.histogram("metered", "admit").is_some());
+        assert!(telemetry.histogram("cached", "admit").is_none());
+    }
+
+    /// Golden-output test pinning the exact `ServiceSnapshot::render()`
+    /// format (satellite of ISSUE 6) so the table stops drifting.
+    #[test]
+    fn snapshot_render_golden_output() {
+        let snapshot = ServiceSnapshot {
+            residents: 4,
+            capacity: 8,
+            admitted: 120,
+            rejected: 5,
+            saturated: 2,
+            released: 116,
+            layers: vec![
+                LayerMetrics::new("fleet").counter("groups", 2),
+                LayerMetrics::new("metered")
+                    .counter("operations", 242)
+                    .op_rate(OpRate {
+                        op: "admit".to_string(),
+                        count: 120,
+                        ops_per_sec: 40,
+                        p50_us: 210,
+                        p90_us: 300,
+                        p99_us: 480,
+                        p999_us: 1200,
+                        max_us: 1500,
+                    }),
+            ],
+        };
+        let expected = "\
+service: 4/8 residents (50% util), 120 admitted, 5 rejected, 2 saturated, 116 released
+layer        metric                              value
+fleet        groups                                  2
+metered      operations                            242
+layer        op              count    ops/s   p50_us   p90_us   p99_us  p999_us   max_us
+metered      admit             120       40      210      300      480     1200     1500
+";
+        assert_eq!(snapshot.render(), expected);
     }
 
     #[test]

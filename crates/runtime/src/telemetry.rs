@@ -1,0 +1,1080 @@
+//! Structured tracing, bounded latency histograms and live telemetry
+//! exposition for the admission stack.
+//!
+//! Three pieces make the runtime's behaviour a first-class measurable
+//! signal:
+//!
+//! * [`LatencyHistogram`] — an HDR-style log-bucketed histogram
+//!   (power-of-two buckets with [`SUB_BUCKETS`] linear sub-buckets per
+//!   octave, ≤ 1/16 relative error) whose memory is bounded by
+//!   [`BUCKET_COUNT`] regardless of traffic volume. Histograms are
+//!   mergeable and serde-able; [`HistogramRecorder`] is the lock-free
+//!   atomic writer side used inside middleware.
+//! * [`TraceRecorder`] / [`TraceEvent`] — a fixed-capacity ring-buffer
+//!   flight recorder of structured decision events, fed by the
+//!   [`Traced`] middleware (which composes like
+//!   [`Cached`](crate::Cached) / [`Journaled`](crate::Journaled) /
+//!   [`Metered`](crate::Metered)) and by instrumentation points in
+//!   [`FrontEnd`](crate::FrontEnd) and the remote transport.
+//! * [`TelemetrySnapshot`] — the exposition surface aggregating the
+//!   [`ServiceSnapshot`] of every layer plus full latency distributions
+//!   and flight-recorder stats, answered by every
+//!   [`AdmissionService`] via
+//!   [`telemetry`](crate::AdmissionService::telemetry), forwarded
+//!   transparently over the wire, and renderable as a human table
+//!   ([`TelemetrySnapshot::render`]) or Prometheus-style text
+//!   ([`TelemetrySnapshot::render_prometheus`]).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use contention::{Estimate, Method};
+use platform::{SystemSpec, UseCase};
+use serde::{Deserialize, Serialize};
+
+use crate::journal::ClientScope;
+use crate::metrics::LatencySummary;
+use crate::service::{
+    AdmissionDecision, AdmissionRequest, AdmissionService, LayerMetrics, OpRate, ServiceError,
+    ServiceSnapshot,
+};
+
+/// Number of linear sub-buckets per power-of-two octave (16 → worst-case
+/// relative quantile error of 1/16 ≈ 6.25%).
+pub const SUB_BUCKETS: u64 = 16;
+
+const SUB_BITS: u32 = 4;
+
+/// Total number of distinct histogram buckets covering the full `u64`
+/// microsecond range. This bounds histogram memory at any traffic volume.
+pub const BUCKET_COUNT: usize = ((64 - SUB_BITS as usize) * SUB_BUCKETS as usize) + 16;
+
+/// Maps a microsecond value onto its bucket index.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - u64::from(value.leading_zeros());
+    let sub = (value >> (msb - u64::from(SUB_BITS))) & (SUB_BUCKETS - 1);
+    ((msb - u64::from(SUB_BITS) + 1) * SUB_BUCKETS + sub) as usize
+}
+
+/// Lowest microsecond value falling into `index` (the bucket's
+/// representative value for quantile reads).
+fn bucket_floor(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let block = index / SUB_BUCKETS;
+    let sub = index % SUB_BUCKETS;
+    let msb = block + u64::from(SUB_BITS) - 1;
+    (SUB_BUCKETS + sub) << (msb - u64::from(SUB_BITS))
+}
+
+/// Bounded log-bucketed latency histogram (HDR-style: power-of-two
+/// octaves split into [`SUB_BUCKETS`] linear sub-buckets).
+///
+/// Memory is O([`BUCKET_COUNT`]) no matter how many samples are
+/// recorded; quantile reads are O(buckets) and carry at most 1/16
+/// relative error (min, max, mean and count stay exact). Histograms
+/// merge losslessly: merging N shard histograms is identical to having
+/// recorded every sample into one (see the proptest in
+/// `tests/telemetry.rs`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Sparse `(bucket index, sample count)` pairs sorted by index.
+    buckets: Vec<(u64, u64)>,
+}
+
+impl LatencyHistogram {
+    /// Fresh empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample, in microseconds.
+    pub fn record(&mut self, micros: u64) {
+        self.record_n(micros, 1);
+    }
+
+    /// Records `n` occurrences of the same sample value.
+    pub fn record_n(&mut self, micros: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = micros;
+            self.max = micros;
+        } else {
+            self.min = self.min.min(micros);
+            self.max = self.max.max(micros);
+        }
+        self.count += n;
+        self.sum = self.sum.saturating_add(micros.saturating_mul(n));
+        let index = bucket_index(micros) as u64;
+        match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += n,
+            Err(pos) => self.buckets.insert(pos, (index, n)),
+        }
+    }
+
+    /// Merges another histogram into this one. The result is identical
+    /// to having recorded all of `other`'s samples here directly.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for &(index, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (index, n)),
+            }
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in microseconds (saturating).
+    pub fn sum_micros(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (exact; 0 when empty).
+    pub fn min_micros(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact; 0 when empty).
+    pub fn max_micros(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean in microseconds (exact; 0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of occupied buckets (bounded by [`BUCKET_COUNT`]).
+    pub fn bucket_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, in microseconds, with at most
+    /// 1/16 relative error. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(index as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median, in microseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile, in microseconds.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile, in microseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile, in microseconds.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Order-statistics view of the histogram, for call sites that
+    /// render a [`LatencySummary`] table.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            min: Duration::from_micros(self.min_micros()),
+            mean: Duration::from_micros(self.mean_micros()),
+            p50: Duration::from_micros(self.p50()),
+            p90: Duration::from_micros(self.p90()),
+            p95: Duration::from_micros(self.quantile(0.95)),
+            p99: Duration::from_micros(self.p99()),
+            p999: Duration::from_micros(self.p999()),
+            max: Duration::from_micros(self.max_micros()),
+        }
+    }
+}
+
+/// Lock-free writer side of a [`LatencyHistogram`]: a dense array of
+/// [`BUCKET_COUNT`] atomic counters sized ~8 KiB, shared by any number
+/// of recording threads.
+pub struct HistogramRecorder {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramRecorder {
+    fn default() -> HistogramRecorder {
+        HistogramRecorder::new()
+    }
+}
+
+impl std::fmt::Debug for HistogramRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramRecorder")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl HistogramRecorder {
+    /// Fresh zeroed recorder.
+    pub fn new() -> HistogramRecorder {
+        let counts = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        HistogramRecorder {
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample, in microseconds.
+    pub fn record(&self, micros: u64) {
+        self.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.min.fetch_min(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`Duration`].
+    pub fn record_duration(&self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded so far (0 when empty).
+    pub fn max_micros(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy as a mergeable [`LatencyHistogram`]. Under
+    /// concurrent writers the copy is approximate (counters are read
+    /// without a global lock) but each counter is monotone.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (index, counter) in self.counts.iter().enumerate() {
+            let n = counter.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((index as u64, n));
+                count += n;
+            }
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        LatencyHistogram {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 || min == u64::MAX {
+                0
+            } else {
+                min
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Classifies a [`TraceEvent`] in the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// An admission was granted.
+    Admit,
+    /// An admission was rejected by a throughput contract.
+    Reject,
+    /// An admission bounced off a full domain.
+    Saturate,
+    /// A resident was released.
+    Release,
+    /// A fleet rebalance pass ran.
+    Rebalance,
+    /// A contention estimate was computed or served.
+    Estimate,
+    /// A request waited in the front-end queue before dispatch.
+    QueueWait,
+}
+
+impl TraceKind {
+    /// Stable lowercase label used in renderings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Admit => "admit",
+            TraceKind::Reject => "reject",
+            TraceKind::Saturate => "saturate",
+            TraceKind::Release => "release",
+            TraceKind::Rebalance => "rebalance",
+            TraceKind::Estimate => "estimate",
+            TraceKind::QueueWait => "queue-wait",
+        }
+    }
+}
+
+/// One structured event in the flight recorder.
+///
+/// Construct with [`TraceEvent::new`] plus the builder setters; the
+/// recorder stamps `seq`, `at_micros` and (when unset) the ambient
+/// [`ClientScope`] on [`TraceRecorder::record`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Monotone per-recorder sequence number (the request id).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_micros: u64,
+    /// Event class / decision.
+    pub kind: TraceKind,
+    /// Application index the event concerns (0 when not applicable).
+    pub app_index: u64,
+    /// Domain / group index that decided (0 when not applicable).
+    pub domain: u64,
+    /// Resident ticket granted or released, if any.
+    pub resident: Option<u64>,
+    /// Time the traced operation took, in microseconds.
+    pub duration_micros: u64,
+    /// For estimate events produced by a cache layer: whether the
+    /// estimate was served from cache.
+    pub cache_hit: Option<bool>,
+    /// Remote client identity active when the event was recorded.
+    pub client: Option<String>,
+}
+
+impl TraceEvent {
+    /// Fresh event of the given kind; `seq`/`at_micros`/`client` are
+    /// stamped by the recorder.
+    pub fn new(kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at_micros: 0,
+            kind,
+            app_index: 0,
+            domain: 0,
+            resident: None,
+            duration_micros: 0,
+            cache_hit: None,
+            client: None,
+        }
+    }
+
+    /// Sets the application index.
+    #[must_use]
+    pub fn app(mut self, app_index: usize) -> TraceEvent {
+        self.app_index = app_index as u64;
+        self
+    }
+
+    /// Sets the deciding domain / group index.
+    #[must_use]
+    pub fn domain(mut self, domain: usize) -> TraceEvent {
+        self.domain = domain as u64;
+        self
+    }
+
+    /// Sets the resident ticket.
+    #[must_use]
+    pub fn resident(mut self, resident: u64) -> TraceEvent {
+        self.resident = Some(resident);
+        self
+    }
+
+    /// Sets the operation duration.
+    #[must_use]
+    pub fn duration(mut self, elapsed: Duration) -> TraceEvent {
+        self.duration_micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self
+    }
+
+    /// Marks the event as a cache hit or miss.
+    #[must_use]
+    pub fn cache(mut self, hit: bool) -> TraceEvent {
+        self.cache_hit = Some(hit);
+        self
+    }
+}
+
+struct TraceRing {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+}
+
+/// Fixed-capacity ring-buffer flight recorder of [`TraceEvent`]s.
+///
+/// Lock-light: recording takes one short mutex hold to push into the
+/// ring (no allocation once the ring is full — the oldest event is
+/// evicted and counted in [`dropped`](TraceRecorder::dropped)).
+#[derive(Debug)]
+pub struct TraceRecorder {
+    start: Instant,
+    capacity: usize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<TraceRing>,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("len", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceRecorder {
+    /// Recorder holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> TraceRecorder {
+        let capacity = capacity.max(1);
+        TraceRecorder {
+            start: Instant::now(),
+            capacity,
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(TraceRing {
+                events: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Stamps and records an event, evicting the oldest when full.
+    pub fn record(&self, mut event: TraceEvent) {
+        event.at_micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if event.client.is_none() {
+            event.client = ClientScope::current();
+        }
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        event.seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Up to the last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        let skip = ring.events.len().saturating_sub(n);
+        ring.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// The `n` slowest retained events, longest first.
+    pub fn slowest(&self, n: usize) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        let mut events: Vec<TraceEvent> = ring.events.iter().cloned().collect();
+        drop(ring);
+        events.sort_by_key(|event| std::cmp::Reverse(event.duration_micros));
+        events.truncate(n);
+        events
+    }
+
+    /// Events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring poisoned").events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Flight-recorder stats for telemetry exposition.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats {
+            recorded: self.recorded(),
+            dropped: self.dropped(),
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+/// Tracing middleware: records every decision flowing through the
+/// wrapped service into a shared [`TraceRecorder`].
+///
+/// Composes like [`Cached`](crate::Cached) /
+/// [`Journaled`](crate::Journaled) / [`Metered`](crate::Metered) and is
+/// decision-transparent: it never changes an outcome, only observes it
+/// (see the byte-identical-journal test in `tests/telemetry.rs`).
+#[derive(Debug)]
+pub struct Traced<S> {
+    inner: S,
+    recorder: Arc<TraceRecorder>,
+}
+
+impl<S: AdmissionService> Traced<S> {
+    /// Wraps `inner` with a fresh flight recorder of `capacity` events.
+    pub fn new(inner: S, capacity: usize) -> Traced<S> {
+        Traced::with_recorder(inner, Arc::new(TraceRecorder::new(capacity)))
+    }
+
+    /// Wraps `inner` recording into an existing (possibly shared)
+    /// recorder.
+    pub fn with_recorder(inner: S, recorder: Arc<TraceRecorder>) -> Traced<S> {
+        Traced { inner, recorder }
+    }
+
+    /// The shared flight recorder.
+    pub fn recorder(&self) -> &Arc<TraceRecorder> {
+        &self.recorder
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn layer(&self) -> LayerMetrics {
+        LayerMetrics::new("traced")
+            .counter("events", self.recorder.recorded())
+            .counter("dropped", self.recorder.dropped())
+            .counter("capacity", self.recorder.capacity() as u64)
+    }
+}
+
+impl<S: AdmissionService> AdmissionService for Traced<S> {
+    fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        let start = Instant::now();
+        let result = self.inner.admit(request);
+        if let Ok(decision) = &result {
+            let event = match decision {
+                AdmissionDecision::Admitted {
+                    resident, domain, ..
+                } => TraceEvent::new(TraceKind::Admit)
+                    .domain(*domain)
+                    .resident(*resident),
+                AdmissionDecision::Rejected { domain, .. } => {
+                    TraceEvent::new(TraceKind::Reject).domain(*domain)
+                }
+                AdmissionDecision::Saturated { domain } => {
+                    TraceEvent::new(TraceKind::Saturate).domain(*domain)
+                }
+            };
+            self.recorder
+                .record(event.app(request.app_index).duration(start.elapsed()));
+        }
+        result
+    }
+
+    fn release(&self, resident: u64) -> Result<(), ServiceError> {
+        let start = Instant::now();
+        let result = self.inner.release(resident);
+        if result.is_ok() {
+            self.recorder.record(
+                TraceEvent::new(TraceKind::Release)
+                    .resident(resident)
+                    .duration(start.elapsed()),
+            );
+        }
+        result
+    }
+
+    fn snapshot(&self) -> ServiceSnapshot {
+        let mut snapshot = self.inner.snapshot();
+        snapshot.layers.push(self.layer());
+        snapshot
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        self.inner.workload()
+    }
+
+    fn estimate(&self, use_case: UseCase, method: Method) -> Result<Arc<Estimate>, ServiceError> {
+        // Estimate events are recorded by a [`Cached`](crate::Cached)
+        // layer with hit/miss attribution (see
+        // [`Cached::attach_trace`](crate::Cached::attach_trace)) — this
+        // layer only forwards, so a shared recorder never sees the same
+        // estimate twice.
+        self.inner.estimate(use_case, method)
+    }
+
+    fn telemetry(&self) -> TelemetrySnapshot {
+        let mut telemetry = self.inner.telemetry();
+        telemetry.service.layers.push(self.layer());
+        telemetry.trace = self.recorder.stats();
+        telemetry
+    }
+
+    fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
+        self.recorder.tail(limit)
+    }
+}
+
+/// Full latency distribution of one operation class on one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpHistogram {
+    /// Layer that recorded the distribution (e.g. `"metered"`).
+    pub layer: String,
+    /// Operation class (e.g. `"admit"`).
+    pub op: String,
+    /// The recorded distribution.
+    pub histogram: LatencyHistogram,
+}
+
+/// Flight-recorder counters surfaced in a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total events ever recorded.
+    pub recorded: u64,
+    /// Events evicted from the ring.
+    pub dropped: u64,
+    /// Ring capacity (0 when no recorder is present in the stack).
+    pub capacity: u64,
+}
+
+/// Live telemetry aggregated across every layer of an admission stack:
+/// the layered [`ServiceSnapshot`], full per-op latency distributions,
+/// and flight-recorder stats.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Layered counters and op rates (same shape as
+    /// [`AdmissionService::snapshot`]).
+    pub service: ServiceSnapshot,
+    /// Full latency distributions per layer and operation class.
+    pub histograms: Vec<OpHistogram>,
+    /// Flight-recorder stats from the outermost [`Traced`] layer.
+    pub trace: TraceStats,
+}
+
+impl TelemetrySnapshot {
+    /// Wraps a bare [`ServiceSnapshot`] (no distributions, no trace) —
+    /// the default for services without telemetry instrumentation.
+    pub fn from_service(service: ServiceSnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            service,
+            histograms: Vec::new(),
+            trace: TraceStats::default(),
+        }
+    }
+
+    /// Adds a per-op latency distribution.
+    pub fn push_histogram(
+        &mut self,
+        layer: impl Into<String>,
+        op: impl Into<String>,
+        histogram: LatencyHistogram,
+    ) {
+        self.histograms.push(OpHistogram {
+            layer: layer.into(),
+            op: op.into(),
+            histogram,
+        });
+    }
+
+    /// Looks up the distribution recorded by `layer` for `op`.
+    pub fn histogram(&self, layer: &str, op: &str) -> Option<&LatencyHistogram> {
+        self.histograms
+            .iter()
+            .find(|h| h.layer == layer && h.op == op)
+            .map(|h| &h.histogram)
+    }
+
+    /// Human-readable multi-table rendering: the layered service table,
+    /// one latency row per recorded distribution, and flight-recorder
+    /// stats.
+    pub fn render(&self) -> String {
+        let mut out = self.service.render();
+        if !self.histograms.is_empty() {
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                "{:<14} {:<12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "layer",
+                "op",
+                "count",
+                "mean_us",
+                "p50_us",
+                "p90_us",
+                "p99_us",
+                "p999_us",
+                "max_us"
+            );
+            for entry in &self.histograms {
+                let h = &entry.histogram;
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:<12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    entry.layer,
+                    entry.op,
+                    h.count(),
+                    h.mean_micros(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.p999(),
+                    h.max_micros()
+                );
+            }
+        }
+        if self.trace.capacity > 0 {
+            let _ = writeln!(
+                out,
+                "trace: {} recorded, {} dropped, capacity {}",
+                self.trace.recorded, self.trace.dropped, self.trace.capacity
+            );
+        }
+        out
+    }
+
+    /// Prometheus-style text exposition (`# TYPE` comments, `probcon_`
+    /// metric family prefix, layer/op/quantile labels).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP probcon_{name} {help}");
+            let _ = writeln!(out, "# TYPE probcon_{name} gauge");
+            let _ = writeln!(out, "probcon_{name} {value}");
+        };
+        gauge(
+            &mut out,
+            "residents",
+            "Live admitted residents.",
+            self.service.residents as u64,
+        );
+        gauge(
+            &mut out,
+            "capacity",
+            "Total resident capacity.",
+            self.service.capacity as u64,
+        );
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP probcon_{name} {help}");
+            let _ = writeln!(out, "# TYPE probcon_{name} counter");
+            let _ = writeln!(out, "probcon_{name} {value}");
+        };
+        counter(
+            &mut out,
+            "admitted_total",
+            "Admissions granted.",
+            self.service.admitted,
+        );
+        counter(
+            &mut out,
+            "rejected_total",
+            "Admissions rejected by contracts.",
+            self.service.rejected,
+        );
+        counter(
+            &mut out,
+            "saturated_total",
+            "Admissions bounced off full domains.",
+            self.service.saturated,
+        );
+        counter(
+            &mut out,
+            "released_total",
+            "Residents released.",
+            self.service.released,
+        );
+        if !self.service.layers.is_empty() {
+            let _ = writeln!(out, "# HELP probcon_layer Per-layer metric counters.");
+            let _ = writeln!(out, "# TYPE probcon_layer gauge");
+            for layer in &self.service.layers {
+                for (metric, value) in &layer.counters {
+                    let _ = writeln!(
+                        out,
+                        "probcon_layer{{layer=\"{}\",metric=\"{}\"}} {}",
+                        layer.layer, metric, value
+                    );
+                }
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP probcon_op_latency_microseconds Operation latency quantiles."
+            );
+            let _ = writeln!(out, "# TYPE probcon_op_latency_microseconds summary");
+            for entry in &self.histograms {
+                let h = &entry.histogram;
+                for (q, v) in [
+                    ("0.5", h.p50()),
+                    ("0.9", h.p90()),
+                    ("0.99", h.p99()),
+                    ("0.999", h.p999()),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "probcon_op_latency_microseconds{{layer=\"{}\",op=\"{}\",quantile=\"{}\"}} {}",
+                        entry.layer, entry.op, q, v
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "probcon_op_latency_microseconds_count{{layer=\"{}\",op=\"{}\"}} {}",
+                    entry.layer,
+                    entry.op,
+                    h.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "probcon_op_latency_microseconds_sum{{layer=\"{}\",op=\"{}\"}} {}",
+                    entry.layer,
+                    entry.op,
+                    h.sum_micros()
+                );
+            }
+        }
+        counter(
+            &mut out,
+            "trace_events_total",
+            "Flight-recorder events recorded.",
+            self.trace.recorded,
+        );
+        counter(
+            &mut out,
+            "trace_dropped_total",
+            "Flight-recorder events evicted.",
+            self.trace.dropped,
+        );
+        out
+    }
+}
+
+/// Builds the [`OpRate`] row a layer exposes for one operation class,
+/// given its distribution and the layer's uptime.
+pub fn op_rate(op: &str, histogram: &LatencyHistogram, elapsed: Duration) -> OpRate {
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        (histogram.count() as f64 / secs).round() as u64
+    } else {
+        0
+    };
+    OpRate {
+        op: op.to_string(),
+        count: histogram.count(),
+        ops_per_sec: rate,
+        p50_us: histogram.p50(),
+        p90_us: histogram.p90(),
+        p99_us: histogram.p99(),
+        p999_us: histogram.p999(),
+        max_us: histogram.max_micros(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last_value = 0u64;
+        let mut last_index = 0usize;
+        for shift in 0u32..64 {
+            let v = 1u64 << shift;
+            for probe in [v.saturating_sub(1), v, v.saturating_add(v / 7)] {
+                let index = bucket_index(probe);
+                assert!(index < BUCKET_COUNT, "index {index} for {probe}");
+                if probe >= last_value {
+                    assert!(index >= last_index, "index not monotone at {probe}");
+                    last_value = probe;
+                    last_index = index;
+                }
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        for v in [0u64, 1, 5, 15, 16, 17, 31, 32, 100, 1000, 65_535, 1 << 40] {
+            let index = bucket_index(v);
+            let floor = bucket_floor(index);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            assert_eq!(bucket_index(floor), index, "floor not in same bucket: {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min_micros(), 1);
+        assert_eq!(h.max_micros(), 10_000);
+        for (q, exact) in [
+            (0.50, 5_000u64),
+            (0.90, 9_000),
+            (0.99, 9_900),
+            (0.999, 9_990),
+        ] {
+            let got = h.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 1.0 / 16.0, "q{q}: got {got}, exact {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_recording() {
+        let mut all = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [3u64, 19, 19, 250, 4_000, 4_001, 900_000] {
+            all.record(v);
+        }
+        for v in [3u64, 19, 4_001] {
+            a.record(v);
+        }
+        for v in [19u64, 250, 4_000, 900_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn recorder_snapshot_matches_direct_histogram() {
+        let recorder = HistogramRecorder::new();
+        let mut direct = LatencyHistogram::new();
+        for v in [0u64, 1, 17, 300, 300, 12_345] {
+            recorder.record(v);
+            direct.record(v);
+        }
+        assert_eq!(recorder.snapshot(), direct);
+    }
+
+    #[test]
+    fn bounded_memory_over_one_million_samples() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..1_000_000u64 {
+            h.record(i % 100_000);
+        }
+        assert_eq!(h.count(), 1_000_000);
+        assert!(h.bucket_len() <= BUCKET_COUNT);
+    }
+
+    #[test]
+    fn trace_ring_wraps_and_counts_drops() {
+        let recorder = TraceRecorder::new(4);
+        for i in 0..10usize {
+            recorder.record(TraceEvent::new(TraceKind::Admit).app(i));
+        }
+        assert_eq!(recorder.recorded(), 10);
+        assert_eq!(recorder.dropped(), 6);
+        assert_eq!(recorder.len(), 4);
+        let tail = recorder.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].app_index, 8);
+        assert_eq!(tail[1].app_index, 9);
+        assert_eq!(tail[1].seq, 9);
+    }
+
+    #[test]
+    fn slowest_orders_by_duration() {
+        let recorder = TraceRecorder::new(8);
+        for (i, micros) in [5u64, 100, 30, 7].iter().enumerate() {
+            recorder.record(
+                TraceEvent::new(TraceKind::Admit)
+                    .app(i)
+                    .duration(Duration::from_micros(*micros)),
+            );
+        }
+        let slow = recorder.slowest(2);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].app_index, 1);
+        assert_eq!(slow[1].app_index, 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_contains_families() {
+        let mut t = TelemetrySnapshot::from_service(ServiceSnapshot::default());
+        let mut h = LatencyHistogram::new();
+        h.record(120);
+        t.push_histogram("metered", "admit", h);
+        t.trace = TraceStats {
+            recorded: 7,
+            dropped: 1,
+            capacity: 4,
+        };
+        let text = t.render_prometheus();
+        assert!(text.contains("# TYPE probcon_residents gauge"));
+        assert!(text.contains("probcon_admitted_total 0"));
+        assert!(text.contains(
+            "probcon_op_latency_microseconds{layer=\"metered\",op=\"admit\",quantile=\"0.5\"} 120"
+        ));
+        assert!(text
+            .contains("probcon_op_latency_microseconds_count{layer=\"metered\",op=\"admit\"} 1"));
+        assert!(text.contains("probcon_trace_events_total 7"));
+    }
+}

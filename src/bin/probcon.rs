@@ -9,6 +9,8 @@
 //! probcon fleet-bench --requests 1000 [--groups 4] [--journal fleet.jsonl]
 //! probcon serve    --listen unix:/tmp/probcon.sock [--once] [--journal fleet.jsonl]
 //! probcon fleet-bench --connect unix:/tmp/probcon.sock --requests 1000 [--client NAME]
+//! probcon top      [--connect unix:/tmp/probcon.sock] [--watch 2] [--prometheus]
+//! probcon trace    [--connect unix:/tmp/probcon.sock] [--tail 20] [--json]
 //! probcon replay   <journal.jsonl>
 //! probcon plan     <journal.jsonl> [--capacity-scale 0.5] [--groups 2..6] [--sweep]
 //! probcon journal  split <journal.jsonl> | merge <a.jsonl> <b.jsonl> --out <file>
@@ -66,6 +68,7 @@ USAGE:
                       [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
                       [--policy least-utilised|round-robin|affinity]
                       [--journal <file.jsonl>] [--warm-cache]
+                      [--telemetry <file.json>] [--telemetry-interval <ms>]
                       [--connect tcp:HOST:PORT|unix:PATH] [--client NAME]
       Drive a metered + cached service stack over a multi-group fleet manager
       with a seeded admit/release/rebalance/estimate stream, print per-group
@@ -78,16 +81,40 @@ USAGE:
       local replay. --client NAME announces an identity in the handshake:
       the server stamps it into every journaled decision this run drives,
       so multi-client recordings split per client (`probcon journal split`).
+      --telemetry samples the stack's live telemetry (residents, outcome
+      totals, admit p50/p99/p999) every --telemetry-interval ms (default
+      250) and writes the trajectory as a JSON array; it works locally and
+      with --connect alike.
 
   probcon serve --listen tcp:HOST:PORT|unix:PATH [--seed <u64>] [--apps <n>]
                 [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
                 [--policy least-utilised|round-robin|affinity] [--cache <n>]
-                [--once] [--journal <file.jsonl>]
-      Serve an estimate-cached multi-group fleet manager over the remote
-      admission protocol (TCP or Unix domain socket). Every decision lands in
-      the fleet's header-stamped journal, served to clients over the wire.
-      --once exits after the first client disconnects (for scripted drivers);
+                [--trace <events>] [--once] [--journal <file.jsonl>]
+      Serve a traced + metered + estimate-cached multi-group fleet manager
+      over the remote admission protocol (TCP or Unix domain socket). Every
+      decision lands in the fleet's header-stamped journal, served to
+      clients over the wire, and in a --trace-event flight recorder
+      (default 4096) that `probcon trace --connect` tails live. --once
+      exits after the first client disconnects (for scripted drivers);
       --journal also writes the journal to a file at shutdown.
+
+  probcon top [--connect tcp:HOST:PORT|unix:PATH] [--watch <secs>] [--prometheus]
+      Live telemetry of an admission stack: per-layer operation latency
+      distributions (count, ops/s, p50/p90/p99/p999), fleet utilisation and
+      flight-recorder counters. With --connect, polls a `probcon serve`
+      process over the wire without disturbing it; --watch re-renders every
+      <secs> seconds (default 2) until interrupted. Without --connect,
+      drives a seeded local demo stack and renders its telemetry once.
+      --prometheus emits the Prometheus text exposition format instead of
+      the human table.
+
+  probcon trace [--connect tcp:HOST:PORT|unix:PATH] [--tail <n>] [--json]
+      The newest <n> (default 20) structured decision events from a stack's
+      flight recorder, oldest first: admit/reject/saturate/release/estimate
+      with request ids, groups, durations, cache hit/miss attribution and
+      client provenance. With --connect, tails a live `probcon serve`
+      process; without, a seeded local demo stack. --json emits the events
+      as a JSON array.
 
   probcon replay <journal.jsonl>
       Rebuild the workload and fleet named in a journal's header, re-execute
@@ -195,6 +222,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "serve-bench" => done(cmd_serve_bench(&options)),
         "fleet-bench" => done(cmd_fleet_bench(&options)),
         "serve" => done(cmd_serve(&options)),
+        "top" => done(cmd_top(&options)),
+        "trace" => done(cmd_trace(&options)),
         "replay" => cmd_replay(positional.get(1).copied(), &options),
         "plan" => cmd_plan(positional.get(1).copied(), &options),
         "journal" => done(cmd_journal(&positional[1..], &options)),
@@ -427,8 +456,8 @@ fn cmd_serve_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
 
 fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
-        run_fleet_stack, seeded_fleet_requests, Cached, FleetConfig, FleetManager, FleetRequest,
-        JournalHeader, Metered, RoutingPolicy, JOURNAL_VERSION,
+        run_fleet_stack, run_fleet_stack_sampled, seeded_fleet_requests, Cached, FleetConfig,
+        FleetManager, FleetRequest, JournalHeader, Metered, RoutingPolicy, JOURNAL_VERSION,
     };
 
     if let Some(&addr) = options.get("connect") {
@@ -531,8 +560,12 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
         .len() as u64;
 
     let stack = Metered::new(cached);
-    let report = run_fleet_stack(&stack, &fleet, stream, threads);
+    let (report, points) = match telemetry_interval(options)? {
+        Some(interval) => run_fleet_stack_sampled(&stack, &fleet, stream, threads, interval),
+        None => (run_fleet_stack(&stack, &fleet, stream, threads), Vec::new()),
+    };
     print!("{}", report.render());
+    write_telemetry(options, &points)?;
 
     if estimate_lookups > 0 {
         let hits = report.stack.counter("cached", "hits").unwrap_or(0);
@@ -573,10 +606,42 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
 /// served by `probcon serve` in another process. The workload spec and
 /// domain count arrive in the protocol handshake, so the only knobs left
 /// are the request stream's.
+/// Parses `--telemetry` / `--telemetry-interval` into a sampling interval:
+/// `Some` when a trajectory file was requested.
+fn telemetry_interval(
+    options: &HashMap<&str, &str>,
+) -> Result<Option<std::time::Duration>, String> {
+    if !options.contains_key("telemetry") {
+        if options.contains_key("telemetry-interval") {
+            return Err("--telemetry-interval needs --telemetry <file.json>".into());
+        }
+        return Ok(None);
+    }
+    let millis = opt_u64(options, "telemetry-interval")?.unwrap_or(250);
+    if millis == 0 {
+        return Err("--telemetry-interval must be positive".into());
+    }
+    Ok(Some(std::time::Duration::from_millis(millis)))
+}
+
+/// Writes the sampled telemetry trajectory where `--telemetry` points.
+fn write_telemetry(
+    options: &HashMap<&str, &str>,
+    points: &[runtime::TelemetryPoint],
+) -> Result<(), String> {
+    let Some(path) = options.get("telemetry") else {
+        return Ok(());
+    };
+    let json = serde_json::to_string_pretty(&points).map_err(|e| format!("serialize: {e}"))?;
+    fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {} telemetry points to {path}", points.len());
+    Ok(())
+}
+
 fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
-        run_service_requests, seeded_fleet_requests, AdmissionService, Metered, RemoteAddr,
-        RemoteClient,
+        run_service_requests, run_service_requests_sampled, seeded_fleet_requests,
+        AdmissionService, Metered, RemoteAddr, RemoteClient,
     };
 
     // Fleet shape and workload are the server's to decide.
@@ -623,8 +688,12 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
 
     let stream = seeded_fleet_requests(&spec, groups, requests, seed);
     let stack = Metered::new(client);
-    let report = run_service_requests(&stack, stream, threads);
+    let (report, points) = match telemetry_interval(options)? {
+        Some(interval) => run_service_requests_sampled(&stack, stream, threads, interval),
+        None => (run_service_requests(&stack, stream, threads), Vec::new()),
+    };
     print!("{}", report.render());
+    write_telemetry(options, &points)?;
 
     if let Some(path) = options.get("journal") {
         let journal = stack.inner().fetch_journal().map_err(|e| e.to_string())?;
@@ -640,8 +709,8 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
 
 fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
-        Cached, FleetConfig, FleetManager, JournalHeader, RemoteAddr, RemoteServer,
-        RemoteServerConfig, RoutingPolicy, JOURNAL_VERSION,
+        Cached, FleetConfig, FleetManager, JournalHeader, Metered, RemoteAddr, RemoteServer,
+        RemoteServerConfig, RoutingPolicy, TraceRecorder, Traced, JOURNAL_VERSION,
     };
     use std::sync::Arc;
 
@@ -664,6 +733,10 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     let cache = opt_u64(options, "cache")?.unwrap_or(256) as usize;
     if cache == 0 {
         return Err("--cache must be positive".into());
+    }
+    let trace_capacity = opt_u64(options, "trace")?.unwrap_or(4096) as usize;
+    if trace_capacity == 0 {
+        return Err("--trace capacity must be positive".into());
     }
     let policy = options
         .get("policy")
@@ -693,10 +766,19 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
 
+    // The served stack, outermost first: flight recording over latency
+    // metering over estimate caching over the fleet. The cache layer
+    // shares the outer recorder so estimate hits/misses land inline with
+    // the decision trace `probcon trace --connect` tails.
+    let recorder = Arc::new(TraceRecorder::new(trace_capacity));
+    let cached = Cached::new(fleet.clone(), cache);
+    cached.attach_trace(Arc::clone(&recorder));
+    let stack = Traced::with_recorder(Metered::new(cached), Arc::clone(&recorder));
+
     let journal_fleet = fleet.clone();
     let server = RemoteServer::bind_with(
         &addr,
-        Arc::new(Cached::new(fleet.clone(), cache)),
+        Arc::new(stack),
         Some(Box::new(move || Some(journal_fleet.journal().render()))),
         RemoteServerConfig {
             once: options.contains_key("once"),
@@ -707,11 +789,17 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
 
     println!(
         "serving {apps} applications × {actors} actors, {groups} groups × {shards} shards × \
-         capacity {capacity}, {policy} routing, {cache}-entry estimate cache"
+         capacity {capacity}, {policy} routing, {cache}-entry estimate cache, \
+         {trace_capacity}-event flight recorder"
     );
     println!("listening on {}", server.local_addr());
     println!(
         "connect with: probcon fleet-bench --connect {} --requests 1000",
+        server.local_addr()
+    );
+    println!(
+        "observe with: probcon top --connect {}  |  probcon trace --connect {}",
+        server.local_addr(),
         server.local_addr()
     );
 
@@ -723,6 +811,11 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
         "served {} requests over {} connections ({} protocol errors, {} handshake rejects)",
         stats.requests, stats.connections, stats.protocol_errors, stats.handshake_rejects
     );
+    let trace = recorder.stats();
+    println!(
+        "flight recorder: {} events recorded, {} dropped (capacity {})",
+        trace.recorded, trace.dropped, trace.capacity
+    );
     print!("{}", fleet.snapshot().render());
     if let Some(path) = options.get("journal") {
         fleet.journal().write_to(path).map_err(|e| e.to_string())?;
@@ -733,6 +826,152 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     }
     fleet.stop();
     Ok(())
+}
+
+/// Builds the full telemetry demo stack — traced + metered + cached over a
+/// two-group fleet — and drives a seeded request stream through it, so
+/// `probcon top` / `probcon trace` without --connect have live numbers to
+/// show. Returns the still-assembled stack for rendering.
+fn demo_telemetry_stack(
+    options: &HashMap<&str, &str>,
+) -> Result<runtime::Traced<runtime::Metered<runtime::Cached<runtime::FleetManager>>>, String> {
+    use runtime::{
+        run_fleet_stack, seeded_fleet_requests, Cached, FleetConfig, FleetManager, Metered,
+        RoutingPolicy, TraceRecorder, Traced,
+    };
+    use std::sync::Arc;
+
+    let seed = opt_u64(options, "seed")?.unwrap_or(experiments::workload::DEFAULT_SEED);
+    let requests = opt_u64(options, "requests")?.unwrap_or(400) as usize;
+    if requests == 0 {
+        return Err("--requests must be positive".into());
+    }
+    let spec =
+        workload_with(seed, 4, &GeneratorConfig::with_actors(4)).map_err(|e| e.to_string())?;
+    let fleet = FleetManager::new(
+        spec.clone(),
+        FleetConfig::uniform(2, 1, 4, RoutingPolicy::LeastUtilised),
+    )
+    .map_err(|e| e.to_string())?;
+    let recorder = Arc::new(TraceRecorder::new(4096));
+    let cached = Cached::new(fleet.clone(), 64);
+    cached.attach_trace(Arc::clone(&recorder));
+    let stack = Traced::with_recorder(Metered::new(cached), recorder);
+    let stream = seeded_fleet_requests(&spec, 2, requests, seed);
+    let _ = run_fleet_stack(&stack, &fleet, stream, 2);
+    Ok(stack)
+}
+
+fn cmd_top(options: &HashMap<&str, &str>) -> Result<(), String> {
+    use runtime::{AdmissionService, RemoteAddr, RemoteClient};
+    use std::time::Duration;
+
+    let prometheus = options.contains_key("prometheus");
+    let watch = match options.get("watch").copied() {
+        None => None,
+        Some("true") => Some(2u64),
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--watch: expected seconds, got '{v}'"))?,
+        ),
+    };
+
+    let Some(&addr) = options.get("connect") else {
+        if watch.is_some() {
+            return Err("--watch polls a live server and needs --connect".into());
+        }
+        let stack = demo_telemetry_stack(options)?;
+        let telemetry = AdmissionService::telemetry(&stack);
+        print!(
+            "{}",
+            if prometheus {
+                telemetry.render_prometheus()
+            } else {
+                telemetry.render()
+            }
+        );
+        return Ok(());
+    };
+
+    let addr: RemoteAddr = addr.parse()?;
+    let client = RemoteClient::connect(&addr).map_err(|e| e.to_string())?;
+    loop {
+        let telemetry = client.remote_telemetry().map_err(|e| e.to_string())?;
+        print!(
+            "{}",
+            if prometheus {
+                telemetry.render_prometheus()
+            } else {
+                telemetry.render()
+            }
+        );
+        let Some(secs) = watch else { break };
+        println!();
+        std::thread::sleep(Duration::from_secs(secs.max(1)));
+    }
+    client.close();
+    Ok(())
+}
+
+fn cmd_trace(options: &HashMap<&str, &str>) -> Result<(), String> {
+    use runtime::{AdmissionService, RemoteAddr, RemoteClient};
+
+    let tail = opt_u64(options, "tail")?.unwrap_or(20) as usize;
+    if tail == 0 {
+        return Err("--tail must be positive".into());
+    }
+    let events = match options.get("connect") {
+        Some(&addr) => {
+            let addr: RemoteAddr = addr.parse()?;
+            let client = RemoteClient::connect(&addr).map_err(|e| e.to_string())?;
+            let events = client.remote_trace(tail).map_err(|e| e.to_string())?;
+            client.close();
+            events
+        }
+        None => {
+            let stack = demo_telemetry_stack(options)?;
+            AdmissionService::trace_tail(&stack, tail)
+        }
+    };
+
+    if options.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&events).map_err(|e| format!("serialize: {e}"))?
+        );
+        return Ok(());
+    }
+    for event in &events {
+        println!("{}", render_trace_event(event));
+    }
+    println!("{} event(s)", events.len());
+    Ok(())
+}
+
+/// One flight-recorder event as a human-readable line.
+fn render_trace_event(event: &runtime::TraceEvent) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "#{:<6} {:>10.3}ms {:<10} app={} domain={}",
+        event.seq,
+        event.at_micros as f64 / 1000.0,
+        event.kind.name(),
+        event.app_index,
+        event.domain,
+    );
+    if let Some(resident) = event.resident {
+        let _ = write!(out, " resident={resident}");
+    }
+    if event.duration_micros > 0 {
+        let _ = write!(out, " {}µs", event.duration_micros);
+    }
+    if let Some(hit) = event.cache_hit {
+        let _ = write!(out, " cache={}", if hit { "hit" } else { "miss" });
+    }
+    if let Some(client) = &event.client {
+        let _ = write!(out, " client={client}");
+    }
+    out
 }
 
 /// Loads a journal file and rebuilds the workload spec its header names.
