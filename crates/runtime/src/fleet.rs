@@ -47,10 +47,11 @@
 //! ```
 
 use crate::cache::lock;
-use crate::journal::{DecisionEvent, Journal, JournalHeader, JournalOutcome};
+use crate::journal::{DecisionEvent, Journal, JournalError, JournalHeader, JournalOutcome};
 use crate::manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
 };
+use crate::wal::{CheckpointResident, FleetCheckpoint};
 use contention::Violation;
 use platform::{Application, NodeId, SystemSpec};
 use sdf::Rational;
@@ -258,6 +259,14 @@ pub enum FleetError {
     },
     /// The underlying admission machinery failed.
     Admit(AdmitError),
+    /// A checkpointed resident could not be restored into the fleet —
+    /// the shape differs from the recording, or the snapshot is stale.
+    Restore {
+        /// The resident that failed to restore.
+        resident: u64,
+        /// Why the restore failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -277,6 +286,9 @@ impl fmt::Display for FleetError {
                 )
             }
             FleetError::Admit(e) => write!(f, "admission failure: {e}"),
+            FleetError::Restore { resident, reason } => {
+                write!(f, "cannot restore resident #{resident}: {reason}")
+            }
         }
     }
 }
@@ -352,6 +364,10 @@ struct ResidentEntry {
     ticket: Ticket,
     app_index: usize,
     required_throughput: Option<Rational>,
+    /// Journal sequence number of the admission that created the resident
+    /// — folded into snapshot checkpoints so restores re-admit in the
+    /// recorded order.
+    admitted_seq: u64,
 }
 
 /// Per-group lock-free outcome counters.
@@ -434,12 +450,41 @@ impl FleetManager {
     pub fn with_header(
         spec: SystemSpec,
         config: FleetConfig,
-        mut header: JournalHeader,
+        header: JournalHeader,
+    ) -> Result<FleetManager, FleetError> {
+        let header = FleetManager::stamped_header(&config, header);
+        FleetManager::with_journal(spec, config, Journal::new(header))
+    }
+
+    /// Stamps the fleet's actual per-group shapes from `config` into
+    /// `header` — the header a journal for this fleet must carry so
+    /// recorded decisions replay against the true layout. Used by callers
+    /// creating a WAL-backed journal up front (the WAL persists its header
+    /// in the manifest at creation time).
+    pub fn stamped_header(config: &FleetConfig, mut header: JournalHeader) -> JournalHeader {
+        header.group_shapes = config.groups.iter().map(GroupConfig::to_shape).collect();
+        header
+    }
+
+    /// [`with_header`](Self::with_header) with an explicit journal — how a
+    /// fleet records into a durable WAL-backed [`Journal`] instead of a
+    /// fresh in-memory one. The journal's header must already carry the
+    /// fleet's shapes (see [`stamped_header`](Self::stamped_header));
+    /// decisions append to the journal exactly as recorded, continuing its
+    /// existing sequence numbering. Restoring the resident state a
+    /// non-empty journal describes is [`recover`](Self::recover)'s job.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] when `config.groups` is empty.
+    pub fn with_journal(
+        spec: SystemSpec,
+        config: FleetConfig,
+        journal: Journal,
     ) -> Result<FleetManager, FleetError> {
         if config.groups.is_empty() {
             return Err(FleetError::Config("fleet needs at least one group".into()));
         }
-        header.group_shapes = config.groups.iter().map(GroupConfig::to_shape).collect();
         let groups = config
             .groups
             .into_iter()
@@ -463,7 +508,7 @@ impl FleetManager {
                 round_robin: AtomicUsize::new(0),
                 next_resident: AtomicU64::new(0),
                 residents: Mutex::new(BTreeMap::new()),
-                journal: Journal::new(header),
+                journal,
                 released: AtomicU64::new(0),
                 rebalances: AtomicU64::new(0),
             }),
@@ -637,17 +682,12 @@ impl FleetManager {
             Ok(Admission::Admitted(ticket)) => {
                 let resident = self.inner.next_resident.fetch_add(1, Ordering::Relaxed);
                 let predicted_period = ticket.predicted_period().unwrap_or(Rational::ZERO);
-                lock(&self.inner.residents).insert(
-                    resident,
-                    ResidentEntry {
-                        group,
-                        ticket,
-                        app_index,
-                        required_throughput,
-                    },
-                );
-                g.counters.admitted.fetch_add(1, Ordering::Relaxed);
-                self.inner.journal.append(DecisionEvent::Admit {
+                // Journal first: the resident entry records its admission's
+                // sequence number (snapshot checkpoints fold it). Both steps
+                // happen under the group's order lock, and a checkpoint
+                // quiesces every group, so it can never observe the gap
+                // between them.
+                let admitted_seq = self.inner.journal.append(DecisionEvent::Admit {
                     group: group as u64,
                     app_index: app_index as u64,
                     required_throughput,
@@ -656,6 +696,17 @@ impl FleetManager {
                         predicted_period,
                     },
                 });
+                lock(&self.inner.residents).insert(
+                    resident,
+                    ResidentEntry {
+                        group,
+                        ticket,
+                        app_index,
+                        required_throughput,
+                        admitted_seq,
+                    },
+                );
+                g.counters.admitted.fetch_add(1, Ordering::Relaxed);
                 Ok(FleetAdmission::Admitted(FleetTicket {
                     inner: Arc::clone(&self.inner),
                     resident: Some(resident),
@@ -851,6 +902,248 @@ impl FleetManager {
     /// already released this way becomes a no-op on drop.
     pub fn release_resident(&self, resident: u64) -> bool {
         self.inner.release_resident(resident)
+    }
+
+    /// Folds the fleet's live-resident state into a snapshot checkpoint.
+    ///
+    /// The fleet is quiesced for the duration of the fold: every group's
+    /// decision lock is taken (in index order, the same order
+    /// [`move_resident`](Self::move_resident) uses), so the resident map
+    /// and the journal's next sequence number are observed at one
+    /// consistent instant — every decision before `upto_seq` is folded in,
+    /// none after.
+    pub fn checkpoint(&self) -> FleetCheckpoint {
+        let guards: Vec<_> = self.inner.groups.iter().map(|g| lock(&g.order)).collect();
+        let residents = lock(&self.inner.residents);
+        let upto_seq = self.inner.journal.next_seq();
+        let next_resident = self.inner.next_resident.load(Ordering::Relaxed);
+        let folded = residents
+            .iter()
+            .map(|(&id, entry)| CheckpointResident {
+                resident: id,
+                group: entry.group as u64,
+                app_index: entry.app_index as u64,
+                required_throughput: entry.required_throughput,
+                admitted_seq: entry.admitted_seq,
+            })
+            .collect();
+        drop(residents);
+        drop(guards);
+        FleetCheckpoint::new(upto_seq, next_resident, folded)
+    }
+
+    /// Takes a [`checkpoint`](Self::checkpoint) and installs it into the
+    /// fleet's journal — on a WAL-backed journal this persists the
+    /// snapshot and garbage-collects every segment it covers. Decision
+    /// traffic resumes as soon as the in-memory fold completes; the
+    /// snapshot write happens outside the group locks.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] on snapshot write failures.
+    pub fn checkpoint_and_install(&self) -> Result<FleetCheckpoint, JournalError> {
+        let checkpoint = self.checkpoint();
+        self.inner.journal.install_checkpoint(checkpoint.clone())?;
+        Ok(checkpoint)
+    }
+
+    /// Re-admits one checkpointed resident: same group, same application
+    /// instance, same contract, same fleet-wide id — without journaling
+    /// anything or touching the outcome counters (the decision is already
+    /// in the history the checkpoint folds).
+    ///
+    /// Restoring a checkpoint's residents in `admitted_seq` order onto the
+    /// recorded fleet shape always succeeds: each intermediate per-group
+    /// mix is a subset of a mix the recording actually validated, and
+    /// contention only grows with co-residents.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Restore`] when the resident id is already live or the
+    /// (hypothetical) shape rejects the re-admission;
+    /// [`FleetError::UnknownGroup`] / [`FleetError::Admit`].
+    pub fn restore_resident(&self, restored: &CheckpointResident) -> Result<(), FleetError> {
+        let group_index = restored.group as usize;
+        let g = self.group(group_index)?;
+        let app_index = (restored.app_index as usize) % self.inner.spec.application_count();
+        let (app, assignment) = self.instantiate(app_index);
+        let shard = g.manager.shard_for(app_index as u64);
+        let _order = lock(&g.order);
+        if lock(&self.inner.residents).contains_key(&restored.resident) {
+            return Err(FleetError::Restore {
+                resident: restored.resident,
+                reason: "resident id already live".to_string(),
+            });
+        }
+        match g.manager.admit_within(
+            shard,
+            app,
+            &assignment,
+            restored.required_throughput,
+            Some(Duration::ZERO),
+        ) {
+            Ok(Admission::Admitted(ticket)) => {
+                lock(&self.inner.residents).insert(
+                    restored.resident,
+                    ResidentEntry {
+                        group: group_index,
+                        ticket,
+                        app_index,
+                        required_throughput: restored.required_throughput,
+                        admitted_seq: restored.admitted_seq,
+                    },
+                );
+                // Keep id assignment monotone past every restored id.
+                self.inner
+                    .next_resident
+                    .fetch_max(restored.resident + 1, Ordering::Relaxed);
+                Ok(())
+            }
+            Ok(Admission::Rejected { violations }) => Err(FleetError::Restore {
+                resident: restored.resident,
+                reason: format!("re-admission rejected ({} violations)", violations.len()),
+            }),
+            Err(AdmitError::Timeout) => Err(FleetError::Restore {
+                resident: restored.resident,
+                reason: format!("group {group_index} is full"),
+            }),
+            Err(e) => Err(FleetError::Admit(e)),
+        }
+    }
+
+    /// Restores every resident of a snapshot checkpoint (in recorded
+    /// admission order) and advances the resident-id counter past the
+    /// checkpoint's. Returns the number of residents restored.
+    ///
+    /// # Errors
+    ///
+    /// Fail-fast [`FleetError::Restore`] on the first resident the current
+    /// shape cannot take back (see
+    /// [`restore_resident`](Self::restore_resident)).
+    pub fn restore(&self, checkpoint: &FleetCheckpoint) -> Result<usize, FleetError> {
+        let mut ordered: Vec<&CheckpointResident> = checkpoint.residents.iter().collect();
+        ordered.sort_by_key(|r| r.admitted_seq);
+        for restored in &ordered {
+            self.restore_resident(restored)?;
+        }
+        self.inner
+            .next_resident
+            .fetch_max(checkpoint.next_resident, Ordering::Relaxed);
+        Ok(ordered.len())
+    }
+
+    /// Rebuilds a fleet from a journal that already holds history — the
+    /// `probcon serve --journal-dir` restart path: restores the base
+    /// checkpoint's residents, then re-applies the post-checkpoint tail
+    /// (admissions, releases, rebalances) without re-journaling any of it.
+    /// The returned fleet appends new decisions after the recovered
+    /// history, and its resident state matches the journal's end state
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] when the journal is unreadable or the config
+    /// has no groups; [`FleetError::Restore`] when the recorded state does
+    /// not fit `config`'s shape.
+    pub fn recover(
+        spec: SystemSpec,
+        config: FleetConfig,
+        journal: Journal,
+    ) -> Result<FleetManager, FleetError> {
+        let checkpoint = journal.base_checkpoint();
+        let entries = journal
+            .try_entries()
+            .map_err(|e| FleetError::Config(format!("journal unreadable: {e}")))?;
+        let fleet = FleetManager::with_journal(spec, config, journal)?;
+        if let Some(checkpoint) = &checkpoint {
+            fleet.restore(checkpoint)?;
+        }
+        for entry in &entries {
+            match &entry.event {
+                DecisionEvent::Admit {
+                    group,
+                    app_index,
+                    required_throughput,
+                    outcome: JournalOutcome::Admitted { resident, .. },
+                } => {
+                    fleet.restore_resident(&CheckpointResident {
+                        resident: *resident,
+                        group: *group,
+                        app_index: *app_index,
+                        required_throughput: *required_throughput,
+                        admitted_seq: entry.seq,
+                    })?;
+                }
+                // Rejections and saturations changed nothing.
+                DecisionEvent::Admit { .. } => {}
+                DecisionEvent::Release { resident } => {
+                    fleet.release_unjournaled(*resident);
+                }
+                DecisionEvent::Rebalance {
+                    resident, to_group, ..
+                } => {
+                    fleet.move_unjournaled(*resident, *to_group as usize)?;
+                }
+            }
+        }
+        Ok(fleet)
+    }
+
+    /// Releases a resident without journaling — recovery re-applies
+    /// recorded releases whose entries are already in the journal.
+    fn release_unjournaled(&self, resident: u64) -> bool {
+        let entry = lock(&self.inner.residents).remove(&resident);
+        match entry {
+            Some(entry) => {
+                entry.ticket.release();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves a resident without journaling — recovery re-applies recorded
+    /// rebalances whose entries are already in the journal.
+    fn move_unjournaled(&self, resident: u64, to: usize) -> Result<(), FleetError> {
+        let (app_index, required) = {
+            let residents = lock(&self.inner.residents);
+            let entry = residents
+                .get(&resident)
+                .ok_or(FleetError::UnknownResident(resident))?;
+            (entry.app_index, entry.required_throughput)
+        };
+        let target = self.group(to)?;
+        let (app, assignment) = self.instantiate(app_index);
+        let shard = target.manager.shard_for(app_index as u64);
+        match target
+            .manager
+            .admit_within(shard, app, &assignment, required, Some(Duration::ZERO))
+        {
+            Ok(Admission::Admitted(new_ticket)) => {
+                let old_ticket = {
+                    let mut residents = lock(&self.inner.residents);
+                    let entry = residents
+                        .get_mut(&resident)
+                        .ok_or(FleetError::UnknownResident(resident))?;
+                    entry.group = to;
+                    std::mem::replace(&mut entry.ticket, new_ticket)
+                };
+                old_ticket.release();
+                Ok(())
+            }
+            Ok(Admission::Rejected { violations }) => Err(FleetError::Restore {
+                resident,
+                reason: format!(
+                    "recorded rebalance to group {to} rejected ({} violations)",
+                    violations.len()
+                ),
+            }),
+            Err(AdmitError::Timeout) => Err(FleetError::Restore {
+                resident,
+                reason: format!("recorded rebalance target group {to} is full"),
+            }),
+            Err(e) => Err(FleetError::Admit(e)),
+        }
     }
 
     /// Stops every group's manager (new admissions fail, residents drain).

@@ -24,15 +24,25 @@
 
 use crate::fleet::{FleetConfig, FleetError, FleetManager};
 use crate::service::{AdmissionDecision, AdmissionRequest, AdmissionService, ServiceError};
+use crate::wal::{CheckpointResident, FleetCheckpoint, WalConfig, WalRecovery, WalStats, WalStore};
 use sdf::Rational;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::path::Path;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// Current journal file-format version.
+/// Current journal file-format version (plain header + entries).
 pub const JOURNAL_VERSION: u64 = 1;
+
+/// Journal file-format version whose second line is a snapshot checkpoint
+/// ([`FleetCheckpoint`]) that folds every entry before its `upto_seq`;
+/// entries follow from that sequence number. Rendered whenever a journal
+/// carries a base checkpoint; version-1 files (PR 2–6) keep parsing and
+/// render byte-identically when no checkpoint is present.
+pub const JOURNAL_CHECKPOINT_VERSION: u64 = 2;
 
 /// The exact shape of one platform group, as recorded in a journal header.
 ///
@@ -247,6 +257,19 @@ pub enum JournalError {
     /// Two journals could not be merged because their headers describe
     /// different workloads or fleet shapes.
     IncompatibleHeaders(String),
+    /// A WAL directory's manifest is torn, truncated or edited — it does
+    /// not parse, fails its checksum, or describes an impossible segment
+    /// chain.
+    TornManifest(String),
+    /// A snapshot checkpoint does not parse, fails its checksum, or folds
+    /// to a sequence number outside the journal's range.
+    CorruptCheckpoint(String),
+    /// The operation needs the full entry history, but entries before the
+    /// base checkpoint's fold point have been compacted away.
+    Checkpointed {
+        /// Fold point of the base checkpoint (history before it is gone).
+        upto_seq: u64,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -270,6 +293,18 @@ impl fmt::Display for JournalError {
             JournalError::IncompatibleHeaders(why) => {
                 write!(f, "journals cannot be merged: {why}")
             }
+            JournalError::TornManifest(why) => {
+                write!(f, "WAL manifest is torn or corrupt: {why}")
+            }
+            JournalError::CorruptCheckpoint(why) => {
+                write!(f, "snapshot checkpoint is corrupt: {why}")
+            }
+            JournalError::Checkpointed { upto_seq } => {
+                write!(
+                    f,
+                    "history before seq {upto_seq} was folded into a snapshot checkpoint"
+                )
+            }
         }
     }
 }
@@ -279,7 +314,7 @@ impl std::error::Error for JournalError {}
 /// 64-bit FNV-1a over a byte string — stable, dependency-free, and plenty
 /// for detecting torn or hand-edited journal lines (this is an integrity
 /// check, not an authenticity one).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -298,7 +333,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// (client, origin) pair's byte string. The vendored serializer emits
 /// struct fields in declaration order, so the byte string is canonical for
 /// a given event.
-fn checksum_of(
+pub(crate) fn checksum_of(
     seq: u64,
     event: &DecisionEvent,
     client: Option<&str>,
@@ -371,24 +406,166 @@ impl Drop for ClientScope {
     }
 }
 
+/// Backing store of a [`Journal`]: either the classic in-memory entry
+/// vector (optionally based on a checkpoint, e.g. after parsing a
+/// version-2 file) or a durable segmented WAL directory.
+#[derive(Debug)]
+enum Store {
+    Memory {
+        base: Option<FleetCheckpoint>,
+        entries: Vec<JournalEntry>,
+    },
+    Wal(Box<WalStore>),
+}
+
+impl Store {
+    fn base(&self) -> Option<&FleetCheckpoint> {
+        match self {
+            Store::Memory { base, .. } => base.as_ref(),
+            Store::Wal(wal) => wal.checkpoint(),
+        }
+    }
+
+    fn base_seq(&self) -> u64 {
+        self.base().map_or(0, |c| c.upto_seq)
+    }
+
+    fn next_seq(&self) -> u64 {
+        match self {
+            Store::Memory { base, entries } => {
+                base.as_ref().map_or(0, |c| c.upto_seq) + entries.len() as u64
+            }
+            Store::Wal(wal) => wal.next_seq(),
+        }
+    }
+
+    /// Streams every entry with `seq >= from` in order through `f`,
+    /// verifying checksums and sequence contiguity as it goes; `f`
+    /// returning `false` stops the stream early.
+    fn for_each_from(
+        &mut self,
+        from: u64,
+        mut f: impl FnMut(&JournalEntry) -> bool,
+    ) -> Result<(), JournalError> {
+        match self {
+            Store::Memory { base, entries } => {
+                let first = base.as_ref().map_or(0, |c| c.upto_seq);
+                for (expected, entry) in (first..).zip(entries.iter()) {
+                    if entry.seq != expected {
+                        return Err(JournalError::SequenceGap {
+                            expected,
+                            found: entry.seq,
+                        });
+                    }
+                    if entry.checksum
+                        != checksum_of(
+                            entry.seq,
+                            &entry.event,
+                            entry.client.as_deref(),
+                            entry.origin_seq,
+                        )
+                    {
+                        return Err(JournalError::Checksum { seq: entry.seq });
+                    }
+                    if entry.seq >= from && !f(entry) {
+                        return Ok(());
+                    }
+                }
+                Ok(())
+            }
+            Store::Wal(wal) => wal.stream_entries(from, f),
+        }
+    }
+}
+
 /// Append-only, checksummed decision log (see the [module docs](self)).
 ///
 /// Appends are thread-safe; sequence numbers are assigned under the
 /// journal's internal lock in append order. The fleet serializes appends
 /// per group (decision and append happen under one group lock), so the
 /// journal order is a valid serialization of every group's decision order.
+///
+/// A journal is backed either by memory ([`new`](Self::new) /
+/// [`parse`](Self::parse)) — the classic PR 2–6 shape — or by a segmented
+/// WAL directory ([`create_wal`](Self::create_wal) /
+/// [`open_wal`](Self::open_wal)), where appends stream to a rotated
+/// segment file, only a bounded tail stays in memory, and a snapshot
+/// checkpoint lets replay start from the nearest fold point instead of
+/// seq 0. See [`crate::wal`] for the on-disk layout.
 #[derive(Debug)]
 pub struct Journal {
     header: JournalHeader,
-    entries: Mutex<Vec<JournalEntry>>,
+    store: Mutex<Store>,
 }
 
 impl Journal {
-    /// Empty journal with the given header.
+    /// Empty in-memory journal with the given header.
     pub fn new(header: JournalHeader) -> Journal {
         Journal {
             header,
-            entries: Mutex::new(Vec::new()),
+            store: Mutex::new(Store::Memory {
+                base: None,
+                entries: Vec::new(),
+            }),
+        }
+    }
+
+    /// Creates a fresh WAL-backed journal in directory `dir` (which must
+    /// not already hold one).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failures or an existing WAL.
+    pub fn create_wal(
+        dir: impl AsRef<Path>,
+        header: JournalHeader,
+        config: WalConfig,
+    ) -> Result<Journal, JournalError> {
+        let store = WalStore::create(dir.as_ref(), header, config)?;
+        Ok(Journal {
+            header: store.header().clone(),
+            store: Mutex::new(Store::Wal(Box::new(store))),
+        })
+    }
+
+    /// Opens an existing WAL directory, verifying the manifest, snapshot
+    /// and every sealed segment, and truncating a torn active-segment tail
+    /// back to the last valid entry (reported in the returned
+    /// [`WalRecovery`]).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::TornManifest`] or
+    /// [`JournalError::CorruptCheckpoint`] on manifest or snapshot damage;
+    /// checksum/sequence errors on sealed-segment corruption; `Io` on
+    /// filesystem failures.
+    pub fn open_wal(
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+    ) -> Result<(Journal, WalRecovery), JournalError> {
+        let (store, recovery) = WalStore::open(dir.as_ref(), config)?;
+        Ok((
+            Journal {
+                header: store.header().clone(),
+                store: Mutex::new(Store::Wal(Box::new(store))),
+            },
+            recovery,
+        ))
+    }
+
+    /// Loads a journal from `path`, which may be a WAL directory or a
+    /// single-file journal — `probcon replay`/`plan` accept both.
+    ///
+    /// # Errors
+    ///
+    /// Any [`JournalError`] variant.
+    pub fn load(path: impl AsRef<Path>) -> Result<(Journal, Option<WalRecovery>), JournalError> {
+        let path = path.as_ref();
+        if path.is_dir() {
+            let (journal, recovery) = Journal::open_wal(path, WalConfig::default())?;
+            Ok((journal, Some(recovery)))
+        } else {
+            Ok((Journal::read_from(path)?, None))
         }
     }
 
@@ -399,43 +576,132 @@ impl Journal {
 
     /// Appends a decision, returning its sequence number. The entry is
     /// stamped with the appending thread's active [`ClientScope`] (if any).
+    ///
+    /// On a WAL-backed journal the entry streams to the active segment
+    /// (fsynced per the configured [`FsyncPolicy`](crate::wal::FsyncPolicy));
+    /// write failures are absorbed into the [`io_errors`](Self::io_errors)
+    /// counter — the fleet cannot un-decide a decision — and the in-memory
+    /// sequence stays consistent.
     pub fn append(&self, event: DecisionEvent) -> u64 {
         let client = ClientScope::current();
-        let mut entries = crate::cache::lock(&self.entries);
-        let seq = entries.len() as u64;
-        entries.push(JournalEntry {
+        let mut store = crate::cache::lock(&self.store);
+        let seq = store.next_seq();
+        let entry = JournalEntry {
             seq,
             timestamp_micros: now_micros(),
             checksum: checksum_of(seq, &event, client.as_deref(), None),
             event,
             client,
             origin_seq: None,
-        });
+        };
+        match &mut *store {
+            Store::Memory { entries, .. } => entries.push(entry),
+            Store::Wal(wal) => wal.append_entry(entry),
+        }
         seq
     }
 
-    /// Number of recorded decisions.
+    /// Number of recorded decisions still in the entry view (decisions
+    /// folded into the base checkpoint are not re-counted).
     pub fn len(&self) -> usize {
-        crate::cache::lock(&self.entries).len()
+        let store = crate::cache::lock(&self.store);
+        (store.next_seq() - store.base_seq()) as usize
     }
 
-    /// `true` when nothing has been recorded.
+    /// `true` when the entry view is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Snapshot of every entry in sequence order.
-    pub fn entries(&self) -> Vec<JournalEntry> {
-        crate::cache::lock(&self.entries).clone()
+    /// Sequence number the next append will receive (total decisions ever
+    /// recorded, including those folded into the base checkpoint).
+    pub fn next_seq(&self) -> u64 {
+        crate::cache::lock(&self.store).next_seq()
     }
 
-    /// Snapshot of every decision in sequence order (entries without the
+    /// First sequence number of the entry view: the base checkpoint's fold
+    /// point, or 0 without one.
+    pub fn base_seq(&self) -> u64 {
+        crate::cache::lock(&self.store).base_seq()
+    }
+
+    /// The base snapshot checkpoint the entry view starts from, if any.
+    pub fn base_checkpoint(&self) -> Option<FleetCheckpoint> {
+        crate::cache::lock(&self.store).base().cloned()
+    }
+
+    /// Append I/O failures absorbed so far (always 0 for in-memory
+    /// journals).
+    pub fn io_errors(&self) -> u64 {
+        match &*crate::cache::lock(&self.store) {
+            Store::Memory { .. } => 0,
+            Store::Wal(wal) => wal.io_errors(),
+        }
+    }
+
+    /// Flushes and fsyncs buffered appends (no-op for in-memory journals).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failures.
+    pub fn sync(&self) -> Result<(), JournalError> {
+        match &mut *crate::cache::lock(&self.store) {
+            Store::Memory { .. } => Ok(()),
+            Store::Wal(wal) => wal.sync(),
+        }
+    }
+
+    /// The last `n` entries, from the bounded in-memory tail on a
+    /// WAL-backed journal (so it may return fewer than `n` right after a
+    /// rotation or checkpoint, without touching disk).
+    pub fn recent(&self, n: usize) -> Vec<JournalEntry> {
+        match &*crate::cache::lock(&self.store) {
+            Store::Memory { entries, .. } => {
+                let skip = entries.len().saturating_sub(n);
+                entries[skip..].to_vec()
+            }
+            Store::Wal(wal) => wal.recent(n),
+        }
+    }
+
+    /// Disk-shape statistics of a WAL-backed journal (`None` for in-memory
+    /// journals).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        match &*crate::cache::lock(&self.store) {
+            Store::Memory { .. } => None,
+            Store::Wal(wal) => Some(wal.stats()),
+        }
+    }
+
+    /// Snapshot of every entry in the view, verifying checksums and
+    /// sequence contiguity.
+    ///
+    /// # Errors
+    ///
+    /// Checksum/sequence errors on corruption; [`JournalError::Io`] on a
+    /// WAL read failure.
+    pub fn try_entries(&self) -> Result<Vec<JournalEntry>, JournalError> {
+        let mut store = crate::cache::lock(&self.store);
+        let from = store.base_seq();
+        let mut out = Vec::with_capacity((store.next_seq() - from) as usize);
+        store.for_each_from(from, |entry| {
+            out.push(entry.clone());
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Snapshot of every entry in the view, in sequence order (empty on a
+    /// WAL read failure — use [`try_entries`](Self::try_entries) to see
+    /// the error).
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        self.try_entries().unwrap_or_default()
+    }
+
+    /// Snapshot of every decision in the view (entries without the
     /// bookkeeping).
     pub fn events(&self) -> Vec<DecisionEvent> {
-        crate::cache::lock(&self.entries)
-            .iter()
-            .map(|e| e.event.clone())
-            .collect()
+        self.entries().into_iter().map(|e| e.event).collect()
     }
 
     /// Runs `f` over the entry slice **without cloning it** — the event
@@ -447,18 +713,30 @@ impl Journal {
     /// (re-executing against a *different* fleet — whose own journal is a
     /// separate object — is fine, and is exactly what replay does).
     pub fn with_entries<R>(&self, f: impl FnOnce(&[JournalEntry]) -> R) -> R {
-        f(&crate::cache::lock(&self.entries))
+        let mut store = crate::cache::lock(&self.store);
+        match &mut *store {
+            Store::Memory { entries, .. } => f(entries),
+            Store::Wal(wal) => {
+                // Planning materializes the post-checkpoint tail once and
+                // shares it; WAL read failures surface as an empty slice.
+                let entries = wal.read_all().unwrap_or_default();
+                f(&entries)
+            }
+        }
     }
 
     /// Distinct client ids stamped into entries, in first-appearance order;
     /// entries without provenance contribute `None`.
     pub fn clients(&self) -> Vec<Option<String>> {
-        let mut seen = Vec::new();
-        for entry in crate::cache::lock(&self.entries).iter() {
+        let mut seen: Vec<Option<String>> = Vec::new();
+        let mut store = crate::cache::lock(&self.store);
+        let from = store.base_seq();
+        let _ = store.for_each_from(from, |entry| {
             if !seen.contains(&entry.client) {
                 seen.push(entry.client.clone());
             }
-        }
+            true
+        });
         seen
     }
 
@@ -474,29 +752,58 @@ impl Journal {
     /// the original sequence numbers.
     ///
     /// [`origin_seq`]: JournalEntry::origin_seq
-    pub fn split_by_client(&self) -> Vec<(Option<String>, Journal)> {
-        let mut split: Vec<(Option<String>, Journal)> = Vec::new();
-        for entry in crate::cache::lock(&self.entries).iter() {
-            let journal = match split.iter().position(|(c, _)| *c == entry.client) {
-                Some(i) => &split[i].1,
-                None => {
-                    split.push((entry.client.clone(), Journal::new(self.header.clone())));
-                    &split.last().expect("just pushed").1
-                }
-            };
-            let mut entries = crate::cache::lock(&journal.entries);
-            let seq = entries.len() as u64;
-            let origin_seq = Some(entry.origin_seq.unwrap_or(entry.seq));
-            entries.push(JournalEntry {
-                seq,
-                timestamp_micros: entry.timestamp_micros,
-                checksum: checksum_of(seq, &entry.event, entry.client.as_deref(), origin_seq),
-                event: entry.event.clone(),
-                client: entry.client.clone(),
-                origin_seq,
-            });
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Checkpointed`] when a base checkpoint has folded
+    /// away part of the history — the folded decisions carry no client
+    /// attribution any more, so a split would silently misattribute state.
+    /// Checksum/sequence/`Io` errors on a corrupt or unreadable store.
+    pub fn split_by_client(&self) -> Result<Vec<(Option<String>, Journal)>, JournalError> {
+        let mut split: Vec<(Option<String>, Vec<JournalEntry>)> = Vec::new();
+        {
+            let mut store = crate::cache::lock(&self.store);
+            if let Some(base) = store.base() {
+                return Err(JournalError::Checkpointed {
+                    upto_seq: base.upto_seq,
+                });
+            }
+            store.for_each_from(0, |entry| {
+                let part = match split.iter().position(|(c, _)| *c == entry.client) {
+                    Some(i) => &mut split[i].1,
+                    None => {
+                        split.push((entry.client.clone(), Vec::new()));
+                        &mut split.last_mut().expect("just pushed").1
+                    }
+                };
+                let seq = part.len() as u64;
+                let origin_seq = Some(entry.origin_seq.unwrap_or(entry.seq));
+                part.push(JournalEntry {
+                    seq,
+                    timestamp_micros: entry.timestamp_micros,
+                    checksum: checksum_of(seq, &entry.event, entry.client.as_deref(), origin_seq),
+                    event: entry.event.clone(),
+                    client: entry.client.clone(),
+                    origin_seq,
+                });
+                true
+            })?;
         }
-        split
+        Ok(split
+            .into_iter()
+            .map(|(client, entries)| {
+                (
+                    client,
+                    Journal {
+                        header: self.header.clone(),
+                        store: Mutex::new(Store::Memory {
+                            base: None,
+                            entries,
+                        }),
+                    },
+                )
+            })
+            .collect())
     }
 
     /// Interleaves two journals into one replayable log, ordering entries
@@ -513,6 +820,10 @@ impl Journal {
     /// [`JournalError::IncompatibleHeaders`] unless both headers describe
     /// the same workload, fleet shape and policy — replaying an interleaved
     /// log is only meaningful against one fleet.
+    /// [`JournalError::Checkpointed`] when either side's history was
+    /// partially folded into a snapshot checkpoint (the folded prefix
+    /// cannot be interleaved). Checksum/sequence/`Io` errors on a corrupt
+    /// or unreadable store.
     pub fn merge(a: &Journal, b: &Journal) -> Result<Journal, JournalError> {
         if a.header != b.header {
             return Err(JournalError::IncompatibleHeaders(describe_header_diff(
@@ -521,29 +832,37 @@ impl Journal {
         }
         let mut entries: Vec<(u64, u64, u8, JournalEntry)> = Vec::new();
         for (side, journal) in [(0u8, a), (1u8, b)] {
-            for entry in crate::cache::lock(&journal.entries).iter() {
+            if let Some(base) = journal.base_checkpoint() {
+                return Err(JournalError::Checkpointed {
+                    upto_seq: base.upto_seq,
+                });
+            }
+            for entry in journal.try_entries()? {
                 let order = entry.origin_seq.unwrap_or(entry.seq);
-                entries.push((order, entry.timestamp_micros, side, entry.clone()));
+                entries.push((order, entry.timestamp_micros, side, entry));
             }
         }
         entries.sort_by_key(|x| (x.0, x.1, x.2));
-        let merged = Journal::new(a.header.clone());
-        {
-            let mut out = crate::cache::lock(&merged.entries);
-            for (i, (_, _, _, entry)) in entries.into_iter().enumerate() {
-                let seq = i as u64;
-                let origin_seq = entry.origin_seq;
-                out.push(JournalEntry {
-                    seq,
-                    timestamp_micros: entry.timestamp_micros,
-                    checksum: checksum_of(seq, &entry.event, entry.client.as_deref(), origin_seq),
-                    event: entry.event,
-                    client: entry.client,
-                    origin_seq,
-                });
-            }
+        let mut out = Vec::with_capacity(entries.len());
+        for (i, (_, _, _, entry)) in entries.into_iter().enumerate() {
+            let seq = i as u64;
+            let origin_seq = entry.origin_seq;
+            out.push(JournalEntry {
+                seq,
+                timestamp_micros: entry.timestamp_micros,
+                checksum: checksum_of(seq, &entry.event, entry.client.as_deref(), origin_seq),
+                event: entry.event,
+                client: entry.client,
+                origin_seq,
+            });
         }
-        Ok(merged)
+        Ok(Journal {
+            header: a.header.clone(),
+            store: Mutex::new(Store::Memory {
+                base: None,
+                entries: out,
+            }),
+        })
     }
 
     /// Verifies checksum and sequence contiguity of every entry.
@@ -551,93 +870,418 @@ impl Journal {
     /// # Errors
     ///
     /// [`JournalError::Checksum`] / [`JournalError::SequenceGap`] on the
-    /// first corrupt entry.
+    /// first corrupt entry, [`JournalError::Io`] on a WAL read failure.
     pub fn verify(&self) -> Result<(), JournalError> {
-        for (i, entry) in crate::cache::lock(&self.entries).iter().enumerate() {
-            if entry.seq != i as u64 {
-                return Err(JournalError::SequenceGap {
-                    expected: i as u64,
-                    found: entry.seq,
-                });
-            }
-            if entry.checksum
-                != checksum_of(
-                    entry.seq,
-                    &entry.event,
-                    entry.client.as_deref(),
-                    entry.origin_seq,
-                )
-            {
-                return Err(JournalError::Checksum { seq: entry.seq });
-            }
-        }
-        Ok(())
+        let mut store = crate::cache::lock(&self.store);
+        let from = store.base_seq();
+        store.for_each_from(from, |_| true)
     }
 
-    /// Renders the journal as JSON lines: the header, then one entry per
-    /// line in sequence order.
-    pub fn render(&self) -> String {
+    /// Installs a snapshot checkpoint folding every decision before its
+    /// `upto_seq`: the entry view now starts there, and on a WAL-backed
+    /// journal the snapshot is written durably and every sealed segment it
+    /// fully covers is garbage collected.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::CorruptCheckpoint`] if the checkpoint fails its own
+    /// checksum or folds to a sequence number outside
+    /// `[base_seq, next_seq]`; [`JournalError::Io`] on WAL write failures.
+    pub fn install_checkpoint(&self, checkpoint: FleetCheckpoint) -> Result<(), JournalError> {
+        let mut store = crate::cache::lock(&self.store);
+        match &mut *store {
+            Store::Wal(wal) => wal.install_checkpoint(checkpoint),
+            Store::Memory { base, entries } => {
+                if !checkpoint.verify() {
+                    return Err(JournalError::CorruptCheckpoint(
+                        "checksum mismatch".to_string(),
+                    ));
+                }
+                let floor = base.as_ref().map_or(0, |c| c.upto_seq);
+                let next = floor + entries.len() as u64;
+                if checkpoint.upto_seq < floor || checkpoint.upto_seq > next {
+                    return Err(JournalError::CorruptCheckpoint(format!(
+                        "fold point {} outside [{floor}, {next}]",
+                        checkpoint.upto_seq
+                    )));
+                }
+                entries.retain(|e| e.seq >= checkpoint.upto_seq);
+                *base = Some(checkpoint);
+                Ok(())
+            }
+        }
+    }
+
+    /// Folds the whole entry view into a fresh snapshot checkpoint and
+    /// installs it — `probcon journal compact`. On a WAL-backed journal
+    /// this seals the active segment and garbage-collects everything the
+    /// snapshot covers, shrinking the directory to the manifest, the
+    /// snapshot and one empty active segment; replaying the compacted
+    /// journal restores the exact same end state.
+    ///
+    /// # Errors
+    ///
+    /// Any [`JournalError`] variant.
+    pub fn compact(&self) -> Result<FleetCheckpoint, JournalError> {
+        let base = self.base_checkpoint();
+        let entries = self.try_entries()?;
+        let checkpoint = fold_checkpoint(base.as_ref(), &entries);
+        self.install_checkpoint(checkpoint.clone())?;
+        Ok(checkpoint)
+    }
+
+    /// The journal's prologue lines: the header (version stamped to
+    /// [`JOURNAL_CHECKPOINT_VERSION`] when a base checkpoint follows, kept
+    /// verbatim otherwise — version-1 journals render byte-identically),
+    /// plus the base checkpoint's JSON line when present.
+    fn prologue(&self, base: Option<&FleetCheckpoint>) -> String {
         let mut out = String::new();
-        out.push_str(&serde_json::to_string(&self.header).unwrap_or_else(|_| "{}".to_string()));
-        out.push('\n');
-        for entry in crate::cache::lock(&self.entries).iter() {
-            out.push_str(&serde_json::to_string(entry).unwrap_or_else(|_| "{}".to_string()));
-            out.push('\n');
+        match base {
+            None => {
+                out.push_str(
+                    &serde_json::to_string(&self.header).unwrap_or_else(|_| "{}".to_string()),
+                );
+                out.push('\n');
+            }
+            Some(checkpoint) => {
+                let mut header = self.header.clone();
+                header.version = JOURNAL_CHECKPOINT_VERSION;
+                out.push_str(&serde_json::to_string(&header).unwrap_or_else(|_| "{}".to_string()));
+                out.push('\n');
+                out.push_str(
+                    &serde_json::to_string(checkpoint).unwrap_or_else(|_| "{}".to_string()),
+                );
+                out.push('\n');
+            }
         }
         out
     }
 
+    /// Streams the rendered journal to `writer`: the prologue, then one
+    /// entry per line in sequence order — without ever materializing the
+    /// whole journal as one string.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write failures (and WAL read failures);
+    /// checksum/sequence errors on corruption.
+    pub fn render_to<W: Write>(&self, writer: &mut W) -> Result<(), JournalError> {
+        let mut store = crate::cache::lock(&self.store);
+        writer
+            .write_all(self.prologue(store.base()).as_bytes())
+            .map_err(|e| JournalError::Io(format!("write: {e}")))?;
+        let from = store.base_seq();
+        let mut write_error = None;
+        store.for_each_from(from, |entry| {
+            let line = serde_json::to_string(entry).unwrap_or_else(|_| "{}".to_string());
+            let ok = writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"));
+            match ok {
+                Ok(()) => true,
+                Err(e) => {
+                    write_error = Some(JournalError::Io(format!("write: {e}")));
+                    false
+                }
+            }
+        })?;
+        match write_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Renders the journal as JSON lines: the prologue, then one entry per
+    /// line in sequence order. On a WAL read failure the rendering stops
+    /// at the last readable entry (use [`render_to`](Self::render_to) to
+    /// see the error).
+    pub fn render(&self) -> String {
+        let mut out = Vec::new();
+        let _ = self.render_to(&mut out);
+        String::from_utf8(out).unwrap_or_default()
+    }
+
+    /// Renders one page of the journal for wire transfer: entries from
+    /// `from_seq` (at most `max_entries` of them), preceded by the
+    /// prologue when `from_seq` is 0. `next_seq` names the next page, or
+    /// `None` on the last one — concatenating the pages of a loop that
+    /// starts at 0 and follows `next_seq` reproduces
+    /// [`render`](Self::render) exactly.
+    ///
+    /// # Errors
+    ///
+    /// Checksum/sequence errors on corruption, [`JournalError::Io`] on a
+    /// WAL read failure.
+    pub fn render_page(
+        &self,
+        from_seq: u64,
+        max_entries: usize,
+    ) -> Result<JournalPage, JournalError> {
+        let max_entries = max_entries.max(1);
+        let mut store = crate::cache::lock(&self.store);
+        let mut text = String::new();
+        if from_seq == 0 {
+            text.push_str(&self.prologue(store.base()));
+        }
+        let start = from_seq.max(store.base_seq());
+        let mut next_seq = None;
+        let mut emitted = 0usize;
+        store.for_each_from(start, |entry| {
+            if emitted >= max_entries {
+                next_seq = Some(entry.seq);
+                return false;
+            }
+            text.push_str(&serde_json::to_string(entry).unwrap_or_else(|_| "{}".to_string()));
+            text.push('\n');
+            emitted += 1;
+            true
+        })?;
+        Ok(JournalPage { text, next_seq })
+    }
+
     /// Parses a journal rendered by [`render`](Self::render), verifying
-    /// checksums and sequence contiguity.
+    /// checksums and sequence contiguity. Accepts both the version-1
+    /// format (header + entries, PR 2–6) and the version-2 checkpointed
+    /// format (header + snapshot checkpoint + tail entries).
     ///
     /// # Errors
     ///
     /// Any [`JournalError`] variant except `Io`.
     pub fn parse(text: &str) -> Result<Journal, JournalError> {
-        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let header_line = lines.next().ok_or(JournalError::MissingHeader)?;
-        let header: JournalHeader =
-            serde_json::from_str(header_line).map_err(|e| JournalError::Parse(e.to_string()))?;
-        if header.version != JOURNAL_VERSION {
-            return Err(JournalError::UnsupportedVersion(header.version));
+        let mut parser = JournalParser::new();
+        for line in text.lines() {
+            parser.feed(line)?;
         }
-        let mut entries = Vec::new();
-        for line in lines {
-            let entry: JournalEntry =
-                serde_json::from_str(line).map_err(|e| JournalError::Parse(e.to_string()))?;
-            entries.push(entry);
-        }
-        let journal = Journal {
-            header,
-            entries: Mutex::new(entries),
-        };
-        journal.verify()?;
-        Ok(journal)
+        parser.finish()
     }
 
-    /// Writes the rendered journal to `path`.
+    /// Writes the rendered journal to `path` durably: entries stream to a
+    /// temp file in the same directory, which is fsynced and atomically
+    /// renamed over the target — a crash mid-write leaves the old file (or
+    /// nothing), never a torn journal.
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] on filesystem failures.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), JournalError> {
         let path = path.as_ref();
-        std::fs::write(path, self.render())
-            .map_err(|e| JournalError::Io(format!("write {}: {e}", path.display())))
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let result = (|| {
+            let file = File::create(&tmp)
+                .map_err(|e| JournalError::Io(format!("create {}: {e}", tmp.display())))?;
+            let mut writer = BufWriter::new(file);
+            self.render_to(&mut writer)?;
+            writer
+                .flush()
+                .map_err(|e| JournalError::Io(format!("write {}: {e}", tmp.display())))?;
+            writer
+                .get_ref()
+                .sync_all()
+                .map_err(|e| JournalError::Io(format!("sync {}: {e}", tmp.display())))?;
+            std::fs::rename(&tmp, path)
+                .map_err(|e| JournalError::Io(format!("rename {}: {e}", tmp.display())))?;
+            if let Some(dir) = path.parent() {
+                // Best effort: make the rename itself durable.
+                if let Ok(d) = File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Reads and verifies a journal file written by
-    /// [`write_to`](Self::write_to).
+    /// [`write_to`](Self::write_to), streaming line by line — verification
+    /// memory is O(1) in history length until the entries themselves are
+    /// collected.
     ///
     /// # Errors
     ///
     /// Any [`JournalError`] variant.
     pub fn read_from(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path)
+        let file = File::open(path)
             .map_err(|e| JournalError::Io(format!("read {}: {e}", path.display())))?;
-        Journal::parse(&text)
+        let mut reader = BufReader::new(file);
+        let mut parser = JournalParser::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let read = reader
+                .read_line(&mut line)
+                .map_err(|e| JournalError::Io(format!("read {}: {e}", path.display())))?;
+            if read == 0 {
+                return parser.finish();
+            }
+            parser.feed(&line)?;
+        }
     }
+}
+
+/// One wire-transfer page of a rendered journal (see
+/// [`Journal::render_page`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalPage {
+    /// Rendered lines of this page (prologue included on the first page).
+    pub text: String,
+    /// Sequence number to request the next page from, or `None` when this
+    /// page is the last.
+    pub next_seq: Option<u64>,
+}
+
+/// Incremental line-by-line journal parser shared by [`Journal::parse`]
+/// and [`Journal::read_from`]: verifies checksums and sequence contiguity
+/// as lines arrive, so file verification needs no second pass.
+struct JournalParser {
+    header: Option<JournalHeader>,
+    base: Option<FleetCheckpoint>,
+    want_checkpoint: bool,
+    next_seq: u64,
+    entries: Vec<JournalEntry>,
+}
+
+impl JournalParser {
+    fn new() -> JournalParser {
+        JournalParser {
+            header: None,
+            base: None,
+            want_checkpoint: false,
+            next_seq: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    fn feed(&mut self, line: &str) -> Result<(), JournalError> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        if self.header.is_none() {
+            let header: JournalHeader =
+                serde_json::from_str(line).map_err(|e| JournalError::Parse(e.to_string()))?;
+            match header.version {
+                JOURNAL_VERSION => {}
+                JOURNAL_CHECKPOINT_VERSION => self.want_checkpoint = true,
+                v => return Err(JournalError::UnsupportedVersion(v)),
+            }
+            self.header = Some(header);
+            return Ok(());
+        }
+        if self.want_checkpoint {
+            let checkpoint: FleetCheckpoint = serde_json::from_str(line).map_err(|e| {
+                JournalError::CorruptCheckpoint(format!("checkpoint does not parse: {e}"))
+            })?;
+            if !checkpoint.verify() {
+                return Err(JournalError::CorruptCheckpoint(
+                    "checksum mismatch".to_string(),
+                ));
+            }
+            self.next_seq = checkpoint.upto_seq;
+            self.base = Some(checkpoint);
+            self.want_checkpoint = false;
+            return Ok(());
+        }
+        let entry: JournalEntry =
+            serde_json::from_str(line).map_err(|e| JournalError::Parse(e.to_string()))?;
+        if entry.seq != self.next_seq {
+            return Err(JournalError::SequenceGap {
+                expected: self.next_seq,
+                found: entry.seq,
+            });
+        }
+        if entry.checksum
+            != checksum_of(
+                entry.seq,
+                &entry.event,
+                entry.client.as_deref(),
+                entry.origin_seq,
+            )
+        {
+            return Err(JournalError::Checksum { seq: entry.seq });
+        }
+        self.next_seq += 1;
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Journal, JournalError> {
+        let header = self.header.ok_or(JournalError::MissingHeader)?;
+        if self.want_checkpoint {
+            return Err(JournalError::CorruptCheckpoint(
+                "version-2 journal ends before its checkpoint line".to_string(),
+            ));
+        }
+        Ok(Journal {
+            header,
+            store: Mutex::new(Store::Memory {
+                base: self.base,
+                entries: self.entries,
+            }),
+        })
+    }
+}
+
+/// Folds a base checkpoint (if any) and an entry tail into the snapshot
+/// checkpoint describing the journal's end state: live residents with
+/// their current groups, original ids and admission sequence numbers.
+///
+/// This is a pure log fold — no fleet is rebuilt, no decision re-decided —
+/// so the folded ids and sequence numbers are exactly the recorded ones.
+pub fn fold_checkpoint(
+    base: Option<&FleetCheckpoint>,
+    entries: &[JournalEntry],
+) -> FleetCheckpoint {
+    let mut residents: BTreeMap<u64, CheckpointResident> = base
+        .map(|c| {
+            c.residents
+                .iter()
+                .map(|r| (r.resident, r.clone()))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut next_resident = base.map_or(0, |c| c.next_resident);
+    let mut upto_seq = base.map_or(0, |c| c.upto_seq);
+    for entry in entries {
+        upto_seq = upto_seq.max(entry.seq + 1);
+        match &entry.event {
+            DecisionEvent::Admit {
+                group,
+                app_index,
+                required_throughput,
+                outcome: JournalOutcome::Admitted { resident, .. },
+            } => {
+                residents.insert(
+                    *resident,
+                    CheckpointResident {
+                        resident: *resident,
+                        group: *group,
+                        app_index: *app_index,
+                        required_throughput: *required_throughput,
+                        admitted_seq: entry.seq,
+                    },
+                );
+                next_resident = next_resident.max(resident + 1);
+            }
+            DecisionEvent::Admit { .. } => {}
+            DecisionEvent::Release { resident } => {
+                residents.remove(resident);
+            }
+            DecisionEvent::Rebalance {
+                resident, to_group, ..
+            } => {
+                if let Some(r) = residents.get_mut(resident) {
+                    r.group = *to_group;
+                }
+            }
+        }
+    }
+    FleetCheckpoint::new(upto_seq, next_resident, residents.into_values().collect())
 }
 
 /// Human-readable first difference between two headers that refused to
@@ -696,6 +1340,9 @@ impl fmt::Display for Divergence {
 /// Result of replaying a journal against a fresh fleet.
 #[derive(Debug)]
 pub struct ReplayReport {
+    /// Residents restored from the journal's base snapshot checkpoint
+    /// before any entry was replayed (0 for an uncheckpointed journal).
+    pub restored: usize,
     /// Decisions replayed.
     pub events: usize,
     /// Decisions whose outcome matched the recording exactly.
@@ -720,6 +1367,13 @@ impl ReplayReport {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        if self.restored > 0 {
+            let _ = writeln!(
+                out,
+                "restored {} residents from snapshot checkpoint",
+                self.restored
+            );
+        }
         let _ = writeln!(
             out,
             "replayed {} decisions: {} matched, {} diverged, {} residents at end",
@@ -782,12 +1436,24 @@ impl<'a> JournalReplayer<'a> {
         // recording's ids, so all bookkeeping goes through this map.
         let mut live: HashMap<u64, u64> = HashMap::new();
         let mut report = ReplayReport {
+            restored: 0,
             events: 0,
             matches: 0,
             divergences: Vec::new(),
             outcome_log: Vec::new(),
             residents_at_end: 0,
         };
+
+        // A checkpointed journal starts from its snapshot's fold point:
+        // restore the folded resident state (forced recorded ids, nothing
+        // journaled) and replay only the tail after it.
+        if let Some(checkpoint) = journal.base_checkpoint() {
+            fleet.restore(&checkpoint)?;
+            for resident in &checkpoint.residents {
+                live.insert(resident.resident, resident.resident);
+            }
+            report.restored = checkpoint.residents.len();
+        }
 
         journal.with_entries(|entries| {
             for entry in entries {
@@ -1140,7 +1806,7 @@ mod tests {
             };
             journal.append(DecisionEvent::Release { resident: i });
         }
-        let split = journal.split_by_client();
+        let split = journal.split_by_client().expect("no checkpoint");
         assert_eq!(split.len(), 3);
         for (client, part) in &split {
             part.verify().expect("split journal verifies");

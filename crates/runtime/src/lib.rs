@@ -93,6 +93,7 @@ pub mod planner;
 pub mod remote;
 pub mod service;
 pub mod telemetry;
+pub mod wal;
 
 pub use cache::{CacheKey, EstimateCache};
 pub use executor::{seeded_requests, BatchExecutor, BatchReport, Request};
@@ -107,8 +108,9 @@ pub use fleet_bench::{
 };
 pub use frontend::{FrontEnd, FrontEndConfig};
 pub use journal::{
-    ClientScope, DecisionEvent, Divergence, GroupShape, Journal, JournalEntry, JournalError,
-    JournalHeader, JournalOutcome, JournalReplayer, ReplayReport, JOURNAL_VERSION,
+    fold_checkpoint, ClientScope, DecisionEvent, Divergence, GroupShape, Journal, JournalEntry,
+    JournalError, JournalHeader, JournalOutcome, JournalPage, JournalReplayer, ReplayReport,
+    JOURNAL_CHECKPOINT_VERSION, JOURNAL_VERSION,
 };
 pub use manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
@@ -129,4 +131,8 @@ pub use service::{
 pub use telemetry::{
     HistogramRecorder, LatencyHistogram, OpHistogram, TelemetrySnapshot, TraceEvent, TraceKind,
     TraceRecorder, TraceStats, Traced,
+};
+pub use wal::{
+    CheckpointResident, FleetCheckpoint, FsyncPolicy, Manifest, SegmentMeta, SnapshotMeta,
+    WalConfig, WalRecovery, WalStats, MANIFEST_FILE, WAL_VERSION,
 };

@@ -72,6 +72,7 @@
 use crate::fleet::{FleetConfig, FleetError, FleetManager, GroupConfig, RoutingPolicy};
 use crate::journal::{DecisionEvent, GroupShape, Journal, JournalHeader, JournalOutcome};
 use crate::service::{AdmissionDecision, AdmissionRequest, AdmissionService, ServiceError};
+use crate::wal::FleetCheckpoint;
 use platform::SystemSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -496,16 +497,19 @@ impl<'a> PlanRun<'a> {
     /// be *decided* (rejections and saturations are decisions, not
     /// errors).
     pub fn execute(&self) -> Result<PlanReport, PlanError> {
+        let checkpoint = self.journal.base_checkpoint();
         self.journal
-            .with_entries(|entries| self.execute_over(entries))
+            .with_entries(|entries| self.execute_over(checkpoint.as_ref(), entries))
     }
 
-    /// [`execute`](Self::execute) over an already-snapshotted entry slice.
-    /// [`PlanSweep`] snapshots once and shares the slice across its
-    /// workers — `execute` would hold the journal's entry lock for the
-    /// whole replay, serializing concurrent runs over the same journal.
+    /// [`execute`](Self::execute) over an already-snapshotted checkpoint
+    /// and entry slice. [`PlanSweep`] snapshots once and shares the slice
+    /// across its workers — `execute` would hold the journal's entry lock
+    /// for the whole replay, serializing concurrent runs over the same
+    /// journal.
     fn execute_over(
         &self,
+        checkpoint: Option<&FleetCheckpoint>,
         entries: &[crate::journal::JournalEntry],
     ) -> Result<PlanReport, PlanError> {
         let config = self.shape.to_config()?;
@@ -537,10 +541,41 @@ impl<'a> PlanRun<'a> {
             rebalances_applied: 0,
             rebalances_failed: 0,
             rebalances_skipped: 0,
+            restored: 0,
             groups: Vec::new(),
             residents_at_end: 0,
         };
         let mut usage = UsageTracker::new(&fleet);
+
+        // Journals compacted into a snapshot checkpoint carry the fleet's
+        // resident state instead of the admissions that built it: seed the
+        // hypothetical fleet from the snapshot before replaying the tail.
+        // A resident the hypothetical shape cannot seat is a regression of
+        // traffic the recording was serving — an AdmittedNowRejected flip
+        // anchored at its recorded admission seq.
+        if let Some(checkpoint) = checkpoint {
+            let mut residents: Vec<_> = checkpoint.residents.iter().collect();
+            residents.sort_by_key(|r| r.admitted_seq);
+            for r in residents {
+                report.recorded.admitted += 1;
+                match fleet.restore_resident(r) {
+                    Ok(()) => {
+                        live.insert(r.resident, r.resident);
+                        report.restored += 1;
+                        report.hypothetical.admitted += 1;
+                    }
+                    Err(e) => {
+                        report.hypothetical.rejected += 1;
+                        report.flips.push(Flip {
+                            seq: r.admitted_seq,
+                            kind: FlipKind::AdmittedNowRejected,
+                            recorded: format!("admitted on group {}", r.group),
+                            hypothetical: format!("snapshot restore failed: {e}"),
+                        });
+                    }
+                }
+            }
+        }
 
         {
             for entry in entries {
@@ -828,6 +863,9 @@ pub struct PlanReport {
     /// Recorded rebalances skipped (resident flipped away, target group
     /// absent, or resident already on the target).
     pub rebalances_skipped: u64,
+    /// Residents seeded from the journal's snapshot checkpoint before the
+    /// entry replay (zero for uncompacted journals).
+    pub restored: u64,
     /// Per-group load profile of the counterfactual run.
     pub groups: Vec<GroupUsage>,
     /// Residents still live when the journal ended.
@@ -893,6 +931,13 @@ impl PlanReport {
             "outcomes: recorded {} -> hypothetical {}",
             self.recorded, self.hypothetical
         );
+        if self.restored > 0 {
+            let _ = writeln!(
+                out,
+                "restored {} residents from the snapshot checkpoint before replay",
+                self.restored
+            );
+        }
         let _ = writeln!(
             out,
             "releases: {} applied, {} skipped; rebalances: {} applied, {} failed, \
@@ -1074,6 +1119,7 @@ impl<'a> PlanSweep<'a> {
         // One shared snapshot for the whole sweep: replaying through
         // `PlanRun::execute` would hold the journal's entry lock per run
         // and serialize the workers against each other.
+        let checkpoint = self.journal.base_checkpoint();
         let entries = self.journal.entries();
         let next = Mutex::new(0usize);
         let results: Mutex<Vec<Option<Result<PlanReport, PlanError>>>> =
@@ -1093,7 +1139,7 @@ impl<'a> PlanSweep<'a> {
                     };
                     let result = PlanRun::new(self.spec, self.journal, &self.shapes[index])
                         .with_routing(self.routing)
-                        .execute_over(&entries);
+                        .execute_over(checkpoint.as_ref(), &entries);
                     crate::cache::lock(&results)[index] = Some(result);
                 });
             }

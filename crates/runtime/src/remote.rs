@@ -74,7 +74,7 @@
 //! ```
 
 use crate::cache::lock;
-use crate::journal::{Journal, JournalError};
+use crate::journal::{Journal, JournalError, JournalPage};
 use crate::service::{
     AdmissionDecision, AdmissionRequest, AdmissionService, Completer, Completion, LayerMetrics,
     ServiceError, ServiceSnapshot,
@@ -97,8 +97,10 @@ use std::time::{Duration, Instant};
 
 /// Current remote-protocol version; both ends must agree exactly.
 /// Version 2 added the `Telemetry` and `Trace` operations and per-layer
-/// operation-rate rows inside snapshots.
-pub const REMOTE_PROTOCOL_VERSION: u64 = 2;
+/// operation-rate rows inside snapshots. Version 3 added the paged
+/// `JournalPage` operation so WAL-backed journals stream in bounded
+/// frames instead of one giant render.
+pub const REMOTE_PROTOCOL_VERSION: u64 = 3;
 
 /// Handshake magic identifying this protocol on the wire.
 const MAGIC: &str = "probcon-remote";
@@ -496,8 +498,18 @@ pub enum WireOp {
         /// Estimation method.
         method: Method,
     },
-    /// Fetch the server-side decision journal, rendered as JSON lines.
+    /// Fetch the server-side decision journal, rendered as JSON lines in
+    /// one frame. Prefer [`WireOp::JournalPage`] for WAL-backed journals —
+    /// a single frame caps out at the transport's maximum frame size.
     Journal,
+    /// Fetch one bounded page of the server-side decision journal,
+    /// starting at the given entry sequence number (page 0 carries the
+    /// header/checkpoint prologue). The response's
+    /// [`next_seq`](crate::JournalPage::next_seq) chains to the next page.
+    JournalPage {
+        /// First entry sequence number of the requested page.
+        from_seq: u64,
+    },
     /// Collect the served stack's live telemetry (per-layer histograms,
     /// trace counters, server frame latency).
     Telemetry,
@@ -534,6 +546,9 @@ pub enum WireBody {
     /// The server-side journal, rendered as JSON lines
     /// ([`Journal::render`]).
     Journal(String),
+    /// One bounded page of the server-side journal
+    /// ([`Journal::render_page`]).
+    JournalPage(JournalPage),
     /// The served stack's live telemetry.
     Telemetry(TelemetrySnapshot),
     /// Trace events from the served stack's flight recorder.
@@ -601,13 +616,15 @@ impl WireFault {
 // Server.
 // ---------------------------------------------------------------------------
 
-/// Producer of the server-side journal text served to
-/// [`WireOp::Journal`] requests (`None` when the served stack records no
-/// journal). The closure bridges the gap between the type-erased
-/// `Arc<dyn AdmissionService>` and the concrete stack that owns the
-/// [`Journal`] — capture the stack and call
-/// `journal().render()`.
-pub type JournalSource = Box<dyn Fn() -> Option<String> + Send + Sync>;
+/// Producer of bounded journal pages served to [`WireOp::JournalPage`]
+/// requests (`None` when the served stack records no journal, or the page
+/// cannot be read). Called with the first entry sequence number wanted;
+/// page 0 carries the header/checkpoint prologue. The closure bridges the
+/// gap between the type-erased `Arc<dyn AdmissionService>` and the
+/// concrete stack that owns the [`Journal`] — capture the stack and call
+/// `journal().render_page(from_seq, n).ok()`. Legacy [`WireOp::Journal`]
+/// requests are served by chaining pages server-side.
+pub type JournalSource = Box<dyn Fn(u64) -> Option<JournalPage> + Send + Sync>;
 
 /// Tuning knobs of a [`RemoteServer`].
 #[derive(Debug, Clone)]
@@ -837,10 +854,51 @@ impl ServerShared {
                     Err(e) => WireBody::Error(WireFault::from(&e)),
                 }
             }
-            WireOp::Journal => match self.journal_source.as_ref().and_then(|source| source()) {
-                Some(text) => WireBody::Journal(text),
+            WireOp::Journal => match self.journal_source.as_ref() {
+                // The one-frame fetch is served by chaining pages: the
+                // source is bounded per call, the concatenation is the
+                // exact `Journal::render` text.
+                Some(source) => {
+                    let mut text = String::new();
+                    let mut from = 0u64;
+                    loop {
+                        match source(from) {
+                            Some(page) => {
+                                text.push_str(&page.text);
+                                match page.next_seq {
+                                    // A page that does not advance would
+                                    // loop forever; treat it as the end.
+                                    Some(next) if next > from => from = next,
+                                    Some(_) | None => break WireBody::Journal(text),
+                                }
+                            }
+                            None if text.is_empty() => {
+                                break WireBody::Error(WireFault::Config(
+                                    "server records no journal".to_string(),
+                                ))
+                            }
+                            None => {
+                                break WireBody::Error(WireFault::Config(
+                                    "journal page read failed mid-stream".to_string(),
+                                ))
+                            }
+                        }
+                    }
+                }
                 None => WireBody::Error(WireFault::Config("server records no journal".to_string())),
             },
+            WireOp::JournalPage { from_seq } => {
+                match self
+                    .journal_source
+                    .as_ref()
+                    .and_then(|source| source(from_seq))
+                {
+                    Some(page) => WireBody::JournalPage(page),
+                    None => {
+                        WireBody::Error(WireFault::Config("server records no journal".to_string()))
+                    }
+                }
+            }
             WireOp::Telemetry => {
                 let mut telemetry = self.service.telemetry();
                 telemetry.service.layers.push(self.server_layer());
@@ -1093,6 +1151,7 @@ enum PendingOp {
     Snapshot(Completer<ServiceSnapshot>),
     Estimate(Completer<Arc<Estimate>>),
     Journal(Completer<String>),
+    JournalPage(Completer<JournalPage>),
     Telemetry(Completer<TelemetrySnapshot>),
     Trace(Completer<Vec<TraceEvent>>),
 }
@@ -1105,6 +1164,7 @@ impl PendingOp {
             PendingOp::Snapshot(c) => c.complete(Err(error)),
             PendingOp::Estimate(c) => c.complete(Err(error)),
             PendingOp::Journal(c) => c.complete(Err(error)),
+            PendingOp::JournalPage(c) => c.complete(Err(error)),
             PendingOp::Telemetry(c) => c.complete(Err(error)),
             PendingOp::Trace(c) => c.complete(Err(error)),
         }
@@ -1125,6 +1185,7 @@ impl PendingOp {
                 c.complete(Ok(Arc::new(estimate)));
             }
             (PendingOp::Journal(c), WireBody::Journal(text)) => c.complete(Ok(text)),
+            (PendingOp::JournalPage(c), WireBody::JournalPage(page)) => c.complete(Ok(page)),
             (PendingOp::Telemetry(c), WireBody::Telemetry(telemetry)) => {
                 c.complete(Ok(telemetry));
             }
@@ -1507,12 +1568,46 @@ impl RemoteClient {
     /// [`ServiceError::Config`] when the server records no journal or the
     /// fetched text fails checksum verification.
     pub fn fetch_journal(&self) -> Result<Journal, ServiceError> {
+        // Page through the journal in bounded frames: a WAL-backed journal
+        // can outgrow a single frame's MAX_FRAME budget, and the server
+        // never has to materialize the whole render either.
+        let mut text = String::new();
+        let mut from = 0u64;
+        loop {
+            let (completer, completion) = Completion::pending();
+            self.shared.send(
+                WireOp::JournalPage { from_seq: from },
+                PendingOp::JournalPage(completer),
+            );
+            let page = completion.wait()?;
+            text.push_str(&page.text);
+            match page.next_seq {
+                // A page that does not advance would loop forever; treat
+                // it as the end and let parsing judge the result.
+                Some(next) if next > from => from = next,
+                Some(_) | None => break,
+            }
+        }
+        Journal::parse(&text)
+            .map_err(|e: JournalError| ServiceError::Config(format!("fetched journal: {e}")))
+    }
+
+    /// Fetches the server-side journal rendered as one JSON-lines string,
+    /// in a single response frame ([`WireOp::Journal`]). Suited to saving
+    /// the text verbatim; [`fetch_journal`](Self::fetch_journal) pages and
+    /// parses instead, and is the right call for large WAL-backed
+    /// journals — a single frame caps out at the transport's maximum
+    /// frame size.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Transport`] on connection failure,
+    /// [`ServiceError::Config`] when the server records no journal.
+    pub fn fetch_journal_text(&self) -> Result<String, ServiceError> {
         let (completer, completion) = Completion::pending();
         self.shared
             .send(WireOp::Journal, PendingOp::Journal(completer));
-        let text = completion.wait()?;
-        Journal::parse(&text)
-            .map_err(|e: JournalError| ServiceError::Config(format!("fetched journal: {e}")))
+        completion.wait()
     }
 
     /// Closes the connection: the write half is shut down, the reader
@@ -1789,7 +1884,11 @@ mod tests {
         let server = RemoteServer::bind_with(
             &addr,
             stack,
-            Some(Box::new(move || Some(journal_stack.journal().render()))),
+            // Page size 1 forces the client's fetch loop through one
+            // page per entry — the paged and one-shot renders must agree.
+            Some(Box::new(move |from| {
+                journal_stack.journal().render_page(from, 1).ok()
+            })),
             RemoteServerConfig::default(),
         )
         .unwrap();
@@ -1801,6 +1900,11 @@ mod tests {
         let journal = client.fetch_journal().unwrap();
         assert_eq!(journal.len(), 2);
         journal.verify().unwrap();
+
+        // The legacy one-shot fetch chains the same pages server-side:
+        // its text is byte-identical to the paged client's concatenation.
+        let text = client.fetch_journal_text().unwrap();
+        assert_eq!(text, journal.render());
 
         client.close();
         server.shutdown();
@@ -1927,7 +2031,14 @@ mod tests {
         );
         fleet.journal().verify().expect("stamped journal verifies");
         // The journal splits into one valid journal per client.
-        assert_eq!(fleet.journal().split_by_client().len(), 3);
+        assert_eq!(
+            fleet
+                .journal()
+                .split_by_client()
+                .expect("no checkpoint")
+                .len(),
+            3
+        );
     }
 
     #[test]

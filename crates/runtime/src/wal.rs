@@ -1,0 +1,1152 @@
+//! Segmented, snapshot-checkpointed write-ahead log — the durable backing
+//! store behind [`Journal`](crate::Journal).
+//!
+//! The in-memory journal of PR 2–6 kept every entry in a `Vec` forever and
+//! persisted only by rewriting one whole file at shutdown: unbounded RSS
+//! under sustained traffic, and a torn file (crash mid-write) lost the
+//! entire history. This module replaces that store with a real WAL:
+//!
+//! * **Rotated segments** — entries stream to an append-only active
+//!   segment file (`segment-<first_seq>.jsonl`, JSON lines, one
+//!   [`JournalEntry`] per line); when it reaches
+//!   [`segment_max_entries`](WalConfig::segment_max_entries) it is sealed
+//!   (fsynced, marked immutable) and a fresh segment opens. Only a bounded
+//!   in-memory tail of recent entries is retained, so journal RSS is flat
+//!   at any traffic volume.
+//! * **Checksummed manifest** — `MANIFEST.json` names every segment, its
+//!   first sequence number and entry count, plus the newest snapshot. The
+//!   manifest carries an FNV-1a checksum over its own canonical JSON and
+//!   is always replaced atomically (temp file, `fsync`, rename): a torn
+//!   manifest is *detected* ([`JournalError::TornManifest`]), never
+//!   silently half-read.
+//! * **Snapshot checkpoints** — a [`FleetCheckpoint`] folds the fleet's
+//!   resident state at a sequence number (`snapshot-<upto_seq>.json`).
+//!   Replay and planning restore the checkpoint and walk only the tail
+//!   after it instead of re-deciding from seq 0, and sealed segments fully
+//!   covered by the snapshot are garbage collected.
+//! * **Torn-tail recovery** — on open, the active segment is scanned line
+//!   by line; the first torn, corrupt or out-of-sequence line truncates
+//!   the file back to the last valid entry ([`WalRecovery`] reports what
+//!   was cut). Sealed segments were fsynced at seal time and are verified
+//!   strictly: corruption there is an error, not a truncation.
+//!
+//! Durability is tunable per deployment through [`FsyncPolicy`]: `always`
+//! (fsync every append), `every-N` (group commit), or `on-rotate` (fsync
+//! only at segment seal — fastest, widest loss window).
+
+use crate::journal::{checksum_of, fnv1a64, JournalEntry, JournalError, JournalHeader};
+use sdf::Rational;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Current WAL directory-format version (stored in the manifest).
+pub const WAL_VERSION: u64 = 1;
+
+/// File name of the WAL manifest inside a journal directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// When appended entries are fsynced to the active segment.
+///
+/// The policy bounds how many acknowledged decisions a power loss can tear
+/// off the tail (torn lines are truncated at recovery): `Always` loses at
+/// most the entry being written, `EveryN(n)` at most `n`, `OnRotate` at
+/// most one segment's worth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append — maximum durability, slowest.
+    Always,
+    /// Group commit: `fsync` once every `n` appends (and at rotation).
+    EveryN(u64),
+    /// `fsync` only when a segment is sealed — fastest, widest loss window.
+    OnRotate,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(256)
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::OnRotate => write!(f, "on-rotate"),
+        }
+    }
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "on-rotate" => Ok(FsyncPolicy::OnRotate),
+            other => match other.strip_prefix("every-") {
+                Some(n) => n
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .map(FsyncPolicy::EveryN)
+                    .ok_or_else(|| format!("bad fsync policy '{other}' (want every-N, N > 0)")),
+                None => Err(format!(
+                    "unknown fsync policy '{other}' (always | every-N | on-rotate)"
+                )),
+            },
+        }
+    }
+}
+
+/// Tuning knobs of a WAL-backed journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Entries per segment before rotation (≥ 1).
+    pub segment_max_entries: u64,
+    /// When appends are fsynced.
+    pub fsync: FsyncPolicy,
+    /// Recent entries kept in memory (the bounded tail served by
+    /// [`Journal::recent`](crate::Journal::recent)).
+    pub tail_entries: usize,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_max_entries: 8192,
+            fsync: FsyncPolicy::default(),
+            tail_entries: 1024,
+        }
+    }
+}
+
+/// One segment file as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// File name inside the WAL directory.
+    pub file: String,
+    /// Sequence number of the segment's first entry.
+    pub first_seq: u64,
+    /// Entry count — authoritative for sealed segments only (the active
+    /// segment's count is discovered by scanning at open).
+    pub entries: u64,
+    /// `true` once the segment is immutable (fsynced and rotated away).
+    pub sealed: bool,
+}
+
+/// The newest snapshot checkpoint, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// File name inside the WAL directory.
+    pub file: String,
+    /// Sequence number the snapshot folds the log up to (exclusive).
+    pub upto_seq: u64,
+}
+
+/// The WAL directory's root of trust: header, segment list and snapshot
+/// pointer, protected by an FNV-1a checksum over its canonical JSON and
+/// replaced only by atomic rename.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// WAL directory-format version ([`WAL_VERSION`]).
+    pub version: u64,
+    /// The journal header (workload + fleet shape), exactly as a
+    /// single-file journal's first line records it.
+    pub header: JournalHeader,
+    /// Every live segment, oldest first; the last one is active.
+    pub segments: Vec<SegmentMeta>,
+    /// The newest snapshot checkpoint, if one was taken.
+    pub snapshot: Option<SnapshotMeta>,
+    /// FNV-1a over this manifest's canonical JSON with `checksum` zeroed.
+    pub checksum: u64,
+}
+
+impl Manifest {
+    fn computed_checksum(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.checksum = 0;
+        fnv1a64(
+            serde_json::to_string(&canonical)
+                .unwrap_or_default()
+                .as_bytes(),
+        )
+    }
+
+    /// `true` when the stored checksum matches the contents.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.computed_checksum()
+    }
+}
+
+/// One live resident as folded into a [`FleetCheckpoint`]: everything a
+/// fleet needs to re-admit it exactly (same group, same application
+/// instance, same contract, same fleet-wide id).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointResident {
+    /// Fleet-wide resident id (restored verbatim, so journaled releases
+    /// after a restart keep citing the recorded id).
+    pub resident: u64,
+    /// Group the resident currently lives on (rebalancing included).
+    pub group: u64,
+    /// Index of the application in the workload spec.
+    pub app_index: u64,
+    /// Required minimum throughput, if the admission carried a contract.
+    pub required_throughput: Option<Rational>,
+    /// Sequence number of the admission that created the resident —
+    /// restores re-admit in this order, so every intermediate mix is a
+    /// subset of a mix the recording actually validated.
+    pub admitted_seq: u64,
+}
+
+/// A snapshot checkpoint: the fleet's live-resident state with every
+/// decision before `upto_seq` already folded in.
+///
+/// Replaying a checkpointed journal restores this state first and then
+/// walks only the entries at `upto_seq` and later — O(tail) start-up
+/// instead of O(lifetime) — and the WAL garbage-collects sealed segments
+/// the snapshot fully covers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetCheckpoint {
+    /// First sequence number **not** folded into the snapshot (the seq the
+    /// post-checkpoint tail starts at).
+    pub upto_seq: u64,
+    /// The fleet's next unassigned resident id at the fold point.
+    pub next_resident: u64,
+    /// Every live resident at the fold point, ordered by id.
+    pub residents: Vec<CheckpointResident>,
+    /// FNV-1a over this checkpoint's canonical JSON with `checksum`
+    /// zeroed.
+    pub checksum: u64,
+}
+
+impl FleetCheckpoint {
+    /// Checkpoint over the given resident set, checksum stamped.
+    pub fn new(
+        upto_seq: u64,
+        next_resident: u64,
+        mut residents: Vec<CheckpointResident>,
+    ) -> FleetCheckpoint {
+        residents.sort_by_key(|r| r.resident);
+        let mut checkpoint = FleetCheckpoint {
+            upto_seq,
+            next_resident,
+            residents,
+            checksum: 0,
+        };
+        checkpoint.checksum = checkpoint.computed_checksum();
+        checkpoint
+    }
+
+    fn computed_checksum(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.checksum = 0;
+        fnv1a64(
+            serde_json::to_string(&canonical)
+                .unwrap_or_default()
+                .as_bytes(),
+        )
+    }
+
+    /// `true` when the stored checksum matches the contents.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.computed_checksum()
+    }
+}
+
+/// What opening an existing WAL directory had to repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Valid entries found in the active segment.
+    pub recovered_entries: u64,
+    /// Bytes truncated off the active segment's torn tail (0 on a clean
+    /// shutdown).
+    pub truncated_bytes: u64,
+}
+
+/// Point-in-time shape of a WAL directory, for display and compaction
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Live segment files (including the active one).
+    pub segments: usize,
+    /// Fold point of the newest snapshot, if any.
+    pub snapshot_upto: Option<u64>,
+    /// Total bytes of the manifest, segments and snapshot on disk.
+    pub disk_bytes: u64,
+}
+
+fn segment_file_name(first_seq: u64) -> String {
+    format!("segment-{first_seq:020}.jsonl")
+}
+
+fn snapshot_file_name(upto_seq: u64) -> String {
+    format!("snapshot-{upto_seq:020}.json")
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> JournalError {
+    JournalError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `sync_all`, rename, best-effort directory fsync. A crash leaves either
+/// the old file or the new one, never a torn mix.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), JournalError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
+        file.write_all(bytes)
+            .map_err(|e| io_err("write", &tmp, &e))?;
+        file.sync_all().map_err(|e| io_err("sync", &tmp, &e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, &e))?;
+        if let Some(dir) = path.parent() {
+            // Make the rename itself durable; failures here only widen the
+            // crash window, they never corrupt.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// A scan of one segment file: entries counted and checksum-verified
+/// line by line, keeping only a bounded tail in memory.
+struct SegmentScan {
+    entries: u64,
+    valid_bytes: u64,
+    tail: VecDeque<JournalEntry>,
+    /// The error that stopped the scan, if any (`valid_bytes` covers
+    /// everything before it).
+    error: Option<JournalError>,
+}
+
+fn scan_segment(
+    path: &Path,
+    first_seq: u64,
+    keep_tail: usize,
+) -> Result<SegmentScan, JournalError> {
+    let file = File::open(path).map_err(|e| io_err("open", path, &e))?;
+    let mut reader = BufReader::new(file);
+    let mut scan = SegmentScan {
+        entries: 0,
+        valid_bytes: 0,
+        tail: VecDeque::new(),
+        error: None,
+    };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e) => return Err(io_err("read", path, &e)),
+        };
+        if read == 0 {
+            return Ok(scan);
+        }
+        // A line without its newline is a torn write in progress.
+        if !line.ends_with('\n') {
+            scan.error = Some(JournalError::Parse("torn trailing line".to_string()));
+            return Ok(scan);
+        }
+        let entry: JournalEntry = match serde_json::from_str(line.trim_end()) {
+            Ok(entry) => entry,
+            Err(e) => {
+                scan.error = Some(JournalError::Parse(e.to_string()));
+                return Ok(scan);
+            }
+        };
+        let expected = first_seq + scan.entries;
+        if entry.seq != expected {
+            scan.error = Some(JournalError::SequenceGap {
+                expected,
+                found: entry.seq,
+            });
+            return Ok(scan);
+        }
+        if entry.checksum
+            != checksum_of(
+                entry.seq,
+                &entry.event,
+                entry.client.as_deref(),
+                entry.origin_seq,
+            )
+        {
+            scan.error = Some(JournalError::Checksum { seq: entry.seq });
+            return Ok(scan);
+        }
+        scan.entries += 1;
+        scan.valid_bytes += read as u64;
+        if keep_tail > 0 {
+            scan.tail.push_back(entry);
+            while scan.tail.len() > keep_tail {
+                scan.tail.pop_front();
+            }
+        }
+    }
+}
+
+/// The WAL store proper: manifest + segment writer + bounded tail. Owned
+/// by a [`Journal`](crate::Journal) behind its store lock.
+#[derive(Debug)]
+pub(crate) struct WalStore {
+    dir: PathBuf,
+    config: WalConfig,
+    manifest: Manifest,
+    checkpoint: Option<FleetCheckpoint>,
+    writer: BufWriter<File>,
+    active_entries: u64,
+    next_seq: u64,
+    unsynced: u64,
+    tail: VecDeque<JournalEntry>,
+    io_errors: u64,
+}
+
+impl WalStore {
+    /// Creates a fresh WAL directory. Fails if `dir` already holds one.
+    pub(crate) fn create(
+        dir: &Path,
+        header: JournalHeader,
+        config: WalConfig,
+    ) -> Result<WalStore, JournalError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, &e))?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(JournalError::Io(format!(
+                "{} already holds a WAL (manifest exists)",
+                dir.display()
+            )));
+        }
+        let segment = SegmentMeta {
+            file: segment_file_name(0),
+            first_seq: 0,
+            entries: 0,
+            sealed: false,
+        };
+        let segment_path = dir.join(&segment.file);
+        let file = File::create(&segment_path).map_err(|e| io_err("create", &segment_path, &e))?;
+        let mut store = WalStore {
+            dir: dir.to_path_buf(),
+            config: normalize(config),
+            manifest: Manifest {
+                version: WAL_VERSION,
+                header,
+                segments: vec![segment],
+                snapshot: None,
+                checksum: 0,
+            },
+            checkpoint: None,
+            writer: BufWriter::new(file),
+            active_entries: 0,
+            next_seq: 0,
+            unsynced: 0,
+            tail: VecDeque::new(),
+            io_errors: 0,
+        };
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    /// Opens (and, if needed, repairs) an existing WAL directory.
+    pub(crate) fn open(
+        dir: &Path,
+        config: WalConfig,
+    ) -> Result<(WalStore, WalRecovery), JournalError> {
+        let config = normalize(config);
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| io_err("read", &manifest_path, &e))?;
+        let manifest: Manifest = serde_json::from_str(&text)
+            .map_err(|e| JournalError::TornManifest(format!("manifest does not parse: {e}")))?;
+        if !manifest.verify() {
+            return Err(JournalError::TornManifest(
+                "manifest checksum mismatch".to_string(),
+            ));
+        }
+        if manifest.version != WAL_VERSION {
+            return Err(JournalError::UnsupportedVersion(manifest.version));
+        }
+        // A stray temp file is a crashed manifest replacement; the rename
+        // never happened, so the durable manifest is authoritative.
+        let _ = std::fs::remove_file(dir.join(format!("{MANIFEST_FILE}.tmp")));
+
+        let checkpoint = match &manifest.snapshot {
+            Some(meta) => {
+                let path = dir.join(&meta.file);
+                let text = std::fs::read_to_string(&path).map_err(|e| io_err("read", &path, &e))?;
+                let checkpoint: FleetCheckpoint = serde_json::from_str(&text).map_err(|e| {
+                    JournalError::CorruptCheckpoint(format!("snapshot does not parse: {e}"))
+                })?;
+                if !checkpoint.verify() {
+                    return Err(JournalError::CorruptCheckpoint(
+                        "snapshot checksum mismatch".to_string(),
+                    ));
+                }
+                if checkpoint.upto_seq != meta.upto_seq {
+                    return Err(JournalError::CorruptCheckpoint(format!(
+                        "snapshot folds to {} but manifest says {}",
+                        checkpoint.upto_seq, meta.upto_seq
+                    )));
+                }
+                Some(checkpoint)
+            }
+            None => None,
+        };
+
+        // Validate the segment chain: contiguous, all-but-last sealed, and
+        // history complete back to seq 0 or the snapshot's fold point.
+        let Some((active_meta, sealed)) = manifest.segments.split_last() else {
+            return Err(JournalError::TornManifest(
+                "manifest lists no segments".to_string(),
+            ));
+        };
+        if active_meta.sealed {
+            return Err(JournalError::TornManifest(
+                "manifest's last segment is sealed (no active segment)".to_string(),
+            ));
+        }
+        let floor = checkpoint.as_ref().map_or(0, |c| c.upto_seq);
+        let first = manifest.segments[0].first_seq;
+        if first > floor {
+            return Err(JournalError::TornManifest(format!(
+                "history starts at seq {first} but the snapshot only covers up to {floor}"
+            )));
+        }
+        let mut expected = first;
+        for seg in sealed {
+            if !seg.sealed {
+                return Err(JournalError::TornManifest(format!(
+                    "segment {} is not sealed but is not last",
+                    seg.file
+                )));
+            }
+            if seg.first_seq != expected {
+                return Err(JournalError::TornManifest(format!(
+                    "segment {} starts at seq {} (expected {expected})",
+                    seg.file, seg.first_seq
+                )));
+            }
+            expected += seg.entries;
+        }
+        if active_meta.first_seq != expected {
+            return Err(JournalError::TornManifest(format!(
+                "active segment {} starts at seq {} (expected {expected})",
+                active_meta.file, active_meta.first_seq
+            )));
+        }
+
+        // Sealed segments were fsynced at seal time: verify them strictly.
+        for seg in sealed {
+            let path = dir.join(&seg.file);
+            let scan = scan_segment(&path, seg.first_seq, 0)?;
+            if let Some(error) = scan.error {
+                return Err(error);
+            }
+            if scan.entries != seg.entries {
+                return Err(JournalError::TornManifest(format!(
+                    "sealed segment {} holds {} entries (manifest says {})",
+                    seg.file, scan.entries, seg.entries
+                )));
+            }
+        }
+
+        // The active segment may be torn: recover to the last valid entry.
+        let active_path = dir.join(&active_meta.file);
+        if !active_path.exists() {
+            // Crash between sealing the old segment and creating the new
+            // file: the manifest is ahead of the filesystem, harmlessly.
+            File::create(&active_path).map_err(|e| io_err("create", &active_path, &e))?;
+        }
+        let scan = scan_segment(&active_path, active_meta.first_seq, config.tail_entries)?;
+        let file_len = std::fs::metadata(&active_path)
+            .map_err(|e| io_err("stat", &active_path, &e))?
+            .len();
+        let mut recovery = WalRecovery {
+            recovered_entries: scan.entries,
+            truncated_bytes: 0,
+        };
+        if scan.error.is_some() || file_len > scan.valid_bytes {
+            recovery.truncated_bytes = file_len.saturating_sub(scan.valid_bytes);
+            let file = OpenOptions::new()
+                .write(true)
+                .open(&active_path)
+                .map_err(|e| io_err("open", &active_path, &e))?;
+            file.set_len(scan.valid_bytes)
+                .map_err(|e| io_err("truncate", &active_path, &e))?;
+            file.sync_all()
+                .map_err(|e| io_err("sync", &active_path, &e))?;
+        }
+        let next_seq = active_meta.first_seq + scan.entries;
+        let writer = OpenOptions::new()
+            .append(true)
+            .open(&active_path)
+            .map_err(|e| io_err("open", &active_path, &e))?;
+        let store = WalStore {
+            dir: dir.to_path_buf(),
+            config,
+            manifest,
+            checkpoint,
+            writer: BufWriter::new(writer),
+            active_entries: scan.entries,
+            next_seq,
+            unsynced: 0,
+            tail: scan.tail,
+            io_errors: 0,
+        };
+        Ok((store, recovery))
+    }
+
+    pub(crate) fn header(&self) -> &JournalHeader {
+        &self.manifest.header
+    }
+
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// First sequence number of the journal's entry view (the snapshot's
+    /// fold point, or 0 without one).
+    pub(crate) fn base_seq(&self) -> u64 {
+        self.checkpoint.as_ref().map_or(0, |c| c.upto_seq)
+    }
+
+    pub(crate) fn checkpoint(&self) -> Option<&FleetCheckpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    pub(crate) fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    pub(crate) fn recent(&self, n: usize) -> Vec<JournalEntry> {
+        let skip = self.tail.len().saturating_sub(n);
+        self.tail.iter().skip(skip).cloned().collect()
+    }
+
+    pub(crate) fn stats(&self) -> WalStats {
+        let mut disk_bytes = 0;
+        let mut names: Vec<&str> = self
+            .manifest
+            .segments
+            .iter()
+            .map(|s| s.file.as_str())
+            .collect();
+        names.push(MANIFEST_FILE);
+        if let Some(snapshot) = &self.manifest.snapshot {
+            names.push(&snapshot.file);
+        }
+        for name in names {
+            if let Ok(meta) = std::fs::metadata(self.dir.join(name)) {
+                disk_bytes += meta.len();
+            }
+        }
+        WalStats {
+            segments: self.manifest.segments.len(),
+            snapshot_upto: self.manifest.snapshot.as_ref().map(|s| s.upto_seq),
+            disk_bytes,
+        }
+    }
+
+    fn write_manifest(&mut self) -> Result<(), JournalError> {
+        self.manifest.checksum = self.manifest.computed_checksum();
+        let mut bytes = serde_json::to_string(&self.manifest)
+            .map_err(|e| JournalError::Parse(e.to_string()))?
+            .into_bytes();
+        bytes.push(b'\n');
+        atomic_write(&self.dir.join(MANIFEST_FILE), &bytes)
+    }
+
+    /// Appends one pre-stamped entry. I/O failures are absorbed into the
+    /// [`io_errors`](Self::io_errors) counter (the appending fleet cannot
+    /// un-decide a decision); the in-memory tail and sequence stay
+    /// consistent, and recovery truncates any partial line.
+    pub(crate) fn append_entry(&mut self, entry: JournalEntry) {
+        debug_assert_eq!(entry.seq, self.next_seq, "WAL appends are sequential");
+        if self.write_entry(&entry).is_err() {
+            self.io_errors += 1;
+        }
+        self.next_seq += 1;
+        self.tail.push_back(entry);
+        while self.tail.len() > self.config.tail_entries {
+            self.tail.pop_front();
+        }
+        // Rotate only after next_seq advanced: the fresh segment's
+        // first_seq is the sequence number of the next append.
+        if self.active_entries >= self.config.segment_max_entries && self.rotate().is_err() {
+            self.io_errors += 1;
+        }
+    }
+
+    fn write_entry(&mut self, entry: &JournalEntry) -> Result<(), JournalError> {
+        let line = serde_json::to_string(entry).map_err(|e| JournalError::Parse(e.to_string()))?;
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| JournalError::Io(format!("append: {e}")))?;
+        self.active_entries += 1;
+        self.unsynced += 1;
+        match self.config.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::OnRotate => {}
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the active segment.
+    pub(crate) fn sync(&mut self) -> Result<(), JournalError> {
+        self.writer
+            .flush()
+            .map_err(|e| JournalError::Io(format!("flush: {e}")))?;
+        self.writer
+            .get_ref()
+            .sync_all()
+            .map_err(|e| JournalError::Io(format!("sync: {e}")))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Seals the active segment (fsync, mark immutable) and opens a fresh
+    /// one at the current sequence number.
+    fn rotate(&mut self) -> Result<(), JournalError> {
+        self.sync()?;
+        let active = self
+            .manifest
+            .segments
+            .last_mut()
+            .expect("a WAL always has an active segment");
+        active.entries = self.active_entries;
+        active.sealed = true;
+        let next = SegmentMeta {
+            file: segment_file_name(self.next_seq),
+            first_seq: self.next_seq,
+            entries: 0,
+            sealed: false,
+        };
+        let path = self.dir.join(&next.file);
+        self.manifest.segments.push(next);
+        self.write_manifest()?;
+        let file = File::create(&path).map_err(|e| io_err("create", &path, &e))?;
+        self.writer = BufWriter::new(file);
+        self.active_entries = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Installs a snapshot checkpoint: writes the snapshot file, points
+    /// the manifest at it and garbage-collects every sealed segment the
+    /// snapshot fully covers (sealing the active segment first when it is
+    /// covered too).
+    pub(crate) fn install_checkpoint(
+        &mut self,
+        checkpoint: FleetCheckpoint,
+    ) -> Result<(), JournalError> {
+        if !checkpoint.verify() {
+            return Err(JournalError::CorruptCheckpoint(
+                "checksum mismatch".to_string(),
+            ));
+        }
+        if checkpoint.upto_seq > self.next_seq || checkpoint.upto_seq < self.base_seq() {
+            return Err(JournalError::CorruptCheckpoint(format!(
+                "fold point {} outside [{}, {}]",
+                checkpoint.upto_seq,
+                self.base_seq(),
+                self.next_seq
+            )));
+        }
+        // Seal the active segment if the snapshot covers all of it, so it
+        // is collectable below.
+        let active_first = self
+            .manifest
+            .segments
+            .last()
+            .expect("a WAL always has an active segment")
+            .first_seq;
+        if self.active_entries > 0 && active_first + self.active_entries <= checkpoint.upto_seq {
+            self.rotate()?;
+        } else {
+            self.sync()?;
+        }
+        let file = snapshot_file_name(checkpoint.upto_seq);
+        let mut bytes = serde_json::to_string(&checkpoint)
+            .map_err(|e| JournalError::Parse(e.to_string()))?
+            .into_bytes();
+        bytes.push(b'\n');
+        atomic_write(&self.dir.join(&file), &bytes)?;
+
+        let old_snapshot = self.manifest.snapshot.take();
+        self.manifest.snapshot = Some(SnapshotMeta {
+            file: file.clone(),
+            upto_seq: checkpoint.upto_seq,
+        });
+        let (keep, gone): (Vec<SegmentMeta>, Vec<SegmentMeta>) = self
+            .manifest
+            .segments
+            .drain(..)
+            .partition(|s| !(s.sealed && s.first_seq + s.entries <= checkpoint.upto_seq));
+        self.manifest.segments = keep;
+        self.write_manifest()?;
+        // Only after the manifest durably stopped referencing them.
+        for seg in gone {
+            let _ = std::fs::remove_file(self.dir.join(&seg.file));
+        }
+        if let Some(old) = old_snapshot {
+            if old.file != file {
+                let _ = std::fs::remove_file(self.dir.join(&old.file));
+            }
+        }
+        self.tail.retain(|e| e.seq >= checkpoint.upto_seq);
+        self.checkpoint = Some(checkpoint);
+        Ok(())
+    }
+
+    /// Streams every entry with `seq >= from_seq` in order through `f`,
+    /// verifying checksums and sequence contiguity, in O(1) memory. `f`
+    /// returning `false` stops the stream early.
+    pub(crate) fn stream_entries(
+        &mut self,
+        from_seq: u64,
+        mut f: impl FnMut(&JournalEntry) -> bool,
+    ) -> Result<(), JournalError> {
+        // Reads go through the filesystem: make buffered appends visible.
+        self.writer
+            .flush()
+            .map_err(|e| JournalError::Io(format!("flush: {e}")))?;
+        let segments = self.manifest.segments.clone();
+        for (i, seg) in segments.iter().enumerate() {
+            let is_active = i + 1 == segments.len();
+            let end = if is_active {
+                self.next_seq
+            } else {
+                seg.first_seq + seg.entries
+            };
+            if end <= from_seq {
+                continue;
+            }
+            let path = self.dir.join(&seg.file);
+            let file = File::open(&path).map_err(|e| io_err("open", &path, &e))?;
+            let mut reader = BufReader::new(file);
+            let mut line = String::new();
+            let mut expected = seg.first_seq;
+            loop {
+                line.clear();
+                let read = reader
+                    .read_line(&mut line)
+                    .map_err(|e| io_err("read", &path, &e))?;
+                if read == 0 {
+                    break;
+                }
+                let entry: JournalEntry = serde_json::from_str(line.trim_end())
+                    .map_err(|e| JournalError::Parse(e.to_string()))?;
+                if entry.seq != expected {
+                    return Err(JournalError::SequenceGap {
+                        expected,
+                        found: entry.seq,
+                    });
+                }
+                if entry.checksum
+                    != checksum_of(
+                        entry.seq,
+                        &entry.event,
+                        entry.client.as_deref(),
+                        entry.origin_seq,
+                    )
+                {
+                    return Err(JournalError::Checksum { seq: entry.seq });
+                }
+                expected += 1;
+                if entry.seq >= from_seq && !f(&entry) {
+                    return Ok(());
+                }
+            }
+            if !is_active && expected != seg.first_seq + seg.entries {
+                return Err(JournalError::TornManifest(format!(
+                    "sealed segment {} holds {} entries (manifest says {})",
+                    seg.file,
+                    expected - seg.first_seq,
+                    seg.entries
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes every entry from `base_seq` on.
+    pub(crate) fn read_all(&mut self) -> Result<Vec<JournalEntry>, JournalError> {
+        let mut entries = Vec::new();
+        self.stream_entries(self.base_seq(), |entry| {
+            entries.push(entry.clone());
+            true
+        })?;
+        Ok(entries)
+    }
+}
+
+fn normalize(mut config: WalConfig) -> WalConfig {
+    config.segment_max_entries = config.segment_max_entries.max(1);
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{DecisionEvent, Journal};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("probcon-wal-test")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config() -> WalConfig {
+        WalConfig {
+            segment_max_entries: 4,
+            fsync: FsyncPolicy::OnRotate,
+            tail_entries: 8,
+        }
+    }
+
+    fn release(resident: u64) -> DecisionEvent {
+        DecisionEvent::Release { resident }
+    }
+
+    #[test]
+    fn fsync_policy_parse_display_roundtrip() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(64),
+            FsyncPolicy::OnRotate,
+        ] {
+            assert_eq!(policy.to_string().parse::<FsyncPolicy>(), Ok(policy));
+        }
+        assert!("every-0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn appends_rotate_segments_and_reopen_resumes() {
+        let dir = tmp_dir("rotate");
+        let journal = Journal::create_wal(&dir, JournalHeader::default(), small_config()).unwrap();
+        for i in 0..10 {
+            assert_eq!(journal.append(release(i)), i);
+        }
+        assert_eq!(journal.len(), 10);
+        // 4 + 4 + 2: two sealed segments plus the active one.
+        assert_eq!(journal.wal_stats().unwrap().segments, 3);
+        journal.sync().unwrap();
+        drop(journal);
+
+        let (journal, recovery) = Journal::open_wal(&dir, small_config()).unwrap();
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert_eq!(recovery.recovered_entries, 2);
+        assert_eq!(journal.len(), 10);
+        assert_eq!(journal.append(release(10)), 10);
+        let entries = journal.entries();
+        assert_eq!(entries.len(), 11);
+        assert!(entries.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        journal.verify().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_active_tail_is_truncated_to_last_valid_entry() {
+        let dir = tmp_dir("torn-tail");
+        let journal = Journal::create_wal(&dir, JournalHeader::default(), small_config()).unwrap();
+        for i in 0..6 {
+            journal.append(release(i));
+        }
+        journal.sync().unwrap();
+        drop(journal);
+
+        // Simulate a crash mid-append: garbage half-line on the active
+        // segment (which holds seqs 4 and 5).
+        let active = dir.join(segment_file_name(4));
+        let mut file = OpenOptions::new().append(true).open(&active).unwrap();
+        file.write_all(b"{\"seq\":6,\"timestamp_micros\":12,\"chec")
+            .unwrap();
+        drop(file);
+
+        let (journal, recovery) = Journal::open_wal(&dir, small_config()).unwrap();
+        assert_eq!(recovery.recovered_entries, 2);
+        assert!(recovery.truncated_bytes > 0);
+        assert_eq!(journal.len(), 6);
+        // Appends continue where the valid history ended.
+        assert_eq!(journal.append(release(6)), 6);
+        journal.verify().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_mid_active_segment_truncates_the_rest() {
+        let dir = tmp_dir("torn-mid");
+        let journal = Journal::create_wal(&dir, JournalHeader::default(), small_config()).unwrap();
+        for i in 0..3 {
+            journal.append(release(i));
+        }
+        journal.sync().unwrap();
+        drop(journal);
+
+        // Flip a digit inside entry seq 1: its checksum no longer matches,
+        // so recovery keeps only seq 0.
+        let active = dir.join(segment_file_name(0));
+        let text = std::fs::read_to_string(&active).unwrap();
+        let tampered = text.replace("\"resident\":1", "\"resident\":7");
+        assert_ne!(text, tampered);
+        std::fs::write(&active, tampered).unwrap();
+
+        let (journal, recovery) = Journal::open_wal(&dir, small_config()).unwrap();
+        assert_eq!(recovery.recovered_entries, 1);
+        assert_eq!(journal.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifest_rejected_with_typed_error() {
+        let dir = tmp_dir("torn-manifest");
+        let journal = Journal::create_wal(&dir, JournalHeader::default(), small_config()).unwrap();
+        journal.append(release(0));
+        journal.sync().unwrap();
+        drop(journal);
+
+        let manifest = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest).unwrap();
+
+        // Truncated mid-write: not valid JSON.
+        std::fs::write(&manifest, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(
+            Journal::open_wal(&dir, small_config()),
+            Err(JournalError::TornManifest(_))
+        ));
+
+        // Valid JSON, edited contents: checksum catches it.
+        std::fs::write(
+            &manifest,
+            text.replace("\"first_seq\":0", "\"first_seq\":9"),
+        )
+        .unwrap();
+        assert!(matches!(
+            Journal::open_wal(&dir, small_config()),
+            Err(JournalError::TornManifest(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_an_error_not_a_truncation() {
+        let dir = tmp_dir("sealed-corrupt");
+        let journal = Journal::create_wal(&dir, JournalHeader::default(), small_config()).unwrap();
+        for i in 0..6 {
+            journal.append(release(i));
+        }
+        journal.sync().unwrap();
+        drop(journal);
+
+        let sealed = dir.join(segment_file_name(0));
+        let text = std::fs::read_to_string(&sealed).unwrap();
+        std::fs::write(&sealed, text.replace("\"resident\":2", "\"resident\":9")).unwrap();
+        assert!(matches!(
+            Journal::open_wal(&dir, small_config()),
+            Err(JournalError::Checksum { seq: 2 })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_garbage_collects_covered_segments() {
+        let dir = tmp_dir("gc");
+        let journal = Journal::create_wal(&dir, JournalHeader::default(), small_config()).unwrap();
+        for i in 0..10 {
+            journal.append(release(i));
+        }
+        let stats = journal.wal_stats().unwrap();
+        assert_eq!(stats.segments, 3);
+
+        let checkpoint = FleetCheckpoint::new(8, 0, Vec::new());
+        journal.install_checkpoint(checkpoint.clone()).unwrap();
+        let stats = journal.wal_stats().unwrap();
+        // Both fully covered sealed segments are gone; the active one
+        // (seqs 8, 9) survives.
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.snapshot_upto, Some(8));
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.base_checkpoint(), Some(checkpoint));
+
+        // Reopen: the view still starts at the fold point and appends
+        // continue from seq 10.
+        journal.sync().unwrap();
+        drop(journal);
+        let (journal, _) = Journal::open_wal(&dir, small_config()).unwrap();
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.append(release(10)), 10);
+        let entries = journal.entries();
+        assert_eq!(entries.first().map(|e| e.seq), Some(8));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_survives_and_recent_serves_the_bounded_tail() {
+        let dir = tmp_dir("tail");
+        let config = WalConfig {
+            tail_entries: 3,
+            ..small_config()
+        };
+        let journal = Journal::create_wal(&dir, JournalHeader::default(), config).unwrap();
+        for i in 0..10 {
+            journal.append(release(i));
+        }
+        let recent = journal.recent(10);
+        assert_eq!(recent.len(), 3, "tail is bounded");
+        assert_eq!(recent.last().map(|e| e.seq), Some(9));
+        assert_eq!(journal.recent(1).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_checksum_tamper_detected() {
+        let checkpoint = FleetCheckpoint::new(5, 3, Vec::new());
+        assert!(checkpoint.verify());
+        let mut tampered = checkpoint.clone();
+        tampered.next_resident = 4;
+        assert!(!tampered.verify());
+
+        let dir = tmp_dir("snapshot-tamper");
+        let journal = Journal::create_wal(&dir, JournalHeader::default(), small_config()).unwrap();
+        for i in 0..6 {
+            journal.append(release(i));
+        }
+        journal
+            .install_checkpoint(FleetCheckpoint::new(5, 6, Vec::new()))
+            .unwrap();
+        journal.sync().unwrap();
+        drop(journal);
+        let snapshot = dir.join(snapshot_file_name(5));
+        let text = std::fs::read_to_string(&snapshot).unwrap();
+        std::fs::write(
+            &snapshot,
+            text.replace("\"next_resident\":6", "\"next_resident\":7"),
+        )
+        .unwrap();
+        assert!(matches!(
+            Journal::open_wal(&dir, small_config()),
+            Err(JournalError::CorruptCheckpoint(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = RemoteServer::bind_with(
         &addr,
         Arc::clone(&stack) as Arc<dyn AdmissionService>,
-        Some(Box::new(move || Some(journal_stack.journal().render()))),
+        Some(Box::new(move |from_seq| {
+            journal_stack.journal().render_page(from_seq, 4096).ok()
+        })),
         runtime::RemoteServerConfig::default(),
     )?;
     println!("== server listening on {} ==", server.local_addr());

@@ -7,13 +7,13 @@
 //! probcon simulate --seed 2007 --apps 10 --use-case 1023 [--horizon 500000]
 //! probcon serve-bench --threads 4 --requests 1000 [--apps N] [--shards S]
 //! probcon fleet-bench --requests 1000 [--groups 4] [--journal fleet.jsonl]
-//! probcon serve    --listen unix:/tmp/probcon.sock [--once] [--journal fleet.jsonl]
+//! probcon serve    --listen unix:/tmp/probcon.sock [--once] [--journal-dir wal/]
 //! probcon fleet-bench --connect unix:/tmp/probcon.sock --requests 1000 [--client NAME]
 //! probcon top      [--connect unix:/tmp/probcon.sock] [--watch 2] [--prometheus]
 //! probcon trace    [--connect unix:/tmp/probcon.sock] [--tail 20] [--json]
-//! probcon replay   <journal.jsonl>
-//! probcon plan     <journal.jsonl> [--capacity-scale 0.5] [--groups 2..6] [--sweep]
-//! probcon journal  split <journal.jsonl> | merge <a.jsonl> <b.jsonl> --out <file>
+//! probcon replay   <journal.jsonl | wal-dir>
+//! probcon plan     <journal.jsonl | wal-dir> [--capacity-scale 0.5] [--groups 2..6]
+//! probcon journal  split <j.jsonl> | merge <a.jsonl> <b.jsonl> --out <f> | compact <wal-dir>
 //! probcon paper    [--quick]
 //! ```
 
@@ -67,7 +67,8 @@ USAGE:
   probcon fleet-bench --requests <m> [--threads <n>] [--seed <u64>] [--apps <n>]
                       [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
                       [--policy least-utilised|round-robin|affinity]
-                      [--journal <file.jsonl>] [--warm-cache]
+                      [--journal <file.jsonl>] [--journal-dir <dir>] [--warm-cache]
+                      [--fsync always|every-N|on-rotate] [--segment-entries <n>]
                       [--telemetry <file.json>] [--telemetry-interval <ms>]
                       [--connect tcp:HOST:PORT|unix:PATH] [--client NAME]
       Drive a metered + cached service stack over a multi-group fleet manager
@@ -81,6 +82,10 @@ USAGE:
       local replay. --client NAME announces an identity in the handshake:
       the server stamps it into every journaled decision this run drives,
       so multi-client recordings split per client (`probcon journal split`).
+      --journal-dir records into a segmented write-ahead log directory
+      instead of memory: appends stream to disk with bounded RSS, --fsync
+      picks the durability policy (default every-256) and
+      --segment-entries the rotation threshold (default 8192).
       --telemetry samples the stack's live telemetry (residents, outcome
       totals, admit p50/p99/p999) every --telemetry-interval ms (default
       250) and writes the trajectory as a JSON array; it works locally and
@@ -90,6 +95,8 @@ USAGE:
                 [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
                 [--policy least-utilised|round-robin|affinity] [--cache <n>]
                 [--trace <events>] [--once] [--journal <file.jsonl>]
+                [--journal-dir <dir>] [--fsync always|every-N|on-rotate]
+                [--segment-entries <n>] [--checkpoint-every <n>]
       Serve a traced + metered + estimate-cached multi-group fleet manager
       over the remote admission protocol (TCP or Unix domain socket). Every
       decision lands in the fleet's header-stamped journal, served to
@@ -97,6 +104,15 @@ USAGE:
       (default 4096) that `probcon trace --connect` tails live. --once
       exits after the first client disconnects (for scripted drivers);
       --journal also writes the journal to a file at shutdown.
+      --journal-dir makes the journal DURABLE: decisions stream to a
+      segmented write-ahead log in <dir> (created on first start), a
+      background checkpointer folds fleet state into a snapshot every
+      --checkpoint-every entries (default 4096; segments fully covered by
+      the snapshot are garbage-collected), and a restart on the same
+      directory RECOVERS the fleet — snapshot first, then the entry tail,
+      truncating any torn final write. --fsync picks the append durability
+      policy (always | every-N | on-rotate, default every-256);
+      --segment-entries the rotation threshold (default 8192).
 
   probcon top [--connect tcp:HOST:PORT|unix:PATH] [--watch <secs>] [--prometheus]
       Live telemetry of an admission stack: per-layer operation latency
@@ -116,13 +132,15 @@ USAGE:
       process; without, a seeded local demo stack. --json emits the events
       as a JSON array.
 
-  probcon replay <journal.jsonl>
+  probcon replay <journal.jsonl | wal-dir>
       Rebuild the workload and fleet named in a journal's header, re-execute
       every recorded decision against a fresh fleet and verify
       outcome-for-outcome equivalence (exit code 1 on divergence, with every
-      divergence detailed on stderr).
+      divergence detailed on stderr). A WAL directory replays from its
+      newest snapshot checkpoint: the snapshotted residents are restored
+      first, then the remaining entries verify outcome-for-outcome.
 
-  probcon plan <journal.jsonl> [--groups <n|lo..hi>] [--capacity-scale <x|lo..hi>]
+  probcon plan <journal.jsonl | wal-dir> [--groups <n|lo..hi>] [--capacity-scale <x|lo..hi>]
                [--scale-steps <k>] [--policy <p>] [--routing auto|recorded|replanned]
                [--sweep] [--workers <n>] [--flip-budget <n>]
                [--fail-on-flips] [--json]
@@ -146,6 +164,13 @@ USAGE:
       Interleave two compatible journals (same workload, shape and policy)
       by original sequence/timestamp into one replayable log; merging the
       files produced by `journal split` reconstructs the original exactly.
+
+  probcon journal compact <wal-dir>
+      Fold a WAL directory's full history into a fresh snapshot checkpoint
+      and garbage-collect every segment the snapshot covers. Replay output
+      is unchanged — the snapshot restores the same resident state the
+      dropped entries would have rebuilt — while the directory shrinks to
+      the snapshot plus the uncovered tail.
 
   probcon paper [--quick]
       Regenerate Table 1, Figure 5, Figure 6 and the timing comparison.
@@ -511,12 +536,38 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
         // The fleet stamps its actual per-group shapes on construction.
         group_shapes: Vec::new(),
     };
-    let fleet = FleetManager::with_header(
-        spec.clone(),
-        FleetConfig::uniform(groups, shards, capacity, policy),
-        header,
-    )
-    .map_err(|e| e.to_string())?;
+    let wal_dir = options.get("journal-dir").map(std::path::PathBuf::from);
+    if wal_dir.is_none() {
+        for flag in ["fsync", "segment-entries"] {
+            if options.contains_key(flag) {
+                return Err(format!(
+                    "--{flag} tunes the write-ahead log and needs --journal-dir"
+                ));
+            }
+        }
+    }
+    let config = FleetConfig::uniform(groups, shards, capacity, policy);
+    let fleet = match &wal_dir {
+        None => {
+            FleetManager::with_header(spec.clone(), config, header).map_err(|e| e.to_string())?
+        }
+        Some(dir) => {
+            if dir.join(runtime::MANIFEST_FILE).exists() {
+                return Err(format!(
+                    "--journal-dir {}: already a WAL; fleet-bench records fresh runs — \
+                     replay or compact the existing log, or pick an empty directory",
+                    dir.display()
+                ));
+            }
+            let journal = runtime::Journal::create_wal(
+                dir,
+                FleetManager::stamped_header(&config, header),
+                wal_config_from(options)?,
+            )
+            .map_err(|e| e.to_string())?;
+            FleetManager::with_journal(spec.clone(), config, journal).map_err(|e| e.to_string())?
+        }
+    };
 
     println!(
         "fleet-bench: {apps} applications × {actors} actors, {groups} groups × \
@@ -598,6 +649,21 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
             fleet.journal().len()
         );
     }
+    if let Some(dir) = &wal_dir {
+        fleet.journal().sync().map_err(|e| e.to_string())?;
+        if let Some(stats) = fleet.journal().wal_stats() {
+            println!(
+                "wal: {} decisions in {} segment(s), {} bytes at {} \
+                 (replay with: probcon replay {}; fold with: probcon journal compact {})",
+                fleet.journal().len(),
+                stats.segments,
+                stats.disk_bytes,
+                dir.display(),
+                dir.display(),
+                dir.display(),
+            );
+        }
+    }
     fleet.stop();
     Ok(())
 }
@@ -644,7 +710,8 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
         AdmissionService, Metered, RemoteAddr, RemoteClient,
     };
 
-    // Fleet shape and workload are the server's to decide.
+    // Fleet shape, workload and journal durability are the server's to
+    // decide.
     for flag in [
         "apps",
         "actors",
@@ -653,6 +720,9 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
         "capacity",
         "policy",
         "warm-cache",
+        "journal-dir",
+        "fsync",
+        "segment-entries",
     ] {
         if options.contains_key(flag) {
             return Err(format!(
@@ -709,9 +779,11 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
 
 fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
-        Cached, FleetConfig, FleetManager, JournalHeader, Metered, RemoteAddr, RemoteServer,
-        RemoteServerConfig, RoutingPolicy, TraceRecorder, Traced, JOURNAL_VERSION,
+        Cached, FleetConfig, FleetManager, Journal, JournalHeader, Metered, RemoteAddr,
+        RemoteServer, RemoteServerConfig, RoutingPolicy, TraceRecorder, Traced, JOURNAL_VERSION,
+        MANIFEST_FILE,
     };
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
     let listen = options
@@ -744,6 +816,21 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
         .unwrap_or("least-utilised")
         .parse::<RoutingPolicy>()?;
 
+    let wal_dir = options.get("journal-dir").map(std::path::PathBuf::from);
+    if wal_dir.is_none() {
+        for flag in ["fsync", "segment-entries", "checkpoint-every"] {
+            if options.contains_key(flag) {
+                return Err(format!(
+                    "--{flag} tunes the write-ahead log and needs --journal-dir"
+                ));
+            }
+        }
+    }
+    let checkpoint_every = opt_u64(options, "checkpoint-every")?.unwrap_or(4096);
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be positive".into());
+    }
+
     let spec = workload_with(seed, apps, &GeneratorConfig::with_actors(actors))
         .map_err(|e| e.to_string())?;
     // Stamp the workload parameters so the served journal is
@@ -759,12 +846,35 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
         policy: policy.to_string(),
         group_shapes: Vec::new(),
     };
-    let fleet = FleetManager::with_header(
-        spec,
-        FleetConfig::uniform(groups, shards, capacity, policy),
-        header,
-    )
-    .map_err(|e| e.to_string())?;
+    let config = FleetConfig::uniform(groups, shards, capacity, policy);
+    let fleet = match &wal_dir {
+        None => FleetManager::with_header(spec, config, header).map_err(|e| e.to_string())?,
+        // A manifest in the directory means a previous serve recorded
+        // here: recover the fleet from it (snapshot checkpoint first,
+        // then the entry tail). Otherwise start a fresh WAL.
+        Some(dir) if dir.join(MANIFEST_FILE).exists() => {
+            let (journal, recovery) =
+                Journal::open_wal(dir, wal_config_from(options)?).map_err(|e| e.to_string())?;
+            report_recovery(&dir.display().to_string(), &recovery);
+            let fleet = FleetManager::recover(spec, config, journal).map_err(|e| e.to_string())?;
+            println!(
+                "recovered {} resident(s) from WAL {} ({} journaled decisions)",
+                fleet.resident_count(),
+                dir.display(),
+                fleet.journal().len(),
+            );
+            fleet
+        }
+        Some(dir) => {
+            let journal = Journal::create_wal(
+                dir,
+                FleetManager::stamped_header(&config, header),
+                wal_config_from(options)?,
+            )
+            .map_err(|e| e.to_string())?;
+            FleetManager::with_journal(spec, config, journal).map_err(|e| e.to_string())?
+        }
+    };
 
     // The served stack, outermost first: flight recording over latency
     // metering over estimate caching over the fleet. The cache layer
@@ -779,13 +889,41 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     let server = RemoteServer::bind_with(
         &addr,
         Arc::new(stack),
-        Some(Box::new(move || Some(journal_fleet.journal().render()))),
+        // Serve the journal in bounded pages: a long-running WAL-backed
+        // journal never has to materialize as one string.
+        Some(Box::new(move |from| {
+            journal_fleet.journal().render_page(from, 4096).ok()
+        })),
         RemoteServerConfig {
             once: options.contains_key("once"),
             ..RemoteServerConfig::default()
         },
     )
     .map_err(|e| e.to_string())?;
+
+    // The checkpointer: every --checkpoint-every journaled decisions, fold
+    // the fleet's resident state into a snapshot so recovery starts there
+    // instead of seq 0 and fully covered segments are garbage-collected.
+    let checkpointer = wal_dir.as_ref().map(|_| {
+        let fleet = fleet.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut last = fleet.journal().base_seq();
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                let next = fleet.journal().next_seq();
+                if next.saturating_sub(last) < checkpoint_every {
+                    continue;
+                }
+                match fleet.checkpoint_and_install() {
+                    Ok(checkpoint) => last = checkpoint.upto_seq,
+                    Err(e) => eprintln!("checkpoint failed: {e}"),
+                }
+            }
+        });
+        (stop, handle)
+    });
 
     println!(
         "serving {apps} applications × {actors} actors, {groups} groups × {shards} shards × \
@@ -806,6 +944,32 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     // Blocks until shutdown: with --once, until the first client
     // disconnects; otherwise until the process is killed.
     server.wait();
+    if let Some((stop, handle)) = checkpointer {
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    if wal_dir.is_some() {
+        // Graceful shutdown: everything on disk, folded to a snapshot.
+        if let Err(e) = fleet.journal().sync() {
+            eprintln!("final WAL sync failed: {e}");
+        }
+        match fleet.checkpoint_and_install() {
+            Ok(checkpoint) => println!(
+                "checkpointed {} resident(s) at seq {}",
+                checkpoint.residents.len(),
+                checkpoint.upto_seq
+            ),
+            Err(e) => eprintln!("final checkpoint failed: {e}"),
+        }
+        if let Some(stats) = fleet.journal().wal_stats() {
+            println!(
+                "wal: {} segment(s), {} bytes on disk, {} append I/O error(s)",
+                stats.segments,
+                stats.disk_bytes,
+                fleet.journal().io_errors(),
+            );
+        }
+    }
     let stats = server.stats();
     println!(
         "served {} requests over {} connections ({} protocol errors, {} handshake rejects)",
@@ -974,9 +1138,40 @@ fn render_trace_event(event: &runtime::TraceEvent) -> String {
     out
 }
 
-/// Loads a journal file and rebuilds the workload spec its header names.
+/// Parses `--fsync` / `--segment-entries` into a [`runtime::WalConfig`].
+fn wal_config_from(options: &HashMap<&str, &str>) -> Result<runtime::WalConfig, String> {
+    let mut config = runtime::WalConfig::default();
+    if let Some(n) = opt_u64(options, "segment-entries")? {
+        if n == 0 {
+            return Err("--segment-entries must be positive".into());
+        }
+        config.segment_max_entries = n;
+    }
+    if let Some(&policy) = options.get("fsync") {
+        config.fsync = policy.parse()?;
+    }
+    Ok(config)
+}
+
+/// Surfaces a WAL recovery's torn-tail truncation on stderr — evidence of
+/// an unclean shutdown that scripted drivers may want to capture.
+fn report_recovery(path: &str, recovery: &runtime::WalRecovery) {
+    if recovery.truncated_bytes > 0 {
+        eprintln!(
+            "recovered WAL {path}: truncated {} torn byte(s) off the active segment \
+             ({} entries survive)",
+            recovery.truncated_bytes, recovery.recovered_entries
+        );
+    }
+}
+
+/// Loads a journal — a single `.jsonl` file or a WAL directory — and
+/// rebuilds the workload spec its header names.
 fn journal_with_spec(path: &str) -> Result<(runtime::Journal, platform::SystemSpec), String> {
-    let journal = runtime::Journal::read_from(path).map_err(|e| e.to_string())?;
+    let (journal, recovery) = runtime::Journal::load(path).map_err(|e| e.to_string())?;
+    if let Some(recovery) = &recovery {
+        report_recovery(path, recovery);
+    }
     let header = journal.header();
     if header.apps == 0 {
         return Err(format!(
@@ -1223,7 +1418,7 @@ fn cmd_journal(positional: &[&str], options: &HashMap<&str, &str>) -> Result<(),
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .unwrap_or("journal");
-            let parts = journal.split_by_client();
+            let parts = journal.split_by_client().map_err(|e| e.to_string())?;
             println!(
                 "splitting {path}: {} decisions across {} client(s)",
                 journal.len(),
@@ -1294,8 +1489,33 @@ fn cmd_journal(positional: &[&str], options: &HashMap<&str, &str>) -> Result<(),
             );
             Ok(())
         }
+        Some("compact") => {
+            let dir = positional
+                .get(1)
+                .copied()
+                .ok_or("journal compact needs a WAL directory")?;
+            let (journal, recovery) =
+                Journal::open_wal(dir, runtime::WalConfig::default()).map_err(|e| e.to_string())?;
+            report_recovery(dir, &recovery);
+            let before = journal.wal_stats().expect("open_wal yields a WAL journal");
+            let checkpoint = journal.compact().map_err(|e| e.to_string())?;
+            let after = journal.wal_stats().expect("open_wal yields a WAL journal");
+            println!(
+                "compacted {dir}: snapshot at seq {}, {} -> {} segment(s), {} -> {} bytes",
+                checkpoint.upto_seq,
+                before.segments,
+                after.segments,
+                before.disk_bytes,
+                after.disk_bytes,
+            );
+            println!(
+                "{} resident(s) folded into the snapshot; replay output is unchanged",
+                checkpoint.residents.len()
+            );
+            Ok(())
+        }
         Some(other) => Err(format!("unknown journal subcommand '{other}'")),
-        None => Err("journal needs a subcommand: split | merge".into()),
+        None => Err("journal needs a subcommand: split | merge | compact".into()),
     }
 }
 

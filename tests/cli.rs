@@ -764,3 +764,124 @@ fn fleet_bench_connect_rejects_local_fleet_flags_and_dead_endpoints() {
         assert!(!out.status.success(), "should reject: {bad:?}");
     }
 }
+
+#[test]
+fn fleet_bench_wal_dir_records_compacts_and_replays_identically() {
+    let root = std::env::temp_dir().join(format!("probcon-cli-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("tmp dir");
+    let wal = root.join("wal");
+    let wal_str = wal.to_str().expect("utf8 path");
+
+    // Record into a segmented WAL directory (tiny segments force rotation).
+    let out = probcon(&[
+        "fleet-bench",
+        "--requests",
+        "200",
+        "--apps",
+        "3",
+        "--actors",
+        "4",
+        "--groups",
+        "3",
+        "--capacity",
+        "2",
+        "--journal-dir",
+        wal_str,
+        "--segment-entries",
+        "32",
+        "--fsync",
+        "on-rotate",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wal:"), "{stdout}");
+    assert!(wal.join("MANIFEST.json").exists());
+
+    // The per-group occupancy a replay ends in (name, residents, capacity,
+    // util) — the invariant that must survive compaction. Cumulative
+    // admitted/rejected counters legitimately reset when history folds
+    // into a snapshot, so only the state columns are compared.
+    let group_state = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.trim_start().starts_with("group") && !l.contains("capacity"))
+            .map(|l| l.split_whitespace().take(4).collect::<Vec<_>>().join(" "))
+            .collect()
+    };
+
+    // The WAL directory replays like any journal file.
+    let out = probcon(&["replay", wal_str]);
+    assert!(out.status.success(), "{out:?}");
+    let before = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(before.contains("EQUIVALENT"), "{before}");
+    assert!(!group_state(&before).is_empty(), "{before}");
+
+    // ... and plans: the identity shape reports zero flips.
+    let out = probcon(&["plan", wal_str, "--fail-on-flips"]);
+    assert!(out.status.success(), "{out:?}");
+
+    // Compaction shrinks the directory on disk.
+    let dir_bytes = |p: &std::path::Path| -> u64 {
+        std::fs::read_dir(p)
+            .expect("readable")
+            .map(|e| e.expect("entry").metadata().expect("meta").len())
+            .sum()
+    };
+    let bytes_before = dir_bytes(&wal);
+    let out = probcon(&["journal", "compact", wal_str]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compacted"), "{stdout}");
+    let bytes_after = dir_bytes(&wal);
+    assert!(
+        bytes_after < bytes_before,
+        "compaction must shrink: {bytes_before} -> {bytes_after}"
+    );
+
+    // Replay still verifies and lands the fleet in the SAME final per-group
+    // occupancy as before compaction. (A fleet-bench run drains every
+    // resident at end-of-run, so the folded snapshot is legitimately empty
+    // of residents — snapshot *restore* with live residents is exercised by
+    // the fleet_replay integration tests and the serve crash-recovery
+    // smoke.)
+    let out = probcon(&["replay", wal_str]);
+    assert!(out.status.success(), "{out:?}");
+    let after = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(after.contains("EQUIVALENT"), "{after}");
+    assert_eq!(group_state(&before), group_state(&after));
+
+    // The planner accepts the compacted WAL too: identity stays flip-free.
+    let out = probcon(&["plan", wal_str, "--fail-on-flips"]);
+    assert!(out.status.success(), "{out:?}");
+
+    // fleet-bench records fresh runs: it refuses an existing WAL.
+    let out = probcon(&["fleet-bench", "--requests", "10", "--journal-dir", wal_str]);
+    assert!(
+        !out.status.success(),
+        "must refuse to clobber an existing WAL"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn wal_flags_validate_inputs() {
+    for bad in [
+        // WAL tuning flags need --journal-dir.
+        vec!["fleet-bench", "--requests", "10", "--fsync", "always"],
+        vec!["fleet-bench", "--requests", "10", "--segment-entries", "64"],
+        vec![
+            "serve",
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--checkpoint-every",
+            "100",
+        ],
+        // ... and valid values.
+        vec!["journal", "compact"],
+        vec!["journal", "compact", "/nonexistent/wal-dir"],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
+}

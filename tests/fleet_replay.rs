@@ -340,3 +340,144 @@ fn planner_agrees_with_replayer_on_identity_and_reports_shrink_as_flips() {
     assert_eq!(one.reports, eight.reports);
     assert_eq!(one.smallest_clean, eight.smallest_clean);
 }
+
+/// Records the seeded workload into a segmented WAL directory (tiny
+/// segments, so the recording crosses many rotation boundaries) and
+/// returns `(dir, recorded outcome sequence, residents at end)`.
+fn record_wal(name: &str) -> (std::path::PathBuf, Vec<String>, usize) {
+    use runtime::{FsyncPolicy, WalConfig};
+
+    let dir =
+        std::env::temp_dir().join(format!("probcon-replay-wal-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal_config = WalConfig {
+        segment_max_entries: 32,
+        fsync: FsyncPolicy::OnRotate,
+        tail_entries: 16,
+    };
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+    let journal = Journal::create_wal(
+        &dir,
+        FleetManager::stamped_header(&config(), header()),
+        wal_config,
+    )
+    .expect("fresh WAL");
+    let fleet = FleetManager::with_journal(spec.clone(), config(), journal).expect("fleet");
+    run_fleet_requests(
+        &fleet,
+        seeded_fleet_requests(&spec, GROUPS, REQUESTS, SEED),
+        1,
+    );
+    fleet.journal().sync().expect("sync");
+    assert_eq!(fleet.journal().io_errors(), 0, "no append may fail");
+    let outcomes = outcome_sequence(fleet.journal());
+    let residents = fleet.resident_count();
+    fleet.stop();
+    (dir, outcomes, residents)
+}
+
+#[test]
+fn wal_recording_recovers_restores_and_replays_equivalently() {
+    use runtime::{FsyncPolicy, WalConfig};
+
+    let (dir, recorded_outcomes, recorded_residents) = record_wal("recover");
+    let wal_config = WalConfig {
+        segment_max_entries: 32,
+        fsync: FsyncPolicy::OnRotate,
+        tail_entries: 16,
+    };
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+
+    // Restart path: reopen the directory and RECOVER a live fleet from it —
+    // the same residents hold the same capacity as when the recorder died.
+    let (journal, recovery) = Journal::open_wal(&dir, wal_config).expect("reopen");
+    assert_eq!(
+        recovery.truncated_bytes, 0,
+        "clean shutdown leaves no torn tail"
+    );
+    let recovered = FleetManager::recover(spec.clone(), config(), journal).expect("recover");
+    assert_eq!(recovered.resident_count(), recorded_residents);
+    recovered.stop();
+
+    // Replay path: the WAL directory loads like any journal file and
+    // verifies outcome-for-outcome.
+    let (loaded, _) = Journal::load(&dir).expect("load dir");
+    assert_eq!(outcome_sequence(&loaded), recorded_outcomes);
+    loaded
+        .verify()
+        .expect("checksums hold across segment files");
+    let stats = loaded.wal_stats().expect("wal-backed");
+    assert!(stats.segments > 3, "tiny segments must rotate: {stats:?}");
+    let (report, replayed) = JournalReplayer::new(&spec)
+        .replay(&loaded, config())
+        .expect("replay");
+    assert!(report.is_equivalent(), "{}", report.render());
+    assert_eq!(report.restored, 0, "no checkpoint yet");
+    assert_eq!(replayed.resident_count(), recorded_residents);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointed_wal_replays_from_snapshot_and_plans_identity_with_zero_flips() {
+    use runtime::{fold_checkpoint, FleetShape, PlanRun};
+
+    let (dir, _, recorded_residents) = record_wal("checkpoint");
+    let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
+
+    // Install a checkpoint folding the FIRST HALF of the history, so the
+    // replay exercises both paths: snapshot restore, then entry replay.
+    let (loaded, _) = Journal::load(&dir).expect("load dir");
+    let entries = loaded.try_entries().expect("entries");
+    let mid = entries.len() / 2;
+    let checkpoint = fold_checkpoint(None, &entries[..mid]);
+    assert!(!checkpoint.residents.is_empty(), "midpoint holds residents");
+    loaded
+        .install_checkpoint(checkpoint.clone())
+        .expect("install");
+    assert_eq!(loaded.base_seq(), checkpoint.upto_seq);
+    drop(loaded);
+
+    // A fresh load starts from the snapshot: fewer entries, same outcome.
+    let (compacted, _) = Journal::load(&dir).expect("reload");
+    assert_eq!(compacted.base_seq(), checkpoint.upto_seq);
+    assert!(compacted.len() < entries.len());
+    let (report, replayed) = JournalReplayer::new(&spec)
+        .replay(&compacted, config())
+        .expect("replay from snapshot");
+    assert!(report.is_equivalent(), "{}", report.render());
+    assert_eq!(report.restored, checkpoint.residents.len());
+    assert!(report.render().contains("restored"));
+    assert_eq!(replayed.resident_count(), recorded_residents);
+
+    // Acceptance anchor: the planner on a snapshotted WAL restores the
+    // checkpoint first and reports ZERO flips for the identity shape.
+    let shape = FleetShape::from_header(compacted.header());
+    let identity = PlanRun::new(&spec, &compacted, &shape)
+        .execute()
+        .expect("plans");
+    assert_eq!(identity.flips, vec![], "identity must not flip");
+    assert_eq!(identity.restored, checkpoint.residents.len() as u64);
+    assert_eq!(identity.recorded, identity.hypothetical);
+    assert_eq!(replayed.resident_count(), identity.residents_at_end);
+
+    // Full compaction folds the tail too; replay output stays unchanged
+    // (the snapshot restores what the dropped entries would have rebuilt).
+    let folded = compacted.compact().expect("compact");
+    assert_eq!(folded.residents.len(), recorded_residents);
+    drop(compacted);
+    let (fully, _) = Journal::load(&dir).expect("reload compacted");
+    assert_eq!(fully.len(), 0, "all history folded into the snapshot");
+    let (report, replayed) = JournalReplayer::new(&spec)
+        .replay(&fully, config())
+        .expect("replay pure snapshot");
+    assert!(report.is_equivalent(), "{}", report.render());
+    assert_eq!(replayed.resident_count(), recorded_residents);
+    let stats = fully.wal_stats().expect("wal-backed");
+    assert_eq!(
+        stats.segments, 1,
+        "compaction garbage-collects covered segments"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

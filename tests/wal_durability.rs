@@ -1,0 +1,112 @@
+//! WAL durability integration tests: sustained appends keep the journal's
+//! in-memory footprint flat (the fix for the unbounded `Vec<JournalEntry>`
+//! the journal used to hold), segments rotate on schedule, and compaction
+//! shrinks the directory without changing what a replay sees.
+
+use runtime::{DecisionEvent, FsyncPolicy, Journal, JournalHeader, WalConfig};
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "probcon-wal-durability-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The journal's memory no longer grows with traffic: a million appends
+/// stream to segment files while the only in-memory entry storage — the
+/// bounded recent tail — stays at its configured size. (Before the WAL,
+/// every append pushed into one ever-growing in-memory vector.)
+#[test]
+fn wal_journal_memory_stays_flat_over_a_million_appends() {
+    const APPENDS: u64 = 1_000_000;
+    const SEGMENT: u64 = 65_536;
+    const TAIL: usize = 256;
+
+    let dir = tmp_dir("flat-rss");
+    let config = WalConfig {
+        segment_max_entries: SEGMENT,
+        fsync: FsyncPolicy::OnRotate,
+        tail_entries: TAIL,
+    };
+    let journal = Journal::create_wal(&dir, JournalHeader::default(), config).expect("fresh WAL");
+    for i in 0..APPENDS {
+        journal.append(DecisionEvent::Release { resident: i });
+    }
+    assert_eq!(journal.io_errors(), 0, "every append must land");
+    assert_eq!(journal.next_seq(), APPENDS);
+    assert_eq!(journal.len(), APPENDS as usize);
+
+    // The bounded tail is the journal's ONLY in-memory entry storage.
+    let tail = journal.recent(usize::MAX);
+    assert!(
+        tail.len() <= TAIL,
+        "recent tail grew beyond its bound: {} > {TAIL}",
+        tail.len()
+    );
+    assert_eq!(tail.last().map(|e| e.seq), Some(APPENDS - 1));
+
+    // Rotation kept every segment bounded too.
+    journal.sync().expect("sync");
+    let stats = journal.wal_stats().expect("wal-backed");
+    assert_eq!(stats.segments as u64, APPENDS / SEGMENT + 1);
+
+    // Compaction folds the whole history (all releases, no residents) into
+    // one snapshot; covered segments are garbage-collected and the
+    // directory shrinks by orders of magnitude.
+    let checkpoint = journal.compact().expect("compact");
+    assert_eq!(checkpoint.upto_seq, APPENDS);
+    assert!(checkpoint.residents.is_empty());
+    let after = journal.wal_stats().expect("wal-backed");
+    assert_eq!(after.segments, 1, "only the empty active segment remains");
+    assert!(
+        after.disk_bytes * 10 < stats.disk_bytes,
+        "compaction must shrink the directory: {} -> {} bytes",
+        stats.disk_bytes,
+        after.disk_bytes
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Appends made AFTER a snapshot checkpoint keep flowing into the rotated
+/// active segment chain and replay on top of the snapshot base.
+#[test]
+fn appends_after_a_checkpoint_continue_the_chain() {
+    let dir = tmp_dir("post-checkpoint");
+    let config = WalConfig {
+        segment_max_entries: 8,
+        fsync: FsyncPolicy::OnRotate,
+        tail_entries: 8,
+    };
+    let journal = Journal::create_wal(&dir, JournalHeader::default(), config).expect("fresh WAL");
+    for i in 0..20u64 {
+        journal.append(DecisionEvent::Release { resident: i });
+    }
+    journal.compact().expect("compact");
+    for i in 20..30u64 {
+        journal.append(DecisionEvent::Release { resident: i });
+    }
+    journal.sync().expect("sync");
+    assert_eq!(journal.io_errors(), 0);
+    assert_eq!(journal.base_seq(), 20);
+    assert_eq!(journal.len(), 10);
+    drop(journal);
+
+    // A reopen sees the snapshot base plus exactly the post-checkpoint tail.
+    let (journal, recovery) = Journal::open_wal(&dir, config).expect("reopen");
+    assert_eq!(recovery.truncated_bytes, 0);
+    assert_eq!(journal.base_seq(), 20);
+    assert_eq!(journal.next_seq(), 30);
+    journal.verify().expect("checksums hold");
+    let seqs: Vec<u64> = journal
+        .try_entries()
+        .expect("entries")
+        .iter()
+        .map(|e| e.seq)
+        .collect();
+    assert_eq!(seqs, (20..30).collect::<Vec<u64>>());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
