@@ -47,19 +47,22 @@
 //! ```
 
 use crate::cache::lock;
-use crate::journal::{DecisionEvent, Journal, JournalError, JournalHeader, JournalOutcome};
+use crate::journal::{
+    DecisionEvent, Journal, JournalError, JournalHeader, JournalOutcome, ScaleAction, ScaleOutcome,
+    ScaleRefusal,
+};
 use crate::manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
 };
-use crate::wal::{CheckpointResident, FleetCheckpoint};
+use crate::wal::{CheckpointGroup, CheckpointResident, FleetCheckpoint};
 use contention::Violation;
 use platform::{Application, NodeId, SystemSpec};
 use sdf::Rational;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// How the fleet picks a group for an incoming admission.
@@ -385,11 +388,50 @@ struct GroupRuntime {
     /// valid serialization of this group's decision order.
     order: Mutex<()>,
     counters: GroupCounters,
+    /// `true` once a drain retired the group: it keeps its index (journal
+    /// replay needs stable indices) but takes no new admissions and is
+    /// skipped by routing, rebalancing and capacity sums.
+    retired: AtomicBool,
+    /// `true` when the group was added by a resize after the journal
+    /// header was stamped — checkpoints record its full shape so restores
+    /// can rebuild it.
+    added_after_header: bool,
+}
+
+impl GroupRuntime {
+    fn from_config(config: GroupConfig, added_after_header: bool) -> GroupRuntime {
+        GroupRuntime {
+            manager: ResourceManager::new(ResourceManagerConfig {
+                shards: config.shards,
+                capacity_per_shard: config.capacity_per_shard,
+                queue_mode: QueueMode::Fifo,
+                admit_timeout: Some(Duration::ZERO),
+            }),
+            config,
+            order: Mutex::new(()),
+            counters: GroupCounters::default(),
+            retired: AtomicBool::new(false),
+            added_after_header,
+        }
+    }
+
+    fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+
+    /// Live total capacity (elastic resizes move it; 0 once retired).
+    fn capacity(&self) -> usize {
+        if self.is_retired() {
+            0
+        } else {
+            self.manager.capacity()
+        }
+    }
 }
 
 struct FleetInner {
     spec: SystemSpec,
-    groups: Vec<GroupRuntime>,
+    groups: RwLock<Vec<Arc<GroupRuntime>>>,
     policy: RoutingPolicy,
     round_robin: AtomicUsize,
     next_resident: AtomicU64,
@@ -397,6 +439,29 @@ struct FleetInner {
     journal: Journal,
     released: AtomicU64,
     rebalances: AtomicU64,
+    resizes: AtomicU64,
+    resize_refusals: AtomicU64,
+}
+
+impl FleetInner {
+    /// Point-in-time view of the group list (cheap `Arc` clones). Groups
+    /// are never removed — a drain retires in place — so indices in the
+    /// returned vector are fleet group indices.
+    fn groups_snapshot(&self) -> Vec<Arc<GroupRuntime>> {
+        self.groups
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    fn group(&self, index: usize) -> Result<Arc<GroupRuntime>, FleetError> {
+        self.groups
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(index)
+            .cloned()
+            .ok_or(FleetError::UnknownGroup(index))
+    }
 }
 
 /// Thread-safe multi-platform fleet manager (see the [module docs](self)).
@@ -488,22 +553,12 @@ impl FleetManager {
         let groups = config
             .groups
             .into_iter()
-            .map(|group| GroupRuntime {
-                manager: ResourceManager::new(ResourceManagerConfig {
-                    shards: group.shards,
-                    capacity_per_shard: group.capacity_per_shard,
-                    queue_mode: QueueMode::Fifo,
-                    admit_timeout: Some(Duration::ZERO),
-                }),
-                config: group,
-                order: Mutex::new(()),
-                counters: GroupCounters::default(),
-            })
+            .map(|group| Arc::new(GroupRuntime::from_config(group, false)))
             .collect();
         Ok(FleetManager {
             inner: Arc::new(FleetInner {
                 spec,
-                groups,
+                groups: RwLock::new(groups),
                 policy: config.policy,
                 round_robin: AtomicUsize::new(0),
                 next_resident: AtomicU64::new(0),
@@ -511,6 +566,8 @@ impl FleetManager {
                 journal,
                 released: AtomicU64::new(0),
                 rebalances: AtomicU64::new(0),
+                resizes: AtomicU64::new(0),
+                resize_refusals: AtomicU64::new(0),
             }),
         })
     }
@@ -520,9 +577,33 @@ impl FleetManager {
         &self.inner.spec
     }
 
-    /// Number of platform groups.
+    /// Number of platform groups, retired ones included (group indices are
+    /// stable for the fleet's lifetime; see
+    /// [`active_group_count`](Self::active_group_count)).
     pub fn group_count(&self) -> usize {
-        self.inner.groups.len()
+        self.inner
+            .groups
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Number of groups still taking admissions (not retired by a drain).
+    pub fn active_group_count(&self) -> usize {
+        self.inner
+            .groups_snapshot()
+            .iter()
+            .filter(|g| !g.is_retired())
+            .count()
+    }
+
+    /// `true` when the group was drained and retired.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownGroup`] if out of range.
+    pub fn group_retired(&self, group: usize) -> Result<bool, FleetError> {
+        Ok(self.group(group)?.is_retired())
     }
 
     /// Name of a group.
@@ -530,8 +611,8 @@ impl FleetManager {
     /// # Errors
     ///
     /// [`FleetError::UnknownGroup`] if out of range.
-    pub fn group_name(&self, group: usize) -> Result<&str, FleetError> {
-        Ok(&self.group(group)?.config.name)
+    pub fn group_name(&self, group: usize) -> Result<String, FleetError> {
+        Ok(self.group(group)?.config.name.clone())
     }
 
     /// The routing policy in effect.
@@ -571,64 +652,69 @@ impl FleetManager {
             .ok_or(FleetError::UnknownResident(resident))
     }
 
-    /// Total resident capacity of the fleet.
+    /// Total resident capacity of the fleet (active groups only; retired
+    /// groups contribute nothing).
     pub fn capacity(&self) -> usize {
-        self.inner.groups.iter().map(|g| g.config.capacity()).sum()
+        self.inner
+            .groups_snapshot()
+            .iter()
+            .map(|g| g.capacity())
+            .sum()
     }
 
-    /// Resident capacity of one group.
+    /// Resident capacity of one group (its live, possibly resized value;
+    /// 0 once retired).
     ///
     /// # Errors
     ///
     /// [`FleetError::UnknownGroup`] if out of range.
     pub fn capacity_of(&self, group: usize) -> Result<usize, FleetError> {
-        Ok(self.group(group)?.config.capacity())
+        Ok(self.group(group)?.capacity())
+    }
+
+    /// Current shape of one group: the configured name/shards/tags with
+    /// the **live** per-shard capacity (elastic resizes move it away from
+    /// the configured value). The autoscaler clones this to size
+    /// `AddGroup` actions.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownGroup`] if out of range.
+    pub fn group_shape(&self, group: usize) -> Result<crate::journal::GroupShape, FleetError> {
+        let g = self.group(group)?;
+        let mut shape = g.config.to_shape();
+        shape.capacity_per_shard = g.manager.capacity_per_shard() as u64;
+        Ok(shape)
     }
 
     /// The group the routing policy would pick for `affinity` right now.
+    /// Retired groups are never picked.
     pub fn route(&self, affinity: Option<&str>) -> usize {
+        let groups = self.inner.groups_snapshot();
         match self.inner.policy {
             RoutingPolicy::RoundRobin => {
-                self.inner.round_robin.fetch_add(1, Ordering::Relaxed) % self.group_count()
+                // Rotate, skipping retired slots (bounded: at least one
+                // group is always active).
+                for _ in 0..groups.len().max(1) {
+                    let i = self.inner.round_robin.fetch_add(1, Ordering::Relaxed) % groups.len();
+                    if !groups[i].is_retired() {
+                        return i;
+                    }
+                }
+                least_utilised(&groups, |_| true)
             }
-            RoutingPolicy::LeastUtilised => self.least_utilised(|_| true),
+            RoutingPolicy::LeastUtilised => least_utilised(&groups, |_| true),
             RoutingPolicy::Affinity => match affinity {
                 Some(tag)
-                    if self
-                        .inner
-                        .groups
+                    if groups
                         .iter()
-                        .any(|g| g.config.tags.iter().any(|t| t == tag)) =>
+                        .any(|g| !g.is_retired() && g.config.tags.iter().any(|t| t == tag)) =>
                 {
-                    self.least_utilised(|g| g.config.tags.iter().any(|t| t == tag))
+                    least_utilised(&groups, |g| g.config.tags.iter().any(|t| t == tag))
                 }
-                _ => self.least_utilised(|_| true),
+                _ => least_utilised(&groups, |_| true),
             },
         }
-    }
-
-    /// Least-utilised group among those passing `eligible`, comparing
-    /// resident/capacity ratios exactly (cross-multiplied, no floats), ties
-    /// toward the lowest index.
-    fn least_utilised(&self, eligible: impl Fn(&GroupRuntime) -> bool) -> usize {
-        let mut best = 0usize;
-        let mut best_key: Option<(usize, usize)> = None; // (residents, capacity)
-        for (i, g) in self.inner.groups.iter().enumerate() {
-            if !eligible(g) {
-                continue;
-            }
-            let key = (g.manager.resident_count(), g.config.capacity());
-            let better = match best_key {
-                None => true,
-                // r_i / c_i < r_best / c_best  ⇔  r_i · c_best < r_best · c_i
-                Some((rb, cb)) => key.0 * cb < rb * key.1,
-            };
-            if better {
-                best = i;
-                best_key = Some(key);
-            }
-        }
-        best
     }
 
     /// Routes and attempts to admit an instance of the spec's application
@@ -648,7 +734,7 @@ impl FleetManager {
         affinity: Option<&str>,
     ) -> Result<FleetAdmission, FleetError> {
         let group = self.route(affinity);
-        self.admit_to(group, app_index, required_throughput)
+        self.admit_to_with_affinity(group, app_index, required_throughput, affinity)
     }
 
     /// [`admit`](Self::admit) with an explicit target group, bypassing the
@@ -663,6 +749,24 @@ impl FleetManager {
         group: usize,
         app_index: usize,
         required_throughput: Option<Rational>,
+    ) -> Result<FleetAdmission, FleetError> {
+        self.admit_to_with_affinity(group, app_index, required_throughput, None)
+    }
+
+    /// [`admit_to`](Self::admit_to) that also records the request's
+    /// affinity tag in the journaled decision, so re-routed replays
+    /// (`RouteMode::Replan`) can re-run the affinity policy faithfully.
+    /// The tag does not influence which group decides — `group` does.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownGroup`] / [`FleetError::Admit`].
+    pub fn admit_to_with_affinity(
+        &self,
+        group: usize,
+        app_index: usize,
+        required_throughput: Option<Rational>,
+        affinity: Option<&str>,
     ) -> Result<FleetAdmission, FleetError> {
         let g = self.group(group)?;
         let app_index = app_index % self.inner.spec.application_count();
@@ -695,6 +799,7 @@ impl FleetManager {
                         resident,
                         predicted_period,
                     },
+                    affinity: affinity.map(str::to_string),
                 });
                 lock(&self.inner.residents).insert(
                     resident,
@@ -723,6 +828,7 @@ impl FleetManager {
                     outcome: JournalOutcome::Rejected {
                         violations: violations.len() as u64,
                     },
+                    affinity: affinity.map(str::to_string),
                 });
                 Ok(FleetAdmission::Rejected { group, violations })
             }
@@ -733,6 +839,7 @@ impl FleetManager {
                     app_index: app_index as u64,
                     required_throughput,
                     outcome: JournalOutcome::Saturated,
+                    affinity: affinity.map(str::to_string),
                 });
                 Ok(FleetAdmission::Saturated { group })
             }
@@ -832,15 +939,19 @@ impl FleetManager {
     /// oldest such resident and return the move. Returns `None` when the
     /// fleet is balanced or the move failed (full/contract-bound target).
     pub fn rebalance(&self) -> Option<RebalanceMove> {
-        let loads: Vec<(usize, usize)> = self
-            .inner
-            .groups
-            .iter()
-            .map(|g| (g.manager.resident_count(), g.config.capacity()))
+        let groups = self.inner.groups_snapshot();
+        // Retired groups neither donate (they are empty) nor receive.
+        let indices: Vec<usize> = (0..groups.len())
+            .filter(|&i| !groups[i].is_retired())
             .collect();
-        let from = max_utilised(&loads)?;
-        let to = min_utilised(&loads)?;
-        let ((r_f, c_f), (r_t, c_t)) = (loads[from], loads[to]);
+        let loads: Vec<(usize, usize)> = indices
+            .iter()
+            .map(|&i| (groups[i].manager.resident_count(), groups[i].capacity()))
+            .collect();
+        let from_pos = max_utilised(&loads)?;
+        let to_pos = min_utilised(&loads)?;
+        let ((r_f, c_f), (r_t, c_t)) = (loads[from_pos], loads[to_pos]);
+        let (from, to) = (indices[from_pos], indices[to_pos]);
         // Move only when the target's post-move ratio stays strictly below
         // the source's pre-move ratio — prevents ping-pong.
         if from == to || r_f == 0 || (r_t + 1) * c_f >= r_f * c_t {
@@ -868,11 +979,11 @@ impl FleetManager {
     pub fn snapshot(&self) -> FleetSnapshot {
         let groups: Vec<GroupSnapshot> = self
             .inner
-            .groups
+            .groups_snapshot()
             .iter()
             .map(|g| {
                 let residents = g.manager.resident_count();
-                let capacity = g.config.capacity();
+                let capacity = g.capacity();
                 GroupSnapshot {
                     name: g.config.name.clone(),
                     residents,
@@ -880,17 +991,20 @@ impl FleetManager {
                     admitted: g.counters.admitted.load(Ordering::Relaxed),
                     rejected: g.counters.rejected.load(Ordering::Relaxed),
                     saturated: g.counters.saturated.load(Ordering::Relaxed),
+                    retired: g.is_retired(),
                 }
             })
             .collect();
         FleetSnapshot {
             residents: self.resident_count(),
-            capacity: self.capacity(),
+            capacity: groups.iter().map(|g| g.capacity).sum(),
             admitted: groups.iter().map(|g| g.admitted).sum(),
             rejected: groups.iter().map(|g| g.rejected).sum(),
             saturated: groups.iter().map(|g| g.saturated).sum(),
             released: self.inner.released.load(Ordering::Relaxed),
             rebalances: self.inner.rebalances.load(Ordering::Relaxed),
+            resizes: self.inner.resizes.load(Ordering::Relaxed),
+            resize_refusals: self.inner.resize_refusals.load(Ordering::Relaxed),
             groups,
         }
     }
@@ -913,7 +1027,16 @@ impl FleetManager {
     /// consistent instant — every decision before `upto_seq` is folded in,
     /// none after.
     pub fn checkpoint(&self) -> FleetCheckpoint {
-        let guards: Vec<_> = self.inner.groups.iter().map(|g| lock(&g.order)).collect();
+        // Holding the group-list read lock for the whole fold excludes
+        // concurrent AddGroup resizes (they take the write lock); holding
+        // every group's order lock excludes decisions and per-group
+        // resizes.
+        let groups = self
+            .inner
+            .groups
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let guards: Vec<_> = groups.iter().map(|g| lock(&g.order)).collect();
         let residents = lock(&self.inner.residents);
         let upto_seq = self.inner.journal.next_seq();
         let next_resident = self.inner.next_resident.load(Ordering::Relaxed);
@@ -927,9 +1050,33 @@ impl FleetManager {
                 admitted_seq: entry.admitted_seq,
             })
             .collect();
+        // Shape overrides: only groups that drifted from the journal
+        // header (resized, retired, or added after it) are recorded.
+        let shapes = groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| {
+                let capacity = g.manager.capacity_per_shard();
+                let resized = capacity != g.config.capacity_per_shard;
+                let retired = g.is_retired();
+                if !(resized || retired || g.added_after_header) {
+                    return None;
+                }
+                let mut shape = CheckpointGroup::unchanged(i as u64);
+                if g.added_after_header {
+                    shape.added = Some(g.config.to_shape());
+                }
+                if resized {
+                    shape.capacity_per_shard = Some(capacity as u64);
+                }
+                shape.retired = retired;
+                Some(shape)
+            })
+            .collect();
         drop(residents);
         drop(guards);
-        FleetCheckpoint::new(upto_seq, next_resident, folded)
+        drop(groups);
+        FleetCheckpoint::new(upto_seq, next_resident, folded).with_groups(shapes)
     }
 
     /// Takes a [`checkpoint`](Self::checkpoint) and installs it into the
@@ -1021,6 +1168,34 @@ impl FleetManager {
     /// shape cannot take back (see
     /// [`restore_resident`](Self::restore_resident)).
     pub fn restore(&self, checkpoint: &FleetCheckpoint) -> Result<usize, FleetError> {
+        // Shape overrides first: residents admitted after a grow (or onto
+        // an added group) need the grown shape to fit back in. Retire
+        // flags are applied after capacities so a retired group's recorded
+        // shape still restores exactly.
+        if let Some(shapes) = &checkpoint.groups {
+            let mut ordered: Vec<&CheckpointGroup> = shapes.iter().collect();
+            ordered.sort_by_key(|g| g.group);
+            for shape in ordered {
+                let index = shape.group as usize;
+                if let Some(added) = &shape.added {
+                    if index >= self.group_count() {
+                        self.apply_add_group(index, GroupConfig::from_shape(added))?;
+                    }
+                }
+                let g = self.group(index).map_err(|_| FleetError::Restore {
+                    resident: 0,
+                    reason: format!(
+                        "checkpoint records group {index} the fleet shape does not have"
+                    ),
+                })?;
+                if let Some(capacity) = shape.capacity_per_shard {
+                    g.manager.set_capacity_per_shard(capacity as usize);
+                }
+                if shape.retired {
+                    g.retired.store(true, Ordering::Release);
+                }
+            }
+        }
         let mut ordered: Vec<&CheckpointResident> = checkpoint.residents.iter().collect();
         ordered.sort_by_key(|r| r.admitted_seq);
         for restored in &ordered {
@@ -1065,6 +1240,7 @@ impl FleetManager {
                     app_index,
                     required_throughput,
                     outcome: JournalOutcome::Admitted { resident, .. },
+                    ..
                 } => {
                     fleet.restore_resident(&CheckpointResident {
                         resident: *resident,
@@ -1084,6 +1260,14 @@ impl FleetManager {
                 } => {
                     fleet.move_unjournaled(*resident, *to_group as usize)?;
                 }
+                DecisionEvent::Resize {
+                    action,
+                    outcome: ScaleOutcome::Applied,
+                } => {
+                    fleet.apply_resize_unjournaled(action)?;
+                }
+                // A refused resize changed nothing.
+                DecisionEvent::Resize { .. } => {}
             }
         }
         Ok(fleet)
@@ -1146,18 +1330,355 @@ impl FleetManager {
         }
     }
 
+    /// Executes one elastic capacity change and journals it (and its
+    /// outcome — applied or refused) as a first-class
+    /// [`DecisionEvent::Resize`]. This is the single entry point the
+    /// autoscaler, the CLI and deterministic replay all drive:
+    ///
+    /// - `Grow`/`Shrink` move a group's per-shard capacity to the given
+    ///   **absolute** value. A shrink below any shard's current occupancy
+    ///   is refused ([`ScaleRefusal::Occupied`]).
+    /// - `AddGroup` appends a new group; the action's recorded index must
+    ///   be the next free one ([`ScaleRefusal::UnknownGroup`] otherwise),
+    ///   which the convenience wrapper [`add_group`](Self::add_group)
+    ///   guarantees.
+    /// - `Drain` rebalances every resident off the group (each move is
+    ///   journaled as a [`DecisionEvent::Rebalance`] *before* the resize
+    ///   entry) and retires it in place. If any resident cannot be placed
+    ///   the whole drain is refused ([`ScaleRefusal::Unplaceable`]) and the
+    ///   fleet is left as it was. The fleet's last active group cannot be
+    ///   drained ([`ScaleRefusal::LastGroup`]).
+    ///
+    /// Refusals are `Ok(ScaleOutcome::Refused { .. })`, not errors: they
+    /// are decisions, journaled so replay reproduces them.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError`] only for non-decisions (analysis failures during a
+    /// drain's moves). Nothing is journaled in that case.
+    pub fn resize(&self, action: ScaleAction) -> Result<ScaleOutcome, FleetError> {
+        let outcome = match &action {
+            ScaleAction::Grow {
+                group,
+                capacity_per_shard,
+            }
+            | ScaleAction::Shrink {
+                group,
+                capacity_per_shard,
+            } => self.resize_capacity(
+                *group as usize,
+                *capacity_per_shard as usize,
+                matches!(action, ScaleAction::Shrink { .. }),
+                &action,
+            ),
+            ScaleAction::AddGroup { group, shape } => {
+                self.resize_add(*group as usize, GroupConfig::from_shape(shape), &action)
+            }
+            ScaleAction::Drain { group } => self.resize_drain(*group as usize, &action)?,
+        };
+        match &outcome {
+            ScaleOutcome::Applied => self.inner.resizes.fetch_add(1, Ordering::Relaxed),
+            ScaleOutcome::Refused { .. } => {
+                self.inner.resize_refusals.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        Ok(outcome)
+    }
+
+    /// [`resize`](Self::resize) with a `Grow` action.
+    ///
+    /// # Errors
+    ///
+    /// See [`resize`](Self::resize).
+    pub fn grow_group(
+        &self,
+        group: usize,
+        capacity_per_shard: usize,
+    ) -> Result<ScaleOutcome, FleetError> {
+        self.resize(ScaleAction::Grow {
+            group: group as u64,
+            capacity_per_shard: capacity_per_shard as u64,
+        })
+    }
+
+    /// [`resize`](Self::resize) with a `Shrink` action.
+    ///
+    /// # Errors
+    ///
+    /// See [`resize`](Self::resize).
+    pub fn shrink_group(
+        &self,
+        group: usize,
+        capacity_per_shard: usize,
+    ) -> Result<ScaleOutcome, FleetError> {
+        self.resize(ScaleAction::Shrink {
+            group: group as u64,
+            capacity_per_shard: capacity_per_shard as u64,
+        })
+    }
+
+    /// [`resize`](Self::resize) with an `AddGroup` action for the next
+    /// free group index.
+    ///
+    /// # Errors
+    ///
+    /// See [`resize`](Self::resize).
+    pub fn add_group(&self, config: GroupConfig) -> Result<ScaleOutcome, FleetError> {
+        let index = self.group_count() as u64;
+        self.resize(ScaleAction::AddGroup {
+            group: index,
+            shape: config.to_shape(),
+        })
+    }
+
+    /// [`resize`](Self::resize) with a `Drain` action.
+    ///
+    /// # Errors
+    ///
+    /// See [`resize`](Self::resize).
+    pub fn drain_group(&self, group: usize) -> Result<ScaleOutcome, FleetError> {
+        self.resize(ScaleAction::Drain {
+            group: group as u64,
+        })
+    }
+
+    /// Grow/Shrink: decide, apply and journal under the group's order
+    /// lock, so the capacity change is atomically ordered against the
+    /// group's admission decisions.
+    fn resize_capacity(
+        &self,
+        group: usize,
+        capacity_per_shard: usize,
+        is_shrink: bool,
+        action: &ScaleAction,
+    ) -> ScaleOutcome {
+        let Ok(g) = self.inner.group(group) else {
+            return self.journal_refusal(
+                action,
+                ScaleRefusal::UnknownGroup {
+                    group: group as u64,
+                },
+            );
+        };
+        let _order = lock(&g.order);
+        if g.is_retired() {
+            let reason = ScaleRefusal::Retired {
+                group: group as u64,
+            };
+            self.append_resize(
+                action,
+                ScaleOutcome::Refused {
+                    reason: reason.clone(),
+                },
+            );
+            return ScaleOutcome::Refused { reason };
+        }
+        if is_shrink {
+            let occupancy = g.manager.shard_occupancy();
+            if let Some((shard, residents)) = occupancy
+                .iter()
+                .enumerate()
+                .find(|(_, &r)| r > capacity_per_shard.max(1))
+            {
+                let reason = ScaleRefusal::Occupied {
+                    group: group as u64,
+                    shard: shard as u64,
+                    residents: *residents as u64,
+                    capacity: capacity_per_shard as u64,
+                };
+                self.append_resize(
+                    action,
+                    ScaleOutcome::Refused {
+                        reason: reason.clone(),
+                    },
+                );
+                return ScaleOutcome::Refused { reason };
+            }
+        }
+        g.manager.set_capacity_per_shard(capacity_per_shard);
+        self.append_resize(action, ScaleOutcome::Applied);
+        ScaleOutcome::Applied
+    }
+
+    /// AddGroup: append under the group-list write lock, so the new group
+    /// and its journal entry are atomic against checkpoints (which hold
+    /// the read lock).
+    fn resize_add(&self, index: usize, config: GroupConfig, action: &ScaleAction) -> ScaleOutcome {
+        let mut groups = self
+            .inner
+            .groups
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if index != groups.len() {
+            drop(groups);
+            return self.journal_refusal(
+                action,
+                ScaleRefusal::UnknownGroup {
+                    group: index as u64,
+                },
+            );
+        }
+        groups.push(Arc::new(GroupRuntime::from_config(config, true)));
+        self.append_resize(action, ScaleOutcome::Applied);
+        ScaleOutcome::Applied
+    }
+
+    /// Drain: capacity-feasibility check, then journaled moves, then the
+    /// retire + resize entry. All-or-nothing: an unplaceable resident
+    /// refuses the whole drain with the fleet unchanged (moves already
+    /// made for this drain are moved back).
+    fn resize_drain(&self, group: usize, action: &ScaleAction) -> Result<ScaleOutcome, FleetError> {
+        let Ok(g) = self.inner.group(group) else {
+            return Ok(self.journal_refusal(
+                action,
+                ScaleRefusal::UnknownGroup {
+                    group: group as u64,
+                },
+            ));
+        };
+        if g.is_retired() {
+            return Ok(self.journal_refusal(
+                action,
+                ScaleRefusal::Retired {
+                    group: group as u64,
+                },
+            ));
+        }
+        let groups = self.inner.groups_snapshot();
+        if groups.iter().filter(|g| !g.is_retired()).count() <= 1 {
+            return Ok(self.journal_refusal(action, ScaleRefusal::LastGroup));
+        }
+
+        // Feasibility first, against simulated per-shard occupancies — a
+        // pure function of journal-visible state, so a refusal replays to
+        // the same refusal. Placement targets mirror the move itself:
+        // `shard_for(app_index)` on each candidate group.
+        let placements = {
+            let residents = lock(&self.inner.residents);
+            let mut occupancy: Vec<Vec<usize>> =
+                groups.iter().map(|g| g.manager.shard_occupancy()).collect();
+            let mut placements: Vec<(u64, usize)> = Vec::new();
+            for (&id, entry) in residents.iter().filter(|(_, e)| e.group == group) {
+                let mut placed = false;
+                for (i, candidate) in groups.iter().enumerate() {
+                    if i == group || candidate.is_retired() {
+                        continue;
+                    }
+                    let shard = candidate.manager.shard_for(entry.app_index as u64);
+                    if occupancy[i][shard] < candidate.manager.capacity_per_shard() {
+                        occupancy[i][shard] += 1;
+                        placements.push((id, i));
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    drop(residents);
+                    return Ok(
+                        self.journal_refusal(action, ScaleRefusal::Unplaceable { resident: id })
+                    );
+                }
+            }
+            placements
+        };
+
+        // Execute the planned moves; each is a first-class journaled
+        // rebalance. A move can still fail (a contract rejection the
+        // capacity check cannot see, or a concurrent admission racing the
+        // plan): roll the completed moves back and refuse.
+        let mut moved: Vec<(u64, usize)> = Vec::new();
+        for (resident, to) in placements {
+            match self.move_resident(resident, to) {
+                Ok(_) => moved.push((resident, group)),
+                Err(FleetError::UnknownResident(_)) => {
+                    // Released concurrently — nothing left to move.
+                }
+                Err(FleetError::MoveSaturated { .. } | FleetError::MoveRejected { .. }) => {
+                    for (resident, back) in moved.into_iter().rev() {
+                        let _ = self.move_resident(resident, back);
+                    }
+                    return Ok(self.journal_refusal(action, ScaleRefusal::Unplaceable { resident }));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Retire + journal atomically against the group's decisions.
+        let _order = lock(&g.order);
+        g.retired.store(true, Ordering::Release);
+        self.append_resize(action, ScaleOutcome::Applied);
+        Ok(ScaleOutcome::Applied)
+    }
+
+    /// Appends a refusal entry and returns the refusal.
+    fn journal_refusal(&self, action: &ScaleAction, reason: ScaleRefusal) -> ScaleOutcome {
+        let outcome = ScaleOutcome::Refused { reason };
+        self.append_resize(action, outcome.clone());
+        outcome
+    }
+
+    fn append_resize(&self, action: &ScaleAction, outcome: ScaleOutcome) {
+        self.inner.journal.append(DecisionEvent::Resize {
+            action: action.clone(),
+            outcome,
+        });
+    }
+
+    /// Applies an already-journaled resize without re-journaling it — the
+    /// recovery path re-applying a recorded `Applied` resize. A recorded
+    /// drain's moves were re-applied from their own Rebalance entries, so
+    /// only the retire flag remains to set here.
+    fn apply_resize_unjournaled(&self, action: &ScaleAction) -> Result<(), FleetError> {
+        match action {
+            ScaleAction::Grow {
+                group,
+                capacity_per_shard,
+            }
+            | ScaleAction::Shrink {
+                group,
+                capacity_per_shard,
+            } => {
+                let g = self.group(*group as usize)?;
+                g.manager
+                    .set_capacity_per_shard(*capacity_per_shard as usize);
+            }
+            ScaleAction::AddGroup { group, shape } => {
+                self.apply_add_group(*group as usize, GroupConfig::from_shape(shape))?;
+            }
+            ScaleAction::Drain { group } => {
+                let g = self.group(*group as usize)?;
+                g.retired.store(true, Ordering::Release);
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a group without journaling (recovery/restore path).
+    fn apply_add_group(&self, index: usize, config: GroupConfig) -> Result<(), FleetError> {
+        let mut groups = self
+            .inner
+            .groups
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if index != groups.len() {
+            return Err(FleetError::Config(format!(
+                "recorded AddGroup index {index} does not match the fleet's next group {}",
+                groups.len()
+            )));
+        }
+        groups.push(Arc::new(GroupRuntime::from_config(config, true)));
+        Ok(())
+    }
+
     /// Stops every group's manager (new admissions fail, residents drain).
     pub fn stop(&self) {
-        for g in &self.inner.groups {
+        for g in self.inner.groups_snapshot() {
             g.manager.stop();
         }
     }
 
-    fn group(&self, index: usize) -> Result<&GroupRuntime, FleetError> {
-        self.inner
-            .groups
-            .get(index)
-            .ok_or(FleetError::UnknownGroup(index))
+    fn group(&self, index: usize) -> Result<Arc<GroupRuntime>, FleetError> {
+        self.inner.group(index)
     }
 
     /// Fresh instance + node assignment of the spec's application
@@ -1180,7 +1701,9 @@ impl FleetInner {
                     None => return false, // already released
                 }
             };
-            let g = &self.groups[group];
+            let Ok(g) = self.group(group) else {
+                return false;
+            };
             let _order = lock(&g.order);
             let entry = {
                 let mut residents = lock(&self.residents);
@@ -1199,6 +1722,30 @@ impl FleetInner {
             return false;
         }
     }
+}
+
+/// Least-utilised active group among those passing `eligible`, comparing
+/// resident/capacity ratios exactly (cross-multiplied, no floats), ties
+/// toward the lowest index. Retired groups never qualify.
+fn least_utilised(groups: &[Arc<GroupRuntime>], eligible: impl Fn(&GroupRuntime) -> bool) -> usize {
+    let mut best = 0usize;
+    let mut best_key: Option<(usize, usize)> = None; // (residents, capacity)
+    for (i, g) in groups.iter().enumerate() {
+        if g.is_retired() || !eligible(g) {
+            continue;
+        }
+        let key = (g.manager.resident_count(), g.capacity());
+        let better = match best_key {
+            None => true,
+            // r_i / c_i < r_best / c_best  ⇔  r_i · c_best < r_best · c_i
+            Some((rb, cb)) => key.0 * cb < rb * key.1,
+        };
+        if better {
+            best = i;
+            best_key = Some(key);
+        }
+    }
+    best
 }
 
 /// Helpers picking extreme-utilisation groups by exact ratio comparison.
@@ -1541,6 +2088,8 @@ pub struct GroupSnapshot {
     pub rejected: u64,
     /// Admissions bounced for lack of capacity on this group.
     pub saturated: u64,
+    /// `true` once the group was drained and retired (capacity reads 0).
+    pub retired: bool,
 }
 
 impl GroupSnapshot {
@@ -1579,6 +2128,10 @@ pub struct FleetSnapshot {
     pub released: u64,
     /// Total completed rebalance moves.
     pub rebalances: u64,
+    /// Elastic resizes applied (grow/shrink/add/drain).
+    pub resizes: u64,
+    /// Elastic resizes refused (journaled no-ops).
+    pub resize_refusals: u64,
 }
 
 impl FleetSnapshot {
@@ -1602,10 +2155,15 @@ impl FleetSnapshot {
             "group", "residents", "capacity", "util", "admitted", "rejected", "saturated"
         );
         for g in &self.groups {
+            let name = if g.retired {
+                format!("{}†", g.name)
+            } else {
+                g.name.clone()
+            };
             let _ = writeln!(
                 out,
                 "{:<10} {:>9} {:>9} {:>6.0}% {:>9} {:>9} {:>10}",
-                g.name,
+                name,
                 g.residents,
                 g.capacity,
                 100.0 * g.utilisation(),
@@ -1627,6 +2185,13 @@ impl FleetSnapshot {
             self.released,
             self.rebalances,
         );
+        if self.resizes > 0 || self.resize_refusals > 0 {
+            let _ = writeln!(
+                out,
+                "elastic: {} resizes applied, {} refused",
+                self.resizes, self.resize_refusals,
+            );
+        }
         out
     }
 }

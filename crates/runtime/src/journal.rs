@@ -24,7 +24,10 @@
 
 use crate::fleet::{FleetConfig, FleetError, FleetManager};
 use crate::service::{AdmissionDecision, AdmissionRequest, AdmissionService, ServiceError};
-use crate::wal::{CheckpointResident, FleetCheckpoint, WalConfig, WalRecovery, WalStats, WalStore};
+use crate::wal::{
+    CheckpointGroup, CheckpointResident, FleetCheckpoint, WalConfig, WalRecovery, WalStats,
+    WalStore,
+};
 use sdf::Rational;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -112,6 +115,136 @@ impl Default for JournalHeader {
     }
 }
 
+/// One elastic capacity change requested against a live fleet.
+///
+/// Capacity values are **absolute** (the new per-shard capacity, not a
+/// delta), so a recorded action means the same thing regardless of the
+/// fleet state it is replayed into, and `probcon plan` can apply a recorded
+/// resize stream verbatim. `AddGroup` records the index the fleet assigned
+/// at execution time, making the action self-describing for log folds that
+/// never rebuild a fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleAction {
+    /// Raise a group's per-shard capacity to `capacity_per_shard`.
+    Grow {
+        /// Group index to grow.
+        group: u64,
+        /// New (absolute) resident capacity per shard.
+        capacity_per_shard: u64,
+    },
+    /// Lower a group's per-shard capacity to `capacity_per_shard`.
+    Shrink {
+        /// Group index to shrink.
+        group: u64,
+        /// New (absolute) resident capacity per shard.
+        capacity_per_shard: u64,
+    },
+    /// Append a new group with the given shape.
+    AddGroup {
+        /// Index the fleet assigned to the new group.
+        group: u64,
+        /// Exact shape of the new group.
+        shape: GroupShape,
+    },
+    /// Rebalance every resident out of a group, then retire it. The drain
+    /// is all-or-nothing: if any resident cannot be placed elsewhere the
+    /// whole action is refused and the fleet is untouched.
+    Drain {
+        /// Group index to drain and retire.
+        group: u64,
+    },
+}
+
+impl fmt::Display for ScaleAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleAction::Grow {
+                group,
+                capacity_per_shard,
+            } => write!(f, "grow group {group} to {capacity_per_shard}/shard"),
+            ScaleAction::Shrink {
+                group,
+                capacity_per_shard,
+            } => write!(f, "shrink group {group} to {capacity_per_shard}/shard"),
+            ScaleAction::AddGroup { group, shape } => write!(
+                f,
+                "add group {group} ({} x {}/shard)",
+                shape.shards, shape.capacity_per_shard
+            ),
+            ScaleAction::Drain { group } => write!(f, "drain group {group}"),
+        }
+    }
+}
+
+/// Why a [`ScaleAction`] was refused. Refusals are journaled (as
+/// [`ScaleOutcome::Refused`]) exactly like applied actions, so a replay
+/// reproduces the controller's full decision stream, refusals included.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleRefusal {
+    /// A drain could not place this resident on any other group.
+    Unplaceable {
+        /// Fleet-wide resident id that had nowhere to go.
+        resident: u64,
+    },
+    /// A shrink would cut capacity below a shard's current occupancy.
+    Occupied {
+        /// Group whose shard is too full.
+        group: u64,
+        /// Shard index inside the group.
+        shard: u64,
+        /// Residents currently on the shard.
+        residents: u64,
+        /// Capacity the shrink asked for.
+        capacity: u64,
+    },
+    /// The fleet's last active group cannot be drained.
+    LastGroup,
+    /// The action named a group index the fleet does not have.
+    UnknownGroup {
+        /// The out-of-range group index.
+        group: u64,
+    },
+    /// The action named a group that has already been drained and retired.
+    Retired {
+        /// The retired group's index.
+        group: u64,
+    },
+}
+
+impl fmt::Display for ScaleRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleRefusal::Unplaceable { resident } => {
+                write!(f, "resident #{resident} cannot be placed on any other group")
+            }
+            ScaleRefusal::Occupied {
+                group,
+                shard,
+                residents,
+                capacity,
+            } => write!(
+                f,
+                "group {group} shard {shard} holds {residents} residents, above the requested capacity {capacity}"
+            ),
+            ScaleRefusal::LastGroup => write!(f, "cannot drain the last active group"),
+            ScaleRefusal::UnknownGroup { group } => write!(f, "no group {group}"),
+            ScaleRefusal::Retired { group } => write!(f, "group {group} is retired"),
+        }
+    }
+}
+
+/// Outcome of a journaled [`ScaleAction`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleOutcome {
+    /// The action was applied; the fleet's shape changed.
+    Applied,
+    /// The action was refused; nothing changed.
+    Refused {
+        /// Why the fleet refused.
+        reason: ScaleRefusal,
+    },
+}
+
 /// Outcome of a journaled admission attempt.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JournalOutcome {
@@ -146,6 +279,13 @@ pub enum DecisionEvent {
         required_throughput: Option<Rational>,
         /// What the admission decided.
         outcome: JournalOutcome,
+        /// Affinity tag the request carried, if any. Recorded so
+        /// [`RouteMode::Replan`](crate::planner::RouteMode) re-routes
+        /// affinity workloads the way the original front-end did. Omitted
+        /// from the serialized form when `None`, so journals written before
+        /// this field existed keep verifying their checksums.
+        #[serde(skip_none)]
+        affinity: Option<String>,
     },
     /// A resident released its capacity.
     Release {
@@ -163,6 +303,17 @@ pub enum DecisionEvent {
         /// Period predicted on the target group at move time.
         predicted_period: Rational,
     },
+    /// An elastic capacity change attempted by the autoscaler (or a manual
+    /// `resize` call) and its outcome. First-class in the journal so
+    /// replays reproduce autoscaled runs outcome-for-outcome: an `Applied`
+    /// resize re-applies the recorded shape change, a `Refused` one is a
+    /// recorded no-op.
+    Resize {
+        /// The capacity change that was attempted.
+        action: ScaleAction,
+        /// Whether the fleet applied or refused it.
+        outcome: ScaleOutcome,
+    },
 }
 
 impl fmt::Display for DecisionEvent {
@@ -173,8 +324,12 @@ impl fmt::Display for DecisionEvent {
                 app_index,
                 required_throughput,
                 outcome,
+                affinity,
             } => {
                 write!(f, "admit app{app_index} -> group {group}")?;
+                if let Some(tag) = affinity {
+                    write!(f, " (affinity {tag})")?;
+                }
                 if required_throughput.is_some() {
                     write!(f, " (contract)")?;
                 }
@@ -199,6 +354,13 @@ impl fmt::Display for DecisionEvent {
                 f,
                 "rebalance #{resident}: group {from_group} -> {to_group} period {predicted_period}"
             ),
+            DecisionEvent::Resize { action, outcome } => {
+                write!(f, "resize: {action}")?;
+                match outcome {
+                    ScaleOutcome::Applied => write!(f, ": applied"),
+                    ScaleOutcome::Refused { reason } => write!(f, ": refused ({reason})"),
+                }
+            }
         }
     }
 }
@@ -270,6 +432,13 @@ pub enum JournalError {
         /// Fold point of the base checkpoint (history before it is gone).
         upto_seq: u64,
     },
+    /// The path is a segmented WAL **directory**, but the operation only
+    /// reads single-file journals. `probcon journal compact <dir> --out
+    /// <file>` renders the directory into one they can read.
+    IsWalDirectory {
+        /// The directory that was passed where a file was expected.
+        path: String,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -303,6 +472,14 @@ impl fmt::Display for JournalError {
                 write!(
                     f,
                     "history before seq {upto_seq} was folded into a snapshot checkpoint"
+                )
+            }
+            JournalError::IsWalDirectory { path } => {
+                write!(
+                    f,
+                    "{path} is a segmented WAL directory, which this operation cannot read \
+                     directly; run `probcon journal compact {path} --out <file>` to render it \
+                     into a single journal file first"
                 )
             }
         }
@@ -1106,6 +1283,11 @@ impl Journal {
     /// Any [`JournalError`] variant.
     pub fn read_from(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
         let path = path.as_ref();
+        if path.is_dir() {
+            return Err(JournalError::IsWalDirectory {
+                path: path.display().to_string(),
+            });
+        }
         let file = File::open(path)
             .map_err(|e| JournalError::Io(format!("read {}: {e}", path.display())))?;
         let mut reader = BufReader::new(file);
@@ -1245,6 +1427,10 @@ pub fn fold_checkpoint(
                 .collect()
         })
         .unwrap_or_default();
+    let mut groups: BTreeMap<u64, CheckpointGroup> = base
+        .and_then(|c| c.groups.clone())
+        .map(|gs| gs.into_iter().map(|g| (g.group, g)).collect())
+        .unwrap_or_default();
     let mut next_resident = base.map_or(0, |c| c.next_resident);
     let mut upto_seq = base.map_or(0, |c| c.upto_seq);
     for entry in entries {
@@ -1255,6 +1441,7 @@ pub fn fold_checkpoint(
                 app_index,
                 required_throughput,
                 outcome: JournalOutcome::Admitted { resident, .. },
+                ..
             } => {
                 residents.insert(
                     *resident,
@@ -1279,9 +1466,41 @@ pub fn fold_checkpoint(
                     r.group = *to_group;
                 }
             }
+            DecisionEvent::Resize {
+                action,
+                outcome: ScaleOutcome::Applied,
+            } => match action {
+                ScaleAction::Grow {
+                    group,
+                    capacity_per_shard,
+                }
+                | ScaleAction::Shrink {
+                    group,
+                    capacity_per_shard,
+                } => {
+                    groups
+                        .entry(*group)
+                        .or_insert_with(|| CheckpointGroup::unchanged(*group))
+                        .capacity_per_shard = Some(*capacity_per_shard);
+                }
+                ScaleAction::AddGroup { group, shape } => {
+                    let mut added = CheckpointGroup::unchanged(*group);
+                    added.added = Some(shape.clone());
+                    groups.insert(*group, added);
+                }
+                ScaleAction::Drain { group } => {
+                    groups
+                        .entry(*group)
+                        .or_insert_with(|| CheckpointGroup::unchanged(*group))
+                        .retired = true;
+                }
+            },
+            // A refused resize changed nothing, by definition.
+            DecisionEvent::Resize { .. } => {}
         }
     }
     FleetCheckpoint::new(upto_seq, next_resident, residents.into_values().collect())
+        .with_groups(groups.into_values().collect())
 }
 
 /// Human-readable first difference between two headers that refused to
@@ -1464,6 +1683,7 @@ impl<'a> JournalReplayer<'a> {
                         app_index,
                         required_throughput,
                         outcome,
+                        affinity,
                     } => replay_admit(
                         service,
                         &mut live,
@@ -1471,6 +1691,7 @@ impl<'a> JournalReplayer<'a> {
                         *app_index,
                         *required_throughput,
                         outcome,
+                        affinity.clone(),
                     ),
                     DecisionEvent::Release { resident } => {
                         let expected = format!("release #{resident}");
@@ -1516,6 +1737,40 @@ impl<'a> JournalReplayer<'a> {
                             None => (expected, format!("resident #{resident} unknown"), false),
                         }
                     }
+                    DecisionEvent::Resize { action, outcome } => {
+                        let expected = match outcome {
+                            ScaleOutcome::Applied => format!("resize {action}: applied"),
+                            ScaleOutcome::Refused { reason } => {
+                                format!("resize {action}: refused ({reason})")
+                            }
+                        };
+                        // Re-execute through the fleet's journaled resize
+                        // path: the outcome (applied or the exact refusal)
+                        // is a deterministic function of the resident mix,
+                        // which the replayed prefix reproduces. A recorded
+                        // drain's moves were journaled as Rebalance entries
+                        // *before* its Resize entry, so by now the group is
+                        // already empty and the re-executed drain moves
+                        // nothing.
+                        match fleet.resize(action.clone()) {
+                            Ok(replayed) => {
+                                // An unplaceable-resident refusal names a
+                                // live replay id; translate it back to the
+                                // recording's id before comparing.
+                                let replayed = translate_refusal(replayed, &live);
+                                let got = match &replayed {
+                                    ScaleOutcome::Applied => {
+                                        format!("resize {action}: applied")
+                                    }
+                                    ScaleOutcome::Refused { reason } => {
+                                        format!("resize {action}: refused ({reason})")
+                                    }
+                                };
+                                (expected, got, replayed == *outcome)
+                            }
+                            Err(e) => (expected, format!("resize failed: {e}"), false),
+                        }
+                    }
                 };
                 if matched {
                     report.matches += 1;
@@ -1539,6 +1794,27 @@ impl<'a> JournalReplayer<'a> {
     }
 }
 
+/// Maps a refusal that names a live replay resident id back to the
+/// recording's id, so refusal outcomes compare against the journal even
+/// when replay ids drifted from a concurrent recording's.
+fn translate_refusal(outcome: ScaleOutcome, live: &HashMap<u64, u64>) -> ScaleOutcome {
+    match outcome {
+        ScaleOutcome::Refused {
+            reason: ScaleRefusal::Unplaceable { resident },
+        } => {
+            let recorded = live
+                .iter()
+                .find(|(_, &id)| id == resident)
+                .map_or(resident, |(&recorded, _)| recorded);
+            ScaleOutcome::Refused {
+                reason: ScaleRefusal::Unplaceable { resident: recorded },
+            }
+        }
+        other => other,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn replay_admit(
     service: &dyn AdmissionService,
     live: &mut HashMap<u64, u64>,
@@ -1546,6 +1822,7 @@ fn replay_admit(
     app_index: u64,
     required_throughput: Option<Rational>,
     outcome: &JournalOutcome,
+    affinity: Option<String>,
 ) -> (String, String, bool) {
     let expected = match outcome {
         JournalOutcome::Admitted {
@@ -1559,7 +1836,7 @@ fn replay_admit(
     let request = AdmissionRequest {
         app_index: app_index as usize,
         required_throughput,
-        affinity: None,
+        affinity,
         target: Some(group as usize),
     };
     match service.admit(&request) {
@@ -1612,18 +1889,21 @@ mod tests {
                     resident: 0,
                     predicted_period: Rational::new(1075, 3),
                 },
+                affinity: None,
             },
             DecisionEvent::Admit {
                 group: 1,
                 app_index: 0,
                 required_throughput: None,
                 outcome: JournalOutcome::Rejected { violations: 2 },
+                affinity: None,
             },
             DecisionEvent::Admit {
                 group: 1,
                 app_index: 0,
                 required_throughput: None,
                 outcome: JournalOutcome::Saturated,
+                affinity: None,
             },
             DecisionEvent::Rebalance {
                 resident: 0,

@@ -81,6 +81,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autoscaler;
 pub mod cache;
 pub mod executor;
 pub mod fleet;
@@ -95,6 +96,10 @@ pub mod service;
 pub mod telemetry;
 pub mod wal;
 
+pub use autoscaler::{
+    evaluate, Autoscaled, Autoscaler, AutoscalerHandle, AutoscalerStatus, ControllerState,
+    GroupObservation, Observation, ScaleDecision, ScalePolicy, TargetPolicy,
+};
 pub use cache::{CacheKey, EstimateCache};
 pub use executor::{seeded_requests, BatchExecutor, BatchReport, Request};
 pub use fleet::{
@@ -110,7 +115,7 @@ pub use frontend::{FrontEnd, FrontEndConfig};
 pub use journal::{
     fold_checkpoint, ClientScope, DecisionEvent, Divergence, GroupShape, Journal, JournalEntry,
     JournalError, JournalHeader, JournalOutcome, JournalPage, JournalReplayer, ReplayReport,
-    JOURNAL_CHECKPOINT_VERSION, JOURNAL_VERSION,
+    ScaleAction, ScaleOutcome, ScaleRefusal, JOURNAL_CHECKPOINT_VERSION, JOURNAL_VERSION,
 };
 pub use manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
@@ -118,7 +123,7 @@ pub use manager::{
 pub use metrics::{LatencySummary, RuntimeMetrics};
 pub use planner::{
     FleetShape, Flip, FlipKind, GroupUsage, OutcomeTotals, PlanError, PlanReport, PlanRun,
-    PlanSweep, RouteMode, SaturationWindow, SweepReport,
+    PlanSweep, PolicyDecision, RouteMode, SaturationWindow, SweepReport,
 };
 pub use remote::{
     JournalSource, RemoteAddr, RemoteClient, RemoteServer, RemoteServerConfig, RemoteServerStats,
@@ -133,6 +138,6 @@ pub use telemetry::{
     TraceRecorder, TraceStats, Traced,
 };
 pub use wal::{
-    CheckpointResident, FleetCheckpoint, FsyncPolicy, Manifest, SegmentMeta, SnapshotMeta,
-    WalConfig, WalRecovery, WalStats, MANIFEST_FILE, WAL_VERSION,
+    CheckpointGroup, CheckpointResident, FleetCheckpoint, FsyncPolicy, Manifest, SegmentMeta,
+    SnapshotMeta, WalConfig, WalRecovery, WalStats, MANIFEST_FILE, WAL_VERSION,
 };

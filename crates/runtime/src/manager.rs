@@ -150,6 +150,12 @@ struct Shard {
 struct Inner {
     shards: Vec<Shard>,
     config: ResourceManagerConfig,
+    /// Live per-shard capacity — starts at `config.capacity_per_shard` and
+    /// moves when an elastic fleet grows or shrinks the group this manager
+    /// backs. Admissions read it at decision time, so outstanding tickets
+    /// survive a shrink (an over-full shard simply refuses new admissions
+    /// until it drains below the new bound).
+    capacity_per_shard: std::sync::atomic::AtomicUsize,
     metrics: RuntimeMetrics,
     /// Bound workload spec + resident registry for the
     /// [`AdmissionService`](crate::AdmissionService) path.
@@ -198,6 +204,7 @@ impl ResourceManager {
         ResourceManager {
             inner: Arc::new(Inner {
                 shards,
+                capacity_per_shard: std::sync::atomic::AtomicUsize::new(config.capacity_per_shard),
                 config,
                 metrics: RuntimeMetrics::new(),
                 service: crate::service::ServiceState::default(),
@@ -216,7 +223,45 @@ impl ResourceManager {
 
     /// Total resident capacity (`shards × capacity_per_shard`).
     pub fn capacity(&self) -> usize {
-        self.inner.config.shards * self.inner.config.capacity_per_shard
+        self.inner.config.shards * self.capacity_per_shard()
+    }
+
+    /// Live per-shard capacity (see
+    /// [`set_capacity_per_shard`](Self::set_capacity_per_shard)).
+    pub fn capacity_per_shard(&self) -> usize {
+        self.inner
+            .capacity_per_shard
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Moves the per-shard capacity to `capacity` (clamped to ≥ 1) and
+    /// returns the previous value. Growing wakes queued admissions; an
+    /// over-full shard after a shrink keeps its residents and refuses new
+    /// admissions until it drains below the new bound.
+    pub fn set_capacity_per_shard(&self, capacity: usize) -> usize {
+        let previous = self
+            .inner
+            .capacity_per_shard
+            .swap(capacity.max(1), std::sync::atomic::Ordering::AcqRel);
+        if capacity.max(1) > previous {
+            for shard in &self.inner.shards {
+                // Take the state lock so the notify cannot race a waiter
+                // between its capacity check and its wait.
+                let _state = lock(&shard.state);
+                shard.cond.notify_all();
+            }
+        }
+        previous
+    }
+
+    /// Resident count of every shard, in shard order — the occupancy view
+    /// a shrink checks before lowering capacity.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| lock(&s.state).ctrl.resident_count())
+            .collect()
     }
 
     pub(crate) fn service_state(&self) -> &crate::service::ServiceState {
@@ -340,7 +385,6 @@ impl ResourceManager {
     ) -> Result<Admission, AdmitError> {
         let start = Instant::now();
         let deadline = timeout.map(|t| start + t);
-        let capacity = self.inner.config.capacity_per_shard;
         let shard = self.shard(shard_index)?;
         let mut state = lock(&shard.state);
 
@@ -349,8 +393,10 @@ impl ResourceManager {
             return Err(AdmitError::Stopped);
         }
 
-        // Fast path: free capacity and nobody queued ahead of us.
-        if state.waiters.is_empty() && state.ctrl.resident_count() < capacity {
+        // Fast path: free capacity and nobody queued ahead of us. The
+        // capacity is re-read at every check so elastic resizes apply to
+        // queued admissions too.
+        if state.waiters.is_empty() && state.ctrl.resident_count() < self.capacity_per_shard() {
             return self.decide(
                 shard_index,
                 shard,
@@ -376,7 +422,7 @@ impl ResourceManager {
                 QueueMode::Fifo => state.waiters.front() == Some(&id),
                 QueueMode::Lifo => state.waiters.back() == Some(&id),
             };
-            if my_turn && state.ctrl.resident_count() < capacity {
+            if my_turn && state.ctrl.resident_count() < self.capacity_per_shard() {
                 remove_waiter(&mut state, id);
                 // Remaining capacity may admit further waiters.
                 shard.cond.notify_all();

@@ -70,7 +70,9 @@
 //! ```
 
 use crate::fleet::{FleetConfig, FleetError, FleetManager, GroupConfig, RoutingPolicy};
-use crate::journal::{DecisionEvent, GroupShape, Journal, JournalHeader, JournalOutcome};
+use crate::journal::{
+    DecisionEvent, GroupShape, Journal, JournalHeader, JournalOutcome, ScaleOutcome,
+};
 use crate::service::{AdmissionDecision, AdmissionRequest, AdmissionService, ServiceError};
 use crate::wal::FleetCheckpoint;
 use platform::SystemSpec;
@@ -281,6 +283,10 @@ pub enum FlipKind {
     /// Same outcome class, different group: the hypothetical routing sent
     /// the request elsewhere.
     Rerouted,
+    /// A recorded elastic resize ([`DecisionEvent::Resize`]) came out
+    /// differently on the hypothetical fleet — it applied where the
+    /// recording refused, or vice versa.
+    ResizeDiverged,
 }
 
 impl fmt::Display for FlipKind {
@@ -289,6 +295,7 @@ impl fmt::Display for FlipKind {
             FlipKind::RejectedNowAdmitted => write!(f, "rejected-now-admitted"),
             FlipKind::AdmittedNowRejected => write!(f, "admitted-now-rejected"),
             FlipKind::Rerouted => write!(f, "rerouted"),
+            FlipKind::ResizeDiverged => write!(f, "resize-diverged"),
         }
     }
 }
@@ -453,12 +460,13 @@ impl From<ServiceError> for PlanError {
 
 /// One counterfactual replay of a journal against a hypothetical
 /// [`FleetShape`] (see the [module docs](self)).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PlanRun<'a> {
     spec: &'a SystemSpec,
     journal: &'a Journal,
     shape: &'a FleetShape,
     routing: RouteMode,
+    scale_policy: Option<(crate::autoscaler::ScalePolicy, u64)>,
 }
 
 impl<'a> PlanRun<'a> {
@@ -471,6 +479,7 @@ impl<'a> PlanRun<'a> {
             journal,
             shape,
             routing: RouteMode::Auto,
+            scale_policy: None,
         }
     }
 
@@ -478,6 +487,23 @@ impl<'a> PlanRun<'a> {
     #[must_use]
     pub fn with_routing(mut self, routing: RouteMode) -> PlanRun<'a> {
         self.routing = routing;
+        self
+    }
+
+    /// Evaluates an elastic [`ScalePolicy`](crate::ScalePolicy) against
+    /// the recorded stream: an [`Autoscaler`](crate::Autoscaler) over the
+    /// hypothetical fleet ticks every `every` replayed events, its
+    /// actions land in [`PlanReport::policy_actions`], and the journal's
+    /// own recorded resizes are *skipped* (the policy under evaluation
+    /// decides capacity instead). `probcon plan --policy-file` drives
+    /// this.
+    #[must_use]
+    pub fn with_scale_policy(
+        mut self,
+        policy: crate::autoscaler::ScalePolicy,
+        every: u64,
+    ) -> PlanRun<'a> {
+        self.scale_policy = Some((policy, every.max(1)));
         self
     }
 
@@ -515,7 +541,6 @@ impl<'a> PlanRun<'a> {
         let config = self.shape.to_config()?;
         let fleet = FleetManager::new(self.spec.clone(), config)?;
         let service: &dyn AdmissionService = &fleet;
-        let groups = fleet.group_count();
         let reuse_recorded = match self.routing {
             RouteMode::Replan => false,
             RouteMode::Recorded => true,
@@ -541,11 +566,27 @@ impl<'a> PlanRun<'a> {
             rebalances_applied: 0,
             rebalances_failed: 0,
             rebalances_skipped: 0,
+            resizes_applied: 0,
+            resizes_refused: 0,
+            resizes_skipped: 0,
             restored: 0,
             groups: Vec::new(),
             residents_at_end: 0,
+            policy: self.scale_policy.as_ref().map(|(policy, _)| policy.label()),
+            policy_actions: Vec::new(),
         };
         let mut usage = UsageTracker::new(&fleet);
+        // Policy evaluation: the controller observes the same fleet the
+        // replay mutates, so its decisions see the replayed load.
+        let controller = self.scale_policy.as_ref().map(|(policy, every)| {
+            (
+                crate::autoscaler::Autoscaler::new(
+                    std::sync::Arc::new(fleet.clone()),
+                    policy.clone(),
+                ),
+                *every,
+            )
+        });
 
         // Journals compacted into a snapshot checkpoint carry the fleet's
         // resident state instead of the admissions that built it: seed the
@@ -586,18 +627,20 @@ impl<'a> PlanRun<'a> {
                         app_index,
                         required_throughput,
                         outcome,
+                        affinity,
                     } => {
                         self.replay_admit(
                             service,
                             &mut live,
                             &mut report,
                             reuse_recorded,
-                            groups,
+                            fleet.group_count(),
                             entry.seq,
                             *group,
                             *app_index,
                             *required_throughput,
                             outcome,
+                            affinity.clone(),
                         )?;
                     }
                     DecisionEvent::Release { resident } => match live.remove(resident) {
@@ -612,7 +655,7 @@ impl<'a> PlanRun<'a> {
                     DecisionEvent::Rebalance {
                         resident, to_group, ..
                     } => match live.get(resident) {
-                        Some(&id) if (*to_group as usize) < groups => {
+                        Some(&id) if (*to_group as usize) < fleet.group_count() => {
                             match fleet.move_resident(id, *to_group as usize) {
                                 Ok(_) => report.rebalances_applied += 1,
                                 // Already there in the counterfactual (its
@@ -629,8 +672,59 @@ impl<'a> PlanRun<'a> {
                         // resident was never admitted here.
                         Some(_) | None => report.rebalances_skipped += 1,
                     },
+                    // Under policy evaluation the policy decides capacity;
+                    // the recording's own resizes are skipped wholesale.
+                    DecisionEvent::Resize { .. } if controller.is_some() => {
+                        report.resizes_skipped += 1;
+                    }
+                    DecisionEvent::Resize { action, outcome } => match outcome {
+                        // Re-execute applied resizes so the hypothetical
+                        // fleet's shape evolves the way the recording's
+                        // did. Actions carry absolute capacities and the
+                        // fleet-assigned group index, so on the identity
+                        // shape they re-apply verbatim; on a different
+                        // shape a refusal is a genuine divergence.
+                        ScaleOutcome::Applied => match fleet.resize(action.clone())? {
+                            ScaleOutcome::Applied => report.resizes_applied += 1,
+                            ScaleOutcome::Refused { reason } => {
+                                report.resizes_refused += 1;
+                                report.flips.push(Flip {
+                                    seq: entry.seq,
+                                    kind: FlipKind::ResizeDiverged,
+                                    recorded: format!("resize applied: {action}"),
+                                    hypothetical: format!("resize refused: {reason}"),
+                                });
+                            }
+                        },
+                        // A refused resize mutated nothing in the
+                        // recording; the counterfactual leaves its fleet
+                        // alone too.
+                        ScaleOutcome::Refused { .. } => report.resizes_skipped += 1,
+                    },
                 }
                 usage.observe(entry.seq, &fleet);
+                if let Some((controller, every)) = &controller {
+                    if (report.events as u64).is_multiple_of(*every) {
+                        if let Some((action, outcome)) =
+                            controller.tick().map_err(PlanError::Fleet)?
+                        {
+                            match &outcome {
+                                ScaleOutcome::Applied => report.resizes_applied += 1,
+                                ScaleOutcome::Refused { .. } => report.resizes_refused += 1,
+                            }
+                            report.policy_actions.push(PolicyDecision {
+                                after_event: report.events as u64,
+                                action: action.to_string(),
+                                outcome: match &outcome {
+                                    ScaleOutcome::Applied => "applied".to_string(),
+                                    ScaleOutcome::Refused { reason } => {
+                                        format!("refused ({reason})")
+                                    }
+                                },
+                            });
+                        }
+                    }
+                }
             }
         }
 
@@ -654,6 +748,7 @@ impl<'a> PlanRun<'a> {
         app_index: u64,
         required_throughput: Option<sdf::Rational>,
         outcome: &JournalOutcome,
+        affinity: Option<String>,
     ) -> Result<(), PlanError> {
         let recorded_admitted = match outcome {
             JournalOutcome::Admitted { .. } => {
@@ -682,10 +777,13 @@ impl<'a> PlanRun<'a> {
         } else {
             None
         };
+        // The recorded affinity tag rides along so `RouteMode::Replan`
+        // re-routes through the same affinity path the recording used
+        // (under `Recorded` routing the explicit target wins anyway).
         let request = AdmissionRequest {
             app_index: app_index as usize,
             required_throughput,
-            affinity: None,
+            affinity,
             target,
         };
         let decision = service.admit(&request)?;
@@ -761,25 +859,42 @@ struct UsageTracker {
 
 impl UsageTracker {
     fn new(fleet: &FleetManager) -> UsageTracker {
-        let groups = fleet.group_count();
-        UsageTracker {
-            names: (0..groups)
-                .map(|g| fleet.group_name(g).unwrap_or("?").to_string())
-                .collect(),
-            capacities: (0..groups)
-                .map(|g| fleet.capacity_of(g).unwrap_or(0) as u64)
-                .collect(),
-            peaks: vec![0; groups],
-            resident_sums: vec![0; groups],
-            saturated_events: vec![0; groups],
-            open_window: vec![None; groups],
-            windows: vec![Vec::new(); groups],
+        let mut tracker = UsageTracker {
+            names: Vec::new(),
+            capacities: Vec::new(),
+            peaks: Vec::new(),
+            resident_sums: Vec::new(),
+            saturated_events: Vec::new(),
+            open_window: Vec::new(),
+            windows: Vec::new(),
             events: 0,
             last_seq: 0,
+        };
+        tracker.sync_groups(fleet);
+        tracker
+    }
+
+    /// Grows the per-group accumulators to the fleet's current group
+    /// count (a replayed `AddGroup` can appear mid-journal) and refreshes
+    /// capacities, which elastic resizes move under the replay.
+    fn sync_groups(&mut self, fleet: &FleetManager) {
+        for g in self.capacities.len()..fleet.group_count() {
+            self.names
+                .push(fleet.group_name(g).unwrap_or_else(|_| "?".to_string()));
+            self.capacities.push(0);
+            self.peaks.push(0);
+            self.resident_sums.push(0);
+            self.saturated_events.push(0);
+            self.open_window.push(None);
+            self.windows.push(Vec::new());
+        }
+        for g in 0..self.capacities.len() {
+            self.capacities[g] = fleet.capacity_of(g).unwrap_or(0) as u64;
         }
     }
 
     fn observe(&mut self, seq: u64, fleet: &FleetManager) {
+        self.sync_groups(fleet);
         self.events += 1;
         self.last_seq = seq;
         for g in 0..self.capacities.len() {
@@ -863,6 +978,14 @@ pub struct PlanReport {
     /// Recorded rebalances skipped (resident flipped away, target group
     /// absent, or resident already on the target).
     pub rebalances_skipped: u64,
+    /// Recorded elastic resizes that re-applied cleanly.
+    pub resizes_applied: u64,
+    /// Recorded applied resizes the hypothetical fleet refused (each is
+    /// also a [`FlipKind::ResizeDiverged`] flip).
+    pub resizes_refused: u64,
+    /// Recorded refused resizes (nothing to re-apply — a refusal mutates
+    /// nothing).
+    pub resizes_skipped: u64,
     /// Residents seeded from the journal's snapshot checkpoint before the
     /// entry replay (zero for uncompacted journals).
     pub restored: u64,
@@ -870,6 +993,24 @@ pub struct PlanReport {
     pub groups: Vec<GroupUsage>,
     /// Residents still live when the journal ended.
     pub residents_at_end: usize,
+    /// Label of the elastic policy under evaluation
+    /// ([`PlanRun::with_scale_policy`]); absent on plain replays.
+    #[serde(skip_none)]
+    pub policy: Option<String>,
+    /// Resize timeline the evaluated policy produced, in replay order.
+    pub policy_actions: Vec<PolicyDecision>,
+}
+
+/// One action an evaluated [`ScalePolicy`](crate::ScalePolicy) took
+/// during a counterfactual replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyDecision {
+    /// Number of journal events replayed when the action fired.
+    pub after_event: u64,
+    /// The action, rendered.
+    pub action: String,
+    /// `"applied"` or `"refused (...)"`.
+    pub outcome: String,
 }
 
 impl PlanReport {
@@ -950,6 +1091,30 @@ impl PlanReport {
             self.untracked_admissions,
             self.residents_at_end,
         );
+        if self.resizes_applied + self.resizes_refused + self.resizes_skipped > 0 {
+            let _ = writeln!(
+                out,
+                "resizes: {} applied, {} refused ({} resize-diverged flips), {} skipped",
+                self.resizes_applied,
+                self.resizes_refused,
+                self.count(FlipKind::ResizeDiverged),
+                self.resizes_skipped,
+            );
+        }
+        if let Some(policy) = &self.policy {
+            let _ = writeln!(
+                out,
+                "policy under evaluation: {policy} ({} action(s))",
+                self.policy_actions.len()
+            );
+            for decision in &self.policy_actions {
+                let _ = writeln!(
+                    out,
+                    "  after event {:>6}: {} -> {}",
+                    decision.after_event, decision.action, decision.outcome
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "{:<12} {:>9} {:>9} {:>10} {:>10}  saturation windows",
@@ -1318,6 +1483,7 @@ mod tests {
             app_index,
             required_throughput: None,
             outcome,
+            affinity: None,
         }
     }
 

@@ -832,7 +832,16 @@ impl AdmissionService for FleetManager {
     /// fleet exactly like ticket-based admissions.
     fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
         let result = match request.target {
-            Some(group) => self.admit_to(group, request.app_index, request.required_throughput),
+            // Pass the affinity tag through even on targeted admissions:
+            // it does not steer the decision (the target does), but the
+            // journaled entry must carry it so replays re-record the
+            // recorded stream byte for byte.
+            Some(group) => self.admit_to_with_affinity(
+                group,
+                request.app_index,
+                request.required_throughput,
+                request.affinity.as_deref(),
+            ),
             None => FleetManager::admit(
                 self,
                 request.app_index,
@@ -877,6 +886,8 @@ impl AdmissionService for FleetManager {
             layers: vec![LayerMetrics::new("fleet")
                 .counter("groups", self.group_count() as u64)
                 .counter("rebalances", snapshot.rebalances)
+                .counter("resizes", snapshot.resizes)
+                .counter("resize_refusals", snapshot.resize_refusals)
                 .counter("journal_entries", self.journal().len() as u64)],
         }
     }
@@ -1158,6 +1169,7 @@ impl<S: AdmissionService> AdmissionService for Journaled<S> {
             app_index: request.app_index as u64,
             required_throughput: request.required_throughput,
             outcome,
+            affinity: request.affinity.clone(),
         });
         Ok(decision)
     }

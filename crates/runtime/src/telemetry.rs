@@ -704,7 +704,7 @@ pub struct TraceStats {
 /// Live telemetry aggregated across every layer of an admission stack:
 /// the layered [`ServiceSnapshot`], full per-op latency distributions,
 /// and flight-recorder stats.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
     /// Layered counters and op rates (same shape as
     /// [`AdmissionService::snapshot`]).
@@ -713,6 +713,12 @@ pub struct TelemetrySnapshot {
     pub histograms: Vec<OpHistogram>,
     /// Flight-recorder stats from the outermost [`Traced`] layer.
     pub trace: TraceStats,
+    /// Live autoscaler state when an elastic controller runs over this
+    /// service (`probcon serve --autoscale`); absent otherwise. Trailing
+    /// `skip_none` field: snapshots from builds without a controller
+    /// parse unchanged.
+    #[serde(skip_none)]
+    pub autoscaler: Option<crate::autoscaler::AutoscalerStatus>,
 }
 
 impl TelemetrySnapshot {
@@ -723,6 +729,7 @@ impl TelemetrySnapshot {
             service,
             histograms: Vec::new(),
             trace: TraceStats::default(),
+            autoscaler: None,
         }
     }
 
@@ -791,6 +798,9 @@ impl TelemetrySnapshot {
                 "trace: {} recorded, {} dropped, capacity {}",
                 self.trace.recorded, self.trace.dropped, self.trace.capacity
             );
+        }
+        if let Some(autoscaler) = &self.autoscaler {
+            let _ = writeln!(out, "{}", autoscaler.render());
         }
         out
     }

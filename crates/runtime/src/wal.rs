@@ -34,7 +34,7 @@
 //! (fsync every append), `every-N` (group commit), or `on-rotate` (fsync
 //! only at segment seal — fastest, widest loss window).
 
-use crate::journal::{checksum_of, fnv1a64, JournalEntry, JournalError, JournalHeader};
+use crate::journal::{checksum_of, fnv1a64, GroupShape, JournalEntry, JournalError, JournalHeader};
 use sdf::Rational;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -114,6 +114,14 @@ pub struct WalConfig {
     /// Recent entries kept in memory (the bounded tail served by
     /// [`Journal::recent`](crate::Journal::recent)).
     pub tail_entries: usize,
+    /// Snapshot checkpoints retained on disk (≥ 1). The newest is the live
+    /// base; older retained snapshots (and every segment after the oldest
+    /// one's fold point) stay on disk for point-in-time replay: copy the
+    /// header, an older `snapshot-*.json` and the segments from its fold
+    /// point into a fresh journal to rewind the fleet to that moment.
+    /// Segment GC is keyed to the **oldest** retained snapshot, so `keep_snapshots: 1`
+    /// reproduces the original keep-exactly-one behavior.
+    pub keep_snapshots: usize,
 }
 
 impl Default for WalConfig {
@@ -122,6 +130,7 @@ impl Default for WalConfig {
             segment_max_entries: 8192,
             fsync: FsyncPolicy::default(),
             tail_entries: 1024,
+            keep_snapshots: 1,
         }
     }
 }
@@ -163,6 +172,12 @@ pub struct Manifest {
     pub segments: Vec<SegmentMeta>,
     /// The newest snapshot checkpoint, if one was taken.
     pub snapshot: Option<SnapshotMeta>,
+    /// Older snapshots still retained for point-in-time replay, oldest
+    /// first (see [`WalConfig::keep_snapshots`]). Omitted from the
+    /// serialized form when `None`, so manifests written before the
+    /// retention knob existed keep verifying their checksums.
+    #[serde(skip_none)]
+    pub snapshot_history: Option<Vec<SnapshotMeta>>,
     /// FNV-1a over this manifest's canonical JSON with `checksum` zeroed.
     pub checksum: u64,
 }
@@ -204,6 +219,40 @@ pub struct CheckpointResident {
     pub admitted_seq: u64,
 }
 
+/// One group's shape as folded into a [`FleetCheckpoint`], recorded only
+/// when resize events changed the group from (or added it beyond) the
+/// journal header's fleet shape. Restores apply these overrides **before**
+/// re-admitting residents, so a checkpoint taken after a grow restores
+/// into a fleet big enough to hold what the recording admitted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointGroup {
+    /// Group index in the fleet.
+    pub group: u64,
+    /// Full shape of a group added after the header was stamped
+    /// (`ScaleAction::AddGroup`); `None` for groups the header records.
+    #[serde(skip_none)]
+    pub added: Option<GroupShape>,
+    /// Absolute per-shard capacity after the last applied grow/shrink;
+    /// `None` when the capacity still matches the header (or `added`)
+    /// shape.
+    #[serde(skip_none)]
+    pub capacity_per_shard: Option<u64>,
+    /// `true` once the group was drained and retired.
+    pub retired: bool,
+}
+
+impl CheckpointGroup {
+    /// An override that (so far) changes nothing about `group`.
+    pub fn unchanged(group: u64) -> CheckpointGroup {
+        CheckpointGroup {
+            group,
+            added: None,
+            capacity_per_shard: None,
+            retired: false,
+        }
+    }
+}
+
 /// A snapshot checkpoint: the fleet's live-resident state with every
 /// decision before `upto_seq` already folded in.
 ///
@@ -220,6 +269,13 @@ pub struct FleetCheckpoint {
     pub next_resident: u64,
     /// Every live resident at the fold point, ordered by id.
     pub residents: Vec<CheckpointResident>,
+    /// Per-group shape overrides at the fold point, ordered by group index
+    /// — present only when applied resizes changed the fleet from its
+    /// header shape. Omitted from the serialized form when `None`, so
+    /// checkpoints written before elasticity existed keep verifying their
+    /// checksums.
+    #[serde(skip_none)]
+    pub groups: Option<Vec<CheckpointGroup>>,
     /// FNV-1a over this checkpoint's canonical JSON with `checksum`
     /// zeroed.
     pub checksum: u64,
@@ -237,10 +293,26 @@ impl FleetCheckpoint {
             upto_seq,
             next_resident,
             residents,
+            groups: None,
             checksum: 0,
         };
         checkpoint.checksum = checkpoint.computed_checksum();
         checkpoint
+    }
+
+    /// The same checkpoint with per-group shape overrides folded in and
+    /// the checksum re-stamped. An empty list normalizes to `None`, so a
+    /// never-resized fleet's checkpoints serialize exactly as the
+    /// pre-elasticity format did.
+    pub fn with_groups(mut self, mut groups: Vec<CheckpointGroup>) -> FleetCheckpoint {
+        groups.sort_by_key(|g| g.group);
+        self.groups = if groups.is_empty() {
+            None
+        } else {
+            Some(groups)
+        };
+        self.checksum = self.computed_checksum();
+        self
     }
 
     fn computed_checksum(&self) -> u64 {
@@ -277,6 +349,8 @@ pub struct WalStats {
     pub segments: usize,
     /// Fold point of the newest snapshot, if any.
     pub snapshot_upto: Option<u64>,
+    /// Snapshot checkpoints on disk (newest + retained history).
+    pub snapshots: usize,
     /// Total bytes of the manifest, segments and snapshot on disk.
     pub disk_bytes: u64,
 }
@@ -444,6 +518,7 @@ impl WalStore {
                 header,
                 segments: vec![segment],
                 snapshot: None,
+                snapshot_history: None,
                 checksum: 0,
             },
             checkpoint: None,
@@ -646,6 +721,11 @@ impl WalStore {
         if let Some(snapshot) = &self.manifest.snapshot {
             names.push(&snapshot.file);
         }
+        if let Some(history) = &self.manifest.snapshot_history {
+            for old in history {
+                names.push(&old.file);
+            }
+        }
         for name in names {
             if let Ok(meta) = std::fs::metadata(self.dir.join(name)) {
                 disk_bytes += meta.len();
@@ -654,6 +734,12 @@ impl WalStore {
         WalStats {
             segments: self.manifest.segments.len(),
             snapshot_upto: self.manifest.snapshot.as_ref().map(|s| s.upto_seq),
+            snapshots: self.manifest.snapshot.iter().count()
+                + self
+                    .manifest
+                    .snapshot_history
+                    .as_ref()
+                    .map_or(0, |h| h.len()),
             disk_bytes,
         }
     }
@@ -794,18 +880,44 @@ impl WalStore {
             file: file.clone(),
             upto_seq: checkpoint.upto_seq,
         });
+        // Retention: the displaced snapshot joins the history (oldest
+        // first), which is then trimmed so history + current stay within
+        // keep_snapshots. Segment GC is keyed to the *oldest* snapshot
+        // still retained, so every retained fold point keeps the tail it
+        // needs for point-in-time replay.
+        let mut history = self.manifest.snapshot_history.take().unwrap_or_default();
+        if let Some(old) = old_snapshot {
+            if old.file != file {
+                history.push(old);
+            }
+        }
+        let mut dropped: Vec<SnapshotMeta> = Vec::new();
+        while history.len() + 1 > self.config.keep_snapshots {
+            match history.first() {
+                Some(_) => dropped.push(history.remove(0)),
+                None => break,
+            }
+        }
+        let gc_floor = history
+            .first()
+            .map_or(checkpoint.upto_seq, |oldest| oldest.upto_seq);
+        self.manifest.snapshot_history = if history.is_empty() {
+            None
+        } else {
+            Some(history)
+        };
         let (keep, gone): (Vec<SegmentMeta>, Vec<SegmentMeta>) = self
             .manifest
             .segments
             .drain(..)
-            .partition(|s| !(s.sealed && s.first_seq + s.entries <= checkpoint.upto_seq));
+            .partition(|s| !(s.sealed && s.first_seq + s.entries <= gc_floor));
         self.manifest.segments = keep;
         self.write_manifest()?;
         // Only after the manifest durably stopped referencing them.
         for seg in gone {
             let _ = std::fs::remove_file(self.dir.join(&seg.file));
         }
-        if let Some(old) = old_snapshot {
+        for old in dropped {
             if old.file != file {
                 let _ = std::fs::remove_file(self.dir.join(&old.file));
             }
@@ -899,6 +1011,7 @@ impl WalStore {
 
 fn normalize(mut config: WalConfig) -> WalConfig {
     config.segment_max_entries = config.segment_max_entries.max(1);
+    config.keep_snapshots = config.keep_snapshots.max(1);
     config
 }
 
@@ -920,6 +1033,7 @@ mod tests {
             segment_max_entries: 4,
             fsync: FsyncPolicy::OnRotate,
             tail_entries: 8,
+            keep_snapshots: 1,
         }
     }
 

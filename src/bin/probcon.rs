@@ -70,6 +70,7 @@ USAGE:
                       [--journal <file.jsonl>] [--journal-dir <dir>] [--warm-cache]
                       [--fsync always|every-N|on-rotate] [--segment-entries <n>]
                       [--telemetry <file.json>] [--telemetry-interval <ms>]
+                      [--autoscale <policy.json>] [--autoscale-interval <ms>]
                       [--connect tcp:HOST:PORT|unix:PATH] [--client NAME]
       Drive a metered + cached service stack over a multi-group fleet manager
       with a seeded admit/release/rebalance/estimate stream, print per-group
@@ -89,7 +90,12 @@ USAGE:
       --telemetry samples the stack's live telemetry (residents, outcome
       totals, admit p50/p99/p999) every --telemetry-interval ms (default
       250) and writes the trajectory as a JSON array; it works locally and
-      with --connect alike.
+      with --connect alike. --autoscale runs the elastic capacity
+      controller (see `probcon serve`) against the benched fleet for the
+      duration of the run, ticking every --autoscale-interval ms (default
+      50); every resize it makes is journaled alongside the admissions,
+      so the recording replays and plans like any other. Local only — a
+      remote fleet's shape is the server's to scale.
 
   probcon serve --listen tcp:HOST:PORT|unix:PATH [--seed <u64>] [--apps <n>]
                 [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
@@ -97,6 +103,7 @@ USAGE:
                 [--trace <events>] [--once] [--journal <file.jsonl>]
                 [--journal-dir <dir>] [--fsync always|every-N|on-rotate]
                 [--segment-entries <n>] [--checkpoint-every <n>]
+                [--autoscale <policy.json>] [--autoscale-interval <ms>]
       Serve a traced + metered + estimate-cached multi-group fleet manager
       over the remote admission protocol (TCP or Unix domain socket). Every
       decision lands in the fleet's header-stamped journal, served to
@@ -113,6 +120,14 @@ USAGE:
       truncating any torn final write. --fsync picks the append durability
       policy (always | every-N | on-rotate, default every-256);
       --segment-entries the rotation threshold (default 8192).
+      --autoscale loads a ScalePolicy from a JSON file and runs the
+      elastic capacity controller in a background thread: it samples the
+      stack's telemetry every --autoscale-interval ms (default 250),
+      holds fleet utilisation inside the policy's target band by growing/
+      shrinking group capacity (escalating to adding or draining whole
+      groups when configured), and journals every resize as a first-class
+      decision — an autoscaled run replays outcome-for-outcome and
+      `probcon top --connect` shows the controller's live status line.
 
   probcon top [--connect tcp:HOST:PORT|unix:PATH] [--watch <secs>] [--prometheus]
       Live telemetry of an admission stack: per-layer operation latency
@@ -143,6 +158,7 @@ USAGE:
   probcon plan <journal.jsonl | wal-dir> [--groups <n|lo..hi>] [--capacity-scale <x|lo..hi>]
                [--scale-steps <k>] [--policy <p>] [--routing auto|recorded|replanned]
                [--sweep] [--workers <n>] [--flip-budget <n>]
+               [--policy-file <policy.json>] [--policy-every <n>]
                [--fail-on-flips] [--json]
       Offline capacity planning: re-decide a recorded journal's admission
       stream against a HYPOTHETICAL fleet shape and report which decisions
@@ -154,23 +170,35 @@ USAGE:
       a frontier: the smallest shape with zero regressions and the cheapest
       within --flip-budget regressions. --fail-on-flips exits 1 when any
       flip is reported (CI identity check); --json emits the full report.
+      --policy-file evaluates an autoscaling policy OFFLINE: recorded
+      resizes are set aside and the policy re-decides scaling against the
+      hypothetical fleet every --policy-every events (default 8); the
+      report lists each action the policy would have taken and when —
+      dry-run a policy against production history before serving it.
 
   probcon journal split <journal.jsonl> [--out-dir <dir>]
       Split a multi-client recording into one valid header-stamped journal
       per client id (see fleet-bench --client), preserving original
-      positions for lossless re-merging.
+      positions for lossless re-merging. File journals only: on a WAL
+      directory this fails fast with a typed error — export one first
+      with `probcon journal compact <dir> --out <file.jsonl>`.
 
   probcon journal merge <a.jsonl> <b.jsonl> --out <file.jsonl>
       Interleave two compatible journals (same workload, shape and policy)
       by original sequence/timestamp into one replayable log; merging the
       files produced by `journal split` reconstructs the original exactly.
+      File journals only (same WAL limitation and workaround as split).
 
-  probcon journal compact <wal-dir>
+  probcon journal compact <wal-dir> [--keep <k>] [--out <file.jsonl>]
       Fold a WAL directory's full history into a fresh snapshot checkpoint
       and garbage-collect every segment the snapshot covers. Replay output
       is unchanged — the snapshot restores the same resident state the
       dropped entries would have rebuilt — while the directory shrinks to
-      the snapshot plus the uncovered tail.
+      the snapshot plus the uncovered tail. --keep retains the last <k>
+      snapshot checkpoints (default 1) so older snapshots stay on disk as
+      point-in-time recovery anchors; --out additionally exports the full
+      logical journal as a single .jsonl file (the bridge to the
+      file-journal tools: split, merge, plan on a plain file).
 
   probcon paper [--quick]
       Regenerate Table 1, Figure 5, Figure 6 and the timing comparison.
@@ -575,6 +603,38 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
     );
     let stream = seeded_fleet_requests(&spec, groups, requests, seed);
 
+    // --autoscale: run the elastic controller against the benched fleet
+    // for the duration of the run; every resize it makes lands in the
+    // same journal the bench records.
+    let autoscaler = options
+        .get("autoscale")
+        .map(|path| -> Result<_, String> {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let policy =
+                runtime::ScalePolicy::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+            let interval = opt_u64(options, "autoscale-interval")?.unwrap_or(50);
+            if interval == 0 {
+                return Err("--autoscale-interval must be positive".into());
+            }
+            println!(
+                "autoscaling with policy [{}] every {interval}ms",
+                policy.label()
+            );
+            let controller = std::sync::Arc::new(runtime::Autoscaler::new(
+                std::sync::Arc::new(fleet.clone()),
+                policy,
+            ));
+            Ok((
+                std::sync::Arc::clone(&controller),
+                std::sync::Arc::clone(&controller)
+                    .spawn(std::time::Duration::from_millis(interval)),
+            ))
+        })
+        .transpose()?;
+    if autoscaler.is_none() && options.contains_key("autoscale-interval") {
+        return Err("--autoscale-interval needs --autoscale".into());
+    }
+
     // The service stack: latency metering over estimate caching over the
     // fleet; admissions/releases/estimates flow through it, rebalances go
     // to the fleet directly.
@@ -615,6 +675,10 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
         Some(interval) => run_fleet_stack_sampled(&stack, &fleet, stream, threads, interval),
         None => (run_fleet_stack(&stack, &fleet, stream, threads), Vec::new()),
     };
+    if let Some((controller, handle)) = autoscaler {
+        handle.stop();
+        println!("{}", controller.status().render());
+    }
     print!("{}", report.render());
     write_telemetry(options, &points)?;
 
@@ -723,6 +787,8 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
         "journal-dir",
         "fsync",
         "segment-entries",
+        "autoscale",
+        "autoscale-interval",
     ] {
         if options.contains_key(flag) {
             return Err(format!(
@@ -816,6 +882,21 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
         .unwrap_or("least-utilised")
         .parse::<RoutingPolicy>()?;
 
+    let autoscale_policy = options
+        .get("autoscale")
+        .map(|path| {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            runtime::ScalePolicy::from_json(&json).map_err(|e| format!("{path}: {e}"))
+        })
+        .transpose()?;
+    let autoscale_interval = opt_u64(options, "autoscale-interval")?.unwrap_or(250);
+    if autoscale_interval == 0 {
+        return Err("--autoscale-interval must be positive".into());
+    }
+    if autoscale_policy.is_none() && options.contains_key("autoscale-interval") {
+        return Err("--autoscale-interval needs --autoscale".into());
+    }
+
     let wal_dir = options.get("journal-dir").map(std::path::PathBuf::from);
     if wal_dir.is_none() {
         for flag in ["fsync", "segment-entries", "checkpoint-every"] {
@@ -885,10 +966,29 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     cached.attach_trace(Arc::clone(&recorder));
     let stack = Traced::with_recorder(Metered::new(cached), Arc::clone(&recorder));
 
+    // --autoscale: an elastic capacity controller ticks in the background,
+    // resizing the served fleet through the journaled resize path, and an
+    // Autoscaled layer stamps its status into the telemetry `probcon top`
+    // polls.
+    let autoscaler = autoscale_policy.map(|policy| {
+        println!(
+            "autoscaling with policy [{}] every {autoscale_interval}ms",
+            policy.label()
+        );
+        let controller = Arc::new(runtime::Autoscaler::new(Arc::new(fleet.clone()), policy));
+        let handle =
+            Arc::clone(&controller).spawn(std::time::Duration::from_millis(autoscale_interval));
+        (controller, handle)
+    });
+    let stack: Arc<dyn runtime::AdmissionService> = match &autoscaler {
+        Some((controller, _)) => Arc::new(runtime::Autoscaled::new(stack, Arc::clone(controller))),
+        None => Arc::new(stack),
+    };
+
     let journal_fleet = fleet.clone();
     let server = RemoteServer::bind_with(
         &addr,
-        Arc::new(stack),
+        stack,
         // Serve the journal in bounded pages: a long-running WAL-backed
         // journal never has to materialize as one string.
         Some(Box::new(move |from| {
@@ -944,6 +1044,10 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     // Blocks until shutdown: with --once, until the first client
     // disconnects; otherwise until the process is killed.
     server.wait();
+    if let Some((controller, handle)) = autoscaler {
+        handle.stop();
+        println!("{}", controller.status().render());
+    }
     if let Some((stop, handle)) = checkpointer {
         stop.store(true, Ordering::Relaxed);
         let _ = handle.join();
@@ -1282,6 +1386,27 @@ fn cmd_plan(path: Option<&str>, options: &HashMap<&str, &str>) -> Result<ExitCod
         return Err("--capacity-scale: range must be positive and ordered".into());
     }
 
+    // --policy-file evaluates an elastic scale policy against the
+    // recorded stream (the policy decides capacity; recorded resizes are
+    // skipped). One-shot only: a sweep already varies shape itself.
+    let scale_policy = options
+        .get("policy-file")
+        .map(|path| {
+            if options.contains_key("sweep") {
+                return Err("--policy-file does not combine with --sweep".to_string());
+            }
+            let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            runtime::ScalePolicy::from_json(&json).map_err(|e| format!("{path}: {e}"))
+        })
+        .transpose()?;
+    let policy_every = opt_u64(options, "policy-every")?.unwrap_or(8);
+    if policy_every == 0 {
+        return Err("--policy-every must be positive".into());
+    }
+    if scale_policy.is_none() && options.contains_key("policy-every") {
+        return Err("--policy-every needs --policy-file".into());
+    }
+
     if !options.contains_key("sweep") {
         for flag in ["workers", "flip-budget", "scale-steps"] {
             if options.contains_key(flag) {
@@ -1308,10 +1433,11 @@ fn cmd_plan(path: Option<&str>, options: &HashMap<&str, &str>) -> Result<ExitCod
             shape.label(),
             base.label(),
         );
-        let report = PlanRun::new(&spec, &journal, &shape)
-            .with_routing(routing)
-            .execute()
-            .map_err(|e| e.to_string())?;
+        let mut run = PlanRun::new(&spec, &journal, &shape).with_routing(routing);
+        if let Some(policy) = scale_policy {
+            run = run.with_scale_policy(policy, policy_every);
+        }
+        let report = run.execute().map_err(|e| e.to_string())?;
         if json {
             println!(
                 "{}",
@@ -1494,19 +1620,44 @@ fn cmd_journal(positional: &[&str], options: &HashMap<&str, &str>) -> Result<(),
                 .get(1)
                 .copied()
                 .ok_or("journal compact needs a WAL directory")?;
-            let (journal, recovery) =
-                Journal::open_wal(dir, runtime::WalConfig::default()).map_err(|e| e.to_string())?;
+            // --keep K retains the last K snapshot checkpoints: segments
+            // are only garbage-collected up to the OLDEST retained
+            // snapshot, so any of the last K checkpoints is a valid
+            // point-in-time replay base.
+            let keep = opt_u64(options, "keep")?.unwrap_or(1) as usize;
+            if keep == 0 {
+                return Err("--keep must be at least 1".into());
+            }
+            let config = runtime::WalConfig {
+                keep_snapshots: keep,
+                ..runtime::WalConfig::default()
+            };
+            let (journal, recovery) = Journal::open_wal(dir, config).map_err(|e| e.to_string())?;
             report_recovery(dir, &recovery);
             let before = journal.wal_stats().expect("open_wal yields a WAL journal");
+            // --out renders the whole WAL into one flat journal file — the
+            // bridge `journal split`/`merge` point at when handed a WAL
+            // directory. It must happen BEFORE the fold below: compaction
+            // garbage-collects exactly the per-entry history (and client
+            // attribution) the flat export preserves.
+            if let Some(out) = options.get("out") {
+                journal.write_to(out).map_err(|e| e.to_string())?;
+                println!(
+                    "rendered {} decision(s) to {out} (replay with: probcon replay {out})",
+                    journal.len()
+                );
+            }
             let checkpoint = journal.compact().map_err(|e| e.to_string())?;
             let after = journal.wal_stats().expect("open_wal yields a WAL journal");
             println!(
-                "compacted {dir}: snapshot at seq {}, {} -> {} segment(s), {} -> {} bytes",
+                "compacted {dir}: snapshot at seq {}, {} -> {} segment(s), {} -> {} bytes, \
+                 {} snapshot(s) retained",
                 checkpoint.upto_seq,
                 before.segments,
                 after.segments,
                 before.disk_bytes,
                 after.disk_bytes,
+                after.snapshots,
             );
             println!(
                 "{} resident(s) folded into the snapshot; replay output is unchanged",

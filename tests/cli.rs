@@ -466,6 +466,7 @@ fn replay_divergence_details_land_on_stderr_before_exit() {
             resident: 0,
             predicted_period: Rational::integer(1),
         },
+        affinity: None,
     });
     journal.write_to(&path).expect("writes");
 
@@ -862,6 +863,203 @@ fn fleet_bench_wal_dir_records_compacts_and_replays_identically() {
     );
 
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `journal split`/`merge` read single-file journals only: handed a WAL
+/// directory they fail FAST with the typed `IsWalDirectory` error, which
+/// names the limitation and the `journal compact --out` workaround — and
+/// the workaround actually works.
+#[test]
+fn journal_split_and_merge_fail_fast_on_wal_dirs_with_workaround() {
+    let root = std::env::temp_dir().join(format!("probcon-cli-waldir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("tmp dir");
+    let wal = root.join("wal");
+    let wal_str = wal.to_str().expect("utf8 path");
+
+    let out = probcon(&[
+        "fleet-bench",
+        "--requests",
+        "60",
+        "--apps",
+        "3",
+        "--journal-dir",
+        wal_str,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    for args in [
+        vec!["journal", "split", wal_str],
+        vec!["journal", "merge", wal_str, wal_str, "--out", "/dev/null"],
+    ] {
+        let out = probcon(&args);
+        assert!(!out.status.success(), "must refuse a WAL dir: {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("segmented WAL directory"),
+            "error must name the limitation: {stderr}"
+        );
+        assert!(
+            stderr.contains("journal compact") && stderr.contains("--out"),
+            "error must name the workaround: {stderr}"
+        );
+    }
+
+    // The workaround the error points at: compact --out renders the WAL
+    // into a flat file that split/replay accept.
+    let flat = root.join("flat.jsonl");
+    let flat_str = flat.to_str().expect("utf8 path");
+    let out = probcon(&[
+        "journal", "compact", wal_str, "--keep", "2", "--out", flat_str,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("snapshot(s) retained"), "{stdout}");
+    assert!(stdout.contains("rendered"), "{stdout}");
+    let out = probcon(&["replay", flat_str]);
+    assert!(out.status.success(), "{out:?}");
+    let out = probcon(&["journal", "split", flat_str]);
+    assert!(out.status.success(), "{out:?}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `fleet-bench --autoscale` runs the elastic controller against the
+/// benched fleet; its resizes are journaled, so the recording replays
+/// and plans cleanly afterwards.
+#[test]
+fn fleet_bench_autoscale_journals_resizes_and_replays() {
+    let root = std::env::temp_dir().join(format!("probcon-cli-autoscale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("tmp dir");
+    let policy = root.join("policy.json");
+    // An eager policy so even a short bench provokes scaling.
+    std::fs::write(
+        &policy,
+        "{\"Target\":{\"low\":0.05,\"high\":0.3,\"grow_after\":1,\"shrink_after\":1,\
+         \"cooldown\":0,\"min_capacity_per_shard\":1,\"max_capacity_per_shard\":16,\
+         \"step\":1,\"add_group_at_max\":false,\"drain_at_min\":false}}",
+    )
+    .expect("policy file");
+    let journal = root.join("run.jsonl");
+
+    let out = probcon(&[
+        "fleet-bench",
+        "--requests",
+        "400",
+        "--apps",
+        "3",
+        "--capacity",
+        "2",
+        "--autoscale",
+        policy.to_str().expect("utf8 path"),
+        "--autoscale-interval",
+        "1",
+        "--journal",
+        journal.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("autoscaling with policy"), "{stdout}");
+    assert!(stdout.contains("autoscaler["), "{stdout}");
+
+    // Whatever the controller did, the recording replays exactly and the
+    // identity shape stays flip-free.
+    let out = probcon(&["replay", journal.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "{out:?}");
+    let out = probcon(&[
+        "plan",
+        journal.to_str().expect("utf8 path"),
+        "--fail-on-flips",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `plan --policy-file` evaluates a scaling policy offline against a
+/// recorded journal and reports the decision timeline.
+#[test]
+fn plan_policy_file_reports_the_policy_decision_timeline() {
+    let journal = record_plan_journal("policy-eval");
+    let journal = journal.to_str().expect("utf8 path");
+    let root = std::env::temp_dir().join(format!("probcon-cli-planpol-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("tmp dir");
+    let policy = root.join("policy.json");
+    std::fs::write(
+        &policy,
+        "{\"Target\":{\"low\":0.05,\"high\":0.25,\"grow_after\":1,\"shrink_after\":4,\
+         \"cooldown\":2,\"min_capacity_per_shard\":1,\"max_capacity_per_shard\":16,\
+         \"step\":1,\"add_group_at_max\":false,\"drain_at_min\":false}}",
+    )
+    .expect("policy file");
+    let policy = policy.to_str().expect("utf8 path");
+
+    let out = probcon(&[
+        "plan",
+        journal,
+        "--policy-file",
+        policy,
+        "--policy-every",
+        "4",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("policy under evaluation"), "{stdout}");
+
+    // Guard rails: no sweep combo, no orphan --policy-every, no garbage.
+    for bad in [
+        vec!["plan", journal, "--policy-file", policy, "--sweep"],
+        vec!["plan", journal, "--policy-every", "4"],
+        vec!["plan", journal, "--policy-file", "/nonexistent/policy.json"],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn autoscale_flags_validate_inputs() {
+    for bad in [
+        // --autoscale-interval needs --autoscale; --autoscale is local-only.
+        vec![
+            "fleet-bench",
+            "--requests",
+            "10",
+            "--autoscale-interval",
+            "5",
+        ],
+        vec![
+            "fleet-bench",
+            "--requests",
+            "10",
+            "--connect",
+            "tcp:127.0.0.1:1",
+            "--autoscale",
+            "/nonexistent/policy.json",
+        ],
+        vec![
+            "fleet-bench",
+            "--requests",
+            "10",
+            "--autoscale",
+            "/nonexistent/policy.json",
+        ],
+        vec![
+            "serve",
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--autoscale-interval",
+            "5",
+        ],
+        // journal compact --keep must be positive.
+        vec!["journal", "compact", "/tmp", "--keep", "0"],
+    ] {
+        let out = probcon(&bad);
+        assert!(!out.status.success(), "should reject: {bad:?}");
+    }
 }
 
 #[test]

@@ -354,6 +354,7 @@ fn record_wal(name: &str) -> (std::path::PathBuf, Vec<String>, usize) {
         segment_max_entries: 32,
         fsync: FsyncPolicy::OnRotate,
         tail_entries: 16,
+        keep_snapshots: 1,
     };
     let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
     let journal = Journal::create_wal(
@@ -385,6 +386,7 @@ fn wal_recording_recovers_restores_and_replays_equivalently() {
         segment_max_entries: 32,
         fsync: FsyncPolicy::OnRotate,
         tail_entries: 16,
+        keep_snapshots: 1,
     };
     let spec = workload_with(SEED, APPS, &GeneratorConfig::with_actors(ACTORS)).expect("workload");
 

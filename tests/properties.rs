@@ -209,18 +209,21 @@ fn journal_event() -> impl Strategy<Value = runtime::DecisionEvent> {
                         resident,
                         predicted_period: period,
                     },
+                    affinity: None,
                 },
                 1 => DecisionEvent::Admit {
                     group,
                     app_index: resident % 6,
                     required_throughput: None,
                     outcome: JournalOutcome::Rejected { violations: other },
+                    affinity: None,
                 },
                 2 => DecisionEvent::Admit {
                     group,
                     app_index: resident % 6,
                     required_throughput: None,
                     outcome: JournalOutcome::Saturated,
+                    affinity: None,
                 },
                 3 => DecisionEvent::Release { resident },
                 _ => DecisionEvent::Rebalance {
@@ -562,6 +565,7 @@ proptest! {
             segment_max_entries: 3,
             fsync: FsyncPolicy::OnRotate,
             tail_entries: 4,
+            keep_snapshots: 1,
         };
         let dir = std::env::temp_dir().join(format!(
             "probcon-prop-wal-{}-{}",
@@ -611,6 +615,99 @@ proptest! {
         // (Render equality is NOT expected: split stamps each entry's
         // origin_seq provenance and merge preserves it.)
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    // The autoscaler's hysteresis contract: under constant load — the
+    // same observation every tick — the controller never flaps. Whatever
+    // the band, streak thresholds and cooldown, (a) two actions are
+    // always separated by strictly more than `cooldown` ticks, and
+    // (b) every action fired points the same direction (a constant
+    // breach can only ever argue for one of grow/shrink).
+    #[test]
+    fn autoscaler_never_flaps_within_one_cooldown_under_constant_load(
+        utilisation_millis in 0u64..=1000,
+        low_millis in 0u64..=1000,
+        band_millis in 0u64..=1000,
+        grow_after in 1u32..5,
+        shrink_after in 1u32..5,
+        cooldown in 0u32..10,
+        step in 1u64..4,
+    ) {
+        use runtime::{
+            evaluate, ControllerState, GroupObservation, Observation, ScaleAction, TargetPolicy,
+        };
+
+        let policy = TargetPolicy {
+            low: low_millis as f64 / 1000.0,
+            high: (low_millis + band_millis).min(1000) as f64 / 1000.0,
+            grow_after,
+            shrink_after,
+            cooldown,
+            min_capacity_per_shard: 1,
+            max_capacity_per_shard: 32,
+            step,
+            add_group_at_max: true,
+            drain_at_min: true,
+        }
+        .normalized();
+        // Constant load: the controller sees the identical sample every
+        // tick (capacity 8 sits strictly between the bounds, so both a
+        // grow and a shrink are always *available* — only hysteresis
+        // stands between the controller and flapping).
+        let observation = Observation {
+            groups: vec![
+                GroupObservation {
+                    group: 0,
+                    residents: 4,
+                    capacity: 8,
+                    capacity_per_shard: 8,
+                    shards: 1,
+                    retired: false,
+                },
+                GroupObservation {
+                    group: 1,
+                    residents: 4,
+                    capacity: 8,
+                    capacity_per_shard: 8,
+                    shards: 1,
+                    retired: false,
+                },
+            ],
+            utilisation: utilisation_millis as f64 / 1000.0,
+        };
+
+        let mut state = ControllerState::default();
+        let mut fired: Vec<(u32, bool)> = Vec::new();
+        for tick in 0..64u32 {
+            if let Some(action) = evaluate(&policy, &observation, &mut state) {
+                let is_grow = matches!(
+                    action,
+                    ScaleAction::Grow { .. } | ScaleAction::AddGroup { .. }
+                );
+                fired.push((tick, is_grow));
+                state.acted(policy.cooldown);
+            }
+        }
+
+        for pair in fired.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            prop_assert!(
+                next.0 - prev.0 > policy.cooldown,
+                "actions at ticks {} and {} violate cooldown {}",
+                prev.0,
+                next.0,
+                policy.cooldown,
+            );
+            prop_assert_eq!(
+                prev.1,
+                next.1,
+                "constant load flapped: {} then {}",
+                if prev.1 { "grow" } else { "shrink" },
+                if next.1 { "grow" } else { "shrink" },
+            );
+        }
     }
 }
 

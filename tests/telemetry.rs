@@ -163,3 +163,45 @@ fn recorder_snapshot_is_bounded_and_faithful() {
     assert_eq!(snapshot, direct);
     assert!(snapshot.bucket_len() <= BUCKET_COUNT);
 }
+
+/// The `autoscaler` status is a trailing skip-none field of
+/// `TelemetrySnapshot`: a controller-less snapshot serializes WITHOUT it
+/// (so historical consumers and recordings see identical bytes), an
+/// autoscaled one round-trips it through the wire JSON, and old-format
+/// JSON missing the field still parses.
+#[test]
+fn telemetry_snapshot_autoscaler_field_is_wire_compatible() {
+    use runtime::{Autoscaled, Autoscaler, ScalePolicy, TelemetrySnapshot};
+    use std::sync::Arc;
+
+    let fleet = fleet();
+    let bare = Metered::new(fleet.clone());
+    let without = bare.telemetry();
+    let json_without = serde_json::to_string(&without).expect("serializes");
+    assert!(
+        !json_without.contains("autoscaler"),
+        "controller-less snapshots must omit the field: {json_without}"
+    );
+
+    // Old-format JSON (no `autoscaler` key) parses to None.
+    let parsed: TelemetrySnapshot = serde_json::from_str(&json_without).expect("parses");
+    assert_eq!(parsed, without);
+    assert!(parsed.autoscaler.is_none());
+
+    // An autoscaled stack stamps the status, and it survives the wire.
+    let controller = Arc::new(Autoscaler::new(
+        Arc::new(fleet.clone()),
+        ScalePolicy::Manual,
+    ));
+    let stack = Autoscaled::new(Metered::new(fleet), controller);
+    let with = stack.telemetry();
+    let status = with
+        .autoscaler
+        .clone()
+        .expect("autoscaled stack stamps status");
+    assert_eq!(status.policy, "manual");
+    let json_with = serde_json::to_string(&with).expect("serializes");
+    let roundtrip: TelemetrySnapshot = serde_json::from_str(&json_with).expect("parses");
+    assert_eq!(roundtrip, with);
+    assert!(roundtrip.render().contains("autoscaler["));
+}

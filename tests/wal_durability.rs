@@ -29,6 +29,7 @@ fn wal_journal_memory_stays_flat_over_a_million_appends() {
         segment_max_entries: SEGMENT,
         fsync: FsyncPolicy::OnRotate,
         tail_entries: TAIL,
+        keep_snapshots: 1,
     };
     let journal = Journal::create_wal(&dir, JournalHeader::default(), config).expect("fresh WAL");
     for i in 0..APPENDS {
@@ -79,6 +80,7 @@ fn appends_after_a_checkpoint_continue_the_chain() {
         segment_max_entries: 8,
         fsync: FsyncPolicy::OnRotate,
         tail_entries: 8,
+        keep_snapshots: 1,
     };
     let journal = Journal::create_wal(&dir, JournalHeader::default(), config).expect("fresh WAL");
     for i in 0..20u64 {
@@ -107,6 +109,88 @@ fn appends_after_a_checkpoint_continue_the_chain() {
         .map(|e| e.seq)
         .collect();
     assert_eq!(seqs, (20..30).collect::<Vec<u64>>());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `keep_snapshots: K` retains the last K checkpoints as point-in-time
+/// replay anchors: segment GC only advances to the OLDEST retained fold
+/// point, so every retained snapshot still has the entry tail it needs,
+/// and a further compaction rolls the window forward by exactly one.
+#[test]
+fn keep_snapshots_retains_point_in_time_checkpoints() {
+    let dir = tmp_dir("keep-snapshots");
+    let config = WalConfig {
+        segment_max_entries: 4,
+        fsync: FsyncPolicy::OnRotate,
+        tail_entries: 4,
+        keep_snapshots: 2,
+    };
+    let snapshot_files = |dir: &std::path::Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("snapshot-"))
+            .collect();
+        names.sort();
+        names
+    };
+
+    let journal = Journal::create_wal(&dir, JournalHeader::default(), config).expect("fresh WAL");
+    for i in 0..10u64 {
+        journal.append(DecisionEvent::Release { resident: i });
+    }
+    let first = journal.compact().expect("first compact");
+    for i in 10..20u64 {
+        journal.append(DecisionEvent::Release { resident: i });
+    }
+    let second = journal.compact().expect("second compact");
+
+    // Both checkpoints live on disk, and the manifest counts them.
+    let stats = journal.wal_stats().expect("wal-backed");
+    assert_eq!(stats.snapshots, 2);
+    assert_eq!(stats.snapshot_upto, Some(second.upto_seq));
+    assert_eq!(snapshot_files(&dir).len(), 2);
+    // GC held back: the segments between the two fold points survive so
+    // the OLDER snapshot remains a valid replay base (its tail of entries
+    // 10..20 is still on disk).
+    let on_disk: u64 = std::fs::read_dir(&dir)
+        .expect("dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("segment-"))
+        .map(|e| {
+            std::fs::read_to_string(e.path())
+                .expect("segment")
+                .lines()
+                .count() as u64
+        })
+        .sum();
+    assert!(
+        on_disk >= second.upto_seq - first.upto_seq,
+        "entries {}..{} must survive for point-in-time replay, found {on_disk}",
+        first.upto_seq,
+        second.upto_seq
+    );
+
+    // A third checkpoint rolls the retention window: still two snapshots,
+    // and the first one's file is gone.
+    for i in 20..30u64 {
+        journal.append(DecisionEvent::Release { resident: i });
+    }
+    let third = journal.compact().expect("third compact");
+    let files = snapshot_files(&dir);
+    assert_eq!(files.len(), 2);
+    assert!(!files
+        .iter()
+        .any(|f| f.contains(&format!("{:020}", first.upto_seq))));
+    drop(journal);
+
+    // A reopen recovers from the NEWEST snapshot and replays cleanly.
+    let (journal, recovery) = Journal::open_wal(&dir, config).expect("reopen");
+    assert_eq!(recovery.truncated_bytes, 0);
+    assert_eq!(journal.base_seq(), third.upto_seq);
+    journal.verify().expect("checksums hold");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

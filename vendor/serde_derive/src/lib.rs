@@ -3,14 +3,18 @@
 //! A hand-rolled token parser (no `syn`/`quote`): supports non-generic
 //! structs (named, tuple, unit) and enums (unit, tuple and struct
 //! variants), which covers every derive in this workspace. Attributes —
-//! including doc comments and `#[default]` — are skipped.
+//! including doc comments and `#[default]` — are skipped, with one
+//! exception: `#[serde(skip_none)]` on a named field omits the field from
+//! the serialized object when its value serializes to `Null` (the stand-in
+//! for upstream's `skip_serializing_if = "Option::is_none"`).
 //!
 //! Missing named fields deserialize from `Null` when the field type accepts
 //! it (so `Option<T>` fields default to `None`, matching upstream serde's
 //! ubiquitous `#[serde(default)]` on optional fields); types that reject
-//! `Null` keep the original "missing field" error. This is what lets newer
-//! journal/wire schemas add optional fields while still parsing artefacts
-//! recorded by older builds.
+//! `Null` keep the original "missing field" error. Together with
+//! `skip_none` this is what lets newer journal/wire schemas add optional
+//! fields while still parsing — and, for checksummed artefacts,
+//! re-serializing byte-for-byte — records written by older builds.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -18,7 +22,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Input {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -33,10 +37,17 @@ enum Input {
     },
 }
 
+/// One named field and its serde options.
+struct Field {
+    name: String,
+    /// `#[serde(skip_none)]`: omit the field when it serializes to `Null`.
+    skip_none: bool,
+}
+
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 struct Variant {
@@ -45,7 +56,7 @@ struct Variant {
 }
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_serialize(&parsed)
@@ -54,7 +65,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_deserialize(&parsed)
@@ -153,14 +164,41 @@ fn strip_attributes(chunk: &[TokenTree]) -> &[TokenTree] {
     &chunk[start..]
 }
 
+/// True when the chunk's leading attributes contain `#[serde(skip_none)]`.
+fn has_skip_none(chunk: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while i + 1 < chunk.len() {
+        match (&chunk[i], &chunk[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(attr)) if p.as_char() == '#' => {
+                let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde"
+                        && args.stream().into_iter().any(
+                            |tt| matches!(&tt, TokenTree::Ident(a) if a.to_string() == "skip_none"),
+                        )
+                    {
+                        return true;
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    false
+}
+
 fn count_top_level_fields(stream: TokenStream) -> usize {
     split_top_level(stream).len()
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level(stream)
         .iter()
         .map(|chunk| {
+            let skip_none = has_skip_none(chunk);
             let chunk = strip_attributes(chunk);
             // Field name: the last ident before the first top-level ':'
             // (skips `pub` and `pub(...)` visibility).
@@ -172,7 +210,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                     _ => {}
                 }
             }
-            name.expect("field name")
+            Field {
+                name: name.expect("field name"),
+                skip_none,
+            }
         })
         .collect()
 }
@@ -201,14 +242,30 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         .collect()
 }
 
+/// Statement inserting one named field into object `map`, honouring
+/// `skip_none`.
+fn insert_field(map: &str, value: &str, f: &Field) -> String {
+    if f.skip_none {
+        format!(
+            "match ::serde::Serialize::serialize({value}) {{\n\
+             ::serde::Value::Null => {{}}\n\
+             __field => {{ {map}.insert(\"{name}\", __field); }}\n}}\n",
+            name = f.name
+        )
+    } else {
+        format!(
+            "{map}.insert(\"{name}\", ::serde::Serialize::serialize({value}));\n",
+            name = f.name
+        )
+    }
+}
+
 fn gen_serialize(input: &Input) -> String {
     match input {
         Input::NamedStruct { name, fields } => {
             let mut body = String::from("let mut __m = ::serde::Value::object();\n");
             for f in fields {
-                body.push_str(&format!(
-                    "__m.insert(\"{f}\", ::serde::Serialize::serialize(&self.{f}));\n"
-                ));
+                body.push_str(&insert_field("__m", &format!("&self.{}", f.name), f));
             }
             body.push_str("__m");
             impl_serialize(name, &body)
@@ -256,17 +313,16 @@ fn gen_serialize(input: &Input) -> String {
                     VariantKind::Struct(fields) => {
                         let mut payload = String::from("let mut __p = ::serde::Value::object();\n");
                         for f in fields {
-                            payload.push_str(&format!(
-                                "__p.insert(\"{f}\", ::serde::Serialize::serialize({f}));\n"
-                            ));
+                            payload.push_str(&insert_field("__p", &f.name, f));
                         }
                         payload.push_str("__p");
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {} }} => {{\n\
                              let mut __m = ::serde::Value::object();\n\
                              __m.insert(\"{vn}\", {{ {payload} }});\n\
                              __m\n}}\n",
-                            fields.join(", ")
+                            binders.join(", ")
                         ));
                     }
                 }
@@ -289,7 +345,7 @@ fn gen_deserialize(input: &Input) -> String {
         Input::NamedStruct { name, fields } => {
             let mut body = format!("::core::result::Result::Ok({name} {{\n");
             for f in fields {
-                body.push_str(&format!("{f}: {},\n", field_expr("__v", f)));
+                body.push_str(&format!("{}: {},\n", f.name, field_expr("__v", &f.name)));
             }
             body.push_str("})");
             impl_deserialize(name, &body)
@@ -339,7 +395,7 @@ fn gen_deserialize(input: &Input) -> String {
                     VariantKind::Struct(fields) => {
                         let items: Vec<String> = fields
                             .iter()
-                            .map(|f| format!("{f}: {}", field_expr("__p", f)))
+                            .map(|f| format!("{}: {}", f.name, field_expr("__p", &f.name)))
                             .collect();
                         data_arms.push_str(&format!(
                             "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{ {} }}),\n",
