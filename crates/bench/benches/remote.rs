@@ -1,21 +1,34 @@
-//! Local vs UDS vs TCP admission throughput/latency.
+//! What the wire costs — and what the readiness loop buys.
 //!
-//! Measures what the wire costs: the same admit+release round-trip batch
-//! executed (a) against an in-process fleet service, (b) through a
-//! `RemoteClient` over a Unix domain socket and (c) over loopback TCP —
-//! synchronously (one request in flight, the latency view) and pipelined
-//! (the whole batch in flight on one connection, the throughput view).
+//! Three views of the remote transport:
+//!
+//! 1. **Transport** — the same admit+release batch against an in-process
+//!    fleet, over a Unix domain socket and over loopback TCP, both
+//!    synchronously (latency view) and pipelined (throughput view).
+//! 2. **Wire mode** — JSON-lines vs length-prefixed binary frames on the
+//!    same pipelined batch, so the codec's share of the round-trip is
+//!    visible in isolation.
+//! 3. **Fan-in** — one readiness server holding hundreds of live
+//!    connections: server-side thread growth stays flat (the event loop
+//!    plus a fixed worker pool) where a thread-per-connection design
+//!    spends a stack per socket, and pipelined throughput through one of
+//!    those connections is unchanged by the hundreds idling beside it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use platform::{Application, Mapping, SystemSpec};
 use runtime::{
-    AdmissionRequest, AdmissionService, Completion, FleetConfig, FleetManager, RemoteAddr,
-    RemoteClient, RemoteServer, RoutingPolicy,
+    AdmissionRequest, AdmissionService, ClientConfig, Completion, Endpoint, FleetConfig,
+    FleetManager, RemoteClient, RemoteServer, RoutingPolicy, WireMode,
 };
 use sdf::figure2_graphs;
 use std::sync::Arc;
 
 const OPS_PER_SAMPLE: usize = 32;
+
+/// Connections held open concurrently in the fan-in group. A
+/// thread-per-connection server would spend this many stacks; the
+/// readiness server spends one event loop and a fixed worker pool.
+const FAN_IN: usize = 512;
 
 fn spec() -> SystemSpec {
     let (a, b) = figure2_graphs();
@@ -68,10 +81,79 @@ fn pipelined(service: &dyn AdmissionService) {
     }
 }
 
-fn uds_addr() -> RemoteAddr {
+/// A service answering from canned payloads at near-zero compute, so the
+/// wire-mode group measures the codecs rather than admission analysis
+/// (whose cost grows with the resident set and dwarfs the frames).
+struct CannedService {
+    decision: runtime::AdmissionDecision,
+    snapshot: runtime::ServiceSnapshot,
+    spec: SystemSpec,
+}
+
+impl CannedService {
+    fn driven() -> CannedService {
+        let fleet = fleet();
+        let decision =
+            AdmissionService::admit(&fleet, &AdmissionRequest::new(0)).expect("decision arrives");
+        CannedService {
+            snapshot: AdmissionService::snapshot(&fleet),
+            spec: spec(),
+            decision,
+        }
+    }
+}
+
+impl AdmissionService for CannedService {
+    fn admit(
+        &self,
+        _request: &AdmissionRequest,
+    ) -> Result<runtime::AdmissionDecision, runtime::ServiceError> {
+        Ok(self.decision.clone())
+    }
+
+    fn release(&self, _resident: u64) -> Result<(), runtime::ServiceError> {
+        Ok(())
+    }
+
+    fn snapshot(&self) -> runtime::ServiceSnapshot {
+        self.snapshot.clone()
+    }
+
+    fn workload(&self) -> Option<&SystemSpec> {
+        Some(&self.spec)
+    }
+}
+
+fn uds_addr() -> Endpoint {
     let dir = std::env::temp_dir().join("probcon-remote-bench");
     std::fs::create_dir_all(&dir).expect("tmp dir");
-    RemoteAddr::Unix(dir.join(format!("bench-{}.sock", std::process::id())))
+    Endpoint::Unix(dir.join(format!("bench-{}.sock", std::process::id())))
+}
+
+/// Live thread count of this process (Linux), else 0.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Resident set size of this process in KiB (Linux), else 0.
+fn resident_kib() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
 }
 
 fn bench_remote_transports(c: &mut Criterion) {
@@ -126,5 +208,111 @@ fn bench_remote_transports(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_remote_transports);
+fn bench_wire_modes(c: &mut Criterion) {
+    println!("\n===== JSON-lines vs binary frames (same TCP connection) =====");
+    println!("{OPS_PER_SAMPLE} admissions per sample against a canned service,");
+    println!("so the codec is the only variable:");
+
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(12);
+
+    let server = RemoteServer::bind(
+        &"tcp:127.0.0.1:0".parse().expect("tcp addr"),
+        Arc::new(CannedService::driven()),
+    )
+    .expect("tcp server");
+
+    for mode in [WireMode::Json, WireMode::Binary] {
+        let client = RemoteClient::connect_config(
+            server.local_addr(),
+            ClientConfig {
+                wire: mode,
+                ..ClientConfig::default()
+            },
+        )
+        .expect("client connects");
+        assert_eq!(client.wire_mode(), mode, "server grants the asked mode");
+        group.bench_function(BenchmarkId::new("sync", mode.name()), |b| {
+            b.iter(|| round_trips(&client));
+        });
+        group.bench_function(BenchmarkId::new("pipelined", mode.name()), |b| {
+            b.iter(|| pipelined(&client));
+        });
+        client.close();
+    }
+
+    server.shutdown();
+    group.finish();
+}
+
+fn bench_connection_fan_in(c: &mut Criterion) {
+    println!("\n===== Connection fan-in: {FAN_IN} live connections, one server =====");
+
+    let mut group = c.benchmark_group("fan_in");
+    group.sample_size(12);
+
+    let config = runtime::RemoteServerConfig {
+        max_connections: FAN_IN + 8,
+        ..Default::default()
+    };
+    let server = RemoteServer::bind_with(
+        &"tcp:127.0.0.1:0".parse().expect("tcp addr"),
+        Arc::new(fleet()),
+        None,
+        config,
+    )
+    .expect("tcp server");
+
+    let threads_before = thread_count();
+    let rss_before = resident_kib();
+    let clients: Vec<RemoteClient> = (0..FAN_IN)
+        .map(|_| RemoteClient::connect(server.local_addr()).expect("client connects"))
+        .collect();
+    let threads_after = thread_count();
+    let rss_after = resident_kib();
+
+    // Every RemoteClient owns one reader thread in *this* process; anything
+    // beyond those belongs to the server. A thread-per-connection server
+    // would add FAN_IN more.
+    let server_added = threads_after
+        .saturating_sub(threads_before)
+        .saturating_sub(FAN_IN);
+    println!(
+        "  {FAN_IN} handshaken connections: server added {server_added} threads \
+         (thread-per-connection would add {FAN_IN}), process RSS grew {} KiB",
+        rss_after.saturating_sub(rss_before),
+    );
+    assert_eq!(
+        server.stats().active as usize,
+        FAN_IN,
+        "all connections stay live"
+    );
+    assert!(
+        threads_before == 0 || server_added <= FAN_IN / 10,
+        "readiness server must hold {FAN_IN} connections at >=10x fewer \
+         threads than thread-per-connection (added {server_added})"
+    );
+
+    // Throughput through one connection while the rest idle beside it:
+    // flat, because idle sockets cost the event loop nothing but a pollfd.
+    group.bench_function(
+        BenchmarkId::new("pipelined", format!("{FAN_IN}-live")),
+        |b| {
+            b.iter(|| pipelined(&clients[0]));
+        },
+    );
+
+    for client in clients {
+        client.close();
+    }
+    server.shutdown();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_remote_transports,
+    bench_wire_modes,
+    bench_connection_fan_in
+);
 criterion_main!(benches);

@@ -125,9 +125,12 @@ pub use planner::{
     FleetShape, Flip, FlipKind, GroupUsage, OutcomeTotals, PlanError, PlanReport, PlanRun,
     PlanSweep, PolicyDecision, RouteMode, SaturationWindow, SweepReport,
 };
+#[allow(deprecated)]
+pub use remote::RemoteAddr;
 pub use remote::{
-    JournalSource, RemoteAddr, RemoteClient, RemoteServer, RemoteServerConfig, RemoteServerStats,
-    REMOTE_PROTOCOL_VERSION,
+    BinaryCodec, ClientConfig, Endpoint, JournalSource, JsonLinesCodec, RemoteClient, RemoteServer,
+    RemoteServerConfig, RemoteServerStats, WireCodec, WireMode, WirePolicy, MAX_FRAME,
+    REMOTE_PROTOCOL_MIN_VERSION, REMOTE_PROTOCOL_VERSION,
 };
 pub use service::{
     AdmissionDecision, AdmissionRequest, AdmissionService, Cached, Completer, Completion,

@@ -7,8 +7,8 @@
 
 use platform::{Application, Mapping, SystemSpec};
 use runtime::{
-    AdmissionRequest, AdmissionService, Cached, Completion, FleetConfig, FleetManager,
-    JournalReplayer, Journaled, RemoteAddr, RemoteClient, RemoteServer, RoutingPolicy,
+    AdmissionRequest, AdmissionService, Cached, Completion, Endpoint, FleetConfig, FleetManager,
+    JournalReplayer, Journaled, RemoteClient, RemoteServer, RoutingPolicy,
 };
 use sdf::figure2_graphs;
 use std::sync::Arc;
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Loopback socket: a Unix domain socket where available, TCP otherwise
     // (port 0 = the OS picks an ephemeral port).
-    let addr: RemoteAddr = if cfg!(unix) {
+    let addr: Endpoint = if cfg!(unix) {
         let path = std::env::temp_dir().join(format!("remote_fleet_{}.sock", std::process::id()));
         format!("unix:{}", path.display()).parse()?
     } else {
@@ -59,9 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let client = RemoteClient::connect(&client_addr).map_err(|e| e.to_string())?;
         let spec = client.workload().ok_or("no workload in handshake")?;
         println!(
-            "client connected: {} applications, {} domains",
+            "client connected: {} applications, {} domains, {} frames",
             spec.application_count(),
-            client.domains()
+            client.domains(),
+            client.wire_mode(),
         );
 
         // Pipeline a burst of admissions without waiting in between.

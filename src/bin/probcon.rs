@@ -7,8 +7,8 @@
 //! probcon simulate --seed 2007 --apps 10 --use-case 1023 [--horizon 500000]
 //! probcon serve-bench --threads 4 --requests 1000 [--apps N] [--shards S]
 //! probcon fleet-bench --requests 1000 [--groups 4] [--journal fleet.jsonl]
-//! probcon serve    --listen unix:/tmp/probcon.sock [--once] [--journal-dir wal/]
-//! probcon fleet-bench --connect unix:/tmp/probcon.sock --requests 1000 [--client NAME]
+//! probcon serve    --listen unix:/tmp/probcon.sock [--once] [--wire json|binary]
+//! probcon fleet-bench --connect unix:/tmp/probcon.sock --requests 1000 [--connections 64]
 //! probcon top      [--connect unix:/tmp/probcon.sock] [--watch 2] [--prometheus]
 //! probcon trace    [--connect unix:/tmp/probcon.sock] [--tail 20] [--json]
 //! probcon replay   <journal.jsonl | wal-dir>
@@ -72,6 +72,7 @@ USAGE:
                       [--telemetry <file.json>] [--telemetry-interval <ms>]
                       [--autoscale <policy.json>] [--autoscale-interval <ms>]
                       [--connect tcp:HOST:PORT|unix:PATH] [--client NAME]
+                      [--wire json|binary] [--connections <n>]
       Drive a metered + cached service stack over a multi-group fleet manager
       with a seeded admit/release/rebalance/estimate stream, print per-group
       utilisation and per-layer service metrics, optionally pre-warm the
@@ -95,7 +96,12 @@ USAGE:
       duration of the run, ticking every --autoscale-interval ms (default
       50); every resize it makes is journaled alongside the admissions,
       so the recording replays and plans like any other. Local only — a
-      remote fleet's shape is the server's to scale.
+      remote fleet's shape is the server's to scale. --wire picks the
+      frame encoding requested at handshake (default binary; json for
+      greppable frames or pre-v4 servers — either way the negotiated mode
+      is printed). --connections opens <n> client connections to the one
+      server and round-robins the request stream across them — the fan-in
+      shape the readiness-loop server serves at flat memory.
 
   probcon serve --listen tcp:HOST:PORT|unix:PATH [--seed <u64>] [--apps <n>]
                 [--actors <n>] [--groups <n>] [--shards <n>] [--capacity <n>]
@@ -104,6 +110,7 @@ USAGE:
                 [--journal-dir <dir>] [--fsync always|every-N|on-rotate]
                 [--segment-entries <n>] [--checkpoint-every <n>]
                 [--autoscale <policy.json>] [--autoscale-interval <ms>]
+                [--wire json|binary]
       Serve a traced + metered + estimate-cached multi-group fleet manager
       over the remote admission protocol (TCP or Unix domain socket). Every
       decision lands in the fleet's header-stamped journal, served to
@@ -128,8 +135,12 @@ USAGE:
       groups when configured), and journals every resize as a first-class
       decision — an autoscaled run replays outcome-for-outcome and
       `probcon top --connect` shows the controller's live status line.
+      --wire json forces greppable JSON-lines frames on every connection;
+      the default negotiates compact binary frames with any v4 client
+      that requests them (v3 clients always get JSON).
 
   probcon top [--connect tcp:HOST:PORT|unix:PATH] [--watch <secs>] [--prometheus]
+              [--wire json|binary]
       Live telemetry of an admission stack: per-layer operation latency
       distributions (count, ops/s, p50/p90/p99/p999), fleet utilisation and
       flight-recorder counters. With --connect, polls a `probcon serve`
@@ -140,6 +151,7 @@ USAGE:
       the human table.
 
   probcon trace [--connect tcp:HOST:PORT|unix:PATH] [--tail <n>] [--json]
+                [--wire json|binary]
       The newest <n> (default 20) structured decision events from a stack's
       flight recorder, oldest first: admit/reject/saturate/release/estimate
       with request ids, groups, durations, cache hit/miss attribution and
@@ -523,6 +535,13 @@ fn cmd_fleet_bench(options: &HashMap<&str, &str>) -> Result<(), String> {
                 .into(),
         );
     }
+    for flag in ["wire", "connections"] {
+        if options.contains_key(flag) {
+            return Err(format!(
+                "--{flag} shapes the remote transport and needs --connect"
+            ));
+        }
+    }
 
     let requests = require_u64(options, "requests")? as usize;
     if requests == 0 {
@@ -768,10 +787,67 @@ fn write_telemetry(
     Ok(())
 }
 
+/// Round-robins requests across several client connections to one
+/// server — the fan-in driver behind `fleet-bench --connections N`, and
+/// the load shape the readiness-loop server is built for: many sockets,
+/// one flat-size event loop.
+struct FanInClient {
+    clients: Vec<runtime::RemoteClient>,
+    next: std::sync::atomic::AtomicUsize,
+}
+
+impl FanInClient {
+    fn pick(&self) -> &runtime::RemoteClient {
+        let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        &self.clients[i % self.clients.len()]
+    }
+}
+
+impl runtime::AdmissionService for FanInClient {
+    fn admit(
+        &self,
+        request: &runtime::AdmissionRequest,
+    ) -> Result<runtime::AdmissionDecision, runtime::ServiceError> {
+        self.pick().admit(request)
+    }
+
+    fn release(&self, resident: u64) -> Result<(), runtime::ServiceError> {
+        self.pick().release(resident)
+    }
+
+    fn snapshot(&self) -> runtime::ServiceSnapshot {
+        self.clients[0].snapshot()
+    }
+
+    fn workload(&self) -> Option<&platform::SystemSpec> {
+        self.clients[0].workload()
+    }
+
+    fn estimate(
+        &self,
+        use_case: UseCase,
+        method: Method,
+    ) -> Result<std::sync::Arc<contention::Estimate>, runtime::ServiceError> {
+        self.pick().estimate(use_case, method)
+    }
+
+    fn submit(&self, request: runtime::AdmissionRequest) -> runtime::Completion {
+        self.pick().submit(request)
+    }
+
+    fn telemetry(&self) -> runtime::TelemetrySnapshot {
+        self.clients[0].telemetry()
+    }
+
+    fn trace_tail(&self, limit: usize) -> Vec<runtime::TraceEvent> {
+        self.clients[0].trace_tail(limit)
+    }
+}
+
 fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
         run_service_requests, run_service_requests_sampled, seeded_fleet_requests,
-        AdmissionService, Metered, RemoteAddr, RemoteClient,
+        AdmissionService, ClientConfig, Endpoint, Metered, RemoteClient, WireMode,
     };
 
     // Fleet shape, workload and journal durability are the server's to
@@ -806,24 +882,47 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
         return Err("--threads must be positive".into());
     }
     let seed = opt_u64(options, "seed")?.unwrap_or(experiments::workload::DEFAULT_SEED);
-
-    let addr: RemoteAddr = addr.parse()?;
-    let client = match options.get("client") {
-        Some(&name) => RemoteClient::connect_as(&addr, name).map_err(|e| e.to_string())?,
-        None => RemoteClient::connect(&addr).map_err(|e| e.to_string())?,
+    let wire = match options.get("wire") {
+        Some(&mode) => mode.parse::<WireMode>()?,
+        None => WireMode::Binary,
     };
-    let spec = client
+    let connections = opt_u64(options, "connections")?.unwrap_or(1) as usize;
+    if connections == 0 {
+        return Err("--connections must be positive".into());
+    }
+
+    let addr: Endpoint = addr.parse()?;
+    let connect_one = || {
+        RemoteClient::connect_config(
+            &addr,
+            ClientConfig {
+                client: options.get("client").map(|&name| name.to_string()),
+                wire,
+                ..ClientConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())
+    };
+    let clients = (0..connections)
+        .map(|_| connect_one())
+        .collect::<Result<Vec<_>, _>>()?;
+    let spec = clients[0]
         .workload()
         .ok_or("server advertised no workload spec")?
         .clone();
-    let groups = client.domains();
+    let groups = clients[0].domains();
     println!(
-        "fleet-bench: {} applications across {groups} remote domains at {addr}",
-        spec.application_count()
+        "fleet-bench: {} applications across {groups} remote domains at {addr} \
+         ({connections} connection(s), {} frames)",
+        spec.application_count(),
+        clients[0].wire_mode(),
     );
 
     let stream = seeded_fleet_requests(&spec, groups, requests, seed);
-    let stack = Metered::new(client);
+    let stack = Metered::new(FanInClient {
+        clients,
+        next: std::sync::atomic::AtomicUsize::new(0),
+    });
     let (report, points) = match telemetry_interval(options)? {
         Some(interval) => run_service_requests_sampled(&stack, stream, threads, interval),
         None => (run_service_requests(&stack, stream, threads), Vec::new()),
@@ -832,22 +931,26 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
     write_telemetry(options, &points)?;
 
     if let Some(path) = options.get("journal") {
-        let journal = stack.inner().fetch_journal().map_err(|e| e.to_string())?;
+        let journal = stack.inner().clients[0]
+            .fetch_journal()
+            .map_err(|e| e.to_string())?;
         journal.write_to(path).map_err(|e| e.to_string())?;
         println!(
             "fetched {} server-side decisions to {path} (replay with: probcon replay {path})",
             journal.len()
         );
     }
-    stack.inner().close();
+    for client in &stack.inner().clients {
+        client.close();
+    }
     Ok(())
 }
 
 fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
-        Cached, FleetConfig, FleetManager, Journal, JournalHeader, Metered, RemoteAddr,
-        RemoteServer, RemoteServerConfig, RoutingPolicy, TraceRecorder, Traced, JOURNAL_VERSION,
-        MANIFEST_FILE,
+        Cached, Endpoint, FleetConfig, FleetManager, Journal, JournalHeader, Metered, RemoteServer,
+        RemoteServerConfig, RoutingPolicy, TraceRecorder, Traced, WireMode, WirePolicy,
+        JOURNAL_VERSION, MANIFEST_FILE,
     };
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -855,7 +958,16 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     let listen = options
         .get("listen")
         .ok_or("missing required option --listen")?;
-    let addr: RemoteAddr = listen.parse()?;
+    let addr: Endpoint = listen.parse()?;
+    // --wire json forces greppable JSON-lines frames on every connection;
+    // the default negotiates binary with any client that asks for it.
+    let wire = match options.get("wire") {
+        Some(&mode) => match mode.parse::<WireMode>()? {
+            WireMode::Json => WirePolicy::JsonOnly,
+            WireMode::Binary => WirePolicy::Auto,
+        },
+        None => WirePolicy::Auto,
+    };
     let seed = opt_u64(options, "seed")?.unwrap_or(experiments::workload::DEFAULT_SEED);
     let apps = opt_u64(options, "apps")?.unwrap_or(6) as usize;
     if apps == 0 || apps > 20 {
@@ -996,6 +1108,7 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
         })),
         RemoteServerConfig {
             once: options.contains_key("once"),
+            wire,
             ..RemoteServerConfig::default()
         },
     )
@@ -1131,7 +1244,7 @@ fn demo_telemetry_stack(
 }
 
 fn cmd_top(options: &HashMap<&str, &str>) -> Result<(), String> {
-    use runtime::{AdmissionService, RemoteAddr, RemoteClient};
+    use runtime::{AdmissionService, Endpoint};
     use std::time::Duration;
 
     let prometheus = options.contains_key("prometheus");
@@ -1161,8 +1274,8 @@ fn cmd_top(options: &HashMap<&str, &str>) -> Result<(), String> {
         return Ok(());
     };
 
-    let addr: RemoteAddr = addr.parse()?;
-    let client = RemoteClient::connect(&addr).map_err(|e| e.to_string())?;
+    let addr: Endpoint = addr.parse()?;
+    let client = connect_observer(&addr, options)?;
     loop {
         let telemetry = client.remote_telemetry().map_err(|e| e.to_string())?;
         print!(
@@ -1181,8 +1294,28 @@ fn cmd_top(options: &HashMap<&str, &str>) -> Result<(), String> {
     Ok(())
 }
 
+/// Connects an observer command (`top`/`trace`), honouring `--wire`
+/// (binary by default — observers move bulky telemetry frames).
+fn connect_observer(
+    addr: &runtime::Endpoint,
+    options: &HashMap<&str, &str>,
+) -> Result<runtime::RemoteClient, String> {
+    let wire = match options.get("wire") {
+        Some(&mode) => mode.parse::<runtime::WireMode>()?,
+        None => runtime::WireMode::Binary,
+    };
+    runtime::RemoteClient::connect_config(
+        addr,
+        runtime::ClientConfig {
+            wire,
+            ..runtime::ClientConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
 fn cmd_trace(options: &HashMap<&str, &str>) -> Result<(), String> {
-    use runtime::{AdmissionService, RemoteAddr, RemoteClient};
+    use runtime::{AdmissionService, Endpoint};
 
     let tail = opt_u64(options, "tail")?.unwrap_or(20) as usize;
     if tail == 0 {
@@ -1190,8 +1323,8 @@ fn cmd_trace(options: &HashMap<&str, &str>) -> Result<(), String> {
     }
     let events = match options.get("connect") {
         Some(&addr) => {
-            let addr: RemoteAddr = addr.parse()?;
-            let client = RemoteClient::connect(&addr).map_err(|e| e.to_string())?;
+            let addr: Endpoint = addr.parse()?;
+            let client = connect_observer(&addr, options)?;
             let events = client.remote_trace(tail).map_err(|e| e.to_string())?;
             client.close();
             events

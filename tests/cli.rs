@@ -301,6 +301,10 @@ fn fleet_bench_and_replay_validate_inputs() {
         // --client announces an identity to a remote server; local runs
         // have no handshake to carry it.
         vec!["fleet-bench", "--requests", "10", "--client", "alpha"],
+        // --wire and --connections shape the remote transport; without
+        // --connect there is no wire to shape.
+        vec!["fleet-bench", "--requests", "10", "--wire", "binary"],
+        vec!["fleet-bench", "--requests", "10", "--connections", "4"],
         vec!["replay"],
         vec!["replay", "/nonexistent/journal.jsonl"],
     ] {
@@ -758,8 +762,19 @@ fn fleet_bench_connect_rejects_local_fleet_flags_and_dead_endpoints() {
             "--requests",
             "10",
         ],
+        // An unknown wire mode fails before any connection is attempted.
+        vec![
+            "fleet-bench",
+            "--connect",
+            "unix:/tmp/x.sock",
+            "--requests",
+            "10",
+            "--wire",
+            "bogus",
+        ],
         vec!["serve"],
         vec!["serve", "--listen", "bogus-address"],
+        vec!["serve", "--listen", "tcp:127.0.0.1:0", "--wire", "bogus"],
     ] {
         let out = probcon(&bad);
         assert!(!out.status.success(), "should reject: {bad:?}");

@@ -7,8 +7,8 @@
 
 use platform::{Application, Mapping, SystemSpec};
 use runtime::{
-    AdmissionRequest, AdmissionService, Completion, FleetConfig, FleetManager, RemoteAddr,
-    RemoteClient, RemoteServer, RemoteServerConfig, RoutingPolicy, ServiceError,
+    AdmissionRequest, AdmissionService, Completion, Endpoint, FleetConfig, FleetManager,
+    RemoteClient, RemoteServer, RemoteServerConfig, RoutingPolicy, ServiceError, WireMode,
     REMOTE_PROTOCOL_VERSION,
 };
 use sdf::figure2_graphs;
@@ -70,7 +70,7 @@ fn serve(groups: usize, capacity: usize) -> RemoteServer {
 /// on purpose. Performs a valid handshake first (the failure under test
 /// comes after it).
 fn raw_handshaken(server: &RemoteServer) -> TcpStream {
-    let RemoteAddr::Tcp(hostport) = server.local_addr().clone() else {
+    let Endpoint::Tcp(hostport) = server.local_addr().clone() else {
         panic!("tcp server expected");
     };
     let mut conn = TcpStream::connect(hostport.as_str()).expect("connects");
@@ -105,12 +105,12 @@ fn read_one_frame(conn: &mut TcpStream) -> Option<String> {
 /// A fake "server" accepting one connection and running `script` on it —
 /// for failure modes a real server never produces (bogus version, garbage
 /// responses, mid-flight death).
-fn fake_server<F>(script: F) -> RemoteAddr
+fn fake_server<F>(script: F) -> Endpoint
 where
     F: FnOnce(TcpStream) + Send + 'static,
 {
     let listener = TcpListener::bind("127.0.0.1:0").expect("fake server binds");
-    let addr = RemoteAddr::Tcp(listener.local_addr().expect("addr").to_string());
+    let addr = Endpoint::Tcp(listener.local_addr().expect("addr").to_string());
     std::thread::spawn(move || {
         if let Ok((conn, _)) = listener.accept() {
             script(conn);
@@ -271,7 +271,7 @@ fn client_rejects_future_server_version_naming_both() {
 fn server_rejects_stale_client_version_but_keeps_serving() {
     with_watchdog(|| {
         let server = serve(1, 2);
-        let RemoteAddr::Tcp(hostport) = server.local_addr().clone() else {
+        let Endpoint::Tcp(hostport) = server.local_addr().clone() else {
             panic!("tcp server expected");
         };
         let mut stale = TcpStream::connect(hostport.as_str()).expect("connects");
@@ -394,6 +394,104 @@ fn real_server_shutdown_mid_burst_resolves_every_completion() {
             }
         }
         assert_eq!(decided + failed, 64);
+        client.close();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Client close racing pipelined submissions.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn close_with_pipelined_submissions_outstanding_resolves_not_hangs() {
+    with_watchdog(|| {
+        // A server that handshakes, then swallows requests and answers
+        // nothing — so every submitted completion is still outstanding
+        // when close() runs. close() must cut the socket even while a
+        // concurrent submit holds the writer mid-write, and every
+        // completion must resolve with a typed transport error.
+        let addr = fake_server(|mut conn| {
+            consume_client_hello(&mut conn);
+            let hello = format!(
+                "{{\"magic\":\"probcon-remote\",\"version\":{REMOTE_PROTOCOL_VERSION},\
+                 \"workload\":null,\"domains\":1}}"
+            );
+            writeln!(conn, "{} {hello}", hello.len()).expect("server hello");
+            let mut sink = [0u8; 4096];
+            while matches!(conn.read(&mut sink), Ok(n) if n > 0) {}
+        });
+        let client = Arc::new(RemoteClient::connect(&addr).expect("handshake succeeds"));
+        let in_flight: Vec<Completion> = (0..32)
+            .map(|i| AdmissionService::submit(&*client, AdmissionRequest::new(i % 2)))
+            .collect();
+        // A second thread keeps pipelining submissions while this one
+        // closes — the race under test.
+        let racer = {
+            let client = Arc::clone(&client);
+            std::thread::spawn(move || {
+                (0..256)
+                    .map(|i| AdmissionService::submit(&*client, AdmissionRequest::new(i % 2)))
+                    .collect::<Vec<Completion>>()
+            })
+        };
+        client.close();
+        let raced = racer.join().expect("racing submitter");
+        for completion in in_flight.into_iter().chain(raced) {
+            match completion.wait() {
+                Err(ServiceError::Transport(_)) => {}
+                other => panic!("expected transport error, got {other:?}"),
+            }
+        }
+        assert!(client.broken().is_some());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Version downgrade against older servers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v4_client_downgrades_to_v3_server_transparently() {
+    with_watchdog(|| {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = Endpoint::Tcp(listener.local_addr().expect("addr").to_string());
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            // A v3 server refuses the v4 hello by naming the version it
+            // does speak, then closes.
+            let (mut conn, _) = listener.accept().expect("first connection");
+            consume_client_hello(&mut conn);
+            let refusal =
+                "{\"magic\":\"probcon-remote\",\"version\":3,\"workload\":null,\"domains\":1}";
+            writeln!(conn, "{} {refusal}", refusal.len()).expect("refusal hello");
+            drop(conn);
+            // The client reconnects fresh, speaking v3 this time.
+            let (mut conn, _) = listener.accept().expect("second connection");
+            conn.set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("timeout");
+            let hello = read_one_frame(&mut conn).expect("v3 client hello");
+            tx.send(hello).expect("hello forwarded");
+            let reply =
+                "{\"magic\":\"probcon-remote\",\"version\":3,\"workload\":null,\"domains\":1}";
+            writeln!(conn, "{} {reply}", reply.len()).expect("v3 accept");
+            // Stay connected until the client hangs up.
+            let mut sink = [0u8; 256];
+            while matches!(conn.read(&mut sink), Ok(n) if n > 0) {}
+        });
+        let client = RemoteClient::connect(&addr).expect("downgrade handshake succeeds");
+        // Downgraded connections always speak JSON lines.
+        assert_eq!(client.wire_mode(), WireMode::Json);
+        let hello = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("second hello");
+        assert!(
+            hello.contains("\"version\":3"),
+            "reconnect must speak the server's version: {hello}"
+        );
+        assert!(
+            !hello.contains("wire"),
+            "a v3 hello must not request a codec: {hello}"
+        );
         client.close();
     });
 }
