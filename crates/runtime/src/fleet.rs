@@ -54,6 +54,7 @@ use crate::journal::{
 use crate::manager::{
     Admission, AdmitError, QueueMode, ResourceManager, ResourceManagerConfig, Ticket,
 };
+use crate::telemetry::TraceRecorder;
 use crate::wal::{CheckpointGroup, CheckpointResident, FleetCheckpoint};
 use contention::Violation;
 use platform::{Application, NodeId, SystemSpec};
@@ -62,7 +63,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// How the fleet picks a group for an incoming admission.
@@ -441,6 +442,9 @@ struct FleetInner {
     rebalances: AtomicU64,
     resizes: AtomicU64,
     resize_refusals: AtomicU64,
+    /// Optional flight recorder for fleet-level decision spans
+    /// (see [`FleetManager::attach_trace`]).
+    trace: OnceLock<Arc<TraceRecorder>>,
 }
 
 impl FleetInner {
@@ -568,8 +572,23 @@ impl FleetManager {
                 rebalances: AtomicU64::new(0),
                 resizes: AtomicU64::new(0),
                 resize_refusals: AtomicU64::new(0),
+                trace: OnceLock::new(),
             }),
         })
+    }
+
+    /// Attaches a flight recorder: service admissions decided while a
+    /// [`SpanScope`](crate::SpanScope) is active are recorded as
+    /// [`TraceKind::FleetAdmit`](crate::TraceKind) spans — the innermost
+    /// link of a request's span tree. Attach the recorder of the stack's
+    /// outer [`Traced`](crate::Traced) layer; the first attachment wins.
+    pub fn attach_trace(&self, recorder: Arc<TraceRecorder>) {
+        let _ = self.inner.trace.set(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub(crate) fn attached_trace(&self) -> Option<&Arc<TraceRecorder>> {
+        self.inner.trace.get()
     }
 
     /// The workload spec admissions draw applications from.

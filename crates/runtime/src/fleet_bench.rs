@@ -187,10 +187,41 @@ pub struct TelemetryPoint {
     pub admit_p99_us: u64,
     /// 99.9th-percentile admit latency (µs) so far.
     pub admit_p999_us: u64,
+    /// Per-connection fan-in at the sample, when the run drives several
+    /// client connections (`probcon fleet-bench --connect
+    /// --connections N`). Trailing `skip_none` field: trajectories from
+    /// single-connection runs serialize unchanged.
+    #[serde(skip_none)]
+    pub connections: Option<Vec<ConnectionPoint>>,
 }
 
+/// One client connection's cumulative traffic inside a
+/// [`TelemetryPoint`] — how the request stream fanned in across the
+/// connection pool at that instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionPoint {
+    /// Connection index within the run's pool.
+    pub conn: u64,
+    /// Request frames this connection has sent.
+    pub requests_sent: u64,
+    /// Responses it has received.
+    pub responses: u64,
+    /// Requests failed by transport errors.
+    pub transport_errors: u64,
+    /// Requests in flight at the sample.
+    pub pending: u64,
+}
+
+/// Reads the per-connection fan-in for one [`TelemetryPoint`]; `None`
+/// when the run has no connection pool to sample.
+pub type ConnectionSampler<'a> = &'a (dyn Fn() -> Vec<ConnectionPoint> + Sync);
+
 impl TelemetryPoint {
-    fn sample(service: &dyn AdmissionService, start: Instant) -> TelemetryPoint {
+    fn sample(
+        service: &dyn AdmissionService,
+        start: Instant,
+        connections: Option<ConnectionSampler<'_>>,
+    ) -> TelemetryPoint {
         let telemetry = service.telemetry();
         let service = &telemetry.service;
         let admit = telemetry.histogram("metered", "admit");
@@ -204,6 +235,7 @@ impl TelemetryPoint {
             admit_p50_us: admit.map_or(0, |h| h.p50()),
             admit_p99_us: admit.map_or(0, |h| h.p99()),
             admit_p999_us: admit.map_or(0, |h| h.p999()),
+            connections: connections.map(|sample| sample()),
         }
     }
 }
@@ -231,7 +263,14 @@ pub fn run_fleet_stack_sampled(
     threads: usize,
     sample_every: Duration,
 ) -> (FleetBenchReport, Vec<TelemetryPoint>) {
-    run_stack_inner(service, Some(fleet), requests, threads, Some(sample_every))
+    run_stack_inner(
+        service,
+        Some(fleet),
+        requests,
+        threads,
+        Some(sample_every),
+        None,
+    )
 }
 
 /// [`run_service_requests`] with a telemetry sampler — the fleetless
@@ -243,7 +282,29 @@ pub fn run_service_requests_sampled(
     threads: usize,
     sample_every: Duration,
 ) -> (FleetBenchReport, Vec<TelemetryPoint>) {
-    run_stack_inner(service, None, requests, threads, Some(sample_every))
+    run_stack_inner(service, None, requests, threads, Some(sample_every), None)
+}
+
+/// [`run_service_requests_sampled`] with a per-connection fan-in
+/// sampler: each trajectory point additionally carries one
+/// [`ConnectionPoint`] per client connection, read through
+/// `connections` — the engine behind
+/// `probcon fleet-bench --connect --connections N --telemetry`.
+pub fn run_service_requests_sampled_with(
+    service: &dyn AdmissionService,
+    requests: Vec<FleetRequest>,
+    threads: usize,
+    sample_every: Duration,
+    connections: Option<ConnectionSampler<'_>>,
+) -> (FleetBenchReport, Vec<TelemetryPoint>) {
+    run_stack_inner(
+        service,
+        None,
+        requests,
+        threads,
+        Some(sample_every),
+        connections,
+    )
 }
 
 /// [`run_fleet_stack`] for a service with **no local fleet** — a
@@ -257,7 +318,7 @@ pub fn run_service_requests(
     requests: Vec<FleetRequest>,
     threads: usize,
 ) -> FleetBenchReport {
-    run_stack_inner(service, None, requests, threads, None).0
+    run_stack_inner(service, None, requests, threads, None, None).0
 }
 
 /// Executes `requests` against `service` — any [`AdmissionService`] stack
@@ -275,7 +336,7 @@ pub fn run_fleet_stack(
     requests: Vec<FleetRequest>,
     threads: usize,
 ) -> FleetBenchReport {
-    run_stack_inner(service, Some(fleet), requests, threads, None).0
+    run_stack_inner(service, Some(fleet), requests, threads, None, None).0
 }
 
 fn run_stack_inner(
@@ -284,6 +345,7 @@ fn run_stack_inner(
     requests: Vec<FleetRequest>,
     threads: usize,
     sample_every: Option<Duration>,
+    connections: Option<ConnectionSampler<'_>>,
 ) -> (FleetBenchReport, Vec<TelemetryPoint>) {
     let threads = threads.max(1);
     let total = requests.len();
@@ -306,12 +368,12 @@ fn run_stack_inner(
                 while !done.load(Ordering::Acquire) {
                     std::thread::sleep(tick);
                     if Instant::now() >= next_at {
-                        lock(points).push(TelemetryPoint::sample(service, start));
+                        lock(points).push(TelemetryPoint::sample(service, start, connections));
                         next_at += interval;
                     }
                 }
                 // Close the trajectory on the end state (pre-drain).
-                lock(points).push(TelemetryPoint::sample(service, start));
+                lock(points).push(TelemetryPoint::sample(service, start, connections));
             });
         }
         let workers: Vec<_> = (0..threads)
@@ -336,6 +398,7 @@ fn run_stack_inner(
                                 required_throughput,
                                 affinity,
                                 target: None,
+                                span: None,
                             };
                             if let Ok(AdmissionDecision::Admitted { resident, .. }) =
                                 service.admit(&request)

@@ -55,7 +55,8 @@ use crate::service::{
     ServiceError, ServiceSnapshot,
 };
 use crate::telemetry::{
-    op_rate, HistogramRecorder, TelemetrySnapshot, TraceEvent, TraceKind, TraceRecorder,
+    op_rate, HistogramRecorder, SpanContext, SpanScope, TelemetrySnapshot, TraceEvent, TraceKind,
+    TraceRecorder,
 };
 use contention::{Estimate, Method};
 use platform::{SystemSpec, UseCase};
@@ -145,14 +146,31 @@ impl FrontEndInner {
             let wait = job.enqueued.elapsed();
             self.queue_wait.record_duration(wait);
             if let Some(trace) = &self.trace {
-                trace.record(TraceEvent::new(TraceKind::QueueWait).duration(wait));
+                let mut event = TraceEvent::new(TraceKind::QueueWait).duration(wait);
+                // A traced admission's queue wait is a child span of the
+                // request's context, so it nests inside the request tree.
+                if let Op::Admit(request, _) = &job.op {
+                    if let Some(context) = request.span {
+                        event = event.span(context.child());
+                    }
+                }
+                trace.record(event);
             }
             // Count the completion before delivering it: a waiter woken by
             // the completion must already observe it in the counters.
             let dwell = Instant::now();
             match job.op {
                 Op::Admit(request, completer) => {
-                    let result = self.service.admit(&request);
+                    // Make the request's span ambient for the service call:
+                    // the downstack (traced layer, fleet) parents its spans
+                    // here even though the request hopped threads.
+                    let result = match request.span {
+                        Some(context) => {
+                            let _scope = SpanScope::enter(context);
+                            self.service.admit(&request)
+                        }
+                        None => self.service.admit(&request),
+                    };
                     self.dwell.record_duration(dwell.elapsed());
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     completer.complete(result);
@@ -233,9 +251,14 @@ impl FrontEnd {
             trace,
         });
         let handles = (0..workers)
-            .map(|_| {
+            .map(|i| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || inner.worker_loop())
+                // Named threads so spanned events recorded on a worker land
+                // on a stable per-worker track in exported timelines.
+                std::thread::Builder::new()
+                    .name(format!("worker{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn front-end worker")
             })
             .collect();
         FrontEnd {
@@ -301,7 +324,13 @@ impl FrontEnd {
     /// the completion. A full queue or stopped front-end completes
     /// immediately with [`ServiceError::QueueFull`] /
     /// [`ServiceError::Stopped`].
-    pub fn submit(&self, request: AdmissionRequest) -> Completion {
+    pub fn submit(&self, mut request: AdmissionRequest) -> Completion {
+        // The front-end is the outermost layer a local submission crosses:
+        // mint the request's root span here so queue wait and decision
+        // spans share one trace even across the thread hop.
+        if request.span.is_none() {
+            request.span = Some(SpanContext::root());
+        }
         let (completer, completion) = Completion::pending();
         if let Err(e) = self.enqueue(Job {
             op: Op::Admit(request, completer),
@@ -452,6 +481,13 @@ impl AdmissionService for FrontEnd {
             Some(trace) => trace.tail(limit),
             None => self.inner.service.trace_tail(limit),
         }
+    }
+
+    fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.inner
+            .trace
+            .clone()
+            .or_else(|| self.inner.service.trace_recorder())
     }
 }
 

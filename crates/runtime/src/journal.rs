@@ -1838,6 +1838,7 @@ fn replay_admit(
         required_throughput,
         affinity,
         target: Some(group as usize),
+        span: None,
     };
     match service.admit(&request) {
         Ok(AdmissionDecision::Admitted {

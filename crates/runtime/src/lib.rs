@@ -108,8 +108,8 @@ pub use fleet::{
 };
 pub use fleet_bench::{
     run_fleet_requests, run_fleet_stack, run_fleet_stack_sampled, run_service_requests,
-    run_service_requests_sampled, seeded_fleet_requests, FleetBenchReport, FleetRequest,
-    TelemetryPoint,
+    run_service_requests_sampled, run_service_requests_sampled_with, seeded_fleet_requests,
+    ConnectionPoint, ConnectionSampler, FleetBenchReport, FleetRequest, TelemetryPoint,
 };
 pub use frontend::{FrontEnd, FrontEndConfig};
 pub use journal::{
@@ -128,17 +128,18 @@ pub use planner::{
 #[allow(deprecated)]
 pub use remote::RemoteAddr;
 pub use remote::{
-    BinaryCodec, ClientConfig, Endpoint, JournalSource, JsonLinesCodec, RemoteClient, RemoteServer,
-    RemoteServerConfig, RemoteServerStats, WireCodec, WireMode, WirePolicy, MAX_FRAME,
-    REMOTE_PROTOCOL_MIN_VERSION, REMOTE_PROTOCOL_VERSION,
+    BinaryCodec, ClientConfig, Endpoint, JournalSource, JsonLinesCodec, RemoteClient,
+    RemoteClientStats, RemoteServer, RemoteServerConfig, RemoteServerStats, WireCodec, WireMode,
+    WirePolicy, MAX_FRAME, REMOTE_PROTOCOL_MIN_VERSION, REMOTE_PROTOCOL_VERSION,
 };
 pub use service::{
     AdmissionDecision, AdmissionRequest, AdmissionService, Cached, Completer, Completion,
     Journaled, LayerMetrics, Metered, OpRate, ServiceError, ServiceOp, ServiceSnapshot,
 };
 pub use telemetry::{
-    HistogramRecorder, LatencyHistogram, OpHistogram, TelemetrySnapshot, TraceEvent, TraceKind,
-    TraceRecorder, TraceStats, Traced,
+    build_span_trees, render_chrome_trace, ConnectionStats, EventLoopStats, HistogramRecorder,
+    LatencyHistogram, OpHistogram, SpanContext, SpanNode, SpanScope, SpanTree, TelemetrySnapshot,
+    TenantBreakdown, TraceEvent, TraceKind, TraceRecorder, TraceStats, Traced,
 };
 pub use wal::{
     CheckpointGroup, CheckpointResident, FleetCheckpoint, FsyncPolicy, Manifest, SegmentMeta,

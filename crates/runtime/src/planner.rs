@@ -785,6 +785,7 @@ impl<'a> PlanRun<'a> {
             required_throughput,
             affinity,
             target,
+            span: None,
         };
         let decision = service.admit(&request)?;
 

@@ -19,9 +19,10 @@ use crate::service::{
     AdmissionDecision, AdmissionRequest, AdmissionService, Completer, Completion, LayerMetrics,
     ServiceError, ServiceSnapshot,
 };
-use crate::telemetry::{TelemetrySnapshot, TraceEvent};
+use crate::telemetry::{SpanContext, TelemetrySnapshot, TraceEvent};
 use contention::{Estimate, Method};
 use platform::{SystemSpec, UseCase};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,7 +104,7 @@ impl PendingOp {
             (PendingOp::Journal(c), WireBody::Journal(text)) => c.complete(Ok(text)),
             (PendingOp::JournalPage(c), WireBody::JournalPage(page)) => c.complete(Ok(page)),
             (PendingOp::Telemetry(c), WireBody::Telemetry(telemetry)) => {
-                c.complete(Ok(telemetry));
+                c.complete(Ok(*telemetry));
             }
             (PendingOp::Trace(c), WireBody::Trace(events)) => c.complete(Ok(events)),
             (pending, _) => pending.fail(mismatch),
@@ -264,6 +265,24 @@ impl ClientShared {
             Err(msg) => self.fail_all(&msg),
         }
     }
+}
+
+/// A point-in-time view of one client connection's request traffic —
+/// the counters behind the `"remote"` layer of
+/// [`RemoteClient::snapshot`], exposed directly so drivers (e.g.
+/// `fleet-bench --connections`) can sample per-connection fan-in
+/// without parsing layer metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteClientStats {
+    /// Request frames successfully written to the socket.
+    pub requests_sent: u64,
+    /// Response frames received and correlated.
+    pub responses: u64,
+    /// Requests failed by transport errors (disconnects, deadline
+    /// expiries, uncorrelated responses).
+    pub transport_errors: u64,
+    /// Requests currently in flight (sent, not yet answered).
+    pub pending: u64,
 }
 
 /// What one handshake attempt concluded.
@@ -658,6 +677,17 @@ impl RemoteClient {
         }
     }
 
+    /// This connection's live request counters (see
+    /// [`RemoteClientStats`]).
+    pub fn stats(&self) -> RemoteClientStats {
+        RemoteClientStats {
+            requests_sent: self.shared.requests_sent.load(Ordering::Relaxed),
+            responses: self.shared.responses.load(Ordering::Relaxed),
+            transport_errors: self.shared.transport_errors.load(Ordering::Relaxed),
+            pending: lock(&self.shared.pending).len() as u64,
+        }
+    }
+
     fn client_layer(&self) -> LayerMetrics {
         LayerMetrics::new("remote")
             .counter(
@@ -731,7 +761,15 @@ impl AdmissionService for RemoteClient {
     /// Genuinely pipelined submission: the request goes out immediately
     /// and the completion resolves when the correlated response arrives,
     /// so many admissions can be in flight on one connection.
-    fn submit(&self, request: AdmissionRequest) -> Completion {
+    ///
+    /// A request without a [`SpanContext`] is stamped with a fresh root
+    /// span here — the outermost traced layer — so the server-side
+    /// flight recorder links every frame-decode/dispatch/admit event it
+    /// records for this request under one trace id.
+    fn submit(&self, mut request: AdmissionRequest) -> Completion {
+        if request.span.is_none() {
+            request.span = Some(SpanContext::root());
+        }
         let (completer, completion) = Completion::pending();
         self.shared
             .send(WireOp::Admit(request), PendingOp::Admit(completer));

@@ -105,7 +105,7 @@ mod client;
 mod endpoint;
 mod server;
 
-pub use client::{ClientConfig, RemoteClient};
+pub use client::{ClientConfig, RemoteClient, RemoteClientStats};
 pub use codec::{BinaryCodec, JsonLinesCodec, WireCodec, WireMode, MAX_FRAME};
 pub use endpoint::Endpoint;
 #[allow(deprecated)]
@@ -260,8 +260,10 @@ pub enum WireBody {
     /// One bounded page of the server-side journal
     /// ([`Journal::render_page`](crate::Journal::render_page)).
     JournalPage(JournalPage),
-    /// The served stack's live telemetry.
-    Telemetry(TelemetrySnapshot),
+    /// The served stack's live telemetry. Boxed: the snapshot (layer
+    /// histograms, tenants, connections, event loop) dwarfs every other
+    /// variant, and bodies are built once per frame anyway.
+    Telemetry(Box<TelemetrySnapshot>),
     /// Trace events from the served stack's flight recorder.
     Trace(Vec<TraceEvent>),
     /// The operation failed.
@@ -558,10 +560,40 @@ mod tests {
             .any(|layer| layer.layer == "remote"));
         assert!(trait_view.histogram("remote-server", "frame").is_some());
 
-        // The flight recorder's tail crosses too, oldest first.
+        // Live transport visibility rides along: per-connection counters
+        // and the event loop's own health.
+        let connections = telemetry.connections.as_ref().expect("connection stats");
+        assert!(connections.iter().any(|c| c.frames_in > 0));
+        let event_loop = telemetry.event_loop.as_ref().expect("event loop stats");
+        assert!(event_loop.poll_ticks > 0);
+
+        // The flight recorder's tail crosses too, oldest first — and the
+        // admission produced a parent-linked server-side span chain under
+        // the client-minted trace id: frame decode → dispatch → admit.
         let events = client.remote_trace(16).unwrap();
-        assert!(events.len() >= 2);
-        assert_eq!(events[0].kind, TraceKind::Admit);
+        assert!(events.len() >= 3);
+        let decode = events
+            .iter()
+            .find(|e| e.kind == TraceKind::FrameDecode)
+            .expect("frame decode traced");
+        let dispatch = events
+            .iter()
+            .find(|e| e.kind == TraceKind::Dispatch)
+            .expect("dispatch traced");
+        let admit = events
+            .iter()
+            .find(|e| e.kind == TraceKind::Admit)
+            .expect("admit traced");
+        assert!(decode.trace_id.is_some());
+        assert_eq!(decode.trace_id, dispatch.trace_id);
+        assert_eq!(decode.trace_id, admit.trace_id);
+        assert_eq!(dispatch.parent_span_id, decode.span_id);
+        assert_eq!(admit.parent_span_id, dispatch.span_id);
+        assert!(
+            decode.parent_span_id.is_some(),
+            "decode links up to the client-side root span"
+        );
+        assert_eq!(decode.track.as_deref(), Some("conn1"));
         assert!(events.iter().any(|e| e.kind == TraceKind::Release));
         assert_eq!(AdmissionService::trace_tail(&client, 1).len(), 1);
 

@@ -23,9 +23,12 @@ use crate::cache::lock;
 use crate::frontend::{FrontEnd, FrontEndConfig};
 use crate::journal::JournalPage;
 use crate::service::{AdmissionService, LayerMetrics, ServiceError};
-use crate::telemetry::{op_rate, HistogramRecorder};
+use crate::telemetry::{
+    op_rate, ConnectionStats, EventLoopStats, HistogramRecorder, SpanScope, TraceEvent, TraceKind,
+    TraceRecorder,
+};
 use platform::UseCase;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io::{Read, Write};
 #[cfg(unix)]
@@ -250,6 +253,21 @@ struct ServerShared {
     /// Latency of each request frame, timed around dispatch (decode and
     /// write excluded) — the server-side contribution to remote latency.
     frame_latency: HistogramRecorder,
+    /// The served stack's flight recorder, if any layer exposes one —
+    /// the sink for the server-side span chain (frame decode → dispatch
+    /// → admit). `None` when the stack is untraced: the transport then
+    /// records nothing.
+    trace: Option<Arc<TraceRecorder>>,
+    /// Live per-connection counters, keyed by token; shared with each
+    /// [`Connection`] so telemetry requests (decided on worker threads)
+    /// can read them without touching event-loop state.
+    conn_stats: Mutex<BTreeMap<u64, Arc<ConnTelemetry>>>,
+    /// Event-loop iterations completed.
+    poll_ticks: AtomicU64,
+    /// Time spent *processing* per tick (readiness wait excluded).
+    tick_hist: HistogramRecorder,
+    /// Ready-set size per tick (a histogram of counts, not of times).
+    ready_hist: HistogramRecorder,
     notifier: Notifier,
     stopping: AtomicBool,
     connections: AtomicU64,
@@ -358,11 +376,46 @@ impl ServerShared {
                 let mut telemetry = self.service.telemetry();
                 telemetry.service.layers.push(self.server_layer());
                 telemetry.push_histogram("remote-server", "frame", self.frame_latency.snapshot());
-                WireBody::Telemetry(telemetry)
+                let connections = self.connection_stats();
+                if !connections.is_empty() {
+                    telemetry.connections = Some(connections);
+                }
+                telemetry.event_loop = Some(self.event_loop_stats());
+                WireBody::Telemetry(Box::new(telemetry))
             }
             WireOp::Trace { tail } => {
                 WireBody::Trace(self.service.trace_tail(tail.min(1_000_000) as usize))
             }
+        }
+    }
+
+    /// Point-in-time view of every live connection's counters, in token
+    /// (accept) order.
+    fn connection_stats(&self) -> Vec<ConnectionStats> {
+        lock(&self.conn_stats)
+            .values()
+            .map(|telem| ConnectionStats {
+                token: telem.token,
+                client: lock(&telem.client).clone(),
+                wire: lock(&telem.wire).clone(),
+                frames_in: telem.frames_in.load(Ordering::Relaxed),
+                frames_out: telem.frames_out.load(Ordering::Relaxed),
+                bytes_in: telem.bytes_in.load(Ordering::Relaxed),
+                bytes_out: telem.bytes_out.load(Ordering::Relaxed),
+                write_buffered: lock(&telem.out).pending() as u64,
+                in_flight: telem.in_flight.load(Ordering::Acquire),
+                backpressure_pauses: telem.pauses.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// The event loop's own health: tick count, per-tick processing time
+    /// and ready-set size distributions.
+    fn event_loop_stats(&self) -> EventLoopStats {
+        EventLoopStats {
+            poll_ticks: self.poll_ticks.load(Ordering::Relaxed),
+            tick: self.tick_hist.snapshot(),
+            ready: self.ready_hist.snapshot(),
         }
     }
 
@@ -415,6 +468,30 @@ impl OutBuf {
     }
 }
 
+/// Live counters of one served connection, shared between the event
+/// loop (which owns the [`Connection`]) and worker threads answering
+/// telemetry requests — the source of
+/// [`ConnectionStats`](crate::telemetry::ConnectionStats).
+struct ConnTelemetry {
+    token: u64,
+    /// Identity the peer announced at handshake, if any.
+    client: Mutex<Option<String>>,
+    /// Negotiated framing name (`"json"` until the handshake grants).
+    wire: Mutex<String>,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    /// False→true backpressure transitions (output or in-flight
+    /// saturation paused reads).
+    pauses: AtomicU64,
+    /// Second handle on the connection's output buffer, for the
+    /// `write_buffered` gauge.
+    out: Arc<Mutex<OutBuf>>,
+    /// Second handle on the connection's in-flight count.
+    in_flight: Arc<AtomicU64>,
+}
+
 struct Connection {
     conn: Conn,
     inbuf: FrameBuffer,
@@ -423,6 +500,10 @@ struct Connection {
     out: Arc<Mutex<OutBuf>>,
     /// Requests dispatched to the worker pool, not yet appended to `out`.
     in_flight: Arc<AtomicU64>,
+    telemetry: Arc<ConnTelemetry>,
+    /// Pause state at the last timer check — edge detection for the
+    /// `pauses` counter.
+    was_paused: bool,
     handshaken: bool,
     client: Option<String>,
     handshake_deadline: Instant,
@@ -442,14 +523,30 @@ struct Connection {
 }
 
 impl Connection {
-    fn new(conn: Conn, handshake_timeout: Duration) -> Connection {
+    fn new(conn: Conn, token: u64, handshake_timeout: Duration) -> Connection {
         let now = Instant::now();
+        let out = Arc::new(Mutex::new(OutBuf::default()));
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let telemetry = Arc::new(ConnTelemetry {
+            token,
+            client: Mutex::new(None),
+            wire: Mutex::new(WireMode::Json.name().to_string()),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            pauses: AtomicU64::new(0),
+            out: Arc::clone(&out),
+            in_flight: Arc::clone(&in_flight),
+        });
         Connection {
             conn,
             inbuf: FrameBuffer::new(),
             codec: &JsonLinesCodec,
-            out: Arc::new(Mutex::new(OutBuf::default())),
-            in_flight: Arc::new(AtomicU64::new(0)),
+            out,
+            in_flight,
+            telemetry,
+            was_paused: false,
             handshaken: false,
             client: None,
             handshake_deadline: now + handshake_timeout,
@@ -477,6 +574,7 @@ impl Connection {
     fn push_response(&self, response: &WireResponse) {
         if let Ok(frame) = encode_frame(self.codec, response) {
             lock(&self.out).buf.extend_from_slice(&frame);
+            self.telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -546,6 +644,9 @@ impl EventLoop {
             }
 
             let (accept_ready, ready) = self.wait_ready(stopping);
+            let tick_started = Instant::now();
+            self.shared.poll_ticks.fetch_add(1, Ordering::Relaxed);
+            self.shared.ready_hist.record(ready.len() as u64);
 
             // Output first: responses finished since the last tick (the
             // dirty list) and sockets whose send buffers freed up.
@@ -569,6 +670,9 @@ impl EventLoop {
             }
             self.check_timers();
             self.reap();
+            self.shared
+                .tick_hist
+                .record_duration(tick_started.elapsed());
         }
         // Drain budget spent (or nothing left): cut whatever remains and
         // join the worker pool.
@@ -686,10 +790,10 @@ impl EventLoop {
                     self.shared.active.fetch_add(1, Ordering::Release);
                     let token = self.next_token;
                     self.next_token += 1;
-                    self.conns.insert(
-                        token,
-                        Connection::new(conn, self.shared.config.handshake_timeout),
-                    );
+                    let connection =
+                        Connection::new(conn, token, self.shared.config.handshake_timeout);
+                    lock(&self.shared.conn_stats).insert(token, Arc::clone(&connection.telemetry));
+                    self.conns.insert(token, connection);
                 }
                 Err(e) if is_timeout(&e) => return,
                 Err(_) => return,
@@ -715,6 +819,9 @@ impl EventLoop {
                 }
                 Ok(n) => {
                     conn.inbuf.extend(&chunk[..n]);
+                    conn.telemetry
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
                     conn.last_progress = Instant::now();
                 }
                 Err(e) if is_timeout(&e) => break,
@@ -739,6 +846,7 @@ impl EventLoop {
             match conn.inbuf.take_frame(conn.codec) {
                 Ok(Some(value)) => {
                     conn.last_progress = Instant::now();
+                    conn.telemetry.frames_in.fetch_add(1, Ordering::Relaxed);
                     if conn.handshaken {
                         self.handle_request(token, &value);
                     } else {
@@ -806,6 +914,8 @@ impl EventLoop {
                 // The granted codec takes over from the next frame on.
                 conn.codec = granted.codec();
                 conn.handshaken = true;
+                *lock(&conn.telemetry.client) = hello.client.clone();
+                *lock(&conn.telemetry.wire) = granted.name().to_string();
                 conn.client = hello.client;
                 self.shared.handshaken.fetch_add(1, Ordering::Release);
                 match granted {
@@ -823,6 +933,7 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        let decode_started = Instant::now();
         let request: WireRequest = match decode_message(value) {
             Ok(request) => request,
             Err(e) => {
@@ -838,9 +949,33 @@ impl EventLoop {
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
         conn.in_flight.fetch_add(1, Ordering::Release);
 
+        // Server-side span chain, recorded only when the served stack
+        // exposes a flight recorder AND the admission carries a
+        // client-minted span — old peers and untraced requests pay
+        // nothing. The decode span is a child of the client's request
+        // span, pinned to this connection's track; the worker-side
+        // dispatch span (recorded in the task below, its duration the
+        // queue dwell) is the decode span's child.
+        let dispatch_parent = match (&self.shared.trace, &request.op) {
+            (Some(trace), WireOp::Admit(admission)) => admission.span.map(|context| {
+                let decode = context.child();
+                trace.record(
+                    TraceEvent::new(TraceKind::FrameDecode)
+                        .app(admission.app_index)
+                        .duration(decode_started.elapsed())
+                        .span(decode)
+                        .track(format!("conn{token}")),
+                );
+                decode
+            }),
+            _ => None,
+        };
+        let dispatched = Instant::now();
+
         let shared = Arc::clone(&self.shared);
         let out = Arc::clone(&conn.out);
         let in_flight = Arc::clone(&conn.in_flight);
+        let telemetry = Arc::clone(&conn.telemetry);
         let codec = conn.codec;
         let client = conn.client.clone();
         let id = request.id;
@@ -850,6 +985,19 @@ impl EventLoop {
             // client id it announced — entered per task because the
             // scope is thread-local and tasks hop across the pool.
             let _scope = client.map(crate::journal::ClientScope::enter);
+            // Enter the dispatch span so every event the layers below
+            // record (admit, fleet-admit) parents under it.
+            let _span_scope = dispatch_parent.map(|decode| {
+                let worker = decode.child();
+                if let Some(trace) = &shared.trace {
+                    trace.record(
+                        TraceEvent::new(TraceKind::Dispatch)
+                            .duration(dispatched.elapsed())
+                            .span(worker),
+                    );
+                }
+                SpanScope::enter(worker)
+            });
             let started = Instant::now();
             let body = shared.dispatch(op);
             shared.frame_latency.record_duration(started.elapsed());
@@ -867,6 +1015,7 @@ impl EventLoop {
                 .expect("error response encodes")
             });
             lock(&out).buf.extend_from_slice(&frame);
+            telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
             in_flight.fetch_sub(1, Ordering::Release);
             shared.notifier.push(token);
         });
@@ -898,7 +1047,12 @@ impl EventLoop {
                     conn.dead = true;
                     break;
                 }
-                Ok(n) => out.start += n,
+                Ok(n) => {
+                    out.start += n;
+                    conn.telemetry
+                        .bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                }
                 Err(e) if is_timeout(&e) => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => {
@@ -924,6 +1078,13 @@ impl EventLoop {
             if conn.dead || conn.closing {
                 continue;
             }
+            // Edge-detect backpressure pauses once per tick: a false→true
+            // transition is one pause episode, however long it lasts.
+            let paused = conn.paused(&self.shared.config);
+            if paused && !conn.was_paused {
+                conn.telemetry.pauses.fetch_add(1, Ordering::Relaxed);
+            }
+            conn.was_paused = paused;
             if !conn.handshaken {
                 if now >= conn.handshake_deadline {
                     conn.refused = true;
@@ -967,6 +1128,7 @@ impl EventLoop {
             .collect();
         for token in finished {
             let conn = self.conns.remove(&token).expect("token listed");
+            lock(&self.shared.conn_stats).remove(&token);
             if conn.refused || !conn.handshaken {
                 // EOF before any hello counts as a reject too (probes).
                 self.shared
@@ -1052,12 +1214,18 @@ impl RemoteServer {
             waker: poller::Waker::new()
                 .map_err(|e| ServiceError::Transport(format!("waker pipe: {e}")))?,
         };
+        let trace = service.trace_recorder();
         let shared = Arc::new(ServerShared {
             service,
             journal_source,
             config,
             started: Instant::now(),
             frame_latency: HistogramRecorder::new(),
+            trace,
+            conn_stats: Mutex::new(BTreeMap::new()),
+            poll_ticks: AtomicU64::new(0),
+            tick_hist: HistogramRecorder::new(),
+            ready_hist: HistogramRecorder::new(),
             notifier,
             stopping: AtomicBool::new(false),
             connections: AtomicU64::new(0),

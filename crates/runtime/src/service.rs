@@ -63,7 +63,8 @@ use crate::journal::{DecisionEvent, Journal, JournalHeader, JournalOutcome};
 use crate::manager::{Admission, AdmitError, ResourceManager, Ticket};
 use crate::metrics::LatencySummary;
 use crate::telemetry::{
-    HistogramRecorder, LatencyHistogram, TelemetrySnapshot, TraceEvent, TraceKind, TraceRecorder,
+    HistogramRecorder, LatencyHistogram, SpanContext, SpanScope, TelemetrySnapshot, TraceEvent,
+    TraceKind, TraceRecorder,
 };
 use contention::{AdmissionOutcome, ContentionError, Estimate, Method, Violation};
 use experiments::signoff::SignOffReport;
@@ -98,6 +99,12 @@ pub struct AdmissionRequest {
     /// Explicit admission domain (fleet group / manager shard) bypassing
     /// the service's routing; `None` lets the service route.
     pub target: Option<usize>,
+    /// Causal span context minted at the outermost layer that saw the
+    /// request (remote client / front-end); layers derive child spans
+    /// from it. Trailing `skip_none` field: requests to and from peers
+    /// that predate spans interop byte-identically on both codecs.
+    #[serde(skip_none)]
+    pub span: Option<SpanContext>,
 }
 
 impl AdmissionRequest {
@@ -128,6 +135,14 @@ impl AdmissionRequest {
     #[must_use]
     pub fn on(mut self, domain: usize) -> AdmissionRequest {
         self.target = Some(domain);
+        self
+    }
+
+    /// Attaches an explicit span context (normally minted by the
+    /// outermost layer, not by callers).
+    #[must_use]
+    pub fn with_span(mut self, span: SpanContext) -> AdmissionRequest {
+        self.span = Some(span);
         self
     }
 }
@@ -545,6 +560,14 @@ pub trait AdmissionService: Send + Sync {
         let _ = limit;
         Vec::new()
     }
+
+    /// The stack's shared flight recorder, if one is present — how a
+    /// server layer records transport spans (frame decode, dispatch)
+    /// into the same ring as the decision layers. Middleware forwards
+    /// inward; a [`Traced`](crate::Traced) layer answers its own.
+    fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        None
+    }
 }
 
 impl<S: AdmissionService + ?Sized> AdmissionService for Arc<S> {
@@ -578,6 +601,10 @@ impl<S: AdmissionService + ?Sized> AdmissionService for Arc<S> {
 
     fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
         (**self).trace_tail(limit)
+    }
+
+    fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        (**self).trace_recorder()
     }
 }
 
@@ -867,8 +894,12 @@ impl AdmissionService for ResourceManager {
 impl AdmissionService for FleetManager {
     /// Admissions go through the fleet's routing policy (or
     /// `request.target` as an explicit group) and are journaled by the
-    /// fleet exactly like ticket-based admissions.
+    /// fleet exactly like ticket-based admissions. When a flight recorder
+    /// is [attached](FleetManager::attach_trace) and the request is
+    /// traced, the decision is also recorded as the innermost
+    /// [`TraceKind::FleetAdmit`] span.
     fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        let start = Instant::now();
         let result = match request.target {
             // Pass the affinity tag through even on targeted admissions:
             // it does not steer the decision (the target does), but the
@@ -894,6 +925,16 @@ impl AdmissionService for FleetManager {
                     // The fleet's resident registry keeps the capacity; the
                     // service path releases by id, not by RAII ticket.
                     ticket.forget();
+                }
+                if let Some(recorder) = self.attached_trace() {
+                    if SpanScope::current().is_some() || request.span.is_some() {
+                        recorder.record(
+                            TraceEvent::new(TraceKind::FleetAdmit)
+                                .app(request.app_index)
+                                .domain(decision.domain())
+                                .duration(start.elapsed()),
+                        );
+                    }
                 }
                 Ok(decision)
             }
@@ -952,6 +993,10 @@ impl AdmissionService for FleetManager {
         }
         telemetry.service.layers.push(groups);
         telemetry
+    }
+
+    fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.attached_trace().cloned()
     }
 }
 
@@ -1128,6 +1173,10 @@ impl<S: AdmissionService> AdmissionService for Cached<S> {
     fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
         self.inner.trace_tail(limit)
     }
+
+    fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.inner.trace_recorder()
+    }
 }
 
 /// Journal-recording middleware: appends every decision of *any* wrapped
@@ -1247,6 +1296,10 @@ impl<S: AdmissionService> AdmissionService for Journaled<S> {
 
     fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
         self.inner.trace_tail(limit)
+    }
+
+    fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.inner.trace_recorder()
     }
 }
 
@@ -1442,6 +1495,10 @@ impl<S: AdmissionService> AdmissionService for Metered<S> {
 
     fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
         self.inner.trace_tail(limit)
+    }
+
+    fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.inner.trace_recorder()
     }
 }
 

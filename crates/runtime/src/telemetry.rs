@@ -25,10 +25,10 @@
 //!   ([`TelemetrySnapshot::render`]) or Prometheus-style text
 //!   ([`TelemetrySnapshot::render_prometheus`]).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use contention::{Estimate, Method};
@@ -341,6 +341,130 @@ impl HistogramRecorder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Span contexts: the causal identity threaded through a request.
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 finalizer: disperses the sequential mint counter into
+/// ids that are unique across the process fleet with overwhelming
+/// probability.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-process entropy mixed into every minted id so two processes (the
+/// client and server halves of one trace) never collide.
+fn process_entropy() -> u64 {
+    static ENTROPY: OnceLock<u64> = OnceLock::new();
+    *ENTROPY.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let pid = u64::from(std::process::id());
+        let aslr = &ENTROPY as *const _ as u64;
+        mix64(nanos ^ pid.rotate_left(32) ^ aslr)
+    })
+}
+
+static NEXT_MINT: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a fleet-unique nonzero id (trace or span).
+fn mint_id() -> u64 {
+    let counter = NEXT_MINT.fetch_add(1, Ordering::Relaxed);
+    let id = mix64(process_entropy().wrapping_add(counter));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Causal identity of one operation within a request's span tree.
+///
+/// A context is minted once at the outermost layer that sees a request
+/// ([`RemoteClient`](crate::RemoteClient) submissions, or a local
+/// [`FrontEnd`](crate::FrontEnd) queue) and threaded through
+/// [`AdmissionRequest`] — across the wire as a
+/// trailing `skip_none` field, so peers that predate spans interop
+/// byte-identically. Each layer that does real work derives a
+/// [`child`](SpanContext::child) and records its [`TraceEvent`] against
+/// it; [`build_span_trees`] reassembles the tree from the flat ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanContext {
+    /// Identifier shared by every span of one end-to-end request.
+    pub trace_id: u64,
+    /// This span's own identifier.
+    pub span_id: u64,
+    /// The enclosing span; absent on a request's root span.
+    #[serde(skip_none)]
+    pub parent_span_id: Option<u64>,
+}
+
+impl SpanContext {
+    /// Mints a fresh root context (new trace, no parent).
+    pub fn root() -> SpanContext {
+        SpanContext {
+            trace_id: mint_id(),
+            span_id: mint_id(),
+            parent_span_id: None,
+        }
+    }
+
+    /// Derives a child context in the same trace.
+    #[must_use]
+    pub fn child(&self) -> SpanContext {
+        SpanContext {
+            trace_id: self.trace_id,
+            span_id: mint_id(),
+            parent_span_id: Some(self.span_id),
+        }
+    }
+}
+
+std::thread_local! {
+    static SPAN_SCOPE: std::cell::Cell<Option<SpanContext>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// RAII guard making a [`SpanContext`] ambient **on this thread**: while
+/// the guard lives, every [`TraceRecorder::record`] without an explicit
+/// span is stamped as a fresh child of the scope, and layers that mint
+/// their own child (like [`Traced`]) parent it here.
+///
+/// This mirrors [`ClientScope`]: the remote server's
+/// dispatch task enters one scope per frame on the worker thread, so the
+/// whole downstack (traced layer, fleet, cache) emits parent-linked
+/// spans without threading a context through every signature. Scopes
+/// nest; dropping restores the previous one.
+#[derive(Debug)]
+pub struct SpanScope {
+    previous: Option<SpanContext>,
+}
+
+impl SpanScope {
+    /// Enters a scope: recordings on this thread are parented under
+    /// `context` until the returned guard drops.
+    pub fn enter(context: SpanContext) -> SpanScope {
+        let previous = SPAN_SCOPE.with(|scope| scope.replace(Some(context)));
+        SpanScope { previous }
+    }
+
+    /// The ambient span context on this thread, if any.
+    pub fn current() -> Option<SpanContext> {
+        SPAN_SCOPE.with(std::cell::Cell::get)
+    }
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        SPAN_SCOPE.with(|scope| scope.set(self.previous.take()));
+    }
+}
+
 /// Classifies a [`TraceEvent`] in the flight recorder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceKind {
@@ -358,6 +482,12 @@ pub enum TraceKind {
     Estimate,
     /// A request waited in the front-end queue before dispatch.
     QueueWait,
+    /// A remote server decoded one request frame off a connection.
+    FrameDecode,
+    /// A decoded frame waited for, then landed on, a worker thread.
+    Dispatch,
+    /// The fleet manager decided an admission (innermost span).
+    FleetAdmit,
 }
 
 impl TraceKind {
@@ -371,6 +501,9 @@ impl TraceKind {
             TraceKind::Rebalance => "rebalance",
             TraceKind::Estimate => "estimate",
             TraceKind::QueueWait => "queue-wait",
+            TraceKind::FrameDecode => "frame-decode",
+            TraceKind::Dispatch => "dispatch",
+            TraceKind::FleetAdmit => "fleet-admit",
         }
     }
 }
@@ -401,6 +534,20 @@ pub struct TraceEvent {
     pub cache_hit: Option<bool>,
     /// Remote client identity active when the event was recorded.
     pub client: Option<String>,
+    /// Trace this event's span belongs to. Trailing `skip_none` fields:
+    /// events from builds without spans parse unchanged on both codecs.
+    #[serde(skip_none)]
+    pub trace_id: Option<u64>,
+    /// The event's own span id within the trace.
+    #[serde(skip_none)]
+    pub span_id: Option<u64>,
+    /// The enclosing span; absent on a trace's root span.
+    #[serde(skip_none)]
+    pub parent_span_id: Option<u64>,
+    /// Timeline track (connection or worker-thread label) the event is
+    /// rendered on by the Chrome-trace exporter.
+    #[serde(skip_none)]
+    pub track: Option<String>,
 }
 
 impl TraceEvent {
@@ -417,6 +564,10 @@ impl TraceEvent {
             duration_micros: 0,
             cache_hit: None,
             client: None,
+            trace_id: None,
+            span_id: None,
+            parent_span_id: None,
+            track: None,
         }
     }
 
@@ -454,6 +605,32 @@ impl TraceEvent {
         self.cache_hit = Some(hit);
         self
     }
+
+    /// Stamps the event with an explicit span identity (otherwise the
+    /// recorder derives a child of the ambient [`SpanScope`]).
+    #[must_use]
+    pub fn span(mut self, context: SpanContext) -> TraceEvent {
+        self.trace_id = Some(context.trace_id);
+        self.span_id = Some(context.span_id);
+        self.parent_span_id = context.parent_span_id;
+        self
+    }
+
+    /// Pins the timeline track the exporter renders the event on.
+    #[must_use]
+    pub fn track(mut self, track: impl Into<String>) -> TraceEvent {
+        self.track = Some(track.into());
+        self
+    }
+
+    /// The event's span identity, if it carries one.
+    pub fn span_context(&self) -> Option<SpanContext> {
+        Some(SpanContext {
+            trace_id: self.trace_id?,
+            span_id: self.span_id?,
+            parent_span_id: self.parent_span_id,
+        })
+    }
 }
 
 struct TraceRing {
@@ -469,6 +646,11 @@ struct TraceRing {
 #[derive(Debug)]
 pub struct TraceRecorder {
     start: Instant,
+    /// Wall-clock epoch microseconds at `start`, captured **once**: event
+    /// timestamps are purely monotonic (`start.elapsed()`), so spans never
+    /// go negative across NTP steps, and exporters needing wall-clock add
+    /// this anchor back on.
+    anchor_micros: u64,
     capacity: usize,
     recorded: AtomicU64,
     dropped: AtomicU64,
@@ -487,8 +669,13 @@ impl TraceRecorder {
     /// Recorder holding at most `capacity` events (clamped to ≥ 1).
     pub fn new(capacity: usize) -> TraceRecorder {
         let capacity = capacity.max(1);
+        let anchor_micros = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
         TraceRecorder {
             start: Instant::now(),
+            anchor_micros,
             capacity,
             recorded: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -500,10 +687,26 @@ impl TraceRecorder {
     }
 
     /// Stamps and records an event, evicting the oldest when full.
+    ///
+    /// Besides `seq`/`at_micros`/`client`, span identity is stamped: an
+    /// event without an explicit [`span`](TraceEvent::span) becomes a
+    /// fresh child of the ambient [`SpanScope`] (and no span at all when
+    /// no scope is active — untraced paths pay nothing extra). Spanned
+    /// events without a pinned track inherit the recording thread's name.
     pub fn record(&self, mut event: TraceEvent) {
         event.at_micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
         if event.client.is_none() {
             event.client = ClientScope::current();
+        }
+        if event.span_id.is_none() {
+            if let Some(scope) = SpanScope::current() {
+                event = event.span(scope.child());
+            }
+        }
+        if event.span_id.is_some() && event.track.is_none() {
+            if let Some(name) = std::thread::current().name() {
+                event.track = Some(name.to_string());
+            }
         }
         self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.ring.lock().expect("trace ring poisoned");
@@ -531,6 +734,26 @@ impl TraceRecorder {
         events.sort_by_key(|event| std::cmp::Reverse(event.duration_micros));
         events.truncate(n);
         events
+    }
+
+    /// Span trees reassembled from up to the last `n` events.
+    pub fn tail_trees(&self, n: usize) -> Vec<SpanTree> {
+        build_span_trees(&self.tail(n))
+    }
+
+    /// The `n` slowest retained request trees, ranked by root (whole
+    /// request) duration, slowest first.
+    pub fn slowest_trees(&self, n: usize) -> Vec<SpanTree> {
+        let mut trees = build_span_trees(&self.tail(self.capacity));
+        trees.sort_by_key(|tree| std::cmp::Reverse(tree.duration_micros()));
+        trees.truncate(n);
+        trees
+    }
+
+    /// Wall-clock epoch microseconds when the recorder's monotonic clock
+    /// started (event `at_micros` are offsets from this anchor).
+    pub fn anchor_micros(&self) -> u64 {
+        self.anchor_micros
     }
 
     /// Events currently retained in the ring.
@@ -564,8 +787,339 @@ impl TraceRecorder {
             recorded: self.recorded(),
             dropped: self.dropped(),
             capacity: self.capacity as u64,
+            anchor_micros: Some(self.anchor_micros),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Span trees: reassembling causal request trees from the flat ring.
+// ---------------------------------------------------------------------------
+
+/// One span and the spans it caused, in recording (seq) order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// The span's recorded event.
+    pub event: TraceEvent,
+    /// Child spans, oldest first.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn walk(&self, f: &mut impl FnMut(&TraceEvent, usize), depth: usize) {
+        f(&self.event, depth);
+        for child in &self.children {
+            child.walk(f, depth + 1);
+        }
+    }
+}
+
+/// All spans of one trace (one end-to-end request), reassembled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanTree {
+    /// The trace the spans share.
+    pub trace_id: u64,
+    /// Spans whose parent was not captured in the ring (normally the
+    /// single span nearest the request's origin), oldest first.
+    pub roots: Vec<SpanNode>,
+}
+
+impl SpanTree {
+    /// Visits every event in the tree, depth-first, with its depth.
+    pub fn walk(&self, mut f: impl FnMut(&TraceEvent, usize)) {
+        for root in &self.roots {
+            root.walk(&mut f, 0);
+        }
+    }
+
+    /// Events in the tree.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        self.walk(|_, _| n += 1);
+        n
+    }
+
+    /// True when the tree holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// The whole request's duration: the envelope from the earliest span
+    /// start to the latest span end across the tree.
+    pub fn duration_micros(&self) -> u64 {
+        let (start, end) = self.envelope_micros();
+        end.saturating_sub(start)
+    }
+
+    /// `(earliest start, latest end)` across every span, as monotonic
+    /// recorder offsets. A span's `at_micros` stamps its **end** (events
+    /// are recorded on completion), so its start is `at − duration`.
+    pub fn envelope_micros(&self) -> (u64, u64) {
+        let mut start = u64::MAX;
+        let mut end = 0u64;
+        self.walk(|event, _| {
+            start = start.min(event.at_micros.saturating_sub(event.duration_micros));
+            end = end.max(event.at_micros);
+        });
+        if start == u64::MAX {
+            (0, 0)
+        } else {
+            (start, end)
+        }
+    }
+}
+
+/// Reassembles span trees from a flat event slice (e.g. a
+/// [`trace_tail`](AdmissionService::trace_tail) fetched over the wire).
+///
+/// Events without span identity are skipped. Within a trace, an event
+/// whose parent span has no recorded event becomes a root — with full
+/// propagation that is exactly the span nearest the request's origin
+/// (the remote client's submit span is synthesized by the exporter, not
+/// recorded server-side). Trees are returned oldest-root first.
+pub fn build_span_trees(events: &[TraceEvent]) -> Vec<SpanTree> {
+    let spanned: Vec<&TraceEvent> = events.iter().filter(|e| e.span_id.is_some()).collect();
+    // span id → indices of its children (an id can repeat across ring
+    // wraps; keep every event, parenting onto the latest owner).
+    let mut owner: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, event) in spanned.iter().enumerate() {
+        if let Some(id) = event.span_id {
+            owner.insert(id, i);
+        }
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spanned.len()];
+    let mut roots_by_trace: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut trace_order: Vec<u64> = Vec::new();
+    for (i, event) in spanned.iter().enumerate() {
+        let trace = event.trace_id.unwrap_or(0);
+        roots_by_trace.entry(trace).or_insert_with(|| {
+            trace_order.push(trace);
+            Vec::new()
+        });
+        let parent = event
+            .parent_span_id
+            .and_then(|p| owner.get(&p).copied())
+            .filter(|&p| p != i && spanned[p].trace_id == event.trace_id);
+        match parent {
+            Some(p) => children[p].push(i),
+            None => roots_by_trace
+                .get_mut(&trace)
+                .expect("trace registered above")
+                .push(i),
+        }
+    }
+    fn assemble(index: usize, spanned: &[&TraceEvent], children: &[Vec<usize>]) -> SpanNode {
+        SpanNode {
+            event: spanned[index].clone(),
+            children: children[index]
+                .iter()
+                .map(|&c| assemble(c, spanned, children))
+                .collect(),
+        }
+    }
+    trace_order
+        .into_iter()
+        .map(|trace_id| SpanTree {
+            trace_id,
+            roots: roots_by_trace[&trace_id]
+                .iter()
+                .map(|&r| assemble(r, &spanned, &children))
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export: load the ring in Perfetto / chrome://tracing.
+// ---------------------------------------------------------------------------
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders events as Chrome-trace JSON (the `traceEvents` array format),
+/// loadable in Perfetto (`ui.perfetto.dev` → *Open trace file*) and
+/// `chrome://tracing`.
+///
+/// Every spanned event becomes a complete (`ph:"X"`) slice on one track
+/// per connection / worker thread (`tid` per distinct
+/// [`track`](TraceEvent::track)); span-less events share a `"loose"`
+/// track. For each trace whose root references an uncaptured parent span
+/// (the remote client's request span), a synthetic slice covering the
+/// tree's envelope is emitted on a separate `"client"` process — the
+/// cross-process link between client submit and server-side spans.
+/// `anchor_micros` (see [`TraceRecorder::anchor_micros`]) converts the
+/// monotonic offsets back to wall-clock timestamps.
+pub fn render_chrome_trace(events: &[TraceEvent], anchor_micros: u64) -> String {
+    const SERVER_PID: u64 = 1;
+    const CLIENT_PID: u64 = 0;
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut tracks: BTreeMap<String, u64> = BTreeMap::new();
+    let slice = |out: &mut String,
+                 first: &mut bool,
+                 name: &str,
+                 ph: &str,
+                 ts: u64,
+                 dur: u64,
+                 pid: u64,
+                 tid: u64,
+                 args: &[(&str, String)]| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("{\"name\":\"");
+        json_escape(out, name);
+        let _ = write!(out, "\",\"cat\":\"probcon\",\"ph\":\"{ph}\"");
+        if ph == "X" {
+            let _ = write!(out, ",\"ts\":{ts},\"dur\":{dur}");
+        }
+        let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid}");
+        if !args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{key}\":\"");
+                json_escape(out, value);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+    };
+    for event in events {
+        let track = match (&event.track, event.span_id) {
+            (Some(track), _) => track.clone(),
+            (None, Some(_)) => "untracked".to_string(),
+            (None, None) => "loose".to_string(),
+        };
+        let next = tracks.len() as u64 + 1;
+        let tid = *tracks.entry(track).or_insert(next);
+        let ts = anchor_micros + event.at_micros.saturating_sub(event.duration_micros);
+        let mut args: Vec<(&str, String)> = vec![("seq", event.seq.to_string())];
+        if let Some(trace_id) = event.trace_id {
+            args.push(("trace_id", format!("{trace_id:016x}")));
+        }
+        if let Some(span_id) = event.span_id {
+            args.push(("span_id", format!("{span_id:016x}")));
+        }
+        if let Some(parent) = event.parent_span_id {
+            args.push(("parent_span_id", format!("{parent:016x}")));
+        }
+        if let Some(client) = &event.client {
+            args.push(("client", client.clone()));
+        }
+        args.push(("app_index", event.app_index.to_string()));
+        args.push(("domain", event.domain.to_string()));
+        slice(
+            &mut out,
+            &mut first,
+            event.kind.name(),
+            "X",
+            ts,
+            event.duration_micros.max(1),
+            SERVER_PID,
+            tid,
+            &args,
+        );
+    }
+    // Synthesize the uncaptured client-side request span per trace so the
+    // exported timeline links both processes on one trace id.
+    let captured: std::collections::BTreeSet<u64> =
+        events.iter().filter_map(|e| e.span_id).collect();
+    let client_tid = tracks.len() as u64 + 1;
+    let mut synthesized = false;
+    for tree in build_span_trees(events) {
+        let missing_parent = tree
+            .roots
+            .iter()
+            .filter_map(|root| root.event.parent_span_id)
+            .find(|parent| !captured.contains(parent));
+        if let Some(span_id) = missing_parent {
+            let (start, end) = tree.envelope_micros();
+            synthesized = true;
+            slice(
+                &mut out,
+                &mut first,
+                "request",
+                "X",
+                anchor_micros + start,
+                (end - start).max(1),
+                CLIENT_PID,
+                client_tid,
+                &[
+                    ("trace_id", format!("{:016x}", tree.trace_id)),
+                    ("span_id", format!("{span_id:016x}")),
+                ],
+            );
+        }
+    }
+    // Metadata: process and per-track thread names.
+    slice(
+        &mut out,
+        &mut first,
+        "process_name",
+        "M",
+        0,
+        0,
+        SERVER_PID,
+        0,
+        &[("name", "probcon-server".to_string())],
+    );
+    for (track, tid) in &tracks {
+        slice(
+            &mut out,
+            &mut first,
+            "thread_name",
+            "M",
+            0,
+            0,
+            SERVER_PID,
+            *tid,
+            &[("name", track.clone())],
+        );
+    }
+    if synthesized {
+        slice(
+            &mut out,
+            &mut first,
+            "process_name",
+            "M",
+            0,
+            0,
+            CLIENT_PID,
+            0,
+            &[("name", "client".to_string())],
+        );
+        slice(
+            &mut out,
+            &mut first,
+            "thread_name",
+            "M",
+            0,
+            0,
+            CLIENT_PID,
+            client_tid,
+            &[("name", "submit".to_string())],
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Tracing middleware: records every decision flowing through the
@@ -579,6 +1133,19 @@ impl TraceRecorder {
 pub struct Traced<S> {
     inner: S,
     recorder: Arc<TraceRecorder>,
+    /// Per-tenant outcome counters + admit latency, keyed by the ambient
+    /// [`ClientScope`]. Only decisions attributed to a client touch this
+    /// map — anonymous local traffic pays no lock here.
+    tenants: Mutex<BTreeMap<String, TenantCounters>>,
+}
+
+#[derive(Debug, Default)]
+struct TenantCounters {
+    admitted: u64,
+    rejected: u64,
+    saturated: u64,
+    released: u64,
+    latency: LatencyHistogram,
 }
 
 impl<S: AdmissionService> Traced<S> {
@@ -590,7 +1157,11 @@ impl<S: AdmissionService> Traced<S> {
     /// Wraps `inner` recording into an existing (possibly shared)
     /// recorder.
     pub fn with_recorder(inner: S, recorder: Arc<TraceRecorder>) -> Traced<S> {
-        Traced { inner, recorder }
+        Traced {
+            inner,
+            recorder,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// The shared flight recorder.
@@ -609,14 +1180,42 @@ impl<S: AdmissionService> Traced<S> {
             .counter("dropped", self.recorder.dropped())
             .counter("capacity", self.recorder.capacity() as u64)
     }
+
+    fn account_tenant(&self, decision: &AdmissionDecision, elapsed: Duration) {
+        let Some(client) = ClientScope::current() else {
+            return;
+        };
+        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        let counters = tenants.entry(client).or_default();
+        match decision {
+            AdmissionDecision::Admitted { .. } => counters.admitted += 1,
+            AdmissionDecision::Rejected { .. } => counters.rejected += 1,
+            AdmissionDecision::Saturated { .. } => counters.saturated += 1,
+        }
+        counters
+            .latency
+            .record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
 }
 
 impl<S: AdmissionService> AdmissionService for Traced<S> {
     fn admit(&self, request: &AdmissionRequest) -> Result<AdmissionDecision, ServiceError> {
+        // Derive this layer's span only when the request is traced (an
+        // explicit context on the request, or an ambient scope entered by
+        // a dispatcher); untraced admissions skip all span work.
+        let span = SpanScope::current()
+            .or(request.span)
+            .map(|parent| parent.child());
         let start = Instant::now();
-        let result = self.inner.admit(request);
+        let result = match span {
+            Some(context) => {
+                let _scope = SpanScope::enter(context);
+                self.inner.admit(request)
+            }
+            None => self.inner.admit(request),
+        };
         if let Ok(decision) = &result {
-            let event = match decision {
+            let mut event = match decision {
                 AdmissionDecision::Admitted {
                     resident, domain, ..
                 } => TraceEvent::new(TraceKind::Admit)
@@ -629,8 +1228,12 @@ impl<S: AdmissionService> AdmissionService for Traced<S> {
                     TraceEvent::new(TraceKind::Saturate).domain(*domain)
                 }
             };
+            if let Some(context) = span {
+                event = event.span(context);
+            }
             self.recorder
                 .record(event.app(request.app_index).duration(start.elapsed()));
+            self.account_tenant(decision, start.elapsed());
         }
         result
     }
@@ -644,6 +1247,10 @@ impl<S: AdmissionService> AdmissionService for Traced<S> {
                     .resident(resident)
                     .duration(start.elapsed()),
             );
+            if let Some(client) = ClientScope::current() {
+                let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+                tenants.entry(client).or_default().released += 1;
+            }
         }
         result
     }
@@ -671,11 +1278,31 @@ impl<S: AdmissionService> AdmissionService for Traced<S> {
         let mut telemetry = self.inner.telemetry();
         telemetry.service.layers.push(self.layer());
         telemetry.trace = self.recorder.stats();
+        let tenants = self.tenants.lock().expect("tenant map poisoned");
+        if !tenants.is_empty() {
+            telemetry.tenants = Some(
+                tenants
+                    .iter()
+                    .map(|(client, counters)| TenantBreakdown {
+                        client: client.clone(),
+                        admitted: counters.admitted,
+                        rejected: counters.rejected,
+                        saturated: counters.saturated,
+                        released: counters.released,
+                        latency: counters.latency.clone(),
+                    })
+                    .collect(),
+            );
+        }
         telemetry
     }
 
     fn trace_tail(&self, limit: usize) -> Vec<TraceEvent> {
         self.recorder.tail(limit)
+    }
+
+    fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        Some(Arc::clone(&self.recorder))
     }
 }
 
@@ -699,6 +1326,67 @@ pub struct TraceStats {
     pub dropped: u64,
     /// Ring capacity (0 when no recorder is present in the stack).
     pub capacity: u64,
+    /// Wall-clock epoch microseconds of the recorder's monotonic zero
+    /// (see [`TraceRecorder::anchor_micros`]). Trailing `skip_none`
+    /// field: stats from older builds parse unchanged.
+    #[serde(skip_none)]
+    pub anchor_micros: Option<u64>,
+}
+
+/// Per-tenant admission breakdown, keyed by the
+/// [`ClientScope`] identity decisions were made
+/// under — one row per remote client seen by the [`Traced`] layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantBreakdown {
+    /// Client identity (from the connection handshake).
+    pub client: String,
+    /// Admissions granted to this tenant.
+    pub admitted: u64,
+    /// Admissions rejected by contracts.
+    pub rejected: u64,
+    /// Admissions bounced off full domains.
+    pub saturated: u64,
+    /// Residents released by this tenant.
+    pub released: u64,
+    /// This tenant's admit latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// Live per-connection counters from a remote server's readiness loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionStats {
+    /// Event-loop token identifying the connection.
+    pub token: u64,
+    /// Client identity from the handshake, once seen.
+    pub client: Option<String>,
+    /// Negotiated wire mode (`"json"` / `"binary"`).
+    pub wire: String,
+    /// Request frames decoded off this connection.
+    pub frames_in: u64,
+    /// Response frames queued to this connection.
+    pub frames_out: u64,
+    /// Bytes read from the socket.
+    pub bytes_in: u64,
+    /// Bytes written to the socket.
+    pub bytes_out: u64,
+    /// Bytes currently buffered for write (write-buffer depth).
+    pub write_buffered: u64,
+    /// Requests dispatched but not yet answered.
+    pub in_flight: u64,
+    /// Times the loop paused reads on this connection under backpressure
+    /// (write buffer or in-flight limit exceeded).
+    pub backpressure_pauses: u64,
+}
+
+/// Readiness-event-loop health of a remote server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventLoopStats {
+    /// Completed poll ticks.
+    pub poll_ticks: u64,
+    /// Distribution of time spent processing one tick, in microseconds.
+    pub tick: LatencyHistogram,
+    /// Distribution of the ready-set size per tick.
+    pub ready: LatencyHistogram,
 }
 
 /// Live telemetry aggregated across every layer of an admission stack:
@@ -719,6 +1407,18 @@ pub struct TelemetrySnapshot {
     /// parse unchanged.
     #[serde(skip_none)]
     pub autoscaler: Option<crate::autoscaler::AutoscalerStatus>,
+    /// Per-tenant breakdown from the [`Traced`] layer; absent until a
+    /// decision is attributed to a client. Trailing `skip_none` field.
+    #[serde(skip_none)]
+    pub tenants: Option<Vec<TenantBreakdown>>,
+    /// Per-connection counters when a remote server answers; absent on
+    /// local stacks. Trailing `skip_none` field.
+    #[serde(skip_none)]
+    pub connections: Option<Vec<ConnectionStats>>,
+    /// Readiness-loop health when a remote server answers; absent on
+    /// local stacks. Trailing `skip_none` field.
+    #[serde(skip_none)]
+    pub event_loop: Option<EventLoopStats>,
 }
 
 impl TelemetrySnapshot {
@@ -730,6 +1430,9 @@ impl TelemetrySnapshot {
             histograms: Vec::new(),
             trace: TraceStats::default(),
             autoscaler: None,
+            tenants: None,
+            connections: None,
+            event_loop: None,
         }
     }
 
@@ -801,6 +1504,85 @@ impl TelemetrySnapshot {
         }
         if let Some(autoscaler) = &self.autoscaler {
             let _ = writeln!(out, "{}", autoscaler.render());
+        }
+        if let Some(tenants) = &self.tenants {
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "tenant", "admitted", "rejected", "saturated", "released", "p50_us", "p99_us"
+            );
+            for tenant in tenants {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    tenant.client,
+                    tenant.admitted,
+                    tenant.rejected,
+                    tenant.saturated,
+                    tenant.released,
+                    tenant.latency.p50(),
+                    tenant.latency.p99()
+                );
+            }
+        }
+        if self.connections.is_some() || self.event_loop.is_some() {
+            out.push('\n');
+            out.push_str(&self.render_connections());
+        }
+        out
+    }
+
+    /// The transport-visibility block alone: the per-connection table and
+    /// the event-loop health line (the `probcon top --connections` view).
+    /// Empty when the snapshot carries neither — e.g. from a local stack
+    /// with no server in front of it.
+    pub fn render_connections(&self) -> String {
+        let mut out = String::new();
+        if let Some(connections) = &self.connections {
+            let _ = writeln!(
+                out,
+                "{:<6} {:<16} {:<7} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7}",
+                "conn",
+                "client",
+                "wire",
+                "frames_in",
+                "frames_out",
+                "bytes_in",
+                "bytes_out",
+                "buffered",
+                "in_flight",
+                "pauses"
+            );
+            for conn in connections {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<16} {:<7} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7}",
+                    conn.token,
+                    conn.client.as_deref().unwrap_or("-"),
+                    conn.wire,
+                    conn.frames_in,
+                    conn.frames_out,
+                    conn.bytes_in,
+                    conn.bytes_out,
+                    conn.write_buffered,
+                    conn.in_flight,
+                    conn.backpressure_pauses
+                );
+            }
+        }
+        if let Some(event_loop) = &self.event_loop {
+            let _ = writeln!(
+                out,
+                "event loop: {} ticks, tick p50 {}us p99 {}us max {}us, \
+                 ready p50 {} max {}",
+                event_loop.poll_ticks,
+                event_loop.tick.p50(),
+                event_loop.tick.p99(),
+                event_loop.tick.max_micros(),
+                event_loop.ready.p50(),
+                event_loop.ready.max_micros()
+            );
         }
         out
     }
@@ -916,6 +1698,94 @@ impl TelemetrySnapshot {
             "Flight-recorder events evicted.",
             self.trace.dropped,
         );
+        gauge(
+            &mut out,
+            "trace_capacity",
+            "Flight-recorder ring capacity.",
+            self.trace.capacity,
+        );
+        if let Some(tenants) = &self.tenants {
+            let _ = writeln!(out, "# HELP probcon_tenant Per-tenant decision counters.");
+            let _ = writeln!(out, "# TYPE probcon_tenant counter");
+            for tenant in tenants {
+                for (metric, value) in [
+                    ("admitted", tenant.admitted),
+                    ("rejected", tenant.rejected),
+                    ("saturated", tenant.saturated),
+                    ("released", tenant.released),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "probcon_tenant{{client=\"{}\",outcome=\"{}\"}} {}",
+                        tenant.client, metric, value
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "# HELP probcon_tenant_admit_latency_microseconds Per-tenant admit latency."
+            );
+            let _ = writeln!(
+                out,
+                "# TYPE probcon_tenant_admit_latency_microseconds summary"
+            );
+            for tenant in tenants {
+                for (q, v) in [
+                    ("0.5", tenant.latency.p50()),
+                    ("0.99", tenant.latency.p99()),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "probcon_tenant_admit_latency_microseconds{{client=\"{}\",quantile=\"{}\"}} {}",
+                        tenant.client, q, v
+                    );
+                }
+            }
+        }
+        if let Some(connections) = &self.connections {
+            let _ = writeln!(
+                out,
+                "# HELP probcon_connection Per-connection event-loop counters."
+            );
+            let _ = writeln!(out, "# TYPE probcon_connection gauge");
+            for conn in connections {
+                for (metric, value) in [
+                    ("frames_in", conn.frames_in),
+                    ("frames_out", conn.frames_out),
+                    ("bytes_in", conn.bytes_in),
+                    ("bytes_out", conn.bytes_out),
+                    ("write_buffered", conn.write_buffered),
+                    ("in_flight", conn.in_flight),
+                    ("backpressure_pauses", conn.backpressure_pauses),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "probcon_connection{{token=\"{}\",metric=\"{}\"}} {}",
+                        conn.token, metric, value
+                    );
+                }
+            }
+        }
+        if let Some(event_loop) = &self.event_loop {
+            counter(
+                &mut out,
+                "event_loop_poll_ticks_total",
+                "Readiness-loop poll ticks completed.",
+                event_loop.poll_ticks,
+            );
+            gauge(
+                &mut out,
+                "event_loop_tick_p99_microseconds",
+                "99th-percentile poll-tick processing time.",
+                event_loop.tick.p99(),
+            );
+            gauge(
+                &mut out,
+                "event_loop_ready_set_p99",
+                "99th-percentile ready-set size per tick.",
+                event_loop.ready.p99(),
+            );
+        }
         out
     }
 }
@@ -1076,6 +1946,7 @@ mod tests {
             recorded: 7,
             dropped: 1,
             capacity: 4,
+            anchor_micros: None,
         };
         let text = t.render_prometheus();
         assert!(text.contains("# TYPE probcon_residents gauge"));
@@ -1086,5 +1957,7 @@ mod tests {
         assert!(text
             .contains("probcon_op_latency_microseconds_count{layer=\"metered\",op=\"admit\"} 1"));
         assert!(text.contains("probcon_trace_events_total 7"));
+        assert!(text.contains("# TYPE probcon_trace_dropped_total counter"));
+        assert!(text.contains("probcon_trace_dropped_total 1"));
     }
 }

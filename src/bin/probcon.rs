@@ -9,8 +9,8 @@
 //! probcon fleet-bench --requests 1000 [--groups 4] [--journal fleet.jsonl]
 //! probcon serve    --listen unix:/tmp/probcon.sock [--once] [--wire json|binary]
 //! probcon fleet-bench --connect unix:/tmp/probcon.sock --requests 1000 [--connections 64]
-//! probcon top      [--connect unix:/tmp/probcon.sock] [--watch 2] [--prometheus]
-//! probcon trace    [--connect unix:/tmp/probcon.sock] [--tail 20] [--json]
+//! probcon top      [--connect unix:/tmp/probcon.sock] [--watch 2] [--prometheus] [--connections]
+//! probcon trace    [--connect unix:/tmp/probcon.sock] [--tail 20] [--json] [--chrome out.json]
 //! probcon replay   <journal.jsonl | wal-dir>
 //! probcon plan     <journal.jsonl | wal-dir> [--capacity-scale 0.5] [--groups 2..6]
 //! probcon journal  split <j.jsonl> | merge <a.jsonl> <b.jsonl> --out <f> | compact <wal-dir>
@@ -91,7 +91,10 @@ USAGE:
       --telemetry samples the stack's live telemetry (residents, outcome
       totals, admit p50/p99/p999) every --telemetry-interval ms (default
       250) and writes the trajectory as a JSON array; it works locally and
-      with --connect alike. --autoscale runs the elastic capacity
+      with --connect alike. With --connect each sample also records
+      per-connection fan-in counters (requests sent, responses,
+      transport errors, in-flight) so the trajectory shows whether the
+      round-robin spread across --connections stayed even. --autoscale runs the elastic capacity
       controller (see `probcon serve`) against the benched fleet for the
       duration of the run, ticking every --autoscale-interval ms (default
       50); every resize it makes is journaled alongside the admissions,
@@ -140,24 +143,36 @@ USAGE:
       that requests them (v3 clients always get JSON).
 
   probcon top [--connect tcp:HOST:PORT|unix:PATH] [--watch <secs>] [--prometheus]
-              [--wire json|binary]
+              [--connections] [--wire json|binary]
       Live telemetry of an admission stack: per-layer operation latency
-      distributions (count, ops/s, p50/p90/p99/p999), fleet utilisation and
-      flight-recorder counters. With --connect, polls a `probcon serve`
-      process over the wire without disturbing it; --watch re-renders every
-      <secs> seconds (default 2) until interrupted. Without --connect,
-      drives a seeded local demo stack and renders its telemetry once.
-      --prometheus emits the Prometheus text exposition format instead of
-      the human table.
+      distributions (count, ops/s, p50/p90/p99/p999), fleet utilisation,
+      flight-recorder counters, per-tenant admit/reject breakdowns and —
+      from a served stack — per-connection transport counters plus
+      event-loop health (poll ticks, tick duration percentiles, ready-set
+      sizes). With --connect, polls a `probcon serve` process over the
+      wire without disturbing it; --watch re-renders every <secs> seconds
+      (default 2) until interrupted. Without --connect, drives a seeded
+      local demo stack and renders its telemetry once. --prometheus emits
+      the Prometheus text exposition format instead of the human table.
+      --connections (needs --connect) renders only the transport view:
+      one row per live connection (client, wire mode, frames/bytes each
+      way, write-buffer depth, in-flight requests, backpressure pauses)
+      and the event-loop line.
 
   probcon trace [--connect tcp:HOST:PORT|unix:PATH] [--tail <n>] [--json]
-                [--wire json|binary]
+                [--chrome <file.json>] [--wire json|binary]
       The newest <n> (default 20) structured decision events from a stack's
       flight recorder, oldest first: admit/reject/saturate/release/estimate
-      with request ids, groups, durations, cache hit/miss attribution and
-      client provenance. With --connect, tails a live `probcon serve`
-      process; without, a seeded local demo stack. --json emits the events
-      as a JSON array.
+      with request ids, groups, durations, cache hit/miss attribution,
+      client provenance and span identity (trace/span/parent ids linking
+      each decision to the request that caused it, across the wire). With
+      --connect, tails a live `probcon serve` process; without, a seeded
+      local demo stack. --json emits the events as a JSON array. --chrome
+      exports the events as a Chrome-trace/Perfetto JSON file instead
+      (load at https://ui.perfetto.dev): spans nest per trace id, tracks
+      map to server connections and worker threads, and each request tree
+      gets a synthetic client-process slice so the cross-process handoff
+      is visible; --tail defaults to the full 4096-event ring here.
 
   probcon replay <journal.jsonl | wal-dir>
       Rebuild the workload and fleet named in a journal's header, re-execute
@@ -846,8 +861,8 @@ impl runtime::AdmissionService for FanInClient {
 
 fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{
-        run_service_requests, run_service_requests_sampled, seeded_fleet_requests,
-        AdmissionService, ClientConfig, Endpoint, Metered, RemoteClient, WireMode,
+        run_service_requests, run_service_requests_sampled_with, seeded_fleet_requests,
+        AdmissionService, ClientConfig, ConnectionPoint, Endpoint, Metered, RemoteClient, WireMode,
     };
 
     // Fleet shape, workload and journal durability are the server's to
@@ -923,8 +938,32 @@ fn cmd_fleet_bench_remote(addr: &str, options: &HashMap<&str, &str>) -> Result<(
         clients,
         next: std::sync::atomic::AtomicUsize::new(0),
     });
+    // Each telemetry sample also captures per-connection fan-in counters,
+    // so a trajectory shows whether the round-robin spread stayed even.
+    let sampler = {
+        let fan_in: &FanInClient = stack.inner();
+        move || {
+            fan_in
+                .clients
+                .iter()
+                .enumerate()
+                .map(|(i, client)| {
+                    let stats = client.stats();
+                    ConnectionPoint {
+                        conn: i as u64,
+                        requests_sent: stats.requests_sent,
+                        responses: stats.responses,
+                        transport_errors: stats.transport_errors,
+                        pending: stats.pending,
+                    }
+                })
+                .collect()
+        }
+    };
     let (report, points) = match telemetry_interval(options)? {
-        Some(interval) => run_service_requests_sampled(&stack, stream, threads, interval),
+        Some(interval) => {
+            run_service_requests_sampled_with(&stack, stream, threads, interval, Some(&sampler))
+        }
         None => (run_service_requests(&stack, stream, threads), Vec::new()),
     };
     print!("{}", report.render());
@@ -1076,6 +1115,7 @@ fn cmd_serve(options: &HashMap<&str, &str>) -> Result<(), String> {
     let recorder = Arc::new(TraceRecorder::new(trace_capacity));
     let cached = Cached::new(fleet.clone(), cache);
     cached.attach_trace(Arc::clone(&recorder));
+    fleet.attach_trace(Arc::clone(&recorder));
     let stack = Traced::with_recorder(Metered::new(cached), Arc::clone(&recorder));
 
     // --autoscale: an elastic capacity controller ticks in the background,
@@ -1248,6 +1288,10 @@ fn cmd_top(options: &HashMap<&str, &str>) -> Result<(), String> {
     use std::time::Duration;
 
     let prometheus = options.contains_key("prometheus");
+    let connections = options.contains_key("connections");
+    if prometheus && connections {
+        return Err("--connections renders the human table; drop --prometheus".into());
+    }
     let watch = match options.get("watch").copied() {
         None => None,
         Some("true") => Some(2u64),
@@ -1260,6 +1304,13 @@ fn cmd_top(options: &HashMap<&str, &str>) -> Result<(), String> {
     let Some(&addr) = options.get("connect") else {
         if watch.is_some() {
             return Err("--watch polls a live server and needs --connect".into());
+        }
+        if connections {
+            return Err(
+                "--connections shows a server's per-connection transport stats \
+                 and needs --connect"
+                    .into(),
+            );
         }
         let stack = demo_telemetry_stack(options)?;
         let telemetry = AdmissionService::telemetry(&stack);
@@ -1282,6 +1333,8 @@ fn cmd_top(options: &HashMap<&str, &str>) -> Result<(), String> {
             "{}",
             if prometheus {
                 telemetry.render_prometheus()
+            } else if connections {
+                telemetry.render_connections()
             } else {
                 telemetry.render()
             }
@@ -1317,24 +1370,51 @@ fn connect_observer(
 fn cmd_trace(options: &HashMap<&str, &str>) -> Result<(), String> {
     use runtime::{AdmissionService, Endpoint};
 
-    let tail = opt_u64(options, "tail")?.unwrap_or(20) as usize;
+    let chrome = options.get("chrome").copied();
+    if chrome == Some("true") {
+        return Err("--chrome needs an output path, e.g. --chrome trace.json".into());
+    }
+    // A Perfetto export wants whole request trees, not the last few
+    // lines, so --chrome defaults to draining the full ring.
+    let tail = match opt_u64(options, "tail")? {
+        Some(n) => n as usize,
+        None if chrome.is_some() => 4096,
+        None => 20,
+    };
     if tail == 0 {
         return Err("--tail must be positive".into());
     }
-    let events = match options.get("connect") {
+    let (events, anchor) = match options.get("connect") {
         Some(&addr) => {
             let addr: Endpoint = addr.parse()?;
             let client = connect_observer(&addr, options)?;
             let events = client.remote_trace(tail).map_err(|e| e.to_string())?;
+            let anchor = if chrome.is_some() {
+                let telemetry = client.remote_telemetry().map_err(|e| e.to_string())?;
+                telemetry.trace.anchor_micros.unwrap_or(0)
+            } else {
+                0
+            };
             client.close();
-            events
+            (events, anchor)
         }
         None => {
             let stack = demo_telemetry_stack(options)?;
-            AdmissionService::trace_tail(&stack, tail)
+            let anchor = stack.recorder().anchor_micros();
+            (AdmissionService::trace_tail(&stack, tail), anchor)
         }
     };
 
+    if let Some(path) = chrome {
+        let json = runtime::render_chrome_trace(&events, anchor);
+        fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "wrote {} event(s) as Chrome trace to {path} \
+             (open at https://ui.perfetto.dev → Open trace file)",
+            events.len()
+        );
+        return Ok(());
+    }
     if options.contains_key("json") {
         println!(
             "{}",

@@ -190,6 +190,7 @@ fn journaled_middleware_recording_replays_equivalently() {
                     required_throughput,
                     affinity,
                     target: None,
+                    span: None,
                 };
                 let decision = stack.admit(&request).expect("no analysis errors");
                 match decision.resident() {

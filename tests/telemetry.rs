@@ -7,11 +7,14 @@ use platform::{Application, Mapping, SystemSpec};
 use proptest::prelude::*;
 use runtime::telemetry::BUCKET_COUNT;
 use runtime::{
-    run_fleet_stack, seeded_fleet_requests, AdmissionService, FleetConfig, FleetManager,
-    HistogramRecorder, Journal, Journaled, LatencyHistogram, Metered, RoutingPolicy, ServiceOp,
-    Traced,
+    build_span_trees, run_fleet_stack, seeded_fleet_requests, AdmissionRequest, AdmissionService,
+    FleetConfig, FleetManager, FrontEnd, FrontEndConfig, HistogramRecorder, Journal, Journaled,
+    LatencyHistogram, Metered, RoutingPolicy, ServiceOp, SpanContext, SpanNode, TraceEvent,
+    TraceKind, TraceRecorder, Traced,
 };
 use sdf::figure2_graphs;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn spec() -> SystemSpec {
     let (a, b) = figure2_graphs();
@@ -204,4 +207,192 @@ fn telemetry_snapshot_autoscaler_field_is_wire_compatible() {
     let roundtrip: TelemetrySnapshot = serde_json::from_str(&json_with).expect("parses");
     assert_eq!(roundtrip, with);
     assert!(roundtrip.render().contains("autoscaler["));
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree reconstruction.
+// ---------------------------------------------------------------------------
+
+/// One synthetic request's span tree: `parents[i]` is the parent of node
+/// `i + 2` (node indices start at 1; node 1 always hangs off the
+/// unrecorded origin span, like the server-side chain hangs off the
+/// remote client's root).
+fn synthetic_request_events(
+    request: usize,
+    parents: &[usize],
+    next_span: &mut u64,
+) -> Vec<TraceEvent> {
+    let trace_id = 1_000 + request as u64;
+    let origin = 900_000 + request as u64;
+    let node_count = parents.len() + 1;
+    // parent span id and depth per node, 1-indexed.
+    let mut span_ids = vec![0u64; node_count + 1];
+    let mut depths = vec![0usize; node_count + 1];
+    let mut events = Vec::new();
+    for node in 1..=node_count {
+        *next_span += 1;
+        span_ids[node] = *next_span;
+        let parent = if node == 1 { 0 } else { parents[node - 2] };
+        depths[node] = if parent == 0 { 1 } else { depths[parent] + 1 };
+        // Strictly nested intervals: each level starts later and ends
+        // earlier than its parent, well clear of any other request.
+        let base = request as u64 * 1_000_000;
+        let start = base + depths[node] as u64 * 1_000 + node as u64;
+        let end = base + 900_000 - depths[node] as u64 * 1_000 - node as u64;
+        let context = SpanContext {
+            trace_id,
+            span_id: span_ids[node],
+            parent_span_id: Some(if parent == 0 {
+                origin
+            } else {
+                span_ids[parent]
+            }),
+        };
+        let mut event = TraceEvent::new(TraceKind::Admit)
+            .app(request)
+            .span(context)
+            .duration(Duration::from_micros(end - start));
+        event.at_micros = end;
+        events.push(event);
+    }
+    events
+}
+
+/// `slack_micros` absorbs clock skew on real pipelines: parent and child
+/// durations are measured by independent `Instant` timers, so a child's
+/// reconstructed start can land a few microseconds before its parent's.
+/// Synthetic forests use zero slack (exact nesting by construction).
+fn assert_node_well_formed(node: &SpanNode, trace_id: u64, slack_micros: u64) {
+    let start = node
+        .event
+        .at_micros
+        .saturating_sub(node.event.duration_micros);
+    assert_eq!(node.event.trace_id, Some(trace_id));
+    for child in &node.children {
+        assert_eq!(
+            child.event.parent_span_id, node.event.span_id,
+            "child must point at its parent's span"
+        );
+        let child_start = child
+            .event
+            .at_micros
+            .saturating_sub(child.event.duration_micros);
+        assert!(
+            child_start + slack_micros >= start && child.event.at_micros <= node.event.at_micros,
+            "child interval [{child_start}, {}] must nest inside parent [{start}, {}]",
+            child.event.at_micros,
+            node.event.at_micros
+        );
+        assert_node_well_formed(child, trace_id, slack_micros);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Reconstructing span trees from a flat (and interleaved) event ring
+    // is well-formed: one tree per request, exactly one root per tree
+    // (the span whose parent — the origin — was never recorded), every
+    // non-root attached to its recorded parent, and child intervals
+    // nested inside their parents'.
+    #[test]
+    fn reconstructed_span_trees_are_well_formed(
+        shapes in prop::collection::vec(prop::collection::vec(0usize..100, 0..5), 1..7)
+    ) {
+        let mut next_span = 0u64;
+        let mut per_request: Vec<Vec<TraceEvent>> = Vec::new();
+        for (request, raw) in shapes.iter().enumerate() {
+            // Node i+2's parent is any earlier node (1-indexed), so the
+            // tree is connected under node 1 by construction.
+            let parents: Vec<usize> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &pick)| 1 + pick % (i + 1))
+                .collect();
+            per_request.push(synthetic_request_events(request, &parents, &mut next_span));
+        }
+        // Interleave the requests' events the way concurrent requests
+        // land in the ring: round-robin across requests, not grouped.
+        let mut events = Vec::new();
+        let deepest = per_request.iter().map(Vec::len).max().unwrap_or(0);
+        for slot in 0..deepest {
+            for request in &per_request {
+                if let Some(event) = request.get(slot) {
+                    events.push(event.clone());
+                }
+            }
+        }
+
+        let trees = build_span_trees(&events);
+        prop_assert_eq!(trees.len(), shapes.len(), "one tree per request");
+        let mut total = 0usize;
+        for tree in &trees {
+            let request = (tree.trace_id - 1_000) as usize;
+            prop_assert_eq!(
+                tree.roots.len(), 1,
+                "exactly one root per request (the origin's only child)"
+            );
+            prop_assert_eq!(
+                tree.roots[0].event.parent_span_id,
+                Some(900_000 + request as u64),
+                "the root's parent is the unrecorded origin span"
+            );
+            prop_assert_eq!(tree.len(), shapes[request].len() + 1, "no span lost");
+            for root in &tree.roots {
+                assert_node_well_formed(root, tree.trace_id, 0);
+            }
+            total += tree.len();
+        }
+        prop_assert_eq!(total, events.len(), "every spanned event lands in a tree");
+    }
+}
+
+/// Driving real requests through the front end yields one trace per
+/// request: the queue wait and the decision both parent onto the root
+/// span minted at submit, and the fleet's innermost span hangs off the
+/// traced layer's decision span.
+#[test]
+fn front_end_submissions_build_one_trace_per_request() {
+    let fleet = fleet();
+    let recorder = Arc::new(TraceRecorder::new(4096));
+    fleet.attach_trace(Arc::clone(&recorder));
+    let stack = Traced::with_recorder(Metered::new(fleet.clone()), Arc::clone(&recorder));
+    let front = FrontEnd::traced(
+        Box::new(stack),
+        FrontEndConfig {
+            workers: 2,
+            ..FrontEndConfig::default()
+        },
+        Arc::clone(&recorder),
+    );
+    let requests = 12usize;
+    let completions: Vec<_> = (0..requests)
+        .map(|i| front.submit(AdmissionRequest::new(i % 2)))
+        .collect();
+    for completion in &completions {
+        let _ = completion.wait();
+    }
+    front.shutdown();
+
+    let events = recorder.tail(recorder.len());
+    let trees = build_span_trees(&events);
+    assert_eq!(trees.len(), requests, "one trace per submitted request");
+    for tree in &trees {
+        let mut kinds = Vec::new();
+        tree.walk(|event, _| {
+            assert_eq!(event.trace_id, Some(tree.trace_id));
+            kinds.push(event.kind);
+        });
+        assert!(kinds.contains(&TraceKind::QueueWait), "queue dwell traced");
+        assert!(
+            kinds.iter().any(|kind| matches!(
+                kind,
+                TraceKind::Admit | TraceKind::Reject | TraceKind::Saturate
+            )),
+            "decision traced: {kinds:?}"
+        );
+        for root in &tree.roots {
+            assert_node_well_formed(root, tree.trace_id, 100);
+        }
+    }
 }

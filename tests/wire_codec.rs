@@ -152,8 +152,8 @@ fn every_wire_body_variant_crosses_both_codecs_identically() {
         WireBody::Estimate((*estimate).clone()),
         WireBody::Journal(journal.render()),
         WireBody::JournalPage(page),
-        WireBody::Telemetry(telemetry),
-        WireBody::Telemetry(stack.telemetry()),
+        WireBody::Telemetry(Box::new(telemetry)),
+        WireBody::Telemetry(Box::new(stack.telemetry())),
         WireBody::Trace(stack.trace_tail(64)),
         WireBody::Error(WireFault::NoWorkload),
         WireBody::Error(WireFault::UnknownResident(42)),
@@ -239,5 +239,69 @@ proptest! {
         assert_codecs_agree(&WireResponse { id, body: WireBody::Error(fault) });
         assert_codecs_agree(&WireRequest { id, op: WireOp::Release(resident) });
         assert_codecs_agree(&WireRequest { id, op: WireOp::JournalPage { from_seq: resident } });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span-context wire compatibility.
+// ---------------------------------------------------------------------------
+
+/// The `span` field of [`AdmissionRequest`] is trailing and skip-none: a
+/// peer that predates spans ships frames without the key, and those
+/// frames round-trip unchanged on both codecs — span propagation can
+/// never break interop with v3/v4 peers.
+#[test]
+fn span_context_field_is_wire_backward_compatible() {
+    use runtime::SpanContext;
+
+    // A span-less request serializes WITHOUT the key — byte-identical to
+    // what a pre-span peer ships.
+    let bare = AdmissionRequest::new(3)
+        .with_contract(Rational::new(1, 300))
+        .with_affinity("edge-7");
+    assert!(bare.span.is_none());
+    let json = encode_frame(
+        &JsonLinesCodec,
+        &WireRequest {
+            id: 9,
+            op: WireOp::Admit(bare.clone()),
+        },
+    )
+    .expect("encodes");
+    let text = String::from_utf8(json).expect("json frames are utf-8");
+    assert!(
+        !text.contains("span"),
+        "span-less requests must omit the field entirely: {text}"
+    );
+
+    // A frame missing the key (as an old peer would send it) decodes to
+    // span: None and re-encodes byte-identically, through both codecs.
+    assert_codecs_agree(&WireRequest {
+        id: 9,
+        op: WireOp::Admit(bare),
+    });
+
+    // And a span-carrying request survives both codecs with its causal
+    // identity intact — including the nested skip-none parent id in both
+    // states (a root has no parent; a child does).
+    let root = SpanContext::root();
+    for context in [root, root.child()] {
+        let mut traced = AdmissionRequest::new(1);
+        traced.span = Some(context);
+        let request = WireRequest {
+            id: 10,
+            op: WireOp::Admit(traced),
+        };
+        assert_codecs_agree(&request);
+        let bytes = encode_frame(&BinaryCodec, &request).expect("encodes");
+        let (tree, _) = BinaryCodec
+            .decode_value(&bytes)
+            .expect("decodes")
+            .expect("complete");
+        let back: WireRequest = decode_message(&tree).expect("typed decode");
+        match back.op {
+            WireOp::Admit(request) => assert_eq!(request.span, Some(context)),
+            other => panic!("unexpected op: {other:?}"),
+        }
     }
 }
